@@ -1,0 +1,608 @@
+// Benchmark harness: one benchmark per paper figure (Fig 1-7) plus the
+// quantitative tables T-A..T-F and the ablations DESIGN.md §5 calls out.
+// EXPERIMENTS.md records the measured numbers; cmd/cnbench prints the same
+// rows as formatted tables.
+package cn_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cn"
+	"cn/internal/discovery"
+	"cn/internal/floyd"
+	"cn/internal/tuplespace"
+	"cn/internal/workloads"
+)
+
+func init() {
+	pubRegistry.MustRegister("bench.EchoLoop", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			for {
+				_, data, err := ctx.Recv()
+				if err != nil {
+					return nil // job cancelled: clean exit
+				}
+				if err := ctx.SendClient(data); err != nil {
+					return err
+				}
+			}
+		})
+	})
+}
+
+// benchCluster boots a cluster + client for benchmarks.
+func benchCluster(b *testing.B, nodes int) (*cn.Cluster, *cn.Client) {
+	b.Helper()
+	c, err := cn.StartCluster(cn.ClusterOptions{Nodes: nodes, Registry: pubRegistry, MemoryMB: 64000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		c.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cl.Close()
+		c.Close()
+	})
+	return c, cl
+}
+
+func noopSpec(name string, deps ...string) *cn.TaskSpec {
+	return &cn.TaskSpec{
+		Name:      name,
+		Class:     "pub.Noop",
+		DependsOn: deps,
+		Req:       cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+	}
+}
+
+// forkJoinSpecs builds a split -> W workers -> join no-op job.
+func forkJoinSpecs(workers int) []*cn.TaskSpec {
+	specs := []*cn.TaskSpec{noopSpec("split")}
+	var names []string
+	for i := 1; i <= workers; i++ {
+		name := fmt.Sprintf("w%d", i)
+		names = append(names, name)
+		specs = append(specs, noopSpec(name, "split"))
+	}
+	specs = append(specs, noopSpec("join", names...))
+	return specs
+}
+
+// --- Figure benches -------------------------------------------------------
+
+// BenchmarkFig1ServerBoot measures booting and stopping the Figure 1
+// component stack (4 CN servers + discovery groups).
+func BenchmarkFig1ServerBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cn.StartCluster(cn.ClusterOptions{Nodes: 4, Registry: pubRegistry})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+// BenchmarkFig2CNXRoundTrip measures encoding + parsing the Figure 2
+// transitive-closure descriptor.
+func BenchmarkFig2CNXRoundTrip(b *testing.B) {
+	g, err := floyd.BuildModel(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := cn.NewClientModel("TransClosure")
+	if err := model.AddJob(g); err != nil {
+		b.Fatal(err)
+	}
+	doc, err := cn.ModelToCNX(model, cn.TransformOptions{Port: 5666})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := doc.EncodeString()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cn.ParseCNX(strings.NewReader(s)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ExplicitRun measures executing the Figure 3 shape (split,
+// five concurrent workers, join) as a CN job.
+func BenchmarkFig3ExplicitRun(b *testing.B) {
+	_, cl := benchCluster(b, 4)
+	ctx := context.Background()
+	specs := forkJoinSpecs(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cn.RunJob(ctx, cl, fmt.Sprintf("fig3-%d", i), specs, nil)
+		if err != nil || res.Failed {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkFig4TaggedValueCodec measures extracting the Figure 4 task
+// configuration (params + requirements) from tagged values.
+func BenchmarkFig4TaggedValueCodec(b *testing.B) {
+	tags := cn.TaskTags("tctask.jar", "org.jhpc.cn2.trnsclsrtask.TCTask", 1000, "RUN_AS_THREAD_IN_TM")
+	tags.SetParam(0, "Integer", "2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tags.Params(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tags.Requirements(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5DynamicRun measures dynamic-invocation expansion plus
+// execution with a run-time worker count of 4.
+func BenchmarkFig5DynamicRun(b *testing.B) {
+	_, cl := benchCluster(b, 4)
+	g, err := cn.NewActivity("fig5").
+		Initial("i").
+		DynamicAction("worker", cn.TaskTags("", "pub.Noop", 10, "RUN_AS_THREAD_IN_TM"), "*", "load").
+		Final("f").
+		Flows("i", "worker", "f").
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := cn.NewClientModel("Fig5")
+	if err := model.AddJob(g); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := cn.RunModelOnCluster(ctx, cl, model, cn.TransformOptions{Args: cn.FixedArgs(4)}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if results["fig5"].Failed {
+			b.Fatal("job failed")
+		}
+	}
+}
+
+// BenchmarkFig6Pipeline measures the full transformation chain of Figure 6:
+// model -> XMI -> parse -> model -> CNX -> generated Go client.
+func BenchmarkFig6Pipeline(b *testing.B) {
+	g, err := floyd.BuildModel(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := cn.NewClientModel("TransClosure")
+	if err := model.AddJob(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xdoc, err := cn.ModelToXMI(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xmlText, err := xdoc.WriteString()
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsed, err := cn.ParseXMI(strings.NewReader(xmlText))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, err := cn.XMIToModel(parsed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc, err := cn.ModelToCNX(m2, cn.TransformOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cn.GenerateClient(doc, cn.GenerateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7XMIParse measures parsing the Figure 7 XMI document shape.
+func BenchmarkFig7XMIParse(b *testing.B) {
+	g, err := floyd.BuildModel(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := cn.NewClientModel("TransClosure")
+	if err := model.AddJob(g); err != nil {
+		b.Fatal(err)
+	}
+	xdoc, err := cn.ModelToXMI(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xmlText, err := xdoc.WriteString()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(xmlText)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cn.ParseXMI(strings.NewReader(xmlText)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T-A: parallel Floyd speedup ------------------------------------------
+
+// BenchmarkFloydWorkers runs the guiding example at N=96 with 1..8 CN
+// workers plus the sequential and in-process-goroutine baselines. The
+// paper's qualitative claim — row decomposition parallelizes Floyd across
+// the cluster — shows as decreasing time per op with workers, with CN
+// messaging overhead visible against the in-process baseline.
+func BenchmarkFloydWorkers(b *testing.B) {
+	const n = 96
+	m := floyd.RandomGraph(n, 0.3, 9, 17)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			floyd.Sequential(m)
+		}
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("inprocess/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				floyd.ParallelInProcess(m, w)
+			}
+		})
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cn/workers=%d", w), func(b *testing.B) {
+			_, cl := benchCluster(b, 4)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := floyd.Run(ctx, cl, m, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T-A2: compute-bound scaling (Monte-Carlo pi) ---------------------------
+
+// BenchmarkMonteCarloWorkers splits a fixed 2M-sample Monte-Carlo π
+// estimation across 1..8 CN workers. Per-task compute dominates messaging
+// here, so time per op should fall near-linearly with workers — the
+// counterpart to the communication-bound Floyd study above.
+func BenchmarkMonteCarloWorkers(b *testing.B) {
+	const total = 2_000_000
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			_, cl := benchCluster(b, 4)
+			ctx := context.Background()
+			per := int64(total / w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := workloads.RunMonteCarloPi(ctx, cl, w, per, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T-B: discovery latency vs cluster size --------------------------------
+
+// BenchmarkDiscoveryNodes measures one multicast JobManager discovery round
+// (first-responder policy) against growing cluster sizes.
+func BenchmarkDiscoveryNodes(b *testing.B) {
+	for _, nodes := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			_, cl := benchCluster(b, nodes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.DiscoverWith(discovery.FirstResponder{}, cn.JobRequirements{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T-C: message round-trip latency ---------------------------------------
+
+// BenchmarkMessaging measures the client -> JobManager -> task -> JobManager
+// -> client round trip for 1 KB user payloads (the conduit path of the
+// paper's message model).
+func BenchmarkMessaging(b *testing.B) {
+	_, cl := benchCluster(b, 3)
+	job, err := cl.CreateJob("echo", cn.JobRequirements{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &cn.TaskSpec{Name: "echo", Class: "bench.EchoLoop",
+		Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM}}
+	if err := job.CreateTask(spec, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	ctx := context.Background()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := job.SendMessage("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := job.GetMessage(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = job.Cancel("bench done")
+}
+
+// --- T-D: transform throughput vs model size --------------------------------
+
+// BenchmarkXMI2CNXSize measures the XMI2CNX transformation against models
+// of 10..500 worker states.
+func BenchmarkXMI2CNXSize(b *testing.B) {
+	for _, tasks := range []int{10, 100, 500} {
+		b.Run(fmt.Sprintf("tasks=%d", tasks), func(b *testing.B) {
+			g, err := floyd.BuildModel(tasks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model := cn.NewClientModel("TransClosure")
+			if err := model.AddJob(g); err != nil {
+				b.Fatal(err)
+			}
+			xdoc, err := cn.ModelToXMI(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xmlText, err := xdoc.WriteString()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(xmlText)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var out strings.Builder
+				if err := cn.XMI2CNX(strings.NewReader(xmlText), &out, cn.TransformOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T-E: tuple space --------------------------------------------------------
+
+// BenchmarkTupleSpace measures the Linda-style coordination primitives the
+// paper mentions as CN's second intertask mechanism.
+func BenchmarkTupleSpace(b *testing.B) {
+	b.Run("out-inp", func(b *testing.B) {
+		s := tuplespace.New()
+		for i := 0; i < b.N; i++ {
+			if err := s.Out(tuplespace.Tuple{"k", i}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.InP(tuplespace.Template{"k", tuplespace.Wildcard}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("out-rdp", func(b *testing.B) {
+		s := tuplespace.New()
+		if err := s.Out(tuplespace.Tuple{"k", 0}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RdP(tuplespace.Template{"k", tuplespace.Wildcard}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("blocking-handoff", func(b *testing.B) {
+		s := tuplespace.New()
+		ctx := context.Background()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.In(ctx, tuplespace.Template{"h", tuplespace.Wildcard}); err != nil {
+					return
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Out(tuplespace.Tuple{"h", i}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		<-done
+	})
+}
+
+// --- T-F: scheduling overhead vs plain goroutines ----------------------------
+
+// BenchmarkSchedulingOverhead compares dispatching 8 no-op tasks through
+// the full CN stack (discovery already done; placement, archive-less
+// assignment, dependency scheduling, events) against spawning 8 goroutines
+// directly — the framework-overhead figure a CN adopter cares about.
+func BenchmarkSchedulingOverhead(b *testing.B) {
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for t := 0; t < 8; t++ {
+				wg.Add(1)
+				go func() { defer wg.Done() }()
+			}
+			wg.Wait()
+		}
+	})
+	b.Run("cn", func(b *testing.B) {
+		_, cl := benchCluster(b, 4)
+		ctx := context.Background()
+		specs := make([]*cn.TaskSpec, 8)
+		for t := 0; t < 8; t++ {
+			specs[t] = noopSpec(fmt.Sprintf("t%d", t))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := cn.RunJob(ctx, cl, fmt.Sprintf("ovh-%d", i), specs, nil)
+			if err != nil || res.Failed {
+				b.Fatalf("res=%+v err=%v", res, err)
+			}
+		}
+	})
+}
+
+// --- Ablations (DESIGN.md §5) ------------------------------------------------
+
+// BenchmarkForkJoinCollapse compares dependency analysis on a fork/join
+// pseudostate graph against the equivalent direct-edge graph.
+func BenchmarkForkJoinCollapse(b *testing.B) {
+	withPseudo, err := floyd.BuildModel(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Direct-edge equivalent: lift the lowered CNX back into a model
+	// (CNXToModel emits direct action-to-action transitions).
+	model := cn.NewClientModel("TC")
+	if err := model.AddJob(withPseudo); err != nil {
+		b.Fatal(err)
+	}
+	doc, err := cn.ModelToCNX(model, cn.TransformOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lifted, err := cn.CNXToModel(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	direct := lifted.Jobs[0]
+	b.Run("pseudostates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := withPseudo.Dependencies(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-edges", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := direct.Dependencies(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSelectionPolicy compares JobManager selection policies on a
+// 16-node cluster.
+func BenchmarkSelectionPolicy(b *testing.B) {
+	policies := []cn.Policy{
+		discovery.FirstResponder{},
+		discovery.BestFit{},
+		discovery.LeastLoaded{},
+		discovery.NewRandom(1),
+	}
+	for _, p := range policies {
+		b.Run(p.Name(), func(b *testing.B) {
+			_, cl := benchCluster(b, 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.DiscoverWith(p, cn.JobRequirements{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransport compares the in-memory fabric against TCP loopback
+// for the same no-op job.
+func BenchmarkTransport(b *testing.B) {
+	for _, tcp := range []bool{false, true} {
+		name := "mem"
+		if tcp {
+			name = "tcp"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, err := cn.StartCluster(cn.ClusterOptions{Nodes: 3, Registry: pubRegistry, TCP: tcp})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+			if err != nil {
+				c.Close()
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { cl.Close(); c.Close() })
+			ctx := context.Background()
+			specs := forkJoinSpecs(3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cn.RunJob(ctx, cl, fmt.Sprintf("tr-%d", i), specs, nil)
+				if err != nil || res.Failed {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunModel compares RUN_AS_THREAD_IN_TM against RUN_AS_PROCESS
+// execution of the same job.
+func BenchmarkRunModel(b *testing.B) {
+	for _, rm := range []cn.RunModel{cn.RunAsThreadInTM, cn.RunAsProcess} {
+		b.Run(rm.String(), func(b *testing.B) {
+			_, cl := benchCluster(b, 3)
+			ctx := context.Background()
+			specs := forkJoinSpecs(3)
+			for _, s := range specs {
+				s.Req.RunModel = rm
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cn.RunJob(ctx, cl, fmt.Sprintf("rm-%d", i), specs, nil)
+				if err != nil || res.Failed {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransitiveClosureBaseline reports the Warshall boolean closure
+// against full APSP at N=96 (the "transitive closure" framing of §2).
+func BenchmarkTransitiveClosureBaseline(b *testing.B) {
+	m := floyd.RandomGraph(96, 0.3, 9, 17)
+	b.Run("warshall-closure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			floyd.Closure(m)
+		}
+	})
+	b.Run("floyd-apsp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			floyd.Sequential(m)
+		}
+	})
+}

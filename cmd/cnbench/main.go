@@ -1,0 +1,247 @@
+// Command cnbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: the parallel Floyd speedup study (T-A), discovery
+// latency vs cluster size (T-B), message round-trip latency (T-C), and
+// transform throughput vs model size (T-D). Run with -exp=all (default) or
+// a single experiment id.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"cn"
+	"cn/internal/discovery"
+	"cn/internal/floyd"
+	"cn/internal/metrics"
+	"cn/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cnbench: ")
+	var (
+		exp  = flag.String("exp", "all", "experiment: floyd | discovery | messaging | transform | all")
+		reps = flag.Int("reps", 5, "repetitions per configuration")
+	)
+	flag.Parse()
+
+	switch *exp {
+	case "floyd":
+		floydTable(*reps)
+	case "montecarlo":
+		monteCarloTable(*reps)
+	case "discovery":
+		discoveryTable(*reps)
+	case "messaging":
+		messagingTable(*reps)
+	case "transform":
+		transformTable(*reps)
+	case "all":
+		floydTable(*reps)
+		monteCarloTable(*reps)
+		discoveryTable(*reps)
+		messagingTable(*reps)
+		transformTable(*reps)
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+// monteCarloTable is experiment T-A2: compute-bound scaling. A fixed total
+// of 4M samples is split across W workers; unlike the communication-bound
+// small-N Floyd study, this shows the near-linear speedup CN delivers when
+// per-task compute dominates messaging.
+func monteCarloTable(reps int) {
+	header("T-A2  Monte-Carlo pi, 4M total samples (compute-bound scaling)")
+	const total = 4_000_000
+	c, cl := startCluster(4)
+	defer c.Close()
+	defer cl.Close()
+	ctx := context.Background()
+	var base time.Duration
+	fmt.Printf("%-14s %12s %10s\n", "workers", "median", "speedup")
+	for _, w := range []int{1, 2, 4, 8} {
+		per := int64(total / w)
+		d := timeIt(reps, func() {
+			if _, err := workloads.RunMonteCarloPi(ctx, cl, w, per, 7); err != nil {
+				log.Fatal(err)
+			}
+		})
+		if w == 1 {
+			base = d
+		}
+		fmt.Printf("%-14d %12v %9.2fx\n", w, d, float64(base)/float64(d))
+	}
+}
+
+func newRegistry() *cn.Registry {
+	reg := cn.NewRegistry()
+	floyd.MustRegister(reg)
+	workloads.MustRegister(reg)
+	reg.MustRegister("bench.Echo", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			for {
+				_, data, err := ctx.Recv()
+				if err != nil {
+					return nil
+				}
+				if err := ctx.SendClient(data); err != nil {
+					return err
+				}
+			}
+		})
+	})
+	return reg
+}
+
+func startCluster(nodes int) (*cn.Cluster, *cn.Client) {
+	c, err := cn.StartCluster(cn.ClusterOptions{Nodes: nodes, Registry: newRegistry(), MemoryMB: 64000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c, cl
+}
+
+// timeIt runs f reps times and returns the median duration.
+func timeIt(reps int, f func()) time.Duration {
+	h := metrics.NewHistogram(reps + 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		h.ObserveDuration(time.Since(start))
+	}
+	return time.Duration(h.Quantile(0.5) * float64(time.Millisecond))
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("-", len(title)))
+}
+
+// floydTable is experiment T-A: parallel Floyd speedup vs worker count.
+func floydTable(reps int) {
+	header("T-A  Parallel Floyd all-pairs shortest paths (N=96, 4-node cluster)")
+	const n = 96
+	m := floyd.RandomGraph(n, 0.3, 9, 17)
+	seq := timeIt(reps, func() { floyd.Sequential(m) })
+	fmt.Printf("%-24s %12s %10s\n", "configuration", "median", "speedup")
+	fmt.Printf("%-24s %12v %10s\n", "sequential", seq, "1.00x")
+	for _, w := range []int{1, 2, 4, 8} {
+		d := timeIt(reps, func() { floyd.ParallelInProcess(m, w) })
+		fmt.Printf("%-24s %12v %9.2fx\n", fmt.Sprintf("in-process w=%d", w), d, float64(seq)/float64(d))
+	}
+	c, cl := startCluster(4)
+	defer c.Close()
+	defer cl.Close()
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 4, 8} {
+		d := timeIt(reps, func() {
+			if _, err := floyd.Run(ctx, cl, m, w); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("%-24s %12v %9.2fx\n", fmt.Sprintf("cn w=%d", w), d, float64(seq)/float64(d))
+	}
+}
+
+// discoveryTable is experiment T-B: discovery latency vs cluster size.
+func discoveryTable(reps int) {
+	header("T-B  JobManager multicast discovery latency")
+	fmt.Printf("%-10s %16s %16s\n", "nodes", "first-responder", "best-fit(all)")
+	for _, nodes := range []int{1, 4, 16, 64} {
+		c, cl := startCluster(nodes)
+		first := timeIt(reps, func() {
+			if _, _, err := cl.DiscoverWith(discovery.FirstResponder{}, cn.JobRequirements{}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		best := timeIt(reps, func() {
+			if _, _, err := cl.DiscoverWith(discovery.BestFit{}, cn.JobRequirements{}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("%-10d %16v %16v\n", nodes, first, best)
+		cl.Close()
+		c.Close()
+	}
+}
+
+// messagingTable is experiment T-C: user message round-trip latency.
+func messagingTable(reps int) {
+	header("T-C  User message round trip (client -> JM -> task -> JM -> client)")
+	c, cl := startCluster(3)
+	defer c.Close()
+	defer cl.Close()
+	job, err := cl.CreateJob("echo", cn.JobRequirements{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.CreateTask(&cn.TaskSpec{
+		Name: "echo", Class: "bench.Echo",
+		Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+	}, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	fmt.Printf("%-12s %14s %14s\n", "payload", "median RTT", "msgs/sec")
+	for _, size := range []int{64, 1024, 65536} {
+		payload := make([]byte, size)
+		const rounds = 200
+		d := timeIt(reps, func() {
+			for i := 0; i < rounds; i++ {
+				if err := job.SendMessage("echo", payload); err != nil {
+					log.Fatal(err)
+				}
+				if _, _, err := job.GetMessage(ctx); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+		perMsg := d / rounds
+		fmt.Printf("%-12s %14v %14.0f\n", fmt.Sprintf("%dB", size), perMsg, float64(time.Second)/float64(perMsg))
+	}
+	_ = job.Cancel("bench done")
+}
+
+// transformTable is experiment T-D: XMI2CNX throughput vs model size.
+func transformTable(reps int) {
+	header("T-D  XMI2CNX transformation vs model size")
+	fmt.Printf("%-12s %12s %14s\n", "tasks", "XMI bytes", "median")
+	for _, tasks := range []int{10, 100, 500} {
+		g, err := floyd.BuildModel(tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := cn.NewClientModel("TransClosure")
+		if err := model.AddJob(g); err != nil {
+			log.Fatal(err)
+		}
+		xdoc, err := cn.ModelToXMI(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xmlText, err := xdoc.WriteString()
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := timeIt(reps, func() {
+			var out strings.Builder
+			if err := cn.XMI2CNX(strings.NewReader(xmlText), &out, cn.TransformOptions{}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("%-12d %12d %14v\n", tasks, len(xmlText), d)
+	}
+}

@@ -1,0 +1,59 @@
+// Command cnportal boots a CN cluster and serves the prototype web portal
+// on top of it, the paper's "other deployment configuration ... through a
+// web portal so that the user does not need to log on to the subnet".
+//
+// Usage:
+//
+//	cnportal [-addr :8080] [-nodes N] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"cn"
+	"cn/internal/cluster"
+	"cn/internal/floyd"
+	"cn/internal/portal"
+	"cn/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cnportal: ")
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		nodes   = flag.Int("nodes", 4, "cluster size")
+		verbose = flag.Bool("v", false, "log cluster diagnostics")
+	)
+	flag.Parse()
+
+	reg := cn.NewRegistry()
+	floyd.MustRegister(reg)
+	workloads.MustRegister(reg)
+	reg.MustRegister("cn.Noop", func() cn.Task {
+		return cn.TaskFunc(func(cn.TaskContext) error { return nil })
+	})
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+	c, err := cluster.Start(cluster.Config{Nodes: *nodes, Registry: reg, Logf: logf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	p, err := portal.New(portal.Config{Cluster: c, Logf: logf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	log.Printf("cluster up (%d nodes), portal listening on %s", *nodes, *addr)
+	if err := http.ListenAndServe(*addr, p.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Command cnserver boots CN servers — the paper's deployment where "CN
+// Servers run on the various nodes of the cluster". In this reproduction
+// the cluster fabric is in-process, so one cnserver invocation hosts all N
+// nodes (over the simulated fabric or TCP loopback sockets) and stays up
+// until interrupted; pair it with -http to also expose the portal.
+//
+// Usage:
+//
+//	cnserver [-nodes N] [-tcp] [-memory MB] [-http :8080] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"cn"
+	"cn/internal/cluster"
+	"cn/internal/floyd"
+	"cn/internal/portal"
+	"cn/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cnserver: ")
+	var (
+		nodes    = flag.Int("nodes", 4, "number of CN server nodes")
+		tcp      = flag.Bool("tcp", false, "use TCP loopback sockets instead of the in-memory fabric")
+		memoryMB = flag.Int("memory", 8000, "per-node task capacity in MB")
+		httpAddr = flag.String("http", "", "also serve the web portal on this address")
+		verbose  = flag.Bool("v", false, "log server diagnostics")
+	)
+	flag.Parse()
+
+	reg := cn.NewRegistry()
+	floyd.MustRegister(reg)
+	workloads.MustRegister(reg)
+	reg.MustRegister("cn.Noop", func() cn.Task {
+		return cn.TaskFunc(func(cn.TaskContext) error { return nil })
+	})
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.Printf
+	}
+	tp := cluster.TransportMem
+	if *tcp {
+		tp = cluster.TransportTCP
+	}
+	c, err := cluster.Start(cluster.Config{
+		Nodes:     *nodes,
+		Transport: tp,
+		MemoryMB:  *memoryMB,
+		Registry:  reg,
+		Logf:      logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	log.Printf("cluster up: nodes %v", c.Nodes())
+
+	if *httpAddr != "" {
+		p, err := portal.New(portal.Config{Cluster: c, Logf: logf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		go func() {
+			log.Printf("portal listening on %s", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, p.Handler()); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("shutting down")
+}

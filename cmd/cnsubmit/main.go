@@ -1,0 +1,68 @@
+// Command cnsubmit submits a model or descriptor to a running cnportal —
+// the remote path of the paper's web-portal deployment configuration.
+//
+// Usage:
+//
+//	cnsubmit -portal http://localhost:8080 -in model.xmi            # run XMI
+//	cnsubmit -portal http://localhost:8080 -in client.cnx -cnx      # run CNX
+//	cnsubmit -portal http://localhost:8080 -in model.xmi -transform # XMI->CNX only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cnsubmit: ")
+	var (
+		portalURL   = flag.String("portal", "http://localhost:8080", "portal base URL")
+		in          = flag.String("in", "", "input file (required)")
+		isCNX       = flag.Bool("cnx", false, "input is CNX rather than XMI")
+		transform   = flag.Bool("transform", false, "transform only; do not execute")
+		invocations = flag.Int("invocations", 4, "dynamic invocation expansion count")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	body, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var path string
+	switch {
+	case *transform && !*isCNX:
+		path = "/api/xmi2cnx"
+	case *transform && *isCNX:
+		path = "/api/cnx2go"
+	case *isCNX:
+		path = "/api/run-cnx"
+	default:
+		path = "/api/run"
+	}
+	url := fmt.Sprintf("%s%s?invocations=%d", strings.TrimRight(*portalURL, "/"), path, *invocations)
+	resp, err := http.Post(url, "application/xml", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("portal returned %s: %s", resp.Status, out)
+	}
+	if _, err := os.Stdout.Write(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

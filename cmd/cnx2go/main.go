@@ -1,0 +1,64 @@
+// Command cnx2go is the CNX2Java analog for Go: it reads a CNX client
+// descriptor and emits a complete, runnable Go client program using the
+// public cn API.
+//
+// Usage:
+//
+//	cnx2go [-in client.cnx] [-out main.go] [-nodes N] [-module PATH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"cn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cnx2go: ")
+	var (
+		in     = flag.String("in", "", "input CNX file (default stdin)")
+		out    = flag.String("out", "", "output Go file (default stdout)")
+		nodes  = flag.Int("nodes", 4, "embedded cluster size in the generated program")
+		module = flag.String("module", "cn", "import path of the cn package")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	source := "stdin"
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+		source = *in
+	}
+	doc, err := cn.ParseCNX(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := cn.GenerateClient(doc, cn.GenerateOptions{
+		ClusterNodes: *nodes,
+		ModulePath:   *module,
+		Source:       source,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		if _, err := os.Stdout.Write(src); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

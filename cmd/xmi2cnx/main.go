@@ -1,0 +1,68 @@
+// Command xmi2cnx is the paper's XMI2CNX transformation as a CLI: it reads
+// a UML activity model in XMI format and writes the corresponding CNX
+// client descriptor.
+//
+// Usage:
+//
+//	xmi2cnx [-in model.xmi] [-out client.cnx] [-invocations N] [-port P] [-log FILE]
+//
+// With no -in/-out it filters stdin to stdout. Dynamic invocation states
+// are expanded to N invocations (default 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"cn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xmi2cnx: ")
+	var (
+		in          = flag.String("in", "", "input XMI file (default stdin)")
+		out         = flag.String("out", "", "output CNX file (default stdout)")
+		invocations = flag.Int("invocations", 4, "dynamic invocation expansion count")
+		port        = flag.Int("port", 0, "client port attribute")
+		logFile     = flag.String("log", "", "client log attribute")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	opts := cn.TransformOptions{
+		Args: cn.FixedArgs(*invocations),
+		Port: *port,
+		Log:  *logFile,
+	}
+	if err := cn.XMI2CNX(r, w, opts); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,105 @@
+// Dynamic demonstrates the paper's Figure 5: a dynamic-invocation action
+// state whose concurrent invocation count is left open until run time and
+// then determined by a run-time argument expression — here, simulated
+// system load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"cn"
+)
+
+func main() {
+	var load = flag.Int("load", 2, "simulated load factor: the run-time expression spawns 8/load workers")
+	flag.Parse()
+	if *load < 1 {
+		*load = 1
+	}
+
+	registry := cn.NewRegistry()
+	registry.MustRegister("dyn.Worker", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			idx, err := ctx.Params()[0].Int()
+			if err != nil {
+				return err
+			}
+			return ctx.SendClient([]byte(fmt.Sprintf("worker invocation %d on %s", idx, ctx.NodeName())))
+		})
+	})
+
+	// The Figure 5 model: one dynamic action state with multiplicity "*".
+	g, err := cn.NewActivity("dynjob").
+		Initial("initial").
+		DynamicAction("worker",
+			cn.TaskTags("dyn.jar", "dyn.Worker", 100, "RUN_AS_THREAD_IN_TM"),
+			"*", "byLoad").
+		Final("final").
+		Flows("initial", "worker", "final").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := cn.NewClientModel("DynamicDemo")
+	if err := model.AddJob(g); err != nil {
+		log.Fatal(err)
+	}
+
+	// "dependent on system load or other external factors": the provider
+	// evaluates the expression at run time.
+	workers := 8 / *load
+	if workers < 1 {
+		workers = 1
+	}
+	fmt.Printf("run-time expression byLoad -> %d invocations (load=%d)\n", workers, *load)
+
+	cluster, err := cn.StartCluster(cn.ClusterOptions{Nodes: 3, Registry: registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cn.Connect(cluster, cn.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	doc, err := cn.ModelToCNX(model, cn.TransformOptions{Args: cn.FixedArgs(workers)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs, err := doc.Client.Jobs[0].Specs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := client.CreateJob("dynjob", cn.JobRequirements{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := job.CreateTask(s, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := job.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < workers; i++ {
+		_, data, err := job.GetMessage(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", data)
+	}
+	res, err := job.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job finished (failed=%v)\n", res.Failed)
+}

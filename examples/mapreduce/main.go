@@ -1,0 +1,83 @@
+// Mapreduce runs the word-count workload: a splitter scatters text chunks
+// across mappers, mappers count words, a reducer merges the partial counts
+// — the scatter/gather composition the CN programming model is built for.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"cn"
+	"cn/internal/workloads"
+)
+
+const corpus = `in the general area of high performance computing
+object oriented methods have gone largely unnoticed
+the computational neighborhood is a framework for parallel and distributed
+computing with a focus on cluster computing designed from the ground up
+to be object oriented
+clustering is the use of multiple computers to form what appears to users
+as a single computing resource
+cluster computing can also be used as a relatively low cost form of
+parallel processing for scientific applications`
+
+func main() {
+	var mappers = flag.Int("mappers", 4, "mapper task count")
+	flag.Parse()
+
+	registry := cn.NewRegistry()
+	workloads.MustRegister(registry)
+
+	cluster, err := cn.StartCluster(cn.ClusterOptions{Nodes: 3, Registry: registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cn.Connect(cluster, cn.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counts, err := workloads.RunWordCount(ctx, client, corpus, *mappers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-check against the sequential baseline.
+	want := workloads.SequentialWordCount(corpus)
+	for w, c := range want {
+		if counts[w] != c {
+			log.Fatalf("mismatch for %q: cluster %d, sequential %d", w, counts[w], c)
+		}
+	}
+
+	type wc struct {
+		word  string
+		count int
+	}
+	var list []wc
+	for w, c := range counts {
+		list = append(list, wc{w, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].count != list[j].count {
+			return list[i].count > list[j].count
+		}
+		return list[i].word < list[j].word
+	})
+	fmt.Printf("word count over %d mappers (%d distinct words, verified against sequential):\n",
+		*mappers, len(counts))
+	for i, e := range list {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %-14s %d\n", e.word, e.count)
+	}
+}

@@ -1,0 +1,450 @@
+// Package api implements the client-side CN API, the factory façade the
+// paper lists (§3):
+//
+//   - Initialize CN API (using the factory)      -> Initialize
+//   - Create Job in JobManager                    -> Client.CreateJob
+//   - Create Tasks for the Job                    -> Job.CreateTask
+//   - Start the Tasks                             -> Job.Start
+//   - Get Messages from Tasks                     -> Job.GetMessage / GetEvent
+//   - Send Messages to Tasks                      -> Job.SendMessage
+//
+// "The user is responsible, usually toward the beginning of the parallel
+// program, to acquire a reference to the CN API."
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cn/internal/archive"
+	"cn/internal/discovery"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/transport"
+)
+
+// Errors returned by the client API.
+var (
+	// ErrJobFinished is returned for operations on a job that already
+	// reached a terminal state.
+	ErrJobFinished = errors.New("api: job already finished")
+)
+
+var clientSeq atomic.Int64
+
+// Options configures Initialize.
+type Options struct {
+	// ClientName overrides the generated client node name.
+	ClientName string
+	// DiscoveryWindow bounds JobManager discovery (0 = 200ms).
+	DiscoveryWindow time.Duration
+	// Policy selects among JobManager offers (nil = BestFit).
+	Policy discovery.Policy
+	// CallTimeout bounds individual request/response calls (0 = 10s).
+	CallTimeout time.Duration
+	// Logf receives diagnostics; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Client is an initialized CN API handle bound to one cluster network.
+type Client struct {
+	opts   Options
+	node   string
+	ep     transport.Endpoint
+	caller *transport.Caller
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+}
+
+// Initialize attaches a client to the cluster fabric and returns the API
+// handle (the paper's factory acquisition step).
+func Initialize(net transport.Network, opts Options) (*Client, error) {
+	name := opts.ClientName
+	if name == "" {
+		name = fmt.Sprintf("client-%d", clientSeq.Add(1))
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 10 * time.Second
+	}
+	c := &Client{opts: opts, node: name, jobs: make(map[string]*Job)}
+	ep, err := net.Attach(name, c.handle)
+	if err != nil {
+		return nil, fmt.Errorf("api: initialize: %w", err)
+	}
+	c.ep = ep
+	c.caller = transport.NewCaller(ep)
+	return c, nil
+}
+
+// Node returns the client's node name on the fabric.
+func (c *Client) Node() string { return c.node }
+
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf("[client %s] "+format, append([]any{c.node}, args...)...)
+	}
+}
+
+// handle is the client's endpoint dispatch: replies feed the caller, user
+// messages and events feed the owning job.
+func (c *Client) handle(m *msg.Message) {
+	if c.caller.Handle(m) {
+		return
+	}
+	switch m.Kind {
+	case msg.KindUser:
+		var p protocol.UserPayload
+		if err := protocol.Decode(m, &p); err != nil {
+			c.logf("bad user payload: %v", err)
+			return
+		}
+		if j := c.job(p.JobID); j != nil {
+			if err := j.inbox.TryPut(m); err != nil {
+				c.logf("inbox full, dropping message from %s", p.FromTask)
+			}
+		}
+	case msg.KindTaskStarted, msg.KindTaskCompleted, msg.KindTaskFailed:
+		var ev protocol.TaskEvent
+		if err := protocol.Decode(m, &ev); err != nil {
+			return
+		}
+		if j := c.job(ev.JobID); j != nil {
+			j.recordEvent(m.Kind, &ev)
+		}
+	case msg.KindJobCompleted, msg.KindJobFailed:
+		var ev protocol.JobEvent
+		if err := protocol.Decode(m, &ev); err != nil {
+			return
+		}
+		if j := c.job(ev.JobID); j != nil {
+			j.finish(&ev)
+		}
+	}
+}
+
+func (c *Client) job(id string) *Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs[id]
+}
+
+// Discover performs one JobManager discovery round without creating a job.
+func (c *Client) Discover(req protocol.JobRequirements) (protocol.JMOffer, []protocol.JMOffer, error) {
+	return c.DiscoverWith(c.opts.Policy, req)
+}
+
+// DiscoverWith is Discover under an explicit selection policy.
+func (c *Client) DiscoverWith(policy discovery.Policy, req protocol.JobRequirements) (protocol.JMOffer, []protocol.JMOffer, error) {
+	return discovery.Discover(c.caller, c.node, discovery.Options{
+		Window:       c.opts.DiscoveryWindow,
+		Policy:       policy,
+		Requirements: req,
+	})
+}
+
+// CreateJob discovers a willing JobManager and creates a job on it.
+func (c *Client) CreateJob(name string, req protocol.JobRequirements) (*Job, error) {
+	offer, _, err := c.Discover(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: create job %q: %w", name, err)
+	}
+	return c.CreateJobOn(offer.Node, name, req)
+}
+
+// CreateJobOn creates a job on a specific JobManager node (used when the
+// caller already discovered or statically knows the manager).
+func (c *Client) CreateJobOn(jmNode, name string, req protocol.JobRequirements) (*Job, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.CallTimeout)
+	defer cancel()
+	cm := protocol.Body(msg.KindCreateJob,
+		msg.Address{Node: c.node, Task: protocol.ClientTaskName},
+		msg.Address{Node: jmNode},
+		protocol.CreateJobReq{Name: name, Req: req, ClientNode: c.node})
+	reply, err := c.caller.Call(ctx, jmNode, cm)
+	if err != nil {
+		return nil, fmt.Errorf("api: create job %q on %s: %w", name, jmNode, err)
+	}
+	if reply.Kind == msg.KindJobFailed {
+		return nil, replyError("create job", reply)
+	}
+	var resp protocol.CreateJobResp
+	if err := protocol.Decode(reply, &resp); err != nil {
+		return nil, fmt.Errorf("api: create job %q: %w", name, err)
+	}
+	j := &Job{
+		client: c,
+		ID:     resp.JobID,
+		Name:   name,
+		JMNode: jmNode,
+		inbox:  msg.NewMailbox(0),
+		events: msg.NewMailbox(0),
+		done:   make(chan struct{}),
+	}
+	c.mu.Lock()
+	c.jobs[j.ID] = j
+	c.mu.Unlock()
+	c.logf("job %s created on %s", j.ID, jmNode)
+	return j, nil
+}
+
+func replyError(op string, reply *msg.Message) error {
+	var ev protocol.JobEvent
+	if err := protocol.Decode(reply, &ev); err == nil && ev.Err != "" {
+		return fmt.Errorf("api: %s: %s", op, ev.Err)
+	}
+	return fmt.Errorf("api: %s: request refused", op)
+}
+
+// Close detaches the client from the fabric. Jobs in flight are abandoned.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	jobs := make([]*Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	for _, j := range jobs {
+		j.inbox.Close()
+		j.events.Close()
+	}
+	return c.ep.Close()
+}
+
+// Job is a handle on one CN job hosted by a JobManager.
+type Job struct {
+	client *Client
+	// ID is the JobManager-assigned job id.
+	ID string
+	// Name is the user-assigned job name.
+	Name string
+	// JMNode is the hosting JobManager's node.
+	JMNode string
+
+	inbox  *msg.Mailbox // user messages addressed to the client
+	events *msg.Mailbox // task lifecycle events
+
+	mu       sync.Mutex
+	started  bool
+	finished bool
+	result   *Result
+	done     chan struct{}
+}
+
+// Result is a job's terminal status.
+type Result struct {
+	JobID    string
+	Failed   bool
+	Err      string
+	TaskErrs map[string]string
+}
+
+// Event is one task lifecycle notification.
+type Event struct {
+	Kind msg.Kind
+	Task string
+	Node string
+	Err  string
+}
+
+// CreateTask registers a task with the job; ar carries the task's archive
+// (may be nil when the class is pre-deployed on all nodes).
+func (j *Job) CreateTask(spec *task.Spec, ar *archive.Archive) error {
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("api: create task: %w", err)
+	}
+	req := protocol.CreateTaskReq{JobID: j.ID, Spec: spec}
+	if ar != nil {
+		req.ArchiveName = ar.Name
+		req.Archive = ar.Bytes()
+		req.Digest = ar.Digest()
+		if spec.Archive == "" {
+			spec.Archive = ar.Name
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
+	defer cancel()
+	cm := protocol.Body(msg.KindCreateTask,
+		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
+		msg.Address{Node: j.JMNode, Job: j.ID},
+		req)
+	reply, err := j.client.caller.Call(ctx, j.JMNode, cm)
+	if err != nil {
+		return fmt.Errorf("api: create task %q: %w", spec.Name, err)
+	}
+	if reply.Kind == msg.KindJobFailed {
+		return replyError(fmt.Sprintf("create task %q", spec.Name), reply)
+	}
+	return nil
+}
+
+// Start begins execution. With no arguments the whole job runs in
+// dependency order; otherwise only the named tasks (and their scheduling
+// graph) run.
+func (j *Job) Start(taskNames ...string) error {
+	j.mu.Lock()
+	if j.started {
+		j.mu.Unlock()
+		return fmt.Errorf("api: job %s already started", j.ID)
+	}
+	j.started = true
+	j.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
+	defer cancel()
+	sm := protocol.Body(msg.KindStartTask,
+		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
+		msg.Address{Node: j.JMNode, Job: j.ID},
+		protocol.StartJobReq{JobID: j.ID, TaskNames: taskNames})
+	reply, err := j.client.caller.Call(ctx, j.JMNode, sm)
+	if err != nil {
+		return fmt.Errorf("api: start job %s: %w", j.ID, err)
+	}
+	if reply.Kind == msg.KindJobFailed {
+		return replyError("start job", reply)
+	}
+	return nil
+}
+
+// recordEvent queues a lifecycle event.
+func (j *Job) recordEvent(kind msg.Kind, ev *protocol.TaskEvent) {
+	m := protocol.Body(kind, msg.Address{}, msg.Address{}, *ev)
+	if err := j.events.TryPut(m); err != nil {
+		// Events are advisory; dropping under pressure is acceptable.
+		return
+	}
+}
+
+// finish records the terminal job event and releases waiters.
+func (j *Job) finish(ev *protocol.JobEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.result = &Result{JobID: ev.JobID, Failed: ev.Failed, Err: ev.Err, TaskErrs: ev.TaskErrs}
+	close(j.done)
+}
+
+// Done returns a channel closed once the job reaches a terminal state.
+// Any user messages sent before termination are already queued when the
+// channel closes (the JobManager forwards per-job traffic in order).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.result, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("api: wait job %s: %w", j.ID, ctx.Err())
+	}
+}
+
+// Run is Start followed by Wait.
+func (j *Job) Run(ctx context.Context) (*Result, error) {
+	if err := j.Start(); err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// SendMessage delivers a user payload to a task ("Send Messages to Tasks").
+func (j *Job) SendMessage(toTask string, data []byte) error {
+	j.mu.Lock()
+	finished := j.finished
+	j.mu.Unlock()
+	if finished {
+		return ErrJobFinished
+	}
+	p := protocol.UserPayload{
+		JobID:    j.ID,
+		FromTask: protocol.ClientTaskName,
+		ToTask:   toTask,
+		Data:     data,
+	}
+	m := protocol.Body(msg.KindUser,
+		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
+		msg.Address{Node: j.JMNode, Job: j.ID, Task: toTask},
+		p)
+	if err := j.client.ep.Send(j.JMNode, m); err != nil {
+		return fmt.Errorf("api: send to %s: %w", toTask, err)
+	}
+	return nil
+}
+
+// GetMessage blocks for the next user message from any task ("Get Messages
+// from Tasks"), returning the sending task's name and the payload.
+func (j *Job) GetMessage(ctx context.Context) (string, []byte, error) {
+	m, err := j.inbox.GetContext(ctx)
+	if err != nil {
+		return "", nil, fmt.Errorf("api: get message: %w", err)
+	}
+	var p protocol.UserPayload
+	if err := protocol.Decode(m, &p); err != nil {
+		return "", nil, fmt.Errorf("api: get message: %w", err)
+	}
+	return p.FromTask, p.Data, nil
+}
+
+// TryGetMessage is GetMessage without blocking; ok is false when no message
+// is queued.
+func (j *Job) TryGetMessage() (from string, data []byte, ok bool, err error) {
+	m, err := j.inbox.TryGet()
+	if errors.Is(err, msg.ErrEmpty) {
+		return "", nil, false, nil
+	}
+	if err != nil {
+		return "", nil, false, fmt.Errorf("api: get message: %w", err)
+	}
+	var p protocol.UserPayload
+	if err := protocol.Decode(m, &p); err != nil {
+		return "", nil, false, fmt.Errorf("api: get message: %w", err)
+	}
+	return p.FromTask, p.Data, true, nil
+}
+
+// GetEvent blocks for the next task lifecycle event.
+func (j *Job) GetEvent(ctx context.Context) (*Event, error) {
+	m, err := j.events.GetContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("api: get event: %w", err)
+	}
+	var ev protocol.TaskEvent
+	if err := protocol.Decode(m, &ev); err != nil {
+		return nil, fmt.Errorf("api: get event: %w", err)
+	}
+	return &Event{Kind: m.Kind, Task: ev.Task, Node: ev.Node, Err: ev.Err}, nil
+}
+
+// Cancel abandons the job.
+func (j *Job) Cancel(reason string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
+	defer cancel()
+	cm := protocol.Body(msg.KindCancelJob,
+		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
+		msg.Address{Node: j.JMNode, Job: j.ID},
+		protocol.CancelJobReq{JobID: j.ID, Reason: reason})
+	reply, err := j.client.caller.Call(ctx, j.JMNode, cm)
+	if err != nil {
+		return fmt.Errorf("api: cancel job %s: %w", j.ID, err)
+	}
+	if reply.Kind == msg.KindJobFailed {
+		return replyError("cancel job", reply)
+	}
+	j.finish(&protocol.JobEvent{JobID: j.ID, Failed: true, Err: "cancelled: " + reason})
+	return nil
+}

@@ -1,0 +1,241 @@
+package archive
+
+import (
+	"archive/zip"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// newZip returns a zip writer over buf; split out so tests can fabricate
+// malformed archives.
+func newZip(buf io.Writer, t *testing.T) *zip.Writer {
+	t.Helper()
+	return zip.NewWriter(buf)
+}
+
+func buildSample(t *testing.T) *Archive {
+	t.Helper()
+	a, err := NewBuilder("tctask.jar", "org.jhpc.cn2.trnsclsrtask.TCTask").
+		Version("1.0").
+		Attribute("Built-By", "cn").
+		AddFile("data/readme.txt", []byte("worker task")).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return a
+}
+
+func TestBuildAndOpenRoundTrip(t *testing.T) {
+	a := buildSample(t)
+	if len(a.Bytes()) == 0 {
+		t.Fatal("empty archive bytes")
+	}
+	b, err := Open("tctask.jar", a.Bytes())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if b.Manifest.TaskClass != "org.jhpc.cn2.trnsclsrtask.TCTask" {
+		t.Errorf("TaskClass = %q", b.Manifest.TaskClass)
+	}
+	if b.Manifest.Version != "1.0" {
+		t.Errorf("Version = %q", b.Manifest.Version)
+	}
+	if b.Manifest.Attributes["Built-By"] != "cn" {
+		t.Errorf("Attributes = %v", b.Manifest.Attributes)
+	}
+	content, err := b.File("data/readme.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(content) != "worker task" {
+		t.Errorf("file content = %q", content)
+	}
+}
+
+func TestDigestStableAndTamperEvident(t *testing.T) {
+	a1 := buildSample(t)
+	a2 := buildSample(t)
+	// Deterministic builds may still differ via zip timestamps; digest must
+	// at least be stable for the same Archive value.
+	if a1.Digest() != a1.Digest() {
+		t.Error("digest not stable")
+	}
+	_ = a2
+	raw := append([]byte(nil), a1.Bytes()...)
+	raw[len(raw)-1] ^= 0xff
+	b, err := Open("tctask.jar", a1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := &Archive{Name: "t", raw: raw}
+	if b.Digest() == tampered.Digest() {
+		t.Error("tampered archive has identical digest")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("", "c.X").Build(); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewBuilder("a.jar", "").Build(); err == nil {
+		t.Error("empty class should fail")
+	}
+	if _, err := NewBuilder("a.jar", "c.X").AddFile(ManifestName, []byte("x")).Build(); err == nil {
+		t.Error("explicit manifest entry should fail")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("bad.jar", []byte("this is not a zip")); err == nil {
+		t.Error("non-zip bytes should fail")
+	}
+}
+
+func TestOpenMissingManifest(t *testing.T) {
+	// Build a zip without a manifest by hand.
+	var buf bytes.Buffer
+	zw := newZip(&buf, t)
+	w, err := zw.Create("only.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open("m.jar", buf.Bytes()); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("Open without manifest = %v", err)
+	}
+}
+
+func TestManifestParseErrors(t *testing.T) {
+	if _, err := parseManifest([]byte("NoColonHere\n")); err == nil {
+		t.Error("malformed manifest line should fail")
+	}
+	if _, err := parseManifest([]byte("Archive-Version: 1\n")); err == nil {
+		t.Error("manifest without Task-Class should fail")
+	}
+}
+
+func TestArchiveFileMissing(t *testing.T) {
+	a := buildSample(t)
+	if _, err := a.File("absent.txt"); err == nil {
+		t.Error("File of missing entry should fail")
+	}
+}
+
+func TestAddFileCopiesContent(t *testing.T) {
+	content := []byte("original")
+	b := NewBuilder("a.jar", "c.X").AddFile("f", content)
+	content[0] = 'X'
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.File("f")
+	if string(got) != "original" {
+		t.Errorf("AddFile did not copy: %q", got)
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	a := buildSample(t)
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("tctask.jar") {
+		t.Error("Has = false")
+	}
+	got, err := s.Get("tctask.jar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != a.Digest() {
+		t.Error("Get returned different archive")
+	}
+	// Re-putting identical content is fine.
+	if err := s.Put(a); err != nil {
+		t.Errorf("idempotent Put failed: %v", err)
+	}
+}
+
+func TestStoreConflict(t *testing.T) {
+	s := NewStore()
+	a, err := NewBuilder("x.jar", "c.A").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder("x.jar", "c.B").AddFile("extra", []byte("y")).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b); err == nil {
+		t.Error("conflicting Put should fail")
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.Put(nil); err == nil {
+		t.Error("Put(nil) should fail")
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("Get of absent archive should fail")
+	}
+	if s.Has("nope") {
+		t.Error("Has of absent archive")
+	}
+}
+
+func TestStoreNamesSorted(t *testing.T) {
+	s := NewStore()
+	for _, n := range []string{"z.jar", "a.jar", "m.jar"} {
+		a, err := NewBuilder(n, "c.X").Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a.jar" || names[2] != "z.jar" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(class string, file string, content []byte) bool {
+		if class == "" || file == "" || file == ManifestName ||
+			strings.ContainsAny(class, "\n\r") || strings.Contains(class, ": ") ||
+			strings.ContainsAny(file, "\n\r") {
+			return true // skip inputs outside the format's domain
+		}
+		a, err := NewBuilder("p.jar", class).AddFile(file, content).Build()
+		if err != nil {
+			return false
+		}
+		b, err := Open("p.jar", a.Bytes())
+		if err != nil {
+			return false
+		}
+		got, err := b.File(file)
+		if err != nil {
+			return false
+		}
+		return b.Manifest.TaskClass == class && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package cluster provides the simulated CN deployment harness: it boots N
+// CN servers on a shared fabric — the stand-in for the paper's "CN Servers
+// run on the various nodes of the cluster" deployment — and offers failure
+// injection and teardown for tests and benchmarks.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"cn/internal/metrics"
+	"cn/internal/server"
+	"cn/internal/task"
+	"cn/internal/transport"
+)
+
+// Transport selects the fabric implementation.
+type Transport int
+
+// Fabric choices.
+const (
+	// TransportMem is the in-memory simulated network (default).
+	TransportMem Transport = iota
+	// TransportTCP uses real loopback sockets.
+	TransportTCP
+)
+
+// Config parametrizes a simulated cluster.
+type Config struct {
+	// Nodes is the number of CN servers to boot (0 = 4).
+	Nodes int
+	// NodePrefix names nodes prefix1..prefixN (default "node").
+	NodePrefix string
+	// MemoryMB is each node's task capacity (0 = taskmgr default).
+	MemoryMB int
+	// MaxJobs caps jobs per JobManager (0 = jobmgr default).
+	MaxJobs int
+	// Transport selects the fabric.
+	Transport Transport
+	// Latency, Jitter, Loss, Seed configure the mem fabric's link model.
+	Latency time.Duration
+	Jitter  time.Duration
+	Loss    float64
+	Seed    int64
+	// Registry resolves task classes on every node (nil = task.Global).
+	Registry *task.Registry
+	// Logf receives server diagnostics; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a set of running CN servers on one fabric.
+type Cluster struct {
+	cfg     Config
+	network transport.Network
+	servers map[string]*server.Server
+	order   []string
+	reg     *metrics.Registry
+}
+
+// Start boots the cluster.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.NodePrefix == "" {
+		cfg.NodePrefix = "node"
+	}
+	var net transport.Network
+	switch cfg.Transport {
+	case TransportMem:
+		net = transport.NewMemNetwork(transport.MemConfig{
+			Latency: cfg.Latency,
+			Jitter:  cfg.Jitter,
+			Loss:    cfg.Loss,
+			Seed:    cfg.Seed,
+		})
+	case TransportTCP:
+		net = transport.NewTCPNetwork()
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %d", cfg.Transport)
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		network: net,
+		servers: make(map[string]*server.Server, cfg.Nodes),
+		reg:     metrics.NewRegistry(),
+	}
+	for i := 1; i <= cfg.Nodes; i++ {
+		name := fmt.Sprintf("%s%d", cfg.NodePrefix, i)
+		srv, err := server.Start(net, server.Config{
+			Node:     name,
+			MemoryMB: cfg.MemoryMB,
+			MaxJobs:  cfg.MaxJobs,
+			Registry: cfg.Registry,
+			Logf:     cfg.Logf,
+		})
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: start %s: %w", name, err)
+		}
+		c.servers[name] = srv
+		c.order = append(c.order, name)
+	}
+	return c, nil
+}
+
+// Network exposes the fabric so clients can attach.
+func (c *Cluster) Network() transport.Network { return c.network }
+
+// Metrics exposes the harness metric registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// Nodes returns the live node names in boot order.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, 0, len(c.order))
+	for _, n := range c.order {
+		if _, ok := c.servers[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Server returns the named node's server, or nil after it was killed.
+func (c *Cluster) Server(node string) *server.Server { return c.servers[node] }
+
+// KillNode abruptly removes a node from the cluster (failure injection):
+// its endpoint detaches and its managers stop. Messages in flight to the
+// node are dropped, like a machine losing power.
+func (c *Cluster) KillNode(node string) error {
+	srv, ok := c.servers[node]
+	if !ok {
+		return fmt.Errorf("cluster: kill %s: unknown or already dead node", node)
+	}
+	delete(c.servers, node)
+	return srv.Close()
+}
+
+// Stop shuts down every server and the fabric.
+func (c *Cluster) Stop() {
+	for name, srv := range c.servers {
+		_ = srv.Close()
+		delete(c.servers, name)
+	}
+	_ = c.network.Close()
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cn/internal/task"
+)
+
+func testRegistry() *task.Registry {
+	r := task.NewRegistry()
+	r.MustRegister("cluster.Noop", func() task.Task {
+		return task.Func(func(task.Context) error { return nil })
+	})
+	return r
+}
+
+func TestStartDefaults(t *testing.T) {
+	c, err := Start(Config{Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	nodes := c.Nodes()
+	if len(nodes) != 4 {
+		t.Errorf("default nodes = %v", nodes)
+	}
+	if nodes[0] != "node1" || nodes[3] != "node4" {
+		t.Errorf("names = %v", nodes)
+	}
+	if c.Network() == nil || c.Metrics() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+func TestStartCustomPrefix(t *testing.T) {
+	c, err := Start(Config{Nodes: 2, NodePrefix: "rack", Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if got := c.Nodes(); got[0] != "rack1" || got[1] != "rack2" {
+		t.Errorf("nodes = %v", got)
+	}
+	if c.Server("rack1") == nil {
+		t.Error("Server lookup failed")
+	}
+	if c.Server("ghost") != nil {
+		t.Error("ghost server found")
+	}
+}
+
+func TestKillNode(t *testing.T) {
+	c, err := Start(Config{Nodes: 3, Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.KillNode("node2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 2 {
+		t.Errorf("nodes after kill = %v", c.Nodes())
+	}
+	if err := c.KillNode("node2"); err == nil {
+		t.Error("double kill accepted")
+	}
+	if err := c.KillNode("ghost"); err == nil {
+		t.Error("killing unknown node accepted")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	c, err := Start(Config{Nodes: 2, Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop() // must not panic
+	if len(c.Nodes()) != 0 {
+		t.Errorf("nodes after stop = %v", c.Nodes())
+	}
+}
+
+func TestBadTransport(t *testing.T) {
+	if _, err := Start(Config{Transport: Transport(99), Registry: testRegistry()}); err == nil {
+		t.Error("bad transport accepted")
+	}
+}
+
+func TestTCPCluster(t *testing.T) {
+	c, err := Start(Config{Nodes: 2, Transport: TransportTCP, Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if len(c.Nodes()) != 2 {
+		t.Errorf("nodes = %v", c.Nodes())
+	}
+}
+
+func TestLinkModelCluster(t *testing.T) {
+	c, err := Start(Config{
+		Nodes:    2,
+		Registry: testRegistry(),
+		Latency:  time.Millisecond,
+		Jitter:   time.Millisecond,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if len(c.Nodes()) != 2 {
+		t.Errorf("nodes = %v", c.Nodes())
+	}
+}

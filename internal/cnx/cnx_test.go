@@ -1,0 +1,344 @@
+package cnx
+
+import (
+	"strings"
+	"testing"
+
+	"cn/internal/task"
+)
+
+// fig2 is the paper's Figure 2 client descriptor for transitive closure,
+// with the paper's typo fixed (tctask1 listed depends="tctask1" which is a
+// self-dependency; the surrounding text and tctask5 show the intent was
+// depends="tctask0").
+const fig2 = `<?xml version="1.0"?>
+<cn2>
+<client class="TransClosure" log="CN_Client1047909210005.log" port="5666">
+<job>
+<task name="tctask0" jar="tasksplit.jar"
+class="org.jhpc.cn2.transcloser.TaskSplit" depends="">
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+<param type="String">matrix.txt</param>
+</task>
+<task name="tctask1" jar="tctask.jar"
+class="org.jhpc.cn2.trnsclsrtask.TCTask" depends="tctask0">
+<param type="Integer">1</param>
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+</task>
+<task name="tctask5" jar="tctask.jar"
+class="org.jhpc.cn2.trnsclsrtask.TCTask" depends="tctask0">
+<param type="Integer">5</param>
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+</task>
+<task name="tctask999" jar="taskjoin.jar"
+class="org.jhpc.cn2.transcloser.TaskJoin"
+depends="tctask1,tctask5">
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+<param type="String">matrix.txt</param>
+</task>
+</job>
+</client>
+</cn2>`
+
+func parseFig2(t *testing.T) *Document {
+	t.Helper()
+	doc, err := ParseString(fig2)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return doc
+}
+
+func TestParseFig2(t *testing.T) {
+	doc := parseFig2(t)
+	if doc.Client.Class != "TransClosure" {
+		t.Errorf("client class = %q", doc.Client.Class)
+	}
+	if doc.Client.Port != 5666 {
+		t.Errorf("port = %d", doc.Client.Port)
+	}
+	if doc.Client.Log != "CN_Client1047909210005.log" {
+		t.Errorf("log = %q", doc.Client.Log)
+	}
+	if len(doc.Client.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(doc.Client.Jobs))
+	}
+	job := &doc.Client.Jobs[0]
+	if len(job.Tasks) != 4 {
+		t.Fatalf("tasks = %d", len(job.Tasks))
+	}
+	split := job.Task("tctask0")
+	if split == nil || split.Jar != "tasksplit.jar" || split.Class != "org.jhpc.cn2.transcloser.TaskSplit" {
+		t.Errorf("tctask0 = %+v", split)
+	}
+	if len(split.DependsList()) != 0 {
+		t.Errorf("tctask0 depends = %v", split.DependsList())
+	}
+	join := job.Task("tctask999")
+	if got := join.DependsList(); len(got) != 2 || got[0] != "tctask1" || got[1] != "tctask5" {
+		t.Errorf("join depends = %v", got)
+	}
+}
+
+func TestFig2Validate(t *testing.T) {
+	doc := parseFig2(t)
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if doc.Client.Jobs[0].Name != "job0" {
+		t.Errorf("unnamed job assigned %q", doc.Client.Jobs[0].Name)
+	}
+}
+
+func TestFig2Specs(t *testing.T) {
+	doc := parseFig2(t)
+	specs, err := doc.Client.Jobs[0].Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	w := specs[1]
+	if w.Name != "tctask1" || w.Class != "org.jhpc.cn2.trnsclsrtask.TCTask" {
+		t.Errorf("spec = %+v", w)
+	}
+	if w.Req.MemoryMB != 1000 || w.Req.RunModel != task.RunAsThreadInTM {
+		t.Errorf("req = %+v", w.Req)
+	}
+	if n, err := w.Params[0].Int(); err != nil || n != 1 {
+		t.Errorf("param = %v, %v", n, err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc := parseFig2(t)
+	s, err := doc.EncodeString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if doc2.Client.Class != doc.Client.Class || len(doc2.Client.Jobs[0].Tasks) != 4 {
+		t.Error("round trip lost structure")
+	}
+	j2 := &doc2.Client.Jobs[0]
+	if got := j2.Task("tctask1").Params[0]; got.Type != "Integer" || strings.TrimSpace(got.Value) != "1" {
+		t.Errorf("param after round trip = %+v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString("not xml at all <"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"no class", `<cn2><client><job><task name="a" class="X"/></job></client></cn2>`},
+		{"no jobs", `<cn2><client class="C"></client></cn2>`},
+		{"no tasks", `<cn2><client class="C"><job></job></client></cn2>`},
+		{"no task name", `<cn2><client class="C"><job><task class="X"/></job></client></cn2>`},
+		{"dup task", `<cn2><client class="C"><job><task name="a" class="X"/><task name="a" class="Y"/></job></client></cn2>`},
+		{"no task class", `<cn2><client class="C"><job><task name="a"/></job></client></cn2>`},
+		{"self dep", `<cn2><client class="C"><job><task name="a" class="X" depends="a"/></job></client></cn2>`},
+		{"unknown dep", `<cn2><client class="C"><job><task name="a" class="X" depends="ghost"/></job></client></cn2>`},
+		{"cycle", `<cn2><client class="C"><job><task name="a" class="X" depends="b"/><task name="b" class="Y" depends="a"/></job></client></cn2>`},
+	}
+	for _, c := range cases {
+		doc, err := ParseString(c.doc)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if err := doc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid document", c.name)
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	doc := parseFig2(t)
+	job := &doc.Client.Jobs[0]
+	order, err := job.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["tctask0"] > pos["tctask1"] || pos["tctask0"] > pos["tctask5"] {
+		t.Errorf("split not before workers: %v", order)
+	}
+	if pos["tctask1"] > pos["tctask999"] || pos["tctask5"] > pos["tctask999"] {
+		t.Errorf("workers not before join: %v", order)
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	doc := parseFig2(t)
+	job := &doc.Client.Jobs[0]
+	a, err := job.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := job.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("orders differ: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	doc := parseFig2(t)
+	job := &doc.Client.Jobs[0]
+	roots := job.Roots()
+	if len(roots) != 1 || roots[0] != "tctask0" {
+		t.Errorf("Roots = %v", roots)
+	}
+	leaves := job.Leaves()
+	if len(leaves) != 1 || leaves[0] != "tctask999" {
+		t.Errorf("Leaves = %v", leaves)
+	}
+}
+
+func TestArchiveNames(t *testing.T) {
+	doc := parseFig2(t)
+	got := doc.Client.Jobs[0].ArchiveNames()
+	want := []string{"tasksplit.jar", "taskjoin.jar", "tctask.jar"}
+	if len(got) != 3 {
+		t.Fatalf("ArchiveNames = %v", got)
+	}
+	// sorted
+	if got[0] != "taskjoin.jar" || got[1] != "tasksplit.jar" || got[2] != "tctask.jar" {
+		t.Errorf("ArchiveNames = %v, want sorted %v", got, want)
+	}
+}
+
+func TestDependsListWhitespace(t *testing.T) {
+	d := TaskDecl{Depends: " a , b ,, c "}
+	got := d.DependsList()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("DependsList = %v", got)
+	}
+}
+
+func TestSpecDefaultsWhenNoReq(t *testing.T) {
+	d := TaskDecl{Name: "t", Class: "c.X"}
+	s, err := d.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Req != task.DefaultRequirements() {
+		t.Errorf("req = %+v", s.Req)
+	}
+}
+
+func TestSpecBadRunModel(t *testing.T) {
+	d := TaskDecl{Name: "t", Class: "c.X", Req: &ReqXML{RunModel: "RUN_ON_MARS"}}
+	if _, err := d.Spec(); err == nil {
+		t.Error("bad run model accepted")
+	}
+}
+
+func TestSpecBadParamType(t *testing.T) {
+	d := TaskDecl{Name: "t", Class: "c.X", Params: []Param{{Type: "java.util.List", Value: "x"}}}
+	if _, err := d.Spec(); err == nil {
+		t.Error("bad param type accepted")
+	}
+}
+
+func TestFromSpecRoundTrip(t *testing.T) {
+	s := &task.Spec{
+		Name:      "w1",
+		Archive:   "w.jar",
+		Class:     "c.W",
+		DependsOn: []string{"split"},
+		Params:    []task.Param{{Type: task.TypeInteger, Value: "3"}},
+		Req:       task.Requirements{MemoryMB: 512, RunModel: task.RunAsProcess},
+	}
+	d := FromSpec(s)
+	s2, err := d.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name != s.Name || s2.Class != s.Class || s2.Archive != s.Archive {
+		t.Errorf("round trip: %+v", s2)
+	}
+	if len(s2.DependsOn) != 1 || s2.DependsOn[0] != "split" {
+		t.Errorf("depends: %v", s2.DependsOn)
+	}
+	if s2.Req.MemoryMB != 512 || s2.Req.RunModel != task.RunAsProcess {
+		t.Errorf("req: %+v", s2.Req)
+	}
+	if n, _ := s2.Params[0].Int(); n != 3 {
+		t.Errorf("param: %+v", s2.Params)
+	}
+}
+
+func TestMultiJobDocument(t *testing.T) {
+	src := `<cn2><client class="C">
+	  <job name="first"><task name="a" class="X"/></job>
+	  <job><task name="b" class="Y"/></job>
+	</client></cn2>`
+	doc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Client.Jobs[0].Name != "first" {
+		t.Errorf("job0 name = %q", doc.Client.Jobs[0].Name)
+	}
+	if doc.Client.Jobs[1].Name != "job1" {
+		t.Errorf("job1 assigned name = %q", doc.Client.Jobs[1].Name)
+	}
+}
+
+func TestDiamondTopo(t *testing.T) {
+	src := `<cn2><client class="C"><job>
+	  <task name="top" class="X"/>
+	  <task name="l" class="X" depends="top"/>
+	  <task name="r" class="X" depends="top"/>
+	  <task name="bottom" class="X" depends="l,r"/>
+	</job></client></cn2>`
+	doc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := doc.Client.Jobs[0].TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "top" || order[len(order)-1] != "bottom" {
+		t.Errorf("diamond order = %v", order)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Builder is the fluent construction API for activity graphs — the
+// programmatic equivalent of the paper's "CN Intelligent Object Editor"
+// GUI. Errors are accumulated; Build reports the first one.
+//
+//	g, err := core.NewBuilder("transclosure").
+//	    Initial("start").
+//	    Action("split", core.Tags(core.TagJar, "tasksplit.jar", core.TagClass, "TaskSplit")).
+//	    Fork("fork1").
+//	    Action("w1", tags).Action("w2", tags).
+//	    Join("join1").
+//	    Action("join", joinTags).
+//	    Final("end").
+//	    Flow("start", "split").Flow("split", "fork1").
+//	    Flow("fork1", "w1").Flow("fork1", "w2").
+//	    Flow("w1", "join1").Flow("w2", "join1").
+//	    Flow("join1", "join").Flow("join", "end").
+//	    Build()
+type Builder struct {
+	g   *Graph
+	err error
+}
+
+// NewBuilder starts building an activity graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: NewGraph(name)}
+}
+
+// Tags builds a TaggedValues map from alternating key/value strings;
+// it panics on an odd argument count (programming error).
+func Tags(kv ...string) TaggedValues {
+	if len(kv)%2 != 0 {
+		panic("core: Tags requires an even number of arguments")
+	}
+	tv := make(TaggedValues, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		tv[kv[i]] = kv[i+1]
+	}
+	return tv
+}
+
+// TaskTags builds the standard tag set for a CN task: archive, class,
+// memory and run model, plus indexed parameters appended with AddParam.
+func TaskTags(jar, class string, memoryMB int, runModel string) TaggedValues {
+	return TaggedValues{
+		TagJar:      jar,
+		TagClass:    class,
+		TagMemory:   strconv.Itoa(memoryMB),
+		TagRunModel: runModel,
+	}
+}
+
+func (b *Builder) add(n *Node) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if err := b.g.AddNode(n); err != nil {
+		b.err = err
+	}
+	return b
+}
+
+// Initial adds the initial pseudostate.
+func (b *Builder) Initial(name string) *Builder {
+	return b.add(&Node{Name: name, Kind: KindInitial})
+}
+
+// Final adds a final state.
+func (b *Builder) Final(name string) *Builder {
+	return b.add(&Node{Name: name, Kind: KindFinal})
+}
+
+// Action adds an action state carrying tagged values.
+func (b *Builder) Action(name string, tags TaggedValues) *Builder {
+	return b.add(&Node{Name: name, Kind: KindAction, Tagged: tags.Clone()})
+}
+
+// DynamicAction adds a dynamic-invocation action state (Figure 5) with the
+// given multiplicity ("*" or a number) and run-time argument expression.
+func (b *Builder) DynamicAction(name string, tags TaggedValues, multiplicity, argExpr string) *Builder {
+	if multiplicity == "" {
+		multiplicity = "*"
+	}
+	return b.add(&Node{
+		Name:         name,
+		Kind:         KindAction,
+		Tagged:       tags.Clone(),
+		Dynamic:      true,
+		Multiplicity: multiplicity,
+		ArgExpr:      argExpr,
+	})
+}
+
+// Fork adds a fork pseudostate.
+func (b *Builder) Fork(name string) *Builder {
+	return b.add(&Node{Name: name, Kind: KindFork})
+}
+
+// Join adds a join pseudostate.
+func (b *Builder) Join(name string) *Builder {
+	return b.add(&Node{Name: name, Kind: KindJoin})
+}
+
+// Flow adds a transition from -> to.
+func (b *Builder) Flow(from, to string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if err := b.g.AddTransition(from, to); err != nil {
+		b.err = err
+	}
+	return b
+}
+
+// Flows adds a chain of transitions: Flows("a","b","c") == a->b, b->c.
+func (b *Builder) Flows(names ...string) *Builder {
+	for i := 0; i+1 < len(names); i++ {
+		b.Flow(names[i], names[i+1])
+	}
+	return b
+}
+
+// FanOut adds transitions from one source to every listed target.
+func (b *Builder) FanOut(from string, tos ...string) *Builder {
+	for _, to := range tos {
+		b.Flow(from, to)
+	}
+	return b
+}
+
+// FanIn adds transitions from every listed source to one target.
+func (b *Builder) FanIn(to string, froms ...string) *Builder {
+	for _, from := range froms {
+		b.Flow(from, to)
+	}
+	return b
+}
+
+// Err returns the accumulated error without finishing the build.
+func (b *Builder) Err() error { return b.err }
+
+// Build validates and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build but panics on error; for tests and examples whose
+// graphs are static.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// SplitWorkerJoin constructs the paper's canonical pattern (Figure 3): a
+// splitter action, a fork, `workers` worker actions executing concurrently,
+// a join, and a joiner action. Worker names are prefix1..prefixN and each
+// worker receives its 1-based index as an Integer parameter, exactly like
+// the TCTask workers ("whose parameter pvalue0 has value 2").
+func SplitWorkerJoin(jobName string, split, join TaggedValues, workerPrefix string, worker TaggedValues, workers int) (*Graph, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("core: split/worker/join needs >= 1 worker, got %d", workers)
+	}
+	b := NewBuilder(jobName).
+		Initial("initial").
+		Action("split", split)
+	workerNames := make([]string, workers)
+	for i := 1; i <= workers; i++ {
+		name := fmt.Sprintf("%s%d", workerPrefix, i)
+		workerNames[i-1] = name
+		wt := worker.Clone()
+		if wt == nil {
+			wt = TaggedValues{}
+		}
+		wt.SetParam(0, "Integer", strconv.Itoa(i))
+		b.Action(name, wt)
+	}
+	b.Action("join", join).Final("final").Flow("initial", "split")
+	if workers == 1 {
+		// A single worker needs no fork/join pseudostates.
+		b.Flows("split", workerNames[0], "join", "final")
+		return b.Build()
+	}
+	b.Fork("fork").
+		Join("joinbar").
+		Flow("split", "fork").
+		FanOut("fork", workerNames...).
+		FanIn("joinbar", workerNames...).
+		Flows("joinbar", "join", "final")
+	return b.Build()
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cn/internal/task"
+)
+
+// Dynamic invocation (paper Figure 5): "the number of concurrent
+// invocations of a task [is left] open until run time, dependent on system
+// load or other external factors. ... The number of concurrent invocations
+// is determined by a run-time expression that evaluates to a set of actual
+// argument lists, one for each invocation."
+//
+// ArgProvider is that run-time expression: given the expression name from
+// the model (Node.ArgExpr), it returns one argument list per invocation.
+type ArgProvider func(argExpr string) ([][]task.Param, error)
+
+// FixedArgs returns an ArgProvider that ignores the expression and produces
+// n invocations whose single argument is the 1-based invocation index — the
+// common "one worker per row block" pattern of the guiding example.
+func FixedArgs(n int) ArgProvider {
+	return func(string) ([][]task.Param, error) {
+		if n < 0 {
+			return nil, fmt.Errorf("core: fixed args: negative count %d", n)
+		}
+		lists := make([][]task.Param, n)
+		for i := range lists {
+			lists[i] = []task.Param{{Type: task.TypeInteger, Value: strconv.Itoa(i + 1)}}
+		}
+		return lists, nil
+	}
+}
+
+// ArgTable returns an ArgProvider backed by a static table of expression
+// name -> argument lists.
+func ArgTable(table map[string][][]task.Param) ArgProvider {
+	return func(expr string) ([][]task.Param, error) {
+		lists, ok := table[expr]
+		if !ok {
+			return nil, fmt.Errorf("core: argument expression %q not defined", expr)
+		}
+		return lists, nil
+	}
+}
+
+// checkMultiplicity verifies that the invocation count n satisfies the
+// node's multiplicity expression: "*" means zero or more, "1..*" one or
+// more, and a bare integer an exact count.
+func checkMultiplicity(mult string, n int) error {
+	switch mult {
+	case "", "*", "0..*":
+		if n < 0 {
+			return fmt.Errorf("core: negative invocation count %d", n)
+		}
+		return nil
+	case "1..*":
+		if n < 1 {
+			return fmt.Errorf("core: multiplicity 1..* requires at least one invocation, got %d", n)
+		}
+		return nil
+	default:
+		want, err := strconv.Atoi(mult)
+		if err != nil {
+			return fmt.Errorf("core: unsupported multiplicity %q", mult)
+		}
+		if n != want {
+			return fmt.Errorf("core: multiplicity %d but argument expression produced %d invocations", want, n)
+		}
+		return nil
+	}
+}
+
+// ExpandDynamic rewrites g into a new graph in which every dynamic action
+// state is replaced by the concrete invocations its argument expression
+// yields at run time. Replacement preserves the original state's tagged
+// values (each invocation's parameters are overridden by its argument
+// list), and rewires incoming and outgoing transitions to all replicas —
+// the fork/join semantics the diagram notation implies. A dynamic state
+// expanding to zero invocations short-circuits: its predecessors connect
+// directly to its successors.
+func ExpandDynamic(g *Graph, provide ArgProvider) (*Graph, error) {
+	if provide == nil {
+		provide = FixedArgs(0)
+	}
+	out := NewGraph(g.Name)
+	// First pass: copy static nodes, expand dynamic ones.
+	replicas := make(map[string][]string) // dynamic node -> replica names
+	for _, n := range g.Nodes() {
+		if !n.Dynamic {
+			cp := *n
+			cp.Tagged = n.Tagged.Clone()
+			if err := out.AddNode(&cp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		lists, err := provide(n.ArgExpr)
+		if err != nil {
+			return nil, fmt.Errorf("core: expand %q: %w", n.Name, err)
+		}
+		if err := checkMultiplicity(n.Multiplicity, len(lists)); err != nil {
+			return nil, fmt.Errorf("core: expand %q: %w", n.Name, err)
+		}
+		for i, args := range lists {
+			name := fmt.Sprintf("%s%d", n.Name, i+1)
+			tags := n.Tagged.Clone()
+			if tags == nil {
+				tags = TaggedValues{}
+			}
+			// Strip the template's own parameters, then apply this
+			// invocation's argument list.
+			for k := range tags {
+				var idx int
+				if _, err := fmt.Sscanf(k, TagPTypePrefix+"%d", &idx); err == nil {
+					delete(tags, k)
+				}
+				if _, err := fmt.Sscanf(k, TagPValuePrefix+"%d", &idx); err == nil {
+					delete(tags, k)
+				}
+			}
+			for j, p := range args {
+				tags.SetParam(j, string(p.Type), p.Value)
+			}
+			rep := &Node{Name: name, Kind: KindAction, Tagged: tags}
+			if err := out.AddNode(rep); err != nil {
+				return nil, err
+			}
+			replicas[n.Name] = append(replicas[n.Name], name)
+		}
+		if len(lists) == 0 {
+			replicas[n.Name] = nil
+		}
+	}
+	// Second pass: rewire transitions.
+	expandEnds := func(name string) []string {
+		if reps, ok := replicas[name]; ok {
+			return reps
+		}
+		return []string{name}
+	}
+	for _, e := range g.Transitions() {
+		froms := expandEnds(e.From)
+		tos := expandEnds(e.To)
+		// Zero-replica endpoints short-circuit through the dynamic state.
+		if len(froms) == 0 {
+			froms = nil
+			for _, p := range g.Predecessors(e.From) {
+				froms = append(froms, expandEnds(p)...)
+			}
+		}
+		if len(tos) == 0 {
+			tos = nil
+			for _, s := range g.Successors(e.To) {
+				tos = append(tos, expandEnds(s)...)
+			}
+		}
+		for _, f := range froms {
+			for _, t := range tos {
+				if f == t {
+					continue
+				}
+				if err := out.AddGuardedTransition(f, t, e.Guard); err != nil {
+					// Duplicate edges can arise from short-circuiting; they
+					// are harmless.
+					if !isDuplicateEdge(err) {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func isDuplicateEdge(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "duplicate")
+}

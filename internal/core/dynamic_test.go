@@ -1,0 +1,218 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cn/internal/task"
+)
+
+// fig5 builds the paper's Figure 5: transitive closure with a dynamic
+// invocation worker state whose multiplicity is "*" and whose argument
+// lists are supplied at run time.
+func fig5(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder("transclosure-dynamic").
+		Initial("initial").
+		Action("split", TaskTags("tasksplit.jar", "org.jhpc.cn2.transcloser.TaskSplit", 1000, "RUN_AS_THREAD_IN_TM")).
+		DynamicAction("tctask", TaskTags("tctask.jar", "org.jhpc.cn2.trnsclsrtask.TCTask", 1000, "RUN_AS_THREAD_IN_TM"), "*", "rowBlocks").
+		Action("join", TaskTags("taskjoin.jar", "org.jhpc.cn2.transcloser.TaskJoin", 1000, "RUN_AS_THREAD_IN_TM")).
+		Final("final").
+		Flows("initial", "split", "tctask", "join", "final").
+		Build()
+	if err != nil {
+		t.Fatalf("fig5 build: %v", err)
+	}
+	return g
+}
+
+func TestFig5DynamicState(t *testing.T) {
+	g := fig5(t)
+	n := g.Node("tctask")
+	if !n.Dynamic || n.Multiplicity != "*" || n.ArgExpr != "rowBlocks" {
+		t.Errorf("dynamic state = %+v", n)
+	}
+}
+
+func TestExpandDynamicFixed(t *testing.T) {
+	g := fig5(t)
+	expanded, err := ExpandDynamic(g, FixedArgs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := expanded.Validate(); err != nil {
+		t.Fatalf("expanded graph invalid: %v", err)
+	}
+	actions := expanded.ActionStates()
+	if len(actions) != 6 { // split + 4 workers + join
+		t.Fatalf("expanded actions = %d", len(actions))
+	}
+	deps, err := expanded.Dependencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		name := "tctask" + string(rune('0'+i))
+		if got := deps[name]; len(got) != 1 || got[0] != "split" {
+			t.Errorf("%s deps = %v", name, got)
+		}
+	}
+	if got := deps["join"]; len(got) != 4 {
+		t.Errorf("join deps = %v", got)
+	}
+	// Each replica carries its index as pvalue0 (Figure 4 convention).
+	p, err := expanded.Node("tctask3").Tagged.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p[0].Int(); v != 3 {
+		t.Errorf("tctask3 param = %v", p)
+	}
+	// Replicas are plain action states, not dynamic.
+	if expanded.Node("tctask1").Dynamic {
+		t.Error("replica still marked dynamic")
+	}
+}
+
+func TestExpandDynamicArgTable(t *testing.T) {
+	g := fig5(t)
+	table := map[string][][]task.Param{
+		"rowBlocks": {
+			{{Type: task.TypeInteger, Value: "10"}, {Type: task.TypeString, Value: "blockA"}},
+			{{Type: task.TypeInteger, Value: "20"}, {Type: task.TypeString, Value: "blockB"}},
+		},
+	}
+	expanded, err := ExpandDynamic(g, ArgTable(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := expanded.Node("tctask2").Tagged.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p[0].Value != "20" || p[1].Value != "blockB" {
+		t.Errorf("tctask2 params = %v", p)
+	}
+}
+
+func TestExpandDynamicUnknownExpr(t *testing.T) {
+	g := fig5(t)
+	if _, err := ExpandDynamic(g, ArgTable(nil)); err == nil {
+		t.Error("unknown argument expression accepted")
+	}
+}
+
+func TestExpandDynamicZeroInvocationsShortCircuits(t *testing.T) {
+	g := fig5(t)
+	expanded, err := ExpandDynamic(g, FixedArgs(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps, err := expanded.Dependencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero workers, join depends directly on split.
+	if got := deps["join"]; len(got) != 1 || got[0] != "split" {
+		t.Errorf("join deps = %v, want [split]", got)
+	}
+}
+
+func TestExpandDynamicStaticGraphUnchanged(t *testing.T) {
+	g := NewBuilder("static").
+		Initial("i").Action("a", Tags(TagClass, "A")).Final("f").
+		Flows("i", "a", "f").MustBuild()
+	out, err := ExpandDynamic(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Nodes()) != 3 || len(out.Transitions()) != 2 {
+		t.Errorf("static graph changed: %s", out)
+	}
+}
+
+func TestExpandPreservesNonParamTags(t *testing.T) {
+	g := fig5(t)
+	expanded, err := ExpandDynamic(g, FixedArgs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := expanded.Node("tctask1")
+	if n.Tagged.Get(TagJar) != "tctask.jar" {
+		t.Errorf("jar tag lost: %v", n.Tagged)
+	}
+	if n.Tagged.Get(TagClass) != "org.jhpc.cn2.trnsclsrtask.TCTask" {
+		t.Errorf("class tag lost: %v", n.Tagged)
+	}
+}
+
+func TestExpandOverridesTemplateParams(t *testing.T) {
+	tags := TaskTags("w.jar", "W", 100, "RUN_AS_THREAD_IN_TM")
+	tags.SetParam(0, "String", "template-param")
+	g, err := NewBuilder("j").
+		Initial("i").
+		DynamicAction("w", tags, "*", "args").
+		Final("f").
+		Flows("i", "w", "f").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := ExpandDynamic(g, FixedArgs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := expanded.Node("w1").Tagged.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].Value != "1" || p[0].Type != task.TypeInteger {
+		t.Errorf("params = %v, want replaced by invocation args", p)
+	}
+}
+
+func TestCheckMultiplicity(t *testing.T) {
+	cases := []struct {
+		mult string
+		n    int
+		ok   bool
+	}{
+		{"*", 0, true},
+		{"*", 7, true},
+		{"", 3, true},
+		{"0..*", 0, true},
+		{"1..*", 0, false},
+		{"1..*", 1, true},
+		{"4", 4, true},
+		{"4", 3, false},
+		{"x..y", 1, false},
+		{"*", -1, false},
+	}
+	for _, c := range cases {
+		err := checkMultiplicity(c.mult, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("checkMultiplicity(%q, %d) = %v, want ok=%v", c.mult, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestExpandMultiplicityViolation(t *testing.T) {
+	g, err := NewBuilder("j").
+		Initial("i").
+		DynamicAction("w", Tags(TagClass, "W"), "3", "args").
+		Final("f").
+		Flows("i", "w", "f").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpandDynamic(g, FixedArgs(2)); err == nil || !strings.Contains(err.Error(), "multiplicity") {
+		t.Errorf("multiplicity violation = %v", err)
+	}
+}
+
+func TestFixedArgsNegative(t *testing.T) {
+	if _, err := FixedArgs(-1)(""); err == nil {
+		t.Error("negative FixedArgs accepted")
+	}
+}

@@ -1,0 +1,542 @@
+// Package core implements the paper's primary contribution: modeling CN
+// job/task composition as UML activity graphs.
+//
+// "An activity graph is a state machine whose states represent actions or
+// subactivities and where transitions out of states are triggered by the
+// completion of the corresponding actions." Each CN job is an activity,
+// each task an action state, and dependencies among tasks are transitions
+// between action states (paper §4). Fork and join pseudostates express
+// explicit concurrency (Figure 3); dynamic invocation leaves the number of
+// concurrent task invocations open until run time (Figure 5); tagged values
+// carry the task configuration a CNX descriptor needs (Figure 4).
+//
+// The package provides the graph model, a fluent builder, structural
+// validation, and the pseudostate-collapsing dependency analysis the
+// XMI-to-CNX transformation relies on.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind classifies activity-graph vertices.
+type NodeKind int
+
+// Vertex kinds. Initial/Final/Fork/Join are UML pseudostates (or final
+// states); ActionState is the only kind that maps to a CN task.
+const (
+	// KindInvalid is the zero NodeKind.
+	KindInvalid NodeKind = iota
+	// KindInitial is the activity's initial pseudostate (exactly one).
+	KindInitial
+	// KindFinal is an activity final state.
+	KindFinal
+	// KindAction is an action state: one CN task.
+	KindAction
+	// KindFork is a fork pseudostate splitting control flow.
+	KindFork
+	// KindJoin is a join pseudostate synchronizing control flow.
+	KindJoin
+)
+
+var kindNames = map[NodeKind]string{
+	KindInvalid: "invalid",
+	KindInitial: "initial",
+	KindFinal:   "final",
+	KindAction:  "action",
+	KindFork:    "fork",
+	KindJoin:    "join",
+}
+
+// String returns the lowercase kind name.
+func (k NodeKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Node is one vertex of an activity graph.
+type Node struct {
+	// Name is unique within the graph (for action states it becomes the CN
+	// task name).
+	Name string
+	// Kind classifies the vertex.
+	Kind NodeKind
+	// Tagged carries UML tagged values (only meaningful on action states).
+	Tagged TaggedValues
+	// Dynamic marks a dynamic-invocation action state (Figure 5): the
+	// number of concurrent invocations is determined at run time.
+	Dynamic bool
+	// Multiplicity is the dynamic invocation multiplicity expression, e.g.
+	// "*" (zero or more) or "4". Empty means "*" for dynamic states.
+	Multiplicity string
+	// ArgExpr names the run-time argument expression evaluated to a set of
+	// actual argument lists, one per invocation.
+	ArgExpr string
+}
+
+// IsPseudo reports whether the node is a non-action vertex.
+func (n *Node) IsPseudo() bool { return n.Kind != KindAction }
+
+// Transition is a directed edge; From and To are node names. Guard is an
+// optional guard expression label (unused by CN but preserved round-trip).
+type Transition struct {
+	From, To string
+	Guard    string
+}
+
+// Graph is a UML activity graph modeling one CN job (or a whole client when
+// composed of nested activities; the paper composes multi-job clients as
+// activities performing jobs in partial order — we model that as one graph
+// per job plus a client-level ordering, see Client in this package).
+type Graph struct {
+	// Name is the activity name (job name).
+	Name string
+
+	nodes map[string]*Node
+	order []string // insertion order for deterministic output
+	out   map[string][]string
+	in    map[string][]string
+	edges []Transition
+}
+
+// NewGraph creates an empty activity graph.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:  name,
+		nodes: make(map[string]*Node),
+		out:   make(map[string][]string),
+		in:    make(map[string][]string),
+	}
+}
+
+// AddNode inserts a node; names must be unique and non-empty.
+func (g *Graph) AddNode(n *Node) error {
+	if n == nil || n.Name == "" {
+		return errors.New("core: add node: empty name")
+	}
+	if n.Kind == KindInvalid {
+		return fmt.Errorf("core: add node %q: invalid kind", n.Name)
+	}
+	if _, dup := g.nodes[n.Name]; dup {
+		return fmt.Errorf("core: add node %q: duplicate name", n.Name)
+	}
+	g.nodes[n.Name] = n
+	g.order = append(g.order, n.Name)
+	return nil
+}
+
+// AddTransition inserts a directed edge between existing nodes.
+func (g *Graph) AddTransition(from, to string) error {
+	return g.AddGuardedTransition(from, to, "")
+}
+
+// AddGuardedTransition inserts a directed edge carrying a guard label.
+func (g *Graph) AddGuardedTransition(from, to, guard string) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("core: transition %s->%s: unknown source", from, to)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("core: transition %s->%s: unknown target", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("core: transition %s->%s: self-loop", from, to)
+	}
+	for _, succ := range g.out[from] {
+		if succ == to {
+			return fmt.Errorf("core: transition %s->%s: duplicate", from, to)
+		}
+	}
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+	g.edges = append(g.edges, Transition{From: from, To: to, Guard: guard})
+	return nil
+}
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.nodes[name] }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, n := range g.order {
+		out = append(out, g.nodes[n])
+	}
+	return out
+}
+
+// Transitions returns all edges in insertion order.
+func (g *Graph) Transitions() []Transition {
+	return append([]Transition(nil), g.edges...)
+}
+
+// ActionStates returns the action-state nodes in insertion order.
+func (g *Graph) ActionStates() []*Node {
+	var out []*Node
+	for _, name := range g.order {
+		if n := g.nodes[name]; n.Kind == KindAction {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Successors returns the names of direct successors of the node.
+func (g *Graph) Successors(name string) []string {
+	return append([]string(nil), g.out[name]...)
+}
+
+// Predecessors returns the names of direct predecessors of the node.
+func (g *Graph) Predecessors(name string) []string {
+	return append([]string(nil), g.in[name]...)
+}
+
+// initial returns the unique initial node, or an error.
+func (g *Graph) initial() (*Node, error) {
+	var found *Node
+	for _, name := range g.order {
+		n := g.nodes[name]
+		if n.Kind != KindInitial {
+			continue
+		}
+		if found != nil {
+			return nil, fmt.Errorf("core: graph %q: multiple initial nodes (%q, %q)", g.Name, found.Name, n.Name)
+		}
+		found = n
+	}
+	if found == nil {
+		return nil, fmt.Errorf("core: graph %q: no initial node", g.Name)
+	}
+	return found, nil
+}
+
+// Validate checks the structural well-formedness rules the transformation
+// relies on:
+//
+//   - exactly one initial node, at least one final node
+//   - the initial node has no incoming edges; final nodes have no outgoing
+//   - every node is reachable from the initial node
+//   - a final node is reachable from every node (no dead ends)
+//   - the graph is acyclic ("dependencies form a directed acyclic graph")
+//   - fork nodes have >= 2 successors, join nodes >= 2 predecessors
+//   - at least one action state exists
+func (g *Graph) Validate() error {
+	init, err := g.initial()
+	if err != nil {
+		return err
+	}
+	if len(g.in[init.Name]) != 0 {
+		return fmt.Errorf("core: graph %q: initial node %q has incoming transitions", g.Name, init.Name)
+	}
+
+	var finals, actions int
+	for _, name := range g.order {
+		n := g.nodes[name]
+		switch n.Kind {
+		case KindFinal:
+			finals++
+			if len(g.out[name]) != 0 {
+				return fmt.Errorf("core: graph %q: final node %q has outgoing transitions", g.Name, name)
+			}
+		case KindAction:
+			actions++
+		case KindFork:
+			if len(g.out[name]) < 2 {
+				return fmt.Errorf("core: graph %q: fork %q has %d successors (need >= 2)", g.Name, name, len(g.out[name]))
+			}
+		case KindJoin:
+			if len(g.in[name]) < 2 {
+				return fmt.Errorf("core: graph %q: join %q has %d predecessors (need >= 2)", g.Name, name, len(g.in[name]))
+			}
+		}
+	}
+	if finals == 0 {
+		return fmt.Errorf("core: graph %q: no final node", g.Name)
+	}
+	if actions == 0 {
+		return fmt.Errorf("core: graph %q: no action states", g.Name)
+	}
+
+	// Reachability from initial.
+	reached := g.reachableFrom(init.Name)
+	for _, name := range g.order {
+		if !reached[name] {
+			return fmt.Errorf("core: graph %q: node %q unreachable from initial node", g.Name, name)
+		}
+	}
+
+	// Every node can reach a final node.
+	canFinish := g.reverseReachableFromFinals()
+	for _, name := range g.order {
+		if !canFinish[name] {
+			return fmt.Errorf("core: graph %q: node %q cannot reach a final node", g.Name, name)
+		}
+	}
+
+	// Acyclicity.
+	if cyc := g.findCycle(); cyc != "" {
+		return fmt.Errorf("core: graph %q: cycle involving node %q", g.Name, cyc)
+	}
+	return nil
+}
+
+func (g *Graph) reachableFrom(start string) map[string]bool {
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.out[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func (g *Graph) reverseReachableFromFinals() map[string]bool {
+	seen := map[string]bool{}
+	var stack []string
+	for _, name := range g.order {
+		if g.nodes[name].Kind == KindFinal {
+			seen[name] = true
+			stack = append(stack, name)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.in[n] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// findCycle returns the name of a node on a cycle, or "".
+func (g *Graph) findCycle() string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.nodes))
+	var found string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, s := range g.out[n] {
+			switch color[s] {
+			case gray:
+				found = s
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, name := range g.order {
+		if color[name] == white && visit(name) {
+			return found
+		}
+	}
+	return ""
+}
+
+// Dependencies computes, for every action state, the set of action states
+// that must complete before it may start, collapsing transitions through
+// pseudostates (initial, fork, join). This is the core of the XMI2CNX
+// transformation: "the dependencies among tasks are represented as
+// transitions between the action states", with forks/joins contributing
+// multi-way dependencies. Results are sorted for determinism.
+func (g *Graph) Dependencies() (map[string][]string, error) {
+	if _, err := g.initial(); err != nil {
+		return nil, err
+	}
+	deps := make(map[string][]string)
+	for _, n := range g.ActionStates() {
+		set := make(map[string]bool)
+		// Walk backwards through pseudostates until action states (or the
+		// initial node) are found.
+		var walk func(name string) error
+		seen := make(map[string]bool)
+		walk = func(name string) error {
+			if seen[name] {
+				return nil
+			}
+			seen[name] = true
+			for _, p := range g.in[name] {
+				pn := g.nodes[p]
+				switch pn.Kind {
+				case KindAction:
+					set[p] = true
+				case KindInitial:
+					// root task: no dependency from this path
+				case KindFork, KindJoin:
+					if err := walk(p); err != nil {
+						return err
+					}
+				case KindFinal:
+					return fmt.Errorf("core: graph %q: final node %q has outgoing flow", g.Name, p)
+				}
+			}
+			return nil
+		}
+		if err := walk(n.Name); err != nil {
+			return nil, err
+		}
+		list := make([]string, 0, len(set))
+		for d := range set {
+			list = append(list, d)
+		}
+		sort.Strings(list)
+		deps[n.Name] = list
+	}
+	return deps, nil
+}
+
+// TopoActionOrder returns the action states in a deterministic dependency
+// order (dependencies first).
+func (g *Graph) TopoActionOrder() ([]string, error) {
+	deps, err := g.Dependencies()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(deps))
+	for n := range deps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(deps))
+	var order []string
+	var visit func(n string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("core: graph %q: dependency cycle at %q", g.Name, n)
+		case black:
+			return nil
+		}
+		color[n] = gray
+		for _, d := range deps[n] {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		order = append(order, n)
+		return nil
+	}
+	for _, n := range names {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// String renders a compact description: nodes then edges.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "activity %q:", g.Name)
+	for _, name := range g.order {
+		n := g.nodes[name]
+		fmt.Fprintf(&sb, " %s(%s)", name, n.Kind)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&sb, " %s->%s", e.From, e.To)
+	}
+	return sb.String()
+}
+
+// Client models a CN client composed of one or more jobs executed in a
+// partial order ("a client consisting of more than one job is represented
+// as an activity that performs the jobs in some partial order").
+type Client struct {
+	// Name is the client class name (e.g. "TransClosure").
+	Name string
+	// Log and Port mirror the CNX client attributes.
+	Log  string
+	Port int
+	// Jobs holds one activity graph per job, in declaration order.
+	Jobs []*Graph
+	// JobDeps maps a job name to job names that must complete first
+	// (empty for fully concurrent jobs).
+	JobDeps map[string][]string
+}
+
+// NewClient creates a client with no jobs.
+func NewClient(name string) *Client {
+	return &Client{Name: name, JobDeps: make(map[string][]string)}
+}
+
+// AddJob appends a job activity.
+func (c *Client) AddJob(g *Graph) error {
+	if g == nil {
+		return errors.New("core: add job: nil graph")
+	}
+	for _, j := range c.Jobs {
+		if j.Name == g.Name {
+			return fmt.Errorf("core: add job: duplicate job name %q", g.Name)
+		}
+	}
+	c.Jobs = append(c.Jobs, g)
+	return nil
+}
+
+// Job returns the named job graph, or nil.
+func (c *Client) Job(name string) *Graph {
+	for _, j := range c.Jobs {
+		if j.Name == name {
+			return j
+		}
+	}
+	return nil
+}
+
+// Validate validates every job and the inter-job ordering.
+func (c *Client) Validate() error {
+	if c.Name == "" {
+		return errors.New("core: client missing name")
+	}
+	if len(c.Jobs) == 0 {
+		return fmt.Errorf("core: client %q has no jobs", c.Name)
+	}
+	for _, j := range c.Jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	for job, deps := range c.JobDeps {
+		if c.Job(job) == nil {
+			return fmt.Errorf("core: client %q: job ordering references unknown job %q", c.Name, job)
+		}
+		for _, d := range deps {
+			if c.Job(d) == nil {
+				return fmt.Errorf("core: client %q: job %q depends on unknown job %q", c.Name, job, d)
+			}
+			if d == job {
+				return fmt.Errorf("core: client %q: job %q depends on itself", c.Name, job)
+			}
+		}
+	}
+	return nil
+}

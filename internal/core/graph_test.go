@@ -1,0 +1,506 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cn/internal/task"
+)
+
+// fig3 builds the paper's Figure 3 activity diagram: transitive closure
+// with explicit concurrency — split, five workers between fork and join
+// pseudostates, and a joiner.
+func fig3(t *testing.T) *Graph {
+	t.Helper()
+	worker := TaskTags("tctask.jar", "org.jhpc.cn2.trnsclsrtask.TCTask", 1000, "RUN_AS_THREAD_IN_TM")
+	g, err := SplitWorkerJoin("transclosure",
+		TaskTags("tasksplit.jar", "org.jhpc.cn2.transcloser.TaskSplit", 1000, "RUN_AS_THREAD_IN_TM"),
+		TaskTags("taskjoin.jar", "org.jhpc.cn2.transcloser.TaskJoin", 1000, "RUN_AS_THREAD_IN_TM"),
+		"tctask", worker, 5)
+	if err != nil {
+		t.Fatalf("SplitWorkerJoin: %v", err)
+	}
+	return g
+}
+
+func TestFig3Structure(t *testing.T) {
+	g := fig3(t)
+	actions := g.ActionStates()
+	if len(actions) != 7 { // split + 5 workers + join
+		t.Fatalf("action states = %d, want 7", len(actions))
+	}
+	if g.Node("fork").Kind != KindFork || g.Node("joinbar").Kind != KindJoin {
+		t.Error("fork/join pseudostates missing")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFig3Dependencies(t *testing.T) {
+	g := fig3(t)
+	deps, err := g.Dependencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps["split"]) != 0 {
+		t.Errorf("split deps = %v", deps["split"])
+	}
+	for _, w := range []string{"tctask1", "tctask3", "tctask5"} {
+		if len(deps[w]) != 1 || deps[w][0] != "split" {
+			t.Errorf("%s deps = %v, want [split]", w, deps[w])
+		}
+	}
+	want := []string{"tctask1", "tctask2", "tctask3", "tctask4", "tctask5"}
+	got := deps["join"]
+	if len(got) != len(want) {
+		t.Fatalf("join deps = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("join deps = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFig3WorkerParams(t *testing.T) {
+	g := fig3(t)
+	// Figure 4: TCTask2's pvalue0 is 2.
+	n := g.Node("tctask2")
+	params, err := n.Tagged.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 1 {
+		t.Fatalf("params = %v", params)
+	}
+	if v, err := params[0].Int(); err != nil || v != 2 {
+		t.Errorf("tctask2 param = %v, %v; want 2", v, err)
+	}
+}
+
+func TestTopoActionOrder(t *testing.T) {
+	g := fig3(t)
+	order, err := g.TopoActionOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["split"] > pos["tctask1"] || pos["tctask1"] > pos["join"] {
+		t.Errorf("order = %v", order)
+	}
+	if len(order) != 7 {
+		t.Errorf("order has %d entries", len(order))
+	}
+}
+
+func TestSingleWorkerNoPseudostates(t *testing.T) {
+	g, err := SplitWorkerJoin("j", Tags(TagClass, "S"), Tags(TagClass, "J"), "w", Tags(TagClass, "W"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node("fork") != nil || g.Node("joinbar") != nil {
+		t.Error("single-worker graph should not contain fork/join")
+	}
+	deps, err := g.Dependencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps["w1"]) != 1 || deps["w1"][0] != "split" {
+		t.Errorf("w1 deps = %v", deps["w1"])
+	}
+}
+
+func TestSplitWorkerJoinRejectsZeroWorkers(t *testing.T) {
+	if _, err := SplitWorkerJoin("j", nil, nil, "w", nil, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	g := NewGraph("g")
+	if err := g.AddNode(nil); err == nil {
+		t.Error("nil node accepted")
+	}
+	if err := g.AddNode(&Node{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := g.AddNode(&Node{Name: "a"}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if err := g.AddNode(&Node{Name: "a", Kind: KindAction}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(&Node{Name: "a", Kind: KindAction}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestAddTransitionErrors(t *testing.T) {
+	g := NewGraph("g")
+	if err := g.AddNode(&Node{Name: "a", Kind: KindAction}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(&Node{Name: "b", Kind: KindAction}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTransition("ghost", "a"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := g.AddTransition("a", "ghost"); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := g.AddTransition("a", "a"); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddTransition("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTransition("a", "b"); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestValidateRules(t *testing.T) {
+	build := func(mutate func(b *Builder)) error {
+		b := NewBuilder("g")
+		mutate(b)
+		_, err := b.Build()
+		return err
+	}
+
+	if err := build(func(b *Builder) {
+		b.Action("a", Tags(TagClass, "X")).Final("end").Flow("a", "end")
+	}); err == nil || !strings.Contains(err.Error(), "no initial") {
+		t.Errorf("missing initial: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i1").Initial("i2").Action("a", nil).Final("f").
+			Flows("i1", "a", "f").Flow("i2", "a")
+	}); err == nil || !strings.Contains(err.Error(), "multiple initial") {
+		t.Errorf("multiple initial: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Action("a", nil).Flows("i", "a")
+	}); err == nil || !strings.Contains(err.Error(), "no final") {
+		t.Errorf("missing final: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Final("f").Flow("i", "f")
+	}); err == nil || !strings.Contains(err.Error(), "no action") {
+		t.Errorf("no actions: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Action("a", nil).Action("orphan", nil).Final("f").
+			Flows("i", "a", "f").Flow("orphan", "f")
+	}); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("unreachable: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Action("a", nil).Action("deadend", nil).Final("f").
+			Flows("i", "a", "f").Flow("a", "deadend")
+	}); err == nil || !strings.Contains(err.Error(), "cannot reach a final") {
+		t.Errorf("dead end: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Action("a", nil).Action("b", nil).Final("f").
+			Flows("i", "a", "b", "f").Flow("b", "a")
+	}); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Fork("fk").Action("a", nil).Final("f").
+			Flows("i", "fk", "a", "f")
+	}); err == nil || !strings.Contains(err.Error(), "fork") {
+		t.Errorf("degenerate fork: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Action("a", nil).Join("jn").Action("b", nil).Final("f").
+			Flows("i", "a", "jn", "b", "f")
+	}); err == nil || !strings.Contains(err.Error(), "join") {
+		t.Errorf("degenerate join: %v", err)
+	}
+
+	if err := build(func(b *Builder) {
+		b.Initial("i").Action("a", nil).Final("f").
+			Flows("i", "a", "f").Flow("a", "i")
+	}); err == nil {
+		t.Error("initial with incoming accepted")
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	b := NewBuilder("g").Flow("x", "y") // error: nodes missing
+	if b.Err() == nil {
+		t.Fatal("expected accumulated error")
+	}
+	// Later calls are no-ops once an error is recorded.
+	b.Initial("i").Action("a", nil).Final("f").Flows("i", "a", "f")
+	if _, err := b.Build(); err == nil {
+		t.Error("Build ignored accumulated error")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid graph")
+		}
+	}()
+	NewBuilder("bad").MustBuild()
+}
+
+func TestTagsHelpers(t *testing.T) {
+	tv := Tags("a", "1", "b", "2")
+	if tv.Get("a") != "1" || tv.Get("b") != "2" {
+		t.Errorf("Tags = %v", tv)
+	}
+	keys := tv.Keys()
+	if len(keys) != 2 || keys[0] != "a" {
+		t.Errorf("Keys = %v", keys)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd Tags should panic")
+		}
+	}()
+	Tags("only-key")
+}
+
+func TestTaggedValuesClone(t *testing.T) {
+	tv := Tags("k", "v")
+	c := tv.Clone()
+	c["k"] = "changed"
+	if tv["k"] != "v" {
+		t.Error("Clone aliases original")
+	}
+	var nilTV TaggedValues
+	if nilTV.Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestTaggedParams(t *testing.T) {
+	tv := TaggedValues{}
+	tv.SetParam(0, "String", "matrix.txt")
+	tv.SetParam(1, "Integer", "5")
+	params, err := tv.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 2 || params[0].Value != "matrix.txt" {
+		t.Errorf("Params = %v", params)
+	}
+	if n, _ := params[1].Int(); n != 5 {
+		t.Errorf("param 1 = %v", params[1])
+	}
+}
+
+func TestTaggedParamsErrors(t *testing.T) {
+	unpaired := TaggedValues{"ptype0": "String"} // no pvalue0
+	if _, err := unpaired.Params(); err == nil {
+		t.Error("unpaired ptype accepted")
+	}
+	gap := TaggedValues{"ptype0": "String", "pvalue0": "x", "ptype2": "Integer", "pvalue2": "1"}
+	if _, err := gap.Params(); err == nil {
+		t.Error("non-dense parameter indices accepted")
+	}
+	badType := TaggedValues{"ptype0": "java.util.Map", "pvalue0": "x"}
+	if _, err := badType.Params(); err == nil {
+		t.Error("bad param type accepted")
+	}
+}
+
+func TestTaggedRequirements(t *testing.T) {
+	tv := Tags(TagMemory, "512", TagRunModel, "RUN_AS_PROCESS")
+	req, err := tv.Requirements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.MemoryMB != 512 || req.RunModel != task.RunAsProcess {
+		t.Errorf("req = %+v", req)
+	}
+	// Defaults apply when absent.
+	req2, err := TaggedValues{}.Requirements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2 != task.DefaultRequirements() {
+		t.Errorf("default req = %+v", req2)
+	}
+	if _, err := Tags(TagMemory, "lots").Requirements(); err == nil {
+		t.Error("bad memory accepted")
+	}
+	if _, err := Tags(TagRunModel, "RUN_BACKWARDS").Requirements(); err == nil {
+		t.Error("bad runmodel accepted")
+	}
+}
+
+func TestNodeTaskSpec(t *testing.T) {
+	g := fig3(t)
+	deps, err := g.Dependencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Node("tctask2")
+	spec, err := n.TaskSpec(deps["tctask2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "tctask2" || spec.Archive != "tctask.jar" ||
+		spec.Class != "org.jhpc.cn2.trnsclsrtask.TCTask" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if len(spec.DependsOn) != 1 || spec.DependsOn[0] != "split" {
+		t.Errorf("depends = %v", spec.DependsOn)
+	}
+	if spec.Req.MemoryMB != 1000 {
+		t.Errorf("req = %+v", spec.Req)
+	}
+}
+
+func TestTaskSpecErrors(t *testing.T) {
+	pseudo := &Node{Name: "fork", Kind: KindFork}
+	if _, err := pseudo.TaskSpec(nil); err == nil {
+		t.Error("TaskSpec on pseudostate accepted")
+	}
+	noClass := &Node{Name: "a", Kind: KindAction, Tagged: Tags(TagJar, "a.jar")}
+	if _, err := noClass.TaskSpec(nil); err == nil {
+		t.Error("TaskSpec without class accepted")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := fig3(t)
+	s := g.String()
+	if !strings.Contains(s, "transclosure") || !strings.Contains(s, "fork") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if KindFork.String() != "fork" {
+		t.Errorf("KindFork = %q", KindFork)
+	}
+	if NodeKind(42).String() != "NodeKind(42)" {
+		t.Errorf("unknown = %q", NodeKind(42))
+	}
+}
+
+func TestClientModel(t *testing.T) {
+	c := NewClient("TransClosure")
+	if err := c.AddJob(fig3(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Job("transclosure") == nil {
+		t.Error("Job lookup failed")
+	}
+	if c.Job("absent") != nil {
+		t.Error("absent job found")
+	}
+	if err := c.AddJob(fig3(t)); err == nil {
+		t.Error("duplicate job name accepted")
+	}
+	if err := c.AddJob(nil); err == nil {
+		t.Error("nil job accepted")
+	}
+}
+
+func TestClientValidateErrors(t *testing.T) {
+	c := NewClient("")
+	if err := c.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	c = NewClient("C")
+	if err := c.Validate(); err == nil {
+		t.Error("no jobs accepted")
+	}
+	c = NewClient("C")
+	if err := c.AddJob(fig3(t)); err != nil {
+		t.Fatal(err)
+	}
+	c.JobDeps["ghost"] = []string{"transclosure"}
+	if err := c.Validate(); err == nil {
+		t.Error("unknown job in deps accepted")
+	}
+	c.JobDeps = map[string][]string{"transclosure": {"transclosure"}}
+	if err := c.Validate(); err == nil {
+		t.Error("self job dependency accepted")
+	}
+	c.JobDeps = map[string][]string{"transclosure": {"ghost"}}
+	if err := c.Validate(); err == nil {
+		t.Error("dep on unknown job accepted")
+	}
+}
+
+func TestPipelineDependencies(t *testing.T) {
+	// stage1 -> stage2 -> stage3, no pseudostates between actions.
+	g := NewBuilder("pipe").
+		Initial("i").
+		Action("s1", Tags(TagClass, "A")).
+		Action("s2", Tags(TagClass, "B")).
+		Action("s3", Tags(TagClass, "C")).
+		Final("f").
+		Flows("i", "s1", "s2", "s3", "f").
+		MustBuild()
+	deps, err := g.Dependencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps["s1"]) != 0 || deps["s2"][0] != "s1" || deps["s3"][0] != "s2" {
+		t.Errorf("deps = %v", deps)
+	}
+}
+
+func TestNestedForkJoinDependencies(t *testing.T) {
+	// fork -> (a, fork2 -> (b, c) -> join2 -> d) -> join
+	g := NewBuilder("nested").
+		Initial("i").
+		Action("root", Tags(TagClass, "R")).
+		Fork("f1").
+		Action("a", Tags(TagClass, "A")).
+		Fork("f2").
+		Action("b", Tags(TagClass, "B")).
+		Action("c", Tags(TagClass, "C")).
+		Join("j2").
+		Action("d", Tags(TagClass, "D")).
+		Join("j1").
+		Action("tail", Tags(TagClass, "T")).
+		Final("end").
+		Flows("i", "root", "f1").
+		Flow("f1", "a").
+		Flow("f1", "f2").
+		Flow("f2", "b").Flow("f2", "c").
+		Flow("b", "j2").Flow("c", "j2").
+		Flow("j2", "d").
+		Flow("a", "j1").Flow("d", "j1").
+		Flows("j1", "tail", "end").
+		MustBuild()
+	deps, err := g.Dependencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deps["b"]; len(got) != 1 || got[0] != "root" {
+		t.Errorf("b deps = %v (fork chain should collapse to root)", got)
+	}
+	if got := deps["d"]; len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("d deps = %v", got)
+	}
+	if got := deps["tail"]; len(got) != 2 || got[0] != "a" || got[1] != "d" {
+		t.Errorf("tail deps = %v", got)
+	}
+}

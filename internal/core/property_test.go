@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLayeredGraph builds a random valid activity graph: an initial node,
+// L layers of action states with edges only flowing forward across layers,
+// and a final node. Every generated graph is valid by construction, which
+// lets properties quantify over a large structural space.
+func randomLayeredGraph(rng *rand.Rand) *Graph {
+	layers := 1 + rng.Intn(4)
+	width := 1 + rng.Intn(4)
+	b := NewBuilder("prop").Initial("initial")
+	var prev []string
+	names := make([][]string, layers)
+	for l := 0; l < layers; l++ {
+		w := 1 + rng.Intn(width)
+		for i := 0; i < w; i++ {
+			name := fmt.Sprintf("a%d_%d", l, i)
+			names[l] = append(names[l], name)
+			b.Action(name, Tags(TagClass, "P"))
+		}
+		prev = names[l]
+	}
+	b.Final("final")
+	// Wire: initial feeds every layer-0 node; each node feeds >= 1 node of
+	// the next layer (so everything reaches final); last layer feeds final.
+	for _, n := range names[0] {
+		b.Flow("initial", n)
+	}
+	for l := 0; l+1 < layers; l++ {
+		for _, from := range names[l] {
+			// at least one forward edge
+			to := names[l+1][rng.Intn(len(names[l+1]))]
+			b.Flow(from, to)
+			// extra random forward edges
+			for _, cand := range names[l+1] {
+				if cand != to && rng.Intn(3) == 0 {
+					b.Flow(from, cand)
+				}
+			}
+		}
+		// every next-layer node needs an incoming edge for reachability
+		for _, to := range names[l+1] {
+			from := names[l][rng.Intn(len(names[l]))]
+			// duplicate edges are rejected by AddTransition; route through
+			// a direct graph call to tolerate that.
+			_ = b.g.AddTransition(from, to)
+		}
+	}
+	for _, n := range prev {
+		b.Flow(n, "final")
+	}
+	return b.g
+}
+
+func TestRandomLayeredGraphsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomLayeredGraph(rand.New(rand.NewSource(seed)))
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopoActionOrder is consistent with Dependencies — every task
+// appears after all of its dependencies.
+func TestTopoRespectsDependenciesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomLayeredGraph(rand.New(rand.NewSource(seed)))
+		deps, err := g.Dependencies()
+		if err != nil {
+			return false
+		}
+		order, err := g.TopoActionOrder()
+		if err != nil {
+			return false
+		}
+		pos := make(map[string]int, len(order))
+		for i, n := range order {
+			pos[n] = i
+		}
+		if len(order) != len(g.ActionStates()) {
+			return false
+		}
+		for task, ds := range deps {
+			for _, d := range ds {
+				if pos[d] >= pos[task] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dependencies only reference action states, never pseudostates,
+// and never the task itself.
+func TestDependenciesWellFormedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomLayeredGraph(rand.New(rand.NewSource(seed)))
+		deps, err := g.Dependencies()
+		if err != nil {
+			return false
+		}
+		for task, ds := range deps {
+			for _, d := range ds {
+				n := g.Node(d)
+				if n == nil || n.Kind != KindAction || d == task {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expanding a graph with no dynamic states is an isomorphism
+// (same node and edge counts, same dependencies).
+func TestExpandIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomLayeredGraph(rand.New(rand.NewSource(seed)))
+		out, err := ExpandDynamic(g, FixedArgs(3))
+		if err != nil {
+			return false
+		}
+		if len(out.Nodes()) != len(g.Nodes()) || len(out.Transitions()) != len(g.Transitions()) {
+			return false
+		}
+		d1, err1 := g.Dependencies()
+		d2, err2 := out.Dependencies()
+		if err1 != nil || err2 != nil || len(d1) != len(d2) {
+			return false
+		}
+		for k, v1 := range d1 {
+			v2 := d2[k]
+			if len(v1) != len(v2) {
+				return false
+			}
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

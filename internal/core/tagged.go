@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"cn/internal/task"
+)
+
+// Well-known tagged-value keys (paper Figure 4: jar, class, memory,
+// runmodel, ptypeN/pvalueN).
+const (
+	TagJar      = "jar"
+	TagClass    = "class"
+	TagMemory   = "memory"
+	TagRunModel = "runmodel"
+	// TagPTypePrefix and TagPValuePrefix are the prefixes of the indexed
+	// parameter tags ptype0/pvalue0, ptype1/pvalue1, ...
+	TagPTypePrefix  = "ptype"
+	TagPValuePrefix = "pvalue"
+)
+
+// TaggedValues models UML tagged values on an action state: "UML's tagged
+// values allow us to model all of the information present in a CN client
+// descriptor, including the implementation class of each task, the archive
+// containing the implementation class, as well as various other task
+// configuration parameters."
+type TaggedValues map[string]string
+
+// Clone returns a copy of the tag map (nil stays nil).
+func (tv TaggedValues) Clone() TaggedValues {
+	if tv == nil {
+		return nil
+	}
+	out := make(TaggedValues, len(tv))
+	for k, v := range tv {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the tag value or "".
+func (tv TaggedValues) Get(key string) string { return tv[key] }
+
+// Keys returns all tag names, sorted.
+func (tv TaggedValues) Keys() []string {
+	keys := make([]string, 0, len(tv))
+	for k := range tv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SetParam sets the indexed parameter pair ptypeI/pvalueI.
+func (tv TaggedValues) SetParam(i int, typ, value string) {
+	tv[TagPTypePrefix+strconv.Itoa(i)] = typ
+	tv[TagPValuePrefix+strconv.Itoa(i)] = value
+}
+
+// Params extracts the ordered parameter list from ptypeN/pvalueN pairs.
+// Indices must be dense starting at 0; a pvalue without its ptype (or vice
+// versa) is an error.
+func (tv TaggedValues) Params() ([]task.Param, error) {
+	var params []task.Param
+	for i := 0; ; i++ {
+		typ, hasType := tv[TagPTypePrefix+strconv.Itoa(i)]
+		val, hasVal := tv[TagPValuePrefix+strconv.Itoa(i)]
+		if !hasType && !hasVal {
+			break
+		}
+		if !hasType || !hasVal {
+			return nil, fmt.Errorf("core: tagged values: parameter %d has unpaired ptype/pvalue", i)
+		}
+		p, err := task.NewParam(typ, val)
+		if err != nil {
+			return nil, fmt.Errorf("core: tagged values: parameter %d: %w", i, err)
+		}
+		params = append(params, p)
+	}
+	// Detect gaps: any higher-indexed ptype after the dense prefix ended.
+	for k := range tv {
+		var idx int
+		if _, err := fmt.Sscanf(k, TagPTypePrefix+"%d", &idx); err == nil && idx >= len(params) && k == TagPTypePrefix+strconv.Itoa(idx) {
+			return nil, fmt.Errorf("core: tagged values: parameter index %d is not dense (have %d dense)", idx, len(params))
+		}
+	}
+	return params, nil
+}
+
+// Requirements extracts the memory/runmodel requirement block, applying CN
+// defaults for absent tags.
+func (tv TaggedValues) Requirements() (task.Requirements, error) {
+	req := task.DefaultRequirements()
+	if m, ok := tv[TagMemory]; ok {
+		n, err := strconv.Atoi(m)
+		if err != nil {
+			return req, fmt.Errorf("core: tagged values: memory %q: %w", m, err)
+		}
+		req.MemoryMB = n
+	}
+	if rm, ok := tv[TagRunModel]; ok {
+		parsed, err := task.ParseRunModel(rm)
+		if err != nil {
+			return req, fmt.Errorf("core: tagged values: %w", err)
+		}
+		req.RunModel = parsed
+	}
+	return req, nil
+}
+
+// TaskSpec assembles the complete runtime task.Spec for an action state,
+// combining its tagged values with the dependency list computed from the
+// graph.
+func (n *Node) TaskSpec(depends []string) (*task.Spec, error) {
+	if n.Kind != KindAction {
+		return nil, fmt.Errorf("core: node %q is %s, not an action state", n.Name, n.Kind)
+	}
+	class := n.Tagged.Get(TagClass)
+	if class == "" {
+		return nil, fmt.Errorf("core: action state %q missing %q tagged value", n.Name, TagClass)
+	}
+	params, err := n.Tagged.Params()
+	if err != nil {
+		return nil, fmt.Errorf("core: action state %q: %w", n.Name, err)
+	}
+	req, err := n.Tagged.Requirements()
+	if err != nil {
+		return nil, fmt.Errorf("core: action state %q: %w", n.Name, err)
+	}
+	s := &task.Spec{
+		Name:      n.Name,
+		Archive:   n.Tagged.Get(TagJar),
+		Class:     class,
+		DependsOn: append([]string(nil), depends...),
+		Params:    params,
+		Req:       req,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: action state %q: %w", n.Name, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,133 @@
+package discovery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cn/internal/protocol"
+)
+
+func offers(specs ...[3]int) []protocol.JMOffer {
+	out := make([]protocol.JMOffer, len(specs))
+	for i, s := range specs {
+		out[i] = protocol.JMOffer{
+			Node:         string(rune('a' + s[0])),
+			FreeMemoryMB: s[1],
+			ActiveJobs:   s[2],
+		}
+	}
+	return out
+}
+
+func TestFirstResponder(t *testing.T) {
+	p := FirstResponder{}
+	if p.Name() != "first-responder" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if got := p.Select(offers([3]int{0, 100, 5}, [3]int{1, 900, 0})); got != 0 {
+		t.Errorf("Select = %d, want 0 (arrival order)", got)
+	}
+}
+
+func TestBestFitPrefersMemory(t *testing.T) {
+	p := BestFit{}
+	os := offers([3]int{0, 100, 0}, [3]int{1, 900, 9}, [3]int{2, 500, 0})
+	if got := p.Select(os); got != 1 {
+		t.Errorf("Select = %d, want index 1 (most memory)", got)
+	}
+}
+
+func TestBestFitTieBreaksOnJobs(t *testing.T) {
+	p := BestFit{}
+	os := offers([3]int{0, 500, 3}, [3]int{1, 500, 1})
+	if got := p.Select(os); got != 1 {
+		t.Errorf("Select = %d, want 1 (fewer jobs)", got)
+	}
+}
+
+func TestLeastLoadedPrefersJobs(t *testing.T) {
+	p := LeastLoaded{}
+	os := offers([3]int{0, 900, 4}, [3]int{1, 100, 1})
+	if got := p.Select(os); got != 1 {
+		t.Errorf("Select = %d, want 1 (fewest jobs)", got)
+	}
+	if p.Name() != "least-loaded" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestLeastLoadedTieBreaksOnMemory(t *testing.T) {
+	p := LeastLoaded{}
+	os := offers([3]int{0, 100, 2}, [3]int{1, 700, 2})
+	if got := p.Select(os); got != 1 {
+		t.Errorf("Select = %d, want 1 (more memory)", got)
+	}
+}
+
+func TestRandomDeterministicAndInRange(t *testing.T) {
+	os := offers([3]int{0, 1, 1}, [3]int{1, 2, 2}, [3]int{2, 3, 3})
+	a := NewRandom(5)
+	b := NewRandom(5)
+	for i := 0; i < 20; i++ {
+		ga, gb := a.Select(os), b.Select(os)
+		if ga != gb {
+			t.Fatal("same seed diverged")
+		}
+		if ga < 0 || ga >= len(os) {
+			t.Fatalf("out of range: %d", ga)
+		}
+	}
+	if NewRandom(0) == nil {
+		t.Error("zero seed rejected")
+	}
+	if (&Random{}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPoliciesAlwaysInRangeProperty(t *testing.T) {
+	f := func(mems []int16, jobs []uint8) bool {
+		n := len(mems)
+		if n == 0 || n > 32 {
+			return true
+		}
+		os := make([]protocol.JMOffer, n)
+		for i := range os {
+			j := 0
+			if i < len(jobs) {
+				j = int(jobs[i])
+			}
+			os[i] = protocol.JMOffer{Node: string(rune('a' + i%26)), FreeMemoryMB: int(mems[i]), ActiveJobs: j}
+		}
+		for _, p := range []Policy{FirstResponder{}, BestFit{}, LeastLoaded{}, NewRandom(1)} {
+			if got := p.Select(os); got < 0 || got >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestFitSelectsMaximumProperty(t *testing.T) {
+	f := func(mems []int16) bool {
+		if len(mems) == 0 || len(mems) > 32 {
+			return true
+		}
+		os := make([]protocol.JMOffer, len(mems))
+		maxMem := int(mems[0])
+		for i := range os {
+			os[i] = protocol.JMOffer{Node: string(rune('a' + i%26)), FreeMemoryMB: int(mems[i])}
+			if int(mems[i]) > maxMem {
+				maxMem = int(mems[i])
+			}
+		}
+		got := BestFit{}.Select(os)
+		return os[got].FreeMemoryMB == maxMem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

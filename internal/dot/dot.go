@@ -1,0 +1,93 @@
+// Package dot renders CN composition artifacts as Graphviz DOT: activity
+// graphs (reproducing the paper's Figures 3 and 5 as machine-readable
+// diagrams) and CNX job dependency DAGs.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cn/internal/cnx"
+	"cn/internal/core"
+)
+
+// esc escapes a DOT double-quoted string.
+func esc(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Activity renders an activity graph in UML activity-diagram styling:
+// initial as a filled circle, final as a double circle, actions as rounded
+// boxes (dynamic actions annotated with their multiplicity), fork/join as
+// black bars.
+func Activity(g *core.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", esc(g.Name))
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case core.KindInitial:
+			fmt.Fprintf(&b, "  %q [shape=circle, style=filled, fillcolor=black, label=\"\", width=0.25];\n", esc(n.Name))
+		case core.KindFinal:
+			fmt.Fprintf(&b, "  %q [shape=doublecircle, style=filled, fillcolor=black, label=\"\", width=0.2];\n", esc(n.Name))
+		case core.KindFork, core.KindJoin:
+			fmt.Fprintf(&b, "  %q [shape=box, style=filled, fillcolor=black, label=\"\", height=0.08, width=1.4];\n", esc(n.Name))
+		case core.KindAction:
+			label := esc(n.Name)
+			if n.Dynamic {
+				mult := n.Multiplicity
+				if mult == "" {
+					mult = "*"
+				}
+				label += `\n` + esc(fmt.Sprintf("«dynamic %s»", mult))
+			}
+			if class := n.Tagged.Get(core.TagClass); class != "" {
+				short := class
+				if i := strings.LastIndex(class, "."); i >= 0 {
+					short = class[i+1:]
+				}
+				label += `\n` + esc(short)
+			}
+			fmt.Fprintf(&b, "  %q [shape=box, style=rounded, label=\"%s\"];\n", esc(n.Name), label)
+		}
+	}
+	for _, e := range g.Transitions() {
+		if e.Guard != "" {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"[%s]\"];\n", esc(e.From), esc(e.To), esc(e.Guard))
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q;\n", esc(e.From), esc(e.To))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Job renders a CNX job's dependency DAG: tasks as boxes labeled with their
+// class, dependencies as edges dep -> task.
+func Job(j *cnx.Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", esc(j.Name))
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	names := make([]string, 0, len(j.Tasks))
+	for i := range j.Tasks {
+		names = append(names, j.Tasks[i].Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := j.Task(name)
+		label := esc(t.Name) + `\n` + esc(t.Class)
+		fmt.Fprintf(&b, "  %q [label=\"%s\"];\n", esc(t.Name), label)
+	}
+	for _, name := range names {
+		t := j.Task(name)
+		for _, dep := range t.DependsList() {
+			fmt.Fprintf(&b, "  %q -> %q;\n", esc(dep), esc(t.Name))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"cn/internal/cnx"
+	"cn/internal/core"
+)
+
+func sampleGraph(t *testing.T) *core.Graph {
+	t.Helper()
+	g, err := core.SplitWorkerJoin("tc",
+		core.Tags(core.TagClass, "pkg.Split"),
+		core.Tags(core.TagClass, "pkg.Join"),
+		"w", core.Tags(core.TagClass, "pkg.Worker"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestActivityShapes(t *testing.T) {
+	out := Activity(sampleGraph(t))
+	for _, want := range []string{
+		"digraph \"tc\"",
+		"shape=circle",       // initial
+		"shape=doublecircle", // final
+		"style=rounded",      // action states
+		"\"fork\"",
+		"\"joinbar\"",
+		"\"split\" -> \"fork\"",
+		"Worker", // short class name in labels
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Activity output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestActivityDynamicAnnotation(t *testing.T) {
+	g, err := core.NewBuilder("dyn").
+		Initial("i").
+		DynamicAction("w", core.Tags(core.TagClass, "W"), "*", "rows").
+		Final("f").
+		Flows("i", "w", "f").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Activity(g)
+	if !strings.Contains(out, "«dynamic *»") {
+		t.Errorf("dynamic annotation missing:\n%s", out)
+	}
+}
+
+func TestActivityGuardLabel(t *testing.T) {
+	g := core.NewGraph("g")
+	for _, n := range []*core.Node{
+		{Name: "a", Kind: core.KindAction},
+		{Name: "b", Kind: core.KindAction},
+	} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddGuardedTransition("a", "b", "done"); err != nil {
+		t.Fatal(err)
+	}
+	out := Activity(g)
+	if !strings.Contains(out, `[label="[done]"]`) {
+		t.Errorf("guard label missing:\n%s", out)
+	}
+}
+
+func TestJobDAG(t *testing.T) {
+	doc, err := cnx.ParseString(`<cn2><client class="C"><job name="j">
+	  <task name="a" class="X"/>
+	  <task name="b" class="Y" depends="a"/>
+	  <task name="c" class="Z" depends="a,b"/>
+	</job></client></cn2>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := Job(&doc.Client.Jobs[0])
+	for _, want := range []string{
+		`"a" -> "b"`,
+		`"a" -> "c"`,
+		`"b" -> "c"`,
+		"a\\nX",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Job output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	g := core.NewGraph(`we"ird`)
+	if err := g.AddNode(&core.Node{Name: `a"b`, Kind: core.KindAction}); err != nil {
+		t.Fatal(err)
+	}
+	out := Activity(g)
+	if !strings.Contains(out, `\"`) {
+		t.Errorf("quotes not escaped:\n%s", out)
+	}
+}

@@ -1,0 +1,364 @@
+// Package floyd implements the paper's guiding example: "the parallel
+// version of Floyd's all-pairs shortest-path algorithm ... based on a
+// one-dimensional, row-wise domain decomposition of the intermediate matrix
+// I and the output matrix S" (paper §2).
+//
+// The package provides the distance-matrix representation and text format
+// (the paper's matrix.txt), deterministic graph generators, the sequential
+// Floyd–Warshall baseline, the boolean transitive-closure variant, and the
+// three CN task classes — TaskSplit, TCTask, TCJoin — that reproduce the
+// paper's decomposition on a CN cluster.
+package floyd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Inf is the "no edge / unreachable" distance. It is large enough that one
+// addition cannot overflow int64.
+const Inf int64 = 1 << 60
+
+// Matrix is a dense N x N distance matrix in row-major order.
+type Matrix struct {
+	N int
+	D []int64
+}
+
+// NewMatrix creates an N x N matrix with zero diagonal and Inf elsewhere.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{N: n, D: make([]int64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				m.D[i*n+j] = 0
+			} else {
+				m.D[i*n+j] = Inf
+			}
+		}
+	}
+	return m
+}
+
+// At returns d(i,j).
+func (m *Matrix) At(i, j int) int64 { return m.D[i*m.N+j] }
+
+// Set assigns d(i,j).
+func (m *Matrix) Set(i, j int, v int64) { m.D[i*m.N+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []int64 { return m.D[i*m.N : (i+1)*m.N] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{N: m.N, D: append([]int64(nil), m.D...)}
+}
+
+// Equal reports element-wise equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if o == nil || m.N != o.N {
+		return false
+	}
+	for i, v := range m.D {
+		if o.D[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Format writes the matrix.txt text form: first line N, then N rows of
+// space-separated entries with "inf" for unreachable.
+func (m *Matrix) Format(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", m.N); err != nil {
+		return fmt.Errorf("floyd: format: %w", err)
+	}
+	for i := 0; i < m.N; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return fmt.Errorf("floyd: format: %w", err)
+				}
+			}
+			var s string
+			if v >= Inf {
+				s = "inf"
+			} else {
+				s = strconv.FormatInt(v, 10)
+			}
+			if _, err := bw.WriteString(s); err != nil {
+				return fmt.Errorf("floyd: format: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("floyd: format: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the matrix.txt form.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	_ = m.Format(&sb)
+	return sb.String()
+}
+
+// Parse reads the matrix.txt text form.
+func Parse(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var n int
+	if _, err := fmt.Fscanf(br, "%d\n", &n); err != nil {
+		return nil, fmt.Errorf("floyd: parse: header: %w", err)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("floyd: parse: invalid size %d", n)
+	}
+	m := &Matrix{N: n, D: make([]int64, 0, n*n)}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	row := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != n {
+			return nil, fmt.Errorf("floyd: parse: row %d has %d entries, want %d", row, len(fields), n)
+		}
+		for _, f := range fields {
+			if f == "inf" {
+				m.D = append(m.D, Inf)
+				continue
+			}
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("floyd: parse: row %d: %w", row, err)
+			}
+			m.D = append(m.D, v)
+		}
+		row++
+		if row == n {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("floyd: parse: %w", err)
+	}
+	if row != n {
+		return nil, fmt.Errorf("floyd: parse: got %d rows, want %d", row, n)
+	}
+	return m, nil
+}
+
+// ParseString parses the matrix.txt form from a string.
+func ParseString(s string) (*Matrix, error) { return Parse(strings.NewReader(s)) }
+
+// RandomGraph generates a deterministic random weighted digraph: each
+// ordered pair (i != j) has an edge with the given probability and uniform
+// weight in [1, maxWeight].
+func RandomGraph(n int, density float64, maxWeight int64, seed int64) *Matrix {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if rng.Float64() < density {
+				m.Set(i, j, 1+rng.Int63n(maxWeight))
+			}
+		}
+	}
+	return m
+}
+
+// RingGraph generates a directed cycle 0 -> 1 -> ... -> n-1 -> 0 with unit
+// weights: its shortest paths are known in closed form, which makes it a
+// good verification workload.
+func RingGraph(n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, (i+1)%n, 1)
+	}
+	return m
+}
+
+// Sequential runs the classic O(N^3) Floyd–Warshall on a copy of m and
+// returns the all-pairs shortest-path matrix — the baseline the parallel
+// version is checked against.
+func Sequential(m *Matrix) *Matrix {
+	s := m.Clone()
+	n := s.N
+	for k := 0; k < n; k++ {
+		rowK := s.Row(k)
+		for i := 0; i < n; i++ {
+			rowI := s.Row(i)
+			dik := rowI[k]
+			if dik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := dik + rowK[j]; d < rowI[j] {
+					rowI[j] = d
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Closure computes the boolean transitive closure (Warshall) of the graph:
+// out[i][j] reports whether j is reachable from i in one or more steps (the
+// diagonal is reachable with distance zero by convention).
+func Closure(m *Matrix) [][]bool {
+	n := m.N
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			reach[i][j] = i == j || m.At(i, j) < Inf
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			rk := reach[k]
+			ri := reach[i]
+			for j := 0; j < n; j++ {
+				if rk[j] {
+					ri[j] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// UpdateRows applies one Floyd step k to the row block [start, end) of dst
+// given row k. This is the worker's inner kernel, shared by the CN task and
+// the striped in-process parallel baseline.
+func UpdateRows(dst *Matrix, start, end, k int, rowK []int64) {
+	for i := start; i < end; i++ {
+		rowI := dst.Row(i)
+		dik := rowI[k]
+		if dik >= Inf {
+			continue
+		}
+		for j := range rowI {
+			if d := dik + rowK[j]; d < rowI[j] {
+				rowI[j] = d
+			}
+		}
+	}
+}
+
+// BlockBounds returns the row range [start, end) owned by worker idx (0
+// based) of total workers over n rows — the paper's contiguous row-wise
+// decomposition.
+func BlockBounds(n, workers, idx int) (start, end int) {
+	start = idx * n / workers
+	end = (idx + 1) * n / workers
+	return start, end
+}
+
+// OwnerOf returns which worker (0-based) owns row k.
+func OwnerOf(n, workers, k int) int {
+	// Inverse of BlockBounds for contiguous blocks.
+	for w := 0; w < workers; w++ {
+		s, e := BlockBounds(n, workers, w)
+		if k >= s && k < e {
+			return w
+		}
+	}
+	return workers - 1
+}
+
+// VerifyShortestPaths checks the defining invariants of an APSP result:
+// zero diagonal, no negative distances (for non-negative inputs), and the
+// triangle inequality d(i,j) <= d(i,k) + d(k,j).
+func VerifyShortestPaths(s *Matrix) error {
+	n := s.N
+	for i := 0; i < n; i++ {
+		if s.At(i, i) != 0 {
+			return fmt.Errorf("floyd: verify: d(%d,%d) = %d, want 0", i, i, s.At(i, i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if s.At(i, j) < 0 {
+				return fmt.Errorf("floyd: verify: negative distance d(%d,%d) = %d", i, j, s.At(i, j))
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := s.At(i, k)
+			if dik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dkj := s.At(k, j); dkj < Inf && s.At(i, j) > dik+dkj {
+					return fmt.Errorf("floyd: verify: triangle violation d(%d,%d)=%d > d(%d,%d)+d(%d,%d)=%d",
+						i, j, s.At(i, j), i, k, k, j, dik+dkj)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ParallelInProcess runs the row-decomposed algorithm with plain goroutines
+// and channels inside one process — the hand-coded baseline a CN user would
+// write without the framework, used for overhead comparisons.
+func ParallelInProcess(m *Matrix, workers int) *Matrix {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > m.N {
+		workers = m.N
+	}
+	s := m.Clone()
+	n := s.N
+	// Broadcast channels: one per step, closed once the row is published.
+	type step struct {
+		row []int64
+		ch  chan struct{}
+	}
+	steps := make([]step, n)
+	for k := range steps {
+		steps[k].ch = make(chan struct{})
+	}
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			start, end := BlockBounds(n, workers, w)
+			for k := 0; k < n; k++ {
+				if OwnerOf(n, workers, k) == w {
+					// Publish row k for everyone else, then update.
+					steps[k].row = append([]int64(nil), s.Row(k)...)
+					close(steps[k].ch)
+				}
+				<-steps[k].ch
+				UpdateRows(s, start, end, k, steps[k].row)
+			}
+			done <- w
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return s
+}

@@ -1,0 +1,666 @@
+package jobmgr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/transport"
+)
+
+// SendFunc delivers a message to a node.
+type SendFunc func(toNode string, m *msg.Message) error
+
+// Config parametrizes a JobManager.
+type Config struct {
+	// Node is the hosting node name.
+	Node string
+	// MaxJobs caps concurrently hosted jobs (0 = 16).
+	MaxJobs int
+	// MemoryMB is the node capacity advertised in offers (the TaskManager
+	// tracks actual reservations; the JobManager reports the figure).
+	MemoryMB int
+	// SolicitWindow bounds how long task placement solicitations wait for
+	// offers (0 = 200ms).
+	SolicitWindow time.Duration
+	// SolicitRetries is how many times placement is retried when no
+	// TaskManager offers or the chosen one rejects (0 = 3).
+	SolicitRetries int
+	// Logf receives diagnostic lines; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// FreeMemFunc reports the node's current free task-execution memory; the
+// server wires the TaskManager's gauge in so JM offers are truthful.
+type FreeMemFunc func() int
+
+// jobState is one hosted job.
+type jobState struct {
+	id         string
+	name       string
+	clientNode string
+
+	// queue serializes the job's event and user-message processing: the
+	// endpoint delivers in arrival order and a single worker goroutine
+	// drains the queue, so causally ordered messages (a task's output
+	// before its completion event) are forwarded in order.
+	queue *msg.Mailbox
+
+	mu        sync.Mutex
+	specs     map[string]*task.Spec
+	placement map[string]string // task -> node
+	schedule  *Schedule
+	started   bool
+	notified  bool
+	taskErrs  map[string]string
+}
+
+// JobManager hosts jobs on one node.
+type JobManager struct {
+	cfg     Config
+	send    SendFunc
+	caller  *transport.Caller
+	freeMem FreeMemFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*jobState
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// jobQueueCap bounds each job's serial processing queue.
+const jobQueueCap = 16384
+
+// New creates a JobManager. The caller is used for TaskManager
+// solicitations and archive uploads; freeMem supplies offer data.
+func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFunc) *JobManager {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 16
+	}
+	if cfg.SolicitWindow <= 0 {
+		cfg.SolicitWindow = 200 * time.Millisecond
+	}
+	if cfg.SolicitRetries <= 0 {
+		cfg.SolicitRetries = 3
+	}
+	if freeMem == nil {
+		freeMem = func() int { return cfg.MemoryMB }
+	}
+	return &JobManager{
+		cfg:     cfg,
+		send:    send,
+		caller:  caller,
+		freeMem: freeMem,
+		jobs:    make(map[string]*jobState),
+	}
+}
+
+func (jm *JobManager) logf(format string, args ...any) {
+	if jm.cfg.Logf != nil {
+		jm.cfg.Logf("[jm %s] "+format, append([]any{jm.cfg.Node}, args...)...)
+	}
+}
+
+// ActiveJobs returns the number of hosted jobs that have not finished.
+// Finished jobs are kept as tombstones so late user messages from their
+// tasks still route (message handling is concurrent, so a task's final
+// message can arrive after its completion event).
+func (jm *JobManager) ActiveJobs() int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.activeLocked()
+}
+
+func (jm *JobManager) activeLocked() int {
+	n := 0
+	for _, j := range jm.jobs {
+		j.mu.Lock()
+		if !j.notified {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// HandleSolicit answers a KindJobManagerSolicit multicast: "JobManagers
+// respond to multicast requests for JobManagers if they have free resources
+// and are willing to be JobManagers." Returns nil when unwilling.
+func (jm *JobManager) HandleSolicit(m *msg.Message) *msg.Message {
+	var req protocol.JobRequirements
+	if err := protocol.Decode(m, &req); err != nil {
+		jm.logf("bad jm solicit: %v", err)
+		return nil
+	}
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed || jm.activeLocked() >= jm.cfg.MaxJobs {
+		return nil
+	}
+	free := jm.freeMem()
+	if req.MinMemoryMB > 0 && free < req.MinMemoryMB {
+		return nil
+	}
+	offer := protocol.JMOffer{Node: jm.cfg.Node, FreeMemoryMB: free, ActiveJobs: len(jm.jobs)}
+	return m.Reply(msg.KindJobManagerOffer, msg.MustEncode(offer))
+}
+
+// HandleCreateJob processes KindCreateJob: "The Job is subsequently created
+// in the selected JobManager."
+func (jm *JobManager) HandleCreateJob(m *msg.Message) *msg.Message {
+	var req protocol.CreateJobReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return jm.errReply(m, fmt.Sprintf("bad create-job request: %v", err))
+	}
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed {
+		return jm.errReply(m, "job manager shut down")
+	}
+	if jm.activeLocked() >= jm.cfg.MaxJobs {
+		return jm.errReply(m, "job manager at capacity")
+	}
+	jm.nextID++
+	id := fmt.Sprintf("%s-job%d", jm.cfg.Node, jm.nextID)
+	j := &jobState{
+		id:         id,
+		name:       req.Name,
+		clientNode: req.ClientNode,
+		queue:      msg.NewMailbox(jobQueueCap),
+		specs:      make(map[string]*task.Spec),
+		placement:  make(map[string]string),
+		taskErrs:   make(map[string]string),
+	}
+	jm.jobs[id] = j
+	jm.wg.Add(1)
+	go jm.jobWorker(j)
+	jm.logf("created job %s (%q) for client %s", id, req.Name, req.ClientNode)
+	return m.Reply(msg.KindJobCreated, msg.MustEncode(protocol.CreateJobResp{JobID: id}))
+}
+
+// errReply produces a KindJobFailed response carrying the error text, used
+// as the uniform failure answer for job-scoped requests.
+func (jm *JobManager) errReply(m *msg.Message, text string) *msg.Message {
+	r := m.Reply(msg.KindJobFailed, msg.MustEncode(protocol.JobEvent{Failed: true, Err: text}))
+	return r
+}
+
+func (jm *JobManager) job(id string) (*jobState, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("jobmgr %s: unknown job %q", jm.cfg.Node, id)
+	}
+	return j, nil
+}
+
+// HandleCreateTask processes KindCreateTask: solicit TaskManagers via
+// multicast, pick one, upload the archive, record the placement. It blocks
+// on the solicitation round trips and must run outside the endpoint's
+// dispatch goroutine.
+func (jm *JobManager) HandleCreateTask(m *msg.Message) *msg.Message {
+	var req protocol.CreateTaskReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return jm.errReply(m, fmt.Sprintf("bad create-task request: %v", err))
+	}
+	j, err := jm.job(req.JobID)
+	if err != nil {
+		return jm.errReply(m, err.Error())
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return jm.errReply(m, err.Error())
+	}
+	j.mu.Lock()
+	if j.notified {
+		j.mu.Unlock()
+		return jm.errReply(m, fmt.Sprintf("job %s already finished", j.id))
+	}
+	if j.started {
+		j.mu.Unlock()
+		return jm.errReply(m, fmt.Sprintf("job %s already started", j.id))
+	}
+	if _, dup := j.specs[req.Spec.Name]; dup {
+		j.mu.Unlock()
+		return jm.errReply(m, fmt.Sprintf("task %q already created", req.Spec.Name))
+	}
+	j.mu.Unlock()
+
+	node, err := jm.place(j, &req)
+	if err != nil {
+		return jm.errReply(m, err.Error())
+	}
+
+	j.mu.Lock()
+	j.specs[req.Spec.Name] = req.Spec
+	j.placement[req.Spec.Name] = node
+	j.mu.Unlock()
+	jm.logf("job %s: task %q placed on %s", j.id, req.Spec.Name, node)
+	return m.Reply(msg.KindTaskAccepted, msg.MustEncode(protocol.CreateTaskResp{Placement: node}))
+}
+
+// place solicits TaskManagers and uploads the archive to the best offer:
+// "The JobManager solicits TaskManager for the Tasks ... If a willing
+// TaskManager is found the JobManager will upload the JAR file to that
+// TaskManager."
+func (jm *JobManager) place(j *jobState, req *protocol.CreateTaskReq) (string, error) {
+	solicit := protocol.TaskSolicitReq{JobID: j.id, Spec: req.Spec}
+	var lastErr error
+	for attempt := 0; attempt < jm.cfg.SolicitRetries; attempt++ {
+		sm := protocol.Body(msg.KindTaskSolicit,
+			msg.Address{Node: jm.cfg.Node, Job: j.id},
+			msg.Address{},
+			solicit)
+		replies, err := jm.caller.GatherGroup(protocol.GroupTaskManagers, sm, jm.cfg.SolicitWindow)
+		if err != nil {
+			return "", fmt.Errorf("jobmgr %s: solicit task managers: %w", jm.cfg.Node, err)
+		}
+		offers := make([]protocol.TMOffer, 0, len(replies))
+		for _, r := range replies {
+			var o protocol.TMOffer
+			if err := protocol.Decode(r, &o); err == nil {
+				offers = append(offers, o)
+			}
+		}
+		if len(offers) == 0 {
+			lastErr = fmt.Errorf("jobmgr %s: no TaskManager offered to run task %q", jm.cfg.Node, req.Spec.Name)
+			continue
+		}
+		// Best fit: most free memory, ties broken by fewest running tasks,
+		// then by node name for determinism.
+		sort.Slice(offers, func(a, b int) bool {
+			if offers[a].FreeMemoryMB != offers[b].FreeMemoryMB {
+				return offers[a].FreeMemoryMB > offers[b].FreeMemoryMB
+			}
+			if offers[a].RunningTasks != offers[b].RunningTasks {
+				return offers[a].RunningTasks < offers[b].RunningTasks
+			}
+			return offers[a].Node < offers[b].Node
+		})
+		for _, offer := range offers {
+			assign := protocol.AssignTaskReq{
+				JobID:       j.id,
+				JobManager:  jm.cfg.Node,
+				ClientNode:  j.clientNode,
+				Spec:        req.Spec,
+				ArchiveName: req.ArchiveName,
+				Archive:     req.Archive,
+				Digest:      req.Digest,
+			}
+			am := protocol.Body(msg.KindUploadJar,
+				msg.Address{Node: jm.cfg.Node, Job: j.id},
+				msg.Address{Node: offer.Node},
+				assign)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			reply, err := jm.caller.Call(ctx, offer.Node, am)
+			cancel()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			var resp protocol.AssignTaskResp
+			if err := protocol.Decode(reply, &resp); err != nil {
+				lastErr = err
+				continue
+			}
+			if !resp.OK {
+				lastErr = fmt.Errorf("jobmgr %s: %s rejected task %q: %s", jm.cfg.Node, offer.Node, req.Spec.Name, resp.Reason)
+				continue
+			}
+			return offer.Node, nil
+		}
+	}
+	return "", fmt.Errorf("jobmgr %s: placement of %q failed: %w", jm.cfg.Node, req.Spec.Name, lastErr)
+}
+
+// HandleStartJob processes KindStartTask from the client: build the
+// dependency schedule and dispatch every ready task.
+func (jm *JobManager) HandleStartJob(m *msg.Message) *msg.Message {
+	var req protocol.StartJobReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return jm.errReply(m, fmt.Sprintf("bad start request: %v", err))
+	}
+	j, err := jm.job(req.JobID)
+	if err != nil {
+		return jm.errReply(m, err.Error())
+	}
+	j.mu.Lock()
+	if j.notified {
+		j.mu.Unlock()
+		return jm.errReply(m, fmt.Sprintf("job %s already finished", j.id))
+	}
+	if j.started {
+		j.mu.Unlock()
+		return jm.errReply(m, fmt.Sprintf("job %s already started", j.id))
+	}
+	if len(j.specs) == 0 {
+		j.mu.Unlock()
+		return jm.errReply(m, fmt.Sprintf("job %s has no tasks", j.id))
+	}
+	specs := make([]*task.Spec, 0, len(j.specs))
+	if len(req.TaskNames) > 0 {
+		for _, name := range req.TaskNames {
+			sp, ok := j.specs[name]
+			if !ok {
+				j.mu.Unlock()
+				return jm.errReply(m, fmt.Sprintf("job %s has no task %q", j.id, name))
+			}
+			specs = append(specs, sp)
+		}
+	} else {
+		for _, sp := range j.specs {
+			specs = append(specs, sp)
+		}
+	}
+	sched, err := NewSchedule(specs)
+	if err != nil {
+		j.mu.Unlock()
+		return jm.errReply(m, err.Error())
+	}
+	j.schedule = sched
+	j.started = true
+	ready := sched.Ready()
+	for _, name := range ready {
+		if err := sched.MarkRunning(name); err != nil {
+			j.mu.Unlock()
+			return jm.errReply(m, err.Error())
+		}
+	}
+	j.mu.Unlock()
+
+	for _, name := range ready {
+		jm.execTask(j, name)
+	}
+	jm.logf("job %s started: %d tasks, %d roots", j.id, sched.Len(), len(ready))
+	return m.Reply(msg.KindPong, nil)
+}
+
+// execTask dispatches one task to its TaskManager.
+func (jm *JobManager) execTask(j *jobState, name string) {
+	j.mu.Lock()
+	node := j.placement[name]
+	j.mu.Unlock()
+	em := protocol.Body(msg.KindExecTask,
+		msg.Address{Node: jm.cfg.Node, Job: j.id},
+		msg.Address{Node: node, Job: j.id, Task: name},
+		protocol.ExecTaskReq{JobID: j.id, Task: name})
+	if err := jm.send(node, em); err != nil {
+		jm.logf("job %s: exec %q on %s: %v", j.id, name, node, err)
+		jm.onTaskEvent(msg.KindTaskFailed, &protocol.TaskEvent{
+			JobID: j.id, Task: name, Node: node, Err: fmt.Sprintf("dispatch: %v", err),
+		})
+	}
+}
+
+// Enqueue places a job-scoped message (task lifecycle event or user
+// message) on the owning job's serial queue. The job id is taken from the
+// destination address so no payload decoding happens on the endpoint's
+// dispatch goroutine. Unknown jobs and overflow drop the message, matching
+// the fabric's at-most-once semantics.
+func (jm *JobManager) Enqueue(m *msg.Message) {
+	jobID := m.To.Job
+	if jobID == "" {
+		jobID = m.From.Job
+	}
+	jm.mu.Lock()
+	j, ok := jm.jobs[jobID]
+	jm.mu.Unlock()
+	if !ok {
+		jm.logf("message %s for unknown job %q dropped", m.Kind, jobID)
+		return
+	}
+	if err := j.queue.TryPut(m); err != nil {
+		jm.logf("job %s: queue full, dropping %s", j.id, m.Kind)
+	}
+}
+
+// jobWorker drains one job's queue in arrival order.
+func (jm *JobManager) jobWorker(j *jobState) {
+	defer jm.wg.Done()
+	for {
+		m, err := j.queue.Get()
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case msg.KindTaskStarted, msg.KindTaskCompleted, msg.KindTaskFailed:
+			jm.HandleTaskEvent(m.Kind, m)
+		case msg.KindUser, msg.KindBroadcast:
+			if err := jm.HandleUser(m.Kind, m); err != nil {
+				jm.logf("route user message: %v", err)
+			}
+		default:
+			jm.logf("job %s: unexpected queued kind %s", j.id, m.Kind)
+		}
+	}
+}
+
+// HandleTaskEvent processes lifecycle events from TaskManagers and drives
+// the schedule forward.
+func (jm *JobManager) HandleTaskEvent(kind msg.Kind, m *msg.Message) {
+	var ev protocol.TaskEvent
+	if err := protocol.Decode(m, &ev); err != nil {
+		jm.logf("bad task event: %v", err)
+		return
+	}
+	jm.onTaskEvent(kind, &ev)
+}
+
+func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
+	j, err := jm.job(ev.JobID)
+	if err != nil {
+		jm.logf("event %s for unknown job %s", kind, ev.JobID)
+		return
+	}
+	// Forward every lifecycle event to the client ("Get Messages from
+	// Tasks" includes lifecycle notifications).
+	jm.forwardToClient(j, kind, ev)
+
+	var toStart []string
+	var jobDone, jobFailed bool
+	j.mu.Lock()
+	if j.schedule == nil || j.notified {
+		j.mu.Unlock()
+		return
+	}
+	switch kind {
+	case msg.KindTaskStarted:
+		// informational only
+	case msg.KindTaskCompleted:
+		newly, err := j.schedule.Complete(ev.Task)
+		if err != nil {
+			jm.logf("job %s: %v", j.id, err)
+		}
+		for _, name := range newly {
+			if err := j.schedule.MarkRunning(name); err == nil {
+				toStart = append(toStart, name)
+			}
+		}
+	case msg.KindTaskFailed:
+		j.taskErrs[ev.Task] = ev.Err
+		if err := j.schedule.Fail(ev.Task); err != nil {
+			jm.logf("job %s: %v", j.id, err)
+		}
+	}
+	if j.schedule.Done() || j.schedule.Failed() {
+		jobDone = true
+		jobFailed = j.schedule.Failed()
+		j.notified = true
+	}
+	j.mu.Unlock()
+
+	for _, name := range toStart {
+		jm.execTask(j, name)
+	}
+	if jobDone {
+		jm.finishJob(j, jobFailed)
+	}
+}
+
+// finishJob cancels remaining tasks (on failure), notifies the client, and
+// forgets the job.
+func (jm *JobManager) finishJob(j *jobState, failed bool) {
+	j.mu.Lock()
+	nodes := make(map[string]bool)
+	for _, n := range j.placement {
+		nodes[n] = true
+	}
+	errs := make(map[string]string, len(j.taskErrs))
+	for k, v := range j.taskErrs {
+		errs[k] = v
+	}
+	client := j.clientNode
+	j.mu.Unlock()
+
+	if failed {
+		for node := range nodes {
+			cm := protocol.Body(msg.KindCancelJob,
+				msg.Address{Node: jm.cfg.Node, Job: j.id},
+				msg.Address{Node: node, Job: j.id},
+				protocol.CancelJobReq{JobID: j.id, Reason: "job failed"})
+			if err := jm.send(node, cm); err != nil {
+				jm.logf("job %s: cancel on %s: %v", j.id, node, err)
+			}
+		}
+	}
+
+	kind := msg.KindJobCompleted
+	var errText string
+	if failed {
+		kind = msg.KindJobFailed
+		errText = "one or more tasks failed"
+	}
+	ev := protocol.JobEvent{JobID: j.id, Failed: failed, Err: errText, TaskErrs: errs}
+	em := protocol.Body(kind,
+		msg.Address{Node: jm.cfg.Node, Job: j.id},
+		msg.Address{Node: client, Job: j.id, Task: protocol.ClientTaskName},
+		ev)
+	if err := jm.send(client, em); err != nil {
+		jm.logf("job %s: notify client: %v", j.id, err)
+	}
+	// The job record stays as a tombstone so late user messages still route.
+	jm.logf("job %s finished (failed=%v)", j.id, failed)
+}
+
+// forwardToClient relays a task lifecycle event to the owning client.
+func (jm *JobManager) forwardToClient(j *jobState, kind msg.Kind, ev *protocol.TaskEvent) {
+	m := protocol.Body(kind,
+		msg.Address{Node: jm.cfg.Node, Job: j.id, Task: ev.Task},
+		msg.Address{Node: j.clientNode, Job: j.id, Task: protocol.ClientTaskName},
+		*ev)
+	if err := jm.send(j.clientNode, m); err != nil {
+		jm.logf("job %s: forward %s to client: %v", j.id, kind, err)
+	}
+}
+
+// HandleUser routes a user message through the conduit: to the client when
+// addressed to "client", to every sibling for broadcasts, otherwise to the
+// hosting TaskManager of the destination task.
+func (jm *JobManager) HandleUser(kind msg.Kind, m *msg.Message) error {
+	var p protocol.UserPayload
+	if err := protocol.Decode(m, &p); err != nil {
+		return fmt.Errorf("jobmgr %s: bad user payload: %w", jm.cfg.Node, err)
+	}
+	j, err := jm.job(p.JobID)
+	if err != nil {
+		return err
+	}
+	if kind == msg.KindBroadcast {
+		j.mu.Lock()
+		targets := make(map[string]string, len(j.placement))
+		for t, node := range j.placement {
+			if t != p.FromTask {
+				targets[t] = node
+			}
+		}
+		j.mu.Unlock()
+		for t, node := range targets {
+			fp := p
+			fp.ToTask = t
+			fm := protocol.Body(msg.KindUser,
+				m.From,
+				msg.Address{Node: node, Job: j.id, Task: t},
+				fp).SetHeader(protocol.HeaderRouted, "1")
+			if err := jm.send(node, fm); err != nil {
+				jm.logf("job %s: broadcast to %s/%s: %v", j.id, node, t, err)
+			}
+		}
+		return nil
+	}
+	if p.ToTask == protocol.ClientTaskName {
+		j.mu.Lock()
+		client := j.clientNode
+		j.mu.Unlock()
+		fm := protocol.Body(msg.KindUser, m.From,
+			msg.Address{Node: client, Job: j.id, Task: protocol.ClientTaskName}, p).
+			SetHeader(protocol.HeaderRouted, "1")
+		return jm.send(client, fm)
+	}
+	j.mu.Lock()
+	node, ok := j.placement[p.ToTask]
+	j.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("jobmgr %s: job %s has no task %q", jm.cfg.Node, j.id, p.ToTask)
+	}
+	fm := protocol.Body(msg.KindUser, m.From,
+		msg.Address{Node: node, Job: j.id, Task: p.ToTask}, p).
+		SetHeader(protocol.HeaderRouted, "1")
+	return jm.send(node, fm)
+}
+
+// HandleCancel processes a client-initiated KindCancelJob.
+func (jm *JobManager) HandleCancel(m *msg.Message) *msg.Message {
+	var req protocol.CancelJobReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return jm.errReply(m, fmt.Sprintf("bad cancel request: %v", err))
+	}
+	j, err := jm.job(req.JobID)
+	if err != nil {
+		return jm.errReply(m, err.Error())
+	}
+	j.mu.Lock()
+	if j.schedule != nil {
+		j.schedule.CancelAll()
+	}
+	j.notified = true
+	j.mu.Unlock()
+	jm.finishJobCancelled(j, req.Reason)
+	return m.Reply(msg.KindPong, nil)
+}
+
+func (jm *JobManager) finishJobCancelled(j *jobState, reason string) {
+	j.mu.Lock()
+	nodes := make(map[string]bool)
+	for _, n := range j.placement {
+		nodes[n] = true
+	}
+	j.mu.Unlock()
+	for node := range nodes {
+		cm := protocol.Body(msg.KindCancelJob,
+			msg.Address{Node: jm.cfg.Node, Job: j.id},
+			msg.Address{Node: node, Job: j.id},
+			protocol.CancelJobReq{JobID: j.id, Reason: reason})
+		if err := jm.send(node, cm); err != nil {
+			jm.logf("job %s: cancel on %s: %v", j.id, node, err)
+		}
+	}
+	jm.logf("job %s cancelled: %s", j.id, reason)
+}
+
+// Close marks the JobManager unwilling to host further jobs and stops the
+// per-job workers.
+func (jm *JobManager) Close() {
+	jm.mu.Lock()
+	jm.closed = true
+	for _, j := range jm.jobs {
+		j.queue.Close()
+	}
+	jm.mu.Unlock()
+	jm.wg.Wait()
+}

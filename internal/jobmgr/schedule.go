@@ -1,0 +1,193 @@
+// Package jobmgr implements the CN JobManager: "a conduit between the
+// client CN application and the Job". It creates jobs on behalf of
+// clients, solicits TaskManagers for task placement, uploads archives,
+// starts tasks in dependency order, routes user messages between tasks and
+// the client, and collates terminal job status.
+package jobmgr
+
+import (
+	"fmt"
+	"sort"
+
+	"cn/internal/task"
+)
+
+// Status is a task's scheduling state inside a job.
+type Status int
+
+// Task scheduling states.
+const (
+	// StatusPending means dependencies are not yet satisfied.
+	StatusPending Status = iota
+	// StatusReady means the task may start.
+	StatusReady
+	// StatusRunning means the task has been dispatched to its TaskManager.
+	StatusRunning
+	// StatusDone means the task completed successfully.
+	StatusDone
+	// StatusFailed means the task terminated with an error.
+	StatusFailed
+	// StatusCancelled means the task was abandoned because the job failed.
+	StatusCancelled
+)
+
+var statusNames = map[Status]string{
+	StatusPending:   "pending",
+	StatusReady:     "ready",
+	StatusRunning:   "running",
+	StatusDone:      "done",
+	StatusFailed:    "failed",
+	StatusCancelled: "cancelled",
+}
+
+// String returns the lowercase status name.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Schedule tracks dependency-ordered execution of a job's tasks. It is not
+// concurrency-safe; the owning JobManager serializes access.
+type Schedule struct {
+	unmet      map[string]map[string]bool // task -> unmet dependency set
+	dependents map[string][]string        // task -> tasks depending on it
+	state      map[string]Status
+	terminal   int
+	failed     bool
+}
+
+// NewSchedule builds the scheduling state for a set of task specs. All
+// dependencies must reference tasks in the set and the graph must be
+// acyclic (callers validate this via cnx/core; NewSchedule re-checks the
+// reference integrity cheaply).
+func NewSchedule(specs []*task.Spec) (*Schedule, error) {
+	s := &Schedule{
+		unmet:      make(map[string]map[string]bool, len(specs)),
+		dependents: make(map[string][]string),
+		state:      make(map[string]Status, len(specs)),
+	}
+	byName := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if byName[sp.Name] {
+			return nil, fmt.Errorf("jobmgr: duplicate task %q", sp.Name)
+		}
+		byName[sp.Name] = true
+	}
+	for _, sp := range specs {
+		unmet := make(map[string]bool, len(sp.DependsOn))
+		for _, d := range sp.DependsOn {
+			if !byName[d] {
+				return nil, fmt.Errorf("jobmgr: task %q depends on unknown task %q", sp.Name, d)
+			}
+			unmet[d] = true
+			s.dependents[d] = append(s.dependents[d], sp.Name)
+		}
+		s.unmet[sp.Name] = unmet
+		if len(unmet) == 0 {
+			s.state[sp.Name] = StatusReady
+		} else {
+			s.state[sp.Name] = StatusPending
+		}
+	}
+	return s, nil
+}
+
+// Len returns the number of tasks.
+func (s *Schedule) Len() int { return len(s.state) }
+
+// Status returns a task's state.
+func (s *Schedule) Status(name string) Status { return s.state[name] }
+
+// Ready returns the sorted names of tasks that may start now.
+func (s *Schedule) Ready() []string {
+	var out []string
+	for n, st := range s.state {
+		if st == StatusReady {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkRunning transitions a ready task to running.
+func (s *Schedule) MarkRunning(name string) error {
+	if s.state[name] != StatusReady {
+		return fmt.Errorf("jobmgr: task %q is %s, not ready", name, s.state[name])
+	}
+	s.state[name] = StatusRunning
+	return nil
+}
+
+// Complete records successful termination and returns the sorted names of
+// tasks that became ready as a result.
+func (s *Schedule) Complete(name string) ([]string, error) {
+	if st := s.state[name]; st != StatusRunning {
+		return nil, fmt.Errorf("jobmgr: complete %q: state %s", name, st)
+	}
+	s.state[name] = StatusDone
+	s.terminal++
+	var newly []string
+	for _, dep := range s.dependents[name] {
+		if s.state[dep] != StatusPending {
+			continue
+		}
+		delete(s.unmet[dep], name)
+		if len(s.unmet[dep]) == 0 {
+			s.state[dep] = StatusReady
+			newly = append(newly, dep)
+		}
+	}
+	sort.Strings(newly)
+	return newly, nil
+}
+
+// Fail records failed termination; the job is failed and every
+// not-yet-terminal task is cancelled.
+func (s *Schedule) Fail(name string) error {
+	if st := s.state[name]; st != StatusRunning {
+		return fmt.Errorf("jobmgr: fail %q: state %s", name, st)
+	}
+	s.state[name] = StatusFailed
+	s.terminal++
+	s.failed = true
+	for n, st := range s.state {
+		switch st {
+		case StatusPending, StatusReady:
+			s.state[n] = StatusCancelled
+			s.terminal++
+		}
+	}
+	return nil
+}
+
+// CancelAll cancels every non-terminal task (used for client-initiated
+// job cancellation). Running tasks stay running until their TaskManagers
+// observe the cancellation; they are counted terminal here.
+func (s *Schedule) CancelAll() {
+	s.failed = true
+	for n, st := range s.state {
+		switch st {
+		case StatusPending, StatusReady, StatusRunning:
+			s.state[n] = StatusCancelled
+			s.terminal++
+		}
+	}
+}
+
+// Done reports whether every task reached a terminal state.
+func (s *Schedule) Done() bool { return s.terminal == len(s.state) }
+
+// Failed reports whether any task failed (or the job was cancelled).
+func (s *Schedule) Failed() bool { return s.failed }
+
+// Counts returns how many tasks are in each state.
+func (s *Schedule) Counts() map[Status]int {
+	out := make(map[Status]int)
+	for _, st := range s.state {
+		out[st]++
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package jobmgr
+
+import (
+	"testing"
+
+	"cn/internal/task"
+)
+
+func specs(t *testing.T, defs ...[2]string) []*task.Spec {
+	t.Helper()
+	out := make([]*task.Spec, 0, len(defs))
+	for _, d := range defs {
+		s := &task.Spec{Name: d[0], Class: "c.X", Req: task.DefaultRequirements()}
+		if d[1] != "" {
+			for _, dep := range splitComma(d[1]) {
+				s.DependsOn = append(s.DependsOn, dep)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func TestScheduleLinearChain(t *testing.T) {
+	s, err := NewSchedule(specs(t, [2]string{"a", ""}, [2]string{"b", "a"}, [2]string{"c", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ready(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Ready = %v", got)
+	}
+	if err := s.MarkRunning("a"); err != nil {
+		t.Fatal(err)
+	}
+	newly, err := s.Complete("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 1 || newly[0] != "b" {
+		t.Fatalf("newly = %v", newly)
+	}
+	if err := s.MarkRunning("b"); err != nil {
+		t.Fatal(err)
+	}
+	newly, err = s.Complete("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 1 || newly[0] != "c" {
+		t.Fatalf("newly = %v", newly)
+	}
+	if s.Done() {
+		t.Error("Done before c finished")
+	}
+	if err := s.MarkRunning("c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Complete("c"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || s.Failed() {
+		t.Errorf("Done=%v Failed=%v", s.Done(), s.Failed())
+	}
+}
+
+func TestScheduleFanOutFanIn(t *testing.T) {
+	s, err := NewSchedule(specs(t,
+		[2]string{"split", ""},
+		[2]string{"w1", "split"},
+		[2]string{"w2", "split"},
+		[2]string{"w3", "split"},
+		[2]string{"join", "w1,w2,w3"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("split"); err != nil {
+		t.Fatal(err)
+	}
+	newly, err := s.Complete("split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 3 {
+		t.Fatalf("newly after split = %v", newly)
+	}
+	for _, w := range newly {
+		if err := s.MarkRunning(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Join only becomes ready after the last worker.
+	for i, w := range []string{"w1", "w2", "w3"} {
+		newly, err := s.Complete(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 && len(newly) != 0 {
+			t.Errorf("join ready early after %s: %v", w, newly)
+		}
+		if i == 2 && (len(newly) != 1 || newly[0] != "join") {
+			t.Errorf("join not ready after last worker: %v", newly)
+		}
+	}
+}
+
+func TestScheduleFailCancelsRest(t *testing.T) {
+	s, err := NewSchedule(specs(t,
+		[2]string{"a", ""},
+		[2]string{"b", "a"},
+		[2]string{"c", "b"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Failed() || !s.Done() {
+		t.Errorf("Failed=%v Done=%v", s.Failed(), s.Done())
+	}
+	if s.Status("b") != StatusCancelled || s.Status("c") != StatusCancelled {
+		t.Errorf("b=%v c=%v", s.Status("b"), s.Status("c"))
+	}
+}
+
+func TestScheduleFailWithRunningSibling(t *testing.T) {
+	s, err := NewSchedule(specs(t,
+		[2]string{"w1", ""},
+		[2]string{"w2", ""},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail("w1"); err != nil {
+		t.Fatal(err)
+	}
+	// w2 is still running; the schedule is failed but not yet done.
+	if !s.Failed() {
+		t.Error("not failed")
+	}
+	if s.Done() {
+		t.Error("done while w2 running")
+	}
+	if _, err := s.Complete("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Error("not done after w2 completes")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := NewSchedule(specs(t, [2]string{"a", ""}, [2]string{"a", ""})); err == nil {
+		t.Error("duplicate task accepted")
+	}
+	if _, err := NewSchedule(specs(t, [2]string{"a", "ghost"})); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	s, err := NewSchedule(specs(t, [2]string{"a", ""}, [2]string{"b", "a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("b"); err == nil {
+		t.Error("MarkRunning on pending accepted")
+	}
+	if _, err := s.Complete("a"); err == nil {
+		t.Error("Complete on non-running accepted")
+	}
+	if err := s.Fail("a"); err == nil {
+		t.Error("Fail on non-running accepted")
+	}
+}
+
+func TestScheduleCancelAll(t *testing.T) {
+	s, err := NewSchedule(specs(t, [2]string{"a", ""}, [2]string{"b", "a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("a"); err != nil {
+		t.Fatal(err)
+	}
+	s.CancelAll()
+	if !s.Done() || !s.Failed() {
+		t.Errorf("Done=%v Failed=%v after CancelAll", s.Done(), s.Failed())
+	}
+	counts := s.Counts()
+	if counts[StatusCancelled] != 2 {
+		t.Errorf("Counts = %v", counts)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusRunning.String() != "running" {
+		t.Errorf("StatusRunning = %q", StatusRunning)
+	}
+	if Status(99).String() != "Status(99)" {
+		t.Errorf("unknown = %q", Status(99))
+	}
+}
+
+func TestScheduleDiamond(t *testing.T) {
+	s, err := NewSchedule(specs(t,
+		[2]string{"top", ""},
+		[2]string{"l", "top"},
+		[2]string{"r", "top"},
+		[2]string{"bottom", "l,r"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("top"); err != nil {
+		t.Fatal(err)
+	}
+	newly, err := s.Complete("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 2 {
+		t.Fatalf("newly = %v", newly)
+	}
+	if err := s.MarkRunning("l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("r"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Complete("l"); err != nil || len(n) != 0 {
+		t.Fatalf("after l: %v %v", n, err)
+	}
+	n, err := s.Complete("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n) != 1 || n[0] != "bottom" {
+		t.Fatalf("after r: %v", n)
+	}
+}

@@ -1,0 +1,287 @@
+// Package metrics provides the lightweight instrumentation used by the CN
+// cluster harness and the benchmark suite: counters, gauges, and
+// fixed-reservoir histograms with quantile estimation. Everything is
+// allocation-light and safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be >= 0; negative deltas are ignored).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records observations into a bounded reservoir and computes
+// summary statistics. When the reservoir fills, it keeps every k-th
+// observation (deterministic decimation rather than random sampling, so
+// results are reproducible).
+type Histogram struct {
+	mu        sync.Mutex
+	samples   []float64
+	maxSize   int
+	stride    int64
+	seen      int64
+	count     int64
+	sum       float64
+	min, max  float64
+	hasMinMax bool
+}
+
+// DefaultReservoir is the sample cap when NewHistogram is given n <= 0.
+const DefaultReservoir = 8192
+
+// NewHistogram creates a histogram keeping at most n samples.
+func NewHistogram(n int) *Histogram {
+	if n <= 0 {
+		n = DefaultReservoir
+	}
+	return &Histogram{maxSize: n, stride: 1}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if !h.hasMinMax || v < h.min {
+		h.min = v
+	}
+	if !h.hasMinMax || v > h.max {
+		h.max = v
+	}
+	h.hasMinMax = true
+
+	h.seen++
+	if h.seen%h.stride != 0 {
+		return
+	}
+	h.samples = append(h.samples, v)
+	if len(h.samples) >= h.maxSize {
+		// Decimate: keep every other sample and double the stride.
+		kept := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+		h.stride *= 2
+	}
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations (not just sampled).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.hasMinMax {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.hasMinMax {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from the
+// reservoir; NaN when empty or q out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	samples := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(samples)
+	if q == 1 {
+		return samples[len(samples)-1]
+	}
+	idx := q * float64(len(samples)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return samples[lo]
+	}
+	frac := idx - float64(lo)
+	return samples[lo]*(1-frac) + samples[hi]*frac
+}
+
+// Summary is a point-in-time digest of a histogram.
+type Summary struct {
+	Count          int64
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes the digest.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+		s.Count, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Registry is a named collection of metrics, one per CN component.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(0)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Dump renders every metric, sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s: %s", name, h.Summarize()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Timer measures one operation's wall time into a histogram.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing against h.
+func StartTimer(h *Histogram) *Timer {
+	return &Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed time (in milliseconds) and returns it.
+func (t *Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.h.ObserveDuration(d)
+	return d
+}

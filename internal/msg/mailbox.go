@@ -1,0 +1,185 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mailbox errors.
+var (
+	// ErrClosed is returned by Put/Get once the mailbox has been closed and,
+	// for Get, drained.
+	ErrClosed = errors.New("msg: mailbox closed")
+	// ErrFull is returned by TryPut when the mailbox is at capacity.
+	ErrFull = errors.New("msg: mailbox full")
+	// ErrEmpty is returned by TryGet when no message is queued.
+	ErrEmpty = errors.New("msg: mailbox empty")
+)
+
+// Mailbox is the bounded FIFO message queue the TaskManager sets up for each
+// task ("TaskManager in turn sets up a message queue for each Task"). It is
+// safe for concurrent use. A closed mailbox rejects new messages but allows
+// queued messages to be drained.
+type Mailbox struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	queue    []*Message
+	cap      int
+	closed   bool
+}
+
+// DefaultMailboxCapacity bounds a task mailbox when no explicit capacity is
+// configured.
+const DefaultMailboxCapacity = 1024
+
+// NewMailbox creates a mailbox holding at most capacity messages;
+// capacity <= 0 selects DefaultMailboxCapacity.
+func NewMailbox(capacity int) *Mailbox {
+	if capacity <= 0 {
+		capacity = DefaultMailboxCapacity
+	}
+	mb := &Mailbox{cap: capacity}
+	mb.notEmpty = sync.NewCond(&mb.mu)
+	mb.notFull = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// Cap returns the configured capacity.
+func (mb *Mailbox) Cap() int { return mb.cap }
+
+// Len returns the number of queued messages.
+func (mb *Mailbox) Len() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}
+
+// Put enqueues m, blocking while the mailbox is full. It returns ErrClosed
+// if the mailbox is closed before m could be enqueued.
+func (mb *Mailbox) Put(m *Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) >= mb.cap && !mb.closed {
+		mb.notFull.Wait()
+	}
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.queue = append(mb.queue, m)
+	mb.notEmpty.Signal()
+	return nil
+}
+
+// TryPut enqueues m without blocking. It returns ErrFull or ErrClosed when
+// the message cannot be accepted.
+func (mb *Mailbox) TryPut(m *Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	if len(mb.queue) >= mb.cap {
+		return ErrFull
+	}
+	mb.queue = append(mb.queue, m)
+	mb.notEmpty.Signal()
+	return nil
+}
+
+// Get dequeues the oldest message, blocking while the mailbox is empty.
+// It returns ErrClosed once the mailbox is closed and drained.
+func (mb *Mailbox) Get() (*Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.notEmpty.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return nil, ErrClosed
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	mb.notFull.Signal()
+	return m, nil
+}
+
+// GetContext is Get with cancellation: it returns ctx.Err() if ctx is done
+// before a message arrives.
+func (mb *Mailbox) GetContext(ctx context.Context) (*Message, error) {
+	done := make(chan struct{})
+	defer close(done)
+	// Wake the condition variable when the context fires so the waiting
+	// goroutine can observe cancellation.
+	stop := context.AfterFunc(ctx, func() {
+		mb.mu.Lock()
+		mb.notEmpty.Broadcast()
+		mb.mu.Unlock()
+	})
+	defer stop()
+
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed && ctx.Err() == nil {
+		mb.notEmpty.Wait()
+	}
+	if err := ctx.Err(); err != nil && len(mb.queue) == 0 {
+		return nil, fmt.Errorf("msg: get: %w", err)
+	}
+	if len(mb.queue) == 0 {
+		return nil, ErrClosed
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	mb.notFull.Signal()
+	return m, nil
+}
+
+// TryGet dequeues without blocking, returning ErrEmpty when nothing is
+// queued (or ErrClosed when closed and drained).
+func (mb *Mailbox) TryGet() (*Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.queue) == 0 {
+		if mb.closed {
+			return nil, ErrClosed
+		}
+		return nil, ErrEmpty
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	mb.notFull.Signal()
+	return m, nil
+}
+
+// Close marks the mailbox closed, waking all blocked producers and
+// consumers. Close is idempotent.
+func (mb *Mailbox) Close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.closed = true
+	mb.notEmpty.Broadcast()
+	mb.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (mb *Mailbox) Closed() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.closed
+}
+
+// Drain dequeues and returns all currently queued messages without blocking.
+func (mb *Mailbox) Drain() []*Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := mb.queue
+	mb.queue = nil
+	mb.notFull.Broadcast()
+	return out
+}

@@ -1,0 +1,294 @@
+// Package msg implements the Computational Neighborhood message model.
+//
+// The paper states: "CN uses messages as the fundamental information between
+// the CN and the client. CN has well-defined messages that define the Message
+// Request, expected Message Action and expected Message Response. Besides the
+// well-defined messages, CN also allows user-defined messages that only the
+// application (client and its tasks) understands."
+//
+// This package defines the message envelope, the well-defined message kinds,
+// addressing, and the payload codec shared by every CN component.
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies a well-defined CN message category. Applications exchange
+// KindUser messages; all other kinds are part of the CN protocol itself.
+type Kind int
+
+// Well-defined CN message kinds. The request/response pairing follows the
+// paper's "Message Request / expected Message Action / expected Message
+// Response" structure.
+const (
+	// KindInvalid is the zero Kind and never appears on the wire.
+	KindInvalid Kind = iota
+
+	// Discovery protocol (client -> JobManagers via multicast).
+	KindJobManagerSolicit // request: who can host a job with these requirements?
+	KindJobManagerOffer   // response: this JobManager is willing
+
+	// Job lifecycle (client -> selected JobManager).
+	KindCreateJob     // request: create a job
+	KindJobCreated    // response: job handle
+	KindCreateTask    // request: add a task to a job
+	KindTaskAccepted  // response: task registered and placed
+	KindStartTask     // request: start a named task
+	KindTaskStarted   // event: task began executing
+	KindTaskCompleted // event: task terminated normally
+	KindTaskFailed    // event: task terminated with an error
+	KindCancelJob     // request: abandon a job
+	KindJobCompleted  // event: all tasks in a job reached a terminal state
+	KindJobFailed     // event: the job reached a terminal failure state
+
+	// Task placement (JobManager -> TaskManagers via multicast).
+	KindTaskSolicit // request: who can execute this task?
+	KindTaskOffer   // response: this TaskManager is willing
+	KindUploadJar   // request: archive bytes for a placed task
+	KindJarUploaded // response: archive stored and verified
+	KindExecTask    // request: JobManager tells a TaskManager to run a task
+
+	// Data plane.
+	KindUser      // user-defined message; CN provides delivery only
+	KindBroadcast // user message fanned out to every task in the job
+
+	// Health.
+	KindPing
+	KindPong
+	KindShutdown
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:           "INVALID",
+	KindJobManagerSolicit: "JM_SOLICIT",
+	KindJobManagerOffer:   "JM_OFFER",
+	KindCreateJob:         "CREATE_JOB",
+	KindJobCreated:        "JOB_CREATED",
+	KindCreateTask:        "CREATE_TASK",
+	KindTaskAccepted:      "TASK_ACCEPTED",
+	KindStartTask:         "START_TASK",
+	KindTaskStarted:       "TASK_STARTED",
+	KindTaskCompleted:     "TASK_COMPLETED",
+	KindTaskFailed:        "TASK_FAILED",
+	KindCancelJob:         "CANCEL_JOB",
+	KindJobCompleted:      "JOB_COMPLETED",
+	KindJobFailed:         "JOB_FAILED",
+	KindTaskSolicit:       "TASK_SOLICIT",
+	KindTaskOffer:         "TASK_OFFER",
+	KindUploadJar:         "UPLOAD_JAR",
+	KindJarUploaded:       "JAR_UPLOADED",
+	KindExecTask:          "EXEC_TASK",
+	KindUser:              "USER",
+	KindBroadcast:         "BROADCAST",
+	KindPing:              "PING",
+	KindPong:              "PONG",
+	KindShutdown:          "SHUTDOWN",
+}
+
+// String returns the wire name of the kind, e.g. "TASK_COMPLETED".
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsWellDefined reports whether k is part of the CN protocol (as opposed to
+// a user-defined payload that CN merely delivers).
+func (k Kind) IsWellDefined() bool {
+	return k > KindInvalid && k <= KindShutdown && k != KindUser && k != KindBroadcast
+}
+
+// IsEvent reports whether k is an asynchronous lifecycle event (as opposed
+// to a request or a response).
+func (k Kind) IsEvent() bool {
+	switch k {
+	case KindTaskStarted, KindTaskCompleted, KindTaskFailed, KindJobCompleted, KindJobFailed:
+		return true
+	}
+	return false
+}
+
+// Address names a message endpoint inside a CN deployment. An address is
+// hierarchical: a node hosts jobs, a job hosts tasks. Empty trailing
+// components widen the scope: {Node:"n1"} addresses the server on n1,
+// {Node:"n1", Job:"j1"} its JobManager state for job j1, and
+// {Node:"n1", Job:"j1", Task:"t3"} a single task mailbox.
+type Address struct {
+	Node string
+	Job  string
+	Task string
+}
+
+// ClientAddress returns the conventional address of the client program for
+// the given job: clients are not hosted on a node, so Node is "client".
+func ClientAddress(job string) Address {
+	return Address{Node: "client", Job: job, Task: "client"}
+}
+
+// String renders the address as node/job/task with empty parts elided.
+func (a Address) String() string {
+	parts := []string{a.Node}
+	if a.Job != "" || a.Task != "" {
+		parts = append(parts, a.Job)
+	}
+	if a.Task != "" {
+		parts = append(parts, a.Task)
+	}
+	return strings.Join(parts, "/")
+}
+
+// IsZero reports whether the address is entirely empty.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// Matches reports whether a (possibly widened) pattern address matches m.
+// Empty components in the pattern match anything.
+func (a Address) Matches(m Address) bool {
+	if a.Node != "" && a.Node != m.Node {
+		return false
+	}
+	if a.Job != "" && a.Job != m.Job {
+		return false
+	}
+	if a.Task != "" && a.Task != m.Task {
+		return false
+	}
+	return true
+}
+
+// ParseAddress parses "node/job/task", "node/job" or "node".
+func ParseAddress(s string) (Address, error) {
+	if s == "" {
+		return Address{}, fmt.Errorf("msg: empty address")
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) > 3 {
+		return Address{}, fmt.Errorf("msg: address %q has more than three components", s)
+	}
+	var a Address
+	a.Node = parts[0]
+	if len(parts) > 1 {
+		a.Job = parts[1]
+	}
+	if len(parts) > 2 {
+		a.Task = parts[2]
+	}
+	return a, nil
+}
+
+// Message is the envelope exchanged between CN components and applications.
+type Message struct {
+	// ID is unique per producing process.
+	ID uint64
+	// Kind classifies the message; user traffic uses KindUser/KindBroadcast.
+	Kind Kind
+	// CorrelID links a response to the request it answers (0 for events).
+	CorrelID uint64
+	// From and To are the endpoints. To may be a widened address for
+	// multicast kinds.
+	From, To Address
+	// Payload is the gob-encoded body; see Encode/DecodePayload.
+	Payload []byte
+	// Headers carries small string metadata (e.g. task class, error text).
+	Headers map[string]string
+	// Time is the send timestamp.
+	Time time.Time
+}
+
+var nextID atomic.Uint64
+
+// NewID returns a process-unique message id.
+func NewID() uint64 { return nextID.Add(1) }
+
+// New constructs a message of the given kind between two endpoints with an
+// already-encoded payload.
+func New(kind Kind, from, to Address, payload []byte) *Message {
+	return &Message{
+		ID:      NewID(),
+		Kind:    kind,
+		From:    from,
+		To:      to,
+		Payload: payload,
+		Time:    time.Now(),
+	}
+}
+
+// Reply constructs a response message correlated with m, addressed back to
+// its sender.
+func (m *Message) Reply(kind Kind, payload []byte) *Message {
+	r := New(kind, m.To, m.From, payload)
+	r.CorrelID = m.ID
+	return r
+}
+
+// Header returns the named header or "".
+func (m *Message) Header(key string) string {
+	if m.Headers == nil {
+		return ""
+	}
+	return m.Headers[key]
+}
+
+// SetHeader sets a header, allocating the map on first use, and returns m
+// for chaining.
+func (m *Message) SetHeader(key, value string) *Message {
+	if m.Headers == nil {
+		m.Headers = make(map[string]string, 4)
+	}
+	m.Headers[key] = value
+	return m
+}
+
+// Clone returns a deep copy of m (payload and headers are copied).
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Payload != nil {
+		c.Payload = append([]byte(nil), m.Payload...)
+	}
+	if m.Headers != nil {
+		c.Headers = make(map[string]string, len(m.Headers))
+		for k, v := range m.Headers {
+			c.Headers[k] = v
+		}
+	}
+	return &c
+}
+
+// String renders a compact one-line description for logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s %s->%s id=%d len=%d", m.Kind, m.From, m.To, m.ID, len(m.Payload))
+}
+
+// EncodePayload gob-encodes v for use as a message payload.
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("msg: encode payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MustEncode is EncodePayload for values known to be encodable; it panics on
+// error and is intended for protocol-internal types.
+func MustEncode(v any) []byte {
+	b, err := EncodePayload(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// DecodePayload gob-decodes a payload produced by EncodePayload into out,
+// which must be a pointer.
+func DecodePayload(b []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(out); err != nil {
+		return fmt.Errorf("msg: decode payload: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	if got := KindTaskCompleted.String(); got != "TASK_COMPLETED" {
+		t.Errorf("KindTaskCompleted.String() = %q, want TASK_COMPLETED", got)
+	}
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	if KindUser.IsWellDefined() {
+		t.Error("KindUser must not be well-defined")
+	}
+	if KindBroadcast.IsWellDefined() {
+		t.Error("KindBroadcast must not be well-defined")
+	}
+	if !KindCreateJob.IsWellDefined() {
+		t.Error("KindCreateJob must be well-defined")
+	}
+	if !KindTaskFailed.IsEvent() {
+		t.Error("KindTaskFailed must be an event")
+	}
+	if KindCreateJob.IsEvent() {
+		t.Error("KindCreateJob must not be an event")
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	cases := []struct {
+		addr Address
+		want string
+	}{
+		{Address{Node: "n1"}, "n1"},
+		{Address{Node: "n1", Job: "j1"}, "n1/j1"},
+		{Address{Node: "n1", Job: "j1", Task: "t1"}, "n1/j1/t1"},
+		{Address{Node: "n1", Task: "t1"}, "n1//t1"},
+	}
+	for _, c := range cases {
+		if got := c.addr.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestParseAddressRoundTrip(t *testing.T) {
+	for _, s := range []string{"n1", "n1/j1", "n1/j1/t1"} {
+		a, err := ParseAddress(s)
+		if err != nil {
+			t.Fatalf("ParseAddress(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Errorf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseAddressErrors(t *testing.T) {
+	if _, err := ParseAddress(""); err == nil {
+		t.Error("ParseAddress(\"\") should fail")
+	}
+	if _, err := ParseAddress("a/b/c/d"); err == nil {
+		t.Error("ParseAddress with four components should fail")
+	}
+}
+
+func TestAddressMatches(t *testing.T) {
+	full := Address{Node: "n1", Job: "j1", Task: "t1"}
+	if !(Address{}).Matches(full) {
+		t.Error("empty pattern must match everything")
+	}
+	if !(Address{Node: "n1"}).Matches(full) {
+		t.Error("node pattern must match")
+	}
+	if !(Address{Node: "n1", Job: "j1"}).Matches(full) {
+		t.Error("node/job pattern must match")
+	}
+	if (Address{Node: "n2"}).Matches(full) {
+		t.Error("different node must not match")
+	}
+	if (Address{Node: "n1", Job: "j2"}).Matches(full) {
+		t.Error("different job must not match")
+	}
+	if (Address{Node: "n1", Job: "j1", Task: "t2"}).Matches(full) {
+		t.Error("different task must not match")
+	}
+}
+
+func TestClientAddress(t *testing.T) {
+	a := ClientAddress("job7")
+	if a.Node != "client" || a.Job != "job7" || a.Task != "client" {
+		t.Errorf("ClientAddress = %+v", a)
+	}
+}
+
+func TestNewIDMonotonic(t *testing.T) {
+	a, b := NewID(), NewID()
+	if b <= a {
+		t.Errorf("ids not increasing: %d then %d", a, b)
+	}
+}
+
+func TestNewIDConcurrentUnique(t *testing.T) {
+	const n = 64
+	ids := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = NewID()
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, n)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestReplyCorrelation(t *testing.T) {
+	from := Address{Node: "client", Task: "client"}
+	to := Address{Node: "n1"}
+	req := New(KindCreateJob, from, to, nil)
+	resp := req.Reply(KindJobCreated, []byte("ok"))
+	if resp.CorrelID != req.ID {
+		t.Errorf("CorrelID = %d, want %d", resp.CorrelID, req.ID)
+	}
+	if resp.From != to || resp.To != from {
+		t.Errorf("reply endpoints not swapped: from=%v to=%v", resp.From, resp.To)
+	}
+	if resp.Kind != KindJobCreated {
+		t.Errorf("reply kind = %v", resp.Kind)
+	}
+}
+
+func TestHeaders(t *testing.T) {
+	m := New(KindUser, Address{}, Address{}, nil)
+	if m.Header("missing") != "" {
+		t.Error("missing header should be empty")
+	}
+	m.SetHeader("class", "org.example.Task").SetHeader("x", "y")
+	if m.Header("class") != "org.example.Task" || m.Header("x") != "y" {
+		t.Errorf("headers = %v", m.Headers)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New(KindUser, Address{Node: "a"}, Address{Node: "b"}, []byte{1, 2, 3})
+	m.SetHeader("k", "v")
+	c := m.Clone()
+	c.Payload[0] = 99
+	c.Headers["k"] = "w"
+	if m.Payload[0] != 1 {
+		t.Error("clone shares payload")
+	}
+	if m.Headers["k"] != "v" {
+		t.Error("clone shares headers")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := New(KindPing, Address{Node: "a"}, Address{Node: "b"}, []byte("xy"))
+	s := m.String()
+	if s == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestPayloadCodec(t *testing.T) {
+	type payload struct {
+		N int
+		S string
+		F []float64
+	}
+	in := payload{N: 42, S: "hello", F: []float64{1.5, 2.5}}
+	b, err := EncodePayload(in)
+	if err != nil {
+		t.Fatalf("EncodePayload: %v", err)
+	}
+	var out payload
+	if err := DecodePayload(b, &out); err != nil {
+		t.Fatalf("DecodePayload: %v", err)
+	}
+	if out.N != in.N || out.S != in.S || len(out.F) != 2 || out.F[1] != 2.5 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodePayloadError(t *testing.T) {
+	var out int
+	if err := DecodePayload([]byte{0xff, 0x00}, &out); err == nil {
+		t.Error("DecodePayload of garbage should fail")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode of a channel should panic")
+		}
+	}()
+	MustEncode(make(chan int))
+}
+
+func TestPayloadRoundTripProperty(t *testing.T) {
+	f := func(n int64, s string, bs []byte) bool {
+		type trip struct {
+			N  int64
+			S  string
+			Bs []byte
+		}
+		b, err := EncodePayload(trip{n, s, bs})
+		if err != nil {
+			return false
+		}
+		var out trip
+		if err := DecodePayload(b, &out); err != nil {
+			return false
+		}
+		if out.N != n || out.S != s || len(out.Bs) != len(bs) {
+			return false
+		}
+		for i := range bs {
+			if out.Bs[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	mb := NewMailbox(8)
+	for i := 0; i < 5; i++ {
+		m := New(KindUser, Address{}, Address{}, []byte{byte(i)})
+		if err := mb.Put(m); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if mb.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", mb.Len())
+	}
+	for i := 0; i < 5; i++ {
+		m, err := mb.Get()
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if m.Payload[0] != byte(i) {
+			t.Errorf("out of order: got %d at position %d", m.Payload[0], i)
+		}
+	}
+}
+
+func TestMailboxDefaultCapacity(t *testing.T) {
+	mb := NewMailbox(0)
+	if mb.Cap() != DefaultMailboxCapacity {
+		t.Errorf("Cap = %d", mb.Cap())
+	}
+}
+
+func TestMailboxTryPutFull(t *testing.T) {
+	mb := NewMailbox(1)
+	if err := mb.TryPut(New(KindUser, Address{}, Address{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.TryPut(New(KindUser, Address{}, Address{}, nil)); !errors.Is(err, ErrFull) {
+		t.Errorf("TryPut on full = %v, want ErrFull", err)
+	}
+}
+
+func TestMailboxTryGetEmpty(t *testing.T) {
+	mb := NewMailbox(1)
+	if _, err := mb.TryGet(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("TryGet on empty = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMailboxBlockingPut(t *testing.T) {
+	mb := NewMailbox(1)
+	if err := mb.Put(New(KindUser, Address{}, Address{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- mb.Put(New(KindUser, Address{}, Address{}, nil)) }()
+	select {
+	case <-done:
+		t.Fatal("Put should block while full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := mb.Get(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked Put returned %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Put did not unblock after Get")
+	}
+}
+
+func TestMailboxBlockingGet(t *testing.T) {
+	mb := NewMailbox(1)
+	got := make(chan *Message, 1)
+	go func() {
+		m, err := mb.Get()
+		if err != nil {
+			t.Errorf("Get: %v", err)
+		}
+		got <- m
+	}()
+	time.Sleep(10 * time.Millisecond)
+	want := New(KindUser, Address{}, Address{}, []byte("x"))
+	if err := mb.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.ID != want.ID {
+			t.Errorf("got message %d, want %d", m.ID, want.ID)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get did not unblock")
+	}
+}
+
+func TestMailboxCloseUnblocksGet(t *testing.T) {
+	mb := NewMailbox(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := mb.Get()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mb.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Get after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock Get")
+	}
+}
+
+func TestMailboxCloseDrainsRemaining(t *testing.T) {
+	mb := NewMailbox(4)
+	if err := mb.Put(New(KindUser, Address{}, Address{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	mb.Close()
+	if !mb.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if _, err := mb.Get(); err != nil {
+		t.Errorf("Get of queued message after close: %v", err)
+	}
+	if _, err := mb.Get(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after drain = %v, want ErrClosed", err)
+	}
+	if err := mb.Put(New(KindUser, Address{}, Address{}, nil)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMailboxCloseIdempotent(t *testing.T) {
+	mb := NewMailbox(1)
+	mb.Close()
+	mb.Close() // must not panic
+}
+
+func TestMailboxGetContextCancel(t *testing.T) {
+	mb := NewMailbox(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := mb.GetContext(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("GetContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("GetContext did not observe cancellation")
+	}
+}
+
+func TestMailboxGetContextDelivers(t *testing.T) {
+	mb := NewMailbox(1)
+	want := New(KindUser, Address{}, Address{}, nil)
+	if err := mb.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mb.GetContext(context.Background())
+	if err != nil {
+		t.Fatalf("GetContext: %v", err)
+	}
+	if m.ID != want.ID {
+		t.Errorf("got %d, want %d", m.ID, want.ID)
+	}
+}
+
+func TestMailboxDrain(t *testing.T) {
+	mb := NewMailbox(8)
+	for i := 0; i < 3; i++ {
+		if err := mb.Put(New(KindUser, Address{}, Address{}, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := mb.Drain()
+	if len(out) != 3 {
+		t.Errorf("Drain returned %d messages, want 3", len(out))
+	}
+	if mb.Len() != 0 {
+		t.Errorf("Len after drain = %d", mb.Len())
+	}
+}
+
+func TestMailboxConcurrentProducersConsumers(t *testing.T) {
+	mb := NewMailbox(16)
+	const producers, perProducer = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := mb.Put(New(KindUser, Address{}, Address{}, nil)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var consumed sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for c := 0; c < 4; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				_, err := mb.Get()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				count++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for the queue to empty, then close to release consumers.
+	for mb.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	mb.Close()
+	consumed.Wait()
+	if count != producers*perProducer {
+		t.Errorf("consumed %d messages, want %d", count, producers*perProducer)
+	}
+}

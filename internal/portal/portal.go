@@ -1,0 +1,304 @@
+// Package portal implements the paper's "Prototype Web interface to the CN
+// cluster that accepts UML model in XMI format, translates the model to an
+// executable, executes [the] model and displays or makes the results
+// available for download", so that "the user does not need to log on to
+// the subnet".
+//
+// Endpoints:
+//
+//	GET  /                  - HTML landing page
+//	GET  /api/status        - cluster status (JSON)
+//	POST /api/xmi2cnx       - XMI body in, CNX descriptor out
+//	POST /api/cnx2go        - CNX body in, generated Go client program out
+//	POST /api/run           - XMI body in, executes it, JSON results out
+//	POST /api/run-cnx       - CNX body in, executes it, JSON results out
+//
+// Dynamic invocation states are expanded with ?invocations=N (default 4).
+package portal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cn/internal/api"
+	"cn/internal/cluster"
+	"cn/internal/cnx"
+	"cn/internal/codegen"
+	"cn/internal/core"
+	"cn/internal/protocol"
+	"cn/internal/transform"
+)
+
+// maxBody bounds uploaded document size (4 MB).
+const maxBody = 4 << 20
+
+// Config parametrizes the portal.
+type Config struct {
+	// Cluster is the running CN deployment jobs execute on.
+	Cluster *cluster.Cluster
+	// RunTimeout bounds one execution request (0 = 60s).
+	RunTimeout time.Duration
+	// Logf receives request diagnostics; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Portal is the web front end.
+type Portal struct {
+	cfg    Config
+	client *api.Client
+	mux    *http.ServeMux
+}
+
+// New creates a portal attached to the cluster.
+func New(cfg Config) (*Portal, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("portal: nil cluster")
+	}
+	if cfg.RunTimeout <= 0 {
+		cfg.RunTimeout = 60 * time.Second
+	}
+	client, err := api.Initialize(cfg.Cluster.Network(), api.Options{
+		ClientName:      "portal",
+		DiscoveryWindow: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("portal: %w", err)
+	}
+	p := &Portal{cfg: cfg, client: client, mux: http.NewServeMux()}
+	p.mux.HandleFunc("GET /", p.handleIndex)
+	p.mux.HandleFunc("GET /api/status", p.handleStatus)
+	p.mux.HandleFunc("POST /api/xmi2cnx", p.handleXMI2CNX)
+	p.mux.HandleFunc("POST /api/cnx2go", p.handleCNX2Go)
+	p.mux.HandleFunc("POST /api/run", p.handleRunXMI)
+	p.mux.HandleFunc("POST /api/run-cnx", p.handleRunCNX)
+	return p, nil
+}
+
+// Handler returns the portal's HTTP handler.
+func (p *Portal) Handler() http.Handler { return p.mux }
+
+// Close releases the portal's client.
+func (p *Portal) Close() error { return p.client.Close() }
+
+func (p *Portal) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf("[portal] "+format, args...)
+	}
+}
+
+// errorJSON writes a JSON error response.
+func errorJSON(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// readBody reads a bounded request body.
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("portal: read body: %w", err)
+	}
+	if len(body) > maxBody {
+		return nil, fmt.Errorf("portal: body exceeds %d bytes", maxBody)
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("portal: empty body")
+	}
+	return body, nil
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html><head><title>Computational Neighborhood</title></head>
+<body>
+<h1>Computational Neighborhood</h1>
+<p>Model-driven job/task composition for cluster computing.</p>
+<ul>
+<li>POST an XMI activity model to <code>/api/run</code> to execute it.</li>
+<li>POST XMI to <code>/api/xmi2cnx</code> for the CNX descriptor.</li>
+<li>POST CNX to <code>/api/cnx2go</code> for a generated Go client.</li>
+<li>GET <code>/api/status</code> for cluster status.</li>
+</ul>
+</body></html>
+`
+
+func (p *Portal) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, indexHTML)
+}
+
+// Status is the /api/status response body.
+type Status struct {
+	Nodes []string `json:"nodes"`
+}
+
+func (p *Portal) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(Status{Nodes: p.cfg.Cluster.Nodes()})
+}
+
+// invocations parses the dynamic-invocation count query parameter.
+func invocations(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("invocations")
+	if q == "" {
+		return 4, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("portal: bad invocations %q", q)
+	}
+	return n, nil
+}
+
+func (p *Portal) handleXMI2CNX(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := invocations(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	var out strings.Builder
+	opts := transform.Options{Args: core.FixedArgs(n)}
+	if err := transform.XMI2CNX(strings.NewReader(string(body)), &out, opts); err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_, _ = io.WriteString(w, out.String())
+}
+
+func (p *Portal) handleCNX2Go(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	doc, err := cnx.ParseString(string(body))
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	src, err := codegen.Generate(doc, codegen.Options{Source: "portal upload"})
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/x-go")
+	_, _ = w.Write(src)
+}
+
+// RunResponse is the execution result body.
+type RunResponse struct {
+	Client string               `json:"client"`
+	Jobs   map[string]JobResult `json:"jobs"`
+}
+
+// JobResult is one job's terminal status.
+type JobResult struct {
+	JobID    string            `json:"job_id"`
+	Failed   bool              `json:"failed"`
+	Err      string            `json:"error,omitempty"`
+	TaskErrs map[string]string `json:"task_errors,omitempty"`
+}
+
+func (p *Portal) handleRunXMI(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := invocations(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	var cnxOut strings.Builder
+	opts := transform.Options{Args: core.FixedArgs(n)}
+	if err := transform.XMI2CNX(strings.NewReader(string(body)), &cnxOut, opts); err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	doc, err := cnx.ParseString(cnxOut.String())
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	p.execute(w, doc)
+}
+
+func (p *Portal) handleRunCNX(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	doc, err := cnx.ParseString(string(body))
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	p.execute(w, doc)
+}
+
+// execute runs every job of the descriptor and reports results.
+func (p *Portal) execute(w http.ResponseWriter, doc *cnx.Document) {
+	if err := doc.Validate(); err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RunTimeout)
+	defer cancel()
+	resp := RunResponse{Client: doc.Client.Class, Jobs: make(map[string]JobResult)}
+	for ji := range doc.Client.Jobs {
+		job := &doc.Client.Jobs[ji]
+		specs, err := job.Specs()
+		if err != nil {
+			errorJSON(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		p.logf("running job %q (%d tasks)", job.Name, len(specs))
+		j, err := p.client.CreateJob(job.Name, protocol.JobRequirements{})
+		if err != nil {
+			errorJSON(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		failed := false
+		for _, s := range specs {
+			if err := j.CreateTask(s, nil); err != nil {
+				resp.Jobs[job.Name] = JobResult{JobID: j.ID, Failed: true, Err: err.Error()}
+				failed = true
+				break
+			}
+		}
+		if failed {
+			continue
+		}
+		res, err := j.Run(ctx)
+		if err != nil {
+			resp.Jobs[job.Name] = JobResult{JobID: j.ID, Failed: true, Err: err.Error()}
+			continue
+		}
+		resp.Jobs[job.Name] = JobResult{
+			JobID:    res.JobID,
+			Failed:   res.Failed,
+			Err:      res.Err,
+			TaskErrs: res.TaskErrs,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

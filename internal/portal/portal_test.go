@@ -1,0 +1,290 @@
+package portal_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cn/internal/cluster"
+	"cn/internal/core"
+	"cn/internal/floyd"
+	"cn/internal/portal"
+	"cn/internal/task"
+	"cn/internal/transform"
+)
+
+var registry = func() *task.Registry {
+	r := task.NewRegistry()
+	floyd.MustRegister(r)
+	r.MustRegister("test.PortalNoop", func() task.Task {
+		return task.Func(func(task.Context) error { return nil })
+	})
+	return r
+}()
+
+// startPortal boots a cluster and serves the portal over httptest.
+func startPortal(t *testing.T) *httptest.Server {
+	t.Helper()
+	c, err := cluster.Start(cluster.Config{Nodes: 3, Registry: registry, MemoryMB: 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	p, err := portal.New(portal.Config{Cluster: c, RunTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// noopXMI returns an XMI document for a three-noop chain using a
+// pre-deployed class.
+func noopXMI(t *testing.T) string {
+	t.Helper()
+	g, err := core.NewBuilder("portaljob").
+		Initial("i").
+		Action("a", core.TaskTags("", "test.PortalNoop", 100, "RUN_AS_THREAD_IN_TM")).
+		Action("b", core.TaskTags("", "test.PortalNoop", 100, "RUN_AS_THREAD_IN_TM")).
+		Final("f").
+		Flows("i", "a", "b", "f").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := core.NewClient("PortalClient")
+	if err := client.AddJob(g); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := transform.ToXMI(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := doc.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := startPortal(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "Computational Neighborhood") {
+		t.Error("index page missing title")
+	}
+}
+
+func TestStatus(t *testing.T) {
+	srv := startPortal(t)
+	resp, err := http.Get(srv.URL + "/api/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st portal.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != 3 {
+		t.Errorf("nodes = %v", st.Nodes)
+	}
+}
+
+func TestXMI2CNXEndpoint(t *testing.T) {
+	srv := startPortal(t)
+	resp, err := http.Post(srv.URL+"/api/xmi2cnx", "application/xml", strings.NewReader(noopXMI(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if !strings.Contains(out, "<cn2>") || !strings.Contains(out, `class="test.PortalNoop"`) {
+		t.Errorf("CNX output:\n%s", out)
+	}
+}
+
+func TestCNX2GoEndpoint(t *testing.T) {
+	srv := startPortal(t)
+	cnxDoc := `<cn2><client class="C"><job><task name="a" class="X"/></job></client></cn2>`
+	resp, err := http.Post(srv.URL+"/api/cnx2go", "application/xml", strings.NewReader(cnxDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "package main") {
+		t.Errorf("generated code:\n%s", raw)
+	}
+}
+
+func TestRunXMIEndpoint(t *testing.T) {
+	srv := startPortal(t)
+	resp, err := http.Post(srv.URL+"/api/run", "application/xml", strings.NewReader(noopXMI(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rr portal.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Client != "PortalClient" {
+		t.Errorf("client = %q", rr.Client)
+	}
+	jr, ok := rr.Jobs["portaljob"]
+	if !ok {
+		t.Fatalf("jobs = %v", rr.Jobs)
+	}
+	if jr.Failed {
+		t.Errorf("job failed: %+v", jr)
+	}
+}
+
+func TestRunCNXEndpoint(t *testing.T) {
+	srv := startPortal(t)
+	cnxDoc := `<cn2><client class="Direct"><job name="d">
+	  <task name="a" class="test.PortalNoop"><task-req><memory>100</memory></task-req></task>
+	</job></client></cn2>`
+	resp, err := http.Post(srv.URL+"/api/run-cnx", "application/xml", strings.NewReader(cnxDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr portal.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if jr := rr.Jobs["d"]; jr.Failed {
+		t.Errorf("job failed: %+v", jr)
+	}
+}
+
+func TestRunFailingJobReported(t *testing.T) {
+	srv := startPortal(t)
+	// Unknown class: placement fails, the job result must say so.
+	cnxDoc := `<cn2><client class="Bad"><job name="b">
+	  <task name="a" class="does.Not.Exist"/>
+	</job></client></cn2>`
+	resp, err := http.Post(srv.URL+"/api/run-cnx", "application/xml", strings.NewReader(cnxDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr portal.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if jr := rr.Jobs["b"]; !jr.Failed {
+		t.Errorf("bad job not reported failed: %+v", rr)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := startPortal(t)
+	cases := []struct {
+		path string
+		body string
+		want int
+	}{
+		{"/api/xmi2cnx", "", http.StatusBadRequest},
+		{"/api/xmi2cnx", "not xml <", http.StatusUnprocessableEntity},
+		{"/api/cnx2go", "<cn2></cn2>", http.StatusUnprocessableEntity},
+		{"/api/run", "garbage", http.StatusUnprocessableEntity},
+		{"/api/run-cnx", "<cn2><client class=\"C\"></client></cn2>", http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+c.path, "application/xml", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s %q: status %d, want %d", c.path, c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestBadInvocationsParam(t *testing.T) {
+	srv := startPortal(t)
+	resp, err := http.Post(srv.URL+"/api/xmi2cnx?invocations=-3", "application/xml", strings.NewReader(noopXMI(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestRunDynamicXMI(t *testing.T) {
+	srv := startPortal(t)
+	// A dynamic model runs with ?invocations expanding the worker state.
+	g, err := floyd.BuildDynamicModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := core.NewClient("DynPortal")
+	if err := client.AddJob(g); err != nil {
+		t.Fatal(err)
+	}
+	xdoc, err := transform.ToXMI(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlText, err := xdoc.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transform only (running floyd through the portal needs the client to
+	// feed the matrix, which the portal does not do; the descriptor is
+	// still produced correctly).
+	resp, err := http.Post(srv.URL+"/api/xmi2cnx?invocations=3", "application/xml", strings.NewReader(xmlText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(raw), `class="org.jhpc.cn2.trnsclsrtask.TCTask"`); got != 3 {
+		t.Errorf("expanded to %d workers, want 3:\n%s", got, raw)
+	}
+}

@@ -1,0 +1,162 @@
+// Package protocol defines the gob-encoded payload bodies of CN's
+// well-defined messages: the "Message Request, expected Message Action and
+// expected Message Response" triples exchanged between the CN API client,
+// JobManagers, and TaskManagers. Each struct corresponds to one msg.Kind.
+package protocol
+
+import (
+	"cn/internal/msg"
+	"cn/internal/task"
+)
+
+// Multicast group names. CN servers join both; clients join neither.
+const (
+	// GroupJobManagers receives job-manager solicitations ("Requests to
+	// JobManager are communicated using multicast").
+	GroupJobManagers = "cn.jobmanagers"
+	// GroupTaskManagers receives task placement solicitations ("The
+	// JobManager solicits TaskManager for the Tasks").
+	GroupTaskManagers = "cn.taskmanagers"
+)
+
+// JobRequirements is carried by KindJobManagerSolicit: the client's
+// user-specified requirements a willing JobManager must meet.
+type JobRequirements struct {
+	// MinMemoryMB is the minimum free memory the hosting node must have.
+	MinMemoryMB int
+	// ExpectedTasks hints how many tasks the job will create.
+	ExpectedTasks int
+}
+
+// JMOffer is the body of KindJobManagerOffer.
+type JMOffer struct {
+	Node         string
+	FreeMemoryMB int
+	ActiveJobs   int
+}
+
+// CreateJobReq is the body of KindCreateJob.
+type CreateJobReq struct {
+	Name       string
+	Req        JobRequirements
+	ClientNode string
+}
+
+// CreateJobResp is the body of KindJobCreated.
+type CreateJobResp struct {
+	JobID string
+}
+
+// CreateTaskReq is the body of KindCreateTask (client -> JobManager). The
+// archive bytes ride along so the JobManager can upload them to whichever
+// TaskManager it places the task on.
+type CreateTaskReq struct {
+	JobID       string
+	Spec        *task.Spec
+	ArchiveName string
+	Archive     []byte
+	Digest      string
+}
+
+// CreateTaskResp is the body of KindTaskAccepted.
+type CreateTaskResp struct {
+	// Placement is the node whose TaskManager will execute the task.
+	Placement string
+}
+
+// TaskSolicitReq is the body of KindTaskSolicit (JobManager -> TaskManagers
+// multicast).
+type TaskSolicitReq struct {
+	JobID string
+	Spec  *task.Spec
+}
+
+// TMOffer is the body of KindTaskOffer.
+type TMOffer struct {
+	Node         string
+	FreeMemoryMB int
+	RunningTasks int
+}
+
+// AssignTaskReq is the body of KindUploadJar (JobManager -> chosen
+// TaskManager): the archive upload plus the task assignment.
+type AssignTaskReq struct {
+	JobID       string
+	JobManager  string
+	ClientNode  string
+	Spec        *task.Spec
+	ArchiveName string
+	Archive     []byte
+	Digest      string
+}
+
+// AssignTaskResp is the body of KindJarUploaded.
+type AssignTaskResp struct {
+	OK     bool
+	Reason string
+}
+
+// StartJobReq is the body of KindStartTask (client -> JobManager). An empty
+// TaskNames starts the whole job in dependency order.
+type StartJobReq struct {
+	JobID     string
+	TaskNames []string
+}
+
+// ExecTaskReq is the body of KindExecTask (JobManager -> TaskManager): run
+// one previously assigned task now.
+type ExecTaskReq struct {
+	JobID string
+	Task  string
+}
+
+// TaskEvent is the body of the KindTaskStarted / KindTaskCompleted /
+// KindTaskFailed events (TaskManager -> JobManager -> client).
+type TaskEvent struct {
+	JobID string
+	Task  string
+	Node  string
+	Err   string // non-empty only for KindTaskFailed
+}
+
+// UserPayload is the body of KindUser and KindBroadcast: user-defined
+// messages for which "CN merely provides a message delivery mechanism".
+type UserPayload struct {
+	JobID    string
+	FromTask string
+	ToTask   string // "client" addresses the client program
+	Data     []byte
+}
+
+// ClientTaskName is the pseudo task name addressing the client program.
+const ClientTaskName = "client"
+
+// HeaderRouted marks a user message already forwarded by a JobManager; a
+// routed message is a final delivery and must not be re-routed.
+const HeaderRouted = "cn-routed"
+
+// CancelJobReq is the body of KindCancelJob.
+type CancelJobReq struct {
+	JobID  string
+	Reason string
+}
+
+// JobEvent is the body of KindJobCompleted / KindJobFailed.
+type JobEvent struct {
+	JobID    string
+	Failed   bool
+	Err      string
+	TaskErrs map[string]string
+}
+
+// Decode unmarshals a message payload into out, which must match the kind's
+// body type.
+func Decode(m *msg.Message, out any) error {
+	return msg.DecodePayload(m.Payload, out)
+}
+
+// Body constructs a message of the given kind with an encoded body; it
+// panics only if the body type is not gob-encodable (a programming error).
+func Body(kind msg.Kind, from, to msg.Address, body any) *msg.Message {
+	return msg.New(kind, from, to, msg.MustEncode(body))
+}

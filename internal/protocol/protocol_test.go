@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"testing"
+
+	"cn/internal/msg"
+	"cn/internal/task"
+)
+
+func roundTrip[T any](t *testing.T, kind msg.Kind, in T) T {
+	t.Helper()
+	m := Body(kind, msg.Address{Node: "a"}, msg.Address{Node: "b"}, in)
+	if m.Kind != kind {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	var out T
+	if err := Decode(m, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestJobRequirementsRoundTrip(t *testing.T) {
+	got := roundTrip(t, msg.KindJobManagerSolicit, JobRequirements{MinMemoryMB: 512, ExpectedTasks: 7})
+	if got.MinMemoryMB != 512 || got.ExpectedTasks != 7 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestJMOfferRoundTrip(t *testing.T) {
+	got := roundTrip(t, msg.KindJobManagerOffer, JMOffer{Node: "n3", FreeMemoryMB: 4096, ActiveJobs: 2})
+	if got.Node != "n3" || got.FreeMemoryMB != 4096 || got.ActiveJobs != 2 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCreateTaskReqRoundTrip(t *testing.T) {
+	spec := &task.Spec{
+		Name:      "w1",
+		Archive:   "w.jar",
+		Class:     "c.W",
+		DependsOn: []string{"split"},
+		Params:    []task.Param{{Type: task.TypeInteger, Value: "3"}},
+		Req:       task.Requirements{MemoryMB: 256, RunModel: task.RunAsProcess},
+	}
+	in := CreateTaskReq{
+		JobID:       "j1",
+		Spec:        spec,
+		ArchiveName: "w.jar",
+		Archive:     []byte{1, 2, 3},
+		Digest:      "abc",
+	}
+	got := roundTrip(t, msg.KindCreateTask, in)
+	if got.Spec.Name != "w1" || got.Spec.Req.RunModel != task.RunAsProcess {
+		t.Errorf("spec = %+v", got.Spec)
+	}
+	if len(got.Archive) != 3 || got.Digest != "abc" {
+		t.Errorf("archive fields lost: %+v", got)
+	}
+	if got.Spec.DependsOn[0] != "split" {
+		t.Errorf("depends = %v", got.Spec.DependsOn)
+	}
+	if v, err := got.Spec.Params[0].Int(); err != nil || v != 3 {
+		t.Errorf("param = %v %v", v, err)
+	}
+}
+
+func TestTaskEventRoundTrip(t *testing.T) {
+	got := roundTrip(t, msg.KindTaskFailed, TaskEvent{JobID: "j", Task: "t", Node: "n", Err: "boom"})
+	if got.Err != "boom" || got.Task != "t" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestUserPayloadRoundTrip(t *testing.T) {
+	got := roundTrip(t, msg.KindUser, UserPayload{
+		JobID: "j", FromTask: "a", ToTask: ClientTaskName, Data: []byte("payload"),
+	})
+	if got.ToTask != "client" || string(got.Data) != "payload" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestJobEventRoundTrip(t *testing.T) {
+	got := roundTrip(t, msg.KindJobFailed, JobEvent{
+		JobID: "j", Failed: true, Err: "x",
+		TaskErrs: map[string]string{"t1": "e1"},
+	})
+	if !got.Failed || got.TaskErrs["t1"] != "e1" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestExecTaskReqRoundTrip(t *testing.T) {
+	got := roundTrip(t, msg.KindExecTask, ExecTaskReq{JobID: "j", Task: "t9"})
+	if got.Task != "t9" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDecodeMismatch(t *testing.T) {
+	m := Body(msg.KindPing, msg.Address{}, msg.Address{}, JobRequirements{MinMemoryMB: 1})
+	var out TaskEvent
+	// gob decodes into a different struct only when field names collide;
+	// JobRequirements and TaskEvent share none, so fields stay zero.
+	if err := Decode(m, &out); err == nil {
+		if out.JobID != "" || out.Task != "" {
+			t.Errorf("cross-decode produced data: %+v", out)
+		}
+	}
+}
+
+func TestGroupNames(t *testing.T) {
+	if GroupJobManagers == GroupTaskManagers {
+		t.Error("group names collide")
+	}
+	if GroupJobManagers == "" || GroupTaskManagers == "" {
+		t.Error("empty group names")
+	}
+}

@@ -1,0 +1,195 @@
+// Package server implements CNServer, the servant process of the paper:
+// "JobManager and the TaskManager are part of the same process, CNServer,
+// which is a servant (since it acts as a client and a server)." A CNServer
+// binds one JobManager and one TaskManager to a node's transport endpoint
+// and joins the cluster's multicast groups.
+package server
+
+import (
+	"fmt"
+
+	"cn/internal/jobmgr"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/taskmgr"
+	"cn/internal/transport"
+)
+
+// Config parametrizes one CN server node.
+type Config struct {
+	// Node is the cluster-unique node name.
+	Node string
+	// MemoryMB is the task execution capacity (0 = taskmgr default).
+	MemoryMB int
+	// MaxJobs caps hosted jobs (0 = jobmgr default).
+	MaxJobs int
+	// Registry resolves task classes (nil = task.Global).
+	Registry *task.Registry
+	// Logf receives diagnostics from both managers; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is one CN node: endpoint + JobManager + TaskManager.
+type Server struct {
+	cfg    Config
+	ep     transport.Endpoint
+	caller *transport.Caller
+	jm     *jobmgr.JobManager
+	tm     *taskmgr.TaskManager
+	closed chan struct{}
+}
+
+// Start attaches a CN server to the network and joins the JobManager and
+// TaskManager multicast groups.
+func Start(net transport.Network, cfg Config) (*Server, error) {
+	if cfg.Node == "" {
+		return nil, fmt.Errorf("server: empty node name")
+	}
+	s := &Server{cfg: cfg, closed: make(chan struct{})}
+	ep, err := net.Attach(cfg.Node, s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: %w", cfg.Node, err)
+	}
+	s.ep = ep
+	s.caller = transport.NewCaller(ep)
+
+	send := func(toNode string, m *msg.Message) error { return ep.Send(toNode, m) }
+	s.tm = taskmgr.New(taskmgr.Config{
+		Node:     cfg.Node,
+		MemoryMB: cfg.MemoryMB,
+		Registry: cfg.Registry,
+		Logf:     cfg.Logf,
+	}, send)
+	s.jm = jobmgr.New(jobmgr.Config{
+		Node:     cfg.Node,
+		MaxJobs:  cfg.MaxJobs,
+		MemoryMB: cfg.MemoryMB,
+		Logf:     cfg.Logf,
+	}, send, s.caller, s.tm.FreeMemoryMB)
+
+	if err := ep.Join(protocol.GroupJobManagers); err != nil {
+		ep.Close()
+		return nil, fmt.Errorf("server %s: %w", cfg.Node, err)
+	}
+	if err := ep.Join(protocol.GroupTaskManagers); err != nil {
+		ep.Close()
+		return nil, fmt.Errorf("server %s: %w", cfg.Node, err)
+	}
+	return s, nil
+}
+
+// Node returns the server's node name.
+func (s *Server) Node() string { return s.cfg.Node }
+
+// TaskManager exposes the node's TaskManager (for tests and metrics).
+func (s *Server) TaskManager() *taskmgr.TaskManager { return s.tm }
+
+// JobManager exposes the node's JobManager (for tests and metrics).
+func (s *Server) JobManager() *jobmgr.JobManager { return s.jm }
+
+// handle is the endpoint dispatch entry point. Replies to this server's own
+// outstanding calls are consumed inline; all other protocol handling runs on
+// a fresh goroutine because several handlers (task placement, user routing)
+// perform blocking calls of their own and the dispatch loop must stay live.
+func (s *Server) handle(m *msg.Message) {
+	if s.caller.Handle(m) {
+		return
+	}
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	// Job-scoped traffic is enqueued inline so per-job FIFO order is
+	// preserved from the endpoint into the JobManager's serial worker;
+	// routed user messages are final TaskManager deliveries.
+	switch m.Kind {
+	case msg.KindTaskStarted, msg.KindTaskCompleted, msg.KindTaskFailed:
+		s.jm.Enqueue(m)
+		return
+	case msg.KindUser, msg.KindBroadcast:
+		if m.Header(protocol.HeaderRouted) != "" {
+			if err := s.tm.HandleUser(m); err != nil && s.cfg.Logf != nil {
+				s.cfg.Logf("[server %s] deliver user message: %v", s.cfg.Node, err)
+			}
+			return
+		}
+		s.jm.Enqueue(m)
+		return
+	}
+	go s.dispatch(m)
+}
+
+// dispatch routes one inbound message to the right manager.
+func (s *Server) dispatch(m *msg.Message) {
+	switch m.Kind {
+	// --- JobManager role ---
+	case msg.KindJobManagerSolicit:
+		s.replyIfAny(m, s.jm.HandleSolicit(m))
+	case msg.KindCreateJob:
+		s.replyIfAny(m, s.jm.HandleCreateJob(m))
+	case msg.KindCreateTask:
+		s.replyIfAny(m, s.jm.HandleCreateTask(m))
+	case msg.KindStartTask:
+		s.replyIfAny(m, s.jm.HandleStartJob(m))
+	case msg.KindCancelJob:
+		// From clients this is a request expecting an ack; from a peer
+		// JobManager it is a TaskManager-scoped cancellation.
+		if m.From.Task == protocol.ClientTaskName {
+			s.replyIfAny(m, s.jm.HandleCancel(m))
+			return
+		}
+		var req protocol.CancelJobReq
+		if err := protocol.Decode(m, &req); err == nil {
+			s.tm.HandleCancel(req.JobID)
+		}
+
+	// --- TaskManager role ---
+	case msg.KindTaskSolicit:
+		s.replyIfAny(m, s.tm.HandleSolicit(m))
+	case msg.KindUploadJar:
+		s.replyIfAny(m, s.tm.HandleAssign(m))
+	case msg.KindExecTask:
+		var req protocol.ExecTaskReq
+		if err := protocol.Decode(m, &req); err != nil {
+			return
+		}
+		if err := s.tm.HandleStart(req.JobID, req.Task); err != nil {
+			// Report the failure as a task event so the job does not hang.
+			ev := protocol.TaskEvent{JobID: req.JobID, Task: req.Task, Node: s.cfg.Node, Err: err.Error()}
+			fm := protocol.Body(msg.KindTaskFailed,
+				msg.Address{Node: s.cfg.Node, Job: req.JobID, Task: req.Task},
+				m.From, ev)
+			if serr := s.ep.Send(m.From.Node, fm); serr != nil && s.cfg.Logf != nil {
+				s.cfg.Logf("[server %s] report exec failure: %v", s.cfg.Node, serr)
+			}
+		}
+
+	// --- Health ---
+	case msg.KindPing:
+		s.replyIfAny(m, m.Reply(msg.KindPong, nil))
+	}
+}
+
+func (s *Server) replyIfAny(m *msg.Message, r *msg.Message) {
+	if r == nil {
+		return
+	}
+	if err := s.ep.Send(m.From.Node, r); err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("[server %s] reply to %s: %v", s.cfg.Node, m.From.Node, err)
+	}
+}
+
+// Close shuts the server down: leave groups, stop managers, detach.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		close(s.closed)
+	}
+	s.jm.Close()
+	s.tm.Close()
+	return s.ep.Close()
+}

@@ -1,0 +1,190 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/server"
+	"cn/internal/task"
+	"cn/internal/transport"
+)
+
+func testRegistry() *task.Registry {
+	r := task.NewRegistry()
+	r.MustRegister("srv.Noop", func() task.Task {
+		return task.Func(func(task.Context) error { return nil })
+	})
+	return r
+}
+
+// startServer boots one CN server plus a raw protocol client endpoint.
+func startServer(t *testing.T) (*server.Server, *transport.Caller) {
+	t.Helper()
+	net := transport.NewIdealNetwork()
+	t.Cleanup(func() { net.Close() })
+	srv, err := server.Start(net, server.Config{Node: "n1", Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	var caller *transport.Caller
+	ep, err := net.Attach("raw-client", func(m *msg.Message) { caller.Handle(m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller = transport.NewCaller(ep)
+	return srv, caller
+}
+
+func call(t *testing.T, caller *transport.Caller, kind msg.Kind, body any) *msg.Message {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m := protocol.Body(kind,
+		msg.Address{Node: "raw-client", Task: protocol.ClientTaskName},
+		msg.Address{Node: "n1"}, body)
+	reply, err := caller.Call(ctx, "n1", m)
+	if err != nil {
+		t.Fatalf("call %v: %v", kind, err)
+	}
+	return reply
+}
+
+func TestServerAccessors(t *testing.T) {
+	srv, _ := startServer(t)
+	if srv.Node() != "n1" {
+		t.Errorf("Node = %q", srv.Node())
+	}
+	if srv.JobManager() == nil || srv.TaskManager() == nil {
+		t.Error("manager accessors nil")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	_, caller := startServer(t)
+	reply := call(t, caller, msg.KindPing, struct{}{})
+	if reply.Kind != msg.KindPong {
+		t.Errorf("reply = %v", reply.Kind)
+	}
+}
+
+func TestRawProtocolJobLifecycle(t *testing.T) {
+	// Drive the wire protocol directly: create job, create task, start,
+	// observe the terminal state. This pins the message formats the API
+	// client relies on.
+	srv, caller := startServer(t)
+
+	reply := call(t, caller, msg.KindCreateJob, protocol.CreateJobReq{
+		Name: "raw", ClientNode: "raw-client",
+	})
+	if reply.Kind != msg.KindJobCreated {
+		t.Fatalf("create job reply = %v", reply.Kind)
+	}
+	var created protocol.CreateJobResp
+	if err := protocol.Decode(reply, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.JobID == "" {
+		t.Fatal("empty job id")
+	}
+
+	spec := &task.Spec{Name: "t", Class: "srv.Noop",
+		Req: task.Requirements{MemoryMB: 10, RunModel: task.RunAsThreadInTM}}
+	reply = call(t, caller, msg.KindCreateTask, protocol.CreateTaskReq{
+		JobID: created.JobID, Spec: spec,
+	})
+	if reply.Kind != msg.KindTaskAccepted {
+		t.Fatalf("create task reply = %v", reply.Kind)
+	}
+	var placed protocol.CreateTaskResp
+	if err := protocol.Decode(reply, &placed); err != nil {
+		t.Fatal(err)
+	}
+	if placed.Placement != "n1" {
+		t.Errorf("placement = %q", placed.Placement)
+	}
+
+	reply = call(t, caller, msg.KindStartTask, protocol.StartJobReq{JobID: created.JobID})
+	if reply.Kind != msg.KindPong {
+		t.Fatalf("start reply = %v", reply.Kind)
+	}
+	// The JOB_COMPLETED event arrives as a non-correlated message; the
+	// JobManager's active-job count dropping to zero marks completion.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.JobManager().ActiveJobs() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job never completed; active jobs = %d", srv.JobManager().ActiveJobs())
+}
+
+func TestSolicitUnwillingWhenOverMemory(t *testing.T) {
+	net := transport.NewIdealNetwork()
+	defer net.Close()
+	srv, err := server.Start(net, server.Config{Node: "tiny", MemoryMB: 100, Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var caller *transport.Caller
+	ep, err := net.Attach("probe", func(m *msg.Message) { caller.Handle(m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller = transport.NewCaller(ep)
+
+	// Solicit with requirements beyond the node's capacity: silence.
+	m := protocol.Body(msg.KindJobManagerSolicit,
+		msg.Address{Node: "probe", Task: protocol.ClientTaskName},
+		msg.Address{}, protocol.JobRequirements{MinMemoryMB: 10_000})
+	if err := ep.Join(""); err == nil {
+		t.Error("empty group join accepted")
+	}
+	replies, err := caller.Gather(protocol.GroupJobManagers, m, 0, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 0 {
+		t.Errorf("over-memory solicit got %d replies", len(replies))
+	}
+
+	// Within capacity: one offer.
+	m2 := protocol.Body(msg.KindJobManagerSolicit,
+		msg.Address{Node: "probe", Task: protocol.ClientTaskName},
+		msg.Address{}, protocol.JobRequirements{MinMemoryMB: 50})
+	replies, err = caller.Gather(protocol.GroupJobManagers, m2, 0, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 {
+		t.Errorf("solicit got %d replies, want 1", len(replies))
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	net := transport.NewIdealNetwork()
+	defer net.Close()
+	srv, err := server.Start(net, server.Config{Node: "x", Registry: testRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsEmptyNode(t *testing.T) {
+	net := transport.NewIdealNetwork()
+	defer net.Close()
+	if _, err := server.Start(net, server.Config{Registry: testRegistry()}); err == nil {
+		t.Error("empty node name accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a fresh Task instance for one execution. Factories must
+// be safe to call concurrently.
+type Factory func() Task
+
+// Registry maps task class names to factories. It models Java's class
+// loading: the paper ships classes inside JAR archives and instantiates them
+// reflectively; Go cannot load code at run time, so every deployable class
+// is compiled in and registered under its class name. The archive manifest
+// (see package archive) names the class to resolve here.
+type Registry struct {
+	mu      sync.RWMutex
+	classes map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{classes: make(map[string]Factory)}
+}
+
+// Register binds a class name to a factory. Registering a name twice is an
+// error: class identity must be stable across the cluster.
+func (r *Registry) Register(class string, f Factory) error {
+	if class == "" {
+		return fmt.Errorf("task: register: empty class name")
+	}
+	if f == nil {
+		return fmt.Errorf("task: register %q: nil factory", class)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.classes[class]; dup {
+		return fmt.Errorf("task: register %q: already registered", class)
+	}
+	r.classes[class] = f
+	return nil
+}
+
+// MustRegister is Register but panics on error; intended for package init.
+func (r *Registry) MustRegister(class string, f Factory) {
+	if err := r.Register(class, f); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates a fresh task of the named class.
+func (r *Registry) New(class string) (Task, error) {
+	r.mu.RLock()
+	f, ok := r.classes[class]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("task: class %q not registered", class)
+	}
+	return f(), nil
+}
+
+// Has reports whether the class is registered.
+func (r *Registry) Has(class string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.classes[class]
+	return ok
+}
+
+// Classes returns the sorted list of registered class names.
+func (r *Registry) Classes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.classes))
+	for c := range r.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Global is the process-wide registry used by CN servers. Applications
+// register their task classes at init time, exactly once per process, the
+// way a Java deployment would place JARs on every node's classpath.
+var Global = NewRegistry()
+
+// Register binds a class in the Global registry.
+func Register(class string, f Factory) error { return Global.Register(class, f) }
+
+// MustRegister binds a class in the Global registry, panicking on error.
+func MustRegister(class string, f Factory) { Global.MustRegister(class, f) }

@@ -1,0 +1,281 @@
+// Package task defines the CN Task abstraction: the unit of work the user
+// wants to perform ("A Task is defined to be a unit of work that the user
+// wants to perform"), its execution context, typed parameters, run models,
+// and the class registry that stands in for Java's dynamic class loading.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Task is the interface a CN task class implements. In the paper a task is
+// "packaged as a self-sufficient JAR file that has a class that conforms to
+// the Task interface defined by CN API"; here the class is a Go type
+// registered under its class name (see Register) and shipped inside an
+// archive whose manifest names the class.
+type Task interface {
+	// Run executes the task to completion. The context provides the task's
+	// parameters and its communication primitives. A nil return marks the
+	// task TASK_COMPLETED; an error marks it TASK_FAILED.
+	Run(ctx Context) error
+}
+
+// Func adapts a plain function to the Task interface.
+type Func func(ctx Context) error
+
+// Run calls f.
+func (f Func) Run(ctx Context) error { return f(ctx) }
+
+// Context is the view a running task has of the CN system. It mirrors the
+// capabilities the paper's CN API exposes to tasks: identity, parameters,
+// and message-based coordination with sibling tasks and the client.
+type Context interface {
+	// TaskName returns the task's name inside its job (e.g. "tctask2").
+	TaskName() string
+	// JobID returns the job the task belongs to.
+	JobID() string
+	// NodeName returns the cluster node executing the task.
+	NodeName() string
+	// Params returns the task's ordered parameter list (the descriptor's
+	// <param> elements / tagged values ptypeN, pvalueN).
+	Params() []Param
+	// Send delivers a user-defined message payload to a sibling task.
+	Send(toTask string, payload []byte) error
+	// SendClient delivers a user-defined message payload to the client.
+	SendClient(payload []byte) error
+	// Broadcast delivers payload to every other task in the job.
+	Broadcast(payload []byte) error
+	// Recv blocks until the next user message addressed to this task
+	// arrives, returning its payload and the sender task name.
+	Recv() (from string, payload []byte, err error)
+	// Logf records a line in the job log.
+	Logf(format string, args ...any)
+	// Done reports whether the job has been cancelled; long-running tasks
+	// should poll it.
+	Done() bool
+}
+
+// ErrStopped is returned from Context.Recv when the task's mailbox is closed
+// because the job is shutting down.
+var ErrStopped = errors.New("task: stopped")
+
+// RunModel selects how the TaskManager executes a task. The paper's
+// descriptors carry e.g. <runmodel>RUN_AS_THREAD_IN_TM</runmodel>.
+type RunModel int
+
+const (
+	// RunAsThreadInTM executes the task on a goroutine inside the
+	// TaskManager process (the paper's RUN_AS_THREAD_IN_TM; threads map to
+	// goroutines in Go).
+	RunAsThreadInTM RunModel = iota
+	// RunAsProcess executes the task with simulated process isolation: a
+	// dedicated goroutine whose panics are confined and whose memory grant
+	// is accounted separately.
+	RunAsProcess
+	// RunLocal executes the task inside the client process itself, used by
+	// the quickstart path and unit tests.
+	RunLocal
+)
+
+var runModelNames = map[RunModel]string{
+	RunAsThreadInTM: "RUN_AS_THREAD_IN_TM",
+	RunAsProcess:    "RUN_AS_PROCESS",
+	RunLocal:        "RUN_LOCAL",
+}
+
+// String returns the descriptor spelling of the run model.
+func (r RunModel) String() string {
+	if s, ok := runModelNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RunModel(%d)", int(r))
+}
+
+// ParseRunModel parses a descriptor run-model string. It accepts both the
+// canonical underscore form and a tolerant spaced form ("RUN AS THREAD IN
+// TM" appears in the paper's Figure 4).
+func ParseRunModel(s string) (RunModel, error) {
+	norm := strings.ToUpper(strings.ReplaceAll(strings.TrimSpace(s), " ", "_"))
+	for rm, name := range runModelNames {
+		if norm == name {
+			return rm, nil
+		}
+	}
+	return 0, fmt.Errorf("task: unknown run model %q", s)
+}
+
+// ParamType enumerates the parameter types CN descriptors support. The
+// paper's examples use java.lang.Integer and String; we add the small set a
+// composition language needs.
+type ParamType string
+
+// Supported parameter types.
+const (
+	TypeString  ParamType = "String"
+	TypeInteger ParamType = "Integer"
+	TypeLong    ParamType = "Long"
+	TypeDouble  ParamType = "Double"
+	TypeBoolean ParamType = "Boolean"
+)
+
+// NormalizeParamType maps Java-style fully-qualified names (e.g.
+// "java.lang.Integer") and short names onto a canonical ParamType.
+func NormalizeParamType(s string) (ParamType, error) {
+	short := s
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		short = s[i+1:]
+	}
+	switch ParamType(short) {
+	case TypeString, TypeInteger, TypeLong, TypeDouble, TypeBoolean:
+		return ParamType(short), nil
+	}
+	switch strings.ToLower(short) {
+	case "int":
+		return TypeInteger, nil
+	case "float", "float64":
+		return TypeDouble, nil
+	case "bool":
+		return TypeBoolean, nil
+	}
+	return "", fmt.Errorf("task: unsupported parameter type %q", s)
+}
+
+// Param is one typed task parameter, corresponding to a descriptor
+// <param type="T">value</param> element or a ptypeN/pvalueN tagged-value
+// pair in the UML model.
+type Param struct {
+	Type  ParamType
+	Value string
+}
+
+// NewParam builds a Param after normalizing the type name.
+func NewParam(typ, value string) (Param, error) {
+	pt, err := NormalizeParamType(typ)
+	if err != nil {
+		return Param{}, err
+	}
+	return Param{Type: pt, Value: value}, nil
+}
+
+// String returns the parameter value verbatim.
+func (p Param) String() string { return p.Value }
+
+// Int parses the parameter as an integer; valid for Integer and Long.
+func (p Param) Int() (int, error) {
+	switch p.Type {
+	case TypeInteger, TypeLong:
+		n, err := strconv.Atoi(p.Value)
+		if err != nil {
+			return 0, fmt.Errorf("task: param %q as int: %w", p.Value, err)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("task: param type %s is not integral", p.Type)
+}
+
+// Float parses the parameter as a float64; valid for Double, Integer, Long.
+func (p Param) Float() (float64, error) {
+	switch p.Type {
+	case TypeDouble, TypeInteger, TypeLong:
+		f, err := strconv.ParseFloat(p.Value, 64)
+		if err != nil {
+			return 0, fmt.Errorf("task: param %q as float: %w", p.Value, err)
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("task: param type %s is not numeric", p.Type)
+}
+
+// Bool parses the parameter as a boolean; valid for Boolean.
+func (p Param) Bool() (bool, error) {
+	if p.Type != TypeBoolean {
+		return false, fmt.Errorf("task: param type %s is not boolean", p.Type)
+	}
+	b, err := strconv.ParseBool(strings.ToLower(p.Value))
+	if err != nil {
+		return false, fmt.Errorf("task: param %q as bool: %w", p.Value, err)
+	}
+	return b, nil
+}
+
+// IntParam is a convenience accessor: the i'th parameter of ps as an int.
+func IntParam(ps []Param, i int) (int, error) {
+	if i < 0 || i >= len(ps) {
+		return 0, fmt.Errorf("task: parameter index %d out of range (have %d)", i, len(ps))
+	}
+	return ps[i].Int()
+}
+
+// StringParam is a convenience accessor: the i'th parameter of ps verbatim.
+func StringParam(ps []Param, i int) (string, error) {
+	if i < 0 || i >= len(ps) {
+		return "", fmt.Errorf("task: parameter index %d out of range (have %d)", i, len(ps))
+	}
+	return ps[i].Value, nil
+}
+
+// Requirements captures a task's resource demands, mirroring the
+// descriptor's <task-req> element.
+type Requirements struct {
+	// MemoryMB is the memory grant the task needs on its TaskManager.
+	MemoryMB int
+	// RunModel selects the execution mode.
+	RunModel RunModel
+}
+
+// DefaultRequirements matches the paper's examples: 1000 MB, thread-in-TM.
+func DefaultRequirements() Requirements {
+	return Requirements{MemoryMB: 1000, RunModel: RunAsThreadInTM}
+}
+
+// Spec fully describes one task instance inside a job: the unit the CNX
+// descriptor's <task> element declares and the JobManager places.
+type Spec struct {
+	// Name is the task's unique name inside the job (e.g. "tctask2").
+	Name string
+	// Archive is the archive file name carrying the class (e.g. "tctask.jar").
+	Archive string
+	// Class is the registered class name
+	// (e.g. "org.jhpc.cn2.trnsclsrtask.TCTask").
+	Class string
+	// DependsOn lists task names that must complete before this task starts.
+	DependsOn []string
+	// Params is the ordered parameter list passed to the task.
+	Params []Param
+	// Req is the resource requirement block.
+	Req Requirements
+}
+
+// Validate checks structural invariants of a single spec (name and class
+// present, no self-dependency, parsable params).
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return errors.New("task: spec missing name")
+	}
+	if s.Class == "" {
+		return fmt.Errorf("task: spec %q missing class", s.Name)
+	}
+	for _, d := range s.DependsOn {
+		if d == s.Name {
+			return fmt.Errorf("task: spec %q depends on itself", s.Name)
+		}
+		if d == "" {
+			return fmt.Errorf("task: spec %q has empty dependency", s.Name)
+		}
+	}
+	if s.Req.MemoryMB < 0 {
+		return fmt.Errorf("task: spec %q has negative memory requirement", s.Name)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the spec.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.DependsOn = append([]string(nil), s.DependsOn...)
+	c.Params = append([]Param(nil), s.Params...)
+	return &c
+}

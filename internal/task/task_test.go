@@ -1,0 +1,332 @@
+package task
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncAdapter(t *testing.T) {
+	called := false
+	var tk Task = Func(func(Context) error {
+		called = true
+		return nil
+	})
+	if err := tk.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("Func.Run did not call the function")
+	}
+}
+
+func TestRunModelString(t *testing.T) {
+	if RunAsThreadInTM.String() != "RUN_AS_THREAD_IN_TM" {
+		t.Errorf("got %q", RunAsThreadInTM.String())
+	}
+	if RunModel(99).String() != "RunModel(99)" {
+		t.Errorf("got %q", RunModel(99).String())
+	}
+}
+
+func TestParseRunModel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want RunModel
+	}{
+		{"RUN_AS_THREAD_IN_TM", RunAsThreadInTM},
+		{"RUN AS THREAD IN TM", RunAsThreadInTM}, // paper Figure 4 spelling
+		{"run_as_process", RunAsProcess},
+		{"  RUN_LOCAL ", RunLocal},
+	}
+	for _, c := range cases {
+		got, err := ParseRunModel(c.in)
+		if err != nil {
+			t.Errorf("ParseRunModel(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseRunModel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseRunModel("RUN_ON_MOON"); err == nil {
+		t.Error("unknown run model should fail")
+	}
+}
+
+func TestRunModelRoundTripProperty(t *testing.T) {
+	for _, rm := range []RunModel{RunAsThreadInTM, RunAsProcess, RunLocal} {
+		got, err := ParseRunModel(rm.String())
+		if err != nil || got != rm {
+			t.Errorf("round trip %v -> %v, %v", rm, got, err)
+		}
+	}
+}
+
+func TestNormalizeParamType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ParamType
+	}{
+		{"java.lang.Integer", TypeInteger}, // paper Figure 4
+		{"java.lang.String", TypeString},
+		{"Integer", TypeInteger},
+		{"String", TypeString},
+		{"Double", TypeDouble},
+		{"int", TypeInteger},
+		{"bool", TypeBoolean},
+		{"float64", TypeDouble},
+	}
+	for _, c := range cases {
+		got, err := NormalizeParamType(c.in)
+		if err != nil {
+			t.Errorf("NormalizeParamType(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("NormalizeParamType(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := NormalizeParamType("java.util.HashMap"); err == nil {
+		t.Error("unsupported type should fail")
+	}
+}
+
+func TestParamAccessors(t *testing.T) {
+	p, err := NewParam("java.lang.Integer", "42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.Int(); err != nil || n != 42 {
+		t.Errorf("Int() = %d, %v", n, err)
+	}
+	if f, err := p.Float(); err != nil || f != 42 {
+		t.Errorf("Float() = %g, %v", f, err)
+	}
+	if p.String() != "42" {
+		t.Errorf("String() = %q", p.String())
+	}
+	if _, err := p.Bool(); err == nil {
+		t.Error("Bool() on Integer should fail")
+	}
+
+	b, err := NewParam("Boolean", "true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := b.Bool(); err != nil || !v {
+		t.Errorf("Bool() = %v, %v", v, err)
+	}
+
+	s, _ := NewParam("String", "matrix.txt")
+	if _, err := s.Int(); err == nil {
+		t.Error("Int() on String should fail")
+	}
+	if _, err := s.Float(); err == nil {
+		t.Error("Float() on String should fail")
+	}
+}
+
+func TestParamBadValues(t *testing.T) {
+	p := Param{Type: TypeInteger, Value: "forty-two"}
+	if _, err := p.Int(); err == nil {
+		t.Error("Int() of non-numeric should fail")
+	}
+	d := Param{Type: TypeDouble, Value: "NaNaN"}
+	if _, err := d.Float(); err == nil {
+		t.Error("Float() of garbage should fail")
+	}
+	b := Param{Type: TypeBoolean, Value: "maybe"}
+	if _, err := b.Bool(); err == nil {
+		t.Error("Bool() of garbage should fail")
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	ps := []Param{{Type: TypeString, Value: "a"}, {Type: TypeInteger, Value: "7"}}
+	if v, err := StringParam(ps, 0); err != nil || v != "a" {
+		t.Errorf("StringParam = %q, %v", v, err)
+	}
+	if n, err := IntParam(ps, 1); err != nil || n != 7 {
+		t.Errorf("IntParam = %d, %v", n, err)
+	}
+	if _, err := IntParam(ps, 5); err == nil {
+		t.Error("out of range IntParam should fail")
+	}
+	if _, err := StringParam(ps, -1); err == nil {
+		t.Error("negative index StringParam should fail")
+	}
+}
+
+func TestParamIntProperty(t *testing.T) {
+	f := func(n int) bool {
+		p := Param{Type: TypeInteger, Value: itoa(n)}
+		got, err := p.Int()
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	// strconv.Itoa via fmt-free path not needed; reuse strings for clarity.
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	var b strings.Builder
+	un := n
+	if neg {
+		un = -n
+	}
+	var digits []byte
+	for un > 0 {
+		digits = append(digits, byte('0'+un%10))
+		un /= 10
+	}
+	if neg {
+		b.WriteByte('-')
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		b.WriteByte(digits[i])
+	}
+	return b.String()
+}
+
+func TestDefaultRequirements(t *testing.T) {
+	r := DefaultRequirements()
+	if r.MemoryMB != 1000 || r.RunModel != RunAsThreadInTM {
+		t.Errorf("DefaultRequirements = %+v", r)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{Name: "t1", Class: "c.X", Req: DefaultRequirements()}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Class: "c.X"}, // no name
+		{Name: "t1"},   // no class
+		{Name: "t1", Class: "c.X", DependsOn: []string{"t1"}}, // self-dep
+		{Name: "t1", Class: "c.X", DependsOn: []string{""}},   // empty dep
+		{Name: "t1", Class: "c.X", Req: Requirements{MemoryMB: -1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestSpecClone(t *testing.T) {
+	s := &Spec{
+		Name:      "t1",
+		Class:     "c.X",
+		DependsOn: []string{"t0"},
+		Params:    []Param{{Type: TypeString, Value: "v"}},
+	}
+	c := s.Clone()
+	c.DependsOn[0] = "zzz"
+	c.Params[0].Value = "w"
+	if s.DependsOn[0] != "t0" || s.Params[0].Value != "v" {
+		t.Error("Clone shares slices with original")
+	}
+}
+
+func TestRegistryRegisterAndNew(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("org.example.T", func() Task { return Func(func(Context) error { return nil }) }); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("org.example.T") {
+		t.Error("Has = false after Register")
+	}
+	tk, err := r.New("org.example.T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Run(nil); err != nil {
+		t.Errorf("task run: %v", err)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", func() Task { return nil }); err == nil {
+		t.Error("empty class name should fail")
+	}
+	if err := r.Register("x", nil); err == nil {
+		t.Error("nil factory should fail")
+	}
+	if err := r.Register("x", func() Task { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("x", func() Task { return nil }); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if _, err := r.New("missing"); err == nil {
+		t.Error("New of unknown class should fail")
+	}
+}
+
+func TestRegistryMustRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister should panic on duplicate")
+		}
+	}()
+	r.MustRegister("dup", func() Task { return nil })
+	r.MustRegister("dup", func() Task { return nil })
+}
+
+func TestRegistryClassesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, c := range []string{"z.Z", "a.A", "m.M"} {
+		if err := r.Register(c, func() Task { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Classes()
+	want := []string{"a.A", "m.M", "z.Z"}
+	if len(got) != len(want) {
+		t.Fatalf("Classes() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Classes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := "c" + itoa(i)
+			if err := r.Register(class, func() Task { return nil }); err != nil {
+				t.Errorf("Register %s: %v", class, err)
+			}
+			if !r.Has(class) {
+				t.Errorf("Has(%s) false immediately after register", class)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Classes()) != 16 {
+		t.Errorf("have %d classes, want 16", len(r.Classes()))
+	}
+}
+
+func TestErrStopped(t *testing.T) {
+	if !errors.Is(ErrStopped, ErrStopped) {
+		t.Error("ErrStopped identity")
+	}
+}

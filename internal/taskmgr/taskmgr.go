@@ -1,0 +1,415 @@
+// Package taskmgr implements the CN TaskManager: the component that
+// "executes the various Tasks of various Jobs and is transparent to the
+// user". A TaskManager answers placement solicitations, accepts archive
+// uploads, "sets up a message queue for each Task and then executes each
+// Task in a separate thread when the User program requests to start the
+// Task" (threads are goroutines here).
+package taskmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cn/internal/archive"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// SendFunc delivers a message to a node; the CN server injects its
+// endpoint's Send.
+type SendFunc func(toNode string, m *msg.Message) error
+
+// Config parametrizes a TaskManager.
+type Config struct {
+	// Node is the hosting node name.
+	Node string
+	// MemoryMB is the execution capacity tasks reserve against.
+	MemoryMB int
+	// Registry resolves task classes; nil selects task.Global.
+	Registry *task.Registry
+	// MailboxCap bounds each task mailbox (0 = default).
+	MailboxCap int
+	// Logf receives diagnostic lines; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMemoryMB is the per-node capacity when Config.MemoryMB is 0,
+// sized to hold a handful of the paper's 1000 MB tasks.
+const DefaultMemoryMB = 8000
+
+// assignment is one task assigned to this TaskManager.
+type assignment struct {
+	jobID      string
+	jobManager string
+	clientNode string
+	spec       *task.Spec
+	mailbox    *msg.Mailbox
+	cancelled  atomic.Bool
+	started    atomic.Bool
+}
+
+// TaskManager executes tasks on one node.
+type TaskManager struct {
+	cfg      Config
+	send     SendFunc
+	registry *task.Registry
+	archives *archive.Store
+
+	mu       sync.Mutex
+	freeMB   int
+	assigned map[string]*assignment // key: jobID + "/" + task name
+	running  int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a TaskManager.
+func New(cfg Config, send SendFunc) *TaskManager {
+	if cfg.MemoryMB <= 0 {
+		cfg.MemoryMB = DefaultMemoryMB
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = task.Global
+	}
+	return &TaskManager{
+		cfg:      cfg,
+		send:     send,
+		registry: reg,
+		archives: archive.NewStore(),
+		assigned: make(map[string]*assignment),
+		freeMB:   cfg.MemoryMB,
+	}
+}
+
+func (tm *TaskManager) logf(format string, args ...any) {
+	if tm.cfg.Logf != nil {
+		tm.cfg.Logf("[tm %s] "+format, append([]any{tm.cfg.Node}, args...)...)
+	}
+}
+
+func key(jobID, taskName string) string { return jobID + "/" + taskName }
+
+// FreeMemoryMB returns the unreserved capacity.
+func (tm *TaskManager) FreeMemoryMB() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.freeMB
+}
+
+// RunningTasks returns the number of currently executing tasks.
+func (tm *TaskManager) RunningTasks() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.running
+}
+
+// HandleSolicit answers a KindTaskSolicit: the TaskManager is willing when
+// it has enough free memory and knows (or will receive) the task class.
+// It returns nil when unwilling — multicast solicitations are simply not
+// answered in that case, like the paper's protocol.
+func (tm *TaskManager) HandleSolicit(m *msg.Message) *msg.Message {
+	var req protocol.TaskSolicitReq
+	if err := protocol.Decode(m, &req); err != nil {
+		tm.logf("bad solicit: %v", err)
+		return nil
+	}
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if tm.closed || tm.freeMB < req.Spec.Req.MemoryMB {
+		return nil
+	}
+	offer := protocol.TMOffer{
+		Node:         tm.cfg.Node,
+		FreeMemoryMB: tm.freeMB,
+		RunningTasks: tm.running,
+	}
+	return m.Reply(msg.KindTaskOffer, msg.MustEncode(offer))
+}
+
+// HandleAssign processes a KindUploadJar: verify the archive, check the
+// class is loadable, reserve memory, and set up the task's message queue.
+func (tm *TaskManager) HandleAssign(m *msg.Message) *msg.Message {
+	var req protocol.AssignTaskReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return m.Reply(msg.KindJarUploaded, msg.MustEncode(protocol.AssignTaskResp{OK: false, Reason: err.Error()}))
+	}
+	reject := func(reason string) *msg.Message {
+		tm.logf("reject %s: %s", key(req.JobID, req.Spec.Name), reason)
+		return m.Reply(msg.KindJarUploaded, msg.MustEncode(protocol.AssignTaskResp{OK: false, Reason: reason}))
+	}
+	if len(req.Archive) > 0 {
+		a, err := archive.Open(req.ArchiveName, req.Archive)
+		if err != nil {
+			return reject(fmt.Sprintf("bad archive: %v", err))
+		}
+		if req.Digest != "" && a.Digest() != req.Digest {
+			return reject("archive digest mismatch")
+		}
+		if a.Manifest.TaskClass != req.Spec.Class {
+			return reject(fmt.Sprintf("archive manifest class %q does not match spec class %q",
+				a.Manifest.TaskClass, req.Spec.Class))
+		}
+		if err := tm.archives.Put(a); err != nil {
+			return reject(err.Error())
+		}
+	}
+	if !tm.registry.Has(req.Spec.Class) {
+		return reject(fmt.Sprintf("class %q not deployable on this node", req.Spec.Class))
+	}
+
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if tm.closed {
+		return reject("task manager shut down")
+	}
+	k := key(req.JobID, req.Spec.Name)
+	if _, dup := tm.assigned[k]; dup {
+		return reject("task already assigned")
+	}
+	if tm.freeMB < req.Spec.Req.MemoryMB {
+		return reject(fmt.Sprintf("insufficient memory: need %d MB, free %d MB", req.Spec.Req.MemoryMB, tm.freeMB))
+	}
+	tm.freeMB -= req.Spec.Req.MemoryMB
+	tm.assigned[k] = &assignment{
+		jobID:      req.JobID,
+		jobManager: req.JobManager,
+		clientNode: req.ClientNode,
+		spec:       req.Spec,
+		mailbox:    msg.NewMailbox(tm.cfg.MailboxCap),
+	}
+	tm.logf("assigned %s (class %s, %d MB)", k, req.Spec.Class, req.Spec.Req.MemoryMB)
+	return m.Reply(msg.KindJarUploaded, msg.MustEncode(protocol.AssignTaskResp{OK: true}))
+}
+
+// HandleStart processes a KindStartTask from the JobManager for one task.
+func (tm *TaskManager) HandleStart(jobID, taskName string) error {
+	tm.mu.Lock()
+	a, ok := tm.assigned[key(jobID, taskName)]
+	closed := tm.closed
+	tm.mu.Unlock()
+	if closed {
+		return fmt.Errorf("taskmgr %s: shut down", tm.cfg.Node)
+	}
+	if !ok {
+		return fmt.Errorf("taskmgr %s: task %s not assigned", tm.cfg.Node, key(jobID, taskName))
+	}
+	if !a.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("taskmgr %s: task %s already started", tm.cfg.Node, key(jobID, taskName))
+	}
+	tm.mu.Lock()
+	tm.running++
+	tm.wg.Add(1)
+	tm.mu.Unlock()
+	go tm.execute(a)
+	return nil
+}
+
+// execute runs one task to completion on its own goroutine (the paper's
+// "separate thread"), reporting lifecycle events to the JobManager.
+func (tm *TaskManager) execute(a *assignment) {
+	defer tm.wg.Done()
+	from := msg.Address{Node: tm.cfg.Node, Job: a.jobID, Task: a.spec.Name}
+	jmAddr := msg.Address{Node: a.jobManager, Job: a.jobID}
+
+	tm.event(msg.KindTaskStarted, a, "")
+
+	var runErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// Both run models confine panics: a crashing task must not
+				// take down the server. RUN_AS_PROCESS semantics (paper's
+				// isolation) are the default in Go's goroutine model.
+				runErr = fmt.Errorf("task panic: %v", r)
+			}
+		}()
+		t, err := tm.registry.New(a.spec.Class)
+		if err != nil {
+			runErr = err
+			return
+		}
+		ctx := &execContext{tm: tm, a: a, self: from, jm: jmAddr}
+		runErr = t.Run(ctx)
+	}()
+
+	tm.mu.Lock()
+	tm.running--
+	tm.freeMB += a.spec.Req.MemoryMB
+	delete(tm.assigned, key(a.jobID, a.spec.Name))
+	tm.mu.Unlock()
+	a.mailbox.Close()
+
+	if runErr != nil {
+		tm.event(msg.KindTaskFailed, a, runErr.Error())
+		return
+	}
+	tm.event(msg.KindTaskCompleted, a, "")
+}
+
+// event reports a lifecycle event to the JobManager.
+func (tm *TaskManager) event(kind msg.Kind, a *assignment, errText string) {
+	ev := protocol.TaskEvent{JobID: a.jobID, Task: a.spec.Name, Node: tm.cfg.Node, Err: errText}
+	m := protocol.Body(kind,
+		msg.Address{Node: tm.cfg.Node, Job: a.jobID, Task: a.spec.Name},
+		msg.Address{Node: a.jobManager, Job: a.jobID},
+		ev)
+	if err := tm.send(a.jobManager, m); err != nil {
+		tm.logf("event %s for %s: %v", kind, key(a.jobID, a.spec.Name), err)
+	}
+}
+
+// HandleUser routes an inbound user message to the target task's mailbox.
+// Delivery never blocks the caller: when a mailbox is at capacity the put
+// falls back to a goroutine, sacrificing order only under backpressure.
+func (tm *TaskManager) HandleUser(m *msg.Message) error {
+	var p protocol.UserPayload
+	if err := protocol.Decode(m, &p); err != nil {
+		return fmt.Errorf("taskmgr %s: bad user payload: %w", tm.cfg.Node, err)
+	}
+	tm.mu.Lock()
+	a, ok := tm.assigned[key(p.JobID, p.ToTask)]
+	tm.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("taskmgr %s: user message for unknown task %s", tm.cfg.Node, key(p.JobID, p.ToTask))
+	}
+	err := a.mailbox.TryPut(m)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, msg.ErrFull):
+		go func() {
+			if err := a.mailbox.Put(m); err != nil {
+				tm.logf("deliver to %s: %v", p.ToTask, err)
+			}
+		}()
+		return nil
+	default:
+		return fmt.Errorf("taskmgr %s: deliver to %s: %w", tm.cfg.Node, p.ToTask, err)
+	}
+}
+
+// HandleCancel cancels all of a job's tasks on this node: mailboxes close
+// (Recv returns ErrStopped) and Done() turns true so tasks can exit.
+func (tm *TaskManager) HandleCancel(jobID string) {
+	tm.mu.Lock()
+	var toCancel []*assignment
+	for _, a := range tm.assigned {
+		if a.jobID == jobID {
+			toCancel = append(toCancel, a)
+		}
+	}
+	tm.mu.Unlock()
+	for _, a := range toCancel {
+		a.cancelled.Store(true)
+		a.mailbox.Close()
+	}
+	// Unstarted assignments release their reservation immediately.
+	tm.mu.Lock()
+	for k, a := range tm.assigned {
+		if a.jobID == jobID && !a.started.Load() {
+			tm.freeMB += a.spec.Req.MemoryMB
+			delete(tm.assigned, k)
+		}
+	}
+	tm.mu.Unlock()
+}
+
+// Close stops accepting work and waits for running tasks to finish; their
+// mailboxes are closed first so blocked Recv calls unblock.
+func (tm *TaskManager) Close() {
+	tm.mu.Lock()
+	if tm.closed {
+		tm.mu.Unlock()
+		return
+	}
+	tm.closed = true
+	for _, a := range tm.assigned {
+		a.cancelled.Store(true)
+		a.mailbox.Close()
+	}
+	tm.mu.Unlock()
+	tm.wg.Wait()
+}
+
+// execContext implements task.Context for one running task.
+type execContext struct {
+	tm   *TaskManager
+	a    *assignment
+	self msg.Address
+	jm   msg.Address
+}
+
+// TaskName implements task.Context.
+func (c *execContext) TaskName() string { return c.a.spec.Name }
+
+// JobID implements task.Context.
+func (c *execContext) JobID() string { return c.a.jobID }
+
+// NodeName implements task.Context.
+func (c *execContext) NodeName() string { return c.tm.cfg.Node }
+
+// Params implements task.Context.
+func (c *execContext) Params() []task.Param {
+	return append([]task.Param(nil), c.a.spec.Params...)
+}
+
+// send routes a user payload through the JobManager conduit.
+func (c *execContext) send(kind msg.Kind, toTask string, payload []byte) error {
+	if c.a.cancelled.Load() {
+		return task.ErrStopped
+	}
+	p := protocol.UserPayload{
+		JobID:    c.a.jobID,
+		FromTask: c.a.spec.Name,
+		ToTask:   toTask,
+		Data:     payload,
+	}
+	m := protocol.Body(kind, c.self, msg.Address{Node: c.jm.Node, Job: c.a.jobID, Task: toTask}, p)
+	if err := c.tm.send(c.jm.Node, m); err != nil {
+		return fmt.Errorf("task %s: send to %s: %w", c.a.spec.Name, toTask, err)
+	}
+	return nil
+}
+
+// Send implements task.Context.
+func (c *execContext) Send(toTask string, payload []byte) error {
+	if toTask == "" {
+		return fmt.Errorf("task %s: send: empty destination", c.a.spec.Name)
+	}
+	return c.send(msg.KindUser, toTask, payload)
+}
+
+// SendClient implements task.Context.
+func (c *execContext) SendClient(payload []byte) error {
+	return c.send(msg.KindUser, protocol.ClientTaskName, payload)
+}
+
+// Broadcast implements task.Context.
+func (c *execContext) Broadcast(payload []byte) error {
+	return c.send(msg.KindBroadcast, "", payload)
+}
+
+// Recv implements task.Context.
+func (c *execContext) Recv() (string, []byte, error) {
+	m, err := c.a.mailbox.Get()
+	if err != nil {
+		return "", nil, task.ErrStopped
+	}
+	var p protocol.UserPayload
+	if err := protocol.Decode(m, &p); err != nil {
+		return "", nil, fmt.Errorf("task %s: recv: %w", c.a.spec.Name, err)
+	}
+	return p.FromTask, p.Data, nil
+}
+
+// Logf implements task.Context.
+func (c *execContext) Logf(format string, args ...any) {
+	c.tm.logf("task %s: "+format, append([]any{key(c.a.jobID, c.a.spec.Name)}, args...)...)
+}
+
+// Done implements task.Context.
+func (c *execContext) Done() bool { return c.a.cancelled.Load() }

@@ -1,0 +1,235 @@
+package taskmgr
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cn/internal/archive"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// sink collects messages a TaskManager sends out.
+type sink struct {
+	mu   sync.Mutex
+	msgs []*msg.Message
+}
+
+func (s *sink) send(toNode string, m *msg.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgs = append(s.msgs, m)
+	return nil
+}
+
+func (s *sink) waitKind(t *testing.T, kind msg.Kind) *msg.Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		for _, m := range s.msgs {
+			if m.Kind == kind {
+				s.mu.Unlock()
+				return m
+			}
+		}
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no %v message seen", kind)
+	return nil
+}
+
+func registry(t *testing.T) *task.Registry {
+	t.Helper()
+	r := task.NewRegistry()
+	r.MustRegister("tm.Noop", func() task.Task {
+		return task.Func(func(task.Context) error { return nil })
+	})
+	return r
+}
+
+func solicitMsg(spec *task.Spec) *msg.Message {
+	return protocol.Body(msg.KindTaskSolicit,
+		msg.Address{Node: "jm", Job: "j1"}, msg.Address{},
+		protocol.TaskSolicitReq{JobID: "j1", Spec: spec})
+}
+
+func assignMsg(spec *task.Spec, ar *archive.Archive) *msg.Message {
+	req := protocol.AssignTaskReq{
+		JobID: "j1", JobManager: "jm", ClientNode: "client", Spec: spec,
+	}
+	if ar != nil {
+		req.ArchiveName = ar.Name
+		req.Archive = ar.Bytes()
+		req.Digest = ar.Digest()
+	}
+	return protocol.Body(msg.KindUploadJar,
+		msg.Address{Node: "jm", Job: "j1"}, msg.Address{Node: "tm1"}, req)
+}
+
+func spec(name string, memMB int) *task.Spec {
+	return &task.Spec{Name: name, Class: "tm.Noop",
+		Req: task.Requirements{MemoryMB: memMB, RunModel: task.RunAsThreadInTM}}
+}
+
+func TestSolicitRespectsMemory(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 500, Registry: registry(t)}, s.send)
+	defer tm.Close()
+	if r := tm.HandleSolicit(solicitMsg(spec("big", 1000))); r != nil {
+		t.Error("over-capacity solicit answered")
+	}
+	r := tm.HandleSolicit(solicitMsg(spec("fits", 400)))
+	if r == nil {
+		t.Fatal("fitting solicit unanswered")
+	}
+	var offer protocol.TMOffer
+	if err := protocol.Decode(r, &offer); err != nil {
+		t.Fatal(err)
+	}
+	if offer.Node != "tm1" || offer.FreeMemoryMB != 500 {
+		t.Errorf("offer = %+v", offer)
+	}
+}
+
+func TestAssignReservesAndReleasesMemory(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 1000, Registry: registry(t)}, s.send)
+	defer tm.Close()
+	sp := spec("t1", 400)
+	r := tm.HandleAssign(assignMsg(sp, nil))
+	var resp protocol.AssignTaskResp
+	if err := protocol.Decode(r, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("assign rejected: %s", resp.Reason)
+	}
+	if tm.FreeMemoryMB() != 600 {
+		t.Errorf("free = %d after reservation", tm.FreeMemoryMB())
+	}
+	if err := tm.HandleStart("j1", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	s.waitKind(t, msg.KindTaskCompleted)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && tm.FreeMemoryMB() != 1000 {
+		time.Sleep(time.Millisecond)
+	}
+	if tm.FreeMemoryMB() != 1000 {
+		t.Errorf("free = %d after completion, want 1000", tm.FreeMemoryMB())
+	}
+}
+
+func TestAssignRejections(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 500, Registry: registry(t)}, s.send)
+	defer tm.Close()
+
+	check := func(m *msg.Message, wantReason string) {
+		t.Helper()
+		var resp protocol.AssignTaskResp
+		if err := protocol.Decode(tm.HandleAssign(m), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK {
+			t.Fatalf("assign accepted, wanted rejection %q", wantReason)
+		}
+		if !strings.Contains(resp.Reason, wantReason) {
+			t.Errorf("reason = %q, want %q", resp.Reason, wantReason)
+		}
+	}
+
+	check(assignMsg(spec("big", 900), nil), "insufficient memory")
+	check(assignMsg(&task.Spec{Name: "x", Class: "tm.Unknown",
+		Req: task.Requirements{MemoryMB: 10}}, nil), "not deployable")
+
+	// Duplicate assignment.
+	if err := protocol.Decode(tm.HandleAssign(assignMsg(spec("dup", 10), nil)), new(protocol.AssignTaskResp)); err != nil {
+		t.Fatal(err)
+	}
+	check(assignMsg(spec("dup", 10), nil), "already assigned")
+
+	// Archive whose manifest class does not match the spec.
+	bad, err := archive.NewBuilder("bad.jar", "tm.SomethingElse").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(assignMsg(spec("pkg", 10), bad), "does not match")
+
+	// Digest mismatch.
+	good, err := archive.NewBuilder("good.jar", "tm.Noop").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := assignMsg(spec("dig", 10), good)
+	var req protocol.AssignTaskReq
+	if err := protocol.Decode(m, &req); err != nil {
+		t.Fatal(err)
+	}
+	req.Digest = "wrong"
+	check(protocol.Body(msg.KindUploadJar, m.From, m.To, req), "digest mismatch")
+}
+
+func TestStartErrors(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", Registry: registry(t)}, s.send)
+	defer tm.Close()
+	if err := tm.HandleStart("j1", "ghost"); err == nil {
+		t.Error("starting unassigned task accepted")
+	}
+	if err := protocol.Decode(tm.HandleAssign(assignMsg(spec("t", 10), nil)), new(protocol.AssignTaskResp)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.HandleStart("j1", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.HandleStart("j1", "t"); err == nil {
+		t.Error("double start accepted")
+	}
+	s.waitKind(t, msg.KindTaskCompleted)
+}
+
+func TestCancelReleasesUnstarted(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 1000, Registry: registry(t)}, s.send)
+	defer tm.Close()
+	if err := protocol.Decode(tm.HandleAssign(assignMsg(spec("idle", 300), nil)), new(protocol.AssignTaskResp)); err != nil {
+		t.Fatal(err)
+	}
+	if tm.FreeMemoryMB() != 700 {
+		t.Fatalf("free = %d", tm.FreeMemoryMB())
+	}
+	tm.HandleCancel("j1")
+	if tm.FreeMemoryMB() != 1000 {
+		t.Errorf("free = %d after cancel, want 1000", tm.FreeMemoryMB())
+	}
+}
+
+func TestUserDeliveryUnknownTask(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", Registry: registry(t)}, s.send)
+	defer tm.Close()
+	m := protocol.Body(msg.KindUser, msg.Address{}, msg.Address{},
+		protocol.UserPayload{JobID: "j1", ToTask: "ghost"})
+	if err := tm.HandleUser(m); err == nil {
+		t.Error("delivery to unknown task accepted")
+	}
+}
+
+func TestCloseIdempotentAndRejectsWork(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", Registry: registry(t)}, s.send)
+	tm.Close()
+	tm.Close()
+	if r := tm.HandleSolicit(solicitMsg(spec("t", 10))); r != nil {
+		t.Error("closed TM answered solicit")
+	}
+	if err := tm.HandleStart("j1", "t"); err == nil {
+		t.Error("closed TM started task")
+	}
+}

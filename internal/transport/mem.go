@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cn/internal/msg"
+)
+
+// MemConfig tunes the simulated fabric. The zero value is an ideal network:
+// no latency, no jitter, no loss.
+type MemConfig struct {
+	// Latency is the fixed one-way delivery delay.
+	Latency time.Duration
+	// Jitter adds a uniformly distributed random delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0,1) that any single delivery is dropped.
+	Loss float64
+	// Seed makes jitter and loss deterministic; 0 selects seed 1.
+	Seed int64
+	// QueueLen bounds each endpoint's inbound queue (default 4096).
+	QueueLen int
+}
+
+// MemNetwork is the in-memory cluster fabric: every attached endpoint lives
+// in the same process and messages are delivered by goroutines, optionally
+// through a latency/jitter/loss model. It is the substrate that stands in
+// for the paper's Ethernet LAN.
+type MemNetwork struct {
+	cfg    MemConfig
+	stats  Stats
+	groups *groupSet
+
+	mu     sync.RWMutex
+	nodes  map[string]*memEndpoint
+	closed bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewMemNetwork creates a fabric with the given simulation parameters.
+func NewMemNetwork(cfg MemConfig) *MemNetwork {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &MemNetwork{
+		cfg:    cfg,
+		groups: newGroupSet(),
+		nodes:  make(map[string]*memEndpoint),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewIdealNetwork is shorthand for a zero-latency, lossless fabric.
+func NewIdealNetwork() *MemNetwork { return NewMemNetwork(MemConfig{}) }
+
+// Stats exposes the fabric counters.
+func (n *MemNetwork) Stats() *Stats { return &n.stats }
+
+// Attach implements Network.
+func (n *MemNetwork) Attach(node string, handler Handler) (Endpoint, error) {
+	if node == "" {
+		return nil, fmt.Errorf("transport: attach: empty node name")
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("transport: attach %q: nil handler", node)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.nodes[node]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateNode, node)
+	}
+	ep := &memEndpoint{
+		net:     n,
+		node:    node,
+		handler: handler,
+		inbox:   make(chan *msg.Message, n.cfg.QueueLen),
+		stop:    make(chan struct{}),
+	}
+	n.nodes[node] = ep
+	ep.wg.Add(1)
+	go ep.dispatch()
+	return ep, nil
+}
+
+// Close implements Network: detaches every endpoint.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*memEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+// lossy draws whether the next delivery is dropped, and the jitter to apply.
+func (n *MemNetwork) draw() (drop bool, extra time.Duration) {
+	if n.cfg.Loss == 0 && n.cfg.Jitter == 0 {
+		return false, 0
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
+		return true, 0
+	}
+	if n.cfg.Jitter > 0 {
+		extra = time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	return false, extra
+}
+
+// deliver routes m to the destination endpoint, applying the latency model.
+func (n *MemNetwork) deliver(to string, m *msg.Message) error {
+	n.mu.RLock()
+	dst, ok := n.nodes[to]
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	n.stats.Sent.Add(1)
+	drop, extra := n.draw()
+	if drop {
+		n.stats.Dropped.Add(1)
+		return nil // loss is silent, like the wire
+	}
+	delay := n.cfg.Latency + extra
+	if delay == 0 {
+		dst.enqueue(m, &n.stats)
+		return nil
+	}
+	time.AfterFunc(delay, func() { dst.enqueue(m, &n.stats) })
+	return nil
+}
+
+// memEndpoint is one node's attachment to a MemNetwork.
+type memEndpoint struct {
+	net     *MemNetwork
+	node    string
+	handler Handler
+	inbox   chan *msg.Message
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (e *memEndpoint) dispatch() {
+	defer e.wg.Done()
+	for {
+		select {
+		case m := <-e.inbox:
+			e.handler(m)
+		case <-e.stop:
+			// Drain whatever is already queued, then exit.
+			for {
+				select {
+				case m := <-e.inbox:
+					_ = m // dropped on close
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *memEndpoint) enqueue(m *msg.Message, stats *Stats) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		stats.Dropped.Add(1)
+		return
+	}
+	select {
+	case e.inbox <- m:
+		stats.Delivered.Add(1)
+	case <-e.stop:
+		stats.Dropped.Add(1)
+	}
+}
+
+// Node implements Endpoint.
+func (e *memEndpoint) Node() string { return e.node }
+
+// Send implements Endpoint.
+func (e *memEndpoint) Send(toNode string, m *msg.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return e.net.deliver(toNode, m)
+}
+
+// Multicast implements Endpoint.
+func (e *memEndpoint) Multicast(group string, m *msg.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	e.net.stats.Multicast.Add(1)
+	for _, node := range e.net.groups.members(group) {
+		// Each member receives its own copy so handlers can mutate freely.
+		if err := e.net.deliver(node, m.Clone()); err != nil && err != ErrClosed {
+			// A member that vanished mid-fanout is not an error for the
+			// sender; multicast is best-effort.
+			continue
+		}
+	}
+	return nil
+}
+
+// Join implements Endpoint.
+func (e *memEndpoint) Join(group string) error {
+	if group == "" {
+		return fmt.Errorf("transport: join: empty group")
+	}
+	e.net.groups.join(group, e.node)
+	return nil
+}
+
+// Leave implements Endpoint.
+func (e *memEndpoint) Leave(group string) error {
+	e.net.groups.leave(group, e.node)
+	return nil
+}
+
+// GroupSize implements Endpoint.
+func (e *memEndpoint) GroupSize(group string) int {
+	return e.net.groups.size(group)
+}
+
+// Close implements Endpoint.
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	e.wg.Wait()
+	e.net.groups.leaveAll(e.node)
+	e.net.mu.Lock()
+	delete(e.net.nodes, e.node)
+	e.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,316 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cn/internal/msg"
+)
+
+// TCPNetwork is a real-socket fabric on the loopback interface. Every
+// attached endpoint owns a TCP listener; a shared in-process directory maps
+// node names to listen addresses (standing in for DNS/static cluster
+// configuration), and multicast is emulated by unicast fan-out over group
+// membership (standing in for IP multicast, which sandboxes rarely route).
+//
+// Frames are gob-encoded msg.Message values on short-lived or pooled
+// connections; the sender keeps one persistent connection per destination.
+type TCPNetwork struct {
+	groups *groupSet
+	stats  Stats
+
+	mu     sync.RWMutex
+	nodes  map[string]*tcpEndpoint // node -> endpoint (for directory lookups)
+	addrs  map[string]string       // node -> host:port
+	closed bool
+}
+
+// NewTCPNetwork creates an empty TCP fabric.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{
+		groups: newGroupSet(),
+		nodes:  make(map[string]*tcpEndpoint),
+		addrs:  make(map[string]string),
+	}
+}
+
+// Stats exposes the fabric counters.
+func (n *TCPNetwork) Stats() *Stats { return &n.stats }
+
+// Attach implements Network: starts a loopback listener for the node.
+func (n *TCPNetwork) Attach(node string, handler Handler) (Endpoint, error) {
+	if node == "" {
+		return nil, fmt.Errorf("transport: attach: empty node name")
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("transport: attach %q: nil handler", node)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := n.nodes[node]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateNode, node)
+	}
+	n.mu.Unlock()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: attach %q: %w", node, err)
+	}
+	ep := &tcpEndpoint{
+		net:     n,
+		node:    node,
+		handler: handler,
+		ln:      ln,
+		conns:   make(map[string]*tcpConn),
+		inbound: make(map[net.Conn]bool),
+		stop:    make(chan struct{}),
+	}
+	n.mu.Lock()
+	n.nodes[node] = ep
+	n.addrs[node] = ln.Addr().String()
+	n.mu.Unlock()
+
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*tcpEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+func (n *TCPNetwork) lookup(node string) (string, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed {
+		return "", ErrClosed
+	}
+	addr, ok := n.addrs[node]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	return addr, nil
+}
+
+// tcpConn is a persistent outbound connection with its encoder.
+type tcpConn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	enc  *gob.Encoder
+	addr string
+}
+
+// tcpEndpoint is one node's attachment to a TCPNetwork.
+type tcpEndpoint struct {
+	net     *TCPNetwork
+	node    string
+	handler Handler
+	ln      net.Listener
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[string]*tcpConn
+	inbound map[net.Conn]bool
+	closed  bool
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.inbound[c] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var m msg.Message
+		if err := dec.Decode(&m); err != nil {
+			if err != io.EOF {
+				// Connection torn down mid-frame; at-most-once semantics
+				// make this a silent drop.
+				e.net.stats.Dropped.Add(1)
+			}
+			return
+		}
+		select {
+		case <-e.stop:
+			e.net.stats.Dropped.Add(1)
+			return
+		default:
+		}
+		e.net.stats.Delivered.Add(1)
+		e.handler(&m)
+	}
+}
+
+// Node implements Endpoint.
+func (e *tcpEndpoint) Node() string { return e.node }
+
+// conn returns (dialing if necessary) the persistent connection to addr.
+func (e *tcpEndpoint) conn(node string) (*tcpConn, error) {
+	addr, err := e.net.lookup(node)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if tc, ok := e.conns[node]; ok && tc.addr == addr {
+		return tc, nil
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
+	}
+	tc := &tcpConn{c: c, enc: gob.NewEncoder(c), addr: addr}
+	e.conns[node] = tc
+	return tc, nil
+}
+
+// Send implements Endpoint.
+func (e *tcpEndpoint) Send(toNode string, m *msg.Message) error {
+	tc, err := e.conn(toNode)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	err = tc.enc.Encode(m)
+	tc.mu.Unlock()
+	if err != nil {
+		// Connection went bad: forget it so the next send re-dials.
+		e.mu.Lock()
+		if cur, ok := e.conns[toNode]; ok && cur == tc {
+			delete(e.conns, toNode)
+		}
+		e.mu.Unlock()
+		tc.c.Close()
+		return fmt.Errorf("transport: send to %s: %w", toNode, err)
+	}
+	e.net.stats.Sent.Add(1)
+	return nil
+}
+
+// Multicast implements Endpoint (unicast fan-out over group membership).
+func (e *tcpEndpoint) Multicast(group string, m *msg.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	e.net.stats.Multicast.Add(1)
+	for _, node := range e.net.groups.members(group) {
+		if err := e.Send(node, m.Clone()); err != nil {
+			continue // best-effort, like the wire
+		}
+	}
+	return nil
+}
+
+// Join implements Endpoint.
+func (e *tcpEndpoint) Join(group string) error {
+	if group == "" {
+		return fmt.Errorf("transport: join: empty group")
+	}
+	e.net.groups.join(group, e.node)
+	return nil
+}
+
+// Leave implements Endpoint.
+func (e *tcpEndpoint) Leave(group string) error {
+	e.net.groups.leave(group, e.node)
+	return nil
+}
+
+// GroupSize implements Endpoint.
+func (e *tcpEndpoint) GroupSize(group string) int {
+	return e.net.groups.size(group)
+}
+
+// Close implements Endpoint.
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[string]*tcpConn{}
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+
+	close(e.stop)
+	e.ln.Close()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	e.wg.Wait()
+	e.net.groups.leaveAll(e.node)
+	e.net.mu.Lock()
+	delete(e.net.nodes, e.node)
+	delete(e.net.addrs, e.node)
+	e.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,273 @@
+// Package transport provides the messaging fabric CN components run on.
+//
+// The paper's CN deployment is "a cluster of commodity off-the-shelf
+// personal computers, interconnected with a local area network technology
+// like Ethernet", with JobManager discovery performed over multicast
+// ("Requests to JobManager are communicated using multicast"). This package
+// abstracts that fabric behind a Network/Endpoint pair with two
+// implementations:
+//
+//   - MemNetwork: an in-memory bus with configurable latency, jitter and
+//     message loss — the simulated cluster substrate used by tests and
+//     benchmarks (deterministic under a fixed seed).
+//   - TCPNetwork: real sockets on the loopback interface with gob-framed
+//     messages; IP multicast is emulated by fan-out over group membership,
+//     which preserves the protocol shape without requiring multicast
+//     routing inside a sandbox.
+//
+// Delivery semantics are at-most-once and unordered across endpoints
+// (ordered per sender-receiver pair on MemNetwork with zero jitter); CN's
+// protocol layers correlate requests and responses explicitly, as the
+// paper's message model prescribes.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cn/internal/msg"
+)
+
+// Common transport errors.
+var (
+	// ErrClosed indicates the endpoint or network has been shut down.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownNode indicates the destination node is not attached.
+	ErrUnknownNode = errors.New("transport: unknown node")
+	// ErrDuplicateNode indicates a node name is already attached.
+	ErrDuplicateNode = errors.New("transport: duplicate node")
+)
+
+// Handler consumes an inbound message. Handlers for one endpoint are invoked
+// sequentially on a dedicated dispatch goroutine.
+type Handler func(*msg.Message)
+
+// Endpoint is a node's attachment to the fabric.
+type Endpoint interface {
+	// Node returns the node name this endpoint is bound to.
+	Node() string
+	// Send delivers m to the named node (unicast, at-most-once).
+	Send(toNode string, m *msg.Message) error
+	// Multicast delivers m to every current member of the group, including
+	// the sender when it is itself a member (IP_MULTICAST_LOOP semantics;
+	// a CN server's JobManager must be able to solicit its own
+	// TaskManager).
+	Multicast(group string, m *msg.Message) error
+	// Join adds this endpoint to a multicast group.
+	Join(group string) error
+	// Leave removes this endpoint from a multicast group.
+	Leave(group string) error
+	// GroupSize reports the current member count of a multicast group
+	// (membership is fabric-wide state, like an IGMP snooping table); a
+	// Gather caller uses it to stop waiting once every member replied.
+	GroupSize(group string) int
+	// Close detaches the endpoint; pending deliveries are dropped.
+	Close() error
+}
+
+// Network attaches endpoints to a shared fabric.
+type Network interface {
+	// Attach binds a node name to the fabric; inbound messages are passed
+	// to handler in order of delivery.
+	Attach(node string, handler Handler) (Endpoint, error)
+	// Close shuts the whole fabric down.
+	Close() error
+}
+
+// Stats counts fabric activity; all fields are manipulated atomically.
+type Stats struct {
+	Sent      atomic.Int64 // messages submitted for delivery
+	Delivered atomic.Int64 // messages handed to a handler
+	Dropped   atomic.Int64 // messages lost (simulated loss or closed peer)
+	Multicast atomic.Int64 // multicast fan-out submissions
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() (sent, delivered, dropped, multicast int64) {
+	return s.Sent.Load(), s.Delivered.Load(), s.Dropped.Load(), s.Multicast.Load()
+}
+
+// Caller layers blocking request/response ("call") semantics over an
+// asynchronous Endpoint using message correlation IDs, the way the paper's
+// well-defined request/response message pairs behave.
+//
+// Components route every inbound message through Handle first; messages
+// consumed as replies return true and must not be processed further.
+type Caller struct {
+	ep Endpoint
+
+	mu      sync.Mutex
+	pending map[uint64]chan *msg.Message
+	multi   map[uint64]chan *msg.Message
+}
+
+// NewCaller wraps an endpoint.
+func NewCaller(ep Endpoint) *Caller {
+	return &Caller{
+		ep:      ep,
+		pending: make(map[uint64]chan *msg.Message),
+		multi:   make(map[uint64]chan *msg.Message),
+	}
+}
+
+// Endpoint returns the wrapped endpoint.
+func (c *Caller) Endpoint() Endpoint { return c.ep }
+
+// GatherGroup is Gather with max set to the group's current size, so the
+// call returns as soon as every member replied instead of always waiting
+// out the window. Silent members still cost the full window.
+func (c *Caller) GatherGroup(group string, m *msg.Message, window time.Duration) ([]*msg.Message, error) {
+	return c.Gather(group, m, c.ep.GroupSize(group), window)
+}
+
+// Handle offers an inbound message to the caller. It returns true when the
+// message was a reply to an outstanding Call/Gather and has been consumed.
+func (c *Caller) Handle(m *msg.Message) bool {
+	if m.CorrelID == 0 {
+		return false
+	}
+	c.mu.Lock()
+	if ch, ok := c.pending[m.CorrelID]; ok {
+		delete(c.pending, m.CorrelID)
+		c.mu.Unlock()
+		ch <- m
+		return true
+	}
+	ch, ok := c.multi[m.CorrelID]
+	c.mu.Unlock()
+	if ok {
+		select {
+		case ch <- m:
+		default: // gatherer stopped listening; drop late reply
+		}
+		return true
+	}
+	return false
+}
+
+// Call sends m to toNode and blocks until a correlated reply arrives or ctx
+// is done.
+func (c *Caller) Call(ctx context.Context, toNode string, m *msg.Message) (*msg.Message, error) {
+	ch := make(chan *msg.Message, 1)
+	c.mu.Lock()
+	c.pending[m.ID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+	}()
+	if err := c.ep.Send(toNode, m); err != nil {
+		return nil, fmt.Errorf("transport: call %s: %w", toNode, err)
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("transport: call %s (%s): %w", toNode, m.Kind, ctx.Err())
+	}
+}
+
+// Gather multicasts m to group and collects correlated replies until either
+// max replies arrived (max > 0) or the window elapsed. It returns the
+// replies received; an empty slice is not an error.
+func (c *Caller) Gather(group string, m *msg.Message, max int, window time.Duration) ([]*msg.Message, error) {
+	buf := max
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan *msg.Message, buf)
+	c.mu.Lock()
+	c.multi[m.ID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.multi, m.ID)
+		c.mu.Unlock()
+	}()
+	if err := c.ep.Multicast(group, m); err != nil {
+		return nil, fmt.Errorf("transport: gather %s: %w", group, err)
+	}
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	var replies []*msg.Message
+	for {
+		select {
+		case r := <-ch:
+			replies = append(replies, r)
+			if max > 0 && len(replies) >= max {
+				return replies, nil
+			}
+		case <-timer.C:
+			return replies, nil
+		}
+	}
+}
+
+// groupSet tracks multicast membership shared by both network
+// implementations.
+type groupSet struct {
+	mu     sync.RWMutex
+	groups map[string]map[string]bool // group -> node -> member
+}
+
+func newGroupSet() *groupSet {
+	return &groupSet{groups: make(map[string]map[string]bool)}
+}
+
+func (g *groupSet) join(group, node string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set, ok := g.groups[group]
+	if !ok {
+		set = make(map[string]bool)
+		g.groups[group] = set
+	}
+	set[node] = true
+}
+
+func (g *groupSet) leave(group, node string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if set, ok := g.groups[group]; ok {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(g.groups, group)
+		}
+	}
+}
+
+func (g *groupSet) leaveAll(node string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for group, set := range g.groups {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(g.groups, group)
+		}
+	}
+}
+
+// size returns the group's member count.
+func (g *groupSet) size(group string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.groups[group])
+}
+
+// members returns the group members, including the sender when it joined
+// the group (multicast loopback).
+func (g *groupSet) members(group string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	set := g.groups[group]
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+// Package tuplespace implements Linda-style tuple spaces, the second
+// coordination mechanism the paper mentions: "the tasks coordinate among
+// themselves using the CNAPI for intertask communication (CN also supports
+// communication via tuple spaces...)".
+//
+// A Space stores ordered tuples of scalar fields. Producers Out tuples;
+// consumers In (destructive) or Rd (non-destructive) tuples matching a
+// template, blocking until one is available. InP/RdP are the non-blocking
+// probes. Templates match field-by-field: a concrete value matches by
+// equality, the Wildcard matches any value of any type, and a TypeOf
+// placeholder matches any value of one concrete type.
+package tuplespace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned once the space has been closed.
+var ErrClosed = errors.New("tuplespace: closed")
+
+// ErrNoMatch is returned by the non-blocking probes when no tuple matches.
+var ErrNoMatch = errors.New("tuplespace: no matching tuple")
+
+// Tuple is an ordered sequence of scalar fields (strings, numbers, bools,
+// byte slices...).
+type Tuple []any
+
+// String renders the tuple for logs, e.g. ("row", 3, 1.5).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, f := range t {
+		parts[i] = fmt.Sprintf("%v", f)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// clone returns a shallow copy of the tuple so callers cannot mutate stored
+// state.
+func (t Tuple) clone() Tuple {
+	return append(Tuple(nil), t...)
+}
+
+// wildcard is the sentinel type of Wildcard.
+type wildcard struct{}
+
+// Wildcard matches any field value of any type in a template.
+var Wildcard = wildcard{}
+
+// typeOf matches any value of a concrete dynamic type.
+type typeOf struct{ rt reflect.Type }
+
+// TypeOf returns a template placeholder matching any value with the same
+// dynamic type as sample (e.g. TypeOf(0) matches any int).
+func TypeOf(sample any) any { return typeOf{reflect.TypeOf(sample)} }
+
+// Template is a tuple pattern: concrete values, Wildcard, or TypeOf
+// placeholders.
+type Template []any
+
+// Matches reports whether tpl matches tuple t: same arity and each field
+// accepted by the corresponding pattern element.
+func (tpl Template) Matches(t Tuple) bool {
+	if len(tpl) != len(t) {
+		return false
+	}
+	for i, p := range tpl {
+		switch pat := p.(type) {
+		case wildcard:
+			// matches anything
+		case typeOf:
+			if reflect.TypeOf(t[i]) != pat.rt {
+				return false
+			}
+		default:
+			if !fieldEqual(p, t[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fieldEqual compares two field values, handling byte slices specially
+// (slices are not comparable with ==).
+func fieldEqual(a, b any) bool {
+	if ab, ok := a.([]byte); ok {
+		bb, ok := b.([]byte)
+		if !ok || len(ab) != len(bb) {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// waiter represents one blocked In/Rd call.
+type waiter struct {
+	tpl  Template
+	take bool // destructive (In) vs read (Rd)
+	ch   chan Tuple
+}
+
+// Space is a concurrent tuple space.
+type Space struct {
+	mu      sync.Mutex
+	tuples  []Tuple
+	waiters []*waiter
+	closed  bool
+}
+
+// New creates an empty space.
+func New() *Space { return &Space{} }
+
+// Len returns the number of stored tuples.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tuples)
+}
+
+// Out stores a tuple in the space, waking at most one blocked In and any
+// number of blocked Rd calls whose templates match.
+func (s *Space) Out(t Tuple) error {
+	if len(t) == 0 {
+		return fmt.Errorf("tuplespace: out: empty tuple")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t = t.clone()
+	// Readers all observe the tuple; the first matching taker consumes it.
+	taken := false
+	remaining := s.waiters[:0]
+	for _, w := range s.waiters {
+		if (taken && w.take) || !w.tpl.Matches(t) {
+			remaining = append(remaining, w)
+			continue
+		}
+		w.ch <- t.clone()
+		if w.take {
+			taken = true
+		}
+	}
+	s.waiters = remaining
+	if !taken {
+		s.tuples = append(s.tuples, t)
+	}
+	return nil
+}
+
+// findLocked returns the index of the first tuple matching tpl, or -1.
+func (s *Space) findLocked(tpl Template) int {
+	for i, t := range s.tuples {
+		if tpl.Matches(t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// InP removes and returns the first matching tuple without blocking.
+func (s *Space) InP(tpl Template) (Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	i := s.findLocked(tpl)
+	if i < 0 {
+		return nil, ErrNoMatch
+	}
+	t := s.tuples[i]
+	s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+	return t.clone(), nil
+}
+
+// RdP returns (without removing) the first matching tuple without blocking.
+func (s *Space) RdP(tpl Template) (Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	i := s.findLocked(tpl)
+	if i < 0 {
+		return nil, ErrNoMatch
+	}
+	return s.tuples[i].clone(), nil
+}
+
+// In removes and returns a tuple matching tpl, blocking until one is
+// available or ctx is done.
+func (s *Space) In(ctx context.Context, tpl Template) (Tuple, error) {
+	return s.wait(ctx, tpl, true)
+}
+
+// Rd returns (without removing) a tuple matching tpl, blocking until one is
+// available or ctx is done.
+func (s *Space) Rd(ctx context.Context, tpl Template) (Tuple, error) {
+	return s.wait(ctx, tpl, false)
+}
+
+func (s *Space) wait(ctx context.Context, tpl Template, take bool) (Tuple, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if i := s.findLocked(tpl); i >= 0 {
+		t := s.tuples[i]
+		if take {
+			s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+		}
+		s.mu.Unlock()
+		return t.clone(), nil
+	}
+	w := &waiter{tpl: tpl, take: take, ch: make(chan Tuple, 1)}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case t, ok := <-w.ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return t, nil
+	case <-ctx.Done():
+		s.removeWaiter(w)
+		// A racing Out may have satisfied the waiter between ctx firing and
+		// removal; prefer delivering the tuple over losing it.
+		select {
+		case t, ok := <-w.ch:
+			if ok {
+				return t, nil
+			}
+		default:
+		}
+		return nil, fmt.Errorf("tuplespace: %s: %w", opName(take), ctx.Err())
+	}
+}
+
+func opName(take bool) string {
+	if take {
+		return "in"
+	}
+	return "rd"
+}
+
+func (s *Space) removeWaiter(w *waiter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Count returns the number of stored tuples matching tpl.
+func (s *Space) Count(tpl Template) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.tuples {
+		if tpl.Matches(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy of all stored tuples (diagnostics and tests).
+func (s *Space) Snapshot() []Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Tuple, len(s.tuples))
+	for i, t := range s.tuples {
+		out[i] = t.clone()
+	}
+	return out
+}
+
+// Close shuts the space down, failing all blocked and future operations.
+func (s *Space) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, w := range s.waiters {
+		close(w.ch)
+	}
+	s.waiters = nil
+	s.tuples = nil
+}

@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"cn/internal/api"
+	"cn/internal/task"
+)
+
+// Word count is the canonical scatter/gather (map/reduce) composition: a
+// splitter chunks the input text across mappers, each mapper counts words
+// in its chunk, and a reducer merges the partial counts.
+
+// wcChunk is the splitter -> mapper payload.
+type wcChunk struct {
+	Lines []string
+}
+
+// wcPartial is the mapper -> reducer payload.
+type wcPartial struct {
+	Counts map[string]int
+}
+
+// wcSplit chunks the client-supplied text across mappers.
+// Params: [0] mapper count, [1] mapper name prefix.
+type wcSplit struct{}
+
+// Run implements task.Task.
+func (*wcSplit) Run(ctx task.Context) error {
+	mappers, err := task.IntParam(ctx.Params(), 0)
+	if err != nil {
+		return fmt.Errorf("wordcount split: %w", err)
+	}
+	prefix, err := task.StringParam(ctx.Params(), 1)
+	if err != nil {
+		return fmt.Errorf("wordcount split: %w", err)
+	}
+	_, data, err := ctx.Recv()
+	if err != nil {
+		return fmt.Errorf("wordcount split: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for m := 0; m < mappers; m++ {
+		lo := m * len(lines) / mappers
+		hi := (m + 1) * len(lines) / mappers
+		chunk := wcChunk{Lines: lines[lo:hi]}
+		if err := ctx.Send(fmt.Sprintf("%s%d", prefix, m+1), encode(&chunk)); err != nil {
+			return fmt.Errorf("wordcount split: send chunk %d: %w", m, err)
+		}
+	}
+	return nil
+}
+
+// wcMap counts words in one chunk. Params: [0] reducer task name.
+type wcMap struct{}
+
+// Run implements task.Task.
+func (*wcMap) Run(ctx task.Context) error {
+	reducer, err := task.StringParam(ctx.Params(), 0)
+	if err != nil {
+		return fmt.Errorf("wordcount map: %w", err)
+	}
+	_, data, err := ctx.Recv()
+	if err != nil {
+		return fmt.Errorf("wordcount map: %w", err)
+	}
+	var chunk wcChunk
+	if err := decode(data, &chunk); err != nil {
+		return fmt.Errorf("wordcount map: %w", err)
+	}
+	counts := make(map[string]int)
+	for _, line := range chunk.Lines {
+		for _, w := range strings.Fields(line) {
+			counts[strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))]++
+		}
+	}
+	delete(counts, "")
+	return ctx.Send(reducer, encode(&wcPartial{Counts: counts}))
+}
+
+// wcReduce merges partial counts and reports the total to the client.
+// Params: [0] mapper count.
+type wcReduce struct{}
+
+// Run implements task.Task.
+func (*wcReduce) Run(ctx task.Context) error {
+	mappers, err := task.IntParam(ctx.Params(), 0)
+	if err != nil {
+		return fmt.Errorf("wordcount reduce: %w", err)
+	}
+	total := make(map[string]int)
+	for received := 0; received < mappers; received++ {
+		_, data, err := ctx.Recv()
+		if err != nil {
+			return fmt.Errorf("wordcount reduce: %w", err)
+		}
+		var p wcPartial
+		if err := decode(data, &p); err != nil {
+			return fmt.Errorf("wordcount reduce: %w", err)
+		}
+		for w, c := range p.Counts {
+			total[w] += c
+		}
+	}
+	return ctx.SendClient(encode(&wcPartial{Counts: total}))
+}
+
+// WordCountSpecs builds the job's task list: split -> mappers -> reduce.
+func WordCountSpecs(mappers int) ([]*task.Spec, error) {
+	if mappers < 1 {
+		return nil, fmt.Errorf("workloads: word count needs >= 1 mapper")
+	}
+	const prefix = "map"
+	specs := []*task.Spec{{
+		Name:   "split",
+		Class:  ClassWCSplit,
+		Params: []task.Param{intParam(mappers), strParam(prefix)},
+		Req:    req(),
+	}}
+	var names []string
+	for i := 1; i <= mappers; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		names = append(names, name)
+		specs = append(specs, &task.Spec{
+			Name:      name,
+			Class:     ClassWCMap,
+			DependsOn: []string{"split"},
+			Params:    []task.Param{strParam("reduce")},
+			Req:       req(),
+		})
+	}
+	specs = append(specs, &task.Spec{
+		Name:      "reduce",
+		Class:     ClassWCReduce,
+		DependsOn: names,
+		Params:    []task.Param{intParam(mappers)},
+		Req:       req(),
+	})
+	return specs, nil
+}
+
+// RunWordCount executes the word-count job on a CN cluster.
+func RunWordCount(ctx context.Context, cl *api.Client, text string, mappers int) (map[string]int, error) {
+	specs, err := WordCountSpecs(mappers)
+	if err != nil {
+		return nil, err
+	}
+	job, err := createAll(cl, "wordcount", specs)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.Start(); err != nil {
+		return nil, err
+	}
+	if err := job.SendMessage("split", []byte(text)); err != nil {
+		return nil, err
+	}
+	data, err := awaitResult(ctx, job, "reduce")
+	if err != nil {
+		return nil, err
+	}
+	var p wcPartial
+	if err := decode(data, &p); err != nil {
+		return nil, err
+	}
+	if err := finishJob(ctx, job); err != nil {
+		return nil, err
+	}
+	return p.Counts, nil
+}
+
+// SequentialWordCount is the single-process baseline.
+func SequentialWordCount(text string) map[string]int {
+	counts := make(map[string]int)
+	for _, w := range strings.Fields(text) {
+		counts[strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))]++
+	}
+	delete(counts, "")
+	return counts
+}

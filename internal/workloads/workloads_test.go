@@ -1,0 +1,233 @@
+package workloads_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"cn/internal/api"
+	"cn/internal/cluster"
+	"cn/internal/task"
+	"cn/internal/workloads"
+)
+
+var registry = func() *task.Registry {
+	r := task.NewRegistry()
+	workloads.MustRegister(r)
+	return r
+}()
+
+func startCluster(t *testing.T, nodes int) *api.Client {
+	t.Helper()
+	c, err := cluster.Start(cluster.Config{Nodes: nodes, Registry: registry, MemoryMB: 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+const sample = `the quick brown fox jumps over the lazy dog
+the dog barks and the fox runs
+pack my box with five dozen liquor jugs
+how vexingly quick daft zebras jump`
+
+func TestWordCountMatchesSequential(t *testing.T) {
+	cl := startCluster(t, 3)
+	want := workloads.SequentialWordCount(sample)
+	got, err := workloads.RunWordCount(testCtx(t), cl, sample, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distinct words, want %d", len(got), len(want))
+	}
+	for w, c := range want {
+		if got[w] != c {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], c)
+		}
+	}
+	if got["the"] != 4 {
+		t.Errorf("count[the] = %d, want 4", got["the"])
+	}
+}
+
+func TestWordCountSingleMapper(t *testing.T) {
+	cl := startCluster(t, 2)
+	got, err := workloads.RunWordCount(testCtx(t), cl, sample, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workloads.SequentialWordCount(sample)
+	if len(got) != len(want) {
+		t.Errorf("distinct words = %d, want %d", len(got), len(want))
+	}
+}
+
+func TestWordCountMoreMappersThanLines(t *testing.T) {
+	cl := startCluster(t, 2)
+	got, err := workloads.RunWordCount(testCtx(t), cl, "only one line here", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["only"] != 1 || got["line"] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestWordCountSpecsValidation(t *testing.T) {
+	if _, err := workloads.WordCountSpecs(0); err == nil {
+		t.Error("zero mappers accepted")
+	}
+}
+
+func TestMatMulMatchesSequential(t *testing.T) {
+	cl := startCluster(t, 3)
+	a := workloads.RandomDense(17, 13, 3)
+	b := workloads.RandomDense(13, 11, 4)
+	want, err := workloads.MatMulSeq(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := workloads.RunMatMul(testCtx(t), cl, a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("CN matmul differs from sequential")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	cl := startCluster(t, 2)
+	const n = 8
+	a := workloads.RandomDense(n, n, 7)
+	id := workloads.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	got, err := workloads.RunMatMul(testCtx(t), cl, a, id, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Error("A x I != A")
+	}
+}
+
+func TestMatMulShapeMismatch(t *testing.T) {
+	a := workloads.RandomDense(3, 4, 1)
+	b := workloads.RandomDense(5, 6, 2)
+	if _, err := workloads.MatMulSeq(a, b); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestMonteCarloPi(t *testing.T) {
+	cl := startCluster(t, 3)
+	pi, err := workloads.RunMonteCarloPi(testCtx(t), cl, 4, 200_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi-math.Pi) > 0.02 {
+		t.Errorf("pi estimate %g too far from %g", pi, math.Pi)
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	cl := startCluster(t, 2)
+	a, err := workloads.RunMonteCarloPi(testCtx(t), cl, 2, 50_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workloads.RunMonteCarloPi(testCtx(t), cl, 2, 50_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seeds gave %g then %g", a, b)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	cl := startCluster(t, 3)
+	ops := []string{workloads.StageTrim, workloads.StageUpper, workloads.StageReverse, workloads.StagePrefix}
+	input := "  hello cn  "
+	want, err := workloads.SequentialPipeline(input, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := workloads.RunPipeline(testCtx(t), cl, input, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("pipeline = %q, want %q", got, want)
+	}
+	if want != "cn:NC OLLEH" {
+		t.Errorf("sequential baseline = %q", want)
+	}
+}
+
+func TestPipelineSingleStage(t *testing.T) {
+	cl := startCluster(t, 2)
+	got, err := workloads.RunPipeline(testCtx(t), cl, "abc", []string{workloads.StageUpper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ABC" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPipelineUnknownOpFailsJob(t *testing.T) {
+	cl := startCluster(t, 2)
+	_, err := workloads.RunPipeline(testCtx(t), cl, "abc", []string{"frobnicate"})
+	if err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestSequentialPipelineErrors(t *testing.T) {
+	if _, err := workloads.SequentialPipeline("x", []string{"nope"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := workloads.PipelineSpecs(nil); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}
+
+func TestDenseHelpers(t *testing.T) {
+	m := workloads.NewDense(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Error("Set/At broken")
+	}
+	if m.Equal(nil) || m.Equal(workloads.NewDense(3, 2)) {
+		t.Error("Equal shape checks broken")
+	}
+	a := workloads.RandomDense(4, 4, 9)
+	b := workloads.RandomDense(4, 4, 9)
+	if !a.Equal(b) {
+		t.Error("RandomDense not deterministic")
+	}
+}
+
+func TestMonteCarloSpecsValidation(t *testing.T) {
+	if _, err := workloads.MonteCarloSpecs(0, 10, 1); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

@@ -1,0 +1,486 @@
+// Package xmi reads and writes UML 1.4 activity graphs in XMI 1.2, "an
+// XML-based external representation of UML models" (paper §1, Figure 7).
+// It supports exactly the subset the CN pipeline needs: a model owning tag
+// definitions and activity graphs, whose composite state contains
+// pseudostates (initial/fork/join), action states with tagged values and
+// dynamic-invocation attributes, final states, and transitions.
+//
+// The writer produces documents in the same shape modeling tools of the
+// paper's era exported (UML: namespace prefix, xmi.id/xmi.idref linkage,
+// TaggedValue.type references to TagDefinition elements), so parser and
+// writer round-trip and golden tests can compare against the paper's
+// Figure 7 fragment.
+package xmi
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Vertex kinds in an activity graph.
+const (
+	VertexInitial = "initial"
+	VertexFork    = "fork"
+	VertexJoin    = "join"
+	VertexFinal   = "final"
+	VertexAction  = "action"
+)
+
+// TagDef is a UML TagDefinition: the declaration a TaggedValue references
+// by xmi.idref.
+type TagDef struct {
+	ID   string
+	Name string
+}
+
+// TaggedValue is one tagged value on an action state: a dataValue plus the
+// referenced tag definition id.
+type TaggedValue struct {
+	ID       string
+	TagDefID string
+	Value    string
+}
+
+// Vertex is one state-machine vertex.
+type Vertex struct {
+	ID   string
+	Name string
+	Kind string // one of the Vertex* constants
+	// Dynamic invocation attributes (action states only).
+	Dynamic      bool
+	Multiplicity string // UML dynamicMultiplicity
+	ArgExpr      string // UML dynamicArguments
+	Tagged       []TaggedValue
+}
+
+// Transition is a directed edge between vertices, by xmi.id reference.
+type Transition struct {
+	ID       string
+	SourceID string
+	TargetID string
+	Guard    string
+}
+
+// ActivityGraph is one UML activity graph (one CN job).
+type ActivityGraph struct {
+	ID          string
+	Name        string
+	Vertices    []Vertex
+	Transitions []Transition
+}
+
+// Vertex returns the vertex with the given id, or nil.
+func (g *ActivityGraph) Vertex(id string) *Vertex {
+	for i := range g.Vertices {
+		if g.Vertices[i].ID == id {
+			return &g.Vertices[i]
+		}
+	}
+	return nil
+}
+
+// Document is a parsed XMI file: one UML model with its tag definitions and
+// activity graphs.
+type Document struct {
+	ModelID   string
+	ModelName string
+	TagDefs   []TagDef
+	Graphs    []*ActivityGraph
+}
+
+// TagDefByID resolves a tag definition id to its name, or "".
+func (d *Document) TagDefByID(id string) string {
+	for _, td := range d.TagDefs {
+		if td.ID == id {
+			return td.Name
+		}
+	}
+	return ""
+}
+
+// TagDefByName resolves a tag name to its id, or "".
+func (d *Document) TagDefByName(name string) string {
+	for _, td := range d.TagDefs {
+		if td.Name == name {
+			return td.ID
+		}
+	}
+	return ""
+}
+
+// Graph returns the named activity graph, or nil.
+func (d *Document) Graph(name string) *ActivityGraph {
+	for _, g := range d.Graphs {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// attr fetches an attribute by local name (namespace-insensitive, matching
+// how xmi.id / xmi.idref attributes appear).
+func attr(se xml.StartElement, name string) string {
+	for _, a := range se.Attr {
+		if a.Name.Local == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Parse decodes an XMI document.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	doc := &Document{}
+	var (
+		curGraph  *ActivityGraph
+		curVertex *Vertex
+		curTV     *TaggedValue
+		curTrans  *Transition
+		// element context stack of local names
+		stack []string
+	)
+	push := func(n string) { stack = append(stack, n) }
+	pop := func() {
+		if len(stack) > 0 {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	parent := func() string {
+		if len(stack) == 0 {
+			return ""
+		}
+		return stack[len(stack)-1]
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmi: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			local := t.Name.Local
+			switch local {
+			case "Model":
+				doc.ModelID = attr(t, "xmi.id")
+				doc.ModelName = attr(t, "name")
+			case "TagDefinition":
+				// Only definitions (with xmi.id) declare tags; references
+				// inside TaggedValue.type carry xmi.idref.
+				if id := attr(t, "xmi.id"); id != "" {
+					doc.TagDefs = append(doc.TagDefs, TagDef{ID: id, Name: attr(t, "name")})
+				} else if curTV != nil && parent() == "TaggedValue.type" {
+					curTV.TagDefID = attr(t, "xmi.idref")
+				}
+			case "ActivityGraph":
+				curGraph = &ActivityGraph{ID: attr(t, "xmi.id"), Name: attr(t, "name")}
+				doc.Graphs = append(doc.Graphs, curGraph)
+			case "Pseudostate":
+				if curGraph != nil && attr(t, "xmi.id") != "" {
+					kind := attr(t, "kind")
+					if kind != VertexInitial && kind != VertexFork && kind != VertexJoin {
+						return nil, fmt.Errorf("xmi: parse: unsupported pseudostate kind %q", kind)
+					}
+					curGraph.Vertices = append(curGraph.Vertices, Vertex{
+						ID:   attr(t, "xmi.id"),
+						Name: attr(t, "name"),
+						Kind: kind,
+					})
+				} else if curTrans != nil {
+					resolveEndpoint(curTrans, parent(), attr(t, "xmi.idref"))
+				}
+			case "FinalState":
+				if curGraph != nil && attr(t, "xmi.id") != "" {
+					curGraph.Vertices = append(curGraph.Vertices, Vertex{
+						ID:   attr(t, "xmi.id"),
+						Name: attr(t, "name"),
+						Kind: VertexFinal,
+					})
+				} else if curTrans != nil {
+					resolveEndpoint(curTrans, parent(), attr(t, "xmi.idref"))
+				}
+			case "ActionState":
+				if curGraph != nil && attr(t, "xmi.id") != "" {
+					curGraph.Vertices = append(curGraph.Vertices, Vertex{
+						ID:           attr(t, "xmi.id"),
+						Name:         attr(t, "name"),
+						Kind:         VertexAction,
+						Dynamic:      attr(t, "isDynamic") == "true",
+						Multiplicity: attr(t, "dynamicMultiplicity"),
+						ArgExpr:      attr(t, "dynamicArguments"),
+					})
+					curVertex = &curGraph.Vertices[len(curGraph.Vertices)-1]
+				} else if curTrans != nil {
+					resolveEndpoint(curTrans, parent(), attr(t, "xmi.idref"))
+				}
+			case "TaggedValue":
+				if curVertex != nil {
+					curVertex.Tagged = append(curVertex.Tagged, TaggedValue{
+						ID:    attr(t, "xmi.id"),
+						Value: attr(t, "dataValue"),
+					})
+					curTV = &curVertex.Tagged[len(curVertex.Tagged)-1]
+				}
+			case "Transition":
+				if curGraph != nil && attr(t, "xmi.id") != "" && parent() == "StateMachine.transitions" {
+					curGraph.Transitions = append(curGraph.Transitions, Transition{ID: attr(t, "xmi.id")})
+					curTrans = &curGraph.Transitions[len(curGraph.Transitions)-1]
+				}
+				// Transition references inside StateVertex.outgoing/incoming
+				// are redundant with the transitions list; ignored.
+			case "Guard":
+				if curTrans != nil {
+					curTrans.Guard = attr(t, "name")
+				}
+			}
+			push(local)
+		case xml.EndElement:
+			pop()
+			switch t.Name.Local {
+			case "ActionState":
+				if curVertex != nil && parent() != "Transition.source" && parent() != "Transition.target" {
+					curVertex = nil
+				}
+			case "TaggedValue":
+				curTV = nil
+			case "Transition":
+				if parent() == "StateMachine.transitions" || parent() == "" {
+					curTrans = nil
+				}
+			case "ActivityGraph":
+				curGraph = nil
+			}
+		}
+	}
+	if err := doc.check(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func resolveEndpoint(tr *Transition, parent, idref string) {
+	switch parent {
+	case "Transition.source":
+		tr.SourceID = idref
+	case "Transition.target":
+		tr.TargetID = idref
+	}
+}
+
+// ParseString decodes an XMI document from a string.
+func ParseString(s string) (*Document, error) { return Parse(strings.NewReader(s)) }
+
+// check verifies referential integrity: transitions reference existing
+// vertices, tagged values reference declared tag definitions.
+func (d *Document) check() error {
+	tagIDs := make(map[string]bool, len(d.TagDefs))
+	for _, td := range d.TagDefs {
+		if td.ID == "" {
+			return fmt.Errorf("xmi: tag definition %q missing xmi.id", td.Name)
+		}
+		if tagIDs[td.ID] {
+			return fmt.Errorf("xmi: duplicate tag definition id %q", td.ID)
+		}
+		tagIDs[td.ID] = true
+	}
+	for _, g := range d.Graphs {
+		ids := make(map[string]bool, len(g.Vertices))
+		for _, v := range g.Vertices {
+			if v.ID == "" {
+				return fmt.Errorf("xmi: graph %q: vertex %q missing xmi.id", g.Name, v.Name)
+			}
+			if ids[v.ID] {
+				return fmt.Errorf("xmi: graph %q: duplicate vertex id %q", g.Name, v.ID)
+			}
+			ids[v.ID] = true
+			for _, tv := range v.Tagged {
+				if !tagIDs[tv.TagDefID] {
+					return fmt.Errorf("xmi: graph %q: vertex %q tagged value references unknown tag definition %q", g.Name, v.Name, tv.TagDefID)
+				}
+			}
+		}
+		for _, tr := range g.Transitions {
+			if !ids[tr.SourceID] {
+				return fmt.Errorf("xmi: graph %q: transition %q has unresolved source %q", g.Name, tr.ID, tr.SourceID)
+			}
+			if !ids[tr.TargetID] {
+				return fmt.Errorf("xmi: graph %q: transition %q has unresolved target %q", g.Name, tr.ID, tr.TargetID)
+			}
+		}
+	}
+	return nil
+}
+
+// esc XML-escapes an attribute value.
+func esc(s string) string {
+	var sb strings.Builder
+	if err := xml.EscapeText(&sb, []byte(s)); err != nil {
+		return s
+	}
+	return sb.String()
+}
+
+// Write renders the document as an XMI 1.2 file in the tool-export shape
+// shown in the paper's Figure 7.
+func (d *Document) Write(w io.Writer) error {
+	if err := d.check(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString(`<XMI xmi.version="1.2" xmlns:UML="org.omg.xmi.namespace.UML">` + "\n")
+	b.WriteString("  <XMI.header>\n    <XMI.documentation>\n")
+	b.WriteString("      <XMI.exporter>cn-go</XMI.exporter>\n")
+	b.WriteString("    </XMI.documentation>\n  </XMI.header>\n")
+	b.WriteString("  <XMI.content>\n")
+	fmt.Fprintf(&b, "    <UML:Model xmi.id=%q name=%q isSpecification=\"false\">\n",
+		esc(orDefault(d.ModelID, "m1")), esc(orDefault(d.ModelName, "model")))
+	b.WriteString("      <UML:Namespace.ownedElement>\n")
+	for _, td := range d.TagDefs {
+		fmt.Fprintf(&b, "        <UML:TagDefinition xmi.id=%q name=%q isSpecification=\"false\"/>\n",
+			esc(td.ID), esc(td.Name))
+	}
+	for _, g := range d.Graphs {
+		fmt.Fprintf(&b, "        <UML:ActivityGraph xmi.id=%q name=%q isSpecification=\"false\">\n",
+			esc(g.ID), esc(g.Name))
+		b.WriteString("          <UML:StateMachine.top>\n")
+		fmt.Fprintf(&b, "            <UML:CompositeState xmi.id=%q isConcurrent=\"false\">\n", esc(g.ID+".top"))
+		b.WriteString("              <UML:CompositeState.subvertex>\n")
+		for i := range g.Vertices {
+			writeVertex(&b, &g.Vertices[i])
+		}
+		b.WriteString("              </UML:CompositeState.subvertex>\n")
+		b.WriteString("            </UML:CompositeState>\n")
+		b.WriteString("          </UML:StateMachine.top>\n")
+		b.WriteString("          <UML:StateMachine.transitions>\n")
+		for _, tr := range g.Transitions {
+			src := g.Vertex(tr.SourceID)
+			dst := g.Vertex(tr.TargetID)
+			fmt.Fprintf(&b, "            <UML:Transition xmi.id=%q isSpecification=\"false\">\n", esc(tr.ID))
+			if tr.Guard != "" {
+				fmt.Fprintf(&b, "              <UML:Transition.guard><UML:Guard name=%q/></UML:Transition.guard>\n", esc(tr.Guard))
+			}
+			fmt.Fprintf(&b, "              <UML:Transition.source><UML:%s xmi.idref=%q/></UML:Transition.source>\n",
+				elementFor(src), esc(tr.SourceID))
+			fmt.Fprintf(&b, "              <UML:Transition.target><UML:%s xmi.idref=%q/></UML:Transition.target>\n",
+				elementFor(dst), esc(tr.TargetID))
+			b.WriteString("            </UML:Transition>\n")
+		}
+		b.WriteString("          </UML:StateMachine.transitions>\n")
+		b.WriteString("        </UML:ActivityGraph>\n")
+	}
+	b.WriteString("      </UML:Namespace.ownedElement>\n")
+	b.WriteString("    </UML:Model>\n")
+	b.WriteString("  </XMI.content>\n")
+	b.WriteString("</XMI>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeVertex(b *strings.Builder, v *Vertex) {
+	switch v.Kind {
+	case VertexInitial, VertexFork, VertexJoin:
+		fmt.Fprintf(b, "                <UML:Pseudostate xmi.id=%q name=%q kind=%q isSpecification=\"false\"/>\n",
+			esc(v.ID), esc(v.Name), v.Kind)
+	case VertexFinal:
+		fmt.Fprintf(b, "                <UML:FinalState xmi.id=%q name=%q isSpecification=\"false\"/>\n",
+			esc(v.ID), esc(v.Name))
+	case VertexAction:
+		fmt.Fprintf(b, "                <UML:ActionState xmi.id=%q name=%q isSpecification=\"false\" isDynamic=%q",
+			esc(v.ID), esc(v.Name), boolStr(v.Dynamic))
+		if v.Multiplicity != "" {
+			fmt.Fprintf(b, " dynamicMultiplicity=%q", esc(v.Multiplicity))
+		}
+		if v.ArgExpr != "" {
+			fmt.Fprintf(b, " dynamicArguments=%q", esc(v.ArgExpr))
+		}
+		if len(v.Tagged) == 0 {
+			b.WriteString("/>\n")
+			return
+		}
+		b.WriteString(">\n")
+		b.WriteString("                  <UML:ModelElement.taggedValue>\n")
+		for _, tv := range v.Tagged {
+			fmt.Fprintf(b, "                    <UML:TaggedValue xmi.id=%q isSpecification=\"false\" dataValue=%q>\n",
+				esc(tv.ID), esc(tv.Value))
+			b.WriteString("                      <UML:TaggedValue.type>\n")
+			fmt.Fprintf(b, "                        <UML:TagDefinition xmi.idref=%q/>\n", esc(tv.TagDefID))
+			b.WriteString("                      </UML:TaggedValue.type>\n")
+			b.WriteString("                    </UML:TaggedValue>\n")
+		}
+		b.WriteString("                  </UML:ModelElement.taggedValue>\n")
+		b.WriteString("                </UML:ActionState>\n")
+	}
+}
+
+func elementFor(v *Vertex) string {
+	if v == nil {
+		return "StateVertex"
+	}
+	switch v.Kind {
+	case VertexAction:
+		return "ActionState"
+	case VertexFinal:
+		return "FinalState"
+	default:
+		return "Pseudostate"
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// WriteString renders the document to a string.
+func (d *Document) WriteString() (string, error) {
+	var sb strings.Builder
+	if err := d.Write(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// IDAllocator hands out sequential xmi.id values in the tool style ("a1",
+// "a2", ...), used when fabricating documents programmatically.
+type IDAllocator struct {
+	prefix string
+	next   int
+}
+
+// NewIDAllocator creates an allocator with the given prefix (default "a").
+func NewIDAllocator(prefix string) *IDAllocator {
+	if prefix == "" {
+		prefix = "a"
+	}
+	return &IDAllocator{prefix: prefix, next: 1}
+}
+
+// Next returns the next id.
+func (a *IDAllocator) Next() string {
+	id := fmt.Sprintf("%s%d", a.prefix, a.next)
+	a.next++
+	return id
+}
+
+// SortTagDefs orders tag definitions by name for deterministic output.
+func (d *Document) SortTagDefs() {
+	sort.Slice(d.TagDefs, func(i, j int) bool { return d.TagDefs[i].Name < d.TagDefs[j].Name })
+}

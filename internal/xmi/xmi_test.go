@@ -1,0 +1,393 @@
+package xmi
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig7 is the paper's Figure 7 XMI fragment for TCTask2, embedded in the
+// minimal enclosing document structure a modeling tool would export.
+const fig7 = `<?xml version="1.0" encoding="UTF-8"?>
+<XMI xmi.version="1.2" xmlns:UML="org.omg.xmi.namespace.UML">
+ <XMI.content>
+  <UML:Model xmi.id="m1" name="transclosure-model">
+   <UML:Namespace.ownedElement>
+    <UML:TagDefinition xmi.id="a7" name="jar"/>
+    <UML:TagDefinition xmi.id="a10" name="class"/>
+    <UML:TagDefinition xmi.id="a13" name="memory"/>
+    <UML:TagDefinition xmi.id="a16" name="runmodel"/>
+    <UML:ActivityGraph xmi.id="g1" name="transclosure">
+     <UML:StateMachine.top>
+      <UML:CompositeState xmi.id="top1">
+       <UML:CompositeState.subvertex>
+        <UML:Pseudostate xmi.id="a1" kind="initial"/>
+        <UML:ActionState xmi.id="a80" name="TaskSplit" isSpecification="false" isDynamic="false"/>
+        <UML:ActionState xmi.id="a89" name="TCTask2" isSpecification="false" isDynamic="false">
+         <UML:ModelElement.taggedValue>
+          <UML:TaggedValue xmi.id="a91" isSpecification="false" dataValue="1000">
+           <UML:TaggedValue.type>
+            <UML:TagDefinition xmi.idref="a13"/>
+           </UML:TaggedValue.type>
+          </UML:TaggedValue>
+          <UML:TaggedValue xmi.id="a92" isSpecification="false" dataValue="RUN_AS_THREAD_IN_TM">
+           <UML:TaggedValue.type>
+            <UML:TagDefinition xmi.idref="a16"/>
+           </UML:TaggedValue.type>
+          </UML:TaggedValue>
+          <UML:TaggedValue xmi.id="a93" isSpecification="false" dataValue="tctask.jar">
+           <UML:TaggedValue.type>
+            <UML:TagDefinition xmi.idref="a7"/>
+           </UML:TaggedValue.type>
+          </UML:TaggedValue>
+          <UML:TaggedValue xmi.id="a94" isSpecification="false" dataValue="org.jhpc.cn2.trnsclsrtask.TCTask">
+           <UML:TaggedValue.type>
+            <UML:TagDefinition xmi.idref="a10"/>
+           </UML:TaggedValue.type>
+          </UML:TaggedValue>
+         </UML:ModelElement.taggedValue>
+        </UML:ActionState>
+        <UML:FinalState xmi.id="a99"/>
+       </UML:CompositeState.subvertex>
+      </UML:CompositeState>
+     </UML:StateMachine.top>
+     <UML:StateMachine.transitions>
+      <UML:Transition xmi.id="a78">
+       <UML:Transition.source><UML:ActionState xmi.idref="a80"/></UML:Transition.source>
+       <UML:Transition.target><UML:ActionState xmi.idref="a89"/></UML:Transition.target>
+      </UML:Transition>
+      <UML:Transition xmi.id="a95">
+       <UML:Transition.source><UML:ActionState xmi.idref="a89"/></UML:Transition.source>
+       <UML:Transition.target><UML:FinalState xmi.idref="a99"/></UML:Transition.target>
+      </UML:Transition>
+      <UML:Transition xmi.id="t0">
+       <UML:Transition.source><UML:Pseudostate xmi.idref="a1"/></UML:Transition.source>
+       <UML:Transition.target><UML:ActionState xmi.idref="a80"/></UML:Transition.target>
+      </UML:Transition>
+     </UML:StateMachine.transitions>
+    </UML:ActivityGraph>
+   </UML:Namespace.ownedElement>
+  </UML:Model>
+ </XMI.content>
+</XMI>`
+
+func parseFig7(t *testing.T) *Document {
+	t.Helper()
+	doc, err := ParseString(fig7)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return doc
+}
+
+func TestParseFig7Structure(t *testing.T) {
+	doc := parseFig7(t)
+	if doc.ModelName != "transclosure-model" {
+		t.Errorf("model name = %q", doc.ModelName)
+	}
+	if len(doc.TagDefs) != 4 {
+		t.Fatalf("tag defs = %d", len(doc.TagDefs))
+	}
+	if doc.TagDefByID("a13") != "memory" {
+		t.Errorf("a13 = %q", doc.TagDefByID("a13"))
+	}
+	if doc.TagDefByName("jar") != "a7" {
+		t.Errorf("jar id = %q", doc.TagDefByName("jar"))
+	}
+	g := doc.Graph("transclosure")
+	if g == nil {
+		t.Fatal("graph not found")
+	}
+	if len(g.Vertices) != 4 {
+		t.Fatalf("vertices = %d", len(g.Vertices))
+	}
+	if len(g.Transitions) != 3 {
+		t.Fatalf("transitions = %d", len(g.Transitions))
+	}
+}
+
+func TestParseFig7TaggedValues(t *testing.T) {
+	doc := parseFig7(t)
+	g := doc.Graphs[0]
+	v := g.Vertex("a89")
+	if v == nil || v.Name != "TCTask2" || v.Kind != VertexAction {
+		t.Fatalf("a89 = %+v", v)
+	}
+	if len(v.Tagged) != 4 {
+		t.Fatalf("tagged values = %d", len(v.Tagged))
+	}
+	// Exactly the paper's four tags, in document order.
+	wantVals := []struct{ def, val string }{
+		{"a13", "1000"},
+		{"a16", "RUN_AS_THREAD_IN_TM"},
+		{"a7", "tctask.jar"},
+		{"a10", "org.jhpc.cn2.trnsclsrtask.TCTask"},
+	}
+	for i, w := range wantVals {
+		got := v.Tagged[i]
+		if got.TagDefID != w.def || got.Value != w.val {
+			t.Errorf("tagged[%d] = %+v, want def=%s val=%s", i, got, w.def, w.val)
+		}
+	}
+}
+
+func TestParseFig7Transitions(t *testing.T) {
+	doc := parseFig7(t)
+	g := doc.Graphs[0]
+	var incoming, outgoing int
+	for _, tr := range g.Transitions {
+		if tr.TargetID == "a89" {
+			incoming++
+			if tr.SourceID != "a80" {
+				t.Errorf("incoming source = %q", tr.SourceID)
+			}
+		}
+		if tr.SourceID == "a89" {
+			outgoing++
+			if tr.TargetID != "a99" {
+				t.Errorf("outgoing target = %q", tr.TargetID)
+			}
+		}
+	}
+	if incoming != 1 || outgoing != 1 {
+		t.Errorf("a89 incoming=%d outgoing=%d", incoming, outgoing)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	doc := parseFig7(t)
+	out, err := doc.WriteString()
+	if err != nil {
+		t.Fatalf("WriteString: %v", err)
+	}
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if len(doc2.TagDefs) != len(doc.TagDefs) {
+		t.Errorf("tag defs lost: %d vs %d", len(doc2.TagDefs), len(doc.TagDefs))
+	}
+	g1, g2 := doc.Graphs[0], doc2.Graphs[0]
+	if len(g2.Vertices) != len(g1.Vertices) || len(g2.Transitions) != len(g1.Transitions) {
+		t.Fatalf("structure lost: %d/%d vertices, %d/%d transitions",
+			len(g2.Vertices), len(g1.Vertices), len(g2.Transitions), len(g1.Transitions))
+	}
+	v1, v2 := g1.Vertex("a89"), g2.Vertex("a89")
+	if len(v2.Tagged) != len(v1.Tagged) {
+		t.Fatalf("tagged values lost")
+	}
+	for i := range v1.Tagged {
+		if v1.Tagged[i].TagDefID != v2.Tagged[i].TagDefID || v1.Tagged[i].Value != v2.Tagged[i].Value {
+			t.Errorf("tagged[%d] differs: %+v vs %+v", i, v1.Tagged[i], v2.Tagged[i])
+		}
+	}
+}
+
+func TestWriteOutputShape(t *testing.T) {
+	doc := parseFig7(t)
+	out, err := doc.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The writer must produce the paper's Figure 7 element shapes.
+	for _, want := range []string{
+		`<UML:ActionState xmi.id="a89" name="TCTask2"`,
+		`dataValue="1000"`,
+		`<UML:TagDefinition xmi.idref="a13"/>`,
+		`<UML:Transition.source><UML:ActionState xmi.idref="a80"/></UML:Transition.source>`,
+		`xmlns:UML="org.omg.xmi.namespace.UML"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestDynamicAttributes(t *testing.T) {
+	doc := &Document{
+		ModelName: "m",
+		Graphs: []*ActivityGraph{{
+			ID: "g1", Name: "dyn",
+			Vertices: []Vertex{
+				{ID: "v1", Kind: VertexInitial},
+				{ID: "v2", Name: "worker", Kind: VertexAction, Dynamic: true, Multiplicity: "*", ArgExpr: "rows"},
+				{ID: "v3", Kind: VertexFinal},
+			},
+			Transitions: []Transition{
+				{ID: "t1", SourceID: "v1", TargetID: "v2"},
+				{ID: "t2", SourceID: "v2", TargetID: "v3"},
+			},
+		}},
+	}
+	out, err := doc.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `isDynamic="true"`) ||
+		!strings.Contains(out, `dynamicMultiplicity="*"`) ||
+		!strings.Contains(out, `dynamicArguments="rows"`) {
+		t.Errorf("dynamic attributes missing:\n%s", out)
+	}
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := doc2.Graphs[0].Vertex("v2")
+	if !v.Dynamic || v.Multiplicity != "*" || v.ArgExpr != "rows" {
+		t.Errorf("round trip dynamic = %+v", v)
+	}
+}
+
+func TestGuardRoundTrip(t *testing.T) {
+	doc := &Document{
+		Graphs: []*ActivityGraph{{
+			ID: "g", Name: "g",
+			Vertices: []Vertex{
+				{ID: "a", Kind: VertexAction, Name: "A"},
+				{ID: "b", Kind: VertexAction, Name: "B"},
+			},
+			Transitions: []Transition{{ID: "t", SourceID: "a", TargetID: "b", Guard: "ok"}},
+		}},
+	}
+	out, err := doc.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Graphs[0].Transitions[0].Guard != "ok" {
+		t.Errorf("guard lost: %+v", doc2.Graphs[0].Transitions[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"malformed xml", "<XMI><unclosed>"},
+		{"bad pseudostate kind", `<XMI><XMI.content><UML:Model xmlns:UML="u">
+			<UML:ActivityGraph xmi.id="g" name="g">
+			<UML:Pseudostate xmi.id="p" kind="history"/>
+			</UML:ActivityGraph></UML:Model></XMI.content></XMI>`},
+		{"unresolved transition source", `<XMI><XMI.content><UML:Model xmlns:UML="u">
+			<UML:ActivityGraph xmi.id="g" name="g">
+			<UML:StateMachine.top><UML:CompositeState xmi.id="c"><UML:CompositeState.subvertex>
+			<UML:ActionState xmi.id="a" name="A"/>
+			</UML:CompositeState.subvertex></UML:CompositeState></UML:StateMachine.top>
+			<UML:StateMachine.transitions>
+			<UML:Transition xmi.id="t">
+			<UML:Transition.source><UML:ActionState xmi.idref="ghost"/></UML:Transition.source>
+			<UML:Transition.target><UML:ActionState xmi.idref="a"/></UML:Transition.target>
+			</UML:Transition>
+			</UML:StateMachine.transitions>
+			</UML:ActivityGraph></UML:Model></XMI.content></XMI>`},
+		{"unknown tagdef reference", `<XMI><XMI.content><UML:Model xmlns:UML="u">
+			<UML:ActivityGraph xmi.id="g" name="g">
+			<UML:StateMachine.top><UML:CompositeState xmi.id="c"><UML:CompositeState.subvertex>
+			<UML:ActionState xmi.id="a" name="A">
+			<UML:ModelElement.taggedValue>
+			<UML:TaggedValue xmi.id="tv" dataValue="x">
+			<UML:TaggedValue.type><UML:TagDefinition xmi.idref="nope"/></UML:TaggedValue.type>
+			</UML:TaggedValue>
+			</UML:ModelElement.taggedValue>
+			</UML:ActionState>
+			</UML:CompositeState.subvertex></UML:CompositeState></UML:StateMachine.top>
+			</UML:ActivityGraph></UML:Model></XMI.content></XMI>`},
+		{"duplicate vertex id", `<XMI><XMI.content><UML:Model xmlns:UML="u">
+			<UML:ActivityGraph xmi.id="g" name="g">
+			<UML:StateMachine.top><UML:CompositeState xmi.id="c"><UML:CompositeState.subvertex>
+			<UML:ActionState xmi.id="a" name="A"/>
+			<UML:ActionState xmi.id="a" name="B"/>
+			</UML:CompositeState.subvertex></UML:CompositeState></UML:StateMachine.top>
+			</UML:ActivityGraph></UML:Model></XMI.content></XMI>`},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWriteChecksIntegrity(t *testing.T) {
+	doc := &Document{
+		Graphs: []*ActivityGraph{{
+			ID: "g", Name: "g",
+			Vertices:    []Vertex{{ID: "a", Kind: VertexAction, Name: "A"}},
+			Transitions: []Transition{{ID: "t", SourceID: "a", TargetID: "ghost"}},
+		}},
+	}
+	if _, err := doc.WriteString(); err == nil {
+		t.Error("Write accepted dangling transition")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	doc := &Document{
+		TagDefs: []TagDef{{ID: "td1", Name: "note"}},
+		Graphs: []*ActivityGraph{{
+			ID: "g", Name: `weird "name" <&>`,
+			Vertices: []Vertex{{
+				ID: "a", Kind: VertexAction, Name: "A",
+				Tagged: []TaggedValue{{ID: "tv1", TagDefID: "td1", Value: `x < y & "z"`}},
+			}},
+		}},
+	}
+	out, err := doc.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse escaped: %v", err)
+	}
+	if doc2.Graphs[0].Name != `weird "name" <&>` {
+		t.Errorf("name = %q", doc2.Graphs[0].Name)
+	}
+	if got := doc2.Graphs[0].Vertices[0].Tagged[0].Value; got != `x < y & "z"` {
+		t.Errorf("value = %q", got)
+	}
+}
+
+func TestIDAllocator(t *testing.T) {
+	a := NewIDAllocator("")
+	if a.Next() != "a1" || a.Next() != "a2" {
+		t.Error("default allocator sequence wrong")
+	}
+	b := NewIDAllocator("t")
+	if b.Next() != "t1" {
+		t.Error("prefixed allocator wrong")
+	}
+}
+
+func TestSortTagDefs(t *testing.T) {
+	doc := &Document{TagDefs: []TagDef{{ID: "2", Name: "z"}, {ID: "1", Name: "a"}}}
+	doc.SortTagDefs()
+	if doc.TagDefs[0].Name != "a" {
+		t.Errorf("not sorted: %v", doc.TagDefs)
+	}
+}
+
+func TestMultipleGraphs(t *testing.T) {
+	doc := &Document{
+		Graphs: []*ActivityGraph{
+			{ID: "g1", Name: "first", Vertices: []Vertex{{ID: "x", Kind: VertexAction, Name: "X"}}},
+			{ID: "g2", Name: "second", Vertices: []Vertex{{ID: "y", Kind: VertexAction, Name: "Y"}}},
+		},
+	}
+	out, err := doc.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc2.Graphs) != 2 || doc2.Graph("second") == nil {
+		t.Errorf("graphs = %d", len(doc2.Graphs))
+	}
+	if doc2.Graph("second").Vertices[0].Name != "Y" {
+		t.Error("second graph vertices wrong")
+	}
+}
