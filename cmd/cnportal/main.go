@@ -1,16 +1,19 @@
-// Command cnportal boots a CN cluster and serves the prototype web portal
-// on top of it, the paper's "other deployment configuration ... through a
-// web portal so that the user does not need to log on to the subnet".
+// Command cnportal boots a CN cluster and serves the web portal on top of
+// it, the paper's "other deployment configuration ... through a web portal
+// so that the user does not need to log on to the subnet" — extended with
+// the asynchronous job service (queued submission, lifecycle REST API,
+// metrics).
 //
 // Usage:
 //
-//	cnportal [-addr :8080] [-nodes N] [-v]
+//	cnportal [-addr :8080] [-nodes N] [-workers W] [-queue Q] [-result-ttl 15m] [-v]
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"cn"
 	"cn/internal/cluster"
@@ -23,9 +26,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnportal: ")
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		nodes   = flag.Int("nodes", 4, "cluster size")
-		verbose = flag.Bool("v", false, "log cluster diagnostics")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		nodes     = flag.Int("nodes", 4, "cluster size")
+		workers   = flag.Int("workers", 4, "async job execution pool size")
+		queue     = flag.Int("queue", 64, "submission queue depth before 429s")
+		resultTTL = flag.Duration("result-ttl", 15*time.Minute, "how long terminal job records are kept")
+		verbose   = flag.Bool("v", false, "log cluster diagnostics")
 	)
 	flag.Parse()
 
@@ -46,13 +52,20 @@ func main() {
 	}
 	defer c.Stop()
 
-	p, err := portal.New(portal.Config{Cluster: c, Logf: logf})
+	p, err := portal.New(portal.Config{
+		Cluster:    c,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		ResultTTL:  *resultTTL,
+		Logf:       logf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer p.Close()
 
-	log.Printf("cluster up (%d nodes), portal listening on %s", *nodes, *addr)
+	log.Printf("cluster up (%d nodes), portal listening on %s (%d workers, queue %d)",
+		*nodes, *addr, *workers, *queue)
 	if err := http.ListenAndServe(*addr, p.Handler()); err != nil {
 		log.Fatal(err)
 	}

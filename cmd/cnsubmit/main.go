@@ -1,34 +1,111 @@
-// Command cnsubmit submits a model or descriptor to a running cnportal —
-// the remote path of the paper's web-portal deployment configuration.
+// Command cnsubmit is the remote client of a running cnportal: it submits
+// models and descriptors, transforms them, and drives the async job
+// lifecycle (submit, poll, fetch results, abort).
 //
 // Usage:
 //
-//	cnsubmit -portal http://localhost:8080 -in model.xmi            # run XMI
-//	cnsubmit -portal http://localhost:8080 -in client.cnx -cnx      # run CNX
-//	cnsubmit -portal http://localhost:8080 -in model.xmi -transform # XMI->CNX only
+//	cnsubmit -portal http://localhost:8080 -in model.xmi                 # run XMI synchronously
+//	cnsubmit -portal http://localhost:8080 -in client.cnx -cnx           # run CNX synchronously
+//	cnsubmit -portal http://localhost:8080 -in model.xmi -transform      # XMI->CNX only
+//	cnsubmit -portal http://localhost:8080 -in model.xmi -async          # queue, print job id
+//	cnsubmit -portal http://localhost:8080 -in model.xmi -async -wait    # queue, poll, print result
+//	cnsubmit -portal http://localhost:8080 -status job-3                 # one job's status
+//	cnsubmit -portal http://localhost:8080 -list -state running          # list jobs
+//	cnsubmit -portal http://localhost:8080 -abort job-3                  # abort/forget a job
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
+	"time"
 )
+
+var (
+	portalURL   = flag.String("portal", "http://localhost:8080", "portal base URL")
+	in          = flag.String("in", "", "input file (required for submissions)")
+	isCNX       = flag.Bool("cnx", false, "input is CNX rather than XMI")
+	transform   = flag.Bool("transform", false, "transform only; do not execute")
+	invocations = flag.Int("invocations", 4, "dynamic invocation expansion count")
+	async       = flag.Bool("async", false, "submit to the job queue instead of running synchronously")
+	wait        = flag.Bool("wait", false, "with -async: poll until terminal and print the result")
+	poll        = flag.Duration("poll", 500*time.Millisecond, "poll interval for -wait")
+	label       = flag.String("label", "", "job label for -async submissions")
+	status      = flag.String("status", "", "print the given job's status and exit")
+	list        = flag.Bool("list", false, "list jobs and exit")
+	stateFilter = flag.String("state", "", "with -list: filter by state (queued|compiling|running|done|failed|aborted)")
+	abort       = flag.String("abort", "", "abort (or forget) the given job and exit")
+)
+
+func base() string { return strings.TrimRight(*portalURL, "/") }
+
+// get issues a GET and returns the body, failing on non-2xx.
+func get(path string) []byte {
+	resp, err := http.Get(base() + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("portal returned %s: %s", resp.Status, body)
+	}
+	return body
+}
+
+func printJSON(raw []byte) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		fmt.Println(string(raw))
+		return
+	}
+	fmt.Println(buf.String())
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnsubmit: ")
-	var (
-		portalURL   = flag.String("portal", "http://localhost:8080", "portal base URL")
-		in          = flag.String("in", "", "input file (required)")
-		isCNX       = flag.Bool("cnx", false, "input is CNX rather than XMI")
-		transform   = flag.Bool("transform", false, "transform only; do not execute")
-		invocations = flag.Int("invocations", 4, "dynamic invocation expansion count")
-	)
 	flag.Parse()
+
+	switch {
+	case *status != "":
+		printJSON(get("/api/jobs/" + url.PathEscape(*status)))
+		return
+	case *list:
+		path := "/api/jobs"
+		if *stateFilter != "" {
+			path += "?state=" + url.QueryEscape(*stateFilter)
+		}
+		printJSON(get(path))
+		return
+	case *abort != "":
+		req, err := http.NewRequest(http.MethodDelete, base()+"/api/jobs/"+url.PathEscape(*abort), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode/100 != 2 {
+			log.Fatalf("portal returned %s: %s", resp.Status, body)
+		}
+		printJSON(body)
+		return
+	}
+
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -37,6 +114,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *async || *wait {
+		if *transform {
+			log.Fatal("-transform only runs synchronously; drop -async/-wait")
+		}
+		submitAsync(body)
+		return
+	}
+
 	var path string
 	switch {
 	case *transform && !*isCNX:
@@ -48,8 +134,8 @@ func main() {
 	default:
 		path = "/api/run"
 	}
-	url := fmt.Sprintf("%s%s?invocations=%d", strings.TrimRight(*portalURL, "/"), path, *invocations)
-	resp, err := http.Post(url, "application/xml", strings.NewReader(string(body)))
+	u := fmt.Sprintf("%s%s?invocations=%d", base(), path, *invocations)
+	resp, err := http.Post(u, "application/xml", strings.NewReader(string(body)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,4 +151,61 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println()
+}
+
+// jobRecord is the subset of the portal's job record the client needs.
+type jobRecord struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "aborted"
+}
+
+// submitAsync queues the document and optionally polls to completion.
+func submitAsync(body []byte) {
+	format := "xmi"
+	if *isCNX {
+		format = "cnx"
+	}
+	u := fmt.Sprintf("%s/api/jobs?format=%s&invocations=%d", base(), format, *invocations)
+	if *label != "" {
+		u += "&label=" + url.QueryEscape(*label)
+	}
+	resp, err := http.Post(u, "application/xml", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("portal returned %s: %s", resp.Status, raw)
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		log.Fatal(err)
+	}
+	if !*wait {
+		printJSON(raw)
+		return
+	}
+
+	log.Printf("job %s queued, polling every %s", rec.ID, *poll)
+	for !terminal(rec.State) {
+		time.Sleep(*poll)
+		statusRaw := get("/api/jobs/" + url.PathEscape(rec.ID))
+		if err := json.Unmarshal(statusRaw, &rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("job %s %s", rec.ID, rec.State)
+	printJSON(get("/api/jobs/" + url.PathEscape(rec.ID) + "/result"))
+	if rec.State != "done" {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,3 @@
+module cn
+
+go 1.22

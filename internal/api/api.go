@@ -240,6 +240,18 @@ type Job struct {
 	finished bool
 	result   *Result
 	done     chan struct{}
+	prog     Progress
+}
+
+// Progress counts task lifecycle events as observed by the client — the
+// cheap, client-local complement to the JobManager's schedule census.
+type Progress struct {
+	// Tasks is how many tasks were successfully created on the job.
+	Tasks int `json:"tasks"`
+	// Started/Completed/Failed count the respective lifecycle events.
+	Started   int `json:"started"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
 }
 
 // Result is a job's terminal status.
@@ -286,7 +298,17 @@ func (j *Job) CreateTask(spec *task.Spec, ar *archive.Archive) error {
 	if reply.Kind == msg.KindJobFailed {
 		return replyError(fmt.Sprintf("create task %q", spec.Name), reply)
 	}
+	j.mu.Lock()
+	j.prog.Tasks++
+	j.mu.Unlock()
 	return nil
+}
+
+// Progress returns the client-observed lifecycle census for the job.
+func (j *Job) Progress() Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.prog
 }
 
 // Start begins execution. With no arguments the whole job runs in
@@ -318,6 +340,16 @@ func (j *Job) Start(taskNames ...string) error {
 
 // recordEvent queues a lifecycle event.
 func (j *Job) recordEvent(kind msg.Kind, ev *protocol.TaskEvent) {
+	j.mu.Lock()
+	switch kind {
+	case msg.KindTaskStarted:
+		j.prog.Started++
+	case msg.KindTaskCompleted:
+		j.prog.Completed++
+	case msg.KindTaskFailed:
+		j.prog.Failed++
+	}
+	j.mu.Unlock()
 	m := protocol.Body(kind, msg.Address{}, msg.Address{}, *ev)
 	if err := j.events.TryPut(m); err != nil {
 		// Events are advisory; dropping under pressure is acceptable.

@@ -129,6 +129,25 @@ func (jm *JobManager) activeLocked() int {
 	return n
 }
 
+// JobProgress reports the named job's schedule census; ok is false for
+// unknown jobs. A job created but not yet started reports every registered
+// task as pending. Finished jobs stay queryable through their tombstones.
+func (jm *JobManager) JobProgress(jobID string) (Progress, bool) {
+	jm.mu.Lock()
+	j, ok := jm.jobs[jobID]
+	jm.mu.Unlock()
+	if !ok {
+		return Progress{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.schedule == nil {
+		n := len(j.specs)
+		return Progress{Total: n, Pending: n}, true
+	}
+	return j.schedule.Progress(), true
+}
+
 // HandleSolicit answers a KindJobManagerSolicit multicast: "JobManagers
 // respond to multicast requests for JobManagers if they have free resources
 // and are willing to be JobManagers." Returns nil when unwilling.

@@ -191,3 +191,53 @@ func (s *Schedule) Counts() map[Status]int {
 	}
 	return out
 }
+
+// Progress is a point-in-time census of a schedule's task states, the
+// per-job figure status reporters (the portal's job API, cnviz) expose.
+type Progress struct {
+	Total     int `json:"total"`
+	Pending   int `json:"pending"`
+	Ready     int `json:"ready"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Terminal returns how many tasks reached a terminal state.
+func (p Progress) Terminal() int { return p.Done + p.Failed + p.Cancelled }
+
+// Add accumulates another census (used when aggregating across jobs).
+func (p Progress) Add(o Progress) Progress {
+	return Progress{
+		Total:     p.Total + o.Total,
+		Pending:   p.Pending + o.Pending,
+		Ready:     p.Ready + o.Ready,
+		Running:   p.Running + o.Running,
+		Done:      p.Done + o.Done,
+		Failed:    p.Failed + o.Failed,
+		Cancelled: p.Cancelled + o.Cancelled,
+	}
+}
+
+// Progress returns the schedule's census.
+func (s *Schedule) Progress() Progress {
+	p := Progress{Total: len(s.state)}
+	for _, st := range s.state {
+		switch st {
+		case StatusPending:
+			p.Pending++
+		case StatusReady:
+			p.Ready++
+		case StatusRunning:
+			p.Running++
+		case StatusDone:
+			p.Done++
+		case StatusFailed:
+			p.Failed++
+		case StatusCancelled:
+			p.Cancelled++
+		}
+	}
+	return p
+}

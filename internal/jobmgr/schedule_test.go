@@ -259,3 +259,48 @@ func TestScheduleDiamond(t *testing.T) {
 		t.Fatalf("after r: %v", n)
 	}
 }
+
+func TestScheduleProgress(t *testing.T) {
+	s, err := NewSchedule(specs(t,
+		[2]string{"top", ""},
+		[2]string{"l", "top"},
+		[2]string{"r", "top"},
+		[2]string{"bottom", "l,r"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Progress()
+	if p.Total != 4 || p.Ready != 1 || p.Pending != 3 {
+		t.Fatalf("initial progress = %+v", p)
+	}
+	if err := s.MarkRunning("top"); err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Progress(); p.Running != 1 {
+		t.Fatalf("running progress = %+v", p)
+	}
+	if _, err := s.Complete("top"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkRunning("l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail("l"); err != nil {
+		t.Fatal(err)
+	}
+	p = s.Progress()
+	if p.Done != 1 || p.Failed != 1 || p.Cancelled != 2 {
+		t.Fatalf("failed progress = %+v", p)
+	}
+	if p.Terminal() != 4 {
+		t.Fatalf("terminal = %d", p.Terminal())
+	}
+	if !s.Done() || !s.Failed() {
+		t.Fatalf("schedule done=%v failed=%v", s.Done(), s.Failed())
+	}
+	sum := p.Add(p)
+	if sum.Total != 8 || sum.Failed != 2 {
+		t.Fatalf("sum = %+v", sum)
+	}
+}

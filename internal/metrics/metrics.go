@@ -173,9 +173,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // Summary is a point-in-time digest of a histogram.
 type Summary struct {
-	Count          int64
-	Mean, Min, Max float64
-	P50, P90, P99  float64
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
 }
 
 // Summarize computes the digest.
@@ -266,6 +270,49 @@ func (r *Registry) Dump() string {
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
+}
+
+// RegistrySnapshot is a marshalable point-in-time dump of a registry,
+// served by HTTP metrics endpoints.
+type RegistrySnapshot struct {
+	Counters   map[string]int64   `json:"counters,omitempty"`
+	Gauges     map[string]int64   `json:"gauges,omitempty"`
+	Histograms map[string]Summary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value. Quantiles are estimated
+// from each histogram's reservoir at call time.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.Unlock()
+
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]Summary, len(histograms)),
+	}
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range histograms {
+		snap.Histograms[name] = h.Summarize()
+	}
+	return snap
 }
 
 // Timer measures one operation's wall time into a histogram.

@@ -215,3 +215,22 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Errorf("h count = %d", r.Histogram("h").Count())
 	}
 }
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-7)
+	r.Histogram("h").Observe(2)
+	r.Histogram("h").Observe(4)
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 3 {
+		t.Errorf("counter = %d", snap.Counters["c"])
+	}
+	if snap.Gauges["g"] != -7 {
+		t.Errorf("gauge = %d", snap.Gauges["g"])
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 2 || h.Mean != 3 || h.Min != 2 || h.Max != 4 {
+		t.Errorf("histogram = %+v", h)
+	}
+}

@@ -1,0 +1,259 @@
+// Async job lifecycle API: the portal face of cn/internal/jobstore.
+// Submissions are accepted immediately (202 + job id) and executed by the
+// store's worker pool; clients poll status and fetch results, mirroring
+// how production cluster frontends (e.g. ipfs-cluster's REST API) treat
+// jobs as queryable system state rather than open HTTP requests.
+
+package portal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"cn/internal/api"
+	"cn/internal/cluster"
+	"cn/internal/jobmgr"
+	"cn/internal/jobstore"
+	"cn/internal/metrics"
+)
+
+// runTracker aggregates live task counts for one submission by querying
+// the hosting JobManagers' schedules. A nil tracker is valid and inert
+// (used by the synchronous endpoints).
+type runTracker struct {
+	cluster *cluster.Cluster
+
+	mu    sync.Mutex
+	total int // CN jobs declared in the descriptor
+	jobs  []trackedJob
+}
+
+type trackedJob struct {
+	jmNode string
+	jobID  string
+	cnJob  *api.Job
+	done   bool
+}
+
+// add registers a created CN job for progress aggregation.
+func (t *runTracker) add(cnJob *api.Job) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.jobs = append(t.jobs, trackedJob{jmNode: cnJob.JMNode, jobID: cnJob.ID, cnJob: cnJob})
+	t.mu.Unlock()
+}
+
+// finish marks a CN job as terminally handled.
+func (t *runTracker) finish(jobID string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for i := range t.jobs {
+		if t.jobs[i].jobID == jobID {
+			t.jobs[i].done = true
+		}
+	}
+	t.mu.Unlock()
+}
+
+// progress queries each tracked job's JobManager schedule census and
+// aggregates. JobManagers keep finished jobs as tombstones, so final
+// counts stay available after completion. When a hosting node died, the
+// client-observed event counts stand in for the lost schedule.
+func (t *runTracker) progress() jobstore.Progress {
+	t.mu.Lock()
+	jobs := make([]trackedJob, len(t.jobs))
+	copy(jobs, t.jobs)
+	total := t.total
+	t.mu.Unlock()
+	p := jobstore.Progress{Jobs: total}
+	var agg jobmgr.Progress
+	for _, tj := range jobs {
+		if tj.done {
+			p.JobsDone++
+		}
+		if srv := t.cluster.Server(tj.jmNode); srv != nil {
+			if jp, ok := srv.JobManager().JobProgress(tj.jobID); ok {
+				agg = agg.Add(jp)
+				continue
+			}
+		}
+		cp := tj.cnJob.Progress()
+		agg = agg.Add(jobmgr.Progress{
+			Total:   cp.Tasks,
+			Pending: max(cp.Tasks-cp.Started, 0),
+			Running: max(cp.Started-cp.Completed-cp.Failed, 0),
+			Done:    cp.Completed,
+			Failed:  cp.Failed,
+		})
+	}
+	p.TasksTotal = agg.Total
+	p.TasksPending = agg.Pending + agg.Ready
+	p.TasksRunning = agg.Running
+	p.TasksDone = agg.Done
+	p.TasksFailed = agg.Failed + agg.Cancelled
+	return p
+}
+
+// runSubmission is the jobstore executor: compile (queued -> compiling),
+// then execute (running) with abort support via ctx.
+func (p *Portal) runSubmission(ctx context.Context, j *jobstore.Job) (any, error) {
+	sub := j.Submission()
+	doc, err := p.compile(sub.Format, sub.Body, sub.Invocations)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j.MarkRunning()
+	tr := &runTracker{cluster: p.cfg.Cluster, total: len(doc.Client.Jobs)}
+	j.SetProgress(tr.progress)
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.RunTimeout)
+	defer cancel()
+	resp, err := p.executeDoc(ctx, doc, tr)
+	if err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// sniffFormat guesses a submission's format from its content when the
+// client did not say: CNX documents carry the <cn2> root element.
+func sniffFormat(body []byte) string {
+	if bytes.Contains(body, []byte("<cn2")) {
+		return jobstore.FormatCNX
+	}
+	return jobstore.FormatXMI
+}
+
+func (p *Portal) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := invocations(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "":
+		format = sniffFormat(body)
+	case jobstore.FormatXMI, jobstore.FormatCNX:
+	default:
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("portal: unknown format %q", format))
+		return
+	}
+	rec, err := p.store.Submit(jobstore.Submission{
+		Format:      format,
+		Body:        body,
+		Invocations: n,
+		Label:       r.URL.Query().Get("label"),
+	})
+	switch {
+	case errors.Is(err, jobstore.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		errorJSON(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/api/jobs/"+rec.ID)
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// JobList is the GET /api/jobs response body.
+type JobList struct {
+	Count int                `json:"count"`
+	Jobs  []*jobstore.Record `json:"jobs"`
+}
+
+func (p *Portal) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	var filter jobstore.State
+	if q := r.URL.Query().Get("state"); q != "" {
+		st, err := jobstore.ParseState(q)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, err)
+			return
+		}
+		filter = st
+	}
+	jobs := p.store.List(filter)
+	writeJSON(w, http.StatusOK, JobList{Count: len(jobs), Jobs: jobs})
+}
+
+func (p *Portal) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := p.store.Get(id)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, fmt.Errorf("portal: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// JobResultResponse is the GET /api/jobs/{id}/result body.
+type JobResultResponse struct {
+	ID     string         `json:"id"`
+	State  jobstore.State `json:"state"`
+	Error  string         `json:"error,omitempty"`
+	Result any            `json:"result,omitempty"`
+}
+
+func (p *Portal) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, result, state, ok := p.store.ResultRecord(id)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, fmt.Errorf("portal: unknown job %q", id))
+		return
+	}
+	if !state.Terminal() {
+		errorJSON(w, http.StatusConflict,
+			fmt.Errorf("portal: job %s is %s; result not ready", id, state))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResultResponse{
+		ID:     id,
+		State:  state,
+		Error:  rec.Error,
+		Result: result,
+	})
+}
+
+func (p *Portal) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := p.store.Delete(id)
+	if errors.Is(err, jobstore.ErrUnknownJob) {
+		errorJSON(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// MetricsResponse is the GET /api/metrics body.
+type MetricsResponse struct {
+	Jobstore jobstore.Stats           `json:"jobstore"`
+	Metrics  metrics.RegistrySnapshot `json:"metrics"`
+}
+
+func (p *Portal) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Jobstore: p.store.Stats(),
+		Metrics:  p.store.Metrics().Snapshot(),
+	})
+}

@@ -2,9 +2,10 @@
 // cluster that accepts UML model in XMI format, translates the model to an
 // executable, executes [the] model and displays or makes the results
 // available for download", so that "the user does not need to log on to
-// the subnet".
+// the subnet" — grown from the paper's one-shot upload page into an
+// asynchronous job service backed by cn/internal/jobstore.
 //
-// Endpoints:
+// Synchronous endpoints (the paper's original surface):
 //
 //	GET  /                  - HTML landing page
 //	GET  /api/status        - cluster status (JSON)
@@ -13,12 +14,22 @@
 //	POST /api/run           - XMI body in, executes it, JSON results out
 //	POST /api/run-cnx       - CNX body in, executes it, JSON results out
 //
+// Asynchronous job lifecycle API (submission decoupled from execution):
+//
+//	POST   /api/jobs           - submit XMI or CNX, returns a job id (202)
+//	GET    /api/jobs           - list jobs, ?state= filters
+//	GET    /api/jobs/{id}      - job status, timings, task counts
+//	GET    /api/jobs/{id}/result - terminal job's results
+//	DELETE /api/jobs/{id}      - abort an active job / forget a finished one
+//	GET    /api/metrics        - queue depth, jobs-by-state, latency digests
+//
 // Dynamic invocation states are expanded with ?invocations=N (default 4).
 package portal
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -31,6 +42,7 @@ import (
 	"cn/internal/cnx"
 	"cn/internal/codegen"
 	"cn/internal/core"
+	"cn/internal/jobstore"
 	"cn/internal/protocol"
 	"cn/internal/transform"
 )
@@ -44,6 +56,12 @@ type Config struct {
 	Cluster *cluster.Cluster
 	// RunTimeout bounds one execution request (0 = 60s).
 	RunTimeout time.Duration
+	// Workers sizes the async execution pool (0 = jobstore default).
+	Workers int
+	// QueueDepth bounds queued submissions before 429s (0 = default).
+	QueueDepth int
+	// ResultTTL evicts terminal job records (0 = default; <0 disables).
+	ResultTTL time.Duration
 	// Logf receives request diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +70,7 @@ type Config struct {
 type Portal struct {
 	cfg    Config
 	client *api.Client
+	store  *jobstore.Store
 	mux    *http.ServeMux
 }
 
@@ -71,20 +90,46 @@ func New(cfg Config) (*Portal, error) {
 		return nil, fmt.Errorf("portal: %w", err)
 	}
 	p := &Portal{cfg: cfg, client: client, mux: http.NewServeMux()}
+	store, err := jobstore.New(jobstore.Config{
+		Exec:       p.runSubmission,
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		ResultTTL:  cfg.ResultTTL,
+		Metrics:    cfg.Cluster.Metrics(),
+		Logf:       cfg.Logf,
+	})
+	if err != nil {
+		client.Close()
+		return nil, fmt.Errorf("portal: %w", err)
+	}
+	p.store = store
 	p.mux.HandleFunc("GET /", p.handleIndex)
 	p.mux.HandleFunc("GET /api/status", p.handleStatus)
 	p.mux.HandleFunc("POST /api/xmi2cnx", p.handleXMI2CNX)
 	p.mux.HandleFunc("POST /api/cnx2go", p.handleCNX2Go)
 	p.mux.HandleFunc("POST /api/run", p.handleRunXMI)
 	p.mux.HandleFunc("POST /api/run-cnx", p.handleRunCNX)
+	p.mux.HandleFunc("POST /api/jobs", p.handleSubmitJob)
+	p.mux.HandleFunc("GET /api/jobs", p.handleListJobs)
+	p.mux.HandleFunc("GET /api/jobs/{id}", p.handleGetJob)
+	p.mux.HandleFunc("GET /api/jobs/{id}/result", p.handleJobResult)
+	p.mux.HandleFunc("DELETE /api/jobs/{id}", p.handleDeleteJob)
+	p.mux.HandleFunc("GET /api/metrics", p.handleMetrics)
 	return p, nil
 }
 
 // Handler returns the portal's HTTP handler.
 func (p *Portal) Handler() http.Handler { return p.mux }
 
-// Close releases the portal's client.
-func (p *Portal) Close() error { return p.client.Close() }
+// Close stops the job service and releases the portal's client. In-flight
+// jobs are aborted.
+func (p *Portal) Close() error {
+	p.store.Close()
+	return p.client.Close()
+}
+
+// Store exposes the job store (for embedding deployments and tests).
+func (p *Portal) Store() *jobstore.Store { return p.store }
 
 func (p *Portal) logf(format string, args ...any) {
 	if p.cfg.Logf != nil {
@@ -97,6 +142,13 @@ func errorJSON(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes a JSON success response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // readBody reads a bounded request body.
@@ -120,10 +172,12 @@ const indexHTML = `<!DOCTYPE html>
 <h1>Computational Neighborhood</h1>
 <p>Model-driven job/task composition for cluster computing.</p>
 <ul>
-<li>POST an XMI activity model to <code>/api/run</code> to execute it.</li>
+<li>POST an XMI or CNX document to <code>/api/jobs</code> to queue it; poll
+<code>/api/jobs/{id}</code> and fetch <code>/api/jobs/{id}/result</code>.</li>
+<li>POST an XMI activity model to <code>/api/run</code> to execute it synchronously.</li>
 <li>POST XMI to <code>/api/xmi2cnx</code> for the CNX descriptor.</li>
 <li>POST CNX to <code>/api/cnx2go</code> for a generated Go client.</li>
-<li>GET <code>/api/status</code> for cluster status.</li>
+<li>GET <code>/api/status</code> for cluster status, <code>/api/metrics</code> for service metrics.</li>
 </ul>
 </body></html>
 `
@@ -143,8 +197,7 @@ type Status struct {
 }
 
 func (p *Portal) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(Status{Nodes: p.cfg.Cluster.Nodes()})
+	writeJSON(w, http.StatusOK, Status{Nodes: p.cfg.Cluster.Nodes()})
 }
 
 // invocations parses the dynamic-invocation count query parameter.
@@ -215,7 +268,113 @@ type JobResult struct {
 	TaskErrs map[string]string `json:"task_errors,omitempty"`
 }
 
+// compile turns a submission body into a validated CNX document. Every
+// error from this path is a client-input problem (HTTP 422).
+func (p *Portal) compile(format string, body []byte, invs int) (*cnx.Document, error) {
+	if invs <= 0 {
+		invs = 4
+	}
+	var doc *cnx.Document
+	switch format {
+	case jobstore.FormatCNX:
+		d, err := cnx.ParseString(string(body))
+		if err != nil {
+			return nil, err
+		}
+		doc = d
+	case jobstore.FormatXMI:
+		var out strings.Builder
+		opts := transform.Options{Args: core.FixedArgs(invs)}
+		if err := transform.XMI2CNX(strings.NewReader(string(body)), &out, opts); err != nil {
+			return nil, err
+		}
+		d, err := cnx.ParseString(out.String())
+		if err != nil {
+			return nil, err
+		}
+		doc = d
+	default:
+		return nil, fmt.Errorf("portal: unknown format %q", format)
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// executeDoc runs every CN job of a compiled descriptor and collates
+// results — the single execution path shared by the synchronous endpoints
+// and the async job executor. A non-nil error means the run could not
+// proceed (infrastructure failure or abort); per-job failures are reported
+// inside the response. tr may be nil when no progress tracking is wanted.
+func (p *Portal) executeDoc(ctx context.Context, doc *cnx.Document, tr *runTracker) (*RunResponse, error) {
+	resp := &RunResponse{Client: doc.Client.Class, Jobs: make(map[string]JobResult)}
+	for ji := range doc.Client.Jobs {
+		job := &doc.Client.Jobs[ji]
+		if err := ctx.Err(); err != nil {
+			return resp, err
+		}
+		specs, err := job.Specs()
+		if err != nil {
+			return resp, fmt.Errorf("%w: %w", errUnprocessable, err)
+		}
+		p.logf("running job %q (%d tasks)", job.Name, len(specs))
+		cnJob, err := p.client.CreateJob(job.Name, protocol.JobRequirements{})
+		if err != nil {
+			return resp, err
+		}
+		tr.add(cnJob)
+		failed := false
+		for _, s := range specs {
+			if err := cnJob.CreateTask(s, nil); err != nil {
+				resp.Jobs[job.Name] = JobResult{JobID: cnJob.ID, Failed: true, Err: err.Error()}
+				failed = true
+				break
+			}
+		}
+		if failed {
+			tr.finish(cnJob.ID)
+			continue
+		}
+		res, err := cnJob.Run(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Abort or timeout: tear the CN job down on the cluster
+				// before reporting, so its tasks stop promptly.
+				_ = cnJob.Cancel("aborted via portal")
+				tr.finish(cnJob.ID)
+				return resp, ctx.Err()
+			}
+			resp.Jobs[job.Name] = JobResult{JobID: cnJob.ID, Failed: true, Err: err.Error()}
+			tr.finish(cnJob.ID)
+			continue
+		}
+		resp.Jobs[job.Name] = JobResult{
+			JobID:    res.JobID,
+			Failed:   res.Failed,
+			Err:      res.Err,
+			TaskErrs: res.TaskErrs,
+		}
+		tr.finish(cnJob.ID)
+	}
+	return resp, nil
+}
+
+// errUnprocessable marks execution errors caused by the uploaded document
+// rather than the cluster, so sync handlers can answer 422 instead of 503.
+var errUnprocessable = errors.New("portal: unprocessable document")
+
 func (p *Portal) handleRunXMI(w http.ResponseWriter, r *http.Request) {
+	p.runSync(w, r, jobstore.FormatXMI)
+}
+
+func (p *Portal) handleRunCNX(w http.ResponseWriter, r *http.Request) {
+	p.runSync(w, r, jobstore.FormatCNX)
+}
+
+// runSync is the legacy blocking path: compile and execute within the
+// request, sharing the executor with the async service.
+func (p *Portal) runSync(w http.ResponseWriter, r *http.Request, format string) {
 	body, err := readBody(r)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, err)
@@ -226,79 +385,21 @@ func (p *Portal) handleRunXMI(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	var cnxOut strings.Builder
-	opts := transform.Options{Args: core.FixedArgs(n)}
-	if err := transform.XMI2CNX(strings.NewReader(string(body)), &cnxOut, opts); err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	doc, err := cnx.ParseString(cnxOut.String())
-	if err != nil {
-		errorJSON(w, http.StatusInternalServerError, err)
-		return
-	}
-	p.execute(w, doc)
-}
-
-func (p *Portal) handleRunCNX(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
-	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
-		return
-	}
-	doc, err := cnx.ParseString(string(body))
+	doc, err := p.compile(format, body, n)
 	if err != nil {
 		errorJSON(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	p.execute(w, doc)
-}
-
-// execute runs every job of the descriptor and reports results.
-func (p *Portal) execute(w http.ResponseWriter, doc *cnx.Document) {
-	if err := doc.Validate(); err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RunTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.RunTimeout)
 	defer cancel()
-	resp := RunResponse{Client: doc.Client.Class, Jobs: make(map[string]JobResult)}
-	for ji := range doc.Client.Jobs {
-		job := &doc.Client.Jobs[ji]
-		specs, err := job.Specs()
-		if err != nil {
+	resp, err := p.executeDoc(ctx, doc, nil)
+	if err != nil {
+		if errors.Is(err, errUnprocessable) {
 			errorJSON(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		p.logf("running job %q (%d tasks)", job.Name, len(specs))
-		j, err := p.client.CreateJob(job.Name, protocol.JobRequirements{})
-		if err != nil {
+		} else {
 			errorJSON(w, http.StatusServiceUnavailable, err)
-			return
 		}
-		failed := false
-		for _, s := range specs {
-			if err := j.CreateTask(s, nil); err != nil {
-				resp.Jobs[job.Name] = JobResult{JobID: j.ID, Failed: true, Err: err.Error()}
-				failed = true
-				break
-			}
-		}
-		if failed {
-			continue
-		}
-		res, err := j.Run(ctx)
-		if err != nil {
-			resp.Jobs[job.Name] = JobResult{JobID: j.ID, Failed: true, Err: err.Error()}
-			continue
-		}
-		resp.Jobs[job.Name] = JobResult{
-			JobID:    res.JobID,
-			Failed:   res.Failed,
-			Err:      res.Err,
-			TaskErrs: res.TaskErrs,
-		}
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	writeJSON(w, http.StatusOK, resp)
 }
