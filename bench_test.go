@@ -303,6 +303,94 @@ func BenchmarkMonteCarloWorkers(b *testing.B) {
 	}
 }
 
+// --- T-G: batch placement vs per-task placement ------------------------------
+
+// BenchmarkBatchPlacement measures job admission (create job + create all
+// tasks, no execution) of a 32-task job whose tasks share one archive, at
+// 1/8/32 nodes. "pertask" is the pre-directory behavior — offer caching
+// disabled, one CreateTask round trip (and one solicitation round) per
+// task. "batch" is one CreateTasks call: one solicitation round for the
+// whole set plus parallel batched assignments, with the archive traveling
+// at most once per node. Reported metrics: solicitation rounds per
+// admitted job and archive blob transfers per admitted job.
+func BenchmarkBatchPlacement(b *testing.B) {
+	const tasks = 32
+	buildArchive := func(b *testing.B) *cn.Archive {
+		ar, err := cn.NewArchive("bench.jar", "pub.Noop").
+			AddFile("payload.bin", make([]byte, 64<<10)).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ar
+	}
+	taskSpecs := func() []*cn.TaskSpec {
+		specs := make([]*cn.TaskSpec, tasks)
+		for i := range specs {
+			specs[i] = noopSpec(fmt.Sprintf("t%d", i))
+			specs[i].Archive = "bench.jar"
+		}
+		return specs
+	}
+	admit := func(b *testing.B, cl *cn.Client, i int, batch bool, ar *cn.Archive) {
+		b.Helper()
+		job, err := cl.CreateJob(fmt.Sprintf("adm-%d", i), cn.JobRequirements{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := taskSpecs()
+		archives := map[string]*cn.Archive{ar.Name: ar}
+		if batch {
+			if _, err := job.CreateTasks(specs, archives); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, s := range specs {
+				if err := job.CreateTask(s, ar); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := job.Cancel("admission bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, nodes := range []int{1, 8, 32} {
+		for _, mode := range []struct {
+			name  string
+			batch bool
+			ttl   time.Duration
+		}{
+			{"pertask", false, -1}, // fresh solicitation round per task
+			{"batch", true, 0},     // directory-cached batch placement
+		} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", mode.name, nodes), func(b *testing.B) {
+				c, err := cn.StartCluster(cn.ClusterOptions{
+					Nodes: nodes, Registry: pubRegistry,
+					MemoryMB: 64000, PlacementTTL: mode.ttl,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+				if err != nil {
+					c.Close()
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { cl.Close(); c.Close() })
+				ar := buildArchive(b)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					admit(b, cl, i, mode.batch, ar)
+				}
+				b.StopTimer()
+				st := c.PlacementStats()
+				b.ReportMetric(float64(st.SolicitRounds)/float64(b.N), "rounds/job")
+				b.ReportMetric(float64(c.BlobTransfers())/float64(b.N), "uploads/job")
+			})
+		}
+	}
+}
+
 // --- T-B: discovery latency vs cluster size --------------------------------
 
 // BenchmarkDiscoveryNodes measures one multicast JobManager discovery round

@@ -1,15 +1,19 @@
 // Command cnbench regenerates the experiment tables recorded in
 // EXPERIMENTS.md: the parallel Floyd speedup study (T-A), discovery
-// latency vs cluster size (T-B), message round-trip latency (T-C), and
-// transform throughput vs model size (T-D). Run with -exp=all (default) or
-// a single experiment id.
+// latency vs cluster size (T-B), message round-trip latency (T-C),
+// transform throughput vs model size (T-D), and the batch placement study
+// (T-G), whose numbers are also snapshotted to BENCH_placement.json so the
+// perf trajectory is recorded. Run with -exp=all (default) or a single
+// experiment id.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -24,8 +28,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment: floyd | discovery | messaging | transform | all")
+		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | all")
 		reps = flag.Int("reps", 5, "repetitions per configuration")
+		out  = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -40,12 +45,15 @@ func main() {
 		messagingTable(*reps)
 	case "transform":
 		transformTable(*reps)
+	case "placement":
+		placementTable(*reps, *out)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
 		discoveryTable(*reps)
 		messagingTable(*reps)
 		transformTable(*reps)
+		placementTable(*reps, *out)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -82,6 +90,9 @@ func newRegistry() *cn.Registry {
 	reg := cn.NewRegistry()
 	floyd.MustRegister(reg)
 	workloads.MustRegister(reg)
+	reg.MustRegister("bench.Noop", func() cn.Task {
+		return cn.TaskFunc(func(cn.TaskContext) error { return nil })
+	})
 	reg.MustRegister("bench.Echo", func() cn.Task {
 		return cn.TaskFunc(func(ctx cn.TaskContext) error {
 			for {
@@ -213,6 +224,113 @@ func messagingTable(reps int) {
 		fmt.Printf("%-12s %14v %14.0f\n", fmt.Sprintf("%dB", size), perMsg, float64(time.Second)/float64(perMsg))
 	}
 	_ = job.Cancel("bench done")
+}
+
+// placementRow is one configuration's measurement in the T-G study.
+type placementRow struct {
+	Mode         string  `json:"mode"`  // "pertask" or "batch"
+	Nodes        int     `json:"nodes"` // cluster size
+	Tasks        int     `json:"tasks"` // tasks per admitted job
+	MedianMS     float64 `json:"median_admission_ms"`
+	RoundsPerJob float64 `json:"solicit_rounds_per_job"`
+	UploadsTotal int64   `json:"archive_uploads_total"`
+	JobsAdmitted int     `json:"jobs_admitted"`
+}
+
+// placementSnapshot is the BENCH_placement.json document.
+type placementSnapshot struct {
+	Experiment  string         `json:"experiment"`
+	GeneratedAt time.Time      `json:"generated_at"`
+	Rows        []placementRow `json:"rows"`
+}
+
+// placementTable is experiment T-G: admission of a 32-task single-archive
+// job, per-task placement (one solicitation round per task, the
+// pre-directory behavior) vs batch placement (one round for the whole
+// set). Results are printed and snapshotted as JSON for trend tracking.
+func placementTable(reps int, outPath string) {
+	header("T-G  Batch placement vs per-task placement (32-task job admission)")
+	const tasks = 32
+	snap := placementSnapshot{Experiment: "T-G batch placement", GeneratedAt: time.Now().UTC()}
+	fmt.Printf("%-10s %8s %14s %14s %16s\n", "mode", "nodes", "median", "rounds/job", "uploads(total)")
+	for _, nodes := range []int{1, 8, 32} {
+		for _, mode := range []struct {
+			name  string
+			batch bool
+			ttl   time.Duration
+		}{
+			{"pertask", false, -1},
+			{"batch", true, 0},
+		} {
+			c, err := cn.StartCluster(cn.ClusterOptions{
+				Nodes: nodes, Registry: newRegistry(),
+				MemoryMB: 64000, PlacementTTL: mode.ttl,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ar, err := cn.NewArchive("bench.jar", "bench.Noop").
+				AddFile("payload.bin", make([]byte, 64<<10)).Build()
+			if err != nil {
+				log.Fatal(err)
+			}
+			jobs := 0
+			d := timeIt(reps, func() {
+				job, err := cl.CreateJob(fmt.Sprintf("adm-%d", jobs), cn.JobRequirements{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				specs := make([]*cn.TaskSpec, tasks)
+				for i := range specs {
+					specs[i] = &cn.TaskSpec{
+						Name: fmt.Sprintf("t%d", i), Class: "bench.Noop", Archive: ar.Name,
+						Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+					}
+				}
+				if mode.batch {
+					if _, err := job.CreateTasks(specs, map[string]*cn.Archive{ar.Name: ar}); err != nil {
+						log.Fatal(err)
+					}
+				} else {
+					for _, s := range specs {
+						if err := job.CreateTask(s, ar); err != nil {
+							log.Fatal(err)
+						}
+					}
+				}
+				if err := job.Cancel("admission bench"); err != nil {
+					log.Fatal(err)
+				}
+				jobs++
+			})
+			row := placementRow{
+				Mode:         mode.name,
+				Nodes:        nodes,
+				Tasks:        tasks,
+				MedianMS:     float64(d) / float64(time.Millisecond),
+				RoundsPerJob: float64(c.PlacementStats().SolicitRounds) / float64(jobs),
+				UploadsTotal: c.BlobTransfers(),
+				JobsAdmitted: jobs,
+			}
+			snap.Rows = append(snap.Rows, row)
+			fmt.Printf("%-10s %8d %14v %14.2f %16d\n",
+				mode.name, nodes, d, row.RoundsPerJob, row.UploadsTotal)
+			cl.Close()
+			c.Close()
+		}
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot written to %s\n", outPath)
 }
 
 // transformTable is experiment T-D: XMI2CNX throughput vs model size.

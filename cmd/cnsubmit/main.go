@@ -9,6 +9,7 @@
 //	cnsubmit -portal http://localhost:8080 -in model.xmi -transform      # XMI->CNX only
 //	cnsubmit -portal http://localhost:8080 -in model.xmi -async          # queue, print job id
 //	cnsubmit -portal http://localhost:8080 -in model.xmi -async -wait    # queue, poll, print result
+//	cnsubmit -portal http://localhost:8080 -async a.xmi b.xmi c.xmi      # batch: queue several models
 //	cnsubmit -portal http://localhost:8080 -status job-3                 # one job's status
 //	cnsubmit -portal http://localhost:8080 -list -state running          # list jobs
 //	cnsubmit -portal http://localhost:8080 -abort job-3                  # abort/forget a job
@@ -48,6 +49,16 @@ func base() string { return strings.TrimRight(*portalURL, "/") }
 
 // get issues a GET and returns the body, failing on non-2xx.
 func get(path string) []byte {
+	body, status := tryGet(path)
+	if status/100 != 2 {
+		log.Fatalf("portal returned %d: %s", status, body)
+	}
+	return body
+}
+
+// tryGet issues a GET and returns the body and status without dying on
+// non-2xx answers (pollers must tolerate TTL-evicted records).
+func tryGet(path string) ([]byte, int) {
 	resp, err := http.Get(base() + path)
 	if err != nil {
 		log.Fatal(err)
@@ -57,10 +68,7 @@ func get(path string) []byte {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if resp.StatusCode/100 != 2 {
-		log.Fatalf("portal returned %s: %s", resp.Status, body)
-	}
-	return body
+	return body, resp.StatusCode
 }
 
 func printJSON(raw []byte) {
@@ -106,21 +114,29 @@ func main() {
 		return
 	}
 
-	if *in == "" {
+	// Inputs: -in plus any positional file arguments (a batch).
+	inputs := flag.Args()
+	if *in != "" {
+		inputs = append([]string{*in}, inputs...)
+	}
+	if len(inputs) == 0 {
 		flag.Usage()
 		os.Exit(2)
-	}
-	body, err := os.ReadFile(*in)
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	if *async || *wait {
 		if *transform {
 			log.Fatal("-transform only runs synchronously; drop -async/-wait")
 		}
-		submitAsync(body)
+		submitBatch(inputs)
 		return
+	}
+	if len(inputs) > 1 {
+		log.Fatal("multiple inputs require -async (batch submission)")
+	}
+	body, err := os.ReadFile(inputs[0])
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var path string
@@ -164,48 +180,98 @@ func terminal(state string) bool {
 	return state == "done" || state == "failed" || state == "aborted"
 }
 
-// submitAsync queues the document and optionally polls to completion.
-func submitAsync(body []byte) {
+// submitBatch queues every input document, then optionally polls the whole
+// batch to completion. The portal executes each submission's task sets as
+// batched CreateTasks calls, so a queued model costs one placement round
+// per job rather than one per task.
+func submitBatch(inputs []string) {
 	format := "xmi"
 	if *isCNX {
 		format = "cnx"
 	}
-	u := fmt.Sprintf("%s/api/jobs?format=%s&invocations=%d", base(), format, *invocations)
-	if *label != "" {
-		u += "&label=" + url.QueryEscape(*label)
-	}
-	resp, err := http.Post(u, "application/xml", strings.NewReader(string(body)))
-	if err != nil {
-		log.Fatal(err)
-	}
-	raw, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		log.Fatalf("portal returned %s: %s", resp.Status, raw)
-	}
-	var rec jobRecord
-	if err := json.Unmarshal(raw, &rec); err != nil {
-		log.Fatal(err)
+	recs := make([]jobRecord, 0, len(inputs))
+	for _, path := range inputs {
+		body, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u := fmt.Sprintf("%s/api/jobs?format=%s&invocations=%d", base(), format, *invocations)
+		jobLabel := *label
+		if jobLabel == "" && len(inputs) > 1 {
+			jobLabel = path
+		}
+		if jobLabel != "" {
+			u += "&label=" + url.QueryEscape(jobLabel)
+		}
+		resp, err := http.Post(u, "application/xml", strings.NewReader(string(body)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			log.Fatalf("portal returned %s for %s: %s", resp.Status, path, raw)
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			log.Fatal(err)
+		}
+		recs = append(recs, rec)
+		if !*wait {
+			printJSON(raw)
+		}
 	}
 	if !*wait {
-		printJSON(raw)
 		return
 	}
 
-	log.Printf("job %s queued, polling every %s", rec.ID, *poll)
-	for !terminal(rec.State) {
-		time.Sleep(*poll)
-		statusRaw := get("/api/jobs/" + url.PathEscape(rec.ID))
-		if err := json.Unmarshal(statusRaw, &rec); err != nil {
-			log.Fatal(err)
+	log.Printf("%d job(s) queued, polling every %s", len(recs), *poll)
+	failed := false
+	for i := range recs {
+		rec := &recs[i]
+		evicted := false
+		for !terminal(rec.State) {
+			time.Sleep(*poll)
+			statusRaw, status := tryGet("/api/jobs/" + url.PathEscape(rec.ID))
+			if status == http.StatusNotFound {
+				// The record outlived its result TTL while we were
+				// polling a sibling; the job is long terminal but its
+				// outcome is unknown, which must not read as success.
+				log.Printf("job %s: record evicted before its outcome could be read (raise -result-ttl)", rec.ID)
+				evicted = true
+				failed = true
+				break
+			}
+			if status/100 != 2 {
+				log.Fatalf("portal returned %d: %s", status, statusRaw)
+			}
+			if err := json.Unmarshal(statusRaw, rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if evicted {
+			continue
+		}
+		log.Printf("job %s %s", rec.ID, rec.State)
+		// The terminal state is known; a result record evicted in the
+		// polling gap must not abort the rest of the batch.
+		resultRaw, status := tryGet("/api/jobs/" + url.PathEscape(rec.ID) + "/result")
+		switch {
+		case status == http.StatusNotFound:
+			log.Printf("job %s: result evicted before it could be read (raise -result-ttl)", rec.ID)
+		case status/100 != 2:
+			log.Fatalf("portal returned %d: %s", status, resultRaw)
+		default:
+			printJSON(resultRaw)
+		}
+		if rec.State != "done" {
+			failed = true
 		}
 	}
-	log.Printf("job %s %s", rec.ID, rec.State)
-	printJSON(get("/api/jobs/" + url.PathEscape(rec.ID) + "/result"))
-	if rec.State != "done" {
+	if failed {
 		os.Exit(1)
 	}
 }

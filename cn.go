@@ -38,6 +38,7 @@ import (
 	"cn/internal/core"
 	"cn/internal/discovery"
 	"cn/internal/dot"
+	"cn/internal/placement"
 	"cn/internal/protocol"
 	"cn/internal/task"
 	"cn/internal/transform"
@@ -168,6 +169,11 @@ type ClusterOptions struct {
 	Registry *Registry
 	// TCP selects real loopback sockets instead of the in-memory fabric.
 	TCP bool
+	// PlacementTTL bounds each JobManager's cached TaskManager offers
+	// (0 = placement default TTL; negative disables offer caching so every
+	// placement performs a fresh multicast round, the pre-directory
+	// behavior).
+	PlacementTTL time.Duration
 	// Latency/Jitter/Loss/Seed configure the in-memory fabric's link model.
 	Latency time.Duration
 	Jitter  time.Duration
@@ -191,15 +197,16 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		tp = cluster.TransportTCP
 	}
 	inner, err := cluster.Start(cluster.Config{
-		Nodes:     opts.Nodes,
-		MemoryMB:  opts.MemoryMB,
-		Transport: tp,
-		Latency:   opts.Latency,
-		Jitter:    opts.Jitter,
-		Loss:      opts.Loss,
-		Seed:      opts.Seed,
-		Registry:  opts.Registry,
-		Logf:      opts.Logf,
+		Nodes:        opts.Nodes,
+		MemoryMB:     opts.MemoryMB,
+		Transport:    tp,
+		PlacementTTL: opts.PlacementTTL,
+		Latency:      opts.Latency,
+		Jitter:       opts.Jitter,
+		Loss:         opts.Loss,
+		Seed:         opts.Seed,
+		Registry:     opts.Registry,
+		Logf:         opts.Logf,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cn: %w", err)
@@ -215,6 +222,15 @@ func (c *Cluster) KillNode(node string) error { return c.inner.KillNode(node) }
 
 // Network exposes the cluster fabric for advanced clients.
 func (c *Cluster) Network() transport.Network { return c.inner.Network() }
+
+// PlacementStats aggregates every JobManager's resource-directory counters
+// (solicitation rounds, cache hits, invalidations).
+func (c *Cluster) PlacementStats() placement.Stats { return c.inner.PlacementStats() }
+
+// BlobTransfers counts distinct archive blobs transferred to TaskManagers
+// across the cluster — with content addressing, at most one per digest per
+// node regardless of how many tasks share the archive.
+func (c *Cluster) BlobTransfers() int64 { return c.inner.BlobTransfers() }
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() { c.inner.Stop() }
@@ -317,19 +333,15 @@ func RunDescriptor(ctx context.Context, client *Client, doc *CNXDocument, archiv
 }
 
 // RunJob creates a job from specs, starts it, and waits for termination.
+// The whole task set is submitted as one batch, so placement costs a
+// single solicitation round and each archive travels once per node.
 func RunJob(ctx context.Context, client *Client, name string, specs []*TaskSpec, archives map[string]*Archive) (*Result, error) {
 	j, err := client.CreateJob(name, JobRequirements{})
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range specs {
-		var ar *Archive
-		if s.Archive != "" && archives != nil {
-			ar = archives[s.Archive]
-		}
-		if err := j.CreateTask(s, ar); err != nil {
-			return nil, err
-		}
+	if _, err := j.CreateTasks(specs, archives); err != nil {
+		return nil, err
 	}
 	return j.Run(ctx)
 }

@@ -270,38 +270,79 @@ type Event struct {
 	Err  string
 }
 
-// CreateTask registers a task with the job; ar carries the task's archive
-// (may be nil when the class is pre-deployed on all nodes).
+// CreateTask registers a single task with the job; ar carries the task's
+// archive (may be nil when the class is pre-deployed on all nodes). It is
+// a one-element CreateTasks.
 func (j *Job) CreateTask(spec *task.Spec, ar *archive.Archive) error {
-	if err := spec.Validate(); err != nil {
-		return fmt.Errorf("api: create task: %w", err)
-	}
-	req := protocol.CreateTaskReq{JobID: j.ID, Spec: spec}
+	var archives map[string]*archive.Archive
 	if ar != nil {
-		req.ArchiveName = ar.Name
-		req.Archive = ar.Bytes()
-		req.Digest = ar.Digest()
 		if spec.Archive == "" {
 			spec.Archive = ar.Name
 		}
+		// Key by the spec's archive name: the explicitly passed archive
+		// always ships with this task, even when spec.Archive was preset
+		// to a name other than ar.Name.
+		archives = map[string]*archive.Archive{spec.Archive: ar}
+	}
+	_, err := j.CreateTasks([]*task.Spec{spec}, archives)
+	return err
+}
+
+// CreateTasks registers a whole task set with the job in one round trip —
+// "Create Tasks for the Job" as a batch. The JobManager places the entire
+// set in one solicitation round and distributes archives by digest, so N
+// tasks sharing an archive cost one blob transfer per chosen node instead
+// of N uploads.
+//
+// archives maps archive file names (each spec's Archive field) to built
+// archives; specs whose archive name is absent run against pre-deployed
+// classes. The result maps task name -> executing node.
+func (j *Job) CreateTasks(specs []*task.Spec, archives map[string]*archive.Archive) (map[string]string, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("api: create tasks: empty task set")
+	}
+	req := protocol.CreateTasksReq{
+		JobID: j.ID,
+		Tasks: make([]protocol.TaskCreate, 0, len(specs)),
+	}
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("api: create tasks: %w", err)
+		}
+		item := protocol.TaskCreate{Spec: spec}
+		if ar := archives[spec.Archive]; ar != nil {
+			digest := ar.Digest()
+			item.Archive = protocol.ArchiveRef{Name: ar.Name, Digest: digest}
+			if req.Blobs == nil {
+				req.Blobs = make(map[string][]byte)
+			}
+			if _, dup := req.Blobs[digest]; !dup {
+				req.Blobs[digest] = ar.Bytes()
+			}
+		}
+		req.Tasks = append(req.Tasks, item)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
 	defer cancel()
-	cm := protocol.Body(msg.KindCreateTask,
+	cm := protocol.Body(msg.KindCreateTasks,
 		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
 		msg.Address{Node: j.JMNode, Job: j.ID},
 		req)
 	reply, err := j.client.caller.Call(ctx, j.JMNode, cm)
 	if err != nil {
-		return fmt.Errorf("api: create task %q: %w", spec.Name, err)
+		return nil, fmt.Errorf("api: create %d tasks: %w", len(specs), err)
 	}
 	if reply.Kind == msg.KindJobFailed {
-		return replyError(fmt.Sprintf("create task %q", spec.Name), reply)
+		return nil, replyError(fmt.Sprintf("create %d tasks", len(specs)), reply)
+	}
+	var resp protocol.CreateTasksResp
+	if err := protocol.Decode(reply, &resp); err != nil {
+		return nil, fmt.Errorf("api: create tasks: %w", err)
 	}
 	j.mu.Lock()
-	j.prog.Tasks++
+	j.prog.Tasks += len(specs)
 	j.mu.Unlock()
-	return nil
+	return resp.Placements, nil
 }
 
 // Progress returns the client-observed lifecycle census for the job.

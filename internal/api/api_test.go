@@ -724,3 +724,126 @@ func TestContextAccessors(t *testing.T) {
 		t.Errorf("from = %q", from)
 	}
 }
+
+func TestCreateTasksBatch(t *testing.T) {
+	c, cl := start(t, 3)
+	ar, err := archive.NewBuilder("batch.jar", "test.EchoName").
+		AddFile("data.bin", []byte(strings.Repeat("x", 4096))).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := cl.CreateJob("batch", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []*task.Spec
+	for i := 0; i < 8; i++ {
+		s := spec(fmt.Sprintf("t%d", i), "test.EchoName", nil)
+		s.Archive = ar.Name
+		specs = append(specs, s)
+	}
+	placements, err := j.CreateTasks(specs, map[string]*archive.Archive{ar.Name: ar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != len(specs) {
+		t.Fatalf("placements = %v", placements)
+	}
+	for name, node := range placements {
+		if node == "" {
+			t.Errorf("task %s placed nowhere", name)
+		}
+	}
+	if got := j.Progress().Tasks; got != len(specs) {
+		t.Errorf("progress tasks = %d, want %d", got, len(specs))
+	}
+	// Batch admission costs one solicitation round, and the shared
+	// archive travels at most once per node.
+	if st := c.PlacementStats(); st.SolicitRounds > 2 {
+		t.Errorf("solicit rounds = %d for one batch, want <= 2", st.SolicitRounds)
+	}
+	if tr := c.BlobTransfers(); tr < 1 || tr > 3 {
+		t.Errorf("blob transfers = %d, want between 1 and node count", tr)
+	}
+	res, err := j.Run(ctxT(t))
+	if err != nil || res.Failed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestCreateTasksEmptyAndInvalid(t *testing.T) {
+	_, cl := start(t, 2)
+	j, err := cl.CreateJob("empty-batch", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.CreateTasks(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := j.CreateTasks([]*task.Spec{{Name: "", Class: "test.Noop"}}, nil); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	// A batch with a duplicate task name is rejected atomically.
+	dup := []*task.Spec{spec("same", "test.Noop", nil), spec("same", "test.Noop", nil)}
+	if _, err := j.CreateTasks(dup, nil); err == nil {
+		t.Error("duplicate-name batch accepted")
+	}
+}
+
+func TestFailedBatchReleasesReservations(t *testing.T) {
+	// A batch that cannot be fully placed must not leak the memory its
+	// accepted tasks reserved on TaskManagers.
+	c, err := cluster.Start(cluster.Config{Nodes: 1, MemoryMB: 500, Registry: testRegistry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	j, err := cl.CreateJob("partial", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := func(name string) *task.Spec {
+		s := spec(name, "test.Noop", nil)
+		s.Req.MemoryMB = 400 // two of these cannot share the 500 MB node
+		return s
+	}
+	if _, err := j.CreateTasks([]*task.Spec{big("a"), big("b")}, nil); err == nil {
+		t.Fatal("oversubscribed batch accepted")
+	}
+	tm := c.Server(c.Nodes()[0]).TaskManager()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && tm.FreeMemoryMB() != 500 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := tm.FreeMemoryMB(); got != 500 {
+		t.Errorf("free = %d MB after failed batch, want 500 (reservation released)", got)
+	}
+}
+
+func TestCreateTaskShipsArchiveDespiteNameMismatch(t *testing.T) {
+	// An explicitly passed archive must reach the node even when the
+	// spec's Archive field was preset to a different name.
+	_, cl := start(t, 2)
+	ar, err := archive.NewBuilder("real.jar", "test.Noop").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := cl.CreateJob("mismatch", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec("pkg", "test.Noop", nil)
+	s.Archive = "alias.jar" // preset, differs from ar.Name
+	if err := j.CreateTask(s, ar); err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run(ctxT(t))
+	if err != nil || res.Failed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}

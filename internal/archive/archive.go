@@ -16,7 +16,6 @@ import (
 	"io"
 	"sort"
 	"strings"
-	stdsync "sync"
 )
 
 // ManifestName is the well-known path of the manifest entry inside an
@@ -92,6 +91,8 @@ type Archive struct {
 	Files map[string][]byte
 	// raw holds the serialized zip bytes (the unit of upload).
 	raw []byte
+	// digest is the hex SHA-256 of raw, computed once at Build/Open time.
+	digest string
 }
 
 // Builder assembles an archive.
@@ -171,19 +172,25 @@ func (b *Builder) Build() (*Archive, error) {
 		Manifest: b.manifest,
 		Files:    b.files,
 		raw:      buf.Bytes(),
+		digest:   DigestBytes(buf.Bytes()),
 	}, nil
+}
+
+// DigestBytes is the hex SHA-256 of serialized archive bytes — the
+// content address used end to end by the distribution protocol.
+func DigestBytes(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
 }
 
 // Bytes returns the serialized zip content — the unit the JobManager uploads
 // to a TaskManager.
 func (a *Archive) Bytes() []byte { return a.raw }
 
-// Digest returns the hex SHA-256 of the serialized archive; the TaskManager
-// verifies it after upload.
-func (a *Archive) Digest() string {
-	sum := sha256.Sum256(a.raw)
-	return hex.EncodeToString(sum[:])
-}
+// Digest returns the hex SHA-256 of the serialized archive — its content
+// address; the TaskManager verifies it after upload. Build and Open
+// precompute it, so reads are safe from any goroutine.
+func (a *Archive) Digest() string { return a.digest }
 
 // File returns a resource entry's content, or an error if absent.
 func (a *Archive) File(path string) ([]byte, error) {
@@ -201,6 +208,7 @@ func Open(name string, raw []byte) (*Archive, error) {
 		return nil, fmt.Errorf("archive: open %q: %w", name, err)
 	}
 	a := &Archive{Name: name, Files: make(map[string][]byte), raw: append([]byte(nil), raw...)}
+	a.digest = DigestBytes(a.raw)
 	var sawManifest bool
 	for _, f := range zr.File {
 		rc, err := f.Open()
@@ -227,62 +235,4 @@ func Open(name string, raw []byte) (*Archive, error) {
 		return nil, fmt.Errorf("archive: open %q: missing %s", name, ManifestName)
 	}
 	return a, nil
-}
-
-// Store is a concurrent-safe set of archives keyed by name; both
-// JobManagers (outbound) and TaskManagers (received uploads) hold one.
-type Store struct {
-	mu       stdsync.RWMutex
-	archives map[string]*Archive
-}
-
-// NewStore returns an empty archive store.
-func NewStore() *Store {
-	return &Store{archives: make(map[string]*Archive)}
-}
-
-// Put stores an archive, replacing any previous archive with the same name
-// only when the digests match; conflicting content is an error.
-func (s *Store) Put(a *Archive) error {
-	if a == nil || a.Name == "" {
-		return fmt.Errorf("archive: store: nil or unnamed archive")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.archives[a.Name]; ok && prev.Digest() != a.Digest() {
-		return fmt.Errorf("archive: store: %q already present with different digest", a.Name)
-	}
-	s.archives[a.Name] = a
-	return nil
-}
-
-// Get returns the named archive.
-func (s *Store) Get(name string) (*Archive, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.archives[name]
-	if !ok {
-		return nil, fmt.Errorf("archive: store: %q not found", name)
-	}
-	return a, nil
-}
-
-// Has reports whether the named archive is stored.
-func (s *Store) Has(name string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.archives[name]
-	return ok
-}
-
-// Names returns the sorted archive names.
-func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.archives))
-	for n := range s.archives {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
 }

@@ -3,6 +3,7 @@ package archive
 import (
 	"archive/zip"
 	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -144,76 +145,6 @@ func TestAddFileCopiesContent(t *testing.T) {
 	}
 }
 
-func TestStorePutGet(t *testing.T) {
-	s := NewStore()
-	a := buildSample(t)
-	if err := s.Put(a); err != nil {
-		t.Fatal(err)
-	}
-	if !s.Has("tctask.jar") {
-		t.Error("Has = false")
-	}
-	got, err := s.Get("tctask.jar")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Digest() != a.Digest() {
-		t.Error("Get returned different archive")
-	}
-	// Re-putting identical content is fine.
-	if err := s.Put(a); err != nil {
-		t.Errorf("idempotent Put failed: %v", err)
-	}
-}
-
-func TestStoreConflict(t *testing.T) {
-	s := NewStore()
-	a, err := NewBuilder("x.jar", "c.A").Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewBuilder("x.jar", "c.B").AddFile("extra", []byte("y")).Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Put(a); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Put(b); err == nil {
-		t.Error("conflicting Put should fail")
-	}
-}
-
-func TestStoreErrors(t *testing.T) {
-	s := NewStore()
-	if err := s.Put(nil); err == nil {
-		t.Error("Put(nil) should fail")
-	}
-	if _, err := s.Get("nope"); err == nil {
-		t.Error("Get of absent archive should fail")
-	}
-	if s.Has("nope") {
-		t.Error("Has of absent archive")
-	}
-}
-
-func TestStoreNamesSorted(t *testing.T) {
-	s := NewStore()
-	for _, n := range []string{"z.jar", "a.jar", "m.jar"} {
-		a, err := NewBuilder(n, "c.X").Build()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := s.Put(a); err != nil {
-			t.Fatal(err)
-		}
-	}
-	names := s.Names()
-	if len(names) != 3 || names[0] != "a.jar" || names[2] != "z.jar" {
-		t.Errorf("Names = %v", names)
-	}
-}
-
 func TestRoundTripProperty(t *testing.T) {
 	f := func(class string, file string, content []byte) bool {
 		if class == "" || file == "" || file == ManifestName ||
@@ -237,5 +168,58 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCacheDedupAndLRUEviction(t *testing.T) {
+	build := func(n int) *Archive {
+		a, err := NewBuilder(fmt.Sprintf("a%d.jar", n), "cls").
+			AddFile("payload", bytes.Repeat([]byte{byte(n)}, 1024)).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a1, a2, a3 := build(1), build(2), build(3)
+	budget := int64(len(a1.Bytes()) + len(a2.Bytes()) + 10)
+	c := NewCacheSize(budget) // room for two entries
+
+	if err := c.Put(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(a1); err != nil { // idempotent re-insert
+		t.Fatal(err)
+	}
+	if c.Transfers() != 1 || c.Len() != 1 {
+		t.Fatalf("transfers=%d len=%d after duplicate put", c.Transfers(), c.Len())
+	}
+	if err := c.Put(a2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has(a1.Digest()) { // refresh a1's recency; a2 is now LRU
+		t.Fatal("a1 missing")
+	}
+	if err := c.Put(a3); err != nil { // exceeds budget -> evict a2
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(a2.Digest()); ok {
+		t.Error("a2 survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get(a1.Digest()); !ok {
+		t.Error("a1 evicted despite recent use")
+	}
+	if _, ok := c.Get(a3.Digest()); !ok {
+		t.Error("a3 (newest) evicted")
+	}
+	if c.SizeBytes() > budget {
+		t.Errorf("size %d exceeds budget %d", c.SizeBytes(), budget)
+	}
+	// Re-inserting an evicted digest counts as a new transfer (it must be
+	// re-fetched over the wire).
+	if err := c.Put(a2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Transfers() != 4 {
+		t.Errorf("transfers = %d, want 4", c.Transfers())
 	}
 }

@@ -1,0 +1,129 @@
+package archive
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultCacheBytes bounds a node's blob cache when NewCache is used
+// directly: enough for hundreds of real task archives, small enough that
+// a long-lived TaskManager fed a fresh archive digest per CI run does not
+// grow without bound.
+const DefaultCacheBytes = 256 << 20
+
+// Cache is a content-addressed archive store keyed by digest — the
+// TaskManager's node-local blob cache shared across tasks and jobs. Two
+// tasks (of the same job or of different jobs) referencing the same digest
+// hit the same entry, so a node pays for each distinct archive at most
+// once no matter how many tasks use it. The cache holds at most maxBytes
+// of serialized archive data, evicting the least-recently-used digests;
+// an evicted digest is simply re-fetched on its next reference.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	byDigest map[string]*list.Element
+	lru      *list.List // front = most recently used; values are *Archive
+	puts     int64
+	hits     int64
+}
+
+// NewCache returns an empty blob cache bounded by DefaultCacheBytes.
+func NewCache() *Cache { return NewCacheSize(DefaultCacheBytes) }
+
+// NewCacheSize returns an empty blob cache bounded by maxBytes
+// (<= 0 selects DefaultCacheBytes).
+func NewCacheSize(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		byDigest: make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Put stores an archive under its digest. Storing the same content twice
+// is an idempotent no-op; only the first insertion counts as a transfer.
+// Inserting past the byte budget evicts least-recently-used entries (the
+// new entry itself is always kept, even when it alone exceeds the budget).
+func (c *Cache) Put(a *Archive) error {
+	if a == nil {
+		return fmt.Errorf("archive: cache: nil archive")
+	}
+	d := a.Digest()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byDigest[d]; ok {
+		c.lru.MoveToFront(el)
+		return nil
+	}
+	c.byDigest[d] = c.lru.PushFront(a)
+	c.curBytes += int64(len(a.Bytes()))
+	c.puts++
+	for c.curBytes > c.maxBytes && c.lru.Len() > 1 {
+		oldest := c.lru.Back()
+		victim := oldest.Value.(*Archive)
+		c.lru.Remove(oldest)
+		delete(c.byDigest, victim.Digest())
+		c.curBytes -= int64(len(victim.Bytes()))
+	}
+	return nil
+}
+
+// Get returns the archive stored under digest, refreshing its recency.
+func (c *Cache) Get(digest string) (*Archive, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byDigest[digest]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*Archive), true
+}
+
+// Has reports whether the digest is cached, counting a hit (and
+// refreshing recency) when it is — the negotiation's "no transfer needed"
+// outcome.
+func (c *Cache) Has(digest string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byDigest[digest]
+	if ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+	}
+	return ok
+}
+
+// Len returns the number of distinct blobs cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byDigest)
+}
+
+// SizeBytes returns the cached archives' total serialized size.
+func (c *Cache) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// Transfers returns how many distinct blobs were ever inserted — the
+// node's archive-bytes-on-the-wire figure benchmarks assert on.
+func (c *Cache) Transfers() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.puts
+}
+
+// Hits returns how many Has probes found their digest already cached.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cn/internal/metrics"
+	"cn/internal/placement"
 	"cn/internal/server"
 	"cn/internal/task"
 	"cn/internal/transport"
@@ -44,6 +45,12 @@ type Config struct {
 	Seed    int64
 	// Registry resolves task classes on every node (nil = task.Global).
 	Registry *task.Registry
+	// PlacementTTL bounds each JobManager's cached TaskManager offers
+	// (0 = placement default; negative disables offer caching).
+	PlacementTTL time.Duration
+	// TombstoneTTL bounds finished-job tombstone retention per JobManager
+	// (0 = jobmgr default; negative keeps tombstones forever).
+	TombstoneTTL time.Duration
 	// Logf receives server diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -88,11 +95,13 @@ func Start(cfg Config) (*Cluster, error) {
 	for i := 1; i <= cfg.Nodes; i++ {
 		name := fmt.Sprintf("%s%d", cfg.NodePrefix, i)
 		srv, err := server.Start(net, server.Config{
-			Node:     name,
-			MemoryMB: cfg.MemoryMB,
-			MaxJobs:  cfg.MaxJobs,
-			Registry: cfg.Registry,
-			Logf:     cfg.Logf,
+			Node:         name,
+			MemoryMB:     cfg.MemoryMB,
+			MaxJobs:      cfg.MaxJobs,
+			Registry:     cfg.Registry,
+			PlacementTTL: cfg.PlacementTTL,
+			TombstoneTTL: cfg.TombstoneTTL,
+			Logf:         cfg.Logf,
 		})
 		if err != nil {
 			c.Stop()
@@ -123,6 +132,34 @@ func (c *Cluster) Nodes() []string {
 
 // Server returns the named node's server, or nil after it was killed.
 func (c *Cluster) Server(node string) *server.Server { return c.servers[node] }
+
+// PlacementStats sums every live JobManager's resource-directory counters.
+func (c *Cluster) PlacementStats() placement.Stats {
+	var agg placement.Stats
+	for _, name := range c.order {
+		srv, ok := c.servers[name]
+		if !ok {
+			continue
+		}
+		s := srv.JobManager().PlacementStats()
+		agg.SolicitRounds += s.SolicitRounds
+		agg.CacheHits += s.CacheHits
+		agg.Invalidations += s.Invalidations
+	}
+	return agg
+}
+
+// BlobTransfers sums every live TaskManager's distinct archive-blob
+// insertions — the cluster's archive-bytes-on-the-wire figure.
+func (c *Cluster) BlobTransfers() int64 {
+	var n int64
+	for _, name := range c.order {
+		if srv, ok := c.servers[name]; ok {
+			n += srv.TaskManager().BlobCache().Transfers()
+		}
+	}
+	return n
+}
 
 // KillNode abruptly removes a node from the cluster (failure injection):
 // its endpoint detaches and its managers stop. Messages in flight to the

@@ -3,11 +3,12 @@ package jobmgr
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
+	"cn/internal/archive"
 	"cn/internal/msg"
+	"cn/internal/placement"
 	"cn/internal/protocol"
 	"cn/internal/task"
 	"cn/internal/transport"
@@ -31,9 +32,21 @@ type Config struct {
 	// SolicitRetries is how many times placement is retried when no
 	// TaskManager offers or the chosen one rejects (0 = 3).
 	SolicitRetries int
+	// PlacementTTL bounds how long cached TaskManager offers back placement
+	// decisions before a fresh solicitation round (0 = placement.DefaultTTL;
+	// negative disables offer caching entirely).
+	PlacementTTL time.Duration
+	// TombstoneTTL bounds how long finished jobs linger as tombstones for
+	// late message routing before eviction (0 = 5m; negative keeps them
+	// forever, the pre-eviction behavior).
+	TombstoneTTL time.Duration
 	// Logf receives diagnostic lines; nil disables logging.
 	Logf func(format string, args ...any)
 }
+
+// DefaultTombstoneTTL is how long finished jobs stay routable when
+// Config.TombstoneTTL is zero.
+const DefaultTombstoneTTL = 5 * time.Minute
 
 // FreeMemFunc reports the node's current free task-execution memory; the
 // server wires the TaskManager's gauge in so JM offers are truthful.
@@ -54,9 +67,17 @@ type jobState struct {
 	mu        sync.Mutex
 	specs     map[string]*task.Spec
 	placement map[string]string // task -> node
-	schedule  *Schedule
-	started   bool
-	notified  bool
+	// blobs holds the job's archive bytes by digest until the job starts,
+	// serving TaskManager KindFetchBlob pulls during assignment.
+	blobs      map[string][]byte
+	schedule   *Schedule
+	started    bool
+	notified   bool
+	finishedAt time.Time // set when notified turns true; drives eviction
+	// idleSince is refreshed by job creation and every task-creation
+	// request; an unstarted job idle past the TTL is treated as abandoned
+	// (a client that timed out or died mid-composition) and evicted.
+	idleSince time.Time
 	taskErrs  map[string]string
 }
 
@@ -66,6 +87,8 @@ type JobManager struct {
 	send    SendFunc
 	caller  *transport.Caller
 	freeMem FreeMemFunc
+	dir     *placement.Directory
+	stop    chan struct{}
 
 	mu     sync.Mutex
 	jobs   map[string]*jobState
@@ -92,12 +115,117 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 	if freeMem == nil {
 		freeMem = func() int { return cfg.MemoryMB }
 	}
-	return &JobManager{
+	if cfg.TombstoneTTL == 0 {
+		cfg.TombstoneTTL = DefaultTombstoneTTL
+	}
+	jm := &JobManager{
 		cfg:     cfg,
 		send:    send,
 		caller:  caller,
 		freeMem: freeMem,
+		stop:    make(chan struct{}),
 		jobs:    make(map[string]*jobState),
+	}
+	jm.dir = placement.NewDirectory(placement.Config{
+		TTL:     cfg.PlacementTTL,
+		Solicit: jm.solicitOffers,
+	})
+	if cfg.TombstoneTTL > 0 {
+		jm.wg.Add(1)
+		go jm.janitor()
+	}
+	return jm
+}
+
+// solicitOffers performs one multicast solicitation round over the
+// TaskManager group — the placement directory's refresh path. The probe
+// spec requests no memory so every live TaskManager advertises its true
+// free figure; filtering happens in the planner against those figures.
+func (jm *JobManager) solicitOffers() ([]protocol.TMOffer, error) {
+	probe := protocol.TaskSolicitReq{Spec: &task.Spec{Name: "placement-probe", Class: "*"}}
+	sm := protocol.Body(msg.KindTaskSolicit,
+		msg.Address{Node: jm.cfg.Node},
+		msg.Address{},
+		probe)
+	replies, err := jm.caller.GatherGroup(protocol.GroupTaskManagers, sm, jm.cfg.SolicitWindow)
+	if err != nil {
+		return nil, fmt.Errorf("jobmgr %s: solicit task managers: %w", jm.cfg.Node, err)
+	}
+	offers := make([]protocol.TMOffer, 0, len(replies))
+	for _, r := range replies {
+		var o protocol.TMOffer
+		if err := protocol.Decode(r, &o); err == nil {
+			offers = append(offers, o)
+		}
+	}
+	return offers, nil
+}
+
+// PlacementStats exposes the resource directory's counters (benchmarks,
+// metrics).
+func (jm *JobManager) PlacementStats() placement.Stats { return jm.dir.Stats() }
+
+// janitor evicts finished-job tombstones past the TTL so a long-lived
+// JobManager's memory stops growing with its job history.
+func (jm *JobManager) janitor() {
+	defer jm.wg.Done()
+	sweep := jm.cfg.TombstoneTTL / 4
+	if sweep < 10*time.Millisecond {
+		sweep = 10 * time.Millisecond
+	}
+	if sweep > time.Minute {
+		sweep = time.Minute
+	}
+	ticker := time.NewTicker(sweep)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-jm.stop:
+			return
+		case now := <-ticker.C:
+			jm.evictTombstones(now)
+		}
+	}
+}
+
+// evictTombstones forgets finished jobs older than the tombstone TTL and
+// unstarted jobs whose composition went idle past the same TTL (abandoned
+// by a client that timed out or died); their queues close so the per-job
+// workers exit, and their stashed archive blobs are freed with them.
+func (jm *JobManager) evictTombstones(now time.Time) {
+	jm.mu.Lock()
+	var expired []*jobState
+	abandonedNodes := make(map[*jobState]map[string]bool)
+	for id, j := range jm.jobs {
+		j.mu.Lock()
+		finished := j.notified && !j.finishedAt.IsZero() && now.Sub(j.finishedAt) >= jm.cfg.TombstoneTTL
+		abandoned := !j.notified && !j.started && now.Sub(j.idleSince) >= jm.cfg.TombstoneTTL
+		if finished || abandoned {
+			expired = append(expired, j)
+			delete(jm.jobs, id)
+			if abandoned {
+				abandonedNodes[j] = nodeSet(j.placement)
+			}
+		}
+		j.mu.Unlock()
+	}
+	jm.mu.Unlock()
+	for _, j := range expired {
+		// An abandoned job still holds unstarted assignments (and their
+		// memory reservations) on its placement nodes; cancel them before
+		// the record — and with it the only route to those nodes — is
+		// forgotten.
+		for node := range abandonedNodes[j] {
+			cm := protocol.Body(msg.KindCancelJob,
+				msg.Address{Node: jm.cfg.Node, Job: j.id},
+				msg.Address{Node: node, Job: j.id},
+				protocol.CancelJobReq{JobID: j.id, Reason: "job abandoned"})
+			if err := jm.send(node, cm); err != nil {
+				jm.logf("job %s: release abandoned tasks on %s: %v", j.id, node, err)
+			}
+		}
+		j.queue.Close()
+		jm.logf("job %s evicted (tombstone or abandoned)", j.id)
 	}
 }
 
@@ -166,7 +294,9 @@ func (jm *JobManager) HandleSolicit(m *msg.Message) *msg.Message {
 	if req.MinMemoryMB > 0 && free < req.MinMemoryMB {
 		return nil
 	}
-	offer := protocol.JMOffer{Node: jm.cfg.Node, FreeMemoryMB: free, ActiveJobs: len(jm.jobs)}
+	// Advertise live jobs only: the jobs map also holds finished-job
+	// tombstones, which would overstate load and skew client selection.
+	offer := protocol.JMOffer{Node: jm.cfg.Node, FreeMemoryMB: free, ActiveJobs: jm.activeLocked()}
 	return m.Reply(msg.KindJobManagerOffer, msg.MustEncode(offer))
 }
 
@@ -194,6 +324,8 @@ func (jm *JobManager) HandleCreateJob(m *msg.Message) *msg.Message {
 		queue:      msg.NewMailbox(jobQueueCap),
 		specs:      make(map[string]*task.Spec),
 		placement:  make(map[string]string),
+		blobs:      make(map[string][]byte),
+		idleSince:  time.Now(),
 		taskErrs:   make(map[string]string),
 	}
 	jm.jobs[id] = j
@@ -220,10 +352,11 @@ func (jm *JobManager) job(id string) (*jobState, error) {
 	return j, nil
 }
 
-// HandleCreateTask processes KindCreateTask: solicit TaskManagers via
-// multicast, pick one, upload the archive, record the placement. It blocks
-// on the solicitation round trips and must run outside the endpoint's
-// dispatch goroutine.
+// HandleCreateTask processes KindCreateTask — the per-task path kept for
+// protocol compatibility. It is a one-element batch: the inline archive
+// bytes become a content-addressed blob and the shared placement engine
+// does the rest. It blocks on solicitation round trips and must run
+// outside the endpoint's dispatch goroutine.
 func (jm *JobManager) HandleCreateTask(m *msg.Message) *msg.Message {
 	var req protocol.CreateTaskReq
 	if err := protocol.Decode(m, &req); err != nil {
@@ -233,109 +366,346 @@ func (jm *JobManager) HandleCreateTask(m *msg.Message) *msg.Message {
 	if err != nil {
 		return jm.errReply(m, err.Error())
 	}
-	if err := req.Spec.Validate(); err != nil {
-		return jm.errReply(m, err.Error())
+	item := protocol.TaskCreate{Spec: req.Spec}
+	blobs := map[string][]byte(nil)
+	if len(req.Archive) > 0 {
+		digest := req.Digest
+		if digest == "" {
+			digest = archive.DigestBytes(req.Archive)
+		}
+		item.Archive = protocol.ArchiveRef{Name: req.ArchiveName, Digest: digest}
+		blobs = map[string][]byte{digest: req.Archive}
+	} else if req.Digest != "" {
+		// Digest-only reference: the blob must already be cached on the
+		// TaskManager or stashed with this JobManager by a prior request.
+		item.Archive = protocol.ArchiveRef{Name: req.ArchiveName, Digest: req.Digest}
 	}
-	j.mu.Lock()
-	if j.notified {
-		j.mu.Unlock()
-		return jm.errReply(m, fmt.Sprintf("job %s already finished", j.id))
-	}
-	if j.started {
-		j.mu.Unlock()
-		return jm.errReply(m, fmt.Sprintf("job %s already started", j.id))
-	}
-	if _, dup := j.specs[req.Spec.Name]; dup {
-		j.mu.Unlock()
-		return jm.errReply(m, fmt.Sprintf("task %q already created", req.Spec.Name))
-	}
-	j.mu.Unlock()
-
-	node, err := jm.place(j, &req)
+	placements, err := jm.createTasks(j, []protocol.TaskCreate{item}, blobs)
 	if err != nil {
 		return jm.errReply(m, err.Error())
 	}
-
-	j.mu.Lock()
-	j.specs[req.Spec.Name] = req.Spec
-	j.placement[req.Spec.Name] = node
-	j.mu.Unlock()
-	jm.logf("job %s: task %q placed on %s", j.id, req.Spec.Name, node)
-	return m.Reply(msg.KindTaskAccepted, msg.MustEncode(protocol.CreateTaskResp{Placement: node}))
+	return m.Reply(msg.KindTaskAccepted, msg.MustEncode(protocol.CreateTaskResp{Placement: placements[req.Spec.Name]}))
 }
 
-// place solicits TaskManagers and uploads the archive to the best offer:
-// "The JobManager solicits TaskManager for the Tasks ... If a willing
-// TaskManager is found the JobManager will upload the JAR file to that
-// TaskManager."
-func (jm *JobManager) place(j *jobState, req *protocol.CreateTaskReq) (string, error) {
-	solicit := protocol.TaskSolicitReq{JobID: j.id, Spec: req.Spec}
-	var lastErr error
-	for attempt := 0; attempt < jm.cfg.SolicitRetries; attempt++ {
-		sm := protocol.Body(msg.KindTaskSolicit,
-			msg.Address{Node: jm.cfg.Node, Job: j.id},
-			msg.Address{},
-			solicit)
-		replies, err := jm.caller.GatherGroup(protocol.GroupTaskManagers, sm, jm.cfg.SolicitWindow)
-		if err != nil {
-			return "", fmt.Errorf("jobmgr %s: solicit task managers: %w", jm.cfg.Node, err)
+// HandleCreateTasks processes KindCreateTasks: place an entire task set in
+// one solicitation round, dispatching batched assignments to the chosen
+// nodes in parallel. It blocks and must run outside the endpoint's
+// dispatch goroutine.
+func (jm *JobManager) HandleCreateTasks(m *msg.Message) *msg.Message {
+	var req protocol.CreateTasksReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return jm.errReply(m, fmt.Sprintf("bad create-tasks request: %v", err))
+	}
+	j, err := jm.job(req.JobID)
+	if err != nil {
+		return jm.errReply(m, err.Error())
+	}
+	if len(req.Tasks) == 0 {
+		return jm.errReply(m, "create-tasks request carries no tasks")
+	}
+	placements, err := jm.createTasks(j, req.Tasks, req.Blobs)
+	if err != nil {
+		return jm.errReply(m, err.Error())
+	}
+	return m.Reply(msg.KindTasksAccepted, msg.MustEncode(protocol.CreateTasksResp{Placements: placements}))
+}
+
+// createTasks validates, places, and records a batch of tasks — the shared
+// engine behind both the batch and the per-task wire paths.
+func (jm *JobManager) createTasks(j *jobState, items []protocol.TaskCreate, blobs map[string][]byte) (map[string]string, error) {
+	inBatch := make(map[string]bool, len(items))
+	for _, it := range items {
+		if it.Spec == nil {
+			return nil, fmt.Errorf("jobmgr %s: job %s: task without a spec", jm.cfg.Node, j.id)
 		}
-		offers := make([]protocol.TMOffer, 0, len(replies))
-		for _, r := range replies {
-			var o protocol.TMOffer
-			if err := protocol.Decode(r, &o); err == nil {
-				offers = append(offers, o)
-			}
+		if err := it.Spec.Validate(); err != nil {
+			return nil, err
 		}
-		if len(offers) == 0 {
-			lastErr = fmt.Errorf("jobmgr %s: no TaskManager offered to run task %q", jm.cfg.Node, req.Spec.Name)
-			continue
+		if inBatch[it.Spec.Name] {
+			return nil, fmt.Errorf("jobmgr %s: job %s: task %q appears twice in batch", jm.cfg.Node, j.id, it.Spec.Name)
 		}
-		// Best fit: most free memory, ties broken by fewest running tasks,
-		// then by node name for determinism.
-		sort.Slice(offers, func(a, b int) bool {
-			if offers[a].FreeMemoryMB != offers[b].FreeMemoryMB {
-				return offers[a].FreeMemoryMB > offers[b].FreeMemoryMB
-			}
-			if offers[a].RunningTasks != offers[b].RunningTasks {
-				return offers[a].RunningTasks < offers[b].RunningTasks
-			}
-			return offers[a].Node < offers[b].Node
-		})
-		for _, offer := range offers {
-			assign := protocol.AssignTaskReq{
-				JobID:       j.id,
-				JobManager:  jm.cfg.Node,
-				ClientNode:  j.clientNode,
-				Spec:        req.Spec,
-				ArchiveName: req.ArchiveName,
-				Archive:     req.Archive,
-				Digest:      req.Digest,
-			}
-			am := protocol.Body(msg.KindUploadJar,
-				msg.Address{Node: jm.cfg.Node, Job: j.id},
-				msg.Address{Node: offer.Node},
-				assign)
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			reply, err := jm.caller.Call(ctx, offer.Node, am)
-			cancel()
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			var resp protocol.AssignTaskResp
-			if err := protocol.Decode(reply, &resp); err != nil {
-				lastErr = err
-				continue
-			}
-			if !resp.OK {
-				lastErr = fmt.Errorf("jobmgr %s: %s rejected task %q: %s", jm.cfg.Node, offer.Node, req.Spec.Name, resp.Reason)
-				continue
-			}
-			return offer.Node, nil
+		inBatch[it.Spec.Name] = true
+	}
+	j.mu.Lock()
+	j.idleSince = time.Now()
+	if j.notified {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("job %s already finished", j.id)
+	}
+	if j.started {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("job %s already started", j.id)
+	}
+	for _, it := range items {
+		if _, dup := j.specs[it.Spec.Name]; dup {
+			j.mu.Unlock()
+			return nil, fmt.Errorf("task %q already created", it.Spec.Name)
 		}
 	}
-	return "", fmt.Errorf("jobmgr %s: placement of %q failed: %w", jm.cfg.Node, req.Spec.Name, lastErr)
+	// Stash archive bytes (each distinct digest once) so the chosen
+	// TaskManagers can pull what they lack.
+	for digest, raw := range blobs {
+		if _, ok := j.blobs[digest]; !ok {
+			j.blobs[digest] = raw
+		}
+	}
+	j.mu.Unlock()
+
+	placements, err := jm.placeBatch(j, items)
+	j.mu.Lock()
+	j.idleSince = time.Now()
+	if err != nil {
+		j.mu.Unlock()
+		return nil, err
+	}
+	// Re-check the job's state: placement ran unlocked (it blocks on
+	// round trips), so a concurrent cancel/start — whose cancel fan-out
+	// read the placement map before this batch was in it — or a racing
+	// same-name batch may have won. Recording now would leak the batch's
+	// reservations; roll them back instead.
+	if j.notified || j.started {
+		state := "finished"
+		if j.started && !j.notified {
+			state = "started"
+		}
+		j.mu.Unlock()
+		jm.releaseBatch(j, placements, "job "+state+" during placement")
+		return nil, fmt.Errorf("job %s already %s", j.id, state)
+	}
+	for _, it := range items {
+		if _, dup := j.specs[it.Spec.Name]; dup {
+			j.mu.Unlock()
+			jm.releaseBatch(j, placements, "duplicate task in concurrent batch")
+			return nil, fmt.Errorf("task %q already created", it.Spec.Name)
+		}
+	}
+	for _, it := range items {
+		j.specs[it.Spec.Name] = it.Spec
+		j.placement[it.Spec.Name] = placements[it.Spec.Name]
+	}
+	j.mu.Unlock()
+	jm.logf("job %s: placed %d tasks on %d nodes", j.id, len(items), distinctNodes(placements))
+	return placements, nil
+}
+
+func distinctNodes(placements map[string]string) int { return len(nodeSet(placements)) }
+
+// placeBatch places a task set: one offer round from the resource
+// directory (cached when fresh), a bin-packing plan against the offered
+// free-memory figures, then parallel batched assignments to the chosen
+// nodes. Rejected or unplaceable tasks are retried on later rounds after
+// invalidating the offending offers.
+func (jm *JobManager) placeBatch(j *jobState, items []protocol.TaskCreate) (map[string]string, error) {
+	byName := make(map[string]protocol.TaskCreate, len(items))
+	specs := make([]*task.Spec, len(items))
+	for i, it := range items {
+		byName[it.Spec.Name] = it
+		specs[i] = it.Spec
+	}
+	placements := make(map[string]string, len(items))
+	remaining := specs
+	// Nodes whose assignment call timed out have a best-effort release in
+	// flight naming this batch's tasks; retrying the same names there
+	// could race the release against the retry, so they are out for the
+	// rest of this batch (later batches use different names and may
+	// choose them again).
+	excluded := make(map[string]bool)
+	var exclMu sync.Mutex
+	var lastErr error
+	for attempt := 0; attempt < jm.cfg.SolicitRetries && len(remaining) > 0; attempt++ {
+		offers, err := jm.dir.Offers()
+		if err != nil {
+			return nil, err
+		}
+		exclMu.Lock()
+		usable := offers[:0:0]
+		for _, o := range offers {
+			if !excluded[o.Node] {
+				usable = append(usable, o)
+			}
+		}
+		exclMu.Unlock()
+		offers = usable
+		if len(offers) == 0 {
+			lastErr = fmt.Errorf("jobmgr %s: no TaskManager offered to host tasks", jm.cfg.Node)
+			continue
+		}
+		plan, unplaced := placement.Plan(remaining, offers)
+		if len(unplaced) > 0 {
+			lastErr = placement.UnplacedError(unplaced)
+			// The cached figures may undersell the cluster; force a fresh
+			// round before the next attempt.
+			for _, o := range offers {
+				jm.dir.Invalidate(o.Node)
+			}
+		}
+
+		var mu sync.Mutex
+		var retry []*task.Spec
+		var wg sync.WaitGroup
+		for node, nodeSpecs := range plan {
+			nodeItems := make([]protocol.TaskCreate, len(nodeSpecs))
+			for i, sp := range nodeSpecs {
+				nodeItems[i] = byName[sp.Name]
+			}
+			wg.Add(1)
+			go func(node string, nodeItems []protocol.TaskCreate) {
+				defer wg.Done()
+				resp, err := jm.assignBatch(j, node, nodeItems)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					// The call failed or timed out, but the TaskManager
+					// may still have accepted the batch. Before retrying
+					// the items elsewhere, send a targeted best-effort
+					// release so an accepted-but-unacknowledged batch
+					// cannot double-book memory on two nodes.
+					taskNames := make([]string, len(nodeItems))
+					for i, it := range nodeItems {
+						taskNames[i] = it.Spec.Name
+					}
+					rm := protocol.Body(msg.KindCancelJob,
+						msg.Address{Node: jm.cfg.Node, Job: j.id},
+						msg.Address{Node: node, Job: j.id},
+						protocol.CancelJobReq{JobID: j.id, Reason: "assignment unacknowledged", Tasks: taskNames})
+					if serr := jm.send(node, rm); serr != nil {
+						jm.logf("job %s: release unacknowledged batch on %s: %v", j.id, node, serr)
+					}
+					exclMu.Lock()
+					excluded[node] = true
+					exclMu.Unlock()
+					jm.dir.Invalidate(node)
+					lastErr = fmt.Errorf("jobmgr %s: assign to %s: %w", jm.cfg.Node, node, err)
+					for _, it := range nodeItems {
+						retry = append(retry, it.Spec)
+					}
+					return
+				}
+				if reason, whole := resp.Rejected[protocol.BatchRejected]; whole {
+					// The TaskManager could not process the batch at all
+					// (e.g. a decode failure): nothing was assigned there.
+					jm.dir.Invalidate(node)
+					lastErr = fmt.Errorf("jobmgr %s: %s rejected batch: %s", jm.cfg.Node, node, reason)
+					for _, it := range nodeItems {
+						retry = append(retry, it.Spec)
+					}
+					return
+				}
+				acceptedMB, accepted := 0, 0
+				for _, it := range nodeItems {
+					if reason, bad := resp.Rejected[it.Spec.Name]; bad {
+						lastErr = fmt.Errorf("jobmgr %s: %s rejected task %q: %s", jm.cfg.Node, node, it.Spec.Name, reason)
+						retry = append(retry, it.Spec)
+						continue
+					}
+					placements[it.Spec.Name] = node
+					acceptedMB += it.Spec.Req.MemoryMB
+					accepted++
+				}
+				if len(resp.Rejected) > 0 {
+					// The node's advertised capacity was wrong; it must
+					// re-offer before being chosen again.
+					jm.dir.Invalidate(node)
+				} else if accepted > 0 {
+					jm.dir.Reserve(node, acceptedMB, accepted)
+				}
+			}(node, nodeItems)
+		}
+		wg.Wait()
+		remaining = append(retry, unplaced...)
+	}
+	if len(remaining) > 0 {
+		// Roll back what the batch did manage to reserve: a targeted
+		// cancel names only this batch's tasks, so the job's previously
+		// created assignments on the same nodes survive while the failed
+		// batch's memory is released instead of leaking until restart.
+		jm.releaseBatch(j, placements, "batch placement failed")
+		names := make([]string, len(remaining))
+		for i, sp := range remaining {
+			names[i] = sp.Name
+		}
+		return nil, fmt.Errorf("jobmgr %s: placement of %v failed: %w", jm.cfg.Node, names, lastErr)
+	}
+	return placements, nil
+}
+
+// releaseBatch sends each node a targeted cancel for a batch's placed
+// tasks, freeing their unstarted reservations without touching the job's
+// other assignments, and invalidates the nodes' cached offers.
+func (jm *JobManager) releaseBatch(j *jobState, placements map[string]string, reason string) {
+	byNode := make(map[string][]string)
+	for taskName, node := range placements {
+		byNode[node] = append(byNode[node], taskName)
+	}
+	for node, taskNames := range byNode {
+		cm := protocol.Body(msg.KindCancelJob,
+			msg.Address{Node: jm.cfg.Node, Job: j.id},
+			msg.Address{Node: node, Job: j.id},
+			protocol.CancelJobReq{JobID: j.id, Reason: reason, Tasks: taskNames})
+		if err := jm.send(node, cm); err != nil {
+			jm.logf("job %s: release batch on %s (%s): %v", j.id, node, reason, err)
+		}
+		jm.dir.Invalidate(node)
+	}
+}
+
+func nodeSet(placements map[string]string) map[string]bool {
+	nodes := make(map[string]bool, len(placements))
+	for _, n := range placements {
+		nodes[n] = true
+	}
+	return nodes
+}
+
+// assignBatch sends one node its share of the plan and decodes the result.
+func (jm *JobManager) assignBatch(j *jobState, node string, items []protocol.TaskCreate) (*protocol.AssignTasksResp, error) {
+	req := protocol.AssignTasksReq{
+		JobID:      j.id,
+		JobManager: jm.cfg.Node,
+		ClientNode: j.clientNode,
+		Items:      items,
+	}
+	am := protocol.Body(msg.KindAssignTasks,
+		msg.Address{Node: jm.cfg.Node, Job: j.id},
+		msg.Address{Node: node, Job: j.id},
+		req)
+	// The window covers the assignment round trip plus the TaskManager's
+	// possible blob fetch back to this JobManager. It must stay well under
+	// the client's call timeout (10s default) so one dead node costs a
+	// retry, not the whole client call.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reply, err := jm.caller.Call(ctx, node, am)
+	if err != nil {
+		return nil, err
+	}
+	var resp protocol.AssignTasksResp
+	if err := protocol.Decode(reply, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// HandleFetchBlob answers a TaskManager's KindFetchBlob pull with the
+// job's stashed archive bytes. Digests this JobManager does not hold are
+// simply absent from the reply.
+func (jm *JobManager) HandleFetchBlob(m *msg.Message) *msg.Message {
+	var req protocol.FetchBlobReq
+	if err := protocol.Decode(m, &req); err != nil {
+		jm.logf("bad fetch-blob request: %v", err)
+		return m.Reply(msg.KindBlobData, msg.MustEncode(protocol.FetchBlobResp{}))
+	}
+	out := make(map[string][]byte, len(req.Digests))
+	if j, err := jm.job(req.JobID); err == nil {
+		j.mu.Lock()
+		for _, d := range req.Digests {
+			if raw, ok := j.blobs[d]; ok {
+				out[d] = raw
+			}
+		}
+		j.mu.Unlock()
+	}
+	return m.Reply(msg.KindBlobData, msg.MustEncode(protocol.FetchBlobResp{Blobs: out}))
 }
 
 // HandleStartJob processes KindStartTask from the client: build the
@@ -384,6 +754,9 @@ func (jm *JobManager) HandleStartJob(m *msg.Message) *msg.Message {
 	}
 	j.schedule = sched
 	j.started = true
+	// No further assignments can happen; the stashed archive bytes are no
+	// longer needed (TaskManagers hold their own digest-keyed copies).
+	j.blobs = nil
 	ready := sched.Ready()
 	for _, name := range ready {
 		if err := sched.MarkRunning(name); err != nil {
@@ -511,6 +884,7 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 		jobDone = true
 		jobFailed = j.schedule.Failed()
 		j.notified = true
+		j.finishedAt = time.Now()
 	}
 	j.mu.Unlock()
 
@@ -648,6 +1022,7 @@ func (jm *JobManager) HandleCancel(m *msg.Message) *msg.Message {
 		j.schedule.CancelAll()
 	}
 	j.notified = true
+	j.finishedAt = time.Now()
 	j.mu.Unlock()
 	jm.finishJobCancelled(j, req.Reason)
 	return m.Reply(msg.KindPong, nil)
@@ -676,7 +1051,13 @@ func (jm *JobManager) finishJobCancelled(j *jobState, reason string) {
 // per-job workers.
 func (jm *JobManager) Close() {
 	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		jm.wg.Wait()
+		return
+	}
 	jm.closed = true
+	close(jm.stop)
 	for _, j := range jm.jobs {
 		j.queue.Close()
 	}

@@ -54,6 +54,14 @@ const (
 	KindJarUploaded // response: archive stored and verified
 	KindExecTask    // request: JobManager tells a TaskManager to run a task
 
+	// Batch placement and content-addressed archive distribution.
+	KindCreateTasks   // request: add a whole task set to a job in one round
+	KindTasksAccepted // response: per-task placements
+	KindAssignTasks   // request: batch assignment carrying archive refs only
+	KindTasksAssigned // response: per-task assignment results
+	KindFetchBlob     // request: TaskManager pulls archive blobs by digest
+	KindBlobData      // response: the requested blobs
+
 	// Data plane.
 	KindUser      // user-defined message; CN provides delivery only
 	KindBroadcast // user message fanned out to every task in the job
@@ -84,6 +92,12 @@ var kindNames = map[Kind]string{
 	KindUploadJar:         "UPLOAD_JAR",
 	KindJarUploaded:       "JAR_UPLOADED",
 	KindExecTask:          "EXEC_TASK",
+	KindCreateTasks:       "CREATE_TASKS",
+	KindTasksAccepted:     "TASKS_ACCEPTED",
+	KindAssignTasks:       "ASSIGN_TASKS",
+	KindTasksAssigned:     "TASKS_ASSIGNED",
+	KindFetchBlob:         "FETCH_BLOB",
+	KindBlobData:          "BLOB_DATA",
 	KindUser:              "USER",
 	KindBroadcast:         "BROADCAST",
 	KindPing:              "PING",

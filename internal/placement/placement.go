@@ -1,0 +1,240 @@
+// Package placement is the JobManager's batch placement engine. It
+// decouples resource acquisition from per-task dispatch, the scaling move
+// pilot-abstraction systems make: instead of one multicast solicitation
+// round per task, a Directory caches TaskManager offers (TTL-refreshed,
+// invalidated on rejection, falling back to a fresh round when stale or
+// empty) and Plan bin-packs an entire task set against the cached
+// free-memory figures in one pass.
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// DefaultTTL is how long a solicitation round's offers stay fresh when
+// Config.TTL is zero.
+const DefaultTTL = time.Second
+
+// SolicitFunc performs one multicast solicitation round and returns the
+// collected TaskManager offers. The JobManager wires in a GatherGroup over
+// the TaskManager multicast group; tests inject fakes.
+type SolicitFunc func() ([]protocol.TMOffer, error)
+
+// Config parametrizes a Directory.
+type Config struct {
+	// Solicit performs one fresh offer round (required).
+	Solicit SolicitFunc
+	// TTL bounds how long cached offers are served (0 = DefaultTTL;
+	// negative disables caching so every Offers call solicits afresh).
+	TTL time.Duration
+	// Now supplies the clock (nil = time.Now; tests inject fakes).
+	Now func() time.Time
+}
+
+// Stats counts directory activity.
+type Stats struct {
+	// SolicitRounds is how many multicast rounds were performed.
+	SolicitRounds int64
+	// CacheHits is how many Offers calls were served from cache.
+	CacheHits int64
+	// Invalidations counts entries dropped after assignment rejections.
+	Invalidations int64
+}
+
+// Directory is the cluster resource directory: a TTL cache of TaskManager
+// offers that backs every placement decision. It is safe for concurrent
+// use; concurrent refreshes collapse into a single solicitation round.
+type Directory struct {
+	cfg Config
+
+	mu        sync.Mutex
+	entries   map[string]protocol.TMOffer
+	fetchedAt time.Time
+	inflight  chan struct{} // non-nil while a solicitation round runs
+	lastErr   error
+	stats     Stats
+}
+
+// NewDirectory creates a directory around a solicitation function.
+func NewDirectory(cfg Config) *Directory {
+	if cfg.Solicit == nil {
+		panic("placement: nil Solicit")
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Directory{cfg: cfg, entries: make(map[string]protocol.TMOffer)}
+}
+
+// freshLocked reports whether the cached round is still within the TTL.
+func (d *Directory) freshLocked() bool {
+	if d.cfg.TTL < 0 || d.fetchedAt.IsZero() {
+		return false
+	}
+	return d.cfg.Now().Sub(d.fetchedAt) < d.cfg.TTL
+}
+
+// snapshotLocked copies the cached offers, sorted by node for determinism.
+func (d *Directory) snapshotLocked() []protocol.TMOffer {
+	out := make([]protocol.TMOffer, 0, len(d.entries))
+	for _, o := range d.entries {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}
+
+// Offers returns the cluster's current offer set: the cached round when it
+// is fresh and non-empty, otherwise the result of a fresh multicast round.
+// An empty cache always falls through to a fresh round, so a directory
+// that has never seen an offer keeps probing rather than starving.
+func (d *Directory) Offers() ([]protocol.TMOffer, error) {
+	d.mu.Lock()
+	if d.freshLocked() && len(d.entries) > 0 {
+		d.stats.CacheHits++
+		out := d.snapshotLocked()
+		d.mu.Unlock()
+		return out, nil
+	}
+	if ch := d.inflight; ch != nil {
+		// Another goroutine is soliciting; share its round.
+		d.mu.Unlock()
+		<-ch
+		d.mu.Lock()
+		out, err := d.snapshotLocked(), d.lastErr
+		d.mu.Unlock()
+		return out, err
+	}
+	ch := make(chan struct{})
+	d.inflight = ch
+	d.mu.Unlock()
+
+	offers, err := d.cfg.Solicit()
+
+	d.mu.Lock()
+	d.stats.SolicitRounds++
+	d.lastErr = err
+	if err == nil {
+		d.entries = make(map[string]protocol.TMOffer, len(offers))
+		for _, o := range offers {
+			d.entries[o.Node] = o
+		}
+		d.fetchedAt = d.cfg.Now()
+	}
+	d.inflight = nil
+	close(ch)
+	out := d.snapshotLocked()
+	d.mu.Unlock()
+	return out, err
+}
+
+// Invalidate drops a node's cached offer after it rejected an assignment:
+// its advertised capacity was wrong, so it must re-offer before being
+// chosen again.
+func (d *Directory) Invalidate(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[node]; ok {
+		delete(d.entries, node)
+		d.stats.Invalidations++
+	}
+}
+
+// Reserve debits a node's cached free-memory figure after a successful
+// assignment so subsequent placements within the TTL bin-pack against
+// up-to-date numbers instead of the stale advertisement.
+func (d *Directory) Reserve(node string, memoryMB, tasks int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	o, ok := d.entries[node]
+	if !ok {
+		return
+	}
+	o.FreeMemoryMB -= memoryMB
+	o.RunningTasks += tasks
+	d.entries[node] = o
+}
+
+// Stats returns a copy of the directory's counters.
+func (d *Directory) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Plan bin-packs a task set onto an offer round. Tasks are considered in
+// descending memory order (ties broken by name) and each goes to the node
+// with the most remaining free memory — the same worst-fit spreading rule
+// the per-task path used — with ties broken by fewest running tasks, then
+// by node name, so a given (tasks, offers) input always yields the same
+// plan. The returned map holds per-node task lists; unplaced names every
+// task that fits on no node at all.
+func Plan(specs []*task.Spec, offers []protocol.TMOffer) (plan map[string][]*task.Spec, unplaced []*task.Spec) {
+	type bin struct {
+		node    string
+		freeMB  int
+		running int
+	}
+	bins := make([]*bin, 0, len(offers))
+	for _, o := range offers {
+		bins = append(bins, &bin{node: o.Node, freeMB: o.FreeMemoryMB, running: o.RunningTasks})
+	}
+	ordered := make([]*task.Spec, len(specs))
+	copy(ordered, specs)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].Req.MemoryMB != ordered[b].Req.MemoryMB {
+			return ordered[a].Req.MemoryMB > ordered[b].Req.MemoryMB
+		}
+		return ordered[a].Name < ordered[b].Name
+	})
+	plan = make(map[string][]*task.Spec)
+	for _, sp := range ordered {
+		var best *bin
+		for _, b := range bins {
+			if b.freeMB < sp.Req.MemoryMB {
+				continue
+			}
+			if best == nil || better(b.freeMB, b.running, b.node, best.freeMB, best.running, best.node) {
+				best = b
+			}
+		}
+		if best == nil {
+			unplaced = append(unplaced, sp)
+			continue
+		}
+		best.freeMB -= sp.Req.MemoryMB
+		best.running++
+		plan[best.node] = append(plan[best.node], sp)
+	}
+	return plan, unplaced
+}
+
+// better reports whether bin a outranks bin b under the selection rule:
+// most free memory, then fewest running tasks, then lowest node name.
+func better(aFree, aRun int, aNode string, bFree, bRun int, bNode string) bool {
+	if aFree != bFree {
+		return aFree > bFree
+	}
+	if aRun != bRun {
+		return aRun < bRun
+	}
+	return aNode < bNode
+}
+
+// UnplacedError describes a plan that could not host every task.
+func UnplacedError(unplaced []*task.Spec) error {
+	names := make([]string, len(unplaced))
+	for i, sp := range unplaced {
+		names[i] = fmt.Sprintf("%s(%dMB)", sp.Name, sp.Req.MemoryMB)
+	}
+	return fmt.Errorf("placement: no TaskManager can host %v", names)
+}

@@ -1,0 +1,304 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// fakeSolicit counts rounds and serves a scripted sequence of offer sets
+// (the last set repeats once the script runs out).
+type fakeSolicit struct {
+	mu     sync.Mutex
+	rounds int
+	script [][]protocol.TMOffer
+	err    error
+}
+
+func (f *fakeSolicit) solicit() ([]protocol.TMOffer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rounds++
+	if f.err != nil {
+		return nil, f.err
+	}
+	i := f.rounds - 1
+	if i >= len(f.script) {
+		i = len(f.script) - 1
+	}
+	return f.script[i], nil
+}
+
+func (f *fakeSolicit) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rounds
+}
+
+func offer(node string, freeMB, running int) protocol.TMOffer {
+	return protocol.TMOffer{Node: node, FreeMemoryMB: freeMB, RunningTasks: running}
+}
+
+func memSpec(name string, mb int) *task.Spec {
+	return &task.Spec{Name: name, Class: "t", Req: task.Requirements{MemoryMB: mb}}
+}
+
+// fakeClock is an adjustable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestDirectoryCachesWithinTTL(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{{offer("n1", 100, 0), offer("n2", 200, 0)}}}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Second, Now: clock.Now})
+
+	first, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 {
+		t.Fatalf("offers = %v", first)
+	}
+	for i := 0; i < 5; i++ {
+		clock.Advance(100 * time.Millisecond)
+		if _, err := d.Offers(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.count(); got != 1 {
+		t.Errorf("solicit rounds = %d, want 1 (cached within TTL)", got)
+	}
+	st := d.Stats()
+	if st.SolicitRounds != 1 || st.CacheHits != 5 {
+		t.Errorf("stats = %+v, want 1 round / 5 hits", st)
+	}
+}
+
+func TestDirectoryRefreshesWhenStale(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{
+		{offer("n1", 100, 0)},
+		{offer("n1", 50, 1), offer("n2", 300, 0)},
+	}}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Second, Now: clock.Now})
+
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second) // past the TTL
+	got, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.count() != 2 {
+		t.Errorf("solicit rounds = %d, want 2 (stale cache refreshed)", fs.count())
+	}
+	if len(got) != 2 || got[0].FreeMemoryMB != 50 {
+		t.Errorf("offers after refresh = %v", got)
+	}
+}
+
+func TestDirectoryRefreshesWhenEmpty(t *testing.T) {
+	// First round yields no offers (no TaskManager responded); the next
+	// Offers call must probe again rather than serve the cached emptiness.
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{{}, {offer("n1", 100, 0)}}}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Minute, Now: clock.Now})
+
+	if got, _ := d.Offers(); len(got) != 0 {
+		t.Fatalf("first round offers = %v, want none", got)
+	}
+	got, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || fs.count() != 2 {
+		t.Errorf("offers = %v after %d rounds, want 1 offer from round 2", got, fs.count())
+	}
+}
+
+func TestDirectoryInvalidation(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{
+		{offer("n1", 100, 0), offer("n2", 100, 0)},
+		{offer("n1", 100, 0), offer("n2", 100, 0)},
+	}}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Minute, Now: clock.Now})
+
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+	d.Invalidate("n2") // n2 rejected an assignment
+	got, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Node != "n1" {
+		t.Errorf("offers after invalidation = %v, want only n1", got)
+	}
+	if fs.count() != 1 {
+		t.Errorf("rounds = %d; invalidating one node must not force a refresh while others are cached", fs.count())
+	}
+	d.Invalidate("n1") // cache now empty -> next Offers solicits afresh
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.count() != 2 {
+		t.Errorf("rounds = %d, want 2 after the cache emptied", fs.count())
+	}
+	if st := d.Stats(); st.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", st.Invalidations)
+	}
+}
+
+func TestDirectoryNegativeTTLAlwaysSolicits(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{{offer("n1", 100, 0)}}}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: -1})
+	for i := 0; i < 3; i++ {
+		if _, err := d.Offers(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.count() != 3 {
+		t.Errorf("rounds = %d, want 3 with caching disabled", fs.count())
+	}
+}
+
+func TestDirectorySolicitError(t *testing.T) {
+	fs := &fakeSolicit{err: errors.New("fabric down")}
+	d := NewDirectory(Config{Solicit: fs.solicit})
+	if _, err := d.Offers(); err == nil {
+		t.Error("Offers succeeded with a failing solicit")
+	}
+}
+
+func TestDirectoryReserveDebitsCachedFigures(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{{offer("n1", 1000, 0)}}}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Minute, Now: clock.Now})
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+	d.Reserve("n1", 400, 2)
+	got, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].FreeMemoryMB != 600 || got[0].RunningTasks != 2 {
+		t.Errorf("offer after Reserve = %+v, want 600 MB free / 2 running", got[0])
+	}
+}
+
+func TestDirectoryConcurrentRefreshSingleFlight(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{{offer("n1", 100, 0)}}}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Minute})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.Offers(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Concurrent callers may at worst each trigger one round, but a cold
+	// directory should collapse most of them into the shared in-flight
+	// round; the hard requirement is far fewer rounds than callers.
+	if fs.count() > 2 {
+		t.Errorf("rounds = %d for 8 concurrent callers, want <= 2", fs.count())
+	}
+}
+
+func TestPlanDeterministicTieBreaking(t *testing.T) {
+	// Identical capacity everywhere: placement must still be a pure
+	// function of the input, with ties broken by running count then node
+	// name.
+	offers := []protocol.TMOffer{offer("n3", 100, 1), offer("n1", 100, 0), offer("n2", 100, 0)}
+	specs := []*task.Spec{memSpec("a", 10), memSpec("b", 10)}
+	first, unplaced := Plan(specs, offers)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced = %v", unplaced)
+	}
+	for i := 0; i < 10; i++ {
+		again, _ := Plan(specs, offers)
+		if fmt.Sprint(again) != fmt.Sprint(first) {
+			t.Fatalf("plan not deterministic: %v vs %v", again, first)
+		}
+	}
+	// "a" goes to n1 (lowest name among equal-capacity, equal-load nodes);
+	// "b" then prefers n2, which still has 100 MB free vs n1's 90.
+	if got := first["n1"]; len(got) != 1 || got[0].Name != "a" {
+		t.Errorf("n1 got %v, want [a]", names(first["n1"]))
+	}
+	if got := first["n2"]; len(got) != 1 || got[0].Name != "b" {
+		t.Errorf("n2 got %v, want [b]", names(first["n2"]))
+	}
+	if len(first["n3"]) != 0 {
+		t.Errorf("n3 (loaded) got %v, want nothing", names(first["n3"]))
+	}
+}
+
+func names(specs []*task.Spec) []string {
+	out := make([]string, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+func TestPlanBinPacksAgainstFreeMemory(t *testing.T) {
+	offers := []protocol.TMOffer{offer("big", 1000, 0), offer("small", 100, 0)}
+	specs := []*task.Spec{
+		memSpec("huge", 900),
+		memSpec("mid", 80),
+		memSpec("tiny", 10),
+	}
+	plan, unplaced := Plan(specs, offers)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced = %v", names(unplaced))
+	}
+	// "huge" only fits on big (1000 -> 100 free). "mid" then sees a
+	// 100 MB tie and goes to small, which runs fewer tasks; "tiny"
+	// returns to big, which again has the most free memory.
+	if got := names(plan["big"]); fmt.Sprint(got) != "[huge tiny]" {
+		t.Errorf("big got %v, want [huge tiny]", got)
+	}
+	if got := names(plan["small"]); fmt.Sprint(got) != "[mid]" {
+		t.Errorf("small got %v, want [mid]", got)
+	}
+}
+
+func TestPlanReportsUnplaceable(t *testing.T) {
+	offers := []protocol.TMOffer{offer("n1", 100, 0)}
+	plan, unplaced := Plan([]*task.Spec{memSpec("fits", 50), memSpec("nofit", 500)}, offers)
+	if len(plan["n1"]) != 1 || plan["n1"][0].Name != "fits" {
+		t.Errorf("plan = %v", plan)
+	}
+	if len(unplaced) != 1 || unplaced[0].Name != "nofit" {
+		t.Fatalf("unplaced = %v, want [nofit]", names(unplaced))
+	}
+	if err := UnplacedError(unplaced); err == nil {
+		t.Error("UnplacedError returned nil")
+	}
+}

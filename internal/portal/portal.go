@@ -324,15 +324,10 @@ func (p *Portal) executeDoc(ctx context.Context, doc *cnx.Document, tr *runTrack
 			return resp, err
 		}
 		tr.add(cnJob)
-		failed := false
-		for _, s := range specs {
-			if err := cnJob.CreateTask(s, nil); err != nil {
-				resp.Jobs[job.Name] = JobResult{JobID: cnJob.ID, Failed: true, Err: err.Error()}
-				failed = true
-				break
-			}
-		}
-		if failed {
+		// Batch submission: one solicitation round places the whole task
+		// set instead of one round per task.
+		if _, err := cnJob.CreateTasks(specs, nil); err != nil {
+			resp.Jobs[job.Name] = JobResult{JobID: cnJob.ID, Failed: true, Err: err.Error()}
 			tr.finish(cnJob.ID)
 			continue
 		}

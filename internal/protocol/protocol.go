@@ -96,6 +96,80 @@ type AssignTaskResp struct {
 	Reason string
 }
 
+// ArchiveRef is a content-addressed reference to a task archive: the digest
+// identifies the blob, the name preserves the descriptor's jar="..." label.
+// A zero ArchiveRef means the task ships no archive (pre-deployed class).
+type ArchiveRef struct {
+	Name   string
+	Digest string
+}
+
+// IsZero reports whether the ref names no archive.
+func (r ArchiveRef) IsZero() bool { return r.Digest == "" && r.Name == "" }
+
+// TaskCreate is one task of a batch: its spec plus the content-addressed
+// reference to its archive. The blob bytes travel separately (deduplicated
+// by digest) or not at all when the receiver already caches the digest.
+type TaskCreate struct {
+	Spec    *task.Spec
+	Archive ArchiveRef
+}
+
+// CreateTasksReq is the body of KindCreateTasks (client -> JobManager): the
+// whole task set of a job in one request. Blobs carries each distinct
+// archive's bytes exactly once, keyed by digest, so N tasks sharing an
+// archive cost one copy on the wire instead of N.
+type CreateTasksReq struct {
+	JobID string
+	Tasks []TaskCreate
+	Blobs map[string][]byte
+}
+
+// CreateTasksResp is the body of KindTasksAccepted.
+type CreateTasksResp struct {
+	// Placements maps task name -> executing node.
+	Placements map[string]string
+}
+
+// AssignTasksReq is the body of KindAssignTasks (JobManager -> one chosen
+// TaskManager): a batch assignment carrying archive references only. A
+// TaskManager that lacks a referenced blob fetches it once via
+// KindFetchBlob; blobs it already caches cost nothing.
+type AssignTasksReq struct {
+	JobID      string
+	JobManager string
+	ClientNode string
+	Items      []TaskCreate
+}
+
+// BatchRejected is the pseudo task name a TaskManager uses in
+// AssignTasksResp.Rejected when the whole batch failed before any item
+// could be considered (e.g. the request did not decode).
+const BatchRejected = "*"
+
+// AssignTasksResp is the body of KindTasksAssigned.
+type AssignTasksResp struct {
+	// Rejected maps task name -> rejection reason; tasks absent from the
+	// map were accepted and reserved. The BatchRejected key marks a
+	// whole-batch failure.
+	Rejected map[string]string
+	// Fetched counts blobs the TaskManager had to pull for this batch.
+	Fetched int
+}
+
+// FetchBlobReq is the body of KindFetchBlob (TaskManager -> JobManager):
+// the digest-based archive negotiation's pull side.
+type FetchBlobReq struct {
+	JobID   string
+	Digests []string
+}
+
+// FetchBlobResp is the body of KindBlobData. Digests the JobManager does
+// not hold are simply absent from the map.
+type FetchBlobResp struct {
+	Blobs map[string][]byte
+}
+
 // StartJobReq is the body of KindStartTask (client -> JobManager). An empty
 // TaskNames starts the whole job in dependency order.
 type StartJobReq struct {
@@ -135,10 +209,14 @@ const ClientTaskName = "client"
 // routed message is a final delivery and must not be re-routed.
 const HeaderRouted = "cn-routed"
 
-// CancelJobReq is the body of KindCancelJob.
+// CancelJobReq is the body of KindCancelJob. An empty Tasks cancels the
+// whole job on the receiving TaskManager; a non-empty Tasks releases only
+// those assignments (used to roll back a partially accepted batch without
+// touching the job's other tasks).
 type CancelJobReq struct {
 	JobID  string
 	Reason string
+	Tasks  []string
 }
 
 // JobEvent is the body of KindJobCompleted / KindJobFailed.

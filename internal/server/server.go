@@ -6,7 +6,9 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cn/internal/jobmgr"
 	"cn/internal/msg"
@@ -26,6 +28,12 @@ type Config struct {
 	MaxJobs int
 	// Registry resolves task classes (nil = task.Global).
 	Registry *task.Registry
+	// PlacementTTL bounds the JobManager's cached TaskManager offers
+	// (0 = placement default; negative disables offer caching).
+	PlacementTTL time.Duration
+	// TombstoneTTL bounds finished-job tombstone retention in the
+	// JobManager (0 = jobmgr default; negative keeps tombstones forever).
+	TombstoneTTL time.Duration
 	// Logf receives diagnostics from both managers; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -59,13 +67,16 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		Node:     cfg.Node,
 		MemoryMB: cfg.MemoryMB,
 		Registry: cfg.Registry,
+		Fetch:    s.fetchBlobs,
 		Logf:     cfg.Logf,
 	}, send)
 	s.jm = jobmgr.New(jobmgr.Config{
-		Node:     cfg.Node,
-		MaxJobs:  cfg.MaxJobs,
-		MemoryMB: cfg.MemoryMB,
-		Logf:     cfg.Logf,
+		Node:         cfg.Node,
+		MaxJobs:      cfg.MaxJobs,
+		MemoryMB:     cfg.MemoryMB,
+		PlacementTTL: cfg.PlacementTTL,
+		TombstoneTTL: cfg.TombstoneTTL,
+		Logf:         cfg.Logf,
 	}, send, s.caller, s.tm.FreeMemoryMB)
 
 	if err := ep.Join(protocol.GroupJobManagers); err != nil {
@@ -77,6 +88,26 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server %s: %w", cfg.Node, err)
 	}
 	return s, nil
+}
+
+// fetchBlobs is the TaskManager's pull path for archive blobs it lacks: a
+// KindFetchBlob call to the assigning JobManager's node.
+func (s *Server) fetchBlobs(jmNode, jobID string, digests []string) (map[string][]byte, error) {
+	fm := protocol.Body(msg.KindFetchBlob,
+		msg.Address{Node: s.cfg.Node},
+		msg.Address{Node: jmNode, Job: jobID},
+		protocol.FetchBlobReq{JobID: jobID, Digests: digests})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reply, err := s.caller.Call(ctx, jmNode, fm)
+	if err != nil {
+		return nil, err
+	}
+	var resp protocol.FetchBlobResp
+	if err := protocol.Decode(reply, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Blobs, nil
 }
 
 // Node returns the server's node name.
@@ -131,6 +162,10 @@ func (s *Server) dispatch(m *msg.Message) {
 		s.replyIfAny(m, s.jm.HandleCreateJob(m))
 	case msg.KindCreateTask:
 		s.replyIfAny(m, s.jm.HandleCreateTask(m))
+	case msg.KindCreateTasks:
+		s.replyIfAny(m, s.jm.HandleCreateTasks(m))
+	case msg.KindFetchBlob:
+		s.replyIfAny(m, s.jm.HandleFetchBlob(m))
 	case msg.KindStartTask:
 		s.replyIfAny(m, s.jm.HandleStartJob(m))
 	case msg.KindCancelJob:
@@ -142,7 +177,7 @@ func (s *Server) dispatch(m *msg.Message) {
 		}
 		var req protocol.CancelJobReq
 		if err := protocol.Decode(m, &req); err == nil {
-			s.tm.HandleCancel(req.JobID)
+			s.tm.HandleCancel(req.JobID, req.Tasks...)
 		}
 
 	// --- TaskManager role ---
@@ -150,6 +185,8 @@ func (s *Server) dispatch(m *msg.Message) {
 		s.replyIfAny(m, s.tm.HandleSolicit(m))
 	case msg.KindUploadJar:
 		s.replyIfAny(m, s.tm.HandleAssign(m))
+	case msg.KindAssignTasks:
+		s.replyIfAny(m, s.tm.HandleAssignBatch(m))
 	case msg.KindExecTask:
 		var req protocol.ExecTaskReq
 		if err := protocol.Decode(m, &req); err != nil {

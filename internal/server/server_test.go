@@ -2,9 +2,11 @@ package server_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
+	"cn/internal/archive"
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/server"
@@ -186,5 +188,193 @@ func TestServerRejectsEmptyNode(t *testing.T) {
 	defer net.Close()
 	if _, err := server.Start(net, server.Config{Registry: testRegistry()}); err == nil {
 		t.Error("empty node name accepted")
+	}
+}
+
+// startMany boots n CN servers on one fabric plus a raw client caller.
+func startMany(t *testing.T, n int, cfg server.Config) ([]*server.Server, *transport.Caller) {
+	t.Helper()
+	net := transport.NewIdealNetwork()
+	t.Cleanup(func() { net.Close() })
+	servers := make([]*server.Server, n)
+	for i := range servers {
+		c := cfg
+		c.Node = fmt.Sprintf("n%d", i+1)
+		if c.Registry == nil {
+			c.Registry = testRegistry()
+		}
+		srv, err := server.Start(net, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers[i] = srv
+	}
+	var caller *transport.Caller
+	ep, err := net.Attach("raw-client", func(m *msg.Message) { caller.Handle(m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller = transport.NewCaller(ep)
+	return servers, caller
+}
+
+func TestBatchCreateTasksPlacesAndDedupsArchives(t *testing.T) {
+	reg := testRegistry()
+	reg.MustRegister("srv.Pkg", func() task.Task {
+		return task.Func(func(task.Context) error { return nil })
+	})
+	servers, caller := startMany(t, 3, server.Config{MemoryMB: 1000, Registry: reg})
+
+	reply := call(t, caller, msg.KindCreateJob, protocol.CreateJobReq{Name: "batch", ClientNode: "raw-client"})
+	var created protocol.CreateJobResp
+	if err := protocol.Decode(reply, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := archive.NewBuilder("pkg.jar", "srv.Pkg").AddFile("data", []byte("payload")).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := protocol.CreateTasksReq{
+		JobID: created.JobID,
+		Blobs: map[string][]byte{ar.Digest(): ar.Bytes()},
+	}
+	const tasks = 9
+	for i := 0; i < tasks; i++ {
+		req.Tasks = append(req.Tasks, protocol.TaskCreate{
+			Spec: &task.Spec{Name: fmt.Sprintf("t%d", i), Class: "srv.Pkg",
+				Req: task.Requirements{MemoryMB: 100, RunModel: task.RunAsThreadInTM}},
+			Archive: protocol.ArchiveRef{Name: ar.Name, Digest: ar.Digest()},
+		})
+	}
+	reply = call(t, caller, msg.KindCreateTasks, req)
+	if reply.Kind != msg.KindTasksAccepted {
+		t.Fatalf("create tasks reply = %v: %s", reply.Kind, reply.Payload)
+	}
+	var resp protocol.CreateTasksResp
+	if err := protocol.Decode(reply, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Placements) != tasks {
+		t.Fatalf("placements = %v", resp.Placements)
+	}
+
+	// Content addressing: each node holds the blob at most once however
+	// many of the nine tasks landed on it.
+	var transfers int64
+	usedNodes := make(map[string]bool)
+	for _, n := range resp.Placements {
+		usedNodes[n] = true
+	}
+	for _, srv := range servers {
+		n := srv.TaskManager().BlobCache().Transfers()
+		if n > 1 {
+			t.Errorf("node %s transferred the blob %d times", srv.Node(), n)
+		}
+		if n == 1 && !usedNodes[srv.Node()] {
+			t.Errorf("node %s holds the blob but hosts no task", srv.Node())
+		}
+		transfers += n
+	}
+	if transfers < 1 || transfers > int64(len(usedNodes)) {
+		t.Errorf("cluster transfers = %d for %d used nodes", transfers, len(usedNodes))
+	}
+
+	// One batched admission must not have cost one solicitation round per
+	// task.
+	var rounds int64
+	for _, srv := range servers {
+		rounds += srv.JobManager().PlacementStats().SolicitRounds
+	}
+	if rounds > 2 {
+		t.Errorf("solicit rounds = %d for one batch, want <= 2", rounds)
+	}
+
+	// The batch executes to completion.
+	reply = call(t, caller, msg.KindStartTask, protocol.StartJobReq{JobID: created.JobID})
+	if reply.Kind != msg.KindPong {
+		t.Fatalf("start reply = %v", reply.Kind)
+	}
+	host := servers[0].JobManager()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if host.ActiveJobs() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("batched job never completed")
+}
+
+func TestTombstoneEvictionAndActiveJobCount(t *testing.T) {
+	servers, caller := startMany(t, 1, server.Config{TombstoneTTL: 50 * time.Millisecond})
+	jm := servers[0].JobManager()
+
+	reply := call(t, caller, msg.KindCreateJob, protocol.CreateJobReq{Name: "tomb", ClientNode: "raw-client"})
+	var created protocol.CreateJobResp
+	if err := protocol.Decode(reply, &created); err != nil {
+		t.Fatal(err)
+	}
+	spec := &task.Spec{Name: "t", Class: "srv.Noop",
+		Req: task.Requirements{MemoryMB: 10, RunModel: task.RunAsThreadInTM}}
+	call(t, caller, msg.KindCreateTask, protocol.CreateTaskReq{JobID: created.JobID, Spec: spec})
+	call(t, caller, msg.KindStartTask, protocol.StartJobReq{JobID: created.JobID})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && jm.ActiveJobs() != 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if jm.ActiveJobs() != 0 {
+		t.Fatal("job never completed")
+	}
+	// The finished job lingers as a tombstone, then the janitor evicts it
+	// and progress queries stop resolving.
+	for time.Now().Before(deadline) {
+		if _, ok := jm.JobProgress(created.JobID); !ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("tombstone never evicted")
+}
+
+func TestOfferCountsOnlyLiveJobs(t *testing.T) {
+	servers, caller := startMany(t, 1, server.Config{TombstoneTTL: -1}) // keep tombstones
+	jm := servers[0].JobManager()
+
+	// Run one job to completion so a tombstone exists.
+	reply := call(t, caller, msg.KindCreateJob, protocol.CreateJobReq{Name: "done", ClientNode: "raw-client"})
+	var created protocol.CreateJobResp
+	if err := protocol.Decode(reply, &created); err != nil {
+		t.Fatal(err)
+	}
+	spec := &task.Spec{Name: "t", Class: "srv.Noop",
+		Req: task.Requirements{MemoryMB: 10, RunModel: task.RunAsThreadInTM}}
+	call(t, caller, msg.KindCreateTask, protocol.CreateTaskReq{JobID: created.JobID, Spec: spec})
+	call(t, caller, msg.KindStartTask, protocol.StartJobReq{JobID: created.JobID})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && jm.ActiveJobs() != 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A JobManager offer must advertise zero active jobs, not the
+	// tombstone count.
+	sm := protocol.Body(msg.KindJobManagerSolicit,
+		msg.Address{Node: "raw-client", Task: protocol.ClientTaskName},
+		msg.Address{}, protocol.JobRequirements{})
+	replies, err := caller.Gather(protocol.GroupJobManagers, sm, 1, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 {
+		t.Fatalf("got %d offers", len(replies))
+	}
+	var offer protocol.JMOffer
+	if err := protocol.Decode(replies[0], &offer); err != nil {
+		t.Fatal(err)
+	}
+	if offer.ActiveJobs != 0 {
+		t.Errorf("offer.ActiveJobs = %d, want 0 (tombstones excluded)", offer.ActiveJobs)
 	}
 }

@@ -22,6 +22,12 @@ import (
 // endpoint's Send.
 type SendFunc func(toNode string, m *msg.Message) error
 
+// FetchFunc pulls archive blobs from a JobManager by digest — the pull
+// side of the content-addressed distribution protocol. The CN server wires
+// a KindFetchBlob call in; nil disables fetching (assignments referencing
+// uncached digests are rejected).
+type FetchFunc func(jmNode, jobID string, digests []string) (map[string][]byte, error)
+
 // Config parametrizes a TaskManager.
 type Config struct {
 	// Node is the hosting node name.
@@ -32,6 +38,8 @@ type Config struct {
 	Registry *task.Registry
 	// MailboxCap bounds each task mailbox (0 = default).
 	MailboxCap int
+	// Fetch pulls missing archive blobs from the assigning JobManager.
+	Fetch FetchFunc
 	// Logf receives diagnostic lines; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -56,7 +64,7 @@ type TaskManager struct {
 	cfg      Config
 	send     SendFunc
 	registry *task.Registry
-	archives *archive.Store
+	blobs    *archive.Cache
 
 	mu       sync.Mutex
 	freeMB   int
@@ -79,11 +87,14 @@ func New(cfg Config, send SendFunc) *TaskManager {
 		cfg:      cfg,
 		send:     send,
 		registry: reg,
-		archives: archive.NewStore(),
+		blobs:    archive.NewCache(),
 		assigned: make(map[string]*assignment),
 		freeMB:   cfg.MemoryMB,
 	}
 }
+
+// BlobCache exposes the node's digest-keyed archive cache (metrics, tests).
+func (tm *TaskManager) BlobCache() *archive.Cache { return tm.blobs }
 
 func (tm *TaskManager) logf(format string, args ...any) {
 	if tm.cfg.Logf != nil {
@@ -130,8 +141,10 @@ func (tm *TaskManager) HandleSolicit(m *msg.Message) *msg.Message {
 	return m.Reply(msg.KindTaskOffer, msg.MustEncode(offer))
 }
 
-// HandleAssign processes a KindUploadJar: verify the archive, check the
-// class is loadable, reserve memory, and set up the task's message queue.
+// HandleAssign processes a KindUploadJar — the per-task assignment path
+// kept for protocol compatibility: verify the inline archive (or resolve a
+// digest-only reference against the blob cache), check the class is
+// loadable, reserve memory, and set up the task's message queue.
 func (tm *TaskManager) HandleAssign(m *msg.Message) *msg.Message {
 	var req protocol.AssignTaskReq
 	if err := protocol.Decode(m, &req); err != nil {
@@ -141,6 +154,7 @@ func (tm *TaskManager) HandleAssign(m *msg.Message) *msg.Message {
 		tm.logf("reject %s: %s", key(req.JobID, req.Spec.Name), reason)
 		return m.Reply(msg.KindJarUploaded, msg.MustEncode(protocol.AssignTaskResp{OK: false, Reason: reason}))
 	}
+	ref := protocol.ArchiveRef{Name: req.ArchiveName, Digest: req.Digest}
 	if len(req.Archive) > 0 {
 		a, err := archive.Open(req.ArchiveName, req.Archive)
 		if err != nil {
@@ -149,40 +163,156 @@ func (tm *TaskManager) HandleAssign(m *msg.Message) *msg.Message {
 		if req.Digest != "" && a.Digest() != req.Digest {
 			return reject("archive digest mismatch")
 		}
-		if a.Manifest.TaskClass != req.Spec.Class {
-			return reject(fmt.Sprintf("archive manifest class %q does not match spec class %q",
-				a.Manifest.TaskClass, req.Spec.Class))
-		}
-		if err := tm.archives.Put(a); err != nil {
+		ref.Digest = a.Digest()
+		if err := tm.blobs.Put(a); err != nil {
 			return reject(err.Error())
 		}
+	} else if req.ArchiveName != "" && req.Digest == "" {
+		// A name with neither bytes nor digest cannot be resolved.
+		ref = protocol.ArchiveRef{}
 	}
-	if !tm.registry.Has(req.Spec.Class) {
-		return reject(fmt.Sprintf("class %q not deployable on this node", req.Spec.Class))
+	item := protocol.TaskCreate{Spec: req.Spec, Archive: ref}
+	if _, err := tm.ensureBlobs(req.JobManager, req.JobID, []protocol.TaskCreate{item}); err != nil {
+		return reject(err.Error())
+	}
+	if reason := tm.assignOne(req.JobID, req.JobManager, req.ClientNode, item); reason != "" {
+		return reject(reason)
+	}
+	return m.Reply(msg.KindJarUploaded, msg.MustEncode(protocol.AssignTaskResp{OK: true}))
+}
+
+// HandleAssignBatch processes a KindAssignTasks: a batch assignment whose
+// items carry content-addressed archive references only. Missing blobs are
+// fetched from the JobManager once per digest; every item is then verified
+// and reserved individually, so one oversubscribed task rejects alone
+// instead of failing the batch.
+func (tm *TaskManager) HandleAssignBatch(m *msg.Message) *msg.Message {
+	var req protocol.AssignTasksReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return m.Reply(msg.KindTasksAssigned, msg.MustEncode(protocol.AssignTasksResp{
+			Rejected: map[string]string{protocol.BatchRejected: err.Error()},
+		}))
+	}
+	resp := protocol.AssignTasksResp{Rejected: make(map[string]string)}
+	fetched, err := tm.ensureBlobs(req.JobManager, req.JobID, req.Items)
+	if err != nil {
+		// The blobs could not be negotiated; reject only the items that
+		// reference digests still missing from the cache.
+		for _, it := range req.Items {
+			if !it.Archive.IsZero() && !tm.blobs.Has(it.Archive.Digest) {
+				resp.Rejected[it.Spec.Name] = err.Error()
+			}
+		}
+	}
+	resp.Fetched = fetched
+	for _, it := range req.Items {
+		if _, done := resp.Rejected[it.Spec.Name]; done {
+			continue
+		}
+		if reason := tm.assignOne(req.JobID, req.JobManager, req.ClientNode, it); reason != "" {
+			resp.Rejected[it.Spec.Name] = reason
+			tm.logf("reject %s: %s", key(req.JobID, it.Spec.Name), reason)
+		}
+	}
+	return m.Reply(msg.KindTasksAssigned, msg.MustEncode(resp))
+}
+
+// ensureBlobs makes every digest referenced by items resident in the blob
+// cache, pulling missing ones from the JobManager in a single fetch. It
+// returns how many blobs were transferred. Digest verification happens
+// here: a fetched blob whose bytes do not hash to the requested digest is
+// discarded.
+func (tm *TaskManager) ensureBlobs(jmNode, jobID string, items []protocol.TaskCreate) (int, error) {
+	names := make(map[string]string) // digest -> archive name
+	var need []string
+	for _, it := range items {
+		ref := it.Archive
+		if ref.IsZero() || ref.Digest == "" {
+			continue
+		}
+		if _, seen := names[ref.Digest]; seen {
+			continue
+		}
+		names[ref.Digest] = ref.Name
+		if !tm.blobs.Has(ref.Digest) {
+			need = append(need, ref.Digest)
+		}
+	}
+	if len(need) == 0 {
+		return 0, nil
+	}
+	if tm.cfg.Fetch == nil {
+		return 0, fmt.Errorf("archive blob not cached and no fetch path configured")
+	}
+	blobs, err := tm.cfg.Fetch(jmNode, jobID, need)
+	if err != nil {
+		return 0, fmt.Errorf("fetch archive blobs: %v", err)
+	}
+	stored := 0
+	for _, digest := range need {
+		raw, ok := blobs[digest]
+		if !ok {
+			err = fmt.Errorf("archive blob %.12s… unavailable from %s", digest, jmNode)
+			continue
+		}
+		a, openErr := archive.Open(names[digest], raw)
+		if openErr != nil {
+			err = fmt.Errorf("bad archive: %v", openErr)
+			continue
+		}
+		if a.Digest() != digest {
+			err = fmt.Errorf("archive digest mismatch for %.12s…", digest)
+			continue
+		}
+		if putErr := tm.blobs.Put(a); putErr != nil {
+			err = putErr
+			continue
+		}
+		stored++
+	}
+	return stored, err
+}
+
+// assignOne validates and reserves a single task whose archive (if any) is
+// already resident. It returns "" on success or the rejection reason.
+func (tm *TaskManager) assignOne(jobID, jobManager, clientNode string, it protocol.TaskCreate) string {
+	sp := it.Spec
+	if !it.Archive.IsZero() && it.Archive.Digest != "" {
+		a, ok := tm.blobs.Get(it.Archive.Digest)
+		if !ok {
+			return fmt.Sprintf("archive blob %.12s… unavailable", it.Archive.Digest)
+		}
+		if a.Manifest.TaskClass != sp.Class {
+			return fmt.Sprintf("archive manifest class %q does not match spec class %q",
+				a.Manifest.TaskClass, sp.Class)
+		}
+	}
+	if !tm.registry.Has(sp.Class) {
+		return fmt.Sprintf("class %q not deployable on this node", sp.Class)
 	}
 
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	if tm.closed {
-		return reject("task manager shut down")
+		return "task manager shut down"
 	}
-	k := key(req.JobID, req.Spec.Name)
+	k := key(jobID, sp.Name)
 	if _, dup := tm.assigned[k]; dup {
-		return reject("task already assigned")
+		return "task already assigned"
 	}
-	if tm.freeMB < req.Spec.Req.MemoryMB {
-		return reject(fmt.Sprintf("insufficient memory: need %d MB, free %d MB", req.Spec.Req.MemoryMB, tm.freeMB))
+	if tm.freeMB < sp.Req.MemoryMB {
+		return fmt.Sprintf("insufficient memory: need %d MB, free %d MB", sp.Req.MemoryMB, tm.freeMB)
 	}
-	tm.freeMB -= req.Spec.Req.MemoryMB
+	tm.freeMB -= sp.Req.MemoryMB
 	tm.assigned[k] = &assignment{
-		jobID:      req.JobID,
-		jobManager: req.JobManager,
-		clientNode: req.ClientNode,
-		spec:       req.Spec,
+		jobID:      jobID,
+		jobManager: jobManager,
+		clientNode: clientNode,
+		spec:       sp,
 		mailbox:    msg.NewMailbox(tm.cfg.MailboxCap),
 	}
-	tm.logf("assigned %s (class %s, %d MB)", k, req.Spec.Class, req.Spec.Req.MemoryMB)
-	return m.Reply(msg.KindJarUploaded, msg.MustEncode(protocol.AssignTaskResp{OK: true}))
+	tm.logf("assigned %s (class %s, %d MB)", k, sp.Class, sp.Req.MemoryMB)
+	return ""
 }
 
 // HandleStart processes a KindStartTask from the JobManager for one task.
@@ -292,13 +422,23 @@ func (tm *TaskManager) HandleUser(m *msg.Message) error {
 	}
 }
 
-// HandleCancel cancels all of a job's tasks on this node: mailboxes close
-// (Recv returns ErrStopped) and Done() turns true so tasks can exit.
-func (tm *TaskManager) HandleCancel(jobID string) {
+// HandleCancel cancels a job's tasks on this node: mailboxes close (Recv
+// returns ErrStopped) and Done() turns true so tasks can exit. An empty
+// tasks list cancels every task of the job; a non-empty list cancels only
+// the named ones (a batch rollback must not touch the job's other
+// assignments).
+func (tm *TaskManager) HandleCancel(jobID string, tasks ...string) {
+	only := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		only[t] = true
+	}
+	match := func(a *assignment) bool {
+		return a.jobID == jobID && (len(only) == 0 || only[a.spec.Name])
+	}
 	tm.mu.Lock()
 	var toCancel []*assignment
 	for _, a := range tm.assigned {
-		if a.jobID == jobID {
+		if match(a) {
 			toCancel = append(toCancel, a)
 		}
 	}
@@ -310,7 +450,7 @@ func (tm *TaskManager) HandleCancel(jobID string) {
 	// Unstarted assignments release their reservation immediately.
 	tm.mu.Lock()
 	for k, a := range tm.assigned {
-		if a.jobID == jobID && !a.started.Load() {
+		if match(a) && !a.started.Load() {
 			tm.freeMB += a.spec.Req.MemoryMB
 			delete(tm.assigned, k)
 		}

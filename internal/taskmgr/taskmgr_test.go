@@ -210,6 +210,183 @@ func TestCancelReleasesUnstarted(t *testing.T) {
 	}
 }
 
+// countingFetch serves blobs from a map and counts calls and digests.
+type countingFetch struct {
+	mu      sync.Mutex
+	blobs   map[string][]byte
+	calls   int
+	digests []string
+}
+
+func (f *countingFetch) fetch(jmNode, jobID string, digests []string) (map[string][]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	f.digests = append(f.digests, digests...)
+	out := make(map[string][]byte, len(digests))
+	for _, d := range digests {
+		if raw, ok := f.blobs[d]; ok {
+			out[d] = raw
+		}
+	}
+	return out, nil
+}
+
+func batchMsg(req protocol.AssignTasksReq) *msg.Message {
+	return protocol.Body(msg.KindAssignTasks,
+		msg.Address{Node: "jm", Job: req.JobID}, msg.Address{Node: "tm1"}, req)
+}
+
+func TestBatchAssignSharedDigestFetchesOnce(t *testing.T) {
+	// Two tasks referencing the same digest on one node must trigger
+	// exactly one blob transfer.
+	ar, err := archive.NewBuilder("shared.jar", "tm.Noop").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := &countingFetch{blobs: map[string][]byte{ar.Digest(): ar.Bytes()}}
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 1000, Registry: registry(t), Fetch: fetch.fetch}, s.send)
+	defer tm.Close()
+
+	ref := protocol.ArchiveRef{Name: ar.Name, Digest: ar.Digest()}
+	r := tm.HandleAssignBatch(batchMsg(protocol.AssignTasksReq{
+		JobID: "j1", JobManager: "jm", ClientNode: "client",
+		Items: []protocol.TaskCreate{
+			{Spec: spec("t1", 100), Archive: ref},
+			{Spec: spec("t2", 100), Archive: ref},
+		},
+	}))
+	var resp protocol.AssignTasksResp
+	if err := protocol.Decode(r, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rejected) != 0 {
+		t.Fatalf("rejections: %v", resp.Rejected)
+	}
+	if resp.Fetched != 1 {
+		t.Errorf("fetched = %d blobs, want 1 for a shared digest", resp.Fetched)
+	}
+	if fetch.calls != 1 || len(fetch.digests) != 1 {
+		t.Errorf("fetch calls = %d digests = %v, want one call for one digest", fetch.calls, fetch.digests)
+	}
+	if tm.BlobCache().Transfers() != 1 {
+		t.Errorf("cache transfers = %d, want 1", tm.BlobCache().Transfers())
+	}
+
+	// A later batch (another job) reusing the digest costs zero transfers.
+	r = tm.HandleAssignBatch(batchMsg(protocol.AssignTasksReq{
+		JobID: "j2", JobManager: "jm", ClientNode: "client",
+		Items: []protocol.TaskCreate{{Spec: spec("t1", 100), Archive: ref}},
+	}))
+	var again protocol.AssignTasksResp
+	if err := protocol.Decode(r, &again); err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Rejected) != 0 || again.Fetched != 0 {
+		t.Errorf("cross-job reuse: rejected=%v fetched=%d, want clean cache hit", again.Rejected, again.Fetched)
+	}
+	if fetch.calls != 1 {
+		t.Errorf("fetch calls = %d after cross-job reuse, want still 1", fetch.calls)
+	}
+}
+
+func TestCacheHitAssignmentWithRefOnlyExecutes(t *testing.T) {
+	// An assignment carrying only an ArchiveRef — no bytes, no fetch path —
+	// must execute correctly when the blob is already cached.
+	ar, err := archive.NewBuilder("cached.jar", "tm.Noop").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 1000, Registry: registry(t)}, s.send) // no Fetch configured
+	defer tm.Close()
+
+	// Seed the cache through the legacy inline-upload path.
+	if err := protocol.Decode(tm.HandleAssign(assignMsg(spec("seed", 10), ar)), new(protocol.AssignTaskResp)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ref-only assignment of a second task sharing the digest.
+	r := tm.HandleAssignBatch(batchMsg(protocol.AssignTasksReq{
+		JobID: "j1", JobManager: "jm", ClientNode: "client",
+		Items: []protocol.TaskCreate{
+			{Spec: spec("hit", 10), Archive: protocol.ArchiveRef{Name: ar.Name, Digest: ar.Digest()}},
+		},
+	}))
+	var resp protocol.AssignTasksResp
+	if err := protocol.Decode(r, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rejected) != 0 || resp.Fetched != 0 {
+		t.Fatalf("ref-only assignment: rejected=%v fetched=%d, want cache hit", resp.Rejected, resp.Fetched)
+	}
+	if tm.BlobCache().Transfers() != 1 {
+		t.Errorf("transfers = %d, want 1 (seed upload only)", tm.BlobCache().Transfers())
+	}
+	if err := tm.HandleStart("j1", "hit"); err != nil {
+		t.Fatal(err)
+	}
+	s.waitKind(t, msg.KindTaskCompleted)
+}
+
+func TestBatchAssignRejectsIndividually(t *testing.T) {
+	// One oversubscribed task must reject alone; the rest of the batch
+	// lands.
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 500, Registry: registry(t)}, s.send)
+	defer tm.Close()
+	r := tm.HandleAssignBatch(batchMsg(protocol.AssignTasksReq{
+		JobID: "j1", JobManager: "jm", ClientNode: "client",
+		Items: []protocol.TaskCreate{
+			{Spec: spec("fits", 400)},
+			{Spec: spec("nofit", 400)},
+			{Spec: &task.Spec{Name: "badclass", Class: "tm.Unknown", Req: task.Requirements{MemoryMB: 10}}},
+		},
+	}))
+	var resp protocol.AssignTasksResp
+	if err := protocol.Decode(r, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Rejected["fits"]; ok {
+		t.Errorf("fits rejected: %v", resp.Rejected)
+	}
+	if reason := resp.Rejected["nofit"]; !strings.Contains(reason, "insufficient memory") {
+		t.Errorf("nofit reason = %q", reason)
+	}
+	if reason := resp.Rejected["badclass"]; !strings.Contains(reason, "not deployable") {
+		t.Errorf("badclass reason = %q", reason)
+	}
+	if tm.FreeMemoryMB() != 100 {
+		t.Errorf("free = %d, want 100 after one 400 MB reservation", tm.FreeMemoryMB())
+	}
+}
+
+func TestBatchAssignMissingBlobRejectsOnlyAffected(t *testing.T) {
+	// No fetch path and an uncached digest: only the referencing task is
+	// rejected; archive-less tasks in the same batch still land.
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 1000, Registry: registry(t)}, s.send)
+	defer tm.Close()
+	r := tm.HandleAssignBatch(batchMsg(protocol.AssignTasksReq{
+		JobID: "j1", JobManager: "jm", ClientNode: "client",
+		Items: []protocol.TaskCreate{
+			{Spec: spec("plain", 10)},
+			{Spec: spec("needsblob", 10), Archive: protocol.ArchiveRef{Name: "x.jar", Digest: "feedfacedeadbeef"}},
+		},
+	}))
+	var resp protocol.AssignTasksResp
+	if err := protocol.Decode(r, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Rejected["plain"]; ok {
+		t.Errorf("plain rejected: %v", resp.Rejected)
+	}
+	if _, ok := resp.Rejected["needsblob"]; !ok {
+		t.Error("needsblob accepted without its blob")
+	}
+}
+
 func TestUserDeliveryUnknownTask(t *testing.T) {
 	s := &sink{}
 	tm := New(Config{Node: "tm1", Registry: registry(t)}, s.send)
