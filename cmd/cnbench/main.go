@@ -28,9 +28,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | all")
+		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | all")
 		reps = flag.Int("reps", 5, "repetitions per configuration")
 		out  = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
+		rout = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -47,6 +48,8 @@ func main() {
 		transformTable(*reps)
 	case "placement":
 		placementTable(*reps, *out)
+	case "recovery":
+		recoveryTable(*reps, *rout)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
@@ -54,6 +57,7 @@ func main() {
 		messagingTable(*reps)
 		transformTable(*reps)
 		placementTable(*reps, *out)
+		recoveryTable(*reps, *rout)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -92,6 +96,20 @@ func newRegistry() *cn.Registry {
 	workloads.MustRegister(reg)
 	reg.MustRegister("bench.Noop", func() cn.Task {
 		return cn.TaskFunc(func(cn.TaskContext) error { return nil })
+	})
+	// bench.Sleep simulates a short compute burst; it polls Done so a
+	// cancelled copy (a recovery loser) exits promptly.
+	reg.MustRegister("bench.Sleep", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			deadline := time.Now().Add(60 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				if ctx.Done() {
+					return nil
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			return nil
+		})
 	})
 	reg.MustRegister("bench.Echo", func() cn.Task {
 		return cn.TaskFunc(func(ctx cn.TaskContext) error {
@@ -322,6 +340,139 @@ func placementTable(reps int, outPath string) {
 			cl.Close()
 			c.Close()
 		}
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot written to %s\n", outPath)
+}
+
+// recoveryRow is one heartbeat-interval configuration's measurement in the
+// T-H study.
+type recoveryRow struct {
+	HeartbeatMS  float64 `json:"heartbeat_ms"`
+	SuspectMS    float64 `json:"suspect_ms"`
+	DeadMS       float64 `json:"dead_ms"`
+	Nodes        int     `json:"nodes"`
+	Tasks        int     `json:"tasks"`
+	BaselineMS   float64 `json:"baseline_job_ms"`
+	KilledMS     float64 `json:"killed_job_ms"`
+	RecoveryMS   float64 `json:"time_to_recover_ms"`
+	RetriesFinal int     `json:"retries_last_run"`
+}
+
+// recoverySnapshot is the BENCH_recovery.json document.
+type recoverySnapshot struct {
+	Experiment  string        `json:"experiment"`
+	GeneratedAt time.Time     `json:"generated_at"`
+	Rows        []recoveryRow `json:"rows"`
+}
+
+// recoveryJob runs one 32-task job on a fresh cluster with the given
+// heartbeat interval, optionally power-cutting a worker mid-flight, and
+// returns the job's start-to-done duration plus the client-observed retry
+// count. Each run boots its own cluster: a killed node stays dead.
+func recoveryJob(hb time.Duration, tasks int, kill bool) (time.Duration, int) {
+	c, err := cn.StartCluster(cn.ClusterOptions{
+		Nodes: 8, Registry: newRegistry(), MemoryMB: 64000,
+		HeartbeatInterval: hb, MaxTaskRetries: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	job, err := cl.CreateJob("recovery", cn.JobRequirements{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]*cn.TaskSpec, tasks)
+	for i := range specs {
+		specs[i] = &cn.TaskSpec{
+			Name: fmt.Sprintf("r%02d", i), Class: "bench.Sleep",
+			Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+		}
+	}
+	placements, err := job.CreateTasks(specs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim := ""
+	for _, node := range placements {
+		if node != job.JMNode {
+			victim = node
+			break
+		}
+	}
+	start := time.Now()
+	if err := job.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if kill && victim != "" {
+		time.Sleep(15 * time.Millisecond)
+		if err := c.KillNode(victim); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := job.Wait(ctx)
+	if err != nil || res.Failed {
+		log.Fatalf("recovery job: res=%+v err=%v", res, err)
+	}
+	return time.Since(start), job.Progress().Retried
+}
+
+// recoveryTable is experiment T-H: time-to-recover vs heartbeat interval.
+// An 8-node cluster runs a 32-task job; a worker hosting tasks is
+// power-cut 15ms in. Time-to-recover is the killed run's duration minus
+// the no-kill baseline — the price of detection (≈ DeadAfter = 6×interval)
+// plus re-placement and re-execution.
+func recoveryTable(reps int, outPath string) {
+	header("T-H  Failure recovery: 32-task job, 8 nodes, worker killed mid-run")
+	const tasks = 32
+	snap := recoverySnapshot{Experiment: "T-H failure recovery", GeneratedAt: time.Now().UTC()}
+	fmt.Printf("%-14s %12s %12s %14s %10s\n", "heartbeat", "baseline", "with kill", "recovery", "retries")
+	for _, hb := range []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	} {
+		// Mean of the job window only (cluster boot excluded), so baseline
+		// and killed runs are directly comparable.
+		var retries int
+		var baseMS, killMS float64
+		for i := 0; i < reps; i++ {
+			d, _ := recoveryJob(hb, tasks, false)
+			baseMS += float64(d) / float64(time.Millisecond)
+		}
+		baseMS /= float64(reps)
+		for i := 0; i < reps; i++ {
+			d, r := recoveryJob(hb, tasks, true)
+			killMS += float64(d) / float64(time.Millisecond)
+			retries = r
+		}
+		killMS /= float64(reps)
+		row := recoveryRow{
+			HeartbeatMS:  float64(hb) / float64(time.Millisecond),
+			SuspectMS:    float64(3*hb) / float64(time.Millisecond),
+			DeadMS:       float64(6*hb) / float64(time.Millisecond),
+			Nodes:        8,
+			Tasks:        tasks,
+			BaselineMS:   baseMS,
+			KilledMS:     killMS,
+			RecoveryMS:   killMS - baseMS,
+			RetriesFinal: retries,
+		}
+		snap.Rows = append(snap.Rows, row)
+		fmt.Printf("%-14v %11.1fms %11.1fms %13.1fms %10d\n",
+			hb, row.BaselineMS, row.KilledMS, row.RecoveryMS, row.RetriesFinal)
 	}
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -26,12 +26,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnportal: ")
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		nodes     = flag.Int("nodes", 4, "cluster size")
-		workers   = flag.Int("workers", 4, "async job execution pool size")
-		queue     = flag.Int("queue", 64, "submission queue depth before 429s")
-		resultTTL = flag.Duration("result-ttl", 15*time.Minute, "how long terminal job records are kept")
-		verbose   = flag.Bool("v", false, "log cluster diagnostics")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		nodes      = flag.Int("nodes", 4, "cluster size")
+		workers    = flag.Int("workers", 4, "async job execution pool size")
+		queue      = flag.Int("queue", 64, "submission queue depth before 429s")
+		resultTTL  = flag.Duration("result-ttl", 15*time.Minute, "how long terminal job records are kept")
+		heartbeat  = flag.Duration("heartbeat", 0, "TaskManager heartbeat interval (0 = 500ms; negative disables failure detection)")
+		maxRetries = flag.Int("max-task-retries", 0, "per-task re-placement budget after node failures (0 = 2; negative disables recovery)")
+		straggler  = flag.Duration("straggler-after", 0, "speculatively re-run tasks whose progress stalls this long (0 = disabled)")
+		verbose    = flag.Bool("v", false, "log cluster diagnostics")
 	)
 	flag.Parse()
 
@@ -46,7 +49,14 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
-	c, err := cluster.Start(cluster.Config{Nodes: *nodes, Registry: reg, Logf: logf})
+	c, err := cluster.Start(cluster.Config{
+		Nodes:             *nodes,
+		Registry:          reg,
+		HeartbeatInterval: *heartbeat,
+		MaxTaskRetries:    *maxRetries,
+		StragglerAfter:    *straggler,
+		Logf:              logf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,11 +27,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnserver: ")
 	var (
-		nodes    = flag.Int("nodes", 4, "number of CN server nodes")
-		tcp      = flag.Bool("tcp", false, "use TCP loopback sockets instead of the in-memory fabric")
-		memoryMB = flag.Int("memory", 8000, "per-node task capacity in MB")
-		httpAddr = flag.String("http", "", "also serve the web portal on this address")
-		verbose  = flag.Bool("v", false, "log server diagnostics")
+		nodes      = flag.Int("nodes", 4, "number of CN server nodes")
+		tcp        = flag.Bool("tcp", false, "use TCP loopback sockets instead of the in-memory fabric")
+		memoryMB   = flag.Int("memory", 8000, "per-node task capacity in MB")
+		httpAddr   = flag.String("http", "", "also serve the web portal on this address")
+		heartbeat  = flag.Duration("heartbeat", 0, "TaskManager heartbeat interval (0 = 500ms; negative disables failure detection)")
+		maxRetries = flag.Int("max-task-retries", 0, "per-task re-placement budget after node failures (0 = 2; negative disables recovery)")
+		straggler  = flag.Duration("straggler-after", 0, "speculatively re-run tasks whose progress stalls this long (0 = disabled)")
+		verbose    = flag.Bool("v", false, "log server diagnostics")
 	)
 	flag.Parse()
 
@@ -51,11 +54,14 @@ func main() {
 		tp = cluster.TransportTCP
 	}
 	c, err := cluster.Start(cluster.Config{
-		Nodes:     *nodes,
-		Transport: tp,
-		MemoryMB:  *memoryMB,
-		Registry:  reg,
-		Logf:      logf,
+		Nodes:             *nodes,
+		Transport:         tp,
+		MemoryMB:          *memoryMB,
+		Registry:          reg,
+		HeartbeatInterval: *heartbeat,
+		MaxTaskRetries:    *maxRetries,
+		StragglerAfter:    *straggler,
+		Logf:              logf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -174,6 +174,24 @@ type ClusterOptions struct {
 	// placement performs a fresh multicast round, the pre-directory
 	// behavior).
 	PlacementTTL time.Duration
+	// HeartbeatInterval is each TaskManager's beat cadence and the basis
+	// for failure-detection leases (0 = 500ms; negative disables
+	// heartbeating and failure detection).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter override the failure-detection lease
+	// windows (0 = 3× / 6× the heartbeat interval). A suspect node is
+	// excluded from new placements; a dead node's in-flight tasks are
+	// re-placed on survivors.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// MaxTaskRetries bounds how many times one task may be re-placed after
+	// node deaths, failed dispatches, or straggler speculation
+	// (0 = 2; negative disables recovery).
+	MaxTaskRetries int
+	// StragglerAfter enables speculative execution: a running task whose
+	// progress has stalled this long gets a duplicate on another node,
+	// first result wins (0 = disabled).
+	StragglerAfter time.Duration
 	// Latency/Jitter/Loss/Seed configure the in-memory fabric's link model.
 	Latency time.Duration
 	Jitter  time.Duration
@@ -197,16 +215,21 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		tp = cluster.TransportTCP
 	}
 	inner, err := cluster.Start(cluster.Config{
-		Nodes:        opts.Nodes,
-		MemoryMB:     opts.MemoryMB,
-		Transport:    tp,
-		PlacementTTL: opts.PlacementTTL,
-		Latency:      opts.Latency,
-		Jitter:       opts.Jitter,
-		Loss:         opts.Loss,
-		Seed:         opts.Seed,
-		Registry:     opts.Registry,
-		Logf:         opts.Logf,
+		Nodes:             opts.Nodes,
+		MemoryMB:          opts.MemoryMB,
+		Transport:         tp,
+		PlacementTTL:      opts.PlacementTTL,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		SuspectAfter:      opts.SuspectAfter,
+		DeadAfter:         opts.DeadAfter,
+		MaxTaskRetries:    opts.MaxTaskRetries,
+		StragglerAfter:    opts.StragglerAfter,
+		Latency:           opts.Latency,
+		Jitter:            opts.Jitter,
+		Loss:              opts.Loss,
+		Seed:              opts.Seed,
+		Registry:          opts.Registry,
+		Logf:              opts.Logf,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cn: %w", err)

@@ -110,7 +110,7 @@ func (c *Client) handle(m *msg.Message) {
 				c.logf("inbox full, dropping message from %s", p.FromTask)
 			}
 		}
-	case msg.KindTaskStarted, msg.KindTaskCompleted, msg.KindTaskFailed:
+	case msg.KindTaskStarted, msg.KindTaskCompleted, msg.KindTaskFailed, msg.KindTaskRetried:
 		var ev protocol.TaskEvent
 		if err := protocol.Decode(m, &ev); err != nil {
 			return
@@ -248,10 +248,15 @@ type Job struct {
 type Progress struct {
 	// Tasks is how many tasks were successfully created on the job.
 	Tasks int `json:"tasks"`
-	// Started/Completed/Failed count the respective lifecycle events.
+	// Started/Completed/Failed count the respective lifecycle events. A
+	// recovered task restarts, so Started can exceed Tasks on jobs that
+	// survived node failures.
 	Started   int `json:"started"`
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
+	// Retried counts TASK_RETRIED events: re-placements after a node
+	// death, a failed dispatch, or straggler speculation.
+	Retried int `json:"retried"`
 }
 
 // Result is a job's terminal status.
@@ -268,6 +273,12 @@ type Event struct {
 	Task string
 	Node string
 	Err  string
+	// Attempt is the task's re-placement count when the event fired (0 for
+	// the original placement).
+	Attempt int
+	// Speculative marks a TASK_RETRIED raised by straggler speculation
+	// rather than failure recovery.
+	Speculative bool
 }
 
 // CreateTask registers a single task with the job; ar carries the task's
@@ -389,6 +400,8 @@ func (j *Job) recordEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 		j.prog.Completed++
 	case msg.KindTaskFailed:
 		j.prog.Failed++
+	case msg.KindTaskRetried:
+		j.prog.Retried++
 	}
 	j.mu.Unlock()
 	m := protocol.Body(kind, msg.Address{}, msg.Address{}, *ev)
@@ -500,7 +513,10 @@ func (j *Job) GetEvent(ctx context.Context) (*Event, error) {
 	if err := protocol.Decode(m, &ev); err != nil {
 		return nil, fmt.Errorf("api: get event: %w", err)
 	}
-	return &Event{Kind: m.Kind, Task: ev.Task, Node: ev.Node, Err: ev.Err}, nil
+	return &Event{
+		Kind: m.Kind, Task: ev.Task, Node: ev.Node, Err: ev.Err,
+		Attempt: ev.Attempt, Speculative: ev.Speculative,
+	}, nil
 }
 
 // Cancel abandons the job.

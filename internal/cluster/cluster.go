@@ -51,6 +51,20 @@ type Config struct {
 	// TombstoneTTL bounds finished-job tombstone retention per JobManager
 	// (0 = jobmgr default; negative keeps tombstones forever).
 	TombstoneTTL time.Duration
+	// HeartbeatInterval is each TaskManager's beat cadence and each
+	// JobManager's lease sizing basis (0 = health default; negative
+	// disables heartbeating and failure detection).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter override the lease windows
+	// (0 = 3× / 6× the heartbeat interval).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// MaxTaskRetries bounds per-task re-placement by each JobManager's
+	// recovery engine (0 = jobmgr default; negative disables recovery).
+	MaxTaskRetries int
+	// StragglerAfter enables speculative re-execution of running tasks
+	// whose progress sync stalls this long (0 = disabled).
+	StragglerAfter time.Duration
 	// Logf receives server diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -95,13 +109,18 @@ func Start(cfg Config) (*Cluster, error) {
 	for i := 1; i <= cfg.Nodes; i++ {
 		name := fmt.Sprintf("%s%d", cfg.NodePrefix, i)
 		srv, err := server.Start(net, server.Config{
-			Node:         name,
-			MemoryMB:     cfg.MemoryMB,
-			MaxJobs:      cfg.MaxJobs,
-			Registry:     cfg.Registry,
-			PlacementTTL: cfg.PlacementTTL,
-			TombstoneTTL: cfg.TombstoneTTL,
-			Logf:         cfg.Logf,
+			Node:              name,
+			MemoryMB:          cfg.MemoryMB,
+			MaxJobs:           cfg.MaxJobs,
+			Registry:          cfg.Registry,
+			PlacementTTL:      cfg.PlacementTTL,
+			TombstoneTTL:      cfg.TombstoneTTL,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			SuspectAfter:      cfg.SuspectAfter,
+			DeadAfter:         cfg.DeadAfter,
+			MaxTaskRetries:    cfg.MaxTaskRetries,
+			StragglerAfter:    cfg.StragglerAfter,
+			Logf:              cfg.Logf,
 		})
 		if err != nil {
 			c.Stop()
@@ -145,6 +164,7 @@ func (c *Cluster) PlacementStats() placement.Stats {
 		agg.SolicitRounds += s.SolicitRounds
 		agg.CacheHits += s.CacheHits
 		agg.Invalidations += s.Invalidations
+		agg.Evictions += s.Evictions
 	}
 	return agg
 }
@@ -162,15 +182,17 @@ func (c *Cluster) BlobTransfers() int64 {
 }
 
 // KillNode abruptly removes a node from the cluster (failure injection):
-// its endpoint detaches and its managers stop. Messages in flight to the
-// node are dropped, like a machine losing power.
+// its endpoint detaches before its managers stop, so messages in flight to
+// and from the node are dropped, like a machine losing power. Surviving
+// JobManagers detect the death by heartbeat-lease expiry and re-place the
+// node's in-flight tasks.
 func (c *Cluster) KillNode(node string) error {
 	srv, ok := c.servers[node]
 	if !ok {
 		return fmt.Errorf("cluster: kill %s: unknown or already dead node", node)
 	}
 	delete(c.servers, node)
-	return srv.Close()
+	return srv.Kill()
 }
 
 // Stop shuts down every server and the fabric.

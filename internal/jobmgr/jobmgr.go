@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cn/internal/archive"
+	"cn/internal/health"
 	"cn/internal/msg"
 	"cn/internal/placement"
 	"cn/internal/protocol"
@@ -40,6 +41,29 @@ type Config struct {
 	// late message routing before eviction (0 = 5m; negative keeps them
 	// forever, the pre-eviction behavior).
 	TombstoneTTL time.Duration
+	// HeartbeatInterval is the TaskManager beat cadence this JobManager
+	// expects; it sizes the default lease windows (0 =
+	// health.DefaultInterval).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the lease lapse that excludes a node from new
+	// placements (0 = 3 × HeartbeatInterval).
+	SuspectAfter time.Duration
+	// DeadAfter is the lease lapse that orphans a node's tasks and triggers
+	// re-placement (0 = 6 × HeartbeatInterval).
+	DeadAfter time.Duration
+	// MaxTaskRetries bounds how many times one task may be re-placed by the
+	// recovery engine — dead-node orphan recovery, failed exec dispatch, and
+	// straggler speculation all draw from the same budget (0 =
+	// DefaultMaxTaskRetries; negative disables recovery entirely, the
+	// pre-fault-tolerance behavior where a lost assignment fails the task).
+	MaxTaskRetries int
+	// StragglerAfter enables speculative execution: a running task whose
+	// heartbeat progress sync has not advanced for this long gets a second
+	// copy placed on another node; the first result wins and the loser is
+	// cancelled (0 = disabled). The threshold must exceed the longest
+	// silent compute stretch a healthy task performs, or healthy tasks will
+	// be (harmlessly but wastefully) duplicated.
+	StragglerAfter time.Duration
 	// Logf receives diagnostic lines; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +71,10 @@ type Config struct {
 // DefaultTombstoneTTL is how long finished jobs stay routable when
 // Config.TombstoneTTL is zero.
 const DefaultTombstoneTTL = 5 * time.Minute
+
+// DefaultMaxTaskRetries is the per-task re-placement budget when
+// Config.MaxTaskRetries is zero.
+const DefaultMaxTaskRetries = 2
 
 // FreeMemFunc reports the node's current free task-execution memory; the
 // server wires the TaskManager's gauge in so JM offers are truthful.
@@ -66,9 +94,13 @@ type jobState struct {
 
 	mu        sync.Mutex
 	specs     map[string]*task.Spec
-	placement map[string]string // task -> node
-	// blobs holds the job's archive bytes by digest until the job starts,
-	// serving TaskManager KindFetchBlob pulls during assignment.
+	placement map[string]string // task -> primary executing node
+	// archives remembers each task's content-addressed archive reference so
+	// the recovery engine can rebuild assignment items for re-placement.
+	archives map[string]protocol.ArchiveRef
+	// blobs holds the job's archive bytes by digest until the job finishes,
+	// serving TaskManager KindFetchBlob pulls during assignment and during
+	// recovery re-placement (re-placed tasks re-fetch by digest).
 	blobs      map[string][]byte
 	schedule   *Schedule
 	started    bool
@@ -79,6 +111,25 @@ type jobState struct {
 	// (a client that timed out or died mid-composition) and evicted.
 	idleSince time.Time
 	taskErrs  map[string]string
+	// retries counts re-placements per task (recovery + speculation),
+	// bounded by Config.MaxTaskRetries.
+	retries map[string]int
+	// retrying marks tasks with a recovery re-placement in flight so
+	// concurrent death events and dispatch failures do not double-place.
+	retrying map[string]bool
+	// speculative maps a task to the node running its speculative twin;
+	// first result wins and the loser is cancelled.
+	speculative map[string]string
+	// beats is the per-task progress sync from TaskManager heartbeats; a
+	// running task whose entry stops advancing past StragglerAfter is a
+	// speculation candidate.
+	beats map[string]*beatState
+}
+
+// beatState is one task's last observed progress sync.
+type beatState struct {
+	progress  uint64
+	changedAt time.Time
 }
 
 // JobManager hosts jobs on one node.
@@ -88,6 +139,7 @@ type JobManager struct {
 	caller  *transport.Caller
 	freeMem FreeMemFunc
 	dir     *placement.Directory
+	monitor *health.Monitor
 	stop    chan struct{}
 
 	mu     sync.Mutex
@@ -118,6 +170,26 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 	if cfg.TombstoneTTL == 0 {
 		cfg.TombstoneTTL = DefaultTombstoneTTL
 	}
+	// A negative interval means the TaskManagers are not heartbeating at
+	// all: leases must never expire or every placed node would read as
+	// dead. The monitor still exists (placement's liveness gate consults
+	// it) but its sweeper stays off.
+	monSweep := time.Duration(0)
+	if cfg.HeartbeatInterval < 0 {
+		monSweep = -1
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = health.DefaultInterval
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3 * cfg.HeartbeatInterval
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 6 * cfg.HeartbeatInterval
+	}
+	if cfg.MaxTaskRetries == 0 {
+		cfg.MaxTaskRetries = DefaultMaxTaskRetries
+	}
 	jm := &JobManager{
 		cfg:     cfg,
 		send:    send,
@@ -126,16 +198,32 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 		stop:    make(chan struct{}),
 		jobs:    make(map[string]*jobState),
 	}
+	jm.monitor = health.NewMonitor(health.Config{
+		SuspectAfter: cfg.SuspectAfter,
+		DeadAfter:    cfg.DeadAfter,
+		Sweep:        monSweep,
+		Logf:         cfg.Logf,
+	})
 	jm.dir = placement.NewDirectory(placement.Config{
 		TTL:     cfg.PlacementTTL,
 		Solicit: jm.solicitOffers,
+		Live:    jm.liveNodes,
 	})
 	if cfg.TombstoneTTL > 0 {
 		jm.wg.Add(1)
 		go jm.janitor()
 	}
+	jm.wg.Add(1)
+	go jm.watchHealth()
+	if cfg.StragglerAfter > 0 {
+		jm.wg.Add(1)
+		go jm.stragglerLoop()
+	}
 	return jm
 }
+
+// Health exposes the node-liveness monitor (status surfaces, tests).
+func (jm *JobManager) Health() *health.Monitor { return jm.monitor }
 
 // solicitOffers performs one multicast solicitation round over the
 // TaskManager group — the placement directory's refresh path. The probe
@@ -269,11 +357,17 @@ func (jm *JobManager) JobProgress(jobID string) (Progress, bool) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	var p Progress
 	if j.schedule == nil {
 		n := len(j.specs)
-		return Progress{Total: n, Pending: n}, true
+		p = Progress{Total: n, Pending: n}
+	} else {
+		p = j.schedule.Progress()
 	}
-	return j.schedule.Progress(), true
+	for _, n := range j.retries {
+		p.Retried += n
+	}
+	return p, true
 }
 
 // HandleSolicit answers a KindJobManagerSolicit multicast: "JobManagers
@@ -318,15 +412,20 @@ func (jm *JobManager) HandleCreateJob(m *msg.Message) *msg.Message {
 	jm.nextID++
 	id := fmt.Sprintf("%s-job%d", jm.cfg.Node, jm.nextID)
 	j := &jobState{
-		id:         id,
-		name:       req.Name,
-		clientNode: req.ClientNode,
-		queue:      msg.NewMailbox(jobQueueCap),
-		specs:      make(map[string]*task.Spec),
-		placement:  make(map[string]string),
-		blobs:      make(map[string][]byte),
-		idleSince:  time.Now(),
-		taskErrs:   make(map[string]string),
+		id:          id,
+		name:        req.Name,
+		clientNode:  req.ClientNode,
+		queue:       msg.NewMailbox(jobQueueCap),
+		specs:       make(map[string]*task.Spec),
+		placement:   make(map[string]string),
+		archives:    make(map[string]protocol.ArchiveRef),
+		blobs:       make(map[string][]byte),
+		idleSince:   time.Now(),
+		taskErrs:    make(map[string]string),
+		retries:     make(map[string]int),
+		retrying:    make(map[string]bool),
+		speculative: make(map[string]string),
+		beats:       make(map[string]*beatState),
 	}
 	jm.jobs[id] = j
 	jm.wg.Add(1)
@@ -451,7 +550,7 @@ func (jm *JobManager) createTasks(j *jobState, items []protocol.TaskCreate, blob
 	}
 	j.mu.Unlock()
 
-	placements, err := jm.placeBatch(j, items)
+	placements, err := jm.placeBatch(j, items, nil)
 	j.mu.Lock()
 	j.idleSince = time.Now()
 	if err != nil {
@@ -482,8 +581,14 @@ func (jm *JobManager) createTasks(j *jobState, items []protocol.TaskCreate, blob
 	for _, it := range items {
 		j.specs[it.Spec.Name] = it.Spec
 		j.placement[it.Spec.Name] = placements[it.Spec.Name]
+		j.archives[it.Spec.Name] = it.Archive
 	}
 	j.mu.Unlock()
+	// Start liveness leases for the hosting nodes: a node that dies before
+	// its first heartbeat must still expire.
+	for node := range nodeSet(placements) {
+		jm.monitor.Watch(node)
+	}
 	jm.logf("job %s: placed %d tasks on %d nodes", j.id, len(items), distinctNodes(placements))
 	return placements, nil
 }
@@ -494,8 +599,10 @@ func distinctNodes(placements map[string]string) int { return len(nodeSet(placem
 // directory (cached when fresh), a bin-packing plan against the offered
 // free-memory figures, then parallel batched assignments to the chosen
 // nodes. Rejected or unplaceable tasks are retried on later rounds after
-// invalidating the offending offers.
-func (jm *JobManager) placeBatch(j *jobState, items []protocol.TaskCreate) (map[string]string, error) {
+// invalidating the offending offers. preExcluded nodes are never chosen —
+// the recovery engine passes the dead node (its offer may still be cached)
+// and speculation passes the straggler's own node.
+func (jm *JobManager) placeBatch(j *jobState, items []protocol.TaskCreate, preExcluded map[string]bool) (map[string]string, error) {
 	byName := make(map[string]protocol.TaskCreate, len(items))
 	specs := make([]*task.Spec, len(items))
 	for i, it := range items {
@@ -509,7 +616,10 @@ func (jm *JobManager) placeBatch(j *jobState, items []protocol.TaskCreate) (map[
 	// could race the release against the retry, so they are out for the
 	// rest of this batch (later batches use different names and may
 	// choose them again).
-	excluded := make(map[string]bool)
+	excluded := make(map[string]bool, len(preExcluded))
+	for node := range preExcluded {
+		excluded[node] = true
+	}
 	var exclMu sync.Mutex
 	var lastErr error
 	for attempt := 0; attempt < jm.cfg.SolicitRetries && len(remaining) > 0; attempt++ {
@@ -754,9 +864,9 @@ func (jm *JobManager) HandleStartJob(m *msg.Message) *msg.Message {
 	}
 	j.schedule = sched
 	j.started = true
-	// No further assignments can happen; the stashed archive bytes are no
-	// longer needed (TaskManagers hold their own digest-keyed copies).
-	j.blobs = nil
+	// The stashed archive bytes are kept until the job finishes: recovery
+	// re-placement needs them so a surviving TaskManager that never cached
+	// the digest can still pull the blob.
 	ready := sched.Ready()
 	for _, name := range ready {
 		if err := sched.MarkRunning(name); err != nil {
@@ -773,7 +883,9 @@ func (jm *JobManager) HandleStartJob(m *msg.Message) *msg.Message {
 	return m.Reply(msg.KindPong, nil)
 }
 
-// execTask dispatches one task to its TaskManager.
+// execTask dispatches one task to its TaskManager. A failed dispatch (the
+// node vanished between placement and start) enters the recovery path
+// instead of failing the task outright.
 func (jm *JobManager) execTask(j *jobState, name string) {
 	j.mu.Lock()
 	node := j.placement[name]
@@ -784,9 +896,7 @@ func (jm *JobManager) execTask(j *jobState, name string) {
 		protocol.ExecTaskReq{JobID: j.id, Task: name})
 	if err := jm.send(node, em); err != nil {
 		jm.logf("job %s: exec %q on %s: %v", j.id, name, node, err)
-		jm.onTaskEvent(msg.KindTaskFailed, &protocol.TaskEvent{
-			JobID: j.id, Task: name, Node: node, Err: fmt.Sprintf("dispatch: %v", err),
-		})
+		jm.retryOrFail(j, name, node, fmt.Sprintf("dispatch to %s failed: %v", node, err))
 	}
 }
 
@@ -850,34 +960,89 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 		jm.logf("event %s for unknown job %s", kind, ev.JobID)
 		return
 	}
-	// Forward every lifecycle event to the client ("Get Messages from
-	// Tasks" includes lifecycle notifications).
-	jm.forwardToClient(j, kind, ev)
 
 	var toStart []string
+	var cancelCopies []string // nodes hosting a losing copy of ev.Task
 	var jobDone, jobFailed bool
+	forward := true
 	j.mu.Lock()
 	if j.schedule == nil || j.notified {
 		j.mu.Unlock()
+		// Late events for finished jobs are still relayed ("Get Messages
+		// from Tasks" includes lifecycle notifications).
+		jm.forwardToClient(j, kind, ev)
 		return
 	}
+	primary := j.placement[ev.Task]
+	twin := j.speculative[ev.Task]
 	switch kind {
 	case msg.KindTaskStarted:
-		// informational only
-	case msg.KindTaskCompleted:
-		newly, err := j.schedule.Complete(ev.Task)
-		if err != nil {
-			jm.logf("job %s: %v", j.id, err)
+		// Informational; seed the straggler baseline so a task that starts
+		// and never syncs progress is still speculation-eligible.
+		if j.beats[ev.Task] == nil {
+			j.beats[ev.Task] = &beatState{changedAt: time.Now()}
 		}
+	case msg.KindTaskCompleted:
+		if ev.Node != "" && ev.Node != primary && ev.Node != twin {
+			// A copy this job no longer tracks (a cancelled loser, or an
+			// orphan that raced its own recovery): its result is already
+			// covered by the surviving copy.
+			forward = false
+			break
+		}
+		newly, cerr := j.schedule.Complete(ev.Task)
+		if cerr != nil {
+			// With a twin or past retries in play this is a benign
+			// duplicate (the other copy won earlier); otherwise it is an
+			// out-of-protocol event worth a diagnostic.
+			if twin == "" && j.retries[ev.Task] == 0 {
+				jm.logf("job %s: %v", j.id, cerr)
+			}
+			forward = false
+			break
+		}
+		if twin != "" {
+			// First result wins; cancel the losing copy.
+			loser := twin
+			if ev.Node == twin {
+				loser = primary
+			}
+			j.placement[ev.Task] = ev.Node
+			delete(j.speculative, ev.Task)
+			if loser != "" && loser != ev.Node {
+				cancelCopies = append(cancelCopies, loser)
+			}
+		}
+		delete(j.beats, ev.Task)
 		for _, name := range newly {
 			if err := j.schedule.MarkRunning(name); err == nil {
 				toStart = append(toStart, name)
 			}
 		}
 	case msg.KindTaskFailed:
-		j.taskErrs[ev.Task] = ev.Err
-		if err := j.schedule.Fail(ev.Task); err != nil {
-			jm.logf("job %s: %v", j.id, err)
+		switch {
+		case twin != "" && ev.Node == twin:
+			// The speculative twin failed; the primary is still running.
+			delete(j.speculative, ev.Task)
+			forward = false
+		case ev.Node != "" && ev.Node != primary:
+			// Stale copy of a re-placed task (usually the cancelled loser
+			// reporting "stopped"); not authoritative.
+			forward = false
+		case twin != "":
+			// The primary failed but its speculative twin is still running:
+			// promote the twin instead of failing the task. Reseed the
+			// straggler baseline so the twin is not judged by the failed
+			// primary's stale stall timestamp.
+			j.placement[ev.Task] = twin
+			delete(j.speculative, ev.Task)
+			j.beats[ev.Task] = &beatState{changedAt: time.Now()}
+			forward = false
+		default:
+			j.taskErrs[ev.Task] = ev.Err
+			if !j.schedule.FailAny(ev.Task) {
+				jm.logf("job %s: fail %q: already terminal", j.id, ev.Task)
+			}
 		}
 	}
 	if j.schedule.Done() || j.schedule.Failed() {
@@ -888,11 +1053,29 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 	}
 	j.mu.Unlock()
 
+	if forward {
+		jm.forwardToClient(j, kind, ev)
+	}
+	for _, node := range cancelCopies {
+		jm.cancelCopy(j, node, ev.Task)
+	}
 	for _, name := range toStart {
 		jm.execTask(j, name)
 	}
 	if jobDone {
 		jm.finishJob(j, jobFailed)
+	}
+}
+
+// cancelCopy sends a targeted cancel for one task copy that lost the
+// first-result-wins race.
+func (jm *JobManager) cancelCopy(j *jobState, node, taskName string) {
+	cm := protocol.Body(msg.KindCancelJob,
+		msg.Address{Node: jm.cfg.Node, Job: j.id},
+		msg.Address{Node: node, Job: j.id},
+		protocol.CancelJobReq{JobID: j.id, Reason: "duplicate copy lost", Tasks: []string{taskName}})
+	if err := jm.send(node, cm); err != nil {
+		jm.logf("job %s: cancel losing copy of %q on %s: %v", j.id, taskName, node, err)
 	}
 }
 
@@ -904,11 +1087,17 @@ func (jm *JobManager) finishJob(j *jobState, failed bool) {
 	for _, n := range j.placement {
 		nodes[n] = true
 	}
+	for _, n := range j.speculative {
+		nodes[n] = true
+	}
 	errs := make(map[string]string, len(j.taskErrs))
 	for k, v := range j.taskErrs {
 		errs[k] = v
 	}
 	client := j.clientNode
+	// The job is terminal: its archive bytes are no longer needed for
+	// assignment or recovery.
+	j.blobs = nil
 	j.mu.Unlock()
 
 	if failed {
@@ -1034,6 +1223,10 @@ func (jm *JobManager) finishJobCancelled(j *jobState, reason string) {
 	for _, n := range j.placement {
 		nodes[n] = true
 	}
+	for _, n := range j.speculative {
+		nodes[n] = true
+	}
+	j.blobs = nil
 	j.mu.Unlock()
 	for node := range nodes {
 		cm := protocol.Body(msg.KindCancelJob,
@@ -1062,5 +1255,6 @@ func (jm *JobManager) Close() {
 		j.queue.Close()
 	}
 	jm.mu.Unlock()
+	jm.monitor.Close()
 	jm.wg.Wait()
 }

@@ -1,0 +1,543 @@
+// Recovery engine: the JobManager half of CN's fault-tolerance subsystem.
+//
+// TaskManagers stream HEARTBEAT messages (lease renewal + per-task
+// progress sync) to every JobManager holding assignments on them. Each
+// JobManager feeds the beats into a health.Monitor and reacts to its
+// transitions:
+//
+//   - suspect: the node's cached offer is evicted so new plans avoid it;
+//   - dead: the node's in-flight tasks are orphaned and re-placed on
+//     surviving nodes (archive blobs re-fetch by digest, so re-placement
+//     costs one assignment round, not a re-upload), bounded by the
+//     MaxTaskRetries budget; exhausted tasks fail so the job terminates
+//     instead of hanging;
+//   - alive (resurrection): nothing to undo — the next solicitation round
+//     re-admits the node.
+//
+// A separate straggler scan (enabled by Config.StragglerAfter) re-places
+// running tasks whose progress sync has stalled: a speculative twin runs
+// on another node, the first result wins, and the loser is cancelled.
+// Every re-placement is announced to the client as a KindTaskRetried
+// event carrying the attempt count and reason.
+
+package jobmgr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cn/internal/health"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+)
+
+// maxRetries returns the effective per-task re-placement budget.
+func (jm *JobManager) maxRetries() int {
+	if jm.cfg.MaxTaskRetries < 0 {
+		return 0
+	}
+	return jm.cfg.MaxTaskRetries
+}
+
+// liveNodes is the placement directory's liveness gate: one snapshot of
+// the nodes that are valid placement targets — members of the TaskManager
+// discovery group (they did not leave or crash off the fabric) whose
+// health lease is current (not suspect or dead). Built once per Offers()
+// evaluation so the cache-hit hot path stays O(nodes).
+func (jm *JobManager) liveNodes() map[string]bool {
+	if jm.caller == nil {
+		return nil // no fabric view: treat every node as live
+	}
+	members := jm.caller.Endpoint().GroupMembers(protocol.GroupTaskManagers)
+	live := make(map[string]bool, len(members))
+	for _, n := range members {
+		if jm.monitor.Alive(n) {
+			live[n] = true
+		}
+	}
+	return live
+}
+
+// HandleHeartbeat processes a TaskManager's KindHeartbeat: renew the
+// node's lease, absorb the per-task progress sync, and acknowledge —
+// flagging beat jobs this JobManager no longer tracks so the TaskManager
+// can release their leftover assignments.
+func (jm *JobManager) HandleHeartbeat(m *msg.Message) *msg.Message {
+	var hb protocol.Heartbeat
+	if err := protocol.Decode(m, &hb); err != nil {
+		jm.logf("bad heartbeat: %v", err)
+		return nil
+	}
+	node := hb.Node
+	if node == "" {
+		node = m.From.Node
+	}
+	if len(hb.Beats) == 0 {
+		// Goodbye beat: the TaskManager holds nothing of ours anymore. Drop
+		// the lease only when this JobManager agrees — if the schedule still
+		// shows live tasks there (a dropped completion event, or a goodbye
+		// that raced a fresh assignment), the lease must stay so its lapse
+		// can trigger recovery instead of the job hanging unmonitored.
+		if !jm.hasLivePlacements(node) {
+			jm.monitor.Forget(node)
+		}
+		return m.Reply(msg.KindHeartbeatAck, msg.MustEncode(protocol.HeartbeatAck{Node: jm.cfg.Node, Seq: hb.Seq}))
+	}
+	jm.monitor.Observe(node)
+	now := time.Now()
+	unknown := make(map[string]bool)
+	for _, b := range hb.Beats {
+		jm.mu.Lock()
+		j, ok := jm.jobs[b.JobID]
+		jm.mu.Unlock()
+		if !ok {
+			unknown[b.JobID] = true
+			continue
+		}
+		if !b.Running {
+			continue
+		}
+		j.mu.Lock()
+		// Only the current primary's beats drive straggler detection; a
+		// speculative twin or stale copy must not mask a stalled primary.
+		if j.placement[b.Task] == node {
+			bs := j.beats[b.Task]
+			if bs == nil {
+				bs = &beatState{}
+				j.beats[b.Task] = bs
+			}
+			if b.Progress != bs.progress || bs.changedAt.IsZero() {
+				bs.progress = b.Progress
+				bs.changedAt = now
+			}
+		}
+		j.mu.Unlock()
+	}
+	ack := protocol.HeartbeatAck{Node: jm.cfg.Node, Seq: hb.Seq}
+	for id := range unknown {
+		ack.UnknownJobs = append(ack.UnknownJobs, id)
+	}
+	sort.Strings(ack.UnknownJobs)
+	return m.Reply(msg.KindHeartbeatAck, msg.MustEncode(ack))
+}
+
+// hasLivePlacements reports whether any hosted job still has a
+// non-terminal task placed (or speculated) on the node.
+func (jm *JobManager) hasLivePlacements(node string) bool {
+	jm.mu.Lock()
+	jobs := make([]*jobState, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		jobs = append(jobs, j)
+	}
+	jm.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.notified {
+			j.mu.Unlock()
+			continue
+		}
+		for taskName, n := range j.placement {
+			if n != node {
+				continue
+			}
+			if j.schedule == nil {
+				j.mu.Unlock()
+				return true
+			}
+			switch j.schedule.Status(taskName) {
+			case StatusDone, StatusFailed, StatusCancelled:
+			default:
+				j.mu.Unlock()
+				return true
+			}
+		}
+		for _, n := range j.speculative {
+			if n == node {
+				j.mu.Unlock()
+				return true
+			}
+		}
+		j.mu.Unlock()
+	}
+	return false
+}
+
+// watchHealth reacts to the failure detector's state transitions.
+func (jm *JobManager) watchHealth() {
+	defer jm.wg.Done()
+	ch, cancel := jm.monitor.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-jm.stop:
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			switch ev.State {
+			case health.StateSuspect:
+				// Suspect nodes are excluded from new plans but their
+				// tasks keep running: a late beat resurrects them cheaply.
+				jm.dir.Evict(ev.Node)
+				jm.logf("node %s suspect; excluded from placement", ev.Node)
+			case health.StateDead:
+				jm.recoverNode(ev.Node)
+			case health.StateAlive:
+				// Resurrection: the next solicitation round re-admits it.
+				jm.logf("node %s alive again", ev.Node)
+			}
+		}
+	}
+}
+
+// recoverNode orphans a dead node's in-flight tasks across every hosted
+// job and re-places them on surviving nodes.
+func (jm *JobManager) recoverNode(node string) {
+	jm.dir.Evict(node)
+	jm.mu.Lock()
+	jobs := make([]*jobState, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		jobs = append(jobs, j)
+	}
+	jm.mu.Unlock()
+
+	recovered := 0
+	for _, j := range jobs {
+		var orphans []string
+		j.mu.Lock()
+		if j.notified {
+			j.mu.Unlock()
+			continue
+		}
+		// Twins on the dead node simply disappear; their primaries live on.
+		for taskName, n := range j.speculative {
+			if n == node {
+				delete(j.speculative, taskName)
+			}
+		}
+		for taskName, n := range j.placement {
+			if n != node || j.retrying[taskName] {
+				continue
+			}
+			if j.schedule != nil {
+				switch j.schedule.Status(taskName) {
+				case StatusDone, StatusFailed, StatusCancelled:
+					continue
+				}
+			}
+			if twin := j.speculative[taskName]; twin != "" {
+				// The task already has a live copy elsewhere: promote it
+				// instead of re-placing. Reseed the straggler baseline, or
+				// the healthy twin would be judged by the dead primary's
+				// stale stall timestamp and immediately re-speculated.
+				j.placement[taskName] = twin
+				delete(j.speculative, taskName)
+				j.beats[taskName] = &beatState{changedAt: time.Now()}
+				continue
+			}
+			j.retrying[taskName] = true
+			orphans = append(orphans, taskName)
+		}
+		j.mu.Unlock()
+		if len(orphans) > 0 {
+			recovered += len(orphans)
+			jm.retryTasks(j, orphans, fmt.Sprintf("node %s died", node), map[string]bool{node: true})
+		}
+	}
+	// The node's lease record has served its purpose; a resurrected node
+	// re-registers when it next hosts tasks for this JobManager.
+	jm.monitor.Forget(node)
+	jm.logf("node %s dead: %d orphaned tasks recovered", node, recovered)
+}
+
+// retryOrFail routes a single task into the recovery path after its exec
+// dispatch failed, falling back to an immediate task failure when recovery
+// is disabled. It never blocks the caller: re-placement performs
+// solicitation round trips, so it runs on its own goroutine.
+func (jm *JobManager) retryOrFail(j *jobState, name, badNode, reason string) {
+	if jm.cfg.MaxTaskRetries < 0 {
+		jm.onTaskEvent(msg.KindTaskFailed, &protocol.TaskEvent{
+			JobID: j.id, Task: name, Node: badNode, Err: reason,
+		})
+		return
+	}
+	j.mu.Lock()
+	if j.retrying[name] || j.notified {
+		j.mu.Unlock()
+		return
+	}
+	j.retrying[name] = true
+	j.mu.Unlock()
+
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return
+	}
+	jm.wg.Add(1)
+	jm.mu.Unlock()
+	go func() {
+		defer jm.wg.Done()
+		jm.retryTasks(j, []string{name}, reason, map[string]bool{badNode: true})
+	}()
+}
+
+// retryTasks re-places a set of a job's tasks whose assignments were lost.
+// Every task named must already be marked in j.retrying by the caller.
+// Budget-exhausted tasks fail (the job terminates instead of hanging); the
+// rest are re-assigned on surviving nodes in one batch, re-dispatched when
+// they were already running, and announced to the client as
+// KindTaskRetried events.
+func (jm *JobManager) retryTasks(j *jobState, names []string, reason string, exclude map[string]bool) {
+	budget := jm.maxRetries()
+	var exhausted, toPlace []string
+	var items []protocol.TaskCreate
+	attempts := make(map[string]int, len(names))
+
+	j.mu.Lock()
+	if j.notified {
+		for _, name := range names {
+			delete(j.retrying, name)
+		}
+		j.mu.Unlock()
+		return
+	}
+	for _, name := range names {
+		sp := j.specs[name]
+		if sp == nil {
+			delete(j.retrying, name)
+			continue
+		}
+		if j.retries[name] >= budget {
+			attempts[name] = j.retries[name]
+			exhausted = append(exhausted, name)
+			continue
+		}
+		j.retries[name]++
+		attempts[name] = j.retries[name]
+		items = append(items, protocol.TaskCreate{Spec: sp, Archive: j.archives[name]})
+		toPlace = append(toPlace, name)
+	}
+	j.mu.Unlock()
+
+	for _, name := range exhausted {
+		jm.clearRetrying(j, name)
+		jm.onTaskEvent(msg.KindTaskFailed, &protocol.TaskEvent{
+			JobID: j.id, Task: name,
+			Err:     fmt.Sprintf("%s; retry budget (%d) exhausted", reason, budget),
+			Attempt: attempts[name],
+		})
+	}
+	if len(items) == 0 {
+		return
+	}
+
+	placements, err := jm.placeBatch(j, items, exclude)
+	if err != nil {
+		for _, name := range toPlace {
+			jm.clearRetrying(j, name)
+			jm.onTaskEvent(msg.KindTaskFailed, &protocol.TaskEvent{
+				JobID: j.id, Task: name,
+				Err:     fmt.Sprintf("%s; re-placement failed: %v", reason, err),
+				Attempt: attempts[name],
+			})
+		}
+		return
+	}
+
+	var execNow, applied []string
+	obsolete := make(map[string]string)
+	j.mu.Lock()
+	if j.notified {
+		// The job finished (or was cancelled) while placement ran; the
+		// fresh reservations must not leak.
+		for _, name := range toPlace {
+			delete(j.retrying, name)
+		}
+		j.mu.Unlock()
+		jm.releaseBatch(j, placements, "job finished during recovery")
+		return
+	}
+	now := time.Now()
+	for _, name := range toPlace {
+		delete(j.retrying, name)
+		node := placements[name]
+		if node == "" {
+			continue
+		}
+		// The task may have reached a terminal state while placement ran
+		// (a falsely-declared-dead node's copy completed): the result
+		// stands and the fresh assignment must be released, not recorded.
+		if j.schedule != nil {
+			switch j.schedule.Status(name) {
+			case StatusDone, StatusFailed, StatusCancelled:
+				obsolete[name] = node
+				continue
+			}
+		}
+		j.placement[name] = node
+		j.beats[name] = &beatState{changedAt: now}
+		applied = append(applied, name)
+		if j.schedule != nil && j.schedule.Status(name) == StatusRunning {
+			execNow = append(execNow, name)
+		}
+	}
+	j.mu.Unlock()
+
+	if len(obsolete) > 0 {
+		jm.releaseBatch(j, obsolete, "task finished during recovery")
+	}
+	// Lease only the nodes that actually kept an assignment: a node whose
+	// placement was released as obsolete may never beat for us, and
+	// watching it would falsely declare a healthy node dead.
+	for _, name := range applied {
+		jm.monitor.Watch(placements[name])
+	}
+	for _, name := range applied {
+		jm.forwardToClient(j, msg.KindTaskRetried, &protocol.TaskEvent{
+			JobID: j.id, Task: name, Node: placements[name],
+			Err: reason, Attempt: attempts[name],
+		})
+	}
+	for _, name := range execNow {
+		jm.execTask(j, name)
+	}
+	jm.logf("job %s: re-placed %d tasks (%s)", j.id, len(applied), reason)
+}
+
+func (jm *JobManager) clearRetrying(j *jobState, name string) {
+	j.mu.Lock()
+	delete(j.retrying, name)
+	j.mu.Unlock()
+}
+
+// stragglerLoop periodically scans running tasks for stalled progress.
+func (jm *JobManager) stragglerLoop() {
+	defer jm.wg.Done()
+	sweep := jm.cfg.StragglerAfter / 4
+	if sweep < 5*time.Millisecond {
+		sweep = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(sweep)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-jm.stop:
+			return
+		case now := <-ticker.C:
+			jm.checkStragglers(now)
+		}
+	}
+}
+
+// checkStragglers speculatively re-places running tasks whose progress
+// sync has not advanced for StragglerAfter. The twin runs alongside the
+// original: the first terminal result wins and the loser is cancelled.
+func (jm *JobManager) checkStragglers(now time.Time) {
+	jm.mu.Lock()
+	jobs := make([]*jobState, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		jobs = append(jobs, j)
+	}
+	jm.mu.Unlock()
+
+	budget := jm.maxRetries()
+	for _, j := range jobs {
+		var candidates []string
+		j.mu.Lock()
+		if j.schedule == nil || j.notified {
+			j.mu.Unlock()
+			continue
+		}
+		for name, node := range j.placement {
+			if j.schedule.Status(name) != StatusRunning {
+				continue
+			}
+			if j.speculative[name] != "" || j.retrying[name] || j.retries[name] >= budget {
+				continue
+			}
+			if !jm.monitor.Alive(node) {
+				continue // suspect/dead nodes are the recovery path's job
+			}
+			b := j.beats[name]
+			if b == nil || now.Sub(b.changedAt) < jm.cfg.StragglerAfter {
+				continue
+			}
+			j.retrying[name] = true
+			candidates = append(candidates, name)
+		}
+		j.mu.Unlock()
+		for _, name := range candidates {
+			jm.speculate(j, name)
+		}
+	}
+}
+
+// speculate places and starts one straggler's twin on another node.
+func (jm *JobManager) speculate(j *jobState, name string) {
+	j.mu.Lock()
+	sp := j.specs[name]
+	primary := j.placement[name]
+	ref := j.archives[name]
+	j.retries[name]++
+	attempt := j.retries[name]
+	j.mu.Unlock()
+	if sp == nil {
+		jm.clearRetrying(j, name)
+		return
+	}
+
+	reason := fmt.Sprintf("straggler: no progress for %v on %s", jm.cfg.StragglerAfter, primary)
+	placements, err := jm.placeBatch(j, []protocol.TaskCreate{{Spec: sp, Archive: ref}},
+		map[string]bool{primary: true})
+	if err != nil {
+		// No capacity for a twin: leave the original running and return
+		// the budget unit so a real failure can still be recovered.
+		j.mu.Lock()
+		j.retries[name]--
+		delete(j.retrying, name)
+		j.mu.Unlock()
+		jm.logf("job %s: cannot speculate %q: %v", j.id, name, err)
+		return
+	}
+	node := placements[name]
+
+	j.mu.Lock()
+	obsolete := j.notified || j.schedule == nil ||
+		j.schedule.Status(name) != StatusRunning || j.placement[name] != primary
+	if obsolete {
+		delete(j.retrying, name)
+		j.mu.Unlock()
+		jm.releaseBatch(j, placements, "speculation obsolete")
+		return
+	}
+	j.speculative[name] = node
+	delete(j.retrying, name)
+	j.mu.Unlock()
+
+	em := protocol.Body(msg.KindExecTask,
+		msg.Address{Node: jm.cfg.Node, Job: j.id},
+		msg.Address{Node: node, Job: j.id, Task: name},
+		protocol.ExecTaskReq{JobID: j.id, Task: name})
+	if err := jm.send(node, em); err != nil {
+		// The twin never ran: release its reservation, return the budget
+		// unit, and do not advertise a retry that did not happen.
+		jm.logf("job %s: start twin %q on %s: %v", j.id, name, node, err)
+		j.mu.Lock()
+		if j.speculative[name] == node {
+			delete(j.speculative, name)
+		}
+		j.retries[name]--
+		j.mu.Unlock()
+		jm.releaseBatch(j, placements, "twin dispatch failed")
+		return
+	}
+	jm.monitor.Watch(node)
+	jm.forwardToClient(j, msg.KindTaskRetried, &protocol.TaskEvent{
+		JobID: j.id, Task: name, Node: node,
+		Err: reason, Attempt: attempt, Speculative: true,
+	})
+	jm.logf("job %s: speculating %q on %s (primary %s)", j.id, name, node, primary)
+}

@@ -144,23 +144,42 @@ func (s *Schedule) Complete(name string) ([]string, error) {
 	return newly, nil
 }
 
-// Fail records failed termination; the job is failed and every
-// not-yet-terminal task is cancelled.
+// Fail records failed termination of a running task; the job is failed
+// and every not-yet-terminal task is cancelled.
 func (s *Schedule) Fail(name string) error {
 	if st := s.state[name]; st != StatusRunning {
 		return fmt.Errorf("jobmgr: fail %q: state %s", name, st)
 	}
+	s.FailAny(name)
+	return nil
+}
+
+// FailAny records failed termination for a task in any non-terminal state
+// — the recovery engine's transition for tasks whose assignment was lost
+// and could not be re-placed (a pending orphan never reached running, but
+// its loss is just as fatal to the job). It reports whether a transition
+// happened; already-terminal tasks are left untouched.
+func (s *Schedule) FailAny(name string) bool {
+	st, ok := s.state[name]
+	if !ok {
+		return false
+	}
+	switch st {
+	case StatusPending, StatusReady, StatusRunning:
+	default:
+		return false
+	}
 	s.state[name] = StatusFailed
 	s.terminal++
 	s.failed = true
-	for n, st := range s.state {
-		switch st {
+	for n, other := range s.state {
+		switch other {
 		case StatusPending, StatusReady:
 			s.state[n] = StatusCancelled
 			s.terminal++
 		}
 	}
-	return nil
+	return true
 }
 
 // CancelAll cancels every non-terminal task (used for client-initiated
@@ -202,6 +221,10 @@ type Progress struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	// Retried counts recovery and speculative re-placements across the
+	// job's tasks (not a schedule state: a retried task is still counted
+	// once under its current state).
+	Retried int `json:"retried"`
 }
 
 // Terminal returns how many tasks reached a terminal state.
@@ -217,6 +240,7 @@ func (p Progress) Add(o Progress) Progress {
 		Done:      p.Done + o.Done,
 		Failed:    p.Failed + o.Failed,
 		Cancelled: p.Cancelled + o.Cancelled,
+		Retried:   p.Retried + o.Retried,
 	}
 }
 

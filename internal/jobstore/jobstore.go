@@ -95,6 +95,9 @@ type Progress struct {
 	TasksRunning int `json:"tasks_running"`
 	TasksDone    int `json:"tasks_done"`
 	TasksFailed  int `json:"tasks_failed"`
+	// TasksRetried counts recovery and speculative re-placements (a task
+	// re-run after its node died, its dispatch failed, or it straggled).
+	TasksRetried int `json:"tasks_retried"`
 }
 
 // Record is a point-in-time snapshot of one job, shaped for JSON.

@@ -70,6 +70,11 @@ const (
 	KindPing
 	KindPong
 	KindShutdown
+
+	// Failure detection and recovery.
+	KindHeartbeat    // TaskManager -> JobManager: lease renewal + per-task progress sync
+	KindHeartbeatAck // JobManager -> TaskManager: beat acknowledged, unknown jobs flagged
+	KindTaskRetried  // event: a task was re-placed (recovery or speculation)
 )
 
 var kindNames = map[Kind]string{
@@ -103,6 +108,9 @@ var kindNames = map[Kind]string{
 	KindPing:              "PING",
 	KindPong:              "PONG",
 	KindShutdown:          "SHUTDOWN",
+	KindHeartbeat:         "HEARTBEAT",
+	KindHeartbeatAck:      "HEARTBEAT_ACK",
+	KindTaskRetried:       "TASK_RETRIED",
 }
 
 // String returns the wire name of the kind, e.g. "TASK_COMPLETED".
@@ -116,14 +124,14 @@ func (k Kind) String() string {
 // IsWellDefined reports whether k is part of the CN protocol (as opposed to
 // a user-defined payload that CN merely delivers).
 func (k Kind) IsWellDefined() bool {
-	return k > KindInvalid && k <= KindShutdown && k != KindUser && k != KindBroadcast
+	return k > KindInvalid && k <= KindTaskRetried && k != KindUser && k != KindBroadcast
 }
 
 // IsEvent reports whether k is an asynchronous lifecycle event (as opposed
 // to a request or a response).
 func (k Kind) IsEvent() bool {
 	switch k {
-	case KindTaskStarted, KindTaskCompleted, KindTaskFailed, KindJobCompleted, KindJobFailed:
+	case KindTaskStarted, KindTaskCompleted, KindTaskFailed, KindTaskRetried, KindJobCompleted, KindJobFailed:
 		return true
 	}
 	return false

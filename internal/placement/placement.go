@@ -33,6 +33,13 @@ type Config struct {
 	// TTL bounds how long cached offers are served (0 = DefaultTTL;
 	// negative disables caching so every Offers call solicits afresh).
 	TTL time.Duration
+	// Live returns the set of nodes that are currently valid placement
+	// targets; a nil function — or a nil returned set — treats every node
+	// as live. The owner wires in discovery-group membership and
+	// health-monitor state, so entries for nodes that left the cluster or
+	// stopped heartbeating are evicted instead of being served until the
+	// TTL happens to lapse. Called once per Offers() evaluation.
+	Live func() map[string]bool
 	// Now supplies the clock (nil = time.Now; tests inject fakes).
 	Now func() time.Time
 }
@@ -45,6 +52,9 @@ type Stats struct {
 	CacheHits int64
 	// Invalidations counts entries dropped after assignment rejections.
 	Invalidations int64
+	// Evictions counts entries dropped because the node left discovery or
+	// its health lease lapsed.
+	Evictions int64
 }
 
 // Directory is the cluster resource directory: a TTL cache of TaskManager
@@ -93,12 +103,46 @@ func (d *Directory) snapshotLocked() []protocol.TMOffer {
 	return out
 }
 
+// pruneDeadLocked evicts cached entries whose node is no longer live
+// (left the discovery group or lapsed its health lease); d.mu must be
+// held. Fresh solicitation rounds only hear from live nodes, so this
+// guards the cache-hit path.
+func (d *Directory) pruneDeadLocked() {
+	if d.cfg.Live == nil || len(d.entries) == 0 {
+		return
+	}
+	live := d.cfg.Live()
+	if live == nil {
+		return
+	}
+	for node := range d.entries {
+		if !live[node] {
+			delete(d.entries, node)
+			d.stats.Evictions++
+		}
+	}
+}
+
+// Evict drops a node's cached offer because the node is gone (discovery
+// departure or a health-lease death), as opposed to Invalidate's
+// "capacity figure was wrong" semantics.
+func (d *Directory) Evict(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[node]; ok {
+		delete(d.entries, node)
+		d.stats.Evictions++
+	}
+}
+
 // Offers returns the cluster's current offer set: the cached round when it
 // is fresh and non-empty, otherwise the result of a fresh multicast round.
 // An empty cache always falls through to a fresh round, so a directory
-// that has never seen an offer keeps probing rather than starving.
+// that has never seen an offer keeps probing rather than starving. Cached
+// entries for nodes the Live gate rejects are evicted before serving.
 func (d *Directory) Offers() ([]protocol.TMOffer, error) {
 	d.mu.Lock()
+	d.pruneDeadLocked()
 	if d.freshLocked() && len(d.entries) > 0 {
 		d.stats.CacheHits++
 		out := d.snapshotLocked()
@@ -129,6 +173,7 @@ func (d *Directory) Offers() ([]protocol.TMOffer, error) {
 			d.entries[o.Node] = o
 		}
 		d.fetchedAt = d.cfg.Now()
+		d.pruneDeadLocked()
 	}
 	d.inflight = nil
 	close(ch)

@@ -302,3 +302,107 @@ func TestPlanReportsUnplaceable(t *testing.T) {
 		t.Error("UnplacedError returned nil")
 	}
 }
+
+func TestDirectoryLiveGateEvictsDepartedNodes(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{
+		{offer("n1", 100, 0), offer("n2", 200, 0), offer("n3", 300, 0)},
+	}}
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	dead := map[string]bool{}
+	liveSet := func() map[string]bool {
+		live := map[string]bool{}
+		for _, n := range []string{"n1", "n2", "n3", "n9"} {
+			if !dead[n] {
+				live[n] = true
+			}
+		}
+		return live
+	}
+	d := NewDirectory(Config{
+		Solicit: fs.solicit,
+		TTL:     time.Hour, // the TTL alone would serve stale entries forever
+		Now:     clk.Now,
+		Live:    liveSet,
+	})
+	offers, err := d.Offers()
+	if err != nil || len(offers) != 3 {
+		t.Fatalf("offers = %v err = %v", offers, err)
+	}
+	// n2 leaves the cluster; the cached entry must be evicted on the next
+	// read even though the round is still fresh.
+	dead["n2"] = true
+	offers, err = d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 2 || offers[0].Node != "n1" || offers[1].Node != "n3" {
+		t.Fatalf("offers after departure = %v", offers)
+	}
+	if fs.count() != 1 {
+		t.Errorf("solicit rounds = %d, want 1 (eviction must not force a round)", fs.count())
+	}
+	if st := d.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestDirectoryLiveGateEmptiesCacheTriggersResolicit(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{
+		{offer("n1", 100, 0)},
+		{offer("n9", 900, 0)},
+	}}
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	dead := map[string]bool{}
+	liveSet := func() map[string]bool {
+		live := map[string]bool{}
+		for _, n := range []string{"n1", "n2", "n3", "n9"} {
+			if !dead[n] {
+				live[n] = true
+			}
+		}
+		return live
+	}
+	d := NewDirectory(Config{
+		Solicit: fs.solicit,
+		TTL:     time.Hour,
+		Now:     clk.Now,
+		Live:    liveSet,
+	})
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+	dead["n1"] = true
+	offers, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].Node != "n9" {
+		t.Fatalf("offers = %v, want fresh round's n9", offers)
+	}
+	if fs.count() != 2 {
+		t.Errorf("solicit rounds = %d, want 2 (empty cache falls through)", fs.count())
+	}
+}
+
+func TestDirectoryEvict(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{
+		{offer("n1", 100, 0), offer("n2", 200, 0)},
+	}}
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Hour, Now: clk.Now})
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+	d.Evict("n2")
+	d.Evict("n2") // idempotent
+	offers, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].Node != "n1" {
+		t.Fatalf("offers after evict = %v", offers)
+	}
+	if st := d.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}

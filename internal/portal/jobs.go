@@ -86,12 +86,16 @@ func (t *runTracker) progress() jobstore.Progress {
 			}
 		}
 		cp := tj.cnJob.Progress()
+		// Started counts events, so a recovered task's re-start inflates
+		// it past Tasks; clamp Running by the tasks not yet terminal.
+		running := min(cp.Started-cp.Completed-cp.Failed, cp.Tasks-cp.Completed-cp.Failed)
 		agg = agg.Add(jobmgr.Progress{
 			Total:   cp.Tasks,
 			Pending: max(cp.Tasks-cp.Started, 0),
-			Running: max(cp.Started-cp.Completed-cp.Failed, 0),
+			Running: max(running, 0),
 			Done:    cp.Completed,
 			Failed:  cp.Failed,
+			Retried: cp.Retried,
 		})
 	}
 	p.TasksTotal = agg.Total
@@ -99,6 +103,7 @@ func (t *runTracker) progress() jobstore.Progress {
 	p.TasksRunning = agg.Running
 	p.TasksDone = agg.Done
 	p.TasksFailed = agg.Failed + agg.Cancelled
+	p.TasksRetried = agg.Retried
 	return p
 }
 

@@ -185,12 +185,52 @@ type ExecTaskReq struct {
 }
 
 // TaskEvent is the body of the KindTaskStarted / KindTaskCompleted /
-// KindTaskFailed events (TaskManager -> JobManager -> client).
+// KindTaskFailed / KindTaskRetried events (TaskManager or JobManager ->
+// client).
 type TaskEvent struct {
 	JobID string
 	Task  string
 	Node  string
-	Err   string // non-empty only for KindTaskFailed
+	Err   string // failure or retry reason; empty for start/complete
+	// Attempt counts re-placements of the task so far (0 for the original
+	// placement); it is meaningful on KindTaskRetried and on events from
+	// recovered tasks.
+	Attempt int
+	// Speculative marks a KindTaskRetried caused by straggler speculation
+	// rather than failure recovery.
+	Speculative bool
+}
+
+// TaskBeat is one assignment's entry in a Heartbeat: a compact progress
+// sync the JobManager uses both as a liveness proof and as the straggler
+// signal (a running task whose Progress counter stops advancing is a
+// speculation candidate).
+type TaskBeat struct {
+	JobID string
+	Task  string
+	// Running reports whether the task's goroutine is executing (false for
+	// assigned-but-unstarted tasks).
+	Running bool
+	// Progress is a monotonic activity counter (messages sent/received plus
+	// explicit progress reports by the task).
+	Progress uint64
+}
+
+// Heartbeat is the body of KindHeartbeat (TaskManager -> each JobManager
+// holding assignments on it): the lease renewal plus per-task progress.
+type Heartbeat struct {
+	Node  string
+	Seq   uint64
+	Beats []TaskBeat
+}
+
+// HeartbeatAck is the body of KindHeartbeatAck. UnknownJobs lists beat
+// job ids this JobManager no longer tracks, so the TaskManager can release
+// assignments orphaned by job eviction.
+type HeartbeatAck struct {
+	Node        string
+	Seq         uint64
+	UnknownJobs []string
 }
 
 // UserPayload is the body of KindUser and KindBroadcast: user-defined

@@ -34,6 +34,20 @@ type Config struct {
 	// TombstoneTTL bounds finished-job tombstone retention in the
 	// JobManager (0 = jobmgr default; negative keeps tombstones forever).
 	TombstoneTTL time.Duration
+	// HeartbeatInterval is the TaskManager beat cadence and the
+	// JobManager's lease sizing basis (0 = health default; negative
+	// disables heartbeating and failure detection).
+	HeartbeatInterval time.Duration
+	// SuspectAfter / DeadAfter override the JobManager's lease windows
+	// (0 = 3× / 6× the heartbeat interval).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// MaxTaskRetries bounds per-task re-placement by the recovery engine
+	// (0 = jobmgr default; negative disables recovery).
+	MaxTaskRetries int
+	// StragglerAfter enables speculative execution of running tasks whose
+	// progress sync stalls this long (0 = disabled).
+	StragglerAfter time.Duration
 	// Logf receives diagnostics from both managers; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -64,19 +78,25 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 
 	send := func(toNode string, m *msg.Message) error { return ep.Send(toNode, m) }
 	s.tm = taskmgr.New(taskmgr.Config{
-		Node:     cfg.Node,
-		MemoryMB: cfg.MemoryMB,
-		Registry: cfg.Registry,
-		Fetch:    s.fetchBlobs,
-		Logf:     cfg.Logf,
+		Node:           cfg.Node,
+		MemoryMB:       cfg.MemoryMB,
+		Registry:       cfg.Registry,
+		Fetch:          s.fetchBlobs,
+		HeartbeatEvery: cfg.HeartbeatInterval,
+		Logf:           cfg.Logf,
 	}, send)
 	s.jm = jobmgr.New(jobmgr.Config{
-		Node:         cfg.Node,
-		MaxJobs:      cfg.MaxJobs,
-		MemoryMB:     cfg.MemoryMB,
-		PlacementTTL: cfg.PlacementTTL,
-		TombstoneTTL: cfg.TombstoneTTL,
-		Logf:         cfg.Logf,
+		Node:              cfg.Node,
+		MaxJobs:           cfg.MaxJobs,
+		MemoryMB:          cfg.MemoryMB,
+		PlacementTTL:      cfg.PlacementTTL,
+		TombstoneTTL:      cfg.TombstoneTTL,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		SuspectAfter:      cfg.SuspectAfter,
+		DeadAfter:         cfg.DeadAfter,
+		MaxTaskRetries:    cfg.MaxTaskRetries,
+		StragglerAfter:    cfg.StragglerAfter,
+		Logf:              cfg.Logf,
 	}, send, s.caller, s.tm.FreeMemoryMB)
 
 	if err := ep.Join(protocol.GroupJobManagers); err != nil {
@@ -193,7 +213,10 @@ func (s *Server) dispatch(m *msg.Message) {
 			return
 		}
 		if err := s.tm.HandleStart(req.JobID, req.Task); err != nil {
-			// Report the failure as a task event so the job does not hang.
+			// Report the failure as a task event so the job does not hang,
+			// and release the assignment's memory reservation — a task that
+			// can never start must not hold capacity until job teardown.
+			s.tm.ReleaseIfUnstarted(req.JobID, req.Task)
 			ev := protocol.TaskEvent{JobID: req.JobID, Task: req.Task, Node: s.cfg.Node, Err: err.Error()}
 			fm := protocol.Body(msg.KindTaskFailed,
 				msg.Address{Node: s.cfg.Node, Job: req.JobID, Task: req.Task},
@@ -206,6 +229,10 @@ func (s *Server) dispatch(m *msg.Message) {
 	// --- Health ---
 	case msg.KindPing:
 		s.replyIfAny(m, m.Reply(msg.KindPong, nil))
+	case msg.KindHeartbeat:
+		s.replyIfAny(m, s.jm.HandleHeartbeat(m))
+	case msg.KindHeartbeatAck:
+		s.tm.HandleHeartbeatAck(m)
 	}
 }
 
@@ -229,4 +256,22 @@ func (s *Server) Close() error {
 	s.jm.Close()
 	s.tm.Close()
 	return s.ep.Close()
+}
+
+// Kill power-cuts the server (failure injection): the endpoint detaches
+// FIRST, so nothing the dying managers produce — cancellation-induced task
+// failures, heartbeats, late replies — escapes to the cluster, exactly
+// like a machine losing power mid-send. The managers are then stopped to
+// reclaim the process's goroutines.
+func (s *Server) Kill() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		close(s.closed)
+	}
+	err := s.ep.Close()
+	s.jm.Close()
+	s.tm.Close()
+	return err
 }

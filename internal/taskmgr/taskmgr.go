@@ -9,10 +9,13 @@ package taskmgr
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cn/internal/archive"
+	"cn/internal/health"
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
@@ -40,6 +43,10 @@ type Config struct {
 	MailboxCap int
 	// Fetch pulls missing archive blobs from the assigning JobManager.
 	Fetch FetchFunc
+	// HeartbeatEvery is the cadence of HEARTBEAT messages to JobManagers
+	// holding assignments here (0 = health.DefaultInterval; negative
+	// disables heartbeating, the pre-failure-detection behavior).
+	HeartbeatEvery time.Duration
 	// Logf receives diagnostic lines; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -57,6 +64,10 @@ type assignment struct {
 	mailbox    *msg.Mailbox
 	cancelled  atomic.Bool
 	started    atomic.Bool
+	// progress is the task's monotonic activity counter, bumped on every
+	// message the task sends or receives; heartbeats carry it to the
+	// JobManager as the straggler-detection signal.
+	progress atomic.Uint64
 }
 
 // TaskManager executes tasks on one node.
@@ -65,6 +76,14 @@ type TaskManager struct {
 	send     SendFunc
 	registry *task.Registry
 	blobs    *archive.Cache
+	stop     chan struct{}
+	hbSeq    atomic.Uint64
+	// lastJMs is the JobManager set served by the previous beat round;
+	// only the heartbeat goroutine touches it. JobManagers that drop out
+	// of the set get one final empty beat — the "goodbye" that releases
+	// this node's liveness lease so an idle node is not mistaken for a
+	// dead one.
+	lastJMs map[string]bool
 
 	mu       sync.Mutex
 	freeMB   int
@@ -74,22 +93,109 @@ type TaskManager struct {
 	wg       sync.WaitGroup
 }
 
-// New creates a TaskManager.
+// New creates a TaskManager and starts its heartbeat loop (unless
+// Config.HeartbeatEvery is negative).
 func New(cfg Config, send SendFunc) *TaskManager {
 	if cfg.MemoryMB <= 0 {
 		cfg.MemoryMB = DefaultMemoryMB
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = health.DefaultInterval
 	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = task.Global
 	}
-	return &TaskManager{
+	tm := &TaskManager{
 		cfg:      cfg,
 		send:     send,
 		registry: reg,
 		blobs:    archive.NewCache(),
+		stop:     make(chan struct{}),
 		assigned: make(map[string]*assignment),
 		freeMB:   cfg.MemoryMB,
+	}
+	if cfg.HeartbeatEvery > 0 {
+		tm.wg.Add(1)
+		go tm.heartbeatLoop()
+	}
+	return tm
+}
+
+// heartbeatLoop streams HEARTBEAT messages to every JobManager holding
+// assignments on this node, on the configured cadence.
+func (tm *TaskManager) heartbeatLoop() {
+	defer tm.wg.Done()
+	ticker := time.NewTicker(tm.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-tm.stop:
+			return
+		case <-ticker.C:
+			tm.beatOnce()
+		}
+	}
+}
+
+// beatOnce snapshots the assignment table, groups it by owning JobManager,
+// and sends each one a Heartbeat: the lease renewal plus the per-task
+// progress sync. JobManagers this node no longer hosts tasks for receive
+// one final empty beat so they stop expecting renewals.
+func (tm *TaskManager) beatOnce() {
+	tm.mu.Lock()
+	byJM := make(map[string][]protocol.TaskBeat)
+	for _, a := range tm.assigned {
+		byJM[a.jobManager] = append(byJM[a.jobManager], protocol.TaskBeat{
+			JobID:    a.jobID,
+			Task:     a.spec.Name,
+			Running:  a.started.Load() && !a.cancelled.Load(),
+			Progress: a.progress.Load(),
+		})
+	}
+	tm.mu.Unlock()
+	for jm := range tm.lastJMs {
+		if _, still := byJM[jm]; !still {
+			byJM[jm] = nil // goodbye beat
+		}
+	}
+	tm.lastJMs = make(map[string]bool, len(byJM))
+	seq := tm.hbSeq.Add(1)
+	for jm, beats := range byJM {
+		if beats != nil {
+			tm.lastJMs[jm] = true
+		}
+		// Deterministic beat order keeps the wire payload stable for tests
+		// and logs.
+		sort.Slice(beats, func(a, b int) bool {
+			if beats[a].JobID != beats[b].JobID {
+				return beats[a].JobID < beats[b].JobID
+			}
+			return beats[a].Task < beats[b].Task
+		})
+		hb := protocol.Body(msg.KindHeartbeat,
+			msg.Address{Node: tm.cfg.Node},
+			msg.Address{Node: jm},
+			protocol.Heartbeat{Node: tm.cfg.Node, Seq: seq, Beats: beats})
+		if err := tm.send(jm, hb); err != nil {
+			tm.logf("heartbeat to %s: %v", jm, err)
+		}
+	}
+}
+
+// HandleHeartbeatAck processes the JobManager's beat acknowledgement. Jobs
+// the JobManager no longer tracks (evicted tombstones, forgotten abandons)
+// have their local assignments cancelled so their reservations do not
+// outlive the job.
+func (tm *TaskManager) HandleHeartbeatAck(m *msg.Message) {
+	var ack protocol.HeartbeatAck
+	if err := protocol.Decode(m, &ack); err != nil {
+		tm.logf("bad heartbeat ack: %v", err)
+		return
+	}
+	for _, jobID := range ack.UnknownJobs {
+		tm.logf("job %s unknown to %s; releasing its assignments", jobID, ack.Node)
+		tm.HandleCancel(jobID)
 	}
 }
 
@@ -315,6 +421,28 @@ func (tm *TaskManager) assignOne(jobID, jobManager, clientNode string, it protoc
 	return ""
 }
 
+// ReleaseIfUnstarted drops a single assignment and frees its memory
+// reservation, but only when the task never began executing — the exec
+// dispatch failure path, where a reported TaskFailed would otherwise leave
+// the reservation held until the whole job is cancelled. Started tasks are
+// left alone (their reservation is released by execute's epilogue).
+func (tm *TaskManager) ReleaseIfUnstarted(jobID, taskName string) bool {
+	tm.mu.Lock()
+	k := key(jobID, taskName)
+	a, ok := tm.assigned[k]
+	if !ok || a.started.Load() {
+		tm.mu.Unlock()
+		return false
+	}
+	tm.freeMB += a.spec.Req.MemoryMB
+	delete(tm.assigned, k)
+	tm.mu.Unlock()
+	a.cancelled.Store(true)
+	a.mailbox.Close()
+	tm.logf("released unstarted %s (%d MB)", k, a.spec.Req.MemoryMB)
+	return true
+}
+
 // HandleStart processes a KindStartTask from the JobManager for one task.
 func (tm *TaskManager) HandleStart(jobID, taskName string) error {
 	tm.mu.Lock()
@@ -472,6 +600,7 @@ func (tm *TaskManager) Close() {
 		a.mailbox.Close()
 	}
 	tm.mu.Unlock()
+	close(tm.stop)
 	tm.wg.Wait()
 }
 
@@ -512,6 +641,7 @@ func (c *execContext) send(kind msg.Kind, toTask string, payload []byte) error {
 	if err := c.tm.send(c.jm.Node, m); err != nil {
 		return fmt.Errorf("task %s: send to %s: %w", c.a.spec.Name, toTask, err)
 	}
+	c.a.progress.Add(1)
 	return nil
 }
 
@@ -543,6 +673,7 @@ func (c *execContext) Recv() (string, []byte, error) {
 	if err := protocol.Decode(m, &p); err != nil {
 		return "", nil, fmt.Errorf("task %s: recv: %w", c.a.spec.Name, err)
 	}
+	c.a.progress.Add(1)
 	return p.FromTask, p.Data, nil
 }
 

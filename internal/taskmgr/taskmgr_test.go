@@ -410,3 +410,135 @@ func TestCloseIdempotentAndRejectsWork(t *testing.T) {
 		t.Error("closed TM started task")
 	}
 }
+
+func TestHeartbeatCarriesTaskBeats(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{
+		Node: "tm1", MemoryMB: 1000, Registry: registry(t),
+		HeartbeatEvery: 5 * time.Millisecond,
+	}, s.send)
+	defer tm.Close()
+	if r := tm.HandleAssign(assignMsg(spec("t1", 100), nil)); r == nil {
+		t.Fatal("assign not answered")
+	}
+	m := s.waitKind(t, msg.KindHeartbeat)
+	var hb protocol.Heartbeat
+	if err := protocol.Decode(m, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Node != "tm1" {
+		t.Errorf("heartbeat node = %q", hb.Node)
+	}
+	if m.To.Node != "jm" {
+		t.Errorf("heartbeat addressed to %q, want the assigning JobManager", m.To.Node)
+	}
+	// Wait for a beat that includes the assignment (the first beat may have
+	// raced the assign call).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		found := false
+		for _, mm := range s.msgs {
+			if mm.Kind != msg.KindHeartbeat {
+				continue
+			}
+			var b protocol.Heartbeat
+			if protocol.Decode(mm, &b) == nil {
+				for _, tb := range b.Beats {
+					if tb.JobID == "j1" && tb.Task == "t1" && !tb.Running {
+						found = true
+					}
+				}
+			}
+		}
+		s.mu.Unlock()
+		if found {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no heartbeat carried the assignment's beat")
+}
+
+func TestGoodbyeBeatAfterLastAssignment(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{
+		Node: "tm1", MemoryMB: 1000, Registry: registry(t),
+		HeartbeatEvery: 5 * time.Millisecond,
+	}, s.send)
+	defer tm.Close()
+	if r := tm.HandleAssign(assignMsg(spec("t1", 100), nil)); r == nil {
+		t.Fatal("assign not answered")
+	}
+	s.waitKind(t, msg.KindHeartbeat)
+	tm.HandleCancel("j1") // releases the only assignment
+	// An empty (goodbye) heartbeat must follow.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		goodbye := false
+		for _, mm := range s.msgs {
+			if mm.Kind != msg.KindHeartbeat {
+				continue
+			}
+			var b protocol.Heartbeat
+			if protocol.Decode(mm, &b) == nil && len(b.Beats) == 0 {
+				goodbye = true
+			}
+		}
+		s.mu.Unlock()
+		if goodbye {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no goodbye beat after the last assignment was released")
+}
+
+func TestHeartbeatAckUnknownJobReleasesAssignments(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 1000, Registry: registry(t), HeartbeatEvery: -1}, s.send)
+	defer tm.Close()
+	if r := tm.HandleAssign(assignMsg(spec("t1", 400), nil)); r == nil {
+		t.Fatal("assign not answered")
+	}
+	if tm.FreeMemoryMB() != 600 {
+		t.Fatalf("free = %d after reservation", tm.FreeMemoryMB())
+	}
+	ack := protocol.Body(msg.KindHeartbeatAck,
+		msg.Address{Node: "jm"}, msg.Address{Node: "tm1"},
+		protocol.HeartbeatAck{Node: "jm", UnknownJobs: []string{"j1"}})
+	tm.HandleHeartbeatAck(ack)
+	if tm.FreeMemoryMB() != 1000 {
+		t.Errorf("free = %d after unknown-job ack, want 1000", tm.FreeMemoryMB())
+	}
+}
+
+func TestReleaseIfUnstarted(t *testing.T) {
+	s := &sink{}
+	tm := New(Config{Node: "tm1", MemoryMB: 1000, Registry: registry(t), HeartbeatEvery: -1}, s.send)
+	defer tm.Close()
+	if r := tm.HandleAssign(assignMsg(spec("t1", 400), nil)); r == nil {
+		t.Fatal("assign not answered")
+	}
+	if !tm.ReleaseIfUnstarted("j1", "t1") {
+		t.Fatal("release of an unstarted assignment refused")
+	}
+	if tm.FreeMemoryMB() != 1000 {
+		t.Errorf("free = %d after release, want 1000", tm.FreeMemoryMB())
+	}
+	// Unknown and started tasks are left alone.
+	if tm.ReleaseIfUnstarted("j1", "t1") {
+		t.Error("double release succeeded")
+	}
+	if r := tm.HandleAssign(assignMsg(spec("t2", 400), nil)); r == nil {
+		t.Fatal("assign not answered")
+	}
+	if err := tm.HandleStart("j1", "t2"); err != nil {
+		t.Fatal(err)
+	}
+	if tm.ReleaseIfUnstarted("j1", "t2") {
+		t.Error("release of a started task succeeded")
+	}
+	s.waitKind(t, msg.KindTaskCompleted)
+}

@@ -258,6 +258,11 @@ func (e *memEndpoint) GroupSize(group string) int {
 	return e.net.groups.size(group)
 }
 
+// GroupMembers implements Endpoint.
+func (e *memEndpoint) GroupMembers(group string) []string {
+	return e.net.groups.members(group)
+}
+
 // Close implements Endpoint.
 func (e *memEndpoint) Close() error {
 	e.mu.Lock()

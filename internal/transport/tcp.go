@@ -282,6 +282,11 @@ func (e *tcpEndpoint) GroupSize(group string) int {
 	return e.net.groups.size(group)
 }
 
+// GroupMembers implements Endpoint.
+func (e *tcpEndpoint) GroupMembers(group string) []string {
+	return e.net.groups.members(group)
+}
+
 // Close implements Endpoint.
 func (e *tcpEndpoint) Close() error {
 	e.mu.Lock()

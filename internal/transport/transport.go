@@ -65,6 +65,10 @@ type Endpoint interface {
 	// (membership is fabric-wide state, like an IGMP snooping table); a
 	// Gather caller uses it to stop waiting once every member replied.
 	GroupSize(group string) int
+	// GroupMembers returns the group's current member node names (the
+	// snooping table's row). Consumers use it to evict cached state for
+	// nodes that left discovery.
+	GroupMembers(group string) []string
 	// Close detaches the endpoint; pending deliveries are dropped.
 	Close() error
 }
