@@ -28,10 +28,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | all")
+		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | all")
 		reps = flag.Int("reps", 5, "repetitions per configuration")
 		out  = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
 		rout = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
+		tout = flag.String("tuplespace-out", "BENCH_tuplespace.json", "path for the tuplespace experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -50,6 +51,8 @@ func main() {
 		placementTable(*reps, *out)
 	case "recovery":
 		recoveryTable(*reps, *rout)
+	case "tuplespace":
+		tuplespaceTable(*reps, *tout)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
@@ -58,6 +61,7 @@ func main() {
 		transformTable(*reps)
 		placementTable(*reps, *out)
 		recoveryTable(*reps, *rout)
+		tuplespaceTable(*reps, *tout)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -109,6 +113,26 @@ func newRegistry() *cn.Registry {
 				time.Sleep(2 * time.Millisecond)
 			}
 			return nil
+		})
+	})
+	// bench.TSWorker is the tuple-space experiment's replicated worker: it
+	// steals ("work", v) items from the job's space and answers with
+	// ("res", v); a negative item is the poison pill.
+	reg.MustRegister("bench.TSWorker", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			for {
+				t, err := ctx.In(cn.Template{"work", cn.TypeOf(0)})
+				if err != nil {
+					return nil // space closed at teardown
+				}
+				v := t[1].(int)
+				if v < 0 {
+					return nil
+				}
+				if err := ctx.Out(cn.Tuple{"res", v}); err != nil {
+					return err
+				}
+			}
 		})
 	})
 	reg.MustRegister("bench.Echo", func() cn.Task {
@@ -473,6 +497,152 @@ func recoveryTable(reps int, outPath string) {
 		snap.Rows = append(snap.Rows, row)
 		fmt.Printf("%-14v %11.1fms %11.1fms %13.1fms %10d\n",
 			hb, row.BaselineMS, row.KilledMS, row.RecoveryMS, row.RetriesFinal)
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot written to %s\n", outPath)
+}
+
+// tuplespaceRow is one worker-count configuration's measurement in the
+// T-I study.
+type tuplespaceRow struct {
+	Workers     int     `json:"workers"`
+	Nodes       int     `json:"nodes"`
+	Items       int     `json:"items"`
+	TSOps       int     `json:"ts_ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	WakeupP50MS float64 `json:"wakeup_p50_ms"`
+	WakeupP99MS float64 `json:"wakeup_p99_ms"`
+}
+
+// tuplespaceSnapshot is the BENCH_tuplespace.json document.
+type tuplespaceSnapshot struct {
+	Experiment  string          `json:"experiment"`
+	GeneratedAt time.Time       `json:"generated_at"`
+	Rows        []tuplespaceRow `json:"rows"`
+}
+
+// tuplespaceTable is experiment T-I: tuple-space coordination throughput
+// and blocking-op wakeup latency vs worker count. A replicated worker
+// pool steals ("work", v) items from the job's space over the wire and
+// answers ("res", v). Throughput drains a full bag; wakeup latency is the
+// round trip of one Out into a pool of parked In waiters (client Out →
+// worker wakes → worker Out → client In). Op counts come from the
+// JobManager's ts_ops census, so the figure is the wire truth, not an
+// estimate.
+func tuplespaceTable(reps int, outPath string) {
+	header("T-I  Tuple-space coordination: bag drain + blocked-In wakeup (4-node cluster)")
+	const items = 256
+	const wakeupRounds = 50
+	snap := tuplespaceSnapshot{Experiment: "T-I tuplespace coordination", GeneratedAt: time.Now().UTC()}
+	fmt.Printf("%-10s %10s %12s %14s %14s\n", "workers", "ts_ops", "ops/sec", "wakeup p50", "wakeup p99")
+	for _, w := range []int{1, 2, 4, 8} {
+		c, cl := startCluster(4)
+		job, err := cl.CreateJob(fmt.Sprintf("ts-%d", w), cn.JobRequirements{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs := make([]*cn.TaskSpec, w)
+		for i := range specs {
+			specs[i] = &cn.TaskSpec{
+				Name: fmt.Sprintf("w%d", i), Class: "bench.TSWorker",
+				Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+			}
+		}
+		if _, err := job.CreateTasks(specs, nil); err != nil {
+			log.Fatal(err)
+		}
+		if err := job.Start(); err != nil {
+			log.Fatal(err)
+		}
+		space := job.Space()
+		ctx := context.Background()
+		// Tuple delivery is at-most-once; like every bag-of-tasks client,
+		// the bench drains under a per-attempt deadline and re-seeds
+		// unanswered items so a rare lost reply costs a retry, not a hang.
+		drain := func(pending map[int]bool) {
+			deadline := time.Now().Add(60 * time.Second)
+			for len(pending) > 0 {
+				if time.Now().After(deadline) {
+					log.Fatalf("tuplespace bench stalled; %d items outstanding", len(pending))
+				}
+				ictx, icancel := context.WithTimeout(ctx, 5*time.Second)
+				tu, err := space.In(ictx, cn.Template{"res", cn.TypeOf(0)})
+				icancel()
+				if err != nil {
+					for v := range pending {
+						if err := space.Out(cn.Tuple{"work", v}); err != nil {
+							log.Fatal(err)
+						}
+					}
+					continue
+				}
+				delete(pending, tu[1].(int)) // duplicate answers just miss
+			}
+		}
+
+		// Throughput: seed the whole bag, drain every result.
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			pending := make(map[int]bool, items)
+			for i := 0; i < items; i++ {
+				pending[i] = true
+				if err := space.Out(cn.Tuple{"work", i}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			drain(pending)
+		}
+		thDur := time.Since(start)
+		prog, ok := c.JobProgress(job.JMNode, job.ID)
+		if !ok {
+			log.Fatalf("no census for job %s", job.ID)
+		}
+
+		// Wakeup latency: with the bag empty every worker is parked in In;
+		// one Out must wake exactly one of them.
+		h := metrics.NewHistogram(wakeupRounds + 1)
+		for r := 0; r < wakeupRounds; r++ {
+			v := items*reps + r
+			t0 := time.Now()
+			if err := space.Out(cn.Tuple{"work", v}); err != nil {
+				log.Fatal(err)
+			}
+			drain(map[int]bool{v: true})
+			h.ObserveDuration(time.Since(t0))
+		}
+
+		// Poison the pool and let the job terminate (closing the space).
+		for i := 0; i < w; i++ {
+			if err := space.Out(cn.Tuple{"work", -1}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		if _, err := job.Wait(wctx); err != nil {
+			log.Fatal(err)
+		}
+		cancel()
+
+		row := tuplespaceRow{
+			Workers:     w,
+			Nodes:       4,
+			Items:       items * reps,
+			TSOps:       prog.TSOps,
+			OpsPerSec:   float64(prog.TSOps) / thDur.Seconds(),
+			WakeupP50MS: h.Quantile(0.5),
+			WakeupP99MS: h.Quantile(0.99),
+		}
+		snap.Rows = append(snap.Rows, row)
+		fmt.Printf("%-10d %10d %12.0f %12.2fms %12.2fms\n",
+			w, row.TSOps, row.OpsPerSec, row.WakeupP50MS, row.WakeupP99MS)
+		cl.Close()
+		c.Close()
 	}
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

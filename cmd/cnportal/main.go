@@ -34,6 +34,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 0, "TaskManager heartbeat interval (0 = 500ms; negative disables failure detection)")
 		maxRetries = flag.Int("max-task-retries", 0, "per-task re-placement budget after node failures (0 = 2; negative disables recovery)")
 		straggler  = flag.Duration("straggler-after", 0, "speculatively re-run tasks whose progress stalls this long (0 = disabled)")
+		assignWait = flag.Duration("assign-timeout", 0, "JobManager batch-assignment round-trip timeout (0 = 5s)")
 		verbose    = flag.Bool("v", false, "log cluster diagnostics")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 	c, err := cluster.Start(cluster.Config{
 		Nodes:             *nodes,
 		Registry:          reg,
+		AssignTimeout:     *assignWait,
 		HeartbeatInterval: *heartbeat,
 		MaxTaskRetries:    *maxRetries,
 		StragglerAfter:    *straggler,

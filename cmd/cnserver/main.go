@@ -32,6 +32,7 @@ func main() {
 		memoryMB   = flag.Int("memory", 8000, "per-node task capacity in MB")
 		httpAddr   = flag.String("http", "", "also serve the web portal on this address")
 		heartbeat  = flag.Duration("heartbeat", 0, "TaskManager heartbeat interval (0 = 500ms; negative disables failure detection)")
+		assignWait = flag.Duration("assign-timeout", 0, "JobManager batch-assignment round-trip timeout (0 = 5s)")
 		maxRetries = flag.Int("max-task-retries", 0, "per-task re-placement budget after node failures (0 = 2; negative disables recovery)")
 		straggler  = flag.Duration("straggler-after", 0, "speculatively re-run tasks whose progress stalls this long (0 = disabled)")
 		verbose    = flag.Bool("v", false, "log server diagnostics")
@@ -58,6 +59,7 @@ func main() {
 		Transport:         tp,
 		MemoryMB:          *memoryMB,
 		Registry:          reg,
+		AssignTimeout:     *assignWait,
 		HeartbeatInterval: *heartbeat,
 		MaxTaskRetries:    *maxRetries,
 		StragglerAfter:    *straggler,

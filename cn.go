@@ -38,11 +38,13 @@ import (
 	"cn/internal/core"
 	"cn/internal/discovery"
 	"cn/internal/dot"
+	"cn/internal/jobmgr"
 	"cn/internal/placement"
 	"cn/internal/protocol"
 	"cn/internal/task"
 	"cn/internal/transform"
 	"cn/internal/transport"
+	"cn/internal/tuplespace"
 	"cn/internal/xmi"
 )
 
@@ -87,6 +89,34 @@ type Result = api.Result
 
 // Event is a task lifecycle notification.
 type Event = api.Event
+
+// Space is the client-side handle on a job's coordination tuple space
+// (Job.Space); tasks reach the same space through their TaskContext's
+// Out/In/Rd/InP/RdP.
+type Space = api.Space
+
+// Tuple is an ordered sequence of scalar fields stored in a job's tuple
+// space.
+type Tuple = tuplespace.Tuple
+
+// Template is a tuple pattern: concrete values, Wildcard, or TypeOf
+// placeholders.
+type Template = tuplespace.Template
+
+// Wildcard matches any field value of any type in a template.
+var Wildcard = tuplespace.Wildcard
+
+// ErrNoMatch is returned by the non-blocking tuple-space probes (InP/RdP)
+// when no stored tuple matches the template.
+var ErrNoMatch = tuplespace.ErrNoMatch
+
+// ErrSpaceClosed is returned by tuple-space operations once the job's
+// space closed (the job reached a terminal state).
+var ErrSpaceClosed = tuplespace.ErrClosed
+
+// TypeOf returns a template placeholder matching any field with the same
+// dynamic type as sample (e.g. TypeOf(0) matches any int).
+func TypeOf(sample any) any { return tuplespace.TypeOf(sample) }
 
 // ClientOptions configures Connect.
 type ClientOptions = api.Options
@@ -174,6 +204,9 @@ type ClusterOptions struct {
 	// placement performs a fresh multicast round, the pre-directory
 	// behavior).
 	PlacementTTL time.Duration
+	// AssignTimeout bounds each JobManager's batch-assignment round trips
+	// (0 = 5s).
+	AssignTimeout time.Duration
 	// HeartbeatInterval is each TaskManager's beat cadence and the basis
 	// for failure-detection leases (0 = 500ms; negative disables
 	// heartbeating and failure detection).
@@ -219,6 +252,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		MemoryMB:          opts.MemoryMB,
 		Transport:         tp,
 		PlacementTTL:      opts.PlacementTTL,
+		AssignTimeout:     opts.AssignTimeout,
 		HeartbeatInterval: opts.HeartbeatInterval,
 		SuspectAfter:      opts.SuspectAfter,
 		DeadAfter:         opts.DeadAfter,
@@ -249,6 +283,16 @@ func (c *Cluster) Network() transport.Network { return c.inner.Network() }
 // PlacementStats aggregates every JobManager's resource-directory counters
 // (solicitation rounds, cache hits, invalidations).
 func (c *Cluster) PlacementStats() placement.Stats { return c.inner.PlacementStats() }
+
+// JobProgress is a hosted job's schedule census as reported by its
+// JobManager (task states, retries, tuple-space op counts).
+type JobProgress = jobmgr.Progress
+
+// JobProgress reports a hosted job's census from its hosting JobManager;
+// ok is false when the node is dead or the job unknown.
+func (c *Cluster) JobProgress(jmNode, jobID string) (JobProgress, bool) {
+	return c.inner.JobProgress(jmNode, jobID)
+}
 
 // BlobTransfers counts distinct archive blobs transferred to TaskManagers
 // across the cluster — with content addressing, at most one per digest per

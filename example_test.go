@@ -50,6 +50,75 @@ func ExampleConnect() {
 	// failed: false
 }
 
+// ExampleJob_Space coordinates a job through its tuple space — the
+// paper's second coordination mechanism ("CN also supports communication
+// via tuple spaces"). The client seeds work into the space hosted by the
+// job's JobManager; a worker task steals it with a blocking In, answers
+// with Out, and the client collects the result from the same space. No
+// task is ever addressed directly.
+func ExampleJob_Space() {
+	registry := cn.NewRegistry()
+	registry.MustRegister("example.Doubler", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			t, err := ctx.In(cn.Template{"work", cn.TypeOf(0)})
+			if err != nil {
+				return err
+			}
+			if err := ctx.Out(cn.Tuple{"result", 2 * t[1].(int)}); err != nil {
+				return err
+			}
+			// Park until the client drained the result: the space closes
+			// with the job, so the last worker must not exit first.
+			_, err = ctx.Rd(cn.Template{"stop"})
+			return err
+		})
+	})
+
+	cluster, err := cn.StartCluster(cn.ClusterOptions{Nodes: 2, Registry: registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cn.Connect(cluster, cn.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	job, err := client.CreateJob("doubling", cn.JobRequirements{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := &cn.TaskSpec{Name: "doubler", Class: "example.Doubler",
+		Req: cn.Requirements{MemoryMB: 100, RunModel: cn.RunAsThreadInTM}}
+	if err := job.CreateTask(spec, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	space := job.Space()
+	if err := space.Out(cn.Tuple{"work", 21}); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	t, err := space.In(ctx, cn.Template{"result", cn.TypeOf(0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", t[1])
+	if err := space.Out(cn.Tuple{"stop"}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := job.Wait(ctx); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// result: 42
+}
+
 // ExampleParseCNX parses a CNX descriptor (the paper's Figure 2 format)
 // and inspects the composition.
 func ExampleParseCNX() {

@@ -1,7 +1,10 @@
 // Dynamic demonstrates the paper's Figure 5: a dynamic-invocation action
 // state whose concurrent invocation count is left open until run time and
 // then determined by a run-time argument expression — here, simulated
-// system load.
+// system load. The worker pool coordinates through the job's tuple space:
+// the client seeds one ("work", i) tuple per invocation, each worker
+// steals one, and results come back as ("result", i, node) tuples — no
+// point-to-point messages anywhere.
 package main
 
 import (
@@ -24,11 +27,21 @@ func main() {
 	registry := cn.NewRegistry()
 	registry.MustRegister("dyn.Worker", func() cn.Task {
 		return cn.TaskFunc(func(ctx cn.TaskContext) error {
-			idx, err := ctx.Params()[0].Int()
+			// Steal one work item from the job's tuple space and answer in
+			// kind; the client never addresses this worker directly.
+			t, err := ctx.In(cn.Template{"work", cn.TypeOf(0)})
 			if err != nil {
 				return err
 			}
-			return ctx.SendClient([]byte(fmt.Sprintf("worker invocation %d on %s", idx, ctx.NodeName())))
+			idx := t[1].(int)
+			if err := ctx.Out(cn.Tuple{"result", idx, ctx.NodeName()}); err != nil {
+				return err
+			}
+			// Park on the stop signal so the job — and with it the space —
+			// stays alive until the client drained every result. Rd is
+			// non-destructive: one ("stop") tuple wakes the whole pool.
+			_, err = ctx.Rd(cn.Template{"stop"})
+			return err
 		})
 	})
 
@@ -80,22 +93,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, s := range specs {
-		if err := job.CreateTask(s, nil); err != nil {
-			log.Fatal(err)
-		}
+	if _, err := job.CreateTasks(specs, nil); err != nil {
+		log.Fatal(err)
 	}
 	if err := job.Start(); err != nil {
 		log.Fatal(err)
 	}
+
+	// Seed one work item per invocation, then collect the results from the
+	// same space the workers coordinate through.
+	space := job.Space()
+	for i := 0; i < workers; i++ {
+		if err := space.Out(cn.Tuple{"work", i}); err != nil {
+			log.Fatal(err)
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	for i := 0; i < workers; i++ {
-		_, data, err := job.GetMessage(ctx)
+		t, err := space.In(ctx, cn.Template{"result", i, cn.TypeOf("")})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %s\n", data)
+		fmt.Printf("  work item %d done on %s\n", i, t[2])
+	}
+	// One stop tuple releases every worker's blocked Rd.
+	if err := space.Out(cn.Tuple{"stop"}); err != nil {
+		log.Fatal(err)
 	}
 	res, err := job.Wait(ctx)
 	if err != nil {

@@ -1,0 +1,114 @@
+// Client-side view of a job's coordination tuple space. The space itself
+// lives with the hosting JobManager; this handle routes every operation
+// over the wire, so the client coordinates with the job's tasks through
+// the same space they use among themselves — seeding a bag of tasks,
+// collecting results, posting poison pills.
+
+package api
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/tuplespace"
+)
+
+// Space is the client's handle on a job's tuple space. Obtain one with
+// Job.Space; it stays valid for the life of the job and fails operations
+// with tuplespace.ErrClosed once the job reaches a terminal state.
+type Space struct {
+	job *Job
+}
+
+// Space returns the handle on the job's coordination tuple space.
+func (j *Job) Space() *Space { return &Space{job: j} }
+
+// tsParkMargin is how much of the caller's remaining deadline a blocking
+// request must leave unspent: the server answers Retry at park end and
+// the reply still has to cross the wire before ctx fires. A request that
+// parked past the caller's deadline would become a stale waiter whose
+// answer nobody consumes — for In, destroying the matched tuple.
+const tsParkMargin = 500 * time.Millisecond
+
+// wire builds the job's shared protocol.TSWire attachment.
+func (s *Space) wire() *protocol.TSWire {
+	j := s.job
+	return &protocol.TSWire{
+		JobID:    j.ID,
+		FromTask: protocol.ClientTaskName,
+		From:     msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
+		To:       msg.Address{Node: j.JMNode, Job: j.ID},
+		Call:     j.client.caller.Call,
+		Send:     j.client.ep.Send,
+	}
+}
+
+// do performs one tuple-space wire call under ctx; each attempt is also
+// bounded by TSCallTimeout so a dead JobManager fails the operation.
+func (s *Space) do(ctx context.Context) protocol.TSDoFunc {
+	w := s.wire()
+	return func(kind msg.Kind, req protocol.TSOpReq) (*protocol.TSOpResp, error) {
+		if req.ParkMS > 0 {
+			if dl, ok := ctx.Deadline(); ok {
+				// A truncated 0 would read as "use the default window"
+				// server-side, so anything under a whole millisecond is
+				// already too late to park.
+				ms := (time.Until(dl) - tsParkMargin).Milliseconds()
+				if ms < 1 {
+					// Don't issue a park the caller cannot wait out.
+					return nil, fmt.Errorf("api: tuple-space %s: %w", kind, context.DeadlineExceeded)
+				}
+				if ms < req.ParkMS {
+					req.ParkMS = ms
+				}
+			}
+		}
+		resp, err := w.Do(ctx, kind, req)
+		if err != nil {
+			return nil, fmt.Errorf("api: %w", err)
+		}
+		return resp, nil
+	}
+}
+
+// opCtx bounds non-blocking operations by the client's call timeout
+// (Initialize already normalized it to a positive value).
+func (s *Space) opCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), s.job.client.opts.CallTimeout)
+}
+
+// Out stores a tuple in the job's space.
+func (s *Space) Out(t tuplespace.Tuple) error {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	return protocol.TSOut(s.do(ctx), t)
+}
+
+// In removes and returns a tuple matching tpl, blocking until one is
+// available, ctx is done, or the space closes (tuplespace.ErrClosed).
+func (s *Space) In(ctx context.Context, tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	return protocol.TSBlocking(s.do(ctx), msg.KindTSIn, tpl)
+}
+
+// Rd is In without removal.
+func (s *Space) Rd(ctx context.Context, tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	return protocol.TSBlocking(s.do(ctx), msg.KindTSRd, tpl)
+}
+
+// InP removes and returns a matching tuple without blocking;
+// tuplespace.ErrNoMatch when none is stored.
+func (s *Space) InP(tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	return protocol.TSProbe(s.do(ctx), msg.KindTSInP, tpl)
+}
+
+// RdP is InP without removal.
+func (s *Space) RdP(tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	return protocol.TSProbe(s.do(ctx), msg.KindTSRdP, tpl)
+}

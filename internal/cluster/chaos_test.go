@@ -12,6 +12,7 @@ import (
 	"cn/internal/cluster"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/tuplespace"
 )
 
 // chaosRegistry deploys the failure-injection workloads.
@@ -464,4 +465,134 @@ func TestHeartbeatAckReleasesUnknownJobAssignments(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatal("abandoned job's reservation never released")
+}
+
+// TestChaosWorkerKilledMidInDrainsSpace extends the suite to the
+// coordination layer: replicated workers steal work items from the job's
+// tuple space with blocking In; a worker node is power-cut while its
+// workers are parked mid-In. The orphaned worker tasks are re-placed on
+// survivors, the fresh instances transparently reconnect to the same
+// space (same JobManager, fresh wire calls), tuples taken by stale
+// waiters whose reply could not be delivered are put back, and the client
+// re-seeds any item lost in a worker's In→Out window — so the bag drains
+// completely and the job still finishes.
+func TestChaosWorkerKilledMidInDrainsSpace(t *testing.T) {
+	reg := task.NewRegistry()
+	reg.MustRegister("chaos.TSWorker", func() task.Task {
+		return task.Func(func(ctx task.Context) error {
+			for {
+				tu, err := ctx.In(tuplespace.Template{"work", tuplespace.TypeOf(0)})
+				if err != nil {
+					return nil // space closed or node dying
+				}
+				v := tu[1].(int)
+				if v < 0 {
+					return nil // poison pill
+				}
+				// A short compute burst widens the In→Out window the kill
+				// can land in.
+				time.Sleep(2 * time.Millisecond)
+				if err := ctx.Out(tuplespace.Tuple{"done", v}); err != nil {
+					return err
+				}
+			}
+		})
+	})
+
+	c, err := cluster.Start(fastHealth(cluster.Config{
+		Nodes:          4,
+		MemoryMB:       64000,
+		Registry:       reg,
+		MaxTaskRetries: 3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	j, err := cl.CreateJobOn("node1", "ts-chaos", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, items = 3, 40
+	specs := make([]*task.Spec, workers)
+	for i := range specs {
+		specs[i] = chaosSpec(fmt.Sprintf("w%d", i), "chaos.TSWorker", 100)
+	}
+	placements, err := j.CreateTasks(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ""
+	for _, node := range placements {
+		if node != "node1" {
+			victim = node
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no non-JM node hosts workers: %v", placements)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	space := j.Space()
+	pending := make(map[int]bool, items)
+	for i := 0; i < items; i++ {
+		pending[i] = true
+		if err := space.Out(tuplespace.Tuple{"work", i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cut the victim while its workers are mid-steal (parked in In or
+	// inside the In→Out compute window).
+	time.Sleep(10 * time.Millisecond)
+	if err := c.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain; items lost in a dead worker's In→Out window are re-seeded
+	// after a quiet period (duplicate answers are skipped).
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bag never drained; %d items outstanding", len(pending))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		tu, err := space.In(ctx, tuplespace.Template{"done", tuplespace.TypeOf(0)})
+		cancel()
+		if err != nil {
+			for v := range pending {
+				if err := space.Out(tuplespace.Tuple{"work", v}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		delete(pending, tu[1].(int))
+	}
+
+	for i := 0; i < workers; i++ {
+		if err := space.Out(tuplespace.Tuple{"work", -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job did not finish after mid-In kill: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("job failed instead of recovering: %+v", res)
+	}
+	if got := j.Progress().Retried; got == 0 {
+		t.Error("no TASK_RETRIED events after killing a worker node")
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"cn/internal/jobmgr"
 	"cn/internal/metrics"
 	"cn/internal/placement"
 	"cn/internal/server"
@@ -48,6 +49,9 @@ type Config struct {
 	// PlacementTTL bounds each JobManager's cached TaskManager offers
 	// (0 = placement default; negative disables offer caching).
 	PlacementTTL time.Duration
+	// AssignTimeout bounds each JobManager's batch-assignment round trips
+	// (0 = jobmgr default).
+	AssignTimeout time.Duration
 	// TombstoneTTL bounds finished-job tombstone retention per JobManager
 	// (0 = jobmgr default; negative keeps tombstones forever).
 	TombstoneTTL time.Duration
@@ -114,6 +118,7 @@ func Start(cfg Config) (*Cluster, error) {
 			MaxJobs:           cfg.MaxJobs,
 			Registry:          cfg.Registry,
 			PlacementTTL:      cfg.PlacementTTL,
+			AssignTimeout:     cfg.AssignTimeout,
 			TombstoneTTL:      cfg.TombstoneTTL,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			SuspectAfter:      cfg.SuspectAfter,
@@ -151,6 +156,16 @@ func (c *Cluster) Nodes() []string {
 
 // Server returns the named node's server, or nil after it was killed.
 func (c *Cluster) Server(node string) *server.Server { return c.servers[node] }
+
+// JobProgress reports a hosted job's schedule census from its hosting
+// JobManager; ok is false when the node is dead or the job unknown.
+func (c *Cluster) JobProgress(jmNode, jobID string) (jobmgr.Progress, bool) {
+	srv, ok := c.servers[jmNode]
+	if !ok {
+		return jobmgr.Progress{}, false
+	}
+	return srv.JobManager().JobProgress(jobID)
+}
 
 // PlacementStats sums every live JobManager's resource-directory counters.
 func (c *Cluster) PlacementStats() placement.Stats {

@@ -1,0 +1,283 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cn/internal/api"
+	"cn/internal/cluster"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/tuplespace"
+)
+
+// tsRegistry deploys the tuple-space workloads.
+func tsRegistry() *task.Registry {
+	r := task.NewRegistry()
+	// ts.Worker is a replicated bag-of-tasks worker: steal ("work", v),
+	// answer ("done", v); negative v is the poison pill.
+	r.MustRegister("ts.Worker", func() task.Task {
+		return task.Func(func(ctx task.Context) error {
+			for {
+				t, err := ctx.In(tuplespace.Template{"work", tuplespace.TypeOf(0)})
+				if errors.Is(err, tuplespace.ErrClosed) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				v := t[1].(int)
+				if v < 0 {
+					return nil
+				}
+				if err := ctx.Out(tuplespace.Tuple{"done", v}); err != nil {
+					return err
+				}
+			}
+		})
+	})
+	return r
+}
+
+func tsSpec(name string) *task.Spec {
+	return &task.Spec{
+		Name: name, Class: "ts.Worker",
+		Req: task.Requirements{MemoryMB: 100, RunModel: task.RunAsThreadInTM},
+	}
+}
+
+// TestTuplespaceBagOfTasksEndToEnd runs a multi-node replicated-worker job
+// that coordinates solely via tuple-space operations over the wire: the
+// client seeds the bag and drains results through Job.Space, workers steal
+// with blocking In, the JobManager's ts_ops census counts the traffic, and
+// the space closes with the job.
+func TestTuplespaceBagOfTasksEndToEnd(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{Nodes: 4, MemoryMB: 64000, Registry: tsRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	j, err := cl.CreateJobOn("node1", "bag", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, items = 3, 24
+	specs := make([]*task.Spec, workers)
+	for i := range specs {
+		specs[i] = tsSpec(fmt.Sprintf("w%d", i))
+	}
+	placements, err := j.CreateTasks(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes := len(map[string]bool{placements["w0"]: true, placements["w1"]: true, placements["w2"]: true}); nodes < 2 {
+		t.Fatalf("workers all on one node (%v); want a multi-node spread", placements)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	space := j.Space()
+	for i := 0; i < items; i++ {
+		if err := space.Out(tuplespace.Tuple{"work", i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	seen := make(map[int]bool)
+	for i := 0; i < items; i++ {
+		tu, err := space.In(ctx, tuplespace.Template{"done", tuplespace.TypeOf(0)})
+		if err != nil {
+			t.Fatalf("drained %d of %d: %v", len(seen), items, err)
+		}
+		v := tu[1].(int)
+		if seen[v] {
+			t.Fatalf("result %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+
+	// The non-blocking probes see an empty (but open) bag.
+	if _, err := space.InP(tuplespace.Template{"done", tuplespace.Wildcard}); !errors.Is(err, tuplespace.ErrNoMatch) {
+		t.Errorf("probe on drained bag: %v, want ErrNoMatch", err)
+	}
+
+	for i := 0; i < workers; i++ {
+		if err := space.Out(tuplespace.Tuple{"work", -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("job failed: %+v", res)
+	}
+
+	// Census: every op above crossed the wire and was counted.
+	prog, ok := c.JobProgress("node1", j.ID)
+	if !ok {
+		t.Fatal("no job census")
+	}
+	// items Out + items In (client) + items In + items Out (workers) +
+	// poison Outs/Ins + the failed probe (NoMatch counts: it completed).
+	if want := 4*items + 2*workers; prog.TSOps < want {
+		t.Errorf("ts_ops = %d, want >= %d", prog.TSOps, want)
+	}
+
+	// Terminal job: the space is closed, operations fail with ErrClosed.
+	if err := space.Out(tuplespace.Tuple{"late"}); !errors.Is(err, tuplespace.ErrClosed) {
+		t.Errorf("out after job end: %v, want ErrClosed", err)
+	}
+	if _, err := space.In(ctx, tuplespace.Template{"done", tuplespace.Wildcard}); !errors.Is(err, tuplespace.ErrClosed) {
+		t.Errorf("in after job end: %v, want ErrClosed", err)
+	}
+}
+
+// TestTuplespaceBlockedRdWokenByOut: Rd parks server-side and a single Out
+// wakes every matching reader without consuming the tuple.
+func TestTuplespaceBlockedRdWokenByOut(t *testing.T) {
+	reg := task.NewRegistry()
+	reg.MustRegister("ts.Reader", func() task.Task {
+		return task.Func(func(ctx task.Context) error {
+			// Park first; the signal is Out'd only after all readers run.
+			t, err := ctx.Rd(tuplespace.Template{"signal", tuplespace.TypeOf(0)})
+			if err != nil {
+				return err
+			}
+			if err := ctx.Out(tuplespace.Tuple{"saw", ctx.TaskName(), t[1].(int)}); err != nil {
+				return err
+			}
+			// Hold the job — and with it the space — open until the client
+			// drained every answer.
+			_, err = ctx.Rd(tuplespace.Template{"ack"})
+			return err
+		})
+	})
+	c, err := cluster.Start(cluster.Config{Nodes: 3, MemoryMB: 64000, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	j, err := cl.CreateJobOn("node1", "readers", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 3
+	specs := make([]*task.Spec, readers)
+	for i := range specs {
+		specs[i] = &task.Spec{Name: fmt.Sprintf("r%d", i), Class: "ts.Reader",
+			Req: task.Requirements{MemoryMB: 100, RunModel: task.RunAsThreadInTM}}
+	}
+	if _, err := j.CreateTasks(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the readers a moment to park, then fire one signal.
+	time.Sleep(50 * time.Millisecond)
+	space := j.Space()
+	if err := space.Out(tuplespace.Tuple{"signal", 42}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	woken := make(map[string]bool)
+	for i := 0; i < readers; i++ {
+		tu, err := space.In(ctx, tuplespace.Template{"saw", tuplespace.TypeOf(""), 42})
+		if err != nil {
+			t.Fatalf("woke %d of %d readers: %v", len(woken), readers, err)
+		}
+		woken[tu[1].(string)] = true
+	}
+	if len(woken) != readers {
+		t.Errorf("woken readers = %v, want all %d", woken, readers)
+	}
+	if err := space.Out(tuplespace.Tuple{"ack"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(ctx)
+	if err != nil || res.Failed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+// TestTuplespaceCancelledInDoesNotEatTuples: a client In abandoned by
+// context cancellation sends TS_CANCEL, so its server-side park is
+// unparked and a tuple Out'd afterwards stays in the space for live
+// consumers instead of being destructively taken for a correlation
+// nobody holds.
+func TestTuplespaceCancelledInDoesNotEatTuples(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{Nodes: 2, MemoryMB: 64000, Registry: tsRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	j, err := cl.CreateJobOn("node1", "cancelled-in", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.CreateTasks([]*task.Spec{tsSpec("w0")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+	space := j.Space()
+
+	// Park an In for a tuple shape the worker never touches, then give up.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := space.In(ctx, tuplespace.Template{"private", tuplespace.TypeOf(0)}); err == nil {
+		t.Fatal("cancelled In returned a tuple")
+	}
+	// Let the TS_CANCEL land and the park unwind before publishing.
+	time.Sleep(100 * time.Millisecond)
+
+	if err := space.Out(tuplespace.Tuple{"private", 7}); err != nil {
+		t.Fatal(err)
+	}
+	tu, err := space.InP(tuplespace.Template{"private", 7})
+	if err != nil {
+		t.Fatalf("tuple eaten by the abandoned park: %v", err)
+	}
+	if tu[1].(int) != 7 {
+		t.Fatalf("got %v", tu)
+	}
+
+	if err := space.Out(tuplespace.Tuple{"work", -1}); err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	if res, err := j.Wait(wctx); err != nil || res.Failed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cn/internal/archive"
@@ -13,6 +14,7 @@ import (
 	"cn/internal/protocol"
 	"cn/internal/task"
 	"cn/internal/transport"
+	"cn/internal/tuplespace"
 )
 
 // SendFunc delivers a message to a node.
@@ -33,6 +35,12 @@ type Config struct {
 	// SolicitRetries is how many times placement is retried when no
 	// TaskManager offers or the chosen one rejects (0 = 3).
 	SolicitRetries int
+	// AssignTimeout bounds one batch-assignment round trip to a chosen
+	// TaskManager, including its possible blob fetch back to this
+	// JobManager (0 = DefaultAssignTimeout). It must stay well under the
+	// client's call timeout (10s default) so one dead node costs a retry,
+	// not the whole client call.
+	AssignTimeout time.Duration
 	// PlacementTTL bounds how long cached TaskManager offers back placement
 	// decisions before a fresh solicitation round (0 = placement.DefaultTTL;
 	// negative disables offer caching entirely).
@@ -75,6 +83,12 @@ const DefaultTombstoneTTL = 5 * time.Minute
 // DefaultMaxTaskRetries is the per-task re-placement budget when
 // Config.MaxTaskRetries is zero.
 const DefaultMaxTaskRetries = 2
+
+// DefaultAssignTimeout bounds batch-assignment round trips when
+// Config.AssignTimeout is zero. It used to be hardcoded at the call site;
+// slow CI environments lift it via Config so assignment dispatch never
+// silently races the client's own 10s call timeout.
+const DefaultAssignTimeout = 5 * time.Second
 
 // FreeMemFunc reports the node's current free task-execution memory; the
 // server wires the TaskManager's gauge in so JM offers are truthful.
@@ -124,6 +138,18 @@ type jobState struct {
 	// running task whose entry stops advancing past StragglerAfter is a
 	// speculation candidate.
 	beats map[string]*beatState
+
+	// space is the job's coordination tuple space, hosted here so every
+	// task (and the client) reaches the same space over the wire. It is
+	// created with the job and closed when the job reaches a terminal
+	// state, so blocked In/Rd waiters unblock with ErrClosed instead of
+	// leaking. The field is immutable after creation; the Space has its
+	// own lock.
+	space *tuplespace.Space
+	// tsOps counts completed tuple-space operations (Out, and In/Rd/InP/
+	// RdP requests that reached a definitive outcome; park retries are
+	// not counted).
+	tsOps atomic.Int64
 }
 
 // beatState is one task's last observed progress sync.
@@ -147,6 +173,10 @@ type JobManager struct {
 	nextID int
 	closed bool
 	wg     sync.WaitGroup
+
+	// parked indexes in-flight blocking tuple-space ops so a requester's
+	// KindTSCancel can abort its own stale park.
+	parked tsParks
 }
 
 // jobQueueCap bounds each job's serial processing queue.
@@ -163,6 +193,9 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 	}
 	if cfg.SolicitRetries <= 0 {
 		cfg.SolicitRetries = 3
+	}
+	if cfg.AssignTimeout <= 0 {
+		cfg.AssignTimeout = DefaultAssignTimeout
 	}
 	if freeMem == nil {
 		freeMem = func() int { return cfg.MemoryMB }
@@ -284,6 +317,7 @@ func (jm *JobManager) evictTombstones(now time.Time) {
 	jm.mu.Lock()
 	var expired []*jobState
 	abandonedNodes := make(map[*jobState]map[string]bool)
+	abandonedCredits := make(map[*jobState][]reservationCredit)
 	for id, j := range jm.jobs {
 		j.mu.Lock()
 		finished := j.notified && !j.finishedAt.IsZero() && now.Sub(j.finishedAt) >= jm.cfg.TombstoneTTL
@@ -293,12 +327,17 @@ func (jm *JobManager) evictTombstones(now time.Time) {
 			delete(jm.jobs, id)
 			if abandoned {
 				abandonedNodes[j] = nodeSet(j.placement)
+				abandonedCredits[j] = j.openCreditsLocked()
 			}
 		}
 		j.mu.Unlock()
 	}
 	jm.mu.Unlock()
 	for _, j := range expired {
+		// Eviction is the last exit for a space that never saw finishJob
+		// (an abandoned, never-started job); close it so its waiters and
+		// tuples are freed with the record.
+		j.space.Close()
 		// An abandoned job still holds unstarted assignments (and their
 		// memory reservations) on its placement nodes; cancel them before
 		// the record — and with it the only route to those nodes — is
@@ -312,6 +351,7 @@ func (jm *JobManager) evictTombstones(now time.Time) {
 				jm.logf("job %s: release abandoned tasks on %s: %v", j.id, node, err)
 			}
 		}
+		jm.creditDirectory(abandonedCredits[j])
 		j.queue.Close()
 		jm.logf("job %s evicted (tombstone or abandoned)", j.id)
 	}
@@ -367,6 +407,7 @@ func (jm *JobManager) JobProgress(jobID string) (Progress, bool) {
 	for _, n := range j.retries {
 		p.Retried += n
 	}
+	p.TSOps = int(j.tsOps.Load())
 	return p, true
 }
 
@@ -426,6 +467,7 @@ func (jm *JobManager) HandleCreateJob(m *msg.Message) *msg.Message {
 		retrying:    make(map[string]bool),
 		speculative: make(map[string]string),
 		beats:       make(map[string]*beatState),
+		space:       tuplespace.New(),
 	}
 	jm.jobs[id] = j
 	jm.wg.Add(1)
@@ -759,6 +801,48 @@ func (jm *JobManager) releaseBatch(j *jobState, placements map[string]string, re
 	}
 }
 
+// reservationCredit is one freed task reservation to credit back to the
+// placement directory's cached figures.
+type reservationCredit struct {
+	node string
+	mb   int
+}
+
+// creditDirectory applies freed-reservation credits (one task each).
+func (jm *JobManager) creditDirectory(credits []reservationCredit) {
+	for _, c := range credits {
+		if c.node != "" {
+			jm.dir.Release(c.node, c.mb, 1)
+		}
+	}
+}
+
+// openCreditsLocked collects credits for every reservation a job still
+// holds — non-terminal placed tasks plus live speculative twins — used
+// when teardown (failure fan-out, cancellation, abandonment) frees them
+// wholesale. j.mu must be held. A nil schedule means nothing started:
+// every placed task still holds its reservation.
+func (j *jobState) openCreditsLocked() []reservationCredit {
+	var credits []reservationCredit
+	for name, node := range j.placement {
+		if j.schedule != nil {
+			switch j.schedule.Status(name) {
+			case StatusDone, StatusFailed, StatusCancelled:
+				continue
+			}
+		}
+		if sp := j.specs[name]; sp != nil {
+			credits = append(credits, reservationCredit{node, sp.Req.MemoryMB})
+		}
+	}
+	for name, node := range j.speculative {
+		if sp := j.specs[name]; sp != nil {
+			credits = append(credits, reservationCredit{node, sp.Req.MemoryMB})
+		}
+	}
+	return credits
+}
+
 func nodeSet(placements map[string]string) map[string]bool {
 	nodes := make(map[string]bool, len(placements))
 	for _, n := range placements {
@@ -780,10 +864,8 @@ func (jm *JobManager) assignBatch(j *jobState, node string, items []protocol.Tas
 		msg.Address{Node: node, Job: j.id},
 		req)
 	// The window covers the assignment round trip plus the TaskManager's
-	// possible blob fetch back to this JobManager. It must stay well under
-	// the client's call timeout (10s default) so one dead node costs a
-	// retry, not the whole client call.
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// possible blob fetch back to this JobManager.
+	ctx, cancel := context.WithTimeout(context.Background(), jm.cfg.AssignTimeout)
 	defer cancel()
 	reply, err := jm.caller.Call(ctx, node, am)
 	if err != nil {
@@ -964,6 +1046,7 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 	var toStart []string
 	var cancelCopies []string // nodes hosting a losing copy of ev.Task
 	var jobDone, jobFailed bool
+	var credits []reservationCredit // freed reservations to credit to the directory
 	forward := true
 	j.mu.Lock()
 	if j.schedule == nil || j.notified {
@@ -1011,9 +1094,20 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 			delete(j.speculative, ev.Task)
 			if loser != "" && loser != ev.Node {
 				cancelCopies = append(cancelCopies, loser)
+				// The cancel frees the loser's reservation on its node.
+				if sp := j.specs[ev.Task]; sp != nil {
+					credits = append(credits, reservationCredit{loser, sp.Req.MemoryMB})
+				}
 			}
 		}
 		delete(j.beats, ev.Task)
+		if sp := j.specs[ev.Task]; sp != nil {
+			node := ev.Node
+			if node == "" {
+				node = primary
+			}
+			credits = append(credits, reservationCredit{node, sp.Req.MemoryMB})
+		}
 		for _, name := range newly {
 			if err := j.schedule.MarkRunning(name); err == nil {
 				toStart = append(toStart, name)
@@ -1023,11 +1117,16 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 		switch {
 		case twin != "" && ev.Node == twin:
 			// The speculative twin failed; the primary is still running.
+			// The twin's node freed its reservation when the copy died.
 			delete(j.speculative, ev.Task)
+			if sp := j.specs[ev.Task]; sp != nil {
+				credits = append(credits, reservationCredit{twin, sp.Req.MemoryMB})
+			}
 			forward = false
 		case ev.Node != "" && ev.Node != primary:
 			// Stale copy of a re-placed task (usually the cancelled loser
-			// reporting "stopped"); not authoritative.
+			// reporting "stopped"); not authoritative. Its reservation was
+			// already credited when the copy was cancelled.
 			forward = false
 		case twin != "":
 			// The primary failed but its speculative twin is still running:
@@ -1037,11 +1136,18 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 			j.placement[ev.Task] = twin
 			delete(j.speculative, ev.Task)
 			j.beats[ev.Task] = &beatState{changedAt: time.Now()}
+			if sp := j.specs[ev.Task]; sp != nil && ev.Node != "" {
+				credits = append(credits, reservationCredit{ev.Node, sp.Req.MemoryMB})
+			}
 			forward = false
 		default:
 			j.taskErrs[ev.Task] = ev.Err
 			if !j.schedule.FailAny(ev.Task) {
 				jm.logf("job %s: fail %q: already terminal", j.id, ev.Task)
+			} else if sp := j.specs[ev.Task]; sp != nil && ev.Node != "" {
+				// The TaskManager freed the reservation when the task died;
+				// credit the cached offer too.
+				credits = append(credits, reservationCredit{ev.Node, sp.Req.MemoryMB})
 			}
 		}
 	}
@@ -1053,6 +1159,10 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 	}
 	j.mu.Unlock()
 
+	// Finished or cancelled copies freed memory on their nodes; credit
+	// the cached offers so placements within the TTL see the capacity
+	// instead of waiting out the next solicitation round.
+	jm.creditDirectory(credits)
 	if forward {
 		jm.forwardToClient(j, kind, ev)
 	}
@@ -1082,6 +1192,10 @@ func (jm *JobManager) cancelCopy(j *jobState, node, taskName string) {
 // finishJob cancels remaining tasks (on failure), notifies the client, and
 // forgets the job.
 func (jm *JobManager) finishJob(j *jobState, failed bool) {
+	// The job is terminal: close its coordination space first so workers
+	// blocked in In/Rd — on a failed job, possibly forever — unblock with
+	// ErrClosed before the cancel fan-out reaches their nodes.
+	j.space.Close()
 	j.mu.Lock()
 	nodes := make(map[string]bool)
 	for _, n := range j.placement {
@@ -1095,6 +1209,12 @@ func (jm *JobManager) finishJob(j *jobState, failed bool) {
 		errs[k] = v
 	}
 	client := j.clientNode
+	var credits []reservationCredit
+	if failed {
+		// The cancel fan-out below frees every reservation the job still
+		// holds; credit the cached offers too.
+		credits = j.openCreditsLocked()
+	}
 	// The job is terminal: its archive bytes are no longer needed for
 	// assignment or recovery.
 	j.blobs = nil
@@ -1110,6 +1230,7 @@ func (jm *JobManager) finishJob(j *jobState, failed bool) {
 				jm.logf("job %s: cancel on %s: %v", j.id, node, err)
 			}
 		}
+		jm.creditDirectory(credits)
 	}
 
 	kind := msg.KindJobCompleted
@@ -1207,6 +1328,9 @@ func (jm *JobManager) HandleCancel(m *msg.Message) *msg.Message {
 		return jm.errReply(m, err.Error())
 	}
 	j.mu.Lock()
+	// Snapshot the still-held reservations before CancelAll marks every
+	// task terminal; the cancel fan-out frees them on the TaskManagers.
+	credits := j.openCreditsLocked()
 	if j.schedule != nil {
 		j.schedule.CancelAll()
 	}
@@ -1214,10 +1338,12 @@ func (jm *JobManager) HandleCancel(m *msg.Message) *msg.Message {
 	j.finishedAt = time.Now()
 	j.mu.Unlock()
 	jm.finishJobCancelled(j, req.Reason)
+	jm.creditDirectory(credits)
 	return m.Reply(msg.KindPong, nil)
 }
 
 func (jm *JobManager) finishJobCancelled(j *jobState, reason string) {
+	j.space.Close()
 	j.mu.Lock()
 	nodes := make(map[string]bool)
 	for _, n := range j.placement {
@@ -1253,6 +1379,7 @@ func (jm *JobManager) Close() {
 	close(jm.stop)
 	for _, j := range jm.jobs {
 		j.queue.Close()
+		j.space.Close()
 	}
 	jm.mu.Unlock()
 	jm.monitor.Close()

@@ -225,6 +225,10 @@ type Progress struct {
 	// job's tasks (not a schedule state: a retried task is still counted
 	// once under its current state).
 	Retried int `json:"retried"`
+	// TSOps counts completed tuple-space operations against the job's
+	// coordination space (Out plus In/Rd/InP/RdP requests that reached a
+	// definitive outcome; park retries are not counted).
+	TSOps int `json:"ts_ops"`
 }
 
 // Terminal returns how many tasks reached a terminal state.
@@ -241,6 +245,7 @@ func (p Progress) Add(o Progress) Progress {
 		Failed:    p.Failed + o.Failed,
 		Cancelled: p.Cancelled + o.Cancelled,
 		Retried:   p.Retried + o.Retried,
+		TSOps:     p.TSOps + o.TSOps,
 	}
 }
 

@@ -98,6 +98,9 @@ type Progress struct {
 	// TasksRetried counts recovery and speculative re-placements (a task
 	// re-run after its node died, its dispatch failed, or it straggled).
 	TasksRetried int `json:"tasks_retried"`
+	// TSOps counts completed tuple-space operations against the
+	// submission's job coordination spaces.
+	TSOps int `json:"ts_ops"`
 }
 
 // Record is a point-in-time snapshot of one job, shaped for JSON.

@@ -75,6 +75,16 @@ const (
 	KindHeartbeat    // TaskManager -> JobManager: lease renewal + per-task progress sync
 	KindHeartbeatAck // JobManager -> TaskManager: beat acknowledged, unknown jobs flagged
 	KindTaskRetried  // event: a task was re-placed (recovery or speculation)
+
+	// Tuple-space coordination (task or client -> the JobManager hosting
+	// the job's space).
+	KindTSOut    // request: store a tuple in the job's space
+	KindTSIn     // request: take a matching tuple (blocking; parks server-side)
+	KindTSRd     // request: read a matching tuple (blocking; parks server-side)
+	KindTSInP    // request: take a matching tuple without blocking
+	KindTSRdP    // request: read a matching tuple without blocking
+	KindTSReply  // response: tuple-space operation result
+	KindTSCancel // notice: abandon a parked blocking op (requester gave up)
 )
 
 var kindNames = map[Kind]string{
@@ -111,6 +121,13 @@ var kindNames = map[Kind]string{
 	KindHeartbeat:         "HEARTBEAT",
 	KindHeartbeatAck:      "HEARTBEAT_ACK",
 	KindTaskRetried:       "TASK_RETRIED",
+	KindTSOut:             "TS_OUT",
+	KindTSIn:              "TS_IN",
+	KindTSRd:              "TS_RD",
+	KindTSInP:             "TS_INP",
+	KindTSRdP:             "TS_RDP",
+	KindTSReply:           "TS_REPLY",
+	KindTSCancel:          "TS_CANCEL",
 }
 
 // String returns the wire name of the kind, e.g. "TASK_COMPLETED".
@@ -124,7 +141,7 @@ func (k Kind) String() string {
 // IsWellDefined reports whether k is part of the CN protocol (as opposed to
 // a user-defined payload that CN merely delivers).
 func (k Kind) IsWellDefined() bool {
-	return k > KindInvalid && k <= KindTaskRetried && k != KindUser && k != KindBroadcast
+	return k > KindInvalid && k <= KindTSCancel && k != KindUser && k != KindBroadcast
 }
 
 // IsEvent reports whether k is an asynchronous lifecycle event (as opposed

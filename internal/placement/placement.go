@@ -69,6 +69,28 @@ type Directory struct {
 	inflight  chan struct{} // non-nil while a solicitation round runs
 	lastErr   error
 	stats     Stats
+	// debts records, per node, reserve debit that the zero clamp could
+	// not apply. Release pays the debt down before crediting the cached
+	// figure, so the symmetric reserve/release pair nets to the true
+	// figure instead of inflating it past the node's advertisement.
+	// Cleared whenever the node's entry is replaced or dropped.
+	debts map[string]int
+	// reserved records, per node, the net reserve applied against the
+	// CURRENT snapshot. Release credits at most this much: a credit for
+	// a task that freed its memory before the latest solicitation round
+	// is already reflected in the advertisement, and applying it again
+	// would inflate the figure past the node's true free. Cleared with
+	// debts whenever the snapshot is replaced or the entry dropped —
+	// dropping a legitimate late credit only under-reports until the
+	// next round, which is the safe direction.
+	reserved map[string]*reservation
+}
+
+// reservation is the net reserve applied to one node's cached entry
+// since its snapshot was taken.
+type reservation struct {
+	mb    int
+	tasks int
 }
 
 // NewDirectory creates a directory around a solicitation function.
@@ -82,7 +104,12 @@ func NewDirectory(cfg Config) *Directory {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Directory{cfg: cfg, entries: make(map[string]protocol.TMOffer)}
+	return &Directory{
+		cfg:      cfg,
+		entries:  make(map[string]protocol.TMOffer),
+		debts:    make(map[string]int),
+		reserved: make(map[string]*reservation),
+	}
 }
 
 // freshLocked reports whether the cached round is still within the TTL.
@@ -117,10 +144,18 @@ func (d *Directory) pruneDeadLocked() {
 	}
 	for node := range d.entries {
 		if !live[node] {
-			delete(d.entries, node)
+			d.dropLocked(node)
 			d.stats.Evictions++
 		}
 	}
+}
+
+// dropLocked forgets a node's entry and its snapshot bookkeeping; d.mu
+// must be held.
+func (d *Directory) dropLocked(node string) {
+	delete(d.entries, node)
+	delete(d.debts, node)
+	delete(d.reserved, node)
 }
 
 // Evict drops a node's cached offer because the node is gone (discovery
@@ -130,7 +165,7 @@ func (d *Directory) Evict(node string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.entries[node]; ok {
-		delete(d.entries, node)
+		d.dropLocked(node)
 		d.stats.Evictions++
 	}
 }
@@ -168,7 +203,12 @@ func (d *Directory) Offers() ([]protocol.TMOffer, error) {
 	d.stats.SolicitRounds++
 	d.lastErr = err
 	if err == nil {
+		// A fresh round is ground truth: replace the figures and forget
+		// the debts and reservations accumulated against the previous
+		// snapshot.
 		d.entries = make(map[string]protocol.TMOffer, len(offers))
+		d.debts = make(map[string]int)
+		d.reserved = make(map[string]*reservation)
 		for _, o := range offers {
 			d.entries[o.Node] = o
 		}
@@ -189,14 +229,19 @@ func (d *Directory) Invalidate(node string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.entries[node]; ok {
-		delete(d.entries, node)
+		d.dropLocked(node)
 		d.stats.Invalidations++
 	}
 }
 
 // Reserve debits a node's cached free-memory figure after a successful
 // assignment so subsequent placements within the TTL bin-pack against
-// up-to-date numbers instead of the stale advertisement.
+// up-to-date numbers instead of the stale advertisement. The figure is
+// clamped at zero: two jobs dispatching concurrently against the same
+// cached snapshot can both get their batches accepted (the TaskManager is
+// the arbiter), and a blind double debit would wedge the entry below zero
+// — suppressing the node from every plan until the TTL lapsed even after
+// its tasks finished.
 func (d *Directory) Reserve(node string, memoryMB, tasks int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -204,8 +249,55 @@ func (d *Directory) Reserve(node string, memoryMB, tasks int) {
 	if !ok {
 		return
 	}
+	r := d.reserved[node]
+	if r == nil {
+		r = &reservation{}
+		d.reserved[node] = r
+	}
+	r.mb += memoryMB
+	r.tasks += tasks
 	o.FreeMemoryMB -= memoryMB
+	if o.FreeMemoryMB < 0 {
+		// The debit the clamp swallows is remembered so the matching
+		// Release cannot inflate the figure past the advertisement.
+		d.debts[node] += -o.FreeMemoryMB
+		o.FreeMemoryMB = 0
+	}
 	o.RunningTasks += tasks
+	d.entries[node] = o
+}
+
+// Release credits a node's cached figures back when a job's tasks finish,
+// the inverse of Reserve: the freed memory is placeable again immediately
+// instead of only after the next solicitation round. A credit is bounded
+// by the net reserve applied against the current snapshot (a task that
+// freed its memory before the latest round is already in the
+// advertisement) and first pays down any debit the zero clamp swallowed,
+// so reserve/release pairs net to the advertised figure and can never
+// inflate it. Like Reserve it adjusts a cache, not ground truth — the
+// next fresh round replaces the figures wholesale.
+func (d *Directory) Release(node string, memoryMB, tasks int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	o, ok := d.entries[node]
+	if !ok {
+		return
+	}
+	r := d.reserved[node]
+	if r == nil {
+		return // stale credit: nothing reserved against this snapshot
+	}
+	memoryMB = min(memoryMB, r.mb)
+	tasks = min(tasks, r.tasks)
+	r.mb -= memoryMB
+	r.tasks -= tasks
+	if debt := d.debts[node]; debt > 0 {
+		pay := min(debt, memoryMB)
+		d.debts[node] = debt - pay
+		memoryMB -= pay
+	}
+	o.FreeMemoryMB += memoryMB
+	o.RunningTasks = max(o.RunningTasks-tasks, 0)
 	d.entries[node] = o
 }
 

@@ -406,3 +406,84 @@ func TestDirectoryEvict(t *testing.T) {
 		t.Errorf("evictions = %d, want 1", st.Evictions)
 	}
 }
+
+// TestReserveClampsAtZeroUnderConcurrentDoubleReserve is the regression
+// test for the double-debit bug: two jobs dispatching concurrently against
+// the same cached offer snapshot both debit the node; the blind debit drove
+// the cached figure below zero and suppressed the node from every plan
+// until the TTL lapsed, even after its tasks finished.
+func TestReserveClampsAtZeroUnderConcurrentDoubleReserve(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{{offer("n1", 1000, 0)}}}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Hour, Now: clock.Now})
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both placements planned against the same 1000 MB snapshot and both
+	// batches were accepted by the TaskManager (it is the arbiter).
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Reserve("n1", 800, 1)
+		}()
+	}
+	wg.Wait()
+
+	offers, err := d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].FreeMemoryMB != 0 {
+		t.Fatalf("offers after double reserve = %+v, want n1 clamped at 0 MB", offers)
+	}
+	if offers[0].RunningTasks != 2 {
+		t.Errorf("running tasks = %d, want 2", offers[0].RunningTasks)
+	}
+
+	// The clamp swallowed a 600 MB debit; the releases must pay that debt
+	// down before crediting, so the pair nets to exactly the advertised
+	// 1000 MB — neither the pre-fix -600 (node suppressed until TTL
+	// lapse) nor a naive 1600 (over-commit, assignment rejections).
+	d.Release("n1", 800, 1)
+	d.Release("n1", 800, 1)
+	offers, err = d.Offers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offers[0].FreeMemoryMB != 1000 {
+		t.Fatalf("free after releases = %d MB, want exactly 1000", offers[0].FreeMemoryMB)
+	}
+	if offers[0].RunningTasks != 0 {
+		t.Errorf("running after releases = %d, want 0 (clamped)", offers[0].RunningTasks)
+	}
+
+	// A credit beyond the snapshot's net reserve (a duplicate, or one for
+	// a task whose freed memory the advertisement already reflects) must
+	// not inflate the figure past the advertisement.
+	d.Release("n1", 800, 1)
+	offers, _ = d.Offers()
+	if offers[0].FreeMemoryMB != 1000 {
+		t.Fatalf("free after stale credit = %d MB, want 1000 (credit bounded by reserve)", offers[0].FreeMemoryMB)
+	}
+	if got := fs.count(); got != 1 {
+		t.Errorf("solicit rounds = %d, want 1 (all served from cache)", got)
+	}
+}
+
+// TestReleaseUnknownNodeIsNoOp: credits for nodes without a cached entry
+// (evicted, or never offered) are dropped, not resurrected.
+func TestReleaseUnknownNodeIsNoOp(t *testing.T) {
+	fs := &fakeSolicit{script: [][]protocol.TMOffer{{offer("n1", 100, 0)}}}
+	d := NewDirectory(Config{Solicit: fs.solicit, TTL: time.Hour})
+	if _, err := d.Offers(); err != nil {
+		t.Fatal(err)
+	}
+	d.Release("ghost", 500, 1)
+	offers, _ := d.Offers()
+	if len(offers) != 1 || offers[0].Node != "n1" {
+		t.Fatalf("offers = %+v, want only n1", offers)
+	}
+}

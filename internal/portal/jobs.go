@@ -104,6 +104,7 @@ func (t *runTracker) progress() jobstore.Progress {
 	p.TasksDone = agg.Done
 	p.TasksFailed = agg.Failed + agg.Cancelled
 	p.TasksRetried = agg.Retried
+	p.TSOps = agg.TSOps
 	return p
 }
 

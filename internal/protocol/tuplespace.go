@@ -1,0 +1,321 @@
+// Tuple-space wire protocol: the per-job coordination spaces hosted on
+// JobManagers ("CN also supports communication via tuple spaces"). Tuples
+// and templates cross the wire as ordered scalar fields; blocking In/Rd
+// requests park server-side against the space's waiters and are answered
+// when a match arrives, bounded by a park window after which the server
+// replies Retry and the caller re-issues — so a dead JobManager fails the
+// call at the client-side deadline instead of hanging the task, and a
+// tuple matched during the race between timeout and waiter removal is
+// still delivered, never lost.
+
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cn/internal/msg"
+	"cn/internal/tuplespace"
+)
+
+// TSParkWindow is how long a blocking In/Rd may park server-side before
+// the JobManager answers Retry and the caller re-issues. Shorter windows
+// tighten cancellation latency; longer windows cost fewer round trips for
+// long waits.
+const TSParkWindow = time.Second
+
+// TSCallTimeout bounds one tuple-space wire call. It exceeds the park
+// window by a grace margin so a parked call is answered rather than timed
+// out, and it is the client-side deadline that fails the call when the
+// hosting JobManager is dead.
+const TSCallTimeout = TSParkWindow + 4*time.Second
+
+// TSField kind tags: value fields for tuples, pattern fields for
+// templates.
+const (
+	TSString   = "s"    // string value
+	TSInt      = "i"    // int value
+	TSInt64    = "i64"  // int64 value
+	TSFloat    = "f"    // float64 value
+	TSBool     = "b"    // bool value
+	TSBytes    = "x"    // []byte value
+	TSWildcard = "wild" // template: matches any field
+	TSTypeOf   = "type" // template: matches any value of the named type
+)
+
+// TSField is one scalar field of a tuple or template on the wire.
+type TSField struct {
+	Kind  string
+	S     string // TSString value, or TSTypeOf's type name
+	I     int64  // TSInt / TSInt64 value
+	F     float64
+	B     bool
+	Bytes []byte
+}
+
+// EncodeTuple flattens a tuple into wire fields. Only scalar field types
+// (string, int, int64, float64, bool, []byte) are encodable.
+func EncodeTuple(t tuplespace.Tuple) ([]TSField, error) {
+	out := make([]TSField, len(t))
+	for i, v := range t {
+		f, err := encodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: tuple field %d: %w", i, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// DecodeTuple rebuilds a tuple from wire fields.
+func DecodeTuple(fields []TSField) (tuplespace.Tuple, error) {
+	out := make(tuplespace.Tuple, len(fields))
+	for i, f := range fields {
+		v, err := decodeValue(f)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: tuple field %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EncodeTemplate flattens a template into wire fields: concrete values
+// plus Wildcard and TypeOf placeholders.
+func EncodeTemplate(tpl tuplespace.Template) ([]TSField, error) {
+	out := make([]TSField, len(tpl))
+	for i, p := range tpl {
+		switch {
+		case tuplespace.IsWildcard(p):
+			out[i] = TSField{Kind: TSWildcard}
+		default:
+			if name, ok := tuplespace.TypeName(p); ok {
+				if name == "" {
+					return nil, fmt.Errorf("protocol: template field %d: TypeOf of a non-scalar type", i)
+				}
+				out[i] = TSField{Kind: TSTypeOf, S: name}
+				continue
+			}
+			f, err := encodeValue(p)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: template field %d: %w", i, err)
+			}
+			out[i] = f
+		}
+	}
+	return out, nil
+}
+
+// DecodeTemplate rebuilds a template from wire fields.
+func DecodeTemplate(fields []TSField) (tuplespace.Template, error) {
+	out := make(tuplespace.Template, len(fields))
+	for i, f := range fields {
+		switch f.Kind {
+		case TSWildcard:
+			out[i] = tuplespace.Wildcard
+		case TSTypeOf:
+			p, ok := tuplespace.TypeFromName(f.S)
+			if !ok {
+				return nil, fmt.Errorf("protocol: template field %d: unknown type %q", i, f.S)
+			}
+			out[i] = p
+		default:
+			v, err := decodeValue(f)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: template field %d: %w", i, err)
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+func encodeValue(v any) (TSField, error) {
+	switch x := v.(type) {
+	case string:
+		return TSField{Kind: TSString, S: x}, nil
+	case int:
+		return TSField{Kind: TSInt, I: int64(x)}, nil
+	case int64:
+		return TSField{Kind: TSInt64, I: x}, nil
+	case float64:
+		return TSField{Kind: TSFloat, F: x}, nil
+	case bool:
+		return TSField{Kind: TSBool, B: x}, nil
+	case []byte:
+		return TSField{Kind: TSBytes, Bytes: x}, nil
+	}
+	return TSField{}, fmt.Errorf("unsupported field type %T", v)
+}
+
+func decodeValue(f TSField) (any, error) {
+	switch f.Kind {
+	case TSString:
+		return f.S, nil
+	case TSInt:
+		return int(f.I), nil
+	case TSInt64:
+		return f.I, nil
+	case TSFloat:
+		return f.F, nil
+	case TSBool:
+		return f.B, nil
+	case TSBytes:
+		return f.Bytes, nil
+	}
+	return nil, fmt.Errorf("unknown field kind %q", f.Kind)
+}
+
+// TSOpReq is the body of the KindTSOut / KindTSIn / KindTSRd / KindTSInP /
+// KindTSRdP requests.
+type TSOpReq struct {
+	JobID    string
+	FromTask string    // requesting task name, or "client"
+	Fields   []TSField // the tuple (TS_OUT) or the template (other kinds)
+	// ParkMS is how long a blocking op may park server-side before the
+	// JobManager answers Retry (0 = TSParkWindow).
+	ParkMS int64
+}
+
+// TSCancelReq is the body of KindTSCancel (requester -> JobManager): the
+// requester of a parked blocking op gave up (task cancelled, client
+// context cancelled, node shutting down) and nobody will consume the
+// reply. The JobManager unparks the op; a tuple matched in the races
+// around the cancellation is put back into the space instead of being
+// sent to a dropped correlation. Best-effort: a lost cancel costs at most
+// one park window of stale waiting.
+type TSCancelReq struct {
+	JobID string
+	// ReqID is the original request message's ID; together with the
+	// sending node it identifies the parked op.
+	ReqID uint64
+}
+
+// TSOpResp is the body of KindTSReply. Exactly one of OK / Closed /
+// NoMatch / Retry / Err describes the outcome.
+type TSOpResp struct {
+	OK      bool      // the operation completed; Fields carries the tuple for In/Rd/InP/RdP
+	Closed  bool      // the space is closed (job reached a terminal state)
+	NoMatch bool      // a probe found no matching tuple
+	Retry   bool      // a blocking op parked past its window; re-issue
+	Err     string    // request-level failure (unknown job, bad encoding)
+	Fields  []TSField // the matched tuple
+}
+
+// TSDoFunc performs one tuple-space wire call of the given kind with the
+// given request body (JobID/FromTask are filled by the implementation) and
+// returns the decoded reply. Implementations fail the call — rather than
+// blocking forever — when the hosting JobManager does not answer within
+// TSCallTimeout.
+type TSDoFunc func(kind msg.Kind, req TSOpReq) (*TSOpResp, error)
+
+// TSWire is one requester's wire attachment to a job's space — the single
+// implementation of the call contract both the task runtime and the
+// client API use: every call is bounded by TSCallTimeout, and a blocking
+// call abandoned with a possible park still standing sends a best-effort
+// KindTSCancel so the JobManager puts a late destructive match back into
+// the space instead of answering a dropped correlation.
+type TSWire struct {
+	JobID    string
+	FromTask string
+	From, To msg.Address
+	// Call performs the bounded request/response round trip.
+	Call func(ctx context.Context, toNode string, m *msg.Message) (*msg.Message, error)
+	// Send delivers the best-effort cancel notice.
+	Send func(toNode string, m *msg.Message) error
+}
+
+// Do performs one wire op under ctx (additionally bounded by
+// TSCallTimeout), applying the cancel-on-abandon contract to blocking
+// kinds.
+func (w *TSWire) Do(ctx context.Context, kind msg.Kind, req TSOpReq) (*TSOpResp, error) {
+	req.JobID = w.JobID
+	req.FromTask = w.FromTask
+	m := Body(kind, w.From, w.To, req)
+	cctx, cancel := context.WithTimeout(ctx, TSCallTimeout)
+	defer cancel()
+	reply, err := w.Call(cctx, w.To.Node, m)
+	if err != nil {
+		if kind == msg.KindTSIn || kind == msg.KindTSRd {
+			// The call was abandoned while possibly parked server-side;
+			// tell the JobManager so a tuple matched after this point is
+			// put back instead of being sent to a dropped correlation.
+			cm := Body(msg.KindTSCancel, w.From, w.To, TSCancelReq{JobID: w.JobID, ReqID: m.ID})
+			_ = w.Send(w.To.Node, cm)
+		}
+		return nil, fmt.Errorf("tuple-space %s: %w", kind, err)
+	}
+	var resp TSOpResp
+	if err := Decode(reply, &resp); err != nil {
+		return nil, fmt.Errorf("tuple-space %s: %w", kind, err)
+	}
+	return &resp, nil
+}
+
+// TSOut performs a wire Out.
+func TSOut(do TSDoFunc, t tuplespace.Tuple) error {
+	fields, err := EncodeTuple(t)
+	if err != nil {
+		return err
+	}
+	resp, err := do(msg.KindTSOut, TSOpReq{Fields: fields})
+	if err != nil {
+		return err
+	}
+	_, err = tsOutcome(resp)
+	return err
+}
+
+// TSBlocking performs a wire In (KindTSIn) or Rd (KindTSRd), re-issuing
+// the request each time the server's park window lapses without a match.
+// The loop ends when a tuple arrives, the space closes, or do fails (the
+// caller's cancellation and dead-JobManager deadlines surface there).
+func TSBlocking(do TSDoFunc, kind msg.Kind, tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	fields, err := EncodeTemplate(tpl)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		resp, err := do(kind, TSOpReq{Fields: fields, ParkMS: int64(TSParkWindow / time.Millisecond)})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Retry {
+			continue
+		}
+		return tsOutcome(resp)
+	}
+}
+
+// TSProbe performs a wire InP (KindTSInP) or RdP (KindTSRdP).
+func TSProbe(do TSDoFunc, kind msg.Kind, tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	fields, err := EncodeTemplate(tpl)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := do(kind, TSOpReq{Fields: fields})
+	if err != nil {
+		return nil, err
+	}
+	return tsOutcome(resp)
+}
+
+// tsOutcome maps a definitive reply onto the tuplespace package's
+// sentinel errors so wire and in-process spaces behave identically.
+func tsOutcome(resp *TSOpResp) (tuplespace.Tuple, error) {
+	switch {
+	case resp.Closed:
+		return nil, tuplespace.ErrClosed
+	case resp.NoMatch:
+		return nil, tuplespace.ErrNoMatch
+	case resp.Err != "":
+		return nil, fmt.Errorf("protocol: tuple-space op: %s", resp.Err)
+	case !resp.OK:
+		return nil, fmt.Errorf("protocol: tuple-space op: empty reply")
+	}
+	if resp.Fields == nil {
+		return nil, nil // Out acknowledgement
+	}
+	return DecodeTuple(resp.Fields)
+}

@@ -1,0 +1,77 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"cn/internal/tuplespace"
+)
+
+func TestTupleRoundTrip(t *testing.T) {
+	in := tuplespace.Tuple{"row", 3, int64(9), 1.5, true, []byte{0xCA, 0xFE}}
+	fields, err := EncodeTuple(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeTuple(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip %v -> %v", in, out)
+	}
+	// Dynamic types survive: int stays int, int64 stays int64, so TypeOf
+	// templates keep matching across the wire.
+	if _, ok := out[1].(int); !ok {
+		t.Errorf("field 1 decoded as %T, want int", out[1])
+	}
+	if _, ok := out[2].(int64); !ok {
+		t.Errorf("field 2 decoded as %T, want int64", out[2])
+	}
+}
+
+func TestTupleRejectsNonScalar(t *testing.T) {
+	if _, err := EncodeTuple(tuplespace.Tuple{"ok", struct{ X int }{1}}); err == nil {
+		t.Fatal("struct field encoded; want error")
+	}
+	if _, err := EncodeTuple(tuplespace.Tuple{map[string]int{"a": 1}}); err == nil {
+		t.Fatal("map field encoded; want error")
+	}
+}
+
+func TestTemplateRoundTripMatchesLikeOriginal(t *testing.T) {
+	tpl := tuplespace.Template{"row", tuplespace.Wildcard, tuplespace.TypeOf(0), "x"}
+	fields, err := EncodeTemplate(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTemplate(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := tuplespace.Tuple{"row", []byte{1}, 7, "x"}
+	miss := tuplespace.Tuple{"row", []byte{1}, int64(7), "x"} // int64 != TypeOf(int)
+	for _, cand := range []tuplespace.Template{tpl, back} {
+		if !cand.Matches(match) {
+			t.Errorf("template %v does not match %v", cand, match)
+		}
+		if cand.Matches(miss) {
+			t.Errorf("template %v matches %v; TypeOf(int) must reject int64", cand, miss)
+		}
+	}
+}
+
+func TestTemplateRejectsNonScalarTypeOf(t *testing.T) {
+	if _, err := EncodeTemplate(tuplespace.Template{tuplespace.TypeOf(struct{}{})}); err == nil {
+		t.Fatal("TypeOf(struct{}) encoded; want error")
+	}
+}
+
+func TestDecodeUnknownFieldKind(t *testing.T) {
+	if _, err := DecodeTuple([]TSField{{Kind: "nope"}}); err == nil {
+		t.Fatal("unknown kind decoded; want error")
+	}
+	if _, err := DecodeTemplate([]TSField{{Kind: TSTypeOf, S: "chan int"}}); err == nil {
+		t.Fatal("unknown TypeOf name decoded; want error")
+	}
+}

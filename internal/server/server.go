@@ -31,6 +31,9 @@ type Config struct {
 	// PlacementTTL bounds the JobManager's cached TaskManager offers
 	// (0 = placement default; negative disables offer caching).
 	PlacementTTL time.Duration
+	// AssignTimeout bounds the JobManager's batch-assignment round trips
+	// (0 = jobmgr default).
+	AssignTimeout time.Duration
 	// TombstoneTTL bounds finished-job tombstone retention in the
 	// JobManager (0 = jobmgr default; negative keeps tombstones forever).
 	TombstoneTTL time.Duration
@@ -82,6 +85,7 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		MemoryMB:       cfg.MemoryMB,
 		Registry:       cfg.Registry,
 		Fetch:          s.fetchBlobs,
+		Call:           s.caller.Call,
 		HeartbeatEvery: cfg.HeartbeatInterval,
 		Logf:           cfg.Logf,
 	}, send)
@@ -90,6 +94,7 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		MaxJobs:           cfg.MaxJobs,
 		MemoryMB:          cfg.MemoryMB,
 		PlacementTTL:      cfg.PlacementTTL,
+		AssignTimeout:     cfg.AssignTimeout,
 		TombstoneTTL:      cfg.TombstoneTTL,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		SuspectAfter:      cfg.SuspectAfter,
@@ -186,6 +191,25 @@ func (s *Server) dispatch(m *msg.Message) {
 		s.replyIfAny(m, s.jm.HandleCreateTasks(m))
 	case msg.KindFetchBlob:
 		s.replyIfAny(m, s.jm.HandleFetchBlob(m))
+	case msg.KindTSOut, msg.KindTSIn, msg.KindTSRd, msg.KindTSInP, msg.KindTSRdP:
+		// Tuple-space ops against this node's hosted job spaces. Blocking
+		// In/Rd park inside the handler; dispatch already runs each
+		// message on its own goroutine, so parking never stalls the loop.
+		r := s.jm.HandleTSOp(m)
+		if r == nil {
+			return
+		}
+		if err := s.ep.Send(m.From.Node, r); err != nil {
+			// The requester is gone (a stale parked waiter woken after its
+			// node died): a destructively taken tuple must go back into the
+			// space or it is lost to the live workers.
+			s.jm.ReturnTSTuple(m, r)
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("[server %s] ts reply to %s: %v", s.cfg.Node, m.From.Node, err)
+			}
+		}
+	case msg.KindTSCancel:
+		s.jm.HandleTSCancel(m)
 	case msg.KindStartTask:
 		s.replyIfAny(m, s.jm.HandleStartJob(m))
 	case msg.KindCancelJob:

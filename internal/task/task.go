@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"cn/internal/tuplespace"
 )
 
 // Task is the interface a CN task class implements. In the paper a task is
@@ -51,6 +53,31 @@ type Context interface {
 	// Recv blocks until the next user message addressed to this task
 	// arrives, returning its payload and the sender task name.
 	Recv() (from string, payload []byte, err error)
+
+	// The tuple-space operations reach the job's coordination space,
+	// hosted by the job's JobManager and shared by every task in the job
+	// and the client ("CN also supports communication via tuple spaces").
+	// Tuples hold scalar fields (string, int, int64, float64, bool,
+	// []byte); templates additionally accept the tuplespace.Wildcard and
+	// tuplespace.TypeOf placeholders. The space closes when the job
+	// reaches a terminal state, failing blocked and future operations
+	// with tuplespace.ErrClosed.
+
+	// Out stores a tuple in the job's space.
+	Out(t tuplespace.Tuple) error
+	// In removes and returns a tuple matching tpl, blocking until one is
+	// available, the space closes, or the hosting JobManager stops
+	// answering (a bounded per-attempt deadline fails the call rather
+	// than hanging the task).
+	In(tpl tuplespace.Template) (tuplespace.Tuple, error)
+	// Rd is In without removal.
+	Rd(tpl tuplespace.Template) (tuplespace.Tuple, error)
+	// InP removes and returns a matching tuple without blocking;
+	// tuplespace.ErrNoMatch when none is stored.
+	InP(tpl tuplespace.Template) (tuplespace.Tuple, error)
+	// RdP is InP without removal.
+	RdP(tpl tuplespace.Template) (tuplespace.Tuple, error)
+
 	// Logf records a line in the job log.
 	Logf(format string, args ...any)
 	// Done reports whether the job has been cancelled; long-running tasks

@@ -7,6 +7,7 @@
 package taskmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/tuplespace"
 )
 
 // SendFunc delivers a message to a node; the CN server injects its
@@ -30,6 +32,12 @@ type SendFunc func(toNode string, m *msg.Message) error
 // a KindFetchBlob call in; nil disables fetching (assignments referencing
 // uncached digests are rejected).
 type FetchFunc func(jmNode, jobID string, digests []string) (map[string][]byte, error)
+
+// CallFunc performs one request/response round trip to a node. The CN
+// server wires its transport caller in; tasks' tuple-space operations
+// route through it to the JobManager hosting the job's space. nil
+// disables tuple-space operations.
+type CallFunc func(ctx context.Context, toNode string, m *msg.Message) (*msg.Message, error)
 
 // Config parametrizes a TaskManager.
 type Config struct {
@@ -43,6 +51,9 @@ type Config struct {
 	MailboxCap int
 	// Fetch pulls missing archive blobs from the assigning JobManager.
 	Fetch FetchFunc
+	// Call performs request/response round trips (tuple-space operations
+	// to the hosting JobManager); nil disables tuple-space access.
+	Call CallFunc
 	// HeartbeatEvery is the cadence of HEARTBEAT messages to JobManagers
 	// holding assignments here (0 = health.DefaultInterval; negative
 	// disables heartbeating, the pre-failure-detection behavior).
@@ -64,10 +75,24 @@ type assignment struct {
 	mailbox    *msg.Mailbox
 	cancelled  atomic.Bool
 	started    atomic.Bool
+	// stopped is closed when the assignment is cancelled, so in-flight
+	// blocking calls (a tuple-space In parked on the JobManager) abort
+	// promptly instead of waiting out their window.
+	stopped  chan struct{}
+	stopOnce sync.Once
 	// progress is the task's monotonic activity counter, bumped on every
 	// message the task sends or receives; heartbeats carry it to the
 	// JobManager as the straggler-detection signal.
 	progress atomic.Uint64
+}
+
+// cancel marks the assignment cancelled and releases its waiters: the
+// mailbox closes (Recv returns ErrStopped) and the stopped channel wakes
+// any in-flight tuple-space call.
+func (a *assignment) cancel() {
+	a.cancelled.Store(true)
+	a.stopOnce.Do(func() { close(a.stopped) })
+	a.mailbox.Close()
 }
 
 // TaskManager executes tasks on one node.
@@ -416,6 +441,7 @@ func (tm *TaskManager) assignOne(jobID, jobManager, clientNode string, it protoc
 		clientNode: clientNode,
 		spec:       sp,
 		mailbox:    msg.NewMailbox(tm.cfg.MailboxCap),
+		stopped:    make(chan struct{}),
 	}
 	tm.logf("assigned %s (class %s, %d MB)", k, sp.Class, sp.Req.MemoryMB)
 	return ""
@@ -437,8 +463,7 @@ func (tm *TaskManager) ReleaseIfUnstarted(jobID, taskName string) bool {
 	tm.freeMB += a.spec.Req.MemoryMB
 	delete(tm.assigned, k)
 	tm.mu.Unlock()
-	a.cancelled.Store(true)
-	a.mailbox.Close()
+	a.cancel()
 	tm.logf("released unstarted %s (%d MB)", k, a.spec.Req.MemoryMB)
 	return true
 }
@@ -572,8 +597,7 @@ func (tm *TaskManager) HandleCancel(jobID string, tasks ...string) {
 	}
 	tm.mu.Unlock()
 	for _, a := range toCancel {
-		a.cancelled.Store(true)
-		a.mailbox.Close()
+		a.cancel()
 	}
 	// Unstarted assignments release their reservation immediately.
 	tm.mu.Lock()
@@ -596,8 +620,7 @@ func (tm *TaskManager) Close() {
 	}
 	tm.closed = true
 	for _, a := range tm.assigned {
-		a.cancelled.Store(true)
-		a.mailbox.Close()
+		a.cancel()
 	}
 	tm.mu.Unlock()
 	close(tm.stop)
@@ -675,6 +698,75 @@ func (c *execContext) Recv() (string, []byte, error) {
 	}
 	c.a.progress.Add(1)
 	return p.FromTask, p.Data, nil
+}
+
+// tsDo performs one tuple-space wire call to the job's hosting JobManager
+// through the shared protocol.TSWire contract — re-placed tasks carry the
+// same jobManager, so a recovered instance transparently reconnects to
+// the same space. Each call is bounded by TSCallTimeout (a dead
+// JobManager fails the operation instead of hanging the task) and
+// aborted early when the task is cancelled or the TaskManager shuts
+// down, so a parked In never outlives its node.
+func (c *execContext) tsDo(kind msg.Kind, req protocol.TSOpReq) (*protocol.TSOpResp, error) {
+	if c.tm.cfg.Call == nil {
+		return nil, fmt.Errorf("task %s: tuple space unavailable: no call path configured", c.a.spec.Name)
+	}
+	if c.a.cancelled.Load() {
+		return nil, task.ErrStopped
+	}
+	wire := &protocol.TSWire{
+		JobID:    c.a.jobID,
+		FromTask: c.a.spec.Name,
+		From:     c.self,
+		To:       msg.Address{Node: c.jm.Node, Job: c.a.jobID},
+		Call:     c.tm.cfg.Call,
+		Send:     c.tm.send,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-c.tm.stop:
+			cancel()
+		case <-c.a.stopped:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	resp, err := wire.Do(ctx, kind, req)
+	if err != nil {
+		if c.a.cancelled.Load() {
+			return nil, task.ErrStopped
+		}
+		return nil, fmt.Errorf("task %s: %w", c.a.spec.Name, err)
+	}
+	c.a.progress.Add(1)
+	return resp, nil
+}
+
+// Out implements task.Context.
+func (c *execContext) Out(t tuplespace.Tuple) error {
+	return protocol.TSOut(c.tsDo, t)
+}
+
+// In implements task.Context.
+func (c *execContext) In(tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	return protocol.TSBlocking(c.tsDo, msg.KindTSIn, tpl)
+}
+
+// Rd implements task.Context.
+func (c *execContext) Rd(tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	return protocol.TSBlocking(c.tsDo, msg.KindTSRd, tpl)
+}
+
+// InP implements task.Context.
+func (c *execContext) InP(tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	return protocol.TSProbe(c.tsDo, msg.KindTSInP, tpl)
+}
+
+// RdP implements task.Context.
+func (c *execContext) RdP(tpl tuplespace.Template) (tuplespace.Tuple, error) {
+	return protocol.TSProbe(c.tsDo, msg.KindTSRdP, tpl)
 }
 
 // Logf implements task.Context.

@@ -1,0 +1,148 @@
+package tuplespace
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStormNoTupleLostOrDuplicated floods one space from N producers
+// while M consumers take with overlapping templates: every tuple must be
+// delivered exactly once — destructive In semantics under full contention.
+// Run under -race this also audits the waiter bookkeeping.
+func TestStormNoTupleLostOrDuplicated(t *testing.T) {
+	const (
+		producers = 8
+		consumers = 8
+		perProd   = 200
+	)
+	total := producers * perProd
+	s := New()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := s.Out(Tuple{"item", p*perProd + i}); err != nil {
+					t.Errorf("out: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Consumers alternate overlapping templates: the fully wild one and
+	// the typed one both match every produced tuple.
+	templates := []Template{
+		{"item", Wildcard},
+		{"item", TypeOf(0)},
+	}
+	got := make(chan int, total)
+	var cg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func(c int) {
+			defer cg.Done()
+			for {
+				tu, err := s.In(ctx, templates[c%len(templates)])
+				if err != nil {
+					return // context: the drain is complete
+				}
+				v := tu[1].(int)
+				if v < 0 {
+					return // poison
+				}
+				got <- v
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	seen := make(map[int]bool, total)
+	for i := 0; i < total; i++ {
+		select {
+		case v := <-got:
+			if seen[v] {
+				t.Fatalf("tuple %d delivered twice", v)
+			}
+			seen[v] = true
+		case <-ctx.Done():
+			t.Fatalf("drained %d of %d tuples: storm lost tuples", len(seen), total)
+		}
+	}
+	for c := 0; c < consumers; c++ {
+		if err := s.Out(Tuple{"item", -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cg.Wait()
+	// No stray deliveries: the channel holds only unconsumed poison.
+	select {
+	case v := <-got:
+		t.Fatalf("extra delivery %d after full drain", v)
+	default:
+	}
+}
+
+// TestCloseDuringStormFailsAllWaiters closes the space while producers
+// are racing blocked consumers: every blocked In must fail with ErrClosed
+// (not hang, not receive), and late Outs must fail with ErrClosed too.
+func TestCloseDuringStormFailsAllWaiters(t *testing.T) {
+	const consumers = 16
+	s := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	results := make(chan error, consumers)
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func(c int) {
+			defer cg.Done()
+			// Template no Out below ever matches: these waiters can only be
+			// released by Close.
+			_, err := s.In(ctx, Template{"never", c})
+			results <- err
+		}(c)
+	}
+
+	// Concurrent non-matching traffic keeps the waiter list churning
+	// while Close lands mid-storm.
+	var pg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pg.Add(1)
+		go func(p int) {
+			defer pg.Done()
+			for i := 0; ; i++ {
+				if err := s.Out(Tuple{"noise", p, i}); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("out after close: %v", err)
+					}
+					return
+				}
+			}
+		}(p)
+	}
+
+	time.Sleep(5 * time.Millisecond) // let waiters park and noise flow
+	s.Close()
+	pg.Wait()
+	cg.Wait()
+	for c := 0; c < consumers; c++ {
+		if err := <-results; !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked waiter got %v, want ErrClosed", err)
+		}
+	}
+	if err := s.Out(Tuple{"late"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("out on closed space: %v, want ErrClosed", err)
+	}
+	if _, err := s.InP(Template{"any"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("probe on closed space: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,68 @@
+// Wire introspection helpers: the protocol layer encodes tuples and
+// templates field-by-field, and template placeholders (Wildcard, TypeOf)
+// are unexported types it cannot inspect directly. These accessors expose
+// just enough structure to round-trip a template without widening the
+// package's matching semantics.
+
+package tuplespace
+
+import "reflect"
+
+// IsWildcard reports whether a template element is the Wildcard
+// placeholder.
+func IsWildcard(v any) bool {
+	_, ok := v.(wildcard)
+	return ok
+}
+
+// TypeName returns the canonical wire name of a TypeOf placeholder's type
+// and true, or ("", false) when v is not a TypeOf placeholder. Only the
+// scalar field types the wire codec supports have names; other TypeOf
+// placeholders yield ("", true) and cannot cross the wire.
+func TypeName(v any) (string, bool) {
+	p, ok := v.(typeOf)
+	if !ok {
+		return "", false
+	}
+	return scalarTypeName(p.rt), true
+}
+
+// TypeFromName reconstructs a TypeOf placeholder from a wire name produced
+// by TypeName; ok is false for unknown names.
+func TypeFromName(name string) (any, bool) {
+	switch name {
+	case "string":
+		return TypeOf(""), true
+	case "int":
+		return TypeOf(0), true
+	case "int64":
+		return TypeOf(int64(0)), true
+	case "float64":
+		return TypeOf(float64(0)), true
+	case "bool":
+		return TypeOf(false), true
+	case "[]byte":
+		return TypeOf([]byte(nil)), true
+	}
+	return nil, false
+}
+
+// scalarTypeName maps a reflect.Type onto its wire name, or "" for types
+// the codec does not carry.
+func scalarTypeName(rt reflect.Type) string {
+	switch rt {
+	case reflect.TypeOf(""):
+		return "string"
+	case reflect.TypeOf(0):
+		return "int"
+	case reflect.TypeOf(int64(0)):
+		return "int64"
+	case reflect.TypeOf(float64(0)):
+		return "float64"
+	case reflect.TypeOf(false):
+		return "bool"
+	case reflect.TypeOf([]byte(nil)):
+		return "[]byte"
+	}
+	return ""
+}
