@@ -28,11 +28,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | all")
+		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | all")
 		reps = flag.Int("reps", 5, "repetitions per configuration")
 		out  = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
 		rout = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
 		tout = flag.String("tuplespace-out", "BENCH_tuplespace.json", "path for the tuplespace experiment's JSON snapshot")
+		wout = flag.String("wire-out", "BENCH_wire.json", "path for the wire-codec experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -53,6 +54,8 @@ func main() {
 		recoveryTable(*reps, *rout)
 	case "tuplespace":
 		tuplespaceTable(*reps, *tout)
+	case "wire":
+		wireTable(*reps, *wout)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
@@ -62,6 +65,7 @@ func main() {
 		placementTable(*reps, *out)
 		recoveryTable(*reps, *rout)
 		tuplespaceTable(*reps, *tout)
+		wireTable(*reps, *wout)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -100,7 +100,9 @@ func Start(cfg Config) (*Cluster, error) {
 			Seed:    cfg.Seed,
 		})
 	case TransportTCP:
-		net = transport.NewTCPNetwork()
+		tn := transport.NewTCPNetwork()
+		tn.SetLogf(cfg.Logf)
+		net = tn
 	default:
 		return nil, fmt.Errorf("cluster: unknown transport %d", cfg.Transport)
 	}
@@ -182,6 +184,18 @@ func (c *Cluster) PlacementStats() placement.Stats {
 		agg.Evictions += s.Evictions
 	}
 	return agg
+}
+
+// WireStats snapshots the fabric's transport counters: messages and
+// encoded bytes on the wire, per-kind send counts, and inbound frame
+// errors. Both fabric implementations account encoded frame sizes, so the
+// figure is comparable between simulated and TCP deployments.
+func (c *Cluster) WireStats() transport.WireSnapshot {
+	type statser interface{ Stats() *transport.Stats }
+	if s, ok := c.network.(statser); ok {
+		return s.Stats().Wire()
+	}
+	return transport.WireSnapshot{}
 }
 
 // BlobTransfers sums every live TaskManager's distinct archive-blob

@@ -1,0 +1,250 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cn/internal/api"
+	"cn/internal/archive"
+	"cn/internal/cluster"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/wire"
+)
+
+// bigArchive builds an archive whose serialized size exceeds the transport
+// frame limit, so it can only travel chunked. The payload is pseudo-random
+// (incompressible) to defeat zip deflate.
+func bigArchive(t *testing.T, class string) *archive.Archive {
+	t.Helper()
+	payload := make([]byte, wire.MaxFrameBytes+wire.MaxFrameBytes/4)
+	rand.New(rand.NewSource(7)).Read(payload)
+	ar, err := archive.NewBuilder("big.jar", class).AddFile("model.bin", payload).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Bytes()) <= wire.MaxFrameBytes {
+		t.Fatalf("archive is %d bytes, need > MaxFrameBytes %d", len(ar.Bytes()), wire.MaxFrameBytes)
+	}
+	return ar
+}
+
+// TestTCPMultiChunkArchiveDistributesAndRecovers is the blob-streaming
+// acceptance test: an archive larger than MaxFrameBytes is uploaded to the
+// JobManager chunk by chunk, distributed to TaskManagers via chunked
+// digest pulls, digest-verified, and executed — on a real-socket TCP
+// cluster. A worker is then power-cut mid-job and the re-placed tasks
+// re-fetch the same multi-chunk blob on a surviving node.
+func TestTCPMultiChunkArchiveDistributesAndRecovers(t *testing.T) {
+	const class = "wire.BigWork"
+	reg := task.NewRegistry()
+	reg.MustRegister(class, func() task.Task {
+		return task.Func(func(ctx task.Context) error {
+			deadline := time.Now().Add(40 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				if ctx.Done() {
+					return task.ErrStopped
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			return ctx.SendClient([]byte(ctx.TaskName()))
+		})
+	})
+
+	c, err := cluster.Start(fastHealth(cluster.Config{
+		Nodes:          4,
+		Transport:      cluster.TransportTCP,
+		MemoryMB:       64000,
+		Registry:       reg,
+		MaxTaskRetries: 3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ar := bigArchive(t, class)
+	j, err := cl.CreateJobOn("node1", "bigblob", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 8
+	specs := make([]*task.Spec, tasks)
+	for i := range specs {
+		specs[i] = &task.Spec{
+			Name: fmt.Sprintf("b%02d", i), Class: class, Archive: ar.Name,
+			Req: task.Requirements{MemoryMB: 100, RunModel: task.RunAsThreadInTM},
+		}
+	}
+	placements, err := j.CreateTasks(specs, map[string]*archive.Archive{ar.Name: ar})
+	if err != nil {
+		t.Fatalf("multi-chunk archive admission failed: %v", err)
+	}
+	if got := c.BlobTransfers(); got == 0 {
+		t.Fatal("no blob transfers recorded; archive never reached a TaskManager")
+	}
+	// Every chosen node digest-verified the reassembled archive into its
+	// cache.
+	for _, node := range placements {
+		if srv := c.Server(node); srv != nil && !srv.TaskManager().BlobCache().Has(ar.Digest()) {
+			t.Errorf("node %s lacks blob %.12s… after assignment", node, ar.Digest())
+		}
+	}
+
+	victim := ""
+	for _, node := range placements {
+		if node != "node1" {
+			victim = node
+			break
+		}
+	}
+	if victim == "" {
+		t.Skip("all tasks placed on the JobManager node; no victim to kill")
+	}
+
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if err := c.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job did not finish after node kill: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("job failed instead of recovering: %+v", res)
+	}
+	seen := make(map[string]bool)
+	for {
+		from, _, ok, err := j.TryGetMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seen[from] = true
+	}
+	for i := 0; i < tasks; i++ {
+		if name := fmt.Sprintf("b%02d", i); !seen[name] {
+			t.Errorf("no result from task %s", name)
+		}
+	}
+	t.Logf("archive %d bytes (> %d frame limit), killed %s, retries=%d",
+		len(ar.Bytes()), wire.MaxFrameBytes, victim, j.Progress().Retried)
+}
+
+// TestTCPManySmallArchivesAggregateOverFrameLimit: individually-inlineable
+// archives whose AGGREGATE exceeds MaxFrameBytes must still admit — the
+// inline budget is per message, not per blob, so the overflow is
+// chunk-streamed on upload and announced by size on fetch.
+func TestTCPManySmallArchivesAggregateOverFrameLimit(t *testing.T) {
+	const class = "wire.SmallWork"
+	reg := task.NewRegistry()
+	reg.MustRegister(class, func() task.Task {
+		return task.Func(func(task.Context) error { return nil })
+	})
+	c, err := cluster.Start(cluster.Config{
+		Nodes:     3,
+		Transport: cluster.TransportTCP,
+		MemoryMB:  64000,
+		Registry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// 12 distinct ~100 KiB incompressible archives: each under
+	// MaxInlineBlob, together well past MaxFrameBytes.
+	const n = 12
+	rng := rand.New(rand.NewSource(11))
+	archives := make(map[string]*archive.Archive, n)
+	specs := make([]*task.Spec, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 100<<10)
+		rng.Read(payload)
+		name := fmt.Sprintf("small%02d.jar", i)
+		ar, err := archive.NewBuilder(name, class).AddFile("data.bin", payload).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		archives[name] = ar
+		total += len(ar.Bytes())
+		specs[i] = &task.Spec{
+			Name: fmt.Sprintf("s%02d", i), Class: class, Archive: name,
+			Req: task.Requirements{MemoryMB: 10, RunModel: task.RunAsThreadInTM},
+		}
+	}
+	if total <= wire.MaxFrameBytes {
+		t.Fatalf("aggregate archives %d bytes, need > MaxFrameBytes %d", total, wire.MaxFrameBytes)
+	}
+
+	j, err := cl.CreateJobOn("node1", "manysmall", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placements, err := j.CreateTasks(specs, archives)
+	if err != nil {
+		t.Fatalf("aggregate-over-limit admission failed: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%02d", i)
+		node := placements[name]
+		if node == "" {
+			t.Fatalf("task %s unplaced: %v", name, placements)
+		}
+		ar := archives[fmt.Sprintf("small%02d.jar", i)]
+		if !c.Server(node).TaskManager().BlobCache().Has(ar.Digest()) {
+			t.Errorf("node %s lacks blob for %s", node, name)
+		}
+	}
+	if err := j.Cancel("aggregate admission test done"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireStatsObservable: the cluster-level wire snapshot must reflect
+// real traffic — non-zero bytes and per-kind counters — on the TCP fabric.
+func TestWireStatsObservable(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{Nodes: 2, Transport: cluster.TransportTCP, Registry: task.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Discover(protocol.JobRequirements{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.WireStats()
+	if snap.Sent == 0 || snap.BytesSent == 0 {
+		t.Errorf("no traffic accounted: %+v", snap)
+	}
+	if snap.ByKind["JM_SOLICIT"] == 0 {
+		t.Errorf("discovery solicitation not counted by kind: %v", snap.ByKind)
+	}
+}

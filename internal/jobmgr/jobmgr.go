@@ -3,6 +3,7 @@ package jobmgr
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,9 +114,16 @@ type jobState struct {
 	// the recovery engine can rebuild assignment items for re-placement.
 	archives map[string]protocol.ArchiveRef
 	// blobs holds the job's archive bytes by digest until the job finishes,
-	// serving TaskManager KindFetchBlob pulls during assignment and during
-	// recovery re-placement (re-placed tasks re-fetch by digest).
-	blobs      map[string][]byte
+	// serving TaskManager KindFetchBlob / KindBlobChunk pulls during
+	// assignment and during recovery re-placement (re-placed tasks re-fetch
+	// by digest).
+	blobs map[string][]byte
+	// staged accumulates in-flight chunked blob uploads (client
+	// KindBlobChunk pushes), keyed by uploader node + digest so two
+	// clients pushing the same digest concurrently cannot corrupt each
+	// other's sequence; a completed, digest-verified upload graduates
+	// into blobs.
+	staged     map[string]*stagedBlob
 	schedule   *Schedule
 	started    bool
 	notified   bool
@@ -156,6 +164,12 @@ type jobState struct {
 type beatState struct {
 	progress  uint64
 	changedAt time.Time
+}
+
+// stagedBlob is one chunked archive upload in flight.
+type stagedBlob struct {
+	total int64
+	buf   []byte
 }
 
 // JobManager hosts jobs on one node.
@@ -461,6 +475,7 @@ func (jm *JobManager) HandleCreateJob(m *msg.Message) *msg.Message {
 		placement:   make(map[string]string),
 		archives:    make(map[string]protocol.ArchiveRef),
 		blobs:       make(map[string][]byte),
+		staged:      make(map[string]*stagedBlob),
 		idleSince:   time.Now(),
 		taskErrs:    make(map[string]string),
 		retries:     make(map[string]int),
@@ -880,7 +895,10 @@ func (jm *JobManager) assignBatch(j *jobState, node string, items []protocol.Tas
 
 // HandleFetchBlob answers a TaskManager's KindFetchBlob pull with the
 // job's stashed archive bytes. Digests this JobManager does not hold are
-// simply absent from the reply.
+// simply absent from the reply. Blobs up to protocol.MaxInlineBlob ride
+// whole; larger ones are announced with their size only and the
+// TaskManager streams them chunk by chunk with KindBlobChunk, so no reply
+// approaches the transport frame limit.
 func (jm *JobManager) HandleFetchBlob(m *msg.Message) *msg.Message {
 	var req protocol.FetchBlobReq
 	if err := protocol.Decode(m, &req); err != nil {
@@ -888,16 +906,155 @@ func (jm *JobManager) HandleFetchBlob(m *msg.Message) *msg.Message {
 		return m.Reply(msg.KindBlobData, msg.MustEncode(protocol.FetchBlobResp{}))
 	}
 	out := make(map[string][]byte, len(req.Digests))
+	sizes := make(map[string]int64)
+	inlined := 0
 	if j, err := jm.job(req.JobID); err == nil {
 		j.mu.Lock()
-		for _, d := range req.Digests {
-			if raw, ok := j.blobs[d]; ok {
+		// The inline budget is aggregate across the whole reply: many
+		// individually-small blobs must not add up past the frame limit.
+		// Digests are walked in sorted order so the inline/announce split
+		// is deterministic for a given request.
+		ds := append([]string(nil), req.Digests...)
+		sort.Strings(ds)
+		for _, d := range ds {
+			raw, ok := j.blobs[d]
+			switch {
+			case !ok:
+			case len(raw) <= protocol.MaxInlineBlob && inlined+len(raw) <= protocol.MaxInlinePerMessage:
+				inlined += len(raw)
 				out[d] = raw
+			default:
+				sizes[d] = int64(len(raw))
 			}
 		}
 		j.mu.Unlock()
 	}
-	return m.Reply(msg.KindBlobData, msg.MustEncode(protocol.FetchBlobResp{Blobs: out}))
+	return m.Reply(msg.KindBlobData, msg.MustEncode(protocol.FetchBlobResp{Blobs: out, Sizes: sizes}))
+}
+
+// HandleBlobChunk serves both directions of the chunked blob protocol: a
+// client pushing one chunk of a large archive upload (Data non-empty), or
+// a TaskManager pulling one chunk of a stashed blob (Data empty).
+func (jm *JobManager) HandleBlobChunk(m *msg.Message) *msg.Message {
+	ack := func(resp protocol.BlobChunkResp) *msg.Message {
+		return m.Reply(msg.KindBlobChunkAck, msg.MustEncode(resp))
+	}
+	var req protocol.BlobChunkReq
+	if err := protocol.Decode(m, &req); err != nil {
+		jm.logf("bad blob-chunk request: %v", err)
+		return ack(protocol.BlobChunkResp{Err: "bad blob-chunk request: " + err.Error()})
+	}
+	j, err := jm.job(req.JobID)
+	if err != nil {
+		return ack(protocol.BlobChunkResp{Digest: req.Digest, Err: err.Error()})
+	}
+	if len(req.Data) > 0 {
+		return ack(jm.stageChunk(j, m.From.Node, &req))
+	}
+	return ack(jm.serveChunk(j, &req))
+}
+
+// stageChunk appends one pushed chunk to the uploader's staged upload.
+// Staging is keyed per uploader node so concurrent clients pushing the
+// same digest advance independently — whoever completes first lands the
+// blob, and the other converges on the idempotent "already assembled"
+// acknowledgement. Chunks must arrive in offset order (each uploader is
+// sequential); an offset-0 chunk on an existing stage restarts that
+// uploader's sequence (a retry after a lost ack). The completed blob is
+// digest-verified before it becomes fetchable, so a corrupted upload is
+// rejected at the source instead of poisoning TaskManager pulls.
+func (jm *JobManager) stageChunk(j *jobState, fromNode string, req *protocol.BlobChunkReq) protocol.BlobChunkResp {
+	fail := func(format string, args ...any) protocol.BlobChunkResp {
+		return protocol.BlobChunkResp{Digest: req.Digest, Err: fmt.Sprintf(format, args...)}
+	}
+	if req.Digest == "" {
+		return fail("chunk push without a digest")
+	}
+	if req.Total <= 0 || req.Total > protocol.MaxBlobBytes {
+		return fail("blob size %d out of bounds (max %d)", req.Total, int64(protocol.MaxBlobBytes))
+	}
+	if req.Offset < 0 || req.Offset+int64(len(req.Data)) > req.Total {
+		return fail("chunk [%d,%d) exceeds declared total %d", req.Offset, req.Offset+int64(len(req.Data)), req.Total)
+	}
+	stageKey := fromNode + "/" + req.Digest
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.idleSince = time.Now()
+	if j.notified || j.blobs == nil {
+		return fail("job %s already finished", j.id)
+	}
+	if raw, done := j.blobs[req.Digest]; done {
+		// The blob is already assembled (an idempotent re-push, or a
+		// concurrent uploader finished first): acknowledge completion.
+		delete(j.staged, stageKey)
+		return protocol.BlobChunkResp{Digest: req.Digest, Offset: int64(len(raw)), Total: int64(len(raw))}
+	}
+	sb := j.staged[stageKey]
+	if sb == nil || req.Offset == 0 {
+		if req.Offset != 0 {
+			return fail("unknown upload: first chunk must start at offset 0, got %d", req.Offset)
+		}
+		// The declared total only bounds the upload; capacity grows with
+		// the bytes actually received, so a tiny chunk declaring a huge
+		// total cannot pre-allocate gigabytes.
+		eager := req.Total
+		if eager > protocol.BlobChunkBytes {
+			eager = protocol.BlobChunkBytes
+		}
+		sb = &stagedBlob{total: req.Total, buf: make([]byte, 0, eager)}
+		j.staged[stageKey] = sb
+	}
+	// Bound the job's aggregate staged bytes: abandoned partial uploads
+	// under many distinct digests must not accumulate past one blob's
+	// worth of memory budget.
+	var stagedBytes int64
+	for _, other := range j.staged {
+		stagedBytes += int64(len(other.buf))
+	}
+	if stagedBytes+int64(len(req.Data)) > protocol.MaxBlobBytes {
+		delete(j.staged, stageKey)
+		return fail("job %s staged-upload budget exhausted (%d bytes in flight)", j.id, stagedBytes)
+	}
+	if req.Total != sb.total || req.Offset != int64(len(sb.buf)) {
+		delete(j.staged, stageKey)
+		return fail("out-of-order chunk at %d (have %d of %d); upload reset", req.Offset, len(sb.buf), sb.total)
+	}
+	sb.buf = append(sb.buf, req.Data...)
+	if int64(len(sb.buf)) < sb.total {
+		return protocol.BlobChunkResp{Digest: req.Digest, Offset: int64(len(sb.buf)), Total: sb.total}
+	}
+	delete(j.staged, stageKey)
+	if got := archive.DigestBytes(sb.buf); got != req.Digest {
+		return fail("reassembled blob hashes to %.12s…, not the declared %.12s…", got, req.Digest)
+	}
+	j.blobs[req.Digest] = sb.buf
+	jm.logf("job %s: staged blob %.12s… (%d bytes, chunked upload from %s)", j.id, req.Digest, sb.total, fromNode)
+	return protocol.BlobChunkResp{Digest: req.Digest, Offset: sb.total, Total: sb.total}
+}
+
+// serveChunk answers a TaskManager's pull for one chunk of a stashed blob.
+func (jm *JobManager) serveChunk(j *jobState, req *protocol.BlobChunkReq) protocol.BlobChunkResp {
+	j.mu.Lock()
+	raw, ok := j.blobs[req.Digest]
+	j.mu.Unlock()
+	if !ok {
+		return protocol.BlobChunkResp{Digest: req.Digest, Err: fmt.Sprintf("blob %.12s… not held for job %s", req.Digest, j.id)}
+	}
+	max := req.MaxBytes
+	if max <= 0 || max > protocol.BlobChunkBytes {
+		max = protocol.BlobChunkBytes
+	}
+	total := int64(len(raw))
+	if req.Offset < 0 || req.Offset >= total {
+		return protocol.BlobChunkResp{Digest: req.Digest, Total: total,
+			Err: fmt.Sprintf("offset %d out of range (blob is %d bytes)", req.Offset, total)}
+	}
+	end := req.Offset + max
+	if end > total {
+		end = total
+	}
+	// Stored blob bytes are immutable, so the chunk may alias them.
+	return protocol.BlobChunkResp{Digest: req.Digest, Offset: req.Offset, Total: total, Data: raw[req.Offset:end]}
 }
 
 // HandleStartJob processes KindStartTask from the client: build the
@@ -1215,9 +1372,10 @@ func (jm *JobManager) finishJob(j *jobState, failed bool) {
 		// holds; credit the cached offers too.
 		credits = j.openCreditsLocked()
 	}
-	// The job is terminal: its archive bytes are no longer needed for
-	// assignment or recovery.
+	// The job is terminal: its archive bytes (and any half-staged chunked
+	// uploads) are no longer needed for assignment or recovery.
 	j.blobs = nil
+	j.staged = nil
 	j.mu.Unlock()
 
 	if failed {
@@ -1353,6 +1511,7 @@ func (jm *JobManager) finishJobCancelled(j *jobState, reason string) {
 		nodes[n] = true
 	}
 	j.blobs = nil
+	j.staged = nil
 	j.mu.Unlock()
 	for node := range nodes {
 		cm := protocol.Body(msg.KindCancelJob,

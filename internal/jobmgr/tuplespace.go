@@ -108,8 +108,13 @@ func (p *tsParks) abort(key string) {
 		p.mu.Unlock()
 		return
 	}
-	p.mu.Unlock()
+	// The aborted flag must be set before the lock is released: tsOp's
+	// remove-then-check runs under the same lock, so once we unlock with
+	// the flag up, any wakeup that still sees its park registered is
+	// guaranteed to observe the abort and put a destructively taken tuple
+	// back instead of replying to the dropped correlation.
 	park.aborted.Store(true)
+	p.mu.Unlock()
 	park.cancel()
 }
 

@@ -13,6 +13,7 @@ package msg
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -85,7 +86,19 @@ const (
 	KindTSRdP    // request: read a matching tuple without blocking
 	KindTSReply  // response: tuple-space operation result
 	KindTSCancel // notice: abandon a parked blocking op (requester gave up)
+
+	// Chunked blob streaming: one archive chunk per message so a large
+	// archive never balloons a single frame past the transport's
+	// MaxFrameBytes guard.
+	KindBlobChunk    // request: push one chunk (client -> JM) or pull one (TM -> JM)
+	KindBlobChunkAck // response: the pulled chunk, or the push acknowledgement
+
+	// kindEnd is the exclusive upper bound of the kind space; keep it last.
+	kindEnd
 )
+
+// KindCount is the size of the kind space, for per-kind counter arrays.
+const KindCount = int(kindEnd)
 
 var kindNames = map[Kind]string{
 	KindInvalid:           "INVALID",
@@ -128,6 +141,8 @@ var kindNames = map[Kind]string{
 	KindTSRdP:             "TS_RDP",
 	KindTSReply:           "TS_REPLY",
 	KindTSCancel:          "TS_CANCEL",
+	KindBlobChunk:         "BLOB_CHUNK",
+	KindBlobChunkAck:      "BLOB_CHUNK_ACK",
 }
 
 // String returns the wire name of the kind, e.g. "TASK_COMPLETED".
@@ -141,7 +156,7 @@ func (k Kind) String() string {
 // IsWellDefined reports whether k is part of the CN protocol (as opposed to
 // a user-defined payload that CN merely delivers).
 func (k Kind) IsWellDefined() bool {
-	return k > KindInvalid && k <= KindTSCancel && k != KindUser && k != KindBroadcast
+	return k > KindInvalid && k < kindEnd && k != KindUser && k != KindBroadcast
 }
 
 // IsEvent reports whether k is an asynchronous lifecycle event (as opposed
@@ -232,7 +247,8 @@ type Message struct {
 	// From and To are the endpoints. To may be a widened address for
 	// multicast kinds.
 	From, To Address
-	// Payload is the gob-encoded body; see Encode/DecodePayload.
+	// Payload is the encoded body (binary codec or tagged gob); see
+	// Encode/DecodePayload.
 	Payload []byte
 	// Headers carries small string metadata (e.g. task class, error text).
 	Headers map[string]string
@@ -304,9 +320,66 @@ func (m *Message) String() string {
 	return fmt.Sprintf("%s %s->%s id=%d len=%d", m.Kind, m.From, m.To, m.ID, len(m.Payload))
 }
 
-// EncodePayload gob-encodes v for use as a message payload.
+// Payload self-description tags: the first byte of every encoded payload
+// names the codec that produced it, so mixed traffic (binary protocol
+// bodies alongside gob-encoded user payloads) decodes unambiguously.
+const (
+	// TagGob marks a gob-encoded payload (the fallback codec and the only
+	// one for arbitrary KindUser application types).
+	TagGob byte = 'g'
+	// TagBinary marks a payload produced by the registered binary Codec
+	// (cn/internal/wire's hand-rolled per-type encoders).
+	TagBinary byte = 0xb1
+)
+
+// ErrUnsupportedPayload is returned by a Codec's Marshal for types it has
+// no hand-rolled encoder for; EncodePayload then falls back to gob.
+var ErrUnsupportedPayload = errors.New("msg: payload type not supported by codec")
+
+// Codec is the payload-encoding seam. A registered codec handles the
+// protocol's well-defined bodies with hand-rolled binary encoders; types it
+// does not know fall back to gob. Marshal output must start with TagBinary
+// and Unmarshal must accept exactly that framing.
+type Codec interface {
+	// Marshal encodes v, or returns ErrUnsupportedPayload to select the
+	// gob fallback.
+	Marshal(v any) ([]byte, error)
+	// Unmarshal decodes a TagBinary payload into out (a pointer).
+	Unmarshal(data []byte, out any) error
+}
+
+// codecBox wraps the interface so atomic.Value accepts nil codecs.
+type codecBox struct{ c Codec }
+
+var activeCodec atomic.Value // codecBox
+
+// SetCodec installs (or, with nil, removes) the process-wide payload codec.
+// cn/internal/wire registers its binary codec at init; benchmarks toggle it
+// to measure the gob baseline.
+func SetCodec(c Codec) { activeCodec.Store(codecBox{c}) }
+
+// GetCodec returns the installed payload codec, or nil.
+func GetCodec() Codec {
+	if b, ok := activeCodec.Load().(codecBox); ok {
+		return b.c
+	}
+	return nil
+}
+
+// EncodePayload encodes v for use as a message payload: through the
+// registered binary codec when it supports v's type, otherwise tagged gob.
 func EncodePayload(v any) ([]byte, error) {
+	if c := GetCodec(); c != nil {
+		b, err := c.Marshal(v)
+		if err == nil {
+			return b, nil
+		}
+		if !errors.Is(err, ErrUnsupportedPayload) {
+			return nil, fmt.Errorf("msg: encode payload: %w", err)
+		}
+	}
 	var buf bytes.Buffer
+	buf.WriteByte(TagGob)
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("msg: encode payload: %w", err)
 	}
@@ -323,11 +396,30 @@ func MustEncode(v any) []byte {
 	return b
 }
 
-// DecodePayload gob-decodes a payload produced by EncodePayload into out,
-// which must be a pointer.
+// DecodePayload decodes a payload produced by EncodePayload into out, which
+// must be a pointer. The leading tag byte selects the codec; an unknown
+// tag is a hard error (every encoder tags, so an untagged buffer is
+// corruption or a future incompatible codec, and guessing gob would only
+// produce a misleading failure).
 func DecodePayload(b []byte, out any) error {
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(out); err != nil {
-		return fmt.Errorf("msg: decode payload: %w", err)
+	if len(b) == 0 {
+		return fmt.Errorf("msg: decode payload: empty payload")
 	}
-	return nil
+	switch b[0] {
+	case TagBinary:
+		c := GetCodec()
+		if c == nil {
+			return fmt.Errorf("msg: decode payload: binary payload but no codec registered")
+		}
+		if err := c.Unmarshal(b, out); err != nil {
+			return fmt.Errorf("msg: decode payload: %w", err)
+		}
+		return nil
+	case TagGob:
+		if err := gob.NewDecoder(bytes.NewReader(b[1:])).Decode(out); err != nil {
+			return fmt.Errorf("msg: decode payload: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("msg: decode payload: unknown payload tag %#x", b[0])
 }

@@ -19,6 +19,7 @@ import (
 	"cn/internal/jobmgr"
 	"cn/internal/jobstore"
 	"cn/internal/metrics"
+	"cn/internal/transport"
 )
 
 // runTracker aggregates live task counts for one submission by querying
@@ -251,15 +252,20 @@ func (p *Portal) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
-// MetricsResponse is the GET /api/metrics body.
+// MetricsResponse is the GET /api/metrics body. Wire carries the cluster
+// fabric's transport counters — bytes on the wire and messages by kind —
+// so codec-level wins (and regressions) are observable in production, not
+// only in benchmarks.
 type MetricsResponse struct {
 	Jobstore jobstore.Stats           `json:"jobstore"`
 	Metrics  metrics.RegistrySnapshot `json:"metrics"`
+	Wire     transport.WireSnapshot   `json:"wire"`
 }
 
 func (p *Portal) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Jobstore: p.store.Stats(),
 		Metrics:  p.store.Metrics().Snapshot(),
+		Wire:     p.cfg.Cluster.WireStats(),
 	})
 }

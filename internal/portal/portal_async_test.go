@@ -350,6 +350,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	if _, ok := m.Metrics.Gauges["jobstore.queue_depth"]; !ok {
 		t.Errorf("gauges = %v", m.Metrics.Gauges)
 	}
+	// The cluster executed a job, so the fabric's wire counters must show
+	// traffic: messages, encoded bytes, and per-kind send counts.
+	if m.Wire.Sent == 0 || m.Wire.BytesSent == 0 {
+		t.Errorf("wire counters empty: %+v", m.Wire)
+	}
+	if m.Wire.ByKind["CREATE_TASKS"] == 0 {
+		t.Errorf("wire by-kind counters = %v", m.Wire.ByKind)
+	}
 }
 
 // TestAsyncUnknownJob covers 404s on status, result, and delete.

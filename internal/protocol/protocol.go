@@ -164,10 +164,69 @@ type FetchBlobReq struct {
 	Digests []string
 }
 
+// MaxInlineBlob is the largest archive that still rides whole inside a
+// single message (a CreateTasksReq blob or a FetchBlobResp entry). Bigger
+// blobs move chunk by chunk via KindBlobChunk so no single frame
+// approaches the transport's MaxFrameBytes guard.
+const MaxInlineBlob = 128 << 10
+
+// MaxInlinePerMessage bounds the AGGREGATE inline blob bytes of one
+// message. Many individually-small archives could otherwise add up past
+// the transport frame limit; blobs over this running budget are chunked
+// (uploads) or announced by size (fetch replies) even though each alone
+// would qualify for inlining. It stays well under the frame limit to
+// leave room for specs and envelope overhead.
+const MaxInlinePerMessage = 512 << 10
+
+// BlobChunkBytes is the data size of one KindBlobChunk message. Chunk
+// pulls are serial acknowledged round trips nested inside the
+// JobManager's AssignTimeout, so the chunk is sized near the transport
+// frame limit (with room for envelope overhead) to minimize the number
+// of round trips a large archive costs on real-latency links.
+const BlobChunkBytes = 768 << 10
+
+// MaxBlobBytes bounds one archive blob end to end (push staging refuses
+// larger totals), so a hostile or buggy uploader cannot balloon a
+// JobManager's memory one chunk at a time.
+const MaxBlobBytes = 1 << 30
+
 // FetchBlobResp is the body of KindBlobData. Digests the JobManager does
-// not hold are simply absent from the map.
+// not hold are simply absent from both maps. Blobs carries archives up to
+// MaxInlineBlob whole; larger ones are announced in Sizes and the
+// TaskManager pulls them chunk by chunk with KindBlobChunk.
 type FetchBlobResp struct {
 	Blobs map[string][]byte
+	Sizes map[string]int64
+}
+
+// BlobChunkReq is the body of KindBlobChunk, serving both directions of
+// the chunk protocol:
+//
+//   - push (client -> JobManager): Data carries raw[Offset:Offset+len] and
+//     Total the blob's full size; chunks arrive in offset order and the
+//     JobManager digest-verifies the reassembled blob before storing it.
+//   - pull (TaskManager -> JobManager): Data is empty; the reply returns
+//     up to MaxBytes (0 = BlobChunkBytes) of the stored blob at Offset.
+type BlobChunkReq struct {
+	JobID    string
+	Digest   string
+	Offset   int64
+	MaxBytes int64
+	Total    int64
+	Data     []byte
+}
+
+// BlobChunkResp is the body of KindBlobChunkAck. For a pull it carries the
+// requested chunk and the blob's Total size; for a push, Offset echoes the
+// staged length so the sender can detect divergence. Err reports a
+// request-level failure (unknown digest, out-of-order chunk, digest
+// mismatch on completion).
+type BlobChunkResp struct {
+	Digest string
+	Offset int64
+	Total  int64
+	Data   []byte
+	Err    string
 }
 
 // StartJobReq is the body of KindStartTask (client -> JobManager). An empty

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"cn/internal/archive"
 	"cn/internal/jobmgr"
 	"cn/internal/msg"
 	"cn/internal/protocol"
@@ -115,14 +116,23 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// blobCallTimeout bounds one blob-negotiation round trip (the FetchBlob
+// announcement and each individual chunk pull).
+const blobCallTimeout = 5 * time.Second
+
 // fetchBlobs is the TaskManager's pull path for archive blobs it lacks: a
-// KindFetchBlob call to the assigning JobManager's node.
+// KindFetchBlob call to the assigning JobManager's node. Small blobs ride
+// inline in the reply; blobs the JobManager announces by size only are
+// streamed chunk by chunk with KindBlobChunk, reassembled here, and
+// digest-verified before the TaskManager ever sees them — so a large
+// archive never balloons a single frame and a corrupted stream is caught
+// at the node boundary.
 func (s *Server) fetchBlobs(jmNode, jobID string, digests []string) (map[string][]byte, error) {
 	fm := protocol.Body(msg.KindFetchBlob,
 		msg.Address{Node: s.cfg.Node},
 		msg.Address{Node: jmNode, Job: jobID},
 		protocol.FetchBlobReq{JobID: jobID, Digests: digests})
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), blobCallTimeout)
 	defer cancel()
 	reply, err := s.caller.Call(ctx, jmNode, fm)
 	if err != nil {
@@ -132,7 +142,60 @@ func (s *Server) fetchBlobs(jmNode, jobID string, digests []string) (map[string]
 	if err := protocol.Decode(reply, &resp); err != nil {
 		return nil, err
 	}
-	return resp.Blobs, nil
+	out := resp.Blobs
+	if out == nil && len(resp.Sizes) > 0 {
+		out = make(map[string][]byte, len(resp.Sizes))
+	}
+	for digest, size := range resp.Sizes {
+		raw, err := s.pullBlobChunks(jmNode, jobID, digest, size)
+		if err != nil {
+			return out, fmt.Errorf("pull blob %.12s…: %w", digest, err)
+		}
+		out[digest] = raw
+	}
+	return out, nil
+}
+
+// pullBlobChunks streams one announced blob from the JobManager in
+// protocol.BlobChunkBytes pieces and verifies the reassembly's digest.
+func (s *Server) pullBlobChunks(jmNode, jobID, digest string, size int64) ([]byte, error) {
+	if size <= 0 || size > protocol.MaxBlobBytes {
+		return nil, fmt.Errorf("announced blob size %d out of bounds", size)
+	}
+	data := make([]byte, 0, size)
+	for int64(len(data)) < size {
+		cm := protocol.Body(msg.KindBlobChunk,
+			msg.Address{Node: s.cfg.Node},
+			msg.Address{Node: jmNode, Job: jobID},
+			protocol.BlobChunkReq{
+				JobID:    jobID,
+				Digest:   digest,
+				Offset:   int64(len(data)),
+				MaxBytes: protocol.BlobChunkBytes,
+			})
+		ctx, cancel := context.WithTimeout(context.Background(), blobCallTimeout)
+		reply, err := s.caller.Call(ctx, jmNode, cm)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		var chunk protocol.BlobChunkResp
+		if err := protocol.Decode(reply, &chunk); err != nil {
+			return nil, err
+		}
+		if chunk.Err != "" {
+			return nil, fmt.Errorf("chunk at %d: %s", len(data), chunk.Err)
+		}
+		if chunk.Offset != int64(len(data)) || len(chunk.Data) == 0 || chunk.Total != size {
+			return nil, fmt.Errorf("chunk reply out of step: offset %d len %d total %d (have %d of %d)",
+				chunk.Offset, len(chunk.Data), chunk.Total, len(data), size)
+		}
+		data = append(data, chunk.Data...)
+	}
+	if got := archive.DigestBytes(data); got != digest {
+		return nil, fmt.Errorf("reassembled blob hashes to %.12s…, want %.12s…", got, digest)
+	}
+	return data, nil
 }
 
 // Node returns the server's node name.
@@ -191,6 +254,8 @@ func (s *Server) dispatch(m *msg.Message) {
 		s.replyIfAny(m, s.jm.HandleCreateTasks(m))
 	case msg.KindFetchBlob:
 		s.replyIfAny(m, s.jm.HandleFetchBlob(m))
+	case msg.KindBlobChunk:
+		s.replyIfAny(m, s.jm.HandleBlobChunk(m))
 	case msg.KindTSOut, msg.KindTSIn, msg.KindTSRd, msg.KindTSInP, msg.KindTSRdP:
 		// Tuple-space ops against this node's hosted job spaces. Blocking
 		// In/Rd park inside the handler; dispatch already runs each

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cn/internal/msg"
+	"cn/internal/wire"
 )
 
 // MemConfig tunes the simulated fabric. The zero value is an ideal network:
@@ -129,6 +130,9 @@ func (n *MemNetwork) draw() (drop bool, extra time.Duration) {
 }
 
 // deliver routes m to the destination endpoint, applying the latency model.
+// The message's encoded frame size is accounted exactly as the TCP fabric
+// would charge it, so bytes-on-wire figures are comparable across
+// substrates (and the binary codec's wins are visible in mem benches).
 func (n *MemNetwork) deliver(to string, m *msg.Message) error {
 	n.mu.RLock()
 	dst, ok := n.nodes[to]
@@ -140,7 +144,16 @@ func (n *MemNetwork) deliver(to string, m *msg.Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
-	n.stats.Sent.Add(1)
+	body := wire.SizeOf(m)
+	if body > wire.MaxFrameBytes {
+		// Enforce the TCP fabric's frame limit here too, so an application
+		// that would fail on real sockets fails identically on the
+		// simulated substrate instead of passing tests it cannot pass in
+		// production.
+		return fmt.Errorf("transport: send to %s: %w (message %s is %d bytes)", to, wire.ErrFrameTooLarge, m.Kind, body)
+	}
+	size := wire.FrameHeaderBytes + body
+	n.stats.countSend(m.Kind, size)
 	drop, extra := n.draw()
 	if drop {
 		n.stats.Dropped.Add(1)
@@ -148,10 +161,10 @@ func (n *MemNetwork) deliver(to string, m *msg.Message) error {
 	}
 	delay := n.cfg.Latency + extra
 	if delay == 0 {
-		dst.enqueue(m, &n.stats)
+		dst.enqueue(m, size, &n.stats)
 		return nil
 	}
-	time.AfterFunc(delay, func() { dst.enqueue(m, &n.stats) })
+	time.AfterFunc(delay, func() { dst.enqueue(m, size, &n.stats) })
 	return nil
 }
 
@@ -188,7 +201,7 @@ func (e *memEndpoint) dispatch() {
 	}
 }
 
-func (e *memEndpoint) enqueue(m *msg.Message, stats *Stats) {
+func (e *memEndpoint) enqueue(m *msg.Message, size int, stats *Stats) {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -199,6 +212,7 @@ func (e *memEndpoint) enqueue(m *msg.Message, stats *Stats) {
 	select {
 	case e.inbox <- m:
 		stats.Delivered.Add(1)
+		stats.BytesRecv.Add(int64(size))
 	case <-e.stop:
 		stats.Dropped.Add(1)
 	}
@@ -225,6 +239,14 @@ func (e *memEndpoint) Multicast(group string, m *msg.Message) error {
 	e.mu.Unlock()
 	if closed {
 		return ErrClosed
+	}
+	// Check the frame limit once up front, as the TCP fabric's
+	// encode-once fan-out does; otherwise the per-member check inside
+	// deliver would be swallowed by best-effort semantics and an
+	// oversized multicast would silently reach zero members here while
+	// erroring on TCP.
+	if body := wire.SizeOf(m); body > wire.MaxFrameBytes {
+		return fmt.Errorf("transport: multicast %s: %w (message %s is %d bytes)", group, wire.ErrFrameTooLarge, m.Kind, body)
 	}
 	e.net.stats.Multicast.Add(1)
 	for _, node := range e.net.groups.members(group) {

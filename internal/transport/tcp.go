@@ -1,27 +1,52 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cn/internal/msg"
+	"cn/internal/wire"
+)
+
+// Timeouts governing TCP fan-out; package variables so tests can tighten
+// them.
+var (
+	// tcpDialTimeout bounds one connection attempt to a peer.
+	tcpDialTimeout = 2 * time.Second
+	// tcpMulticastWait bounds how long Multicast waits for its concurrent
+	// per-member sends; stragglers (a peer mid-dial) finish in the
+	// background. Delivery stays best-effort either way.
+	tcpMulticastWait = 2 * time.Second
+	// tcpWriteTimeout bounds one frame write. A peer that is alive but not
+	// reading (wedged process, full socket buffer) errors the connection
+	// instead of parking the sender — and every later sender queued on the
+	// same connection — forever.
+	tcpWriteTimeout = 5 * time.Second
 )
 
 // TCPNetwork is a real-socket fabric on the loopback interface. Every
 // attached endpoint owns a TCP listener; a shared in-process directory maps
 // node names to listen addresses (standing in for DNS/static cluster
-// configuration), and multicast is emulated by unicast fan-out over group
-// membership (standing in for IP multicast, which sandboxes rarely route).
+// configuration), and multicast is emulated by concurrent unicast fan-out
+// over group membership (standing in for IP multicast, which sandboxes
+// rarely route).
 //
-// Frames are gob-encoded msg.Message values on short-lived or pooled
-// connections; the sender keeps one persistent connection per destination.
+// Frames are length-prefixed binary messages (cn/internal/wire) on
+// persistent per-destination connections. Inbound frames are bounded by
+// wire.MaxFrameBytes: a corrupt or hostile length prefix drops the
+// connection with a logged transport error instead of allocating without
+// limit.
 type TCPNetwork struct {
 	groups *groupSet
 	stats  Stats
+	logf   func(format string, args ...any)
 
 	mu     sync.RWMutex
 	nodes  map[string]*tcpEndpoint // node -> endpoint (for directory lookups)
@@ -35,6 +60,16 @@ func NewTCPNetwork() *TCPNetwork {
 		groups: newGroupSet(),
 		nodes:  make(map[string]*tcpEndpoint),
 		addrs:  make(map[string]string),
+	}
+}
+
+// SetLogf installs a diagnostic sink for transport errors (dropped
+// connections, malformed frames); nil disables logging.
+func (n *TCPNetwork) SetLogf(f func(format string, args ...any)) { n.logf = f }
+
+func (n *TCPNetwork) logErr(format string, args ...any) {
+	if n.logf != nil {
+		n.logf("[transport] "+format, args...)
 	}
 }
 
@@ -115,12 +150,27 @@ func (n *TCPNetwork) lookup(node string) (string, error) {
 	return addr, nil
 }
 
-// tcpConn is a persistent outbound connection with its encoder.
+// tcpConn is a persistent outbound connection. The connection is dialed
+// lazily under the per-connection lock, so a slow or dead destination
+// stalls only senders to that destination — never the whole endpoint. The
+// fd itself is published atomically so close can reach it while a writer
+// holds mu (closing the fd is what unblocks a wedged Write).
 type tcpConn struct {
-	mu   sync.Mutex
-	c    net.Conn
-	enc  *gob.Encoder
 	addr string
+
+	mu     sync.Mutex   // serializes dial + frame writes
+	closed atomic.Bool  // set by close; late dialers self-destruct
+	cval   atomic.Value // net.Conn, set once after a successful dial
+}
+
+// close marks the record dead and closes the fd (if dialed). It must not
+// take mu: a sender blocked mid-Write holds it, and only the fd close can
+// unblock that write.
+func (tc *tcpConn) close() {
+	tc.closed.Store(true)
+	if c, ok := tc.cval.Load().(net.Conn); ok {
+		c.Close()
+	}
 }
 
 // tcpEndpoint is one node's attachment to a TCPNetwork.
@@ -166,6 +216,11 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// readLoop decodes length-prefixed binary frames off one inbound
+// connection. The frame length is validated against wire.MaxFrameBytes
+// BEFORE any allocation for the body, and any malformed frame drops the
+// connection with a logged transport error — at-most-once semantics make
+// the in-flight messages a silent loss, exactly as if the peer died.
 func (e *tcpEndpoint) readLoop(c net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -174,15 +229,33 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		delete(e.inbound, c)
 		e.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReaderSize(c, 64<<10)
+	var hdr [wire.FrameHeaderBytes]byte
 	for {
-		var m msg.Message
-		if err := dec.Decode(&m); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err != io.EOF {
-				// Connection torn down mid-frame; at-most-once semantics
-				// make this a silent drop.
+				// Connection torn down mid-frame.
 				e.net.stats.Dropped.Add(1)
 			}
+			return
+		}
+		frameLen := binary.BigEndian.Uint32(hdr[:])
+		if err := wire.CheckFrameLen(frameLen); err != nil {
+			e.net.stats.FrameErrors.Add(1)
+			e.net.logErr("%s: inbound frame from %s rejected: %v; dropping connection",
+				e.node, c.RemoteAddr(), err)
+			return
+		}
+		body := make([]byte, frameLen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			e.net.stats.Dropped.Add(1)
+			return
+		}
+		m, err := wire.DecodeFrameBody(body)
+		if err != nil {
+			e.net.stats.FrameErrors.Add(1)
+			e.net.logErr("%s: undecodable frame from %s: %v; dropping connection",
+				e.node, c.RemoteAddr(), err)
 			return
 		}
 		select {
@@ -192,14 +265,17 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		default:
 		}
 		e.net.stats.Delivered.Add(1)
-		e.handler(&m)
+		e.net.stats.BytesRecv.Add(int64(wire.FrameHeaderBytes + frameLen))
+		e.handler(m)
 	}
 }
 
 // Node implements Endpoint.
 func (e *tcpEndpoint) Node() string { return e.node }
 
-// conn returns (dialing if necessary) the persistent connection to addr.
+// conn returns the persistent connection record for node, creating an
+// undialed placeholder on first use. Dialing happens in Send under the
+// record's own lock so concurrent sends to other nodes are not blocked.
 func (e *tcpEndpoint) conn(node string) (*tcpConn, error) {
 	addr, err := e.net.lookup(node)
 	if err != nil {
@@ -210,42 +286,100 @@ func (e *tcpEndpoint) conn(node string) (*tcpConn, error) {
 	if e.closed {
 		return nil, ErrClosed
 	}
-	if tc, ok := e.conns[node]; ok && tc.addr == addr {
+	tc, ok := e.conns[node]
+	if ok && tc.addr == addr {
 		return tc, nil
 	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s (%s): %w", node, addr, err)
+	if ok {
+		// The peer restarted under a new address; retire the stale socket.
+		go tc.close()
 	}
-	tc := &tcpConn{c: c, enc: gob.NewEncoder(c), addr: addr}
+	tc = &tcpConn{addr: addr}
 	e.conns[node] = tc
 	return tc, nil
 }
 
-// Send implements Endpoint.
+// forget drops tc from the connection table (it went bad) so the next send
+// re-dials.
+func (e *tcpEndpoint) forget(node string, tc *tcpConn) {
+	e.mu.Lock()
+	if cur, ok := e.conns[node]; ok && cur == tc {
+		delete(e.conns, node)
+	}
+	e.mu.Unlock()
+}
+
+// Send implements Endpoint. An oversized message fails before anything is
+// written; the stream stays intact.
 func (e *tcpEndpoint) Send(toNode string, m *msg.Message) error {
+	buf := wire.GetBuf()
+	var err error
+	*buf, err = wire.AppendFrame((*buf)[:0], m)
+	if err != nil {
+		wire.PutBuf(buf)
+		return fmt.Errorf("transport: send to %s: %w", toNode, err)
+	}
+	err = e.writeFrame(toNode, m.Kind, *buf)
+	wire.PutBuf(buf)
+	return err
+}
+
+// writeFrame delivers one already-encoded frame to a node, dialing the
+// persistent connection if needed.
+func (e *tcpEndpoint) writeFrame(toNode string, kind msg.Kind, frame []byte) error {
 	tc, err := e.conn(toNode)
 	if err != nil {
 		return err
 	}
 	tc.mu.Lock()
-	err = tc.enc.Encode(m)
+	if tc.closed.Load() {
+		tc.mu.Unlock()
+		e.forget(toNode, tc)
+		return fmt.Errorf("transport: send to %s: connection closed", toNode)
+	}
+	c, _ := tc.cval.Load().(net.Conn)
+	if c == nil {
+		dialed, err := net.DialTimeout("tcp", tc.addr, tcpDialTimeout)
+		if err != nil {
+			// Poison the record before forgetting it: another sender may
+			// already hold this tc waiting on mu, and must fail fast rather
+			// than dial onto an orphaned record whose fd Close() would
+			// never find.
+			tc.closed.Store(true)
+			tc.mu.Unlock()
+			e.forget(toNode, tc)
+			return fmt.Errorf("transport: dial %s (%s): %w", toNode, tc.addr, err)
+		}
+		tc.cval.Store(dialed)
+		if tc.closed.Load() {
+			// close raced the dial; it may have missed the just-published fd.
+			dialed.Close()
+			tc.mu.Unlock()
+			e.forget(toNode, tc)
+			return fmt.Errorf("transport: send to %s: connection closed", toNode)
+		}
+		c = dialed
+	}
+	c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+	_, err = c.Write(frame)
 	tc.mu.Unlock()
 	if err != nil {
 		// Connection went bad: forget it so the next send re-dials.
-		e.mu.Lock()
-		if cur, ok := e.conns[toNode]; ok && cur == tc {
-			delete(e.conns, toNode)
-		}
-		e.mu.Unlock()
-		tc.c.Close()
+		e.forget(toNode, tc)
+		tc.close()
 		return fmt.Errorf("transport: send to %s: %w", toNode, err)
 	}
-	e.net.stats.Sent.Add(1)
+	e.net.stats.countSend(kind, len(frame))
 	return nil
 }
 
-// Multicast implements Endpoint (unicast fan-out over group membership).
+// Multicast implements Endpoint: concurrent unicast fan-out over group
+// membership. The frame is encoded ONCE (binary frames carry no
+// per-connection state, unlike the old per-stream gob encoders) and each
+// member is dialed and written on its own goroutine, so one dead member's
+// dial timeout no longer stalls delivery to every later member; the call
+// waits a bounded window for the fan-out and leaves stragglers to finish
+// in the background (best-effort, like the wire).
 func (e *tcpEndpoint) Multicast(group string, m *msg.Message) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -253,11 +387,41 @@ func (e *tcpEndpoint) Multicast(group string, m *msg.Message) error {
 	if closed {
 		return ErrClosed
 	}
+	buf := wire.GetBuf()
+	var err error
+	*buf, err = wire.AppendFrame((*buf)[:0], m)
+	if err != nil {
+		// Counted only after the size guard, matching MemNetwork, so both
+		// fabrics report identical multicast counts for the same workload.
+		wire.PutBuf(buf)
+		return fmt.Errorf("transport: multicast %s: %w", group, err)
+	}
 	e.net.stats.Multicast.Add(1)
-	for _, node := range e.net.groups.members(group) {
-		if err := e.Send(node, m.Clone()); err != nil {
-			continue // best-effort, like the wire
-		}
+	members := e.net.groups.members(group)
+	if len(members) == 0 {
+		wire.PutBuf(buf)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for _, node := range members {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			_ = e.writeFrame(node, m.Kind, *buf) // best-effort, like the wire
+		}(node)
+	}
+	done := make(chan struct{})
+	go func() {
+		// The shared frame buffer may only be recycled once every member's
+		// write — including stragglers past the bounded wait — is finished.
+		wg.Wait()
+		wire.PutBuf(buf)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(tcpMulticastWait):
+	case <-e.stop:
 	}
 	return nil
 }
@@ -306,7 +470,7 @@ func (e *tcpEndpoint) Close() error {
 	close(e.stop)
 	e.ln.Close()
 	for _, tc := range conns {
-		tc.c.Close()
+		tc.close()
 	}
 	for _, c := range inbound {
 		c.Close()

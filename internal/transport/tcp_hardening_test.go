@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"cn/internal/msg"
+	"cn/internal/wire"
+)
+
+// dialEndpoint opens a raw client socket to the named node's listener.
+func dialEndpoint(t *testing.T, n *TCPNetwork, node string) net.Conn {
+	t.Helper()
+	addr, err := n.lookup(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTCPInboundOversizedLengthRejected: a hostile length prefix far past
+// MaxFrameBytes must drop the connection with a frame error — before any
+// allocation for the announced body.
+func TestTCPInboundOversizedLengthRejected(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	received := 0
+	if _, err := n.Attach("victim", func(*msg.Message) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	c := dialEndpoint(t, n, "victim")
+	defer c.Close()
+
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31) // 2 GiB announced
+	if _, err := c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return n.Stats().FrameErrors.Load() == 1 }, "frame error counter")
+
+	// The reader must have hung up on us.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(hdr[:]); err == nil {
+		t.Error("connection still open after oversized frame")
+	}
+	if received != 0 {
+		t.Errorf("handler invoked %d times for garbage", received)
+	}
+}
+
+// TestTCPInboundCorruptFrameRejected: a plausible length followed by
+// garbage bytes must error out and drop the connection, never panic.
+func TestTCPInboundCorruptFrameRejected(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	if _, err := n.Attach("victim", func(*msg.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	c := dialEndpoint(t, n, "victim")
+	defer c.Close()
+
+	body := []byte("this is not a CN frame body at all, just junk")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := c.Write(append(hdr[:], body...)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return n.Stats().FrameErrors.Load() == 1 }, "frame error counter")
+}
+
+// TestSenderRefusesOversizedFrame: the guard is symmetric and applies on
+// BOTH fabrics — a sender must fail an oversized message cleanly (the
+// simulated substrate must not accept traffic TCP would reject) and keep
+// the connection usable for normal traffic.
+func TestSenderRefusesOversizedFrame(t *testing.T) {
+	eachNetwork(t, func(t *testing.T, n Network) {
+		recv := newCollector()
+		a, err := n.Attach("a", func(*msg.Message) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Attach("b", recv.handle); err != nil {
+			t.Fatal(err)
+		}
+		huge := msg.New(msg.KindUser, msg.Address{Node: "a"}, msg.Address{Node: "b"}, make([]byte, wire.MaxFrameBytes+1))
+		if err := a.Send("b", huge); !errors.Is(err, wire.ErrFrameTooLarge) {
+			t.Fatalf("oversized send = %v, want ErrFrameTooLarge", err)
+		}
+		if err := a.Send("b", msg.New(msg.KindPing, msg.Address{Node: "a"}, msg.Address{Node: "b"}, []byte("ok"))); err != nil {
+			t.Fatal(err)
+		}
+		recv.wait(t, 1, 2*time.Second)
+	})
+}
+
+// TestTCPMulticastSurvivesDeadMember: fan-out must reach live members even
+// when another member is unreachable, and must return within the bounded
+// wait rather than serializing behind the dead member's dial.
+func TestTCPMulticastSurvivesDeadMember(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	sender, err := n.Attach("s", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live1, live2 := newCollector(), newCollector()
+	for name, col := range map[string]*collector{"m1": live1, "m2": live2} {
+		ep, err := n.Attach(name, col.handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A member whose listener is gone but whose directory entry survives:
+	// its dial fails, the others must be unaffected.
+	n.groups.join("g", "ghost")
+	n.mu.Lock()
+	n.addrs["ghost"] = "127.0.0.1:1" // closed port
+	n.mu.Unlock()
+
+	start := time.Now()
+	if err := sender.Multicast("g", msg.New(msg.KindPing, msg.Address{Node: "s"}, msg.Address{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > tcpMulticastWait+time.Second {
+		t.Errorf("Multicast blocked %v, want bounded by ~%v", elapsed, tcpMulticastWait)
+	}
+	live1.wait(t, 1, 2*time.Second)
+	live2.wait(t, 1, 2*time.Second)
+}
+
+// TestWireByteAccounting: both fabrics must charge identical encoded sizes
+// for the same message, and count sends by kind.
+func TestWireByteAccounting(t *testing.T) {
+	m := msg.New(msg.KindHeartbeat, msg.Address{Node: "a"}, msg.Address{Node: "b"}, []byte("beatbeat"))
+	want := int64(wire.FrameHeaderBytes + wire.EncodedSize(m))
+
+	eachNetwork(t, func(t *testing.T, netw Network) {
+		recv := newCollector()
+		a, err := netw.Attach("a", func(*msg.Message) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := netw.Attach("b", recv.handle); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send("b", m.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		recv.wait(t, 1, 2*time.Second)
+		var stats *Stats
+		switch x := netw.(type) {
+		case *MemNetwork:
+			stats = x.Stats()
+		case *TCPNetwork:
+			stats = x.Stats()
+		}
+		waitFor(t, 2*time.Second, func() bool { return stats.BytesRecv.Load() == want }, "byte counters")
+		snap := stats.Wire()
+		if snap.BytesSent != want || snap.BytesRecv != want {
+			t.Errorf("bytes sent/recv = %d/%d, want %d", snap.BytesSent, snap.BytesRecv, want)
+		}
+		if snap.ByKind["HEARTBEAT"] != 1 {
+			t.Errorf("by-kind counters = %v", snap.ByKind)
+		}
+	})
+}

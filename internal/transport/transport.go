@@ -10,10 +10,11 @@
 //   - MemNetwork: an in-memory bus with configurable latency, jitter and
 //     message loss — the simulated cluster substrate used by tests and
 //     benchmarks (deterministic under a fixed seed).
-//   - TCPNetwork: real sockets on the loopback interface with gob-framed
-//     messages; IP multicast is emulated by fan-out over group membership,
-//     which preserves the protocol shape without requiring multicast
-//     routing inside a sandbox.
+//   - TCPNetwork: real sockets on the loopback interface carrying
+//     length-prefixed binary frames (cn/internal/wire), bounded by a
+//     MaxFrameBytes read guard; IP multicast is emulated by concurrent
+//     unicast fan-out over group membership, which preserves the protocol
+//     shape without requiring multicast routing inside a sandbox.
 //
 // Delivery semantics are at-most-once and unordered across endpoints
 // (ordered per sender-receiver pair on MemNetwork with zero jitter); CN's
@@ -83,16 +84,73 @@ type Network interface {
 }
 
 // Stats counts fabric activity; all fields are manipulated atomically.
+// Byte counters account the encoded frame size of every message (real
+// frames on TCP, the would-be frame size on the in-memory fabric), so the
+// bytes-on-wire cost of the protocol is observable on either substrate.
 type Stats struct {
-	Sent      atomic.Int64 // messages submitted for delivery
-	Delivered atomic.Int64 // messages handed to a handler
-	Dropped   atomic.Int64 // messages lost (simulated loss or closed peer)
-	Multicast atomic.Int64 // multicast fan-out submissions
+	Sent        atomic.Int64 // messages submitted for delivery
+	Delivered   atomic.Int64 // messages handed to a handler
+	Dropped     atomic.Int64 // messages lost (simulated loss or closed peer)
+	Multicast   atomic.Int64 // multicast fan-out submissions
+	BytesSent   atomic.Int64 // encoded bytes submitted for delivery
+	BytesRecv   atomic.Int64 // encoded bytes handed to handlers
+	FrameErrors atomic.Int64 // malformed or oversized inbound frames (connection dropped)
+
+	// kinds counts sent messages by msg.Kind.
+	kinds [msg.KindCount]atomic.Int64
 }
 
-// Snapshot returns a plain-value copy of the counters.
+// Snapshot returns a plain-value copy of the core counters.
 func (s *Stats) Snapshot() (sent, delivered, dropped, multicast int64) {
 	return s.Sent.Load(), s.Delivered.Load(), s.Dropped.Load(), s.Multicast.Load()
+}
+
+// countSend records one message submission of the given encoded size.
+func (s *Stats) countSend(k msg.Kind, bytes int) {
+	s.Sent.Add(1)
+	s.BytesSent.Add(int64(bytes))
+	if k >= 0 && int(k) < msg.KindCount {
+		s.kinds[k].Add(1)
+	}
+}
+
+// KindCounts returns the non-zero per-kind send counters keyed by the wire
+// kind name (e.g. "HEARTBEAT").
+func (s *Stats) KindCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for k := range s.kinds {
+		if n := s.kinds[k].Load(); n > 0 {
+			out[msg.Kind(k).String()] = n
+		}
+	}
+	return out
+}
+
+// WireSnapshot is a plain-value view of the fabric counters, shaped for
+// JSON metrics surfaces.
+type WireSnapshot struct {
+	Sent        int64            `json:"sent"`
+	Delivered   int64            `json:"delivered"`
+	Dropped     int64            `json:"dropped"`
+	Multicast   int64            `json:"multicast"`
+	BytesSent   int64            `json:"bytes_sent"`
+	BytesRecv   int64            `json:"bytes_recv"`
+	FrameErrors int64            `json:"frame_errors"`
+	ByKind      map[string]int64 `json:"by_kind,omitempty"`
+}
+
+// Wire returns the full counter snapshot.
+func (s *Stats) Wire() WireSnapshot {
+	return WireSnapshot{
+		Sent:        s.Sent.Load(),
+		Delivered:   s.Delivered.Load(),
+		Dropped:     s.Dropped.Load(),
+		Multicast:   s.Multicast.Load(),
+		BytesSent:   s.BytesSent.Load(),
+		BytesRecv:   s.BytesRecv.Load(),
+		FrameErrors: s.FrameErrors.Load(),
+		ByKind:      s.KindCounts(),
+	}
 }
 
 // Caller layers blocking request/response ("call") semantics over an

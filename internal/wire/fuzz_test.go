@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"cn/internal/msg"
+	"cn/internal/protocol"
+)
+
+// gobBaseline encodes v the way the pre-codec wire did: a fresh
+// reflection-based gob encoder per payload.
+func gobBaseline(t testing.TB, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrameBody: arbitrary bytes must produce an error or a valid
+// message — never a panic, and never an allocation driven by a corrupted
+// length field (the decoder only ever slices its input).
+func FuzzDecodeFrameBody(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{Magic0, Magic1, Version})
+	f.Add([]byte{Magic0, Magic1, Version, 0xff, 0xff, 0xff, 0xff, 0xff})
+	if frame, err := AppendFrame(nil, msg.New(msg.KindPing, msg.Address{Node: "a"}, msg.Address{Node: "b"}, []byte("x"))); err == nil {
+		f.Add(frame[FrameHeaderBytes:])
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeFrameBody(b)
+		if err == nil && m == nil {
+			t.Error("nil message with nil error")
+		}
+	})
+}
+
+// FuzzUnmarshalPayload: arbitrary bytes against every decode target must
+// error cleanly, never panic.
+func FuzzUnmarshalPayload(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{msg.TagBinary, Version, byte(tHeartbeat)})
+	if enc, err := Default.Marshal(&protocol.Heartbeat{Node: "n", Seq: 1}); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := Default.Marshal(&protocol.TSOpReq{JobID: "j", Fields: []protocol.TSField{{Kind: "s", S: "x"}}}); err == nil {
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for _, out := range bodies() {
+			_ = Default.Unmarshal(b, out)
+		}
+	})
+}
+
+// FuzzRoundTripHeartbeat: structured fuzzing of the hottest body — any
+// input that marshals must unmarshal to the same value.
+func FuzzRoundTripHeartbeat(f *testing.F) {
+	f.Add("node1", uint64(1), "job", "task", true, uint64(42))
+	f.Fuzz(func(t *testing.T, node string, seq uint64, jobID, taskName string, running bool, progress uint64) {
+		in := &protocol.Heartbeat{Node: node, Seq: seq, Beats: []protocol.TaskBeat{
+			{JobID: jobID, Task: taskName, Running: running, Progress: progress},
+		}}
+		enc, err := Default.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out protocol.Heartbeat
+		if err := Default.Unmarshal(enc, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Node != in.Node || out.Seq != in.Seq || len(out.Beats) != 1 || out.Beats[0] != in.Beats[0] {
+			t.Errorf("round trip mismatch: %+v vs %+v", in, out)
+		}
+	})
+}

@@ -1,0 +1,1147 @@
+// Per-type binary marshal/unmarshal for every well-defined protocol body.
+// Each payload is [msg.TagBinary][Version][type id uvarint][fields...],
+// with fields appended in struct declaration order. Map keys are sorted so
+// identical values encode identically (stable tests, comparable benches).
+//
+// The codec registers itself with the msg package at init, becoming the
+// process-wide payload codec for every component that links the transport;
+// types without a hand-rolled encoder (arbitrary KindUser application
+// payloads) report msg.ErrUnsupportedPayload and fall back to tagged gob.
+
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// Payload type ids. Append only: a type id is part of the wire format.
+const (
+	tInvalid uint64 = iota
+	tJobRequirements
+	tJMOffer
+	tCreateJobReq
+	tCreateJobResp
+	tCreateTaskReq
+	tCreateTaskResp
+	tTaskSolicitReq
+	tTMOffer
+	tAssignTaskReq
+	tAssignTaskResp
+	tCreateTasksReq
+	tCreateTasksResp
+	tAssignTasksReq
+	tAssignTasksResp
+	tFetchBlobReq
+	tFetchBlobResp
+	tBlobChunkReq
+	tBlobChunkResp
+	tStartJobReq
+	tExecTaskReq
+	tTaskEvent
+	tHeartbeat
+	tHeartbeatAck
+	tUserPayload
+	tCancelJobReq
+	tJobEvent
+	tTSOpReq
+	tTSCancelReq
+	tTSOpResp
+)
+
+// Codec is the msg.Codec implementation; Default is the instance the init
+// hook registers and benchmarks reference explicitly.
+type Codec struct{}
+
+// Default is the shared codec instance.
+var Default Codec
+
+func init() { msg.SetCodec(Default) }
+
+// header starts a binary payload for the given type id.
+func header(dst []byte, typeID uint64) []byte {
+	dst = append(dst, msg.TagBinary, Version)
+	return AppendUvarint(dst, typeID)
+}
+
+// capHint bounds the UPFRONT capacity of a decoded collection. Counts are
+// already sanity-checked against the bytes remaining, but one wire byte
+// can announce an element that decodes into a much larger struct, so a
+// hostile count inside a legal frame could otherwise drive a huge make()
+// before the first element fails to parse. Decoders allocate at most this
+// many elements eagerly and grow by append for genuinely large payloads.
+func capHint(n int) int {
+	const maxEager = 1024
+	if n > maxEager {
+		return maxEager
+	}
+	return n
+}
+
+// Marshal implements msg.Codec.
+func (Codec) Marshal(v any) ([]byte, error) {
+	// Pre-size generously for small bodies; large bodies (blob chunks)
+	// re-size once via the length hints below.
+	switch x := v.(type) {
+	case protocol.JobRequirements:
+		return appendJobRequirements(header(make([]byte, 0, 32), tJobRequirements), &x), nil
+	case *protocol.JobRequirements:
+		return appendJobRequirements(header(make([]byte, 0, 32), tJobRequirements), x), nil
+	case protocol.JMOffer:
+		return appendJMOffer(header(make([]byte, 0, 64), tJMOffer), &x), nil
+	case *protocol.JMOffer:
+		return appendJMOffer(header(make([]byte, 0, 64), tJMOffer), x), nil
+	case protocol.CreateJobReq:
+		return appendCreateJobReq(header(make([]byte, 0, 128), tCreateJobReq), &x), nil
+	case *protocol.CreateJobReq:
+		return appendCreateJobReq(header(make([]byte, 0, 128), tCreateJobReq), x), nil
+	case protocol.CreateJobResp:
+		return appendCreateJobResp(header(make([]byte, 0, 64), tCreateJobResp), &x), nil
+	case *protocol.CreateJobResp:
+		return appendCreateJobResp(header(make([]byte, 0, 64), tCreateJobResp), x), nil
+	case protocol.CreateTaskReq:
+		return appendCreateTaskReq(header(make([]byte, 0, 256+len(x.Archive)), tCreateTaskReq), &x), nil
+	case *protocol.CreateTaskReq:
+		return appendCreateTaskReq(header(make([]byte, 0, 256+len(x.Archive)), tCreateTaskReq), x), nil
+	case protocol.CreateTaskResp:
+		return appendCreateTaskResp(header(make([]byte, 0, 64), tCreateTaskResp), &x), nil
+	case *protocol.CreateTaskResp:
+		return appendCreateTaskResp(header(make([]byte, 0, 64), tCreateTaskResp), x), nil
+	case protocol.TaskSolicitReq:
+		return appendTaskSolicitReq(header(make([]byte, 0, 256), tTaskSolicitReq), &x), nil
+	case *protocol.TaskSolicitReq:
+		return appendTaskSolicitReq(header(make([]byte, 0, 256), tTaskSolicitReq), x), nil
+	case protocol.TMOffer:
+		return appendTMOffer(header(make([]byte, 0, 64), tTMOffer), &x), nil
+	case *protocol.TMOffer:
+		return appendTMOffer(header(make([]byte, 0, 64), tTMOffer), x), nil
+	case protocol.AssignTaskReq:
+		return appendAssignTaskReq(header(make([]byte, 0, 256+len(x.Archive)), tAssignTaskReq), &x), nil
+	case *protocol.AssignTaskReq:
+		return appendAssignTaskReq(header(make([]byte, 0, 256+len(x.Archive)), tAssignTaskReq), x), nil
+	case protocol.AssignTaskResp:
+		return appendAssignTaskResp(header(make([]byte, 0, 64), tAssignTaskResp), &x), nil
+	case *protocol.AssignTaskResp:
+		return appendAssignTaskResp(header(make([]byte, 0, 64), tAssignTaskResp), x), nil
+	case protocol.CreateTasksReq:
+		return appendCreateTasksReq(header(make([]byte, 0, 512), tCreateTasksReq), &x), nil
+	case *protocol.CreateTasksReq:
+		return appendCreateTasksReq(header(make([]byte, 0, 512), tCreateTasksReq), x), nil
+	case protocol.CreateTasksResp:
+		return appendCreateTasksResp(header(make([]byte, 0, 256), tCreateTasksResp), &x), nil
+	case *protocol.CreateTasksResp:
+		return appendCreateTasksResp(header(make([]byte, 0, 256), tCreateTasksResp), x), nil
+	case protocol.AssignTasksReq:
+		return appendAssignTasksReq(header(make([]byte, 0, 512), tAssignTasksReq), &x), nil
+	case *protocol.AssignTasksReq:
+		return appendAssignTasksReq(header(make([]byte, 0, 512), tAssignTasksReq), x), nil
+	case protocol.AssignTasksResp:
+		return appendAssignTasksResp(header(make([]byte, 0, 128), tAssignTasksResp), &x), nil
+	case *protocol.AssignTasksResp:
+		return appendAssignTasksResp(header(make([]byte, 0, 128), tAssignTasksResp), x), nil
+	case protocol.FetchBlobReq:
+		return appendFetchBlobReq(header(make([]byte, 0, 128), tFetchBlobReq), &x), nil
+	case *protocol.FetchBlobReq:
+		return appendFetchBlobReq(header(make([]byte, 0, 128), tFetchBlobReq), x), nil
+	case protocol.FetchBlobResp:
+		return appendFetchBlobResp(header(make([]byte, 0, 256), tFetchBlobResp), &x), nil
+	case *protocol.FetchBlobResp:
+		return appendFetchBlobResp(header(make([]byte, 0, 256), tFetchBlobResp), x), nil
+	case protocol.BlobChunkReq:
+		return appendBlobChunkReq(header(make([]byte, 0, 128+len(x.Data)), tBlobChunkReq), &x), nil
+	case *protocol.BlobChunkReq:
+		return appendBlobChunkReq(header(make([]byte, 0, 128+len(x.Data)), tBlobChunkReq), x), nil
+	case protocol.BlobChunkResp:
+		return appendBlobChunkResp(header(make([]byte, 0, 128+len(x.Data)), tBlobChunkResp), &x), nil
+	case *protocol.BlobChunkResp:
+		return appendBlobChunkResp(header(make([]byte, 0, 128+len(x.Data)), tBlobChunkResp), x), nil
+	case protocol.StartJobReq:
+		return appendStartJobReq(header(make([]byte, 0, 128), tStartJobReq), &x), nil
+	case *protocol.StartJobReq:
+		return appendStartJobReq(header(make([]byte, 0, 128), tStartJobReq), x), nil
+	case protocol.ExecTaskReq:
+		return appendExecTaskReq(header(make([]byte, 0, 64), tExecTaskReq), &x), nil
+	case *protocol.ExecTaskReq:
+		return appendExecTaskReq(header(make([]byte, 0, 64), tExecTaskReq), x), nil
+	case protocol.TaskEvent:
+		return appendTaskEvent(header(make([]byte, 0, 128), tTaskEvent), &x), nil
+	case *protocol.TaskEvent:
+		return appendTaskEvent(header(make([]byte, 0, 128), tTaskEvent), x), nil
+	case protocol.Heartbeat:
+		return appendHeartbeat(header(make([]byte, 0, 64+48*len(x.Beats)), tHeartbeat), &x), nil
+	case *protocol.Heartbeat:
+		return appendHeartbeat(header(make([]byte, 0, 64+48*len(x.Beats)), tHeartbeat), x), nil
+	case protocol.HeartbeatAck:
+		return appendHeartbeatAck(header(make([]byte, 0, 64), tHeartbeatAck), &x), nil
+	case *protocol.HeartbeatAck:
+		return appendHeartbeatAck(header(make([]byte, 0, 64), tHeartbeatAck), x), nil
+	case protocol.UserPayload:
+		return appendUserPayload(header(make([]byte, 0, 64+len(x.Data)), tUserPayload), &x), nil
+	case *protocol.UserPayload:
+		return appendUserPayload(header(make([]byte, 0, 64+len(x.Data)), tUserPayload), x), nil
+	case protocol.CancelJobReq:
+		return appendCancelJobReq(header(make([]byte, 0, 128), tCancelJobReq), &x), nil
+	case *protocol.CancelJobReq:
+		return appendCancelJobReq(header(make([]byte, 0, 128), tCancelJobReq), x), nil
+	case protocol.JobEvent:
+		return appendJobEvent(header(make([]byte, 0, 128), tJobEvent), &x), nil
+	case *protocol.JobEvent:
+		return appendJobEvent(header(make([]byte, 0, 128), tJobEvent), x), nil
+	case protocol.TSOpReq:
+		return appendTSOpReq(header(make([]byte, 0, 128), tTSOpReq), &x), nil
+	case *protocol.TSOpReq:
+		return appendTSOpReq(header(make([]byte, 0, 128), tTSOpReq), x), nil
+	case protocol.TSCancelReq:
+		return appendTSCancelReq(header(make([]byte, 0, 64), tTSCancelReq), &x), nil
+	case *protocol.TSCancelReq:
+		return appendTSCancelReq(header(make([]byte, 0, 64), tTSCancelReq), x), nil
+	case protocol.TSOpResp:
+		return appendTSOpResp(header(make([]byte, 0, 128), tTSOpResp), &x), nil
+	case *protocol.TSOpResp:
+		return appendTSOpResp(header(make([]byte, 0, 128), tTSOpResp), x), nil
+	}
+	return nil, msg.ErrUnsupportedPayload
+}
+
+// Unmarshal implements msg.Codec: out selects the expected body type, and
+// the payload's type id must agree.
+func (Codec) Unmarshal(data []byte, out any) error {
+	r, gotID, err := openPayload(data)
+	if err != nil {
+		return err
+	}
+	var wantID uint64
+	var decode func(*Reader) error
+	switch x := out.(type) {
+	case *protocol.JobRequirements:
+		wantID, decode = tJobRequirements, func(r *Reader) error { return readJobRequirements(r, x) }
+	case *protocol.JMOffer:
+		wantID, decode = tJMOffer, func(r *Reader) error { return readJMOffer(r, x) }
+	case *protocol.CreateJobReq:
+		wantID, decode = tCreateJobReq, func(r *Reader) error { return readCreateJobReq(r, x) }
+	case *protocol.CreateJobResp:
+		wantID, decode = tCreateJobResp, func(r *Reader) error { return readCreateJobResp(r, x) }
+	case *protocol.CreateTaskReq:
+		wantID, decode = tCreateTaskReq, func(r *Reader) error { return readCreateTaskReq(r, x) }
+	case *protocol.CreateTaskResp:
+		wantID, decode = tCreateTaskResp, func(r *Reader) error { return readCreateTaskResp(r, x) }
+	case *protocol.TaskSolicitReq:
+		wantID, decode = tTaskSolicitReq, func(r *Reader) error { return readTaskSolicitReq(r, x) }
+	case *protocol.TMOffer:
+		wantID, decode = tTMOffer, func(r *Reader) error { return readTMOffer(r, x) }
+	case *protocol.AssignTaskReq:
+		wantID, decode = tAssignTaskReq, func(r *Reader) error { return readAssignTaskReq(r, x) }
+	case *protocol.AssignTaskResp:
+		wantID, decode = tAssignTaskResp, func(r *Reader) error { return readAssignTaskResp(r, x) }
+	case *protocol.CreateTasksReq:
+		wantID, decode = tCreateTasksReq, func(r *Reader) error { return readCreateTasksReq(r, x) }
+	case *protocol.CreateTasksResp:
+		wantID, decode = tCreateTasksResp, func(r *Reader) error { return readCreateTasksResp(r, x) }
+	case *protocol.AssignTasksReq:
+		wantID, decode = tAssignTasksReq, func(r *Reader) error { return readAssignTasksReq(r, x) }
+	case *protocol.AssignTasksResp:
+		wantID, decode = tAssignTasksResp, func(r *Reader) error { return readAssignTasksResp(r, x) }
+	case *protocol.FetchBlobReq:
+		wantID, decode = tFetchBlobReq, func(r *Reader) error { return readFetchBlobReq(r, x) }
+	case *protocol.FetchBlobResp:
+		wantID, decode = tFetchBlobResp, func(r *Reader) error { return readFetchBlobResp(r, x) }
+	case *protocol.BlobChunkReq:
+		wantID, decode = tBlobChunkReq, func(r *Reader) error { return readBlobChunkReq(r, x) }
+	case *protocol.BlobChunkResp:
+		wantID, decode = tBlobChunkResp, func(r *Reader) error { return readBlobChunkResp(r, x) }
+	case *protocol.StartJobReq:
+		wantID, decode = tStartJobReq, func(r *Reader) error { return readStartJobReq(r, x) }
+	case *protocol.ExecTaskReq:
+		wantID, decode = tExecTaskReq, func(r *Reader) error { return readExecTaskReq(r, x) }
+	case *protocol.TaskEvent:
+		wantID, decode = tTaskEvent, func(r *Reader) error { return readTaskEvent(r, x) }
+	case *protocol.Heartbeat:
+		wantID, decode = tHeartbeat, func(r *Reader) error { return readHeartbeat(r, x) }
+	case *protocol.HeartbeatAck:
+		wantID, decode = tHeartbeatAck, func(r *Reader) error { return readHeartbeatAck(r, x) }
+	case *protocol.UserPayload:
+		wantID, decode = tUserPayload, func(r *Reader) error { return readUserPayload(r, x) }
+	case *protocol.CancelJobReq:
+		wantID, decode = tCancelJobReq, func(r *Reader) error { return readCancelJobReq(r, x) }
+	case *protocol.JobEvent:
+		wantID, decode = tJobEvent, func(r *Reader) error { return readJobEvent(r, x) }
+	case *protocol.TSOpReq:
+		wantID, decode = tTSOpReq, func(r *Reader) error { return readTSOpReq(r, x) }
+	case *protocol.TSCancelReq:
+		wantID, decode = tTSCancelReq, func(r *Reader) error { return readTSCancelReq(r, x) }
+	case *protocol.TSOpResp:
+		wantID, decode = tTSOpResp, func(r *Reader) error { return readTSOpResp(r, x) }
+	default:
+		return fmt.Errorf("wire: no binary decoder for %T", out)
+	}
+	if gotID != wantID {
+		return fmt.Errorf("wire: payload type id %d does not match %T", gotID, out)
+	}
+	if err := decode(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after %T payload", r.Len(), out)
+	}
+	return nil
+}
+
+// openPayload validates the payload header and returns a reader positioned
+// at the first field plus the payload type id.
+func openPayload(data []byte) (*Reader, uint64, error) {
+	if len(data) < 3 {
+		return nil, 0, fmt.Errorf("wire: payload too short (%d bytes)", len(data))
+	}
+	if data[0] != msg.TagBinary {
+		return nil, 0, fmt.Errorf("wire: payload tag %#x is not binary", data[0])
+	}
+	if data[1] != Version {
+		return nil, 0, fmt.Errorf("wire: payload version %d not supported (want %d)", data[1], Version)
+	}
+	r := NewReader(data[2:])
+	id, err := r.Uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, id, nil
+}
+
+// --- shared sub-encodings ---
+
+func appendSpec(b []byte, sp *task.Spec) []byte {
+	if sp == nil {
+		return AppendBool(b, false)
+	}
+	b = AppendBool(b, true)
+	b = AppendString(b, sp.Name)
+	b = AppendString(b, sp.Archive)
+	b = AppendString(b, sp.Class)
+	b = AppendUvarint(b, uint64(len(sp.DependsOn)))
+	for _, d := range sp.DependsOn {
+		b = AppendString(b, d)
+	}
+	b = AppendUvarint(b, uint64(len(sp.Params)))
+	for _, p := range sp.Params {
+		b = AppendString(b, string(p.Type))
+		b = AppendString(b, p.Value)
+	}
+	b = AppendVarint(b, int64(sp.Req.MemoryMB))
+	b = AppendVarint(b, int64(sp.Req.RunModel))
+	return b
+}
+
+func readSpec(r *Reader) (*task.Spec, error) {
+	present, err := r.Bool()
+	if err != nil || !present {
+		return nil, err
+	}
+	sp := &task.Spec{}
+	if sp.Name, err = r.String(); err != nil {
+		return nil, err
+	}
+	if sp.Archive, err = r.String(); err != nil {
+		return nil, err
+	}
+	if sp.Class, err = r.String(); err != nil {
+		return nil, err
+	}
+	n, err := r.Count("spec dependencies")
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		sp.DependsOn = make([]string, 0, capHint(n))
+		for i := 0; i < n; i++ {
+			s, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			sp.DependsOn = append(sp.DependsOn, s)
+		}
+	}
+	if n, err = r.Count("spec params"); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		sp.Params = make([]task.Param, 0, capHint(n))
+		for i := 0; i < n; i++ {
+			typ, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			val, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			sp.Params = append(sp.Params, task.Param{Type: task.ParamType(typ), Value: val})
+		}
+	}
+	if sp.Req.MemoryMB, err = r.Int(); err != nil {
+		return nil, err
+	}
+	rm, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	sp.Req.RunModel = task.RunModel(rm)
+	return sp, nil
+}
+
+func appendTaskCreate(b []byte, tc *protocol.TaskCreate) []byte {
+	b = appendSpec(b, tc.Spec)
+	b = AppendString(b, tc.Archive.Name)
+	return AppendString(b, tc.Archive.Digest)
+}
+
+func readTaskCreate(r *Reader) (protocol.TaskCreate, error) {
+	var tc protocol.TaskCreate
+	var err error
+	if tc.Spec, err = readSpec(r); err != nil {
+		return tc, err
+	}
+	if tc.Archive.Name, err = r.String(); err != nil {
+		return tc, err
+	}
+	tc.Archive.Digest, err = r.String()
+	return tc, err
+}
+
+func appendStringSlice(b []byte, ss []string) []byte {
+	b = AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = AppendString(b, s)
+	}
+	return b
+}
+
+func readStringSlice(r *Reader, what string) ([]string, error) {
+	n, err := r.Count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]string, 0, capHint(n))
+	for i := 0; i < n; i++ {
+		s, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func appendStringMap(b []byte, m map[string]string) []byte {
+	b = AppendUvarint(b, uint64(len(m)))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = AppendString(b, k)
+		b = AppendString(b, m[k])
+	}
+	return b
+}
+
+func readStringMap(r *Reader, what string) (map[string]string, error) {
+	n, err := r.Count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make(map[string]string, capHint(n))
+	for i := 0; i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func appendBlobMap(b []byte, m map[string][]byte) []byte {
+	b = AppendUvarint(b, uint64(len(m)))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = AppendString(b, k)
+		b = AppendBytes(b, m[k])
+	}
+	return b
+}
+
+func readBlobMap(r *Reader, what string) (map[string][]byte, error) {
+	n, err := r.Count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make(map[string][]byte, capHint(n))
+	for i := 0; i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func appendTSFields(b []byte, fields []protocol.TSField) []byte {
+	b = AppendUvarint(b, uint64(len(fields)))
+	for _, f := range fields {
+		b = AppendString(b, f.Kind)
+		b = AppendString(b, f.S)
+		b = AppendVarint(b, f.I)
+		b = AppendFloat64(b, f.F)
+		b = AppendBool(b, f.B)
+		b = AppendBytes(b, f.Bytes)
+	}
+	return b
+}
+
+func readTSFields(r *Reader) ([]protocol.TSField, error) {
+	n, err := r.Count("tuple fields")
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]protocol.TSField, 0, capHint(n))
+	for i := 0; i < n; i++ {
+		var f protocol.TSField
+		if f.Kind, err = r.String(); err != nil {
+			return nil, err
+		}
+		if f.S, err = r.String(); err != nil {
+			return nil, err
+		}
+		if f.I, err = r.Varint(); err != nil {
+			return nil, err
+		}
+		if f.F, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		if f.B, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if f.Bytes, err = r.Bytes(); err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// --- per-body encoders/decoders, fields in declaration order ---
+
+func appendJobRequirements(b []byte, v *protocol.JobRequirements) []byte {
+	b = AppendVarint(b, int64(v.MinMemoryMB))
+	return AppendVarint(b, int64(v.ExpectedTasks))
+}
+
+func readJobRequirements(r *Reader, v *protocol.JobRequirements) (err error) {
+	if v.MinMemoryMB, err = r.Int(); err != nil {
+		return err
+	}
+	v.ExpectedTasks, err = r.Int()
+	return err
+}
+
+func appendJMOffer(b []byte, v *protocol.JMOffer) []byte {
+	b = AppendString(b, v.Node)
+	b = AppendVarint(b, int64(v.FreeMemoryMB))
+	return AppendVarint(b, int64(v.ActiveJobs))
+}
+
+func readJMOffer(r *Reader, v *protocol.JMOffer) (err error) {
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.FreeMemoryMB, err = r.Int(); err != nil {
+		return err
+	}
+	v.ActiveJobs, err = r.Int()
+	return err
+}
+
+func appendCreateJobReq(b []byte, v *protocol.CreateJobReq) []byte {
+	b = AppendString(b, v.Name)
+	b = appendJobRequirements(b, &v.Req)
+	return AppendString(b, v.ClientNode)
+}
+
+func readCreateJobReq(r *Reader, v *protocol.CreateJobReq) (err error) {
+	if v.Name, err = r.String(); err != nil {
+		return err
+	}
+	if err = readJobRequirements(r, &v.Req); err != nil {
+		return err
+	}
+	v.ClientNode, err = r.String()
+	return err
+}
+
+func appendCreateJobResp(b []byte, v *protocol.CreateJobResp) []byte {
+	return AppendString(b, v.JobID)
+}
+
+func readCreateJobResp(r *Reader, v *protocol.CreateJobResp) (err error) {
+	v.JobID, err = r.String()
+	return err
+}
+
+func appendCreateTaskReq(b []byte, v *protocol.CreateTaskReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = appendSpec(b, v.Spec)
+	b = AppendString(b, v.ArchiveName)
+	b = AppendBytes(b, v.Archive)
+	return AppendString(b, v.Digest)
+}
+
+func readCreateTaskReq(r *Reader, v *protocol.CreateTaskReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.Spec, err = readSpec(r); err != nil {
+		return err
+	}
+	if v.ArchiveName, err = r.String(); err != nil {
+		return err
+	}
+	if v.Archive, err = r.Bytes(); err != nil {
+		return err
+	}
+	v.Digest, err = r.String()
+	return err
+}
+
+func appendCreateTaskResp(b []byte, v *protocol.CreateTaskResp) []byte {
+	return AppendString(b, v.Placement)
+}
+
+func readCreateTaskResp(r *Reader, v *protocol.CreateTaskResp) (err error) {
+	v.Placement, err = r.String()
+	return err
+}
+
+func appendTaskSolicitReq(b []byte, v *protocol.TaskSolicitReq) []byte {
+	b = AppendString(b, v.JobID)
+	return appendSpec(b, v.Spec)
+}
+
+func readTaskSolicitReq(r *Reader, v *protocol.TaskSolicitReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	v.Spec, err = readSpec(r)
+	return err
+}
+
+func appendTMOffer(b []byte, v *protocol.TMOffer) []byte {
+	b = AppendString(b, v.Node)
+	b = AppendVarint(b, int64(v.FreeMemoryMB))
+	return AppendVarint(b, int64(v.RunningTasks))
+}
+
+func readTMOffer(r *Reader, v *protocol.TMOffer) (err error) {
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.FreeMemoryMB, err = r.Int(); err != nil {
+		return err
+	}
+	v.RunningTasks, err = r.Int()
+	return err
+}
+
+func appendAssignTaskReq(b []byte, v *protocol.AssignTaskReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.JobManager)
+	b = AppendString(b, v.ClientNode)
+	b = appendSpec(b, v.Spec)
+	b = AppendString(b, v.ArchiveName)
+	b = AppendBytes(b, v.Archive)
+	return AppendString(b, v.Digest)
+}
+
+func readAssignTaskReq(r *Reader, v *protocol.AssignTaskReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.JobManager, err = r.String(); err != nil {
+		return err
+	}
+	if v.ClientNode, err = r.String(); err != nil {
+		return err
+	}
+	if v.Spec, err = readSpec(r); err != nil {
+		return err
+	}
+	if v.ArchiveName, err = r.String(); err != nil {
+		return err
+	}
+	if v.Archive, err = r.Bytes(); err != nil {
+		return err
+	}
+	v.Digest, err = r.String()
+	return err
+}
+
+func appendAssignTaskResp(b []byte, v *protocol.AssignTaskResp) []byte {
+	b = AppendBool(b, v.OK)
+	return AppendString(b, v.Reason)
+}
+
+func readAssignTaskResp(r *Reader, v *protocol.AssignTaskResp) (err error) {
+	if v.OK, err = r.Bool(); err != nil {
+		return err
+	}
+	v.Reason, err = r.String()
+	return err
+}
+
+func appendCreateTasksReq(b []byte, v *protocol.CreateTasksReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendUvarint(b, uint64(len(v.Tasks)))
+	for i := range v.Tasks {
+		b = appendTaskCreate(b, &v.Tasks[i])
+	}
+	return appendBlobMap(b, v.Blobs)
+}
+
+func readCreateTasksReq(r *Reader, v *protocol.CreateTasksReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	n, err := r.Count("tasks")
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		v.Tasks = make([]protocol.TaskCreate, 0, capHint(n))
+		for i := 0; i < n; i++ {
+			tc, err := readTaskCreate(r)
+			if err != nil {
+				return err
+			}
+			v.Tasks = append(v.Tasks, tc)
+		}
+	}
+	v.Blobs, err = readBlobMap(r, "blobs")
+	return err
+}
+
+func appendCreateTasksResp(b []byte, v *protocol.CreateTasksResp) []byte {
+	return appendStringMap(b, v.Placements)
+}
+
+func readCreateTasksResp(r *Reader, v *protocol.CreateTasksResp) (err error) {
+	v.Placements, err = readStringMap(r, "placements")
+	return err
+}
+
+func appendAssignTasksReq(b []byte, v *protocol.AssignTasksReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.JobManager)
+	b = AppendString(b, v.ClientNode)
+	b = AppendUvarint(b, uint64(len(v.Items)))
+	for i := range v.Items {
+		b = appendTaskCreate(b, &v.Items[i])
+	}
+	return b
+}
+
+func readAssignTasksReq(r *Reader, v *protocol.AssignTasksReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.JobManager, err = r.String(); err != nil {
+		return err
+	}
+	if v.ClientNode, err = r.String(); err != nil {
+		return err
+	}
+	n, err := r.Count("assignment items")
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		v.Items = make([]protocol.TaskCreate, 0, capHint(n))
+		for i := 0; i < n; i++ {
+			tc, err := readTaskCreate(r)
+			if err != nil {
+				return err
+			}
+			v.Items = append(v.Items, tc)
+		}
+	}
+	return nil
+}
+
+func appendAssignTasksResp(b []byte, v *protocol.AssignTasksResp) []byte {
+	b = appendStringMap(b, v.Rejected)
+	return AppendVarint(b, int64(v.Fetched))
+}
+
+func readAssignTasksResp(r *Reader, v *protocol.AssignTasksResp) (err error) {
+	if v.Rejected, err = readStringMap(r, "rejections"); err != nil {
+		return err
+	}
+	v.Fetched, err = r.Int()
+	return err
+}
+
+func appendFetchBlobReq(b []byte, v *protocol.FetchBlobReq) []byte {
+	b = AppendString(b, v.JobID)
+	return appendStringSlice(b, v.Digests)
+}
+
+func readFetchBlobReq(r *Reader, v *protocol.FetchBlobReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	v.Digests, err = readStringSlice(r, "digests")
+	return err
+}
+
+func appendFetchBlobResp(b []byte, v *protocol.FetchBlobResp) []byte {
+	b = appendBlobMap(b, v.Blobs)
+	b = AppendUvarint(b, uint64(len(v.Sizes)))
+	keys := make([]string, 0, len(v.Sizes))
+	for k := range v.Sizes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = AppendString(b, k)
+		b = AppendVarint(b, v.Sizes[k])
+	}
+	return b
+}
+
+func readFetchBlobResp(r *Reader, v *protocol.FetchBlobResp) (err error) {
+	if v.Blobs, err = readBlobMap(r, "blobs"); err != nil {
+		return err
+	}
+	n, err := r.Count("blob sizes")
+	if err != nil || n == 0 {
+		return err
+	}
+	v.Sizes = make(map[string]int64, capHint(n))
+	for i := 0; i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return err
+		}
+		if v.Sizes[k], err = r.Varint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendBlobChunkReq(b []byte, v *protocol.BlobChunkReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.Digest)
+	b = AppendVarint(b, v.Offset)
+	b = AppendVarint(b, v.MaxBytes)
+	b = AppendVarint(b, v.Total)
+	return AppendBytes(b, v.Data)
+}
+
+func readBlobChunkReq(r *Reader, v *protocol.BlobChunkReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.Digest, err = r.String(); err != nil {
+		return err
+	}
+	if v.Offset, err = r.Varint(); err != nil {
+		return err
+	}
+	if v.MaxBytes, err = r.Varint(); err != nil {
+		return err
+	}
+	if v.Total, err = r.Varint(); err != nil {
+		return err
+	}
+	v.Data, err = r.Bytes()
+	return err
+}
+
+func appendBlobChunkResp(b []byte, v *protocol.BlobChunkResp) []byte {
+	b = AppendString(b, v.Digest)
+	b = AppendVarint(b, v.Offset)
+	b = AppendVarint(b, v.Total)
+	b = AppendBytes(b, v.Data)
+	return AppendString(b, v.Err)
+}
+
+func readBlobChunkResp(r *Reader, v *protocol.BlobChunkResp) (err error) {
+	if v.Digest, err = r.String(); err != nil {
+		return err
+	}
+	if v.Offset, err = r.Varint(); err != nil {
+		return err
+	}
+	if v.Total, err = r.Varint(); err != nil {
+		return err
+	}
+	if v.Data, err = r.Bytes(); err != nil {
+		return err
+	}
+	v.Err, err = r.String()
+	return err
+}
+
+func appendStartJobReq(b []byte, v *protocol.StartJobReq) []byte {
+	b = AppendString(b, v.JobID)
+	return appendStringSlice(b, v.TaskNames)
+}
+
+func readStartJobReq(r *Reader, v *protocol.StartJobReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	v.TaskNames, err = readStringSlice(r, "task names")
+	return err
+}
+
+func appendExecTaskReq(b []byte, v *protocol.ExecTaskReq) []byte {
+	b = AppendString(b, v.JobID)
+	return AppendString(b, v.Task)
+}
+
+func readExecTaskReq(r *Reader, v *protocol.ExecTaskReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	v.Task, err = r.String()
+	return err
+}
+
+func appendTaskEvent(b []byte, v *protocol.TaskEvent) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.Task)
+	b = AppendString(b, v.Node)
+	b = AppendString(b, v.Err)
+	b = AppendVarint(b, int64(v.Attempt))
+	return AppendBool(b, v.Speculative)
+}
+
+func readTaskEvent(r *Reader, v *protocol.TaskEvent) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.Task, err = r.String(); err != nil {
+		return err
+	}
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.Err, err = r.String(); err != nil {
+		return err
+	}
+	if v.Attempt, err = r.Int(); err != nil {
+		return err
+	}
+	v.Speculative, err = r.Bool()
+	return err
+}
+
+func appendHeartbeat(b []byte, v *protocol.Heartbeat) []byte {
+	b = AppendString(b, v.Node)
+	b = AppendUvarint(b, v.Seq)
+	b = AppendUvarint(b, uint64(len(v.Beats)))
+	for _, beat := range v.Beats {
+		b = AppendString(b, beat.JobID)
+		b = AppendString(b, beat.Task)
+		b = AppendBool(b, beat.Running)
+		b = AppendUvarint(b, beat.Progress)
+	}
+	return b
+}
+
+func readHeartbeat(r *Reader, v *protocol.Heartbeat) (err error) {
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.Seq, err = r.Uvarint(); err != nil {
+		return err
+	}
+	n, err := r.Count("beats")
+	if err != nil || n == 0 {
+		return err
+	}
+	v.Beats = make([]protocol.TaskBeat, 0, capHint(n))
+	for i := 0; i < n; i++ {
+		var beat protocol.TaskBeat
+		if beat.JobID, err = r.String(); err != nil {
+			return err
+		}
+		if beat.Task, err = r.String(); err != nil {
+			return err
+		}
+		if beat.Running, err = r.Bool(); err != nil {
+			return err
+		}
+		if beat.Progress, err = r.Uvarint(); err != nil {
+			return err
+		}
+		v.Beats = append(v.Beats, beat)
+	}
+	return nil
+}
+
+func appendHeartbeatAck(b []byte, v *protocol.HeartbeatAck) []byte {
+	b = AppendString(b, v.Node)
+	b = AppendUvarint(b, v.Seq)
+	return appendStringSlice(b, v.UnknownJobs)
+}
+
+func readHeartbeatAck(r *Reader, v *protocol.HeartbeatAck) (err error) {
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.Seq, err = r.Uvarint(); err != nil {
+		return err
+	}
+	v.UnknownJobs, err = readStringSlice(r, "unknown jobs")
+	return err
+}
+
+func appendUserPayload(b []byte, v *protocol.UserPayload) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.FromTask)
+	b = AppendString(b, v.ToTask)
+	return AppendBytes(b, v.Data)
+}
+
+func readUserPayload(r *Reader, v *protocol.UserPayload) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.FromTask, err = r.String(); err != nil {
+		return err
+	}
+	if v.ToTask, err = r.String(); err != nil {
+		return err
+	}
+	v.Data, err = r.Bytes()
+	return err
+}
+
+func appendCancelJobReq(b []byte, v *protocol.CancelJobReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.Reason)
+	return appendStringSlice(b, v.Tasks)
+}
+
+func readCancelJobReq(r *Reader, v *protocol.CancelJobReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.Reason, err = r.String(); err != nil {
+		return err
+	}
+	v.Tasks, err = readStringSlice(r, "tasks")
+	return err
+}
+
+func appendJobEvent(b []byte, v *protocol.JobEvent) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendBool(b, v.Failed)
+	b = AppendString(b, v.Err)
+	return appendStringMap(b, v.TaskErrs)
+}
+
+func readJobEvent(r *Reader, v *protocol.JobEvent) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.Failed, err = r.Bool(); err != nil {
+		return err
+	}
+	if v.Err, err = r.String(); err != nil {
+		return err
+	}
+	v.TaskErrs, err = readStringMap(r, "task errors")
+	return err
+}
+
+func appendTSOpReq(b []byte, v *protocol.TSOpReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.FromTask)
+	b = appendTSFields(b, v.Fields)
+	return AppendVarint(b, v.ParkMS)
+}
+
+func readTSOpReq(r *Reader, v *protocol.TSOpReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.FromTask, err = r.String(); err != nil {
+		return err
+	}
+	if v.Fields, err = readTSFields(r); err != nil {
+		return err
+	}
+	v.ParkMS, err = r.Varint()
+	return err
+}
+
+func appendTSCancelReq(b []byte, v *protocol.TSCancelReq) []byte {
+	b = AppendString(b, v.JobID)
+	return AppendUvarint(b, v.ReqID)
+}
+
+func readTSCancelReq(r *Reader, v *protocol.TSCancelReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	v.ReqID, err = r.Uvarint()
+	return err
+}
+
+func appendTSOpResp(b []byte, v *protocol.TSOpResp) []byte {
+	b = AppendBool(b, v.OK)
+	b = AppendBool(b, v.Closed)
+	b = AppendBool(b, v.NoMatch)
+	b = AppendBool(b, v.Retry)
+	b = AppendString(b, v.Err)
+	return appendTSFields(b, v.Fields)
+}
+
+func readTSOpResp(r *Reader, v *protocol.TSOpResp) (err error) {
+	if v.OK, err = r.Bool(); err != nil {
+		return err
+	}
+	if v.Closed, err = r.Bool(); err != nil {
+		return err
+	}
+	if v.NoMatch, err = r.Bool(); err != nil {
+		return err
+	}
+	if v.Retry, err = r.Bool(); err != nil {
+		return err
+	}
+	if v.Err, err = r.String(); err != nil {
+		return err
+	}
+	v.Fields, err = readTSFields(r)
+	return err
+}

@@ -1,0 +1,321 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// specFixture builds a representative task spec exercising every field.
+func specFixture(name string) *task.Spec {
+	return &task.Spec{
+		Name:      name,
+		Archive:   "tctask.jar",
+		Class:     "org.jhpc.cn2.trnsclsrtask.TCTask",
+		DependsOn: []string{"a", "b"},
+		Params: []task.Param{
+			{Type: task.TypeInteger, Value: "42"},
+			{Type: task.TypeString, Value: "hello"},
+		},
+		Req: task.Requirements{MemoryMB: 1000, RunModel: task.RunAsProcess},
+	}
+}
+
+// bodies is the exhaustive round-trip corpus: one representative value per
+// protocol body type the binary codec handles. Adding a protocol body
+// without extending this table fails TestEveryBodyCovered.
+func bodies() []any {
+	return []any{
+		&protocol.JobRequirements{MinMemoryMB: 512, ExpectedTasks: 32},
+		&protocol.JMOffer{Node: "n1", FreeMemoryMB: 8000, ActiveJobs: 3},
+		&protocol.CreateJobReq{Name: "job", Req: protocol.JobRequirements{MinMemoryMB: 1}, ClientNode: "client-1"},
+		&protocol.CreateJobResp{JobID: "n1-job7"},
+		&protocol.CreateTaskReq{JobID: "j", Spec: specFixture("t1"), ArchiveName: "a.jar", Archive: []byte{1, 2, 3}, Digest: "deadbeef"},
+		&protocol.CreateTaskResp{Placement: "n2"},
+		&protocol.TaskSolicitReq{JobID: "j", Spec: specFixture("probe")},
+		&protocol.TMOffer{Node: "n3", FreeMemoryMB: 4000, RunningTasks: 2},
+		&protocol.AssignTaskReq{JobID: "j", JobManager: "n1", ClientNode: "c", Spec: specFixture("t2"), ArchiveName: "a.jar", Archive: []byte{9}, Digest: "d"},
+		&protocol.AssignTaskResp{OK: true, Reason: ""},
+		&protocol.CreateTasksReq{
+			JobID: "j",
+			Tasks: []protocol.TaskCreate{
+				{Spec: specFixture("t1"), Archive: protocol.ArchiveRef{Name: "a.jar", Digest: "d1"}},
+				{Spec: specFixture("t2")},
+			},
+			Blobs: map[string][]byte{"d1": {1, 2, 3, 4}},
+		},
+		&protocol.CreateTasksResp{Placements: map[string]string{"t1": "n1", "t2": "n2"}},
+		&protocol.AssignTasksReq{JobID: "j", JobManager: "n1", ClientNode: "c",
+			Items: []protocol.TaskCreate{{Spec: specFixture("t3"), Archive: protocol.ArchiveRef{Name: "x", Digest: "y"}}}},
+		&protocol.AssignTasksResp{Rejected: map[string]string{"t3": "no memory"}, Fetched: 2},
+		&protocol.FetchBlobReq{JobID: "j", Digests: []string{"d1", "d2"}},
+		&protocol.FetchBlobResp{Blobs: map[string][]byte{"d1": {5, 6}}, Sizes: map[string]int64{"d2": 1 << 21}},
+		&protocol.BlobChunkReq{JobID: "j", Digest: "d", Offset: 131072, MaxBytes: 65536, Total: 1 << 21, Data: []byte("chunk")},
+		&protocol.BlobChunkResp{Digest: "d", Offset: 131072, Total: 1 << 21, Data: []byte("chunk"), Err: ""},
+		&protocol.StartJobReq{JobID: "j", TaskNames: []string{"t1"}},
+		&protocol.ExecTaskReq{JobID: "j", Task: "t1"},
+		&protocol.TaskEvent{JobID: "j", Task: "t1", Node: "n1", Err: "boom", Attempt: 2, Speculative: true},
+		&protocol.Heartbeat{Node: "n1", Seq: 17, Beats: []protocol.TaskBeat{
+			{JobID: "j", Task: "t1", Running: true, Progress: 99},
+			{JobID: "j", Task: "t2", Running: false, Progress: 0},
+		}},
+		&protocol.HeartbeatAck{Node: "n1", Seq: 17, UnknownJobs: []string{"gone"}},
+		&protocol.UserPayload{JobID: "j", FromTask: "t1", ToTask: "client", Data: []byte("payload")},
+		&protocol.CancelJobReq{JobID: "j", Reason: "test", Tasks: []string{"t1", "t2"}},
+		&protocol.JobEvent{JobID: "j", Failed: true, Err: "x", TaskErrs: map[string]string{"t1": "boom"}},
+		&protocol.TSOpReq{JobID: "j", FromTask: "t1", ParkMS: 1000, Fields: []protocol.TSField{
+			{Kind: protocol.TSString, S: "work"},
+			{Kind: protocol.TSInt, I: 7},
+			{Kind: protocol.TSFloat, F: 3.25},
+			{Kind: protocol.TSBool, B: true},
+			{Kind: protocol.TSBytes, Bytes: []byte{1, 2}},
+			{Kind: protocol.TSWildcard},
+			{Kind: protocol.TSTypeOf, S: "int"},
+		}},
+		&protocol.TSCancelReq{JobID: "j", ReqID: 12345},
+		&protocol.TSOpResp{OK: true, Fields: []protocol.TSField{{Kind: protocol.TSInt64, I: -9}}},
+	}
+}
+
+// TestRoundTripAllBodies marshals and unmarshals every protocol body and
+// requires deep equality.
+func TestRoundTripAllBodies(t *testing.T) {
+	for _, v := range bodies() {
+		name := reflect.TypeOf(v).Elem().Name()
+		t.Run(name, func(t *testing.T) {
+			enc, err := Default.Marshal(v)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			if enc[0] != msg.TagBinary {
+				t.Fatalf("payload tag %#x, want TagBinary", enc[0])
+			}
+			out := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+			if err := Default.Unmarshal(enc, out); err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(v, out) {
+				t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", v, out)
+			}
+		})
+	}
+}
+
+// TestRoundTripByValue checks the value (non-pointer) marshal path used by
+// protocol.Body call sites.
+func TestRoundTripByValue(t *testing.T) {
+	in := protocol.TMOffer{Node: "n9", FreeMemoryMB: 123, RunningTasks: 4}
+	enc, err := Default.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out protocol.TMOffer
+	if err := Default.Unmarshal(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("got %+v want %+v", out, in)
+	}
+}
+
+// TestEveryBodyCovered walks the corpus through msg.EncodePayload /
+// DecodePayload (the production entry points) and additionally asserts the
+// binary codec actually handled each one — none silently fell back to gob.
+func TestEveryBodyCovered(t *testing.T) {
+	for _, v := range bodies() {
+		enc, err := msg.EncodePayload(v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		if enc[0] != msg.TagBinary {
+			t.Errorf("%T fell back to gob (tag %#x)", v, enc[0])
+			continue
+		}
+		out := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+		if err := msg.DecodePayload(enc, out); err != nil {
+			t.Fatalf("%T decode: %v", v, err)
+		}
+		if !reflect.DeepEqual(v, out) {
+			t.Errorf("%T mismatch through msg seam", v)
+		}
+	}
+}
+
+// userStruct is an arbitrary application type the codec cannot handle.
+type userStruct struct {
+	A string
+	B []int
+}
+
+// TestMixedGobBinaryCompat verifies the KindUser contract: application
+// payload types fall back to tagged gob and decode through the same
+// DecodePayload entry point that handles binary protocol bodies.
+func TestMixedGobBinaryCompat(t *testing.T) {
+	app := userStruct{A: "x", B: []int{1, 2, 3}}
+	gobEnc, err := msg.EncodePayload(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gobEnc[0] != msg.TagGob {
+		t.Fatalf("application payload tag %#x, want TagGob", gobEnc[0])
+	}
+	var appOut userStruct
+	if err := msg.DecodePayload(gobEnc, &appOut); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(app, appOut) {
+		t.Errorf("gob round trip mismatch: %+v", appOut)
+	}
+
+	// A protocol body wrapping that user data stays binary, and the user
+	// bytes inside survive verbatim.
+	up := &protocol.UserPayload{JobID: "j", FromTask: "t", ToTask: "client", Data: gobEnc}
+	binEnc, err := msg.EncodePayload(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binEnc[0] != msg.TagBinary {
+		t.Fatalf("UserPayload tag %#x, want TagBinary", binEnc[0])
+	}
+	var upOut protocol.UserPayload
+	if err := msg.DecodePayload(binEnc, &upOut); err != nil {
+		t.Fatal(err)
+	}
+	var inner userStruct
+	if err := msg.DecodePayload(upOut.Data, &inner); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(app, inner) {
+		t.Errorf("nested gob payload mismatch: %+v", inner)
+	}
+}
+
+// TestUnmarshalTypeMismatch: decoding into the wrong body type must error,
+// not mis-parse.
+func TestUnmarshalTypeMismatch(t *testing.T) {
+	enc, err := Default.Marshal(&protocol.JMOffer{Node: "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong protocol.TMOffer
+	if err := Default.Unmarshal(enc, &wrong); err == nil {
+		t.Error("decoding JMOffer bytes into TMOffer succeeded")
+	}
+}
+
+// TestMessageRoundTrip covers the envelope framing.
+func TestMessageRoundTrip(t *testing.T) {
+	m := msg.New(msg.KindHeartbeat,
+		msg.Address{Node: "n1"},
+		msg.Address{Node: "n2", Job: "j", Task: "t"},
+		msg.MustEncode(protocol.Heartbeat{Node: "n1", Seq: 3}))
+	m.CorrelID = 77
+	m.SetHeader("k", "v")
+	m.Time = time.Unix(0, m.Time.UnixNano()) // strip the monotonic clock
+
+	frame, err := AppendFrame(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[FrameHeaderBytes:]
+	got, err := DecodeFrameBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("envelope mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+	if EncodedSize(m) != len(body) {
+		t.Errorf("EncodedSize = %d, frame body is %d", EncodedSize(m), len(body))
+	}
+	if SizeOf(m) != len(body) {
+		t.Errorf("SizeOf = %d, frame body is %d", SizeOf(m), len(body))
+	}
+}
+
+// TestSizeOfMatchesEncoding: the arithmetic size must agree with the real
+// encoding for a spread of messages (headers, empty fields, big payloads,
+// zero time).
+func TestSizeOfMatchesEncoding(t *testing.T) {
+	msgs := []*msg.Message{
+		{ID: 1, Kind: msg.KindPing},
+		msg.New(msg.KindUser, msg.Address{Node: "a", Job: "j", Task: "t"}, msg.Address{Node: "b"}, make([]byte, 200_000)),
+		msg.New(msg.KindTSOut, msg.Address{Node: "x"}, msg.Address{}, nil).SetHeader("cn-routed", "1").SetHeader("k2", "v2"),
+	}
+	for i, m := range msgs {
+		if got, want := SizeOf(m), EncodedSize(m); got != want {
+			t.Errorf("message %d: SizeOf = %d, EncodedSize = %d", i, got, want)
+		}
+	}
+}
+
+// TestZeroTimeRoundTrip: the zero send time must survive the envelope.
+func TestZeroTimeRoundTrip(t *testing.T) {
+	m := &msg.Message{ID: 1, Kind: msg.KindPing}
+	frame, err := AppendFrame(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrameBody(frame[FrameHeaderBytes:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.IsZero() {
+		t.Errorf("zero time decoded as %v", got.Time)
+	}
+}
+
+// TestFrameTooLarge: a message over MaxFrameBytes must fail at the sender
+// without emitting anything.
+func TestFrameTooLarge(t *testing.T) {
+	m := msg.New(msg.KindUser, msg.Address{}, msg.Address{}, make([]byte, MaxFrameBytes+1))
+	out, err := AppendFrame([]byte("prefix"), m)
+	if err == nil {
+		t.Fatal("oversized frame encoded")
+	}
+	if string(out) != "prefix" {
+		t.Errorf("dst not truncated back on failure: %d bytes", len(out))
+	}
+}
+
+// TestCheckFrameLen guards the inbound allocation path.
+func TestCheckFrameLen(t *testing.T) {
+	if err := CheckFrameLen(0); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	if err := CheckFrameLen(MaxFrameBytes + 1); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	if err := CheckFrameLen(1024); err != nil {
+		t.Errorf("valid length rejected: %v", err)
+	}
+}
+
+// TestBinaryBeatsGobOnSize is the codec's reason to exist: for the hot
+// message kinds, the binary payload must be smaller than the gob baseline
+// (a fresh encoder per payload, as the old EncodePayload behaved).
+func TestBinaryBeatsGobOnSize(t *testing.T) {
+	for _, v := range []any{
+		&protocol.Heartbeat{Node: "node1", Seq: 12, Beats: []protocol.TaskBeat{
+			{JobID: "node1-job1", Task: "t01", Running: true, Progress: 40},
+			{JobID: "node1-job1", Task: "t02", Running: true, Progress: 12},
+		}},
+		&protocol.AssignTasksReq{JobID: "node1-job1", JobManager: "node1", ClientNode: "client-1",
+			Items: []protocol.TaskCreate{{Spec: specFixture("t1"), Archive: protocol.ArchiveRef{Name: "a.jar", Digest: "d"}}}},
+		&protocol.TSOpReq{JobID: "node1-job1", FromTask: "w1", ParkMS: 1000,
+			Fields: []protocol.TSField{{Kind: protocol.TSString, S: "work"}, {Kind: protocol.TSInt, I: 3}}},
+	} {
+		bin, err := Default.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gobEnc := gobBaseline(t, v)
+		if len(bin) >= len(gobEnc) {
+			t.Errorf("%T: binary %dB >= gob %dB", v, len(bin), len(gobEnc))
+		}
+	}
+}
