@@ -20,6 +20,7 @@ import (
 	"cn"
 	"cn/internal/discovery"
 	"cn/internal/floyd"
+	"cn/internal/jobstore"
 	"cn/internal/metrics"
 	"cn/internal/workloads"
 )
@@ -28,12 +29,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | all")
+		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | durability | all")
 		reps = flag.Int("reps", 5, "repetitions per configuration")
 		out  = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
 		rout = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
 		tout = flag.String("tuplespace-out", "BENCH_tuplespace.json", "path for the tuplespace experiment's JSON snapshot")
 		wout = flag.String("wire-out", "BENCH_wire.json", "path for the wire-codec experiment's JSON snapshot")
+		dout = flag.String("durability-out", "BENCH_durability.json", "path for the durability experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -56,6 +58,8 @@ func main() {
 		tuplespaceTable(*reps, *tout)
 	case "wire":
 		wireTable(*reps, *wout)
+	case "durability":
+		durabilityTable(*reps, *dout)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
@@ -66,6 +70,7 @@ func main() {
 		recoveryTable(*reps, *rout)
 		tuplespaceTable(*reps, *tout)
 		wireTable(*reps, *wout)
+		durabilityTable(*reps, *dout)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -115,6 +120,21 @@ func newRegistry() *cn.Registry {
 					return nil
 				}
 				time.Sleep(2 * time.Millisecond)
+			}
+			return nil
+		})
+	})
+	// bench.SleepLong is the durability experiment's victim workload: long
+	// enough that the JobManager kill always lands mid-job, polling Done so
+	// cancelled copies exit promptly.
+	reg.MustRegister("bench.SleepLong", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			deadline := time.Now().Add(400 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				if ctx.Done() {
+					return nil
+				}
+				time.Sleep(5 * time.Millisecond)
 			}
 			return nil
 		})
@@ -648,6 +668,244 @@ func tuplespaceTable(reps int, outPath string) {
 		cl.Close()
 		c.Close()
 	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot written to %s\n", outPath)
+}
+
+// durabilityAppendRow is one fsync-mode configuration's WAL append latency.
+type durabilityAppendRow struct {
+	Mode    string  `json:"mode"` // "fsync" or "nosync"
+	Records int     `json:"records"`
+	P50US   float64 `json:"append_p50_us"`
+	P99US   float64 `json:"append_p99_us"`
+}
+
+// durabilityReplayRow is one log-size configuration's cold replay cost.
+type durabilityReplayRow struct {
+	Records  int     `json:"records"`
+	WALBytes int64   `json:"wal_bytes"`
+	ReplayMS float64 `json:"replay_ms"`
+}
+
+// durabilityFailoverRow summarizes the JobManager failover study.
+type durabilityFailoverRow struct {
+	Nodes        int     `json:"nodes"`
+	Tasks        int     `json:"tasks"`
+	CheckpointMS float64 `json:"checkpoint_every_ms"`
+	AdoptMeanMS  float64 `json:"time_to_adopt_mean_ms"`
+	AdoptMaxMS   float64 `json:"time_to_adopt_max_ms"`
+	FinishMeanMS float64 `json:"kill_to_finish_mean_ms"`
+	RetriesFinal int     `json:"retries_last_run"`
+	Runs         int     `json:"runs"`
+}
+
+// durabilitySnapshot is the BENCH_durability.json document.
+type durabilitySnapshot struct {
+	Experiment  string                `json:"experiment"`
+	GeneratedAt time.Time             `json:"generated_at"`
+	Append      []durabilityAppendRow `json:"append"`
+	Replay      []durabilityReplayRow `json:"replay"`
+	Failover    durabilityFailoverRow `json:"failover"`
+}
+
+// durabilityWAL opens a WAL in a fresh scratch directory and returns a
+// cleanup that removes it.
+func durabilityWAL(nosync bool) (*jobstore.WAL, func()) {
+	dir, err := os.MkdirTemp("", "cnbench-wal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := jobstore.OpenWAL(dir, jobstore.WALOptions{NoSync: nosync})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w, func() {
+		w.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+func durabilityPut(w *jobstore.WAL, i int, body []byte) {
+	if err := w.Put(&jobstore.PersistedJob{
+		ID: fmt.Sprintf("job-%d", i+1), Seq: int64(i + 1),
+		Sub:   jobstore.Submission{Format: jobstore.FormatCNX, Body: body, Label: "bench"},
+		State: jobstore.StateQueued,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// durabilityFailover runs one JM-kill round: a 4-node cluster hosts a job
+// of long tasks, the hosting JobManager is power-cut mid-job, and the run
+// reports kill-to-adoption (the client observing its handle re-pointed)
+// and kill-to-finish latencies plus the final retry count.
+func durabilityFailover(tasks int, checkpoint time.Duration) (adopt, finish time.Duration, retried int) {
+	c, err := cn.StartCluster(cn.ClusterOptions{
+		Nodes: 4, Registry: newRegistry(), MemoryMB: 64000,
+		HeartbeatInterval: 10 * time.Millisecond,
+		MaxTaskRetries:    3,
+		CheckpointEvery:   checkpoint,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	job, err := cl.CreateJob("durable", cn.JobRequirements{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]*cn.TaskSpec, tasks)
+	for i := range specs {
+		specs[i] = &cn.TaskSpec{
+			Name: fmt.Sprintf("d%02d", i), Class: "bench.SleepLong",
+			Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+		}
+	}
+	if _, err := job.CreateTasks(specs, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		log.Fatal(err)
+	}
+	origin := job.Manager()
+	// Let at least two checkpoint ticks replicate the started schedule.
+	time.Sleep(50 * time.Millisecond)
+	t0 := time.Now()
+	if err := c.KillNode(origin); err != nil {
+		log.Fatal(err)
+	}
+	for job.Manager() == origin {
+		if time.Since(t0) > 30*time.Second {
+			log.Fatal("durability: adoption never observed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	adopt = time.Since(t0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := job.Wait(ctx)
+	if err != nil || res.Failed {
+		log.Fatalf("durability job after failover: res=%+v err=%v", res, err)
+	}
+	return adopt, time.Since(t0), job.Progress().Retried
+}
+
+// durabilityTable is experiment T-J: the durable control plane's costs.
+// Left side: what persistence charges the submit path (WAL append latency
+// with and without fsync) and the reboot path (cold replay vs log size).
+// Right side: what failover delivers — time from JobManager power-cut to
+// the client observing adoption, and to the job finishing on the survivor.
+func durabilityTable(reps int, outPath string) {
+	header("T-J  Durable control plane: WAL append/replay + JobManager failover")
+	snap := durabilitySnapshot{Experiment: "T-J durability", GeneratedAt: time.Now().UTC()}
+	body := make([]byte, 512)
+
+	const appends = 512
+	fmt.Printf("%-10s %10s %14s %14s\n", "mode", "records", "append p50", "append p99")
+	for _, mode := range []struct {
+		name   string
+		nosync bool
+	}{{"fsync", false}, {"nosync", true}} {
+		w, cleanup := durabilityWAL(mode.nosync)
+		h := metrics.NewHistogram(appends + 1)
+		for i := 0; i < appends; i++ {
+			t0 := time.Now()
+			durabilityPut(w, i, body)
+			h.ObserveDuration(time.Since(t0))
+		}
+		cleanup()
+		row := durabilityAppendRow{
+			Mode: mode.name, Records: appends,
+			P50US: h.Quantile(0.5) * 1000, P99US: h.Quantile(0.99) * 1000,
+		}
+		snap.Append = append(snap.Append, row)
+		fmt.Printf("%-10s %10d %12.0fµs %12.0fµs\n", row.Mode, row.Records, row.P50US, row.P99US)
+	}
+
+	fmt.Printf("\n%-10s %12s %12s\n", "records", "wal bytes", "replay")
+	for _, n := range []int{1024, 4096, 16384} {
+		dir, err := os.MkdirTemp("", "cnbench-wal-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := jobstore.OpenWAL(dir, jobstore.WALOptions{NoSync: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			durabilityPut(w, i, body)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		var size int64
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			if fi, err := e.Info(); err == nil {
+				size += fi.Size()
+			}
+		}
+		t0 := time.Now()
+		w2, err := jobstore.OpenWAL(dir, jobstore.WALOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pjs, err := w2.Load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(t0)
+		if len(pjs) != n {
+			log.Fatalf("replayed %d of %d records", len(pjs), n)
+		}
+		w2.Close()
+		os.RemoveAll(dir)
+		row := durabilityReplayRow{Records: n, WALBytes: size, ReplayMS: float64(d) / float64(time.Millisecond)}
+		snap.Replay = append(snap.Replay, row)
+		fmt.Printf("%-10d %12d %11.2fms\n", row.Records, row.WALBytes, row.ReplayMS)
+	}
+
+	const tasks = 8
+	checkpoint := 20 * time.Millisecond
+	var adoptSum, adoptMax, finishSum time.Duration
+	var retries int
+	for i := 0; i < reps; i++ {
+		adopt, finish, r := durabilityFailover(tasks, checkpoint)
+		adoptSum += adopt
+		finishSum += finish
+		if adopt > adoptMax {
+			adoptMax = adopt
+		}
+		retries = r
+	}
+	snap.Failover = durabilityFailoverRow{
+		Nodes: 4, Tasks: tasks,
+		CheckpointMS: float64(checkpoint) / float64(time.Millisecond),
+		AdoptMeanMS:  float64(adoptSum) / float64(reps) / float64(time.Millisecond),
+		AdoptMaxMS:   float64(adoptMax) / float64(time.Millisecond),
+		FinishMeanMS: float64(finishSum) / float64(reps) / float64(time.Millisecond),
+		RetriesFinal: retries,
+		Runs:         reps,
+	}
+	fmt.Printf("\n%-28s %12s %12s %12s\n", "failover (kill JM mid-job)", "adopt mean", "adopt max", "finish mean")
+	fmt.Printf("%-28s %10.1fms %10.1fms %10.1fms\n",
+		fmt.Sprintf("%d nodes, %d tasks, ckpt %v", 4, tasks, checkpoint),
+		snap.Failover.AdoptMeanMS, snap.Failover.AdoptMaxMS, snap.Failover.FinishMeanMS)
+
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cnportal [-addr :8080] [-nodes N] [-workers W] [-queue Q] [-result-ttl 15m] [-v]
+//	cnportal [-addr :8080] [-nodes N] [-workers W] [-queue Q] [-result-ttl 15m] [-data-dir DIR] [-v]
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 		workers    = flag.Int("workers", 4, "async job execution pool size")
 		queue      = flag.Int("queue", 64, "submission queue depth before 429s")
 		resultTTL  = flag.Duration("result-ttl", 15*time.Minute, "how long terminal job records are kept")
+		dataDir    = flag.String("data-dir", "", "directory for the durable job log; queued/running jobs replay after a restart (empty = in-memory only)")
 		heartbeat  = flag.Duration("heartbeat", 0, "TaskManager heartbeat interval (0 = 500ms; negative disables failure detection)")
 		maxRetries = flag.Int("max-task-retries", 0, "per-task re-placement budget after node failures (0 = 2; negative disables recovery)")
 		straggler  = flag.Duration("straggler-after", 0, "speculatively re-run tasks whose progress stalls this long (0 = disabled)")
@@ -69,6 +70,7 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		ResultTTL:  *resultTTL,
+		DataDir:    *dataDir,
 		Logf:       logf,
 	})
 	if err != nil {

@@ -221,6 +221,12 @@ type ClusterOptions struct {
 	// node deaths, failed dispatches, or straggler speculation
 	// (0 = 2; negative disables recovery).
 	MaxTaskRetries int
+	// CheckpointEvery is each JobManager's cadence for replicating hosted
+	// jobs' control state to its peers; when a manager dies, a surviving
+	// peer adopts its checkpointed jobs and drives them to completion
+	// (0 = the heartbeat interval; negative — or disabled heartbeating —
+	// disables checkpointing and failover).
+	CheckpointEvery time.Duration
 	// StragglerAfter enables speculative execution: a running task whose
 	// progress has stalled this long gets a duplicate on another node,
 	// first result wins (0 = disabled).
@@ -257,6 +263,7 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		SuspectAfter:      opts.SuspectAfter,
 		DeadAfter:         opts.DeadAfter,
 		MaxTaskRetries:    opts.MaxTaskRetries,
+		CheckpointEvery:   opts.CheckpointEvery,
 		StragglerAfter:    opts.StragglerAfter,
 		Latency:           opts.Latency,
 		Jitter:            opts.Jitter,

@@ -127,6 +127,17 @@ func (c *Client) handle(m *msg.Message) {
 		if j := c.job(ev.JobID); j != nil {
 			j.finish(&ev)
 		}
+	case msg.KindJMAdopt:
+		// A surviving JobManager adopted the job after its original manager
+		// died; re-point the handle so future calls reach the survivor.
+		var req protocol.JMAdoptReq
+		if err := protocol.Decode(m, &req); err != nil {
+			return
+		}
+		if j := c.job(req.JobID); j != nil && req.NewManager != "" {
+			j.setManager(req.NewManager)
+			c.logf("job %s re-homed to %s", req.JobID, req.NewManager)
+		}
 	}
 }
 
@@ -230,7 +241,9 @@ type Job struct {
 	ID string
 	// Name is the user-assigned job name.
 	Name string
-	// JMNode is the hosting JobManager's node.
+	// JMNode is the hosting JobManager's node. It is re-pointed when a
+	// surviving JobManager adopts the job after a manager death; calls
+	// read it through manager() so in-flight handles follow the move.
 	JMNode string
 
 	inbox  *msg.Mailbox // user messages addressed to the client
@@ -286,6 +299,24 @@ type Event struct {
 	// Speculative marks a TASK_RETRIED raised by straggler speculation
 	// rather than failure recovery.
 	Speculative bool
+}
+
+// Manager returns the node currently hosting the job's JobManager — the
+// original host, or the adopting survivor after a failover.
+func (j *Job) Manager() string { return j.manager() }
+
+// manager returns the node currently hosting the job's JobManager.
+func (j *Job) manager() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.JMNode
+}
+
+// setManager re-points the handle at an adopting JobManager.
+func (j *Job) setManager(node string) {
+	j.mu.Lock()
+	j.JMNode = node
+	j.mu.Unlock()
 }
 
 // CreateTask registers a single task with the job; ar carries the task's
@@ -366,11 +397,12 @@ func (j *Job) CreateTasks(specs []*task.Spec, archives map[string]*archive.Archi
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
 	defer cancel()
+	jmNode := j.manager()
 	cm := protocol.Body(msg.KindCreateTasks,
 		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
-		msg.Address{Node: j.JMNode, Job: j.ID},
+		msg.Address{Node: jmNode, Job: j.ID},
 		req)
-	reply, err := j.client.caller.Call(ctx, j.JMNode, cm)
+	reply, err := j.client.caller.Call(ctx, jmNode, cm)
 	if err != nil {
 		return nil, fmt.Errorf("api: create %d tasks: %w", len(specs), err)
 	}
@@ -400,9 +432,10 @@ func (j *Job) pushBlob(digest string, raw []byte) error {
 		if end > total {
 			end = total
 		}
+		jmNode := j.manager()
 		cm := protocol.Body(msg.KindBlobChunk,
 			msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
-			msg.Address{Node: j.JMNode, Job: j.ID},
+			msg.Address{Node: jmNode, Job: j.ID},
 			protocol.BlobChunkReq{
 				JobID:  j.ID,
 				Digest: digest,
@@ -411,7 +444,7 @@ func (j *Job) pushBlob(digest string, raw []byte) error {
 				Data:   raw[off:end],
 			})
 		ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
-		reply, err := j.client.caller.Call(ctx, j.JMNode, cm)
+		reply, err := j.client.caller.Call(ctx, jmNode, cm)
 		cancel()
 		if err != nil {
 			return err
@@ -451,11 +484,12 @@ func (j *Job) Start(taskNames ...string) error {
 	j.mu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
 	defer cancel()
+	jmNode := j.manager()
 	sm := protocol.Body(msg.KindStartTask,
 		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
-		msg.Address{Node: j.JMNode, Job: j.ID},
+		msg.Address{Node: jmNode, Job: j.ID},
 		protocol.StartJobReq{JobID: j.ID, TaskNames: taskNames})
-	reply, err := j.client.caller.Call(ctx, j.JMNode, sm)
+	reply, err := j.client.caller.Call(ctx, jmNode, sm)
 	if err != nil {
 		return fmt.Errorf("api: start job %s: %w", j.ID, err)
 	}
@@ -537,11 +571,12 @@ func (j *Job) SendMessage(toTask string, data []byte) error {
 		ToTask:   toTask,
 		Data:     data,
 	}
+	jmNode := j.manager()
 	m := protocol.Body(msg.KindUser,
 		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
-		msg.Address{Node: j.JMNode, Job: j.ID, Task: toTask},
+		msg.Address{Node: jmNode, Job: j.ID, Task: toTask},
 		p)
-	if err := j.client.ep.Send(j.JMNode, m); err != nil {
+	if err := j.client.ep.Send(jmNode, m); err != nil {
 		return fmt.Errorf("api: send to %s: %w", toTask, err)
 	}
 	return nil
@@ -598,11 +633,12 @@ func (j *Job) GetEvent(ctx context.Context) (*Event, error) {
 func (j *Job) Cancel(reason string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
 	defer cancel()
+	jmNode := j.manager()
 	cm := protocol.Body(msg.KindCancelJob,
 		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
-		msg.Address{Node: j.JMNode, Job: j.ID},
+		msg.Address{Node: jmNode, Job: j.ID},
 		protocol.CancelJobReq{JobID: j.ID, Reason: reason})
-	reply, err := j.client.caller.Call(ctx, j.JMNode, cm)
+	reply, err := j.client.caller.Call(ctx, jmNode, cm)
 	if err != nil {
 		return fmt.Errorf("api: cancel job %s: %w", j.ID, err)
 	}

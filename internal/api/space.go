@@ -33,14 +33,16 @@ func (j *Job) Space() *Space { return &Space{job: j} }
 // answer nobody consumes — for In, destroying the matched tuple.
 const tsParkMargin = 500 * time.Millisecond
 
-// wire builds the job's shared protocol.TSWire attachment.
+// wire builds the job's shared protocol.TSWire attachment. The manager
+// node is resolved at build time; do() rebuilds the wire per attempt so
+// blocking retries follow a mid-operation job adoption to the survivor.
 func (s *Space) wire() *protocol.TSWire {
 	j := s.job
 	return &protocol.TSWire{
 		JobID:    j.ID,
 		FromTask: protocol.ClientTaskName,
 		From:     msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
-		To:       msg.Address{Node: j.JMNode, Job: j.ID},
+		To:       msg.Address{Node: j.manager(), Job: j.ID},
 		Call:     j.client.caller.Call,
 		Send:     j.client.ep.Send,
 	}
@@ -49,8 +51,8 @@ func (s *Space) wire() *protocol.TSWire {
 // do performs one tuple-space wire call under ctx; each attempt is also
 // bounded by TSCallTimeout so a dead JobManager fails the operation.
 func (s *Space) do(ctx context.Context) protocol.TSDoFunc {
-	w := s.wire()
 	return func(kind msg.Kind, req protocol.TSOpReq) (*protocol.TSOpResp, error) {
+		w := s.wire()
 		if req.ParkMS > 0 {
 			if dl, ok := ctx.Deadline(); ok {
 				// A truncated 0 would read as "use the default window"

@@ -69,6 +69,10 @@ type Config struct {
 	// StragglerAfter enables speculative re-execution of running tasks
 	// whose progress sync stalls this long (0 = disabled).
 	StragglerAfter time.Duration
+	// CheckpointEvery is each JobManager's peer-checkpoint cadence for
+	// failover (0 = heartbeat interval; negative disables checkpointing
+	// and job adoption).
+	CheckpointEvery time.Duration
 	// Logf receives server diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -127,6 +131,7 @@ func Start(cfg Config) (*Cluster, error) {
 			DeadAfter:         cfg.DeadAfter,
 			MaxTaskRetries:    cfg.MaxTaskRetries,
 			StragglerAfter:    cfg.StragglerAfter,
+			CheckpointEvery:   cfg.CheckpointEvery,
 			Logf:              cfg.Logf,
 		})
 		if err != nil {

@@ -1,0 +1,259 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"cn/internal/api"
+	"cn/internal/cluster"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/tuplespace"
+)
+
+// failoverConfig layers the checkpoint knob onto the chaos tuning: peer
+// JobManagers replicate job state every 20ms and declare an origin dead
+// after 6 missed ticks, so failover lands well inside test deadlines.
+func failoverConfig(nodes int, reg *task.Registry) cluster.Config {
+	cfg := fastHealth(cluster.Config{
+		Nodes:          nodes,
+		MemoryMB:       64000,
+		Registry:       reg,
+		MaxTaskRetries: 3,
+	})
+	cfg.CheckpointEvery = 20 * time.Millisecond
+	return cfg
+}
+
+// failoverRegistry's workload runs long enough that the JobManager kill
+// always lands mid-job, and reports its own name so the test can verify
+// every task's result survived the failover (re-runs may duplicate).
+func failoverRegistry() *task.Registry {
+	r := task.NewRegistry()
+	r.MustRegister("failover.Work", func() task.Task {
+		return task.Func(func(ctx task.Context) error {
+			deadline := time.Now().Add(150 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				if ctx.Done() {
+					return task.ErrStopped
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			return ctx.SendClient([]byte(ctx.TaskName()))
+		})
+	})
+	return r
+}
+
+// TestFailoverJMKilledMidJobAdoptedBySurvivor is the failover subsystem's
+// acceptance test: the node hosting a job's JobManager is power-cut while
+// the job's tasks are mid-execution. Surviving JobManagers hold the job's
+// replicated checkpoints, detect the death by checkpoint-lease expiry,
+// elect the smallest survivor as adopter, re-point the live assignments,
+// re-place the orphans (including everything that ran on the dead node
+// itself), and drive the job to completion — with the client's handle
+// transparently following the move.
+func TestFailoverJMKilledMidJobAdoptedBySurvivor(t *testing.T) {
+	c, err := cluster.Start(failoverConfig(4, failoverRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	j, err := cl.CreateJobOn("node1", "failover", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 16
+	specs := make([]*task.Spec, tasks)
+	for i := range specs {
+		specs[i] = chaosSpec(fmt.Sprintf("w%02d", i), "failover.Work", 100)
+	}
+	if _, err := j.CreateTasks(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let at least two checkpoint ticks replicate the started schedule,
+	// then power-cut the manager mid-job (tasks run ~150ms).
+	time.Sleep(50 * time.Millisecond)
+	if err := c.KillNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job did not finish after its JobManager died: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("job failed instead of being adopted: %+v", res)
+	}
+
+	// The handle followed the adoption to the elected survivor (the
+	// lexicographically smallest surviving JobManager).
+	if got := j.Manager(); got != "node2" {
+		t.Errorf("job manager after failover = %s, want node2", got)
+	}
+
+	// Every task's result arrived despite the mid-flight manager death
+	// (at-least-once execution: duplicates are fine, absences are not).
+	seen := make(map[string]bool)
+	for {
+		from, _, ok, err := j.TryGetMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seen[from] = true
+	}
+	for i := 0; i < tasks; i++ {
+		name := fmt.Sprintf("w%02d", i)
+		if !seen[name] {
+			t.Errorf("no result from task %s after failover", name)
+		}
+	}
+	t.Logf("job adopted by %s; %d/%d results, %d retries", j.Manager(), len(seen), tasks, j.Progress().Retried)
+}
+
+// TestFailoverParkedInWaitersFollowAdoption kills the JobManager while
+// worker tasks are parked in blocking In against the job's tuple space.
+// The parked calls fail when the manager dies; the workers retry, the
+// adopter restores the space from the last checkpoint and re-points the
+// assignments, and the retried In operations land on the survivor. The
+// client re-seeds any item lost in the failover window, so the bag drains
+// and the job completes.
+func TestFailoverParkedInWaitersFollowAdoption(t *testing.T) {
+	reg := task.NewRegistry()
+	reg.MustRegister("failover.TSWorker", func() task.Task {
+		return task.Func(func(ctx task.Context) error {
+			for {
+				tu, err := ctx.In(tuplespace.Template{"work", tuplespace.TypeOf(0)})
+				if err != nil {
+					if ctx.Done() {
+						return task.ErrStopped
+					}
+					// The owning JobManager may have just died; once the
+					// adopter re-points this assignment the retry reaches
+					// the survivor's copy of the space.
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				v := tu[1].(int)
+				if v < 0 {
+					return nil // poison pill
+				}
+				time.Sleep(2 * time.Millisecond)
+				for {
+					if err := ctx.Out(tuplespace.Tuple{"done", v}); err == nil {
+						break
+					}
+					if ctx.Done() {
+						return task.ErrStopped
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		})
+	})
+
+	c, err := cluster.Start(failoverConfig(4, reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	j, err := cl.CreateJobOn("node1", "ts-failover", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, items = 3, 20
+	specs := make([]*task.Spec, workers)
+	for i := range specs {
+		specs[i] = chaosSpec(fmt.Sprintf("w%d", i), "failover.TSWorker", 100)
+	}
+	if _, err := j.CreateTasks(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	space := j.Space()
+	pending := make(map[int]bool, items)
+	for i := 0; i < items; i++ {
+		pending[i] = true
+		if err := space.Out(tuplespace.Tuple{"work", i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the checkpointer a tick to replicate the seeded space with the
+	// workers parked mid-In, then cut the manager.
+	time.Sleep(50 * time.Millisecond)
+	if err := c.KillNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the bag through the failover. Operations against the dead
+	// manager fail until the adoption lands; on any error the client
+	// re-seeds the outstanding items (the space reverts to the last
+	// checkpoint, so items taken-but-unanswered in the kill window need
+	// re-seeding; duplicates produce duplicate answers, which dedupe).
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bag never drained after failover; %d items outstanding", len(pending))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		tu, err := space.In(ctx, tuplespace.Template{"done", tuplespace.TypeOf(0)})
+		cancel()
+		if err != nil {
+			for v := range pending {
+				if err := space.Out(tuplespace.Tuple{"work", v}); err != nil {
+					break // manager still moving; retry next round
+				}
+			}
+			continue
+		}
+		delete(pending, tu[1].(int))
+	}
+
+	for i := 0; i < workers; i++ {
+		for {
+			if err := space.Out(tuplespace.Tuple{"work", -1}); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job did not finish after mid-In manager death: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("job failed instead of being adopted: %+v", res)
+	}
+	if got := j.Manager(); got != "node2" {
+		t.Errorf("job manager after failover = %s, want node2", got)
+	}
+}

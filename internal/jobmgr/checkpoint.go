@@ -1,0 +1,782 @@
+// JobManager durability: peer checkpoint replication and failover.
+//
+// At Config.CheckpointEvery cadence each JobManager multicasts, per hosted
+// job, a KindJMCheckpoint carrying an opaque snapshot of the job's control
+// state — specs, placement, schedule progress, retry budgets, tuple-space
+// contents, and (size permitting) the stashed archive blobs. Peers store
+// the latest snapshot per (origin, job) without decoding it and feed the
+// arrivals into a failure detector over the JobManager group.
+//
+// When an origin goes dead, the lexicographically smallest surviving group
+// member adopts its checkpointed jobs: the snapshot is decoded into a
+// fresh jobState, the tuple space is rebuilt, the TaskManagers named by
+// the checkpoint are told (KindJMAdopt) to re-point the job's assignments
+// at the adopter, and tasks the checkpoint knows about but no surviving
+// TaskManager still holds — including everything placed on the dead node
+// itself — re-enter the existing recovery engine for re-placement.
+// Finally the client is notified (a one-way KindJMAdopt) so its future
+// calls target the survivor.
+//
+// Guarantees (and their limits): task execution is at-least-once — a
+// completion event in flight when the origin died is lost and the task
+// re-runs; tuple-space contents revert to the last checkpoint; if the
+// elected adopter itself dies mid-adoption the job is lost (checkpoints
+// replicate one failure deep).
+
+package jobmgr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"cn/internal/health"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/tuplespace"
+	"cn/internal/wire"
+)
+
+// ckptVersion versions the opaque checkpoint encoding. A peer on a newer
+// build refuses older images rather than misreading them.
+const ckptVersion = 1
+
+// maxCheckpointBlobBytes caps the aggregate archive bytes a checkpoint
+// inlines. Jobs whose blobs exceed it checkpoint without them: re-placed
+// tasks then depend on the chosen TaskManager's digest cache, and a node
+// without the blob fails the assignment and retries elsewhere.
+const maxCheckpointBlobBytes = 256 << 10
+
+// maxCheckpointDataBytes bounds the encoded snapshot so the multicast
+// stays under the transport frame limit with headroom for the envelope.
+const maxCheckpointDataBytes = 768 << 10
+
+// peerCheckpoint is the stored image of one (origin, job) checkpoint.
+type peerCheckpoint struct {
+	seq  uint64
+	data []byte
+}
+
+// jobCheckpoint is the decoded control state of one job.
+type jobCheckpoint struct {
+	name       string
+	clientNode string
+	started    bool
+	specs      []*task.Spec
+	placement  map[string]string
+	archives   map[string]protocol.ArchiveRef
+	retries    map[string]int
+	taskErrs   map[string]string
+	statuses   map[string]Status // nil when the job never started
+	tuples     []tuplespace.Tuple
+	tsOps      int64
+	blobs      map[string][]byte
+}
+
+// checkpointLoop multicasts every hosted job's control state to the
+// JobManager group at the configured cadence.
+func (jm *JobManager) checkpointLoop() {
+	defer jm.wg.Done()
+	ticker := time.NewTicker(jm.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-jm.stop:
+			return
+		case <-ticker.C:
+			jm.checkpointAll()
+		}
+	}
+}
+
+// checkpointAll emits one checkpoint round: a snapshot per live job, a
+// single terminal tombstone per finished one.
+func (jm *JobManager) checkpointAll() {
+	jm.mu.Lock()
+	jobs := make([]*jobState, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		jobs = append(jobs, j)
+	}
+	jm.mu.Unlock()
+
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.notified {
+			if j.ckptDone {
+				j.mu.Unlock()
+				continue
+			}
+			j.ckptDone = true
+			j.ckptSeq++
+			ck := protocol.JMCheckpoint{Origin: jm.cfg.Node, JobID: j.id, Seq: j.ckptSeq, Done: true}
+			j.mu.Unlock()
+			jm.multicastCheckpoint(ck)
+			continue
+		}
+		data, err := encodeJobCheckpointLocked(j)
+		if err != nil {
+			j.mu.Unlock()
+			jm.logf("job %s: checkpoint encode: %v", j.id, err)
+			continue
+		}
+		j.ckptSeq++
+		ck := protocol.JMCheckpoint{Origin: jm.cfg.Node, JobID: j.id, Seq: j.ckptSeq, Data: data}
+		j.mu.Unlock()
+		jm.multicastCheckpoint(ck)
+	}
+}
+
+func (jm *JobManager) multicastCheckpoint(ck protocol.JMCheckpoint) {
+	m := protocol.Body(msg.KindJMCheckpoint,
+		msg.Address{Node: jm.cfg.Node, Job: ck.JobID},
+		msg.Address{},
+		ck)
+	if err := jm.caller.Endpoint().Multicast(protocol.GroupJobManagers, m); err != nil {
+		jm.logf("job %s: checkpoint multicast: %v", ck.JobID, err)
+	}
+}
+
+// HandleCheckpoint absorbs a peer's KindJMCheckpoint: renew the origin's
+// lease and keep the newest snapshot per job. The multicast loops back to
+// the sender; its own checkpoints are ignored here.
+func (jm *JobManager) HandleCheckpoint(m *msg.Message) {
+	if jm.peers == nil {
+		return
+	}
+	var ck protocol.JMCheckpoint
+	if err := protocol.Decode(m, &ck); err != nil {
+		jm.logf("bad checkpoint: %v", err)
+		return
+	}
+	if ck.Origin == "" || ck.Origin == jm.cfg.Node || ck.JobID == "" {
+		return
+	}
+	jm.peers.Observe(ck.Origin)
+	jm.peerMu.Lock()
+	defer jm.peerMu.Unlock()
+	byJob := jm.peerCkpts[ck.Origin]
+	if ck.Done {
+		delete(byJob, ck.JobID)
+		if len(byJob) == 0 {
+			delete(jm.peerCkpts, ck.Origin)
+		}
+		return
+	}
+	if byJob == nil {
+		byJob = make(map[string]*peerCheckpoint)
+		jm.peerCkpts[ck.Origin] = byJob
+	}
+	if prev := byJob[ck.JobID]; prev == nil || ck.Seq > prev.seq {
+		byJob[ck.JobID] = &peerCheckpoint{seq: ck.Seq, data: append([]byte(nil), ck.Data...)}
+	}
+}
+
+// watchPeers reacts to the peer failure detector: a dead origin's jobs are
+// put up for adoption.
+func (jm *JobManager) watchPeers() {
+	defer jm.wg.Done()
+	ch, cancel := jm.peers.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-jm.stop:
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if ev.State == health.StateDead {
+				jm.adoptFrom(ev.Node)
+			}
+		}
+	}
+}
+
+// adoptFrom runs the failover election for a dead origin and, when this
+// node wins, adopts every job the origin checkpointed. Losers drop their
+// copies: the winner re-replicates the jobs under its own name on its next
+// checkpoint tick.
+func (jm *JobManager) adoptFrom(origin string) {
+	jm.peerMu.Lock()
+	byJob := jm.peerCkpts[origin]
+	delete(jm.peerCkpts, origin)
+	jm.peerMu.Unlock()
+	jm.peers.Forget(origin)
+	if len(byJob) == 0 {
+		return
+	}
+	// Election without coordination: the lexicographically smallest
+	// surviving member of the JobManager group adopts. The dead origin
+	// already left the group (its endpoint closed with it), but it is
+	// excluded explicitly in case its membership lingers.
+	winner := jm.cfg.Node
+	for _, n := range jm.caller.Endpoint().GroupMembers(protocol.GroupJobManagers) {
+		if n != origin && n < winner {
+			winner = n
+		}
+	}
+	if winner != jm.cfg.Node {
+		jm.logf("peer %s dead: %s adopts its %d jobs", origin, winner, len(byJob))
+		return
+	}
+	ids := make([]string, 0, len(byJob))
+	for id := range byJob {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := jm.adoptJob(origin, id, byJob[id].data); err != nil {
+			jm.logf("adopt job %s from dead %s: %v", id, origin, err)
+		}
+	}
+}
+
+// adoptJob rebuilds one checkpointed job under this JobManager and
+// re-homes its live assignments.
+func (jm *JobManager) adoptJob(origin, jobID string, data []byte) error {
+	ck, err := decodeJobCheckpoint(data)
+	if err != nil {
+		return err
+	}
+
+	j := &jobState{
+		id:          jobID,
+		name:        ck.name,
+		clientNode:  ck.clientNode,
+		queue:       msg.NewMailbox(jobQueueCap),
+		specs:       make(map[string]*task.Spec, len(ck.specs)),
+		placement:   ck.placement,
+		archives:    ck.archives,
+		blobs:       ck.blobs,
+		staged:      make(map[string]*stagedBlob),
+		started:     ck.started,
+		idleSince:   time.Now(),
+		taskErrs:    ck.taskErrs,
+		retries:     ck.retries,
+		retrying:    make(map[string]bool),
+		speculative: make(map[string]string),
+		beats:       make(map[string]*beatState),
+		space:       tuplespace.New(),
+	}
+	for _, sp := range ck.specs {
+		j.specs[sp.Name] = sp
+	}
+	if ck.started {
+		sched, err := RestoreSchedule(ck.specs, ck.statuses)
+		if err != nil {
+			return err
+		}
+		// Ready tasks in the image were caught between dependency
+		// satisfaction and dispatch; the adopter owns dispatching them.
+		for _, name := range sched.Ready() {
+			if err := sched.MarkRunning(name); err != nil {
+				return err
+			}
+		}
+		j.schedule = sched
+	}
+	for _, t := range ck.tuples {
+		if err := j.space.Out(t); err != nil {
+			return fmt.Errorf("restore tuple space: %w", err)
+		}
+	}
+	j.tsOps.Store(ck.tsOps)
+
+	// Insert before contacting any TaskManager: a re-pointed node's next
+	// heartbeat must find the job known here, or the ack's UnknownJobs
+	// would release the very assignments being adopted.
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return fmt.Errorf("job manager shut down")
+	}
+	if _, exists := jm.jobs[jobID]; exists {
+		jm.mu.Unlock()
+		return nil // already hosted (a re-delivered death event)
+	}
+	jm.jobs[jobID] = j
+	jm.wg.Add(1)
+	go jm.jobWorker(j)
+	jm.mu.Unlock()
+
+	// A checkpoint caught between the last terminal event and the client
+	// notification: nothing to re-home, just finish the job properly.
+	j.mu.Lock()
+	if j.schedule != nil && (j.schedule.Done() || j.schedule.Failed()) {
+		failed := j.schedule.Failed()
+		j.notified = true
+		j.finishedAt = time.Now()
+		j.mu.Unlock()
+		jm.finishJob(j, failed)
+		return nil
+	}
+	j.mu.Unlock()
+
+	// Re-point surviving assignments node by node. checkpointed tasks on
+	// the dead origin's own TaskManager, on unreachable nodes, or absent
+	// from a survivor's reply are orphans for the recovery engine.
+	byNode := make(map[string][]string)
+	for name, node := range ck.placement {
+		if j.schedule != nil {
+			switch j.schedule.Status(name) {
+			case StatusDone, StatusFailed, StatusCancelled:
+				continue
+			}
+		}
+		byNode[node] = append(byNode[node], name)
+	}
+	present := make(map[string]protocol.TaskBeat)
+	for node, names := range byNode {
+		if node == origin {
+			continue
+		}
+		resp, err := jm.callAdopt(node, jobID, ck.clientNode, names)
+		if err != nil {
+			jm.logf("job %s: adopt call to %s: %v", jobID, node, err)
+			continue
+		}
+		for _, b := range resp.Present {
+			if b.JobID == jobID {
+				present[b.Task] = b
+			}
+		}
+	}
+
+	var orphans, execNow []string
+	now := time.Now()
+	j.mu.Lock()
+	for _, names := range byNode {
+		for _, name := range names {
+			if b, ok := present[name]; ok {
+				j.beats[name] = &beatState{progress: b.Progress, changedAt: now}
+				if !b.Running && j.schedule != nil && j.schedule.Status(name) == StatusRunning {
+					// The assignment survived but the start never landed (the
+					// exec was in flight when the origin died): dispatch it
+					// now. Running copies need no re-exec — and a duplicate
+					// would be swallowed by the start guard anyway.
+					execNow = append(execNow, name)
+				}
+				continue
+			}
+			j.retrying[name] = true
+			orphans = append(orphans, name)
+		}
+	}
+	j.mu.Unlock()
+	sort.Strings(execNow)
+	sort.Strings(orphans)
+
+	for node := range byNode {
+		if node != origin {
+			jm.monitor.Watch(node)
+		}
+	}
+	for _, name := range execNow {
+		jm.execTask(j, name)
+	}
+	if len(orphans) > 0 {
+		jm.retryTasks(j, orphans, fmt.Sprintf("job adopted after manager %s died", origin),
+			map[string]bool{origin: true})
+	}
+
+	// Tell the client its job moved so future calls target this node.
+	nm := protocol.Body(msg.KindJMAdopt,
+		msg.Address{Node: jm.cfg.Node, Job: jobID},
+		msg.Address{Node: ck.clientNode, Job: jobID, Task: protocol.ClientTaskName},
+		protocol.JMAdoptReq{JobID: jobID, NewManager: jm.cfg.Node, ClientNode: ck.clientNode})
+	if err := jm.send(ck.clientNode, nm); err != nil {
+		jm.logf("job %s: notify client of adoption: %v", jobID, err)
+	}
+	jm.logf("job %s adopted from dead %s: %d assignments live, %d orphaned",
+		jobID, origin, len(present), len(orphans))
+	return nil
+}
+
+// callAdopt asks one TaskManager to re-point a job's assignments.
+func (jm *JobManager) callAdopt(node, jobID, clientNode string, tasks []string) (*protocol.JMAdoptResp, error) {
+	sort.Strings(tasks)
+	req := protocol.JMAdoptReq{JobID: jobID, NewManager: jm.cfg.Node, ClientNode: clientNode, Tasks: tasks}
+	am := protocol.Body(msg.KindJMAdopt,
+		msg.Address{Node: jm.cfg.Node, Job: jobID},
+		msg.Address{Node: node, Job: jobID},
+		req)
+	ctx, cancel := context.WithTimeout(context.Background(), jm.cfg.AssignTimeout)
+	defer cancel()
+	reply, err := jm.caller.Call(ctx, node, am)
+	if err != nil {
+		return nil, err
+	}
+	var resp protocol.JMAdoptResp
+	if err := protocol.Decode(reply, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// encodeJobCheckpointLocked flattens a job's control state with the wire
+// codec's primitives. j.mu must be held. Maps are walked in sorted order
+// so identical states encode identically.
+func encodeJobCheckpointLocked(j *jobState) ([]byte, error) {
+	var blobBytes int
+	for _, raw := range j.blobs {
+		blobBytes += len(raw)
+	}
+	withBlobs := blobBytes > 0 && blobBytes <= maxCheckpointBlobBytes
+
+	data, err := appendJobCheckpointLocked(nil, j, withBlobs)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxCheckpointDataBytes && withBlobs {
+		data, err = appendJobCheckpointLocked(nil, j, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(data) > maxCheckpointDataBytes {
+		return nil, fmt.Errorf("checkpoint %d bytes exceeds cap %d", len(data), maxCheckpointDataBytes)
+	}
+	return data, nil
+}
+
+func appendJobCheckpointLocked(dst []byte, j *jobState, withBlobs bool) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, ckptVersion)
+	dst = wire.AppendString(dst, j.name)
+	dst = wire.AppendString(dst, j.clientNode)
+	dst = wire.AppendBool(dst, j.started)
+
+	names := sortedKeys(j.specs)
+	dst = wire.AppendUvarint(dst, uint64(len(names)))
+	for _, name := range names {
+		sp := j.specs[name]
+		dst = wire.AppendString(dst, sp.Name)
+		dst = wire.AppendString(dst, sp.Archive)
+		dst = wire.AppendString(dst, sp.Class)
+		dst = wire.AppendUvarint(dst, uint64(len(sp.DependsOn)))
+		for _, d := range sp.DependsOn {
+			dst = wire.AppendString(dst, d)
+		}
+		dst = wire.AppendUvarint(dst, uint64(len(sp.Params)))
+		for _, p := range sp.Params {
+			dst = wire.AppendString(dst, string(p.Type))
+			dst = wire.AppendString(dst, p.Value)
+		}
+		dst = wire.AppendVarint(dst, int64(sp.Req.MemoryMB))
+		dst = wire.AppendVarint(dst, int64(sp.Req.RunModel))
+	}
+
+	dst = appendStringMap(dst, j.placement)
+	ans := sortedKeys(j.archives)
+	dst = wire.AppendUvarint(dst, uint64(len(ans)))
+	for _, name := range ans {
+		ref := j.archives[name]
+		dst = wire.AppendString(dst, name)
+		dst = wire.AppendString(dst, ref.Name)
+		dst = wire.AppendString(dst, ref.Digest)
+	}
+	rns := sortedKeys(j.retries)
+	dst = wire.AppendUvarint(dst, uint64(len(rns)))
+	for _, name := range rns {
+		dst = wire.AppendString(dst, name)
+		dst = wire.AppendVarint(dst, int64(j.retries[name]))
+	}
+	dst = appendStringMap(dst, j.taskErrs)
+
+	hasSched := j.started && j.schedule != nil
+	dst = wire.AppendBool(dst, hasSched)
+	if hasSched {
+		sns := sortedKeys(j.schedule.state)
+		dst = wire.AppendUvarint(dst, uint64(len(sns)))
+		for _, name := range sns {
+			dst = wire.AppendString(dst, name)
+			dst = wire.AppendUvarint(dst, uint64(j.schedule.state[name]))
+		}
+	}
+
+	tuples := j.space.Snapshot()
+	dst = wire.AppendUvarint(dst, uint64(len(tuples)))
+	for _, t := range tuples {
+		fields, err := protocol.EncodeTuple(t)
+		if err != nil {
+			return nil, err
+		}
+		dst = wire.AppendUvarint(dst, uint64(len(fields)))
+		for _, f := range fields {
+			dst = wire.AppendString(dst, f.Kind)
+			dst = wire.AppendString(dst, f.S)
+			dst = wire.AppendVarint(dst, f.I)
+			dst = wire.AppendFloat64(dst, f.F)
+			dst = wire.AppendBool(dst, f.B)
+			dst = wire.AppendBytes(dst, f.Bytes)
+		}
+	}
+	dst = wire.AppendVarint(dst, j.tsOps.Load())
+
+	if !withBlobs {
+		dst = wire.AppendUvarint(dst, 0)
+		return dst, nil
+	}
+	digests := sortedKeys(j.blobs)
+	dst = wire.AppendUvarint(dst, uint64(len(digests)))
+	for _, d := range digests {
+		dst = wire.AppendString(dst, d)
+		dst = wire.AppendBytes(dst, j.blobs[d])
+	}
+	return dst, nil
+}
+
+// decodeJobCheckpoint is the inverse of encodeJobCheckpointLocked. Every
+// count is bounds-checked against the remaining input by the wire reader,
+// so hostile bytes error instead of allocating unbounded state.
+func decodeJobCheckpoint(data []byte) (*jobCheckpoint, error) {
+	r := wire.NewReader(data)
+	v, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if v != ckptVersion {
+		return nil, fmt.Errorf("jobmgr: checkpoint version %d, want %d", v, ckptVersion)
+	}
+	ck := &jobCheckpoint{}
+	if ck.name, err = r.String(); err != nil {
+		return nil, err
+	}
+	if ck.clientNode, err = r.String(); err != nil {
+		return nil, err
+	}
+	if ck.started, err = r.Bool(); err != nil {
+		return nil, err
+	}
+
+	nspecs, err := r.Count("checkpoint specs")
+	if err != nil {
+		return nil, err
+	}
+	ck.specs = make([]*task.Spec, 0, nspecs)
+	for i := 0; i < nspecs; i++ {
+		sp := &task.Spec{}
+		if sp.Name, err = r.String(); err != nil {
+			return nil, err
+		}
+		if sp.Archive, err = r.String(); err != nil {
+			return nil, err
+		}
+		if sp.Class, err = r.String(); err != nil {
+			return nil, err
+		}
+		ndeps, err := r.Count("spec deps")
+		if err != nil {
+			return nil, err
+		}
+		for d := 0; d < ndeps; d++ {
+			dep, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			sp.DependsOn = append(sp.DependsOn, dep)
+		}
+		nparams, err := r.Count("spec params")
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < nparams; p++ {
+			var pt, pv string
+			if pt, err = r.String(); err != nil {
+				return nil, err
+			}
+			if pv, err = r.String(); err != nil {
+				return nil, err
+			}
+			sp.Params = append(sp.Params, task.Param{Type: task.ParamType(pt), Value: pv})
+		}
+		memMB, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		rm, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		sp.Req = task.Requirements{MemoryMB: int(memMB), RunModel: task.RunModel(rm)}
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		ck.specs = append(ck.specs, sp)
+	}
+
+	if ck.placement, err = readStringMap(r, "checkpoint placement"); err != nil {
+		return nil, err
+	}
+	narch, err := r.Count("checkpoint archives")
+	if err != nil {
+		return nil, err
+	}
+	ck.archives = make(map[string]protocol.ArchiveRef, narch)
+	for i := 0; i < narch; i++ {
+		var name string
+		var ref protocol.ArchiveRef
+		if name, err = r.String(); err != nil {
+			return nil, err
+		}
+		if ref.Name, err = r.String(); err != nil {
+			return nil, err
+		}
+		if ref.Digest, err = r.String(); err != nil {
+			return nil, err
+		}
+		ck.archives[name] = ref
+	}
+	nretries, err := r.Count("checkpoint retries")
+	if err != nil {
+		return nil, err
+	}
+	ck.retries = make(map[string]int, nretries)
+	for i := 0; i < nretries; i++ {
+		name, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		ck.retries[name] = int(n)
+	}
+	if ck.taskErrs, err = readStringMap(r, "checkpoint task errors"); err != nil {
+		return nil, err
+	}
+
+	hasSched, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasSched {
+		nst, err := r.Count("checkpoint statuses")
+		if err != nil {
+			return nil, err
+		}
+		ck.statuses = make(map[string]Status, nst)
+		for i := 0; i < nst; i++ {
+			name, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			st, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if st > uint64(StatusCancelled) {
+				return nil, fmt.Errorf("jobmgr: checkpoint status %d out of range", st)
+			}
+			ck.statuses[name] = Status(st)
+		}
+	}
+
+	ntuples, err := r.Count("checkpoint tuples")
+	if err != nil {
+		return nil, err
+	}
+	ck.tuples = make([]tuplespace.Tuple, 0, ntuples)
+	for i := 0; i < ntuples; i++ {
+		nfields, err := r.Count("tuple fields")
+		if err != nil {
+			return nil, err
+		}
+		fields := make([]protocol.TSField, nfields)
+		for fi := range fields {
+			f := &fields[fi]
+			if f.Kind, err = r.String(); err != nil {
+				return nil, err
+			}
+			if f.S, err = r.String(); err != nil {
+				return nil, err
+			}
+			if f.I, err = r.Varint(); err != nil {
+				return nil, err
+			}
+			if f.F, err = r.Float64(); err != nil {
+				return nil, err
+			}
+			if f.B, err = r.Bool(); err != nil {
+				return nil, err
+			}
+			raw, err := r.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			if len(raw) > 0 {
+				f.Bytes = append([]byte(nil), raw...)
+			}
+		}
+		t, err := protocol.DecodeTuple(fields)
+		if err != nil {
+			return nil, err
+		}
+		ck.tuples = append(ck.tuples, t)
+	}
+	if ck.tsOps, err = r.Varint(); err != nil {
+		return nil, err
+	}
+
+	nblobs, err := r.Count("checkpoint blobs")
+	if err != nil {
+		return nil, err
+	}
+	ck.blobs = make(map[string][]byte, nblobs)
+	for i := 0; i < nblobs; i++ {
+		d, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		ck.blobs[d] = append([]byte(nil), raw...)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("jobmgr: %d trailing bytes after checkpoint", r.Len())
+	}
+	return ck, nil
+}
+
+func appendStringMap(dst []byte, m map[string]string) []byte {
+	keys := sortedKeys(m)
+	dst = wire.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = wire.AppendString(dst, k)
+		dst = wire.AppendString(dst, m[k])
+	}
+	return dst
+}
+
+func readStringMap(r *wire.Reader, what string) (map[string]string, error) {
+	n, err := r.Count(what)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -66,6 +66,12 @@ type Config struct {
 	// DefaultMaxTaskRetries; negative disables recovery entirely, the
 	// pre-fault-tolerance behavior where a lost assignment fails the task).
 	MaxTaskRetries int
+	// CheckpointEvery is the cadence at which each hosted job's control
+	// state (schedule progress, retry budgets, tuple-space contents) is
+	// replicated to peer JobManagers for failover (0 = HeartbeatInterval;
+	// negative disables checkpointing and adoption entirely, the
+	// pre-durability behavior where a dead JobManager kills its jobs).
+	CheckpointEvery time.Duration
 	// StragglerAfter enables speculative execution: a running task whose
 	// heartbeat progress sync has not advanced for this long gets a second
 	// copy placed on another node; the first result wins and the loser is
@@ -158,6 +164,13 @@ type jobState struct {
 	// RdP requests that reached a definitive outcome; park retries are
 	// not counted).
 	tsOps atomic.Int64
+
+	// ckptSeq orders this job's peer checkpoints; peers keep the highest
+	// seq seen per (origin, job). ckptDone marks the terminal tombstone as
+	// sent, so finished jobs cost one multicast, not one per tick. Guarded
+	// by mu.
+	ckptSeq  uint64
+	ckptDone bool
 }
 
 // beatState is one task's last observed progress sync.
@@ -187,6 +200,15 @@ type JobManager struct {
 	nextID int
 	closed bool
 	wg     sync.WaitGroup
+
+	// peers is the failure detector over fellow JobManagers, fed by their
+	// checkpoint multicasts; a dead peer triggers adoption of its
+	// checkpointed jobs. Nil when checkpointing is disabled.
+	peers *health.Monitor
+	// peerCkpts holds the latest checkpoint per (origin, jobID), stored
+	// opaque and only decoded on adoption. Guarded by peerMu.
+	peerMu    sync.Mutex
+	peerCkpts map[string]map[string]*peerCheckpoint
 
 	// parked indexes in-flight blocking tuple-space ops so a requester's
 	// KindTSCancel can abort its own stale park.
@@ -237,6 +259,16 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 	if cfg.MaxTaskRetries == 0 {
 		cfg.MaxTaskRetries = DefaultMaxTaskRetries
 	}
+	// Checkpointing follows the heartbeat cadence by default; a cluster
+	// that disabled heartbeating altogether (negative interval) gets no
+	// checkpoint traffic either unless it opted in explicitly.
+	if cfg.CheckpointEvery == 0 {
+		if monSweep < 0 {
+			cfg.CheckpointEvery = -1
+		} else {
+			cfg.CheckpointEvery = cfg.HeartbeatInterval
+		}
+	}
 	jm := &JobManager{
 		cfg:     cfg,
 		send:    send,
@@ -265,6 +297,19 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 	if cfg.StragglerAfter > 0 {
 		jm.wg.Add(1)
 		go jm.stragglerLoop()
+	}
+	if cfg.CheckpointEvery > 0 && caller != nil {
+		jm.peerCkpts = make(map[string]map[string]*peerCheckpoint)
+		// Peer leases renew on checkpoint arrival, so the suspect/dead
+		// windows derive from the checkpoint cadence, not the heartbeat one.
+		jm.peers = health.NewMonitor(health.Config{
+			SuspectAfter: 3 * cfg.CheckpointEvery,
+			DeadAfter:    6 * cfg.CheckpointEvery,
+			Logf:         cfg.Logf,
+		})
+		jm.wg.Add(2)
+		go jm.checkpointLoop()
+		go jm.watchPeers()
 	}
 	return jm
 }
@@ -1542,5 +1587,8 @@ func (jm *JobManager) Close() {
 	}
 	jm.mu.Unlock()
 	jm.monitor.Close()
+	if jm.peers != nil {
+		jm.peers.Close()
+	}
 	jm.wg.Wait()
 }

@@ -94,6 +94,44 @@ func NewSchedule(specs []*task.Spec) (*Schedule, error) {
 	return s, nil
 }
 
+// RestoreSchedule rebuilds a schedule from a checkpointed status census:
+// the dependency graph is derived from the specs, the recorded statuses
+// are overlaid, and the derived state (terminal count, failure flag, unmet
+// sets, ready promotion) is recomputed. Tasks absent from statuses keep
+// their NewSchedule state — the checkpoint predates their start.
+func RestoreSchedule(specs []*task.Spec, statuses map[string]Status) (*Schedule, error) {
+	s, err := NewSchedule(specs)
+	if err != nil {
+		return nil, err
+	}
+	for name, st := range statuses {
+		if _, ok := s.state[name]; !ok {
+			return nil, fmt.Errorf("jobmgr: restore: status for unknown task %q", name)
+		}
+		s.state[name] = st
+	}
+	s.terminal = 0
+	s.failed = false
+	for name, st := range s.state {
+		switch st {
+		case StatusDone:
+			s.terminal++
+			for _, dep := range s.dependents[name] {
+				delete(s.unmet[dep], name)
+			}
+		case StatusFailed, StatusCancelled:
+			s.terminal++
+			s.failed = true
+		}
+	}
+	for name, st := range s.state {
+		if st == StatusPending && len(s.unmet[name]) == 0 {
+			s.state[name] = StatusReady
+		}
+	}
+	return s, nil
+}
+
 // Len returns the number of tasks.
 func (s *Schedule) Len() int { return len(s.state) }
 

@@ -1,0 +1,206 @@
+// Backend is the jobstore's pluggable persistence seam. The store itself
+// stays the in-memory system of record; a configured backend additionally
+// receives every job mutation so queued and running submissions survive a
+// portal crash. Two implementations ship: MemBackend (the previous,
+// non-durable behavior behind the same seam — useful for tests and as the
+// explicit "no durability" choice) and WAL (append-only log + snapshot,
+// see wal.go).
+package jobstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cn/internal/wire"
+)
+
+// PersistedJob is the durable image of one job: everything needed to
+// re-serve a terminal record or re-run an interrupted submission after a
+// restart. The in-memory result value (ExecFunc's return) is deliberately
+// NOT persisted — results are arbitrary Go values; a replayed non-terminal
+// job re-executes and rebuilds its result, while a replayed terminal job
+// serves its record without one.
+type PersistedJob struct {
+	ID  string
+	Seq int64
+	Sub Submission
+	// State is the job's lifecycle state as of the write. Non-terminal
+	// states replay as StateQueued: an interrupted job re-runs.
+	State State
+	// Timestamps in Unix nanoseconds (zero = unset).
+	SubmittedAt int64
+	StartedAt   int64
+	FinishedAt  int64
+	// Durations in nanoseconds.
+	QueueWaitNS int64
+	RunNS       int64
+	Error       string
+}
+
+// clone returns a deep copy (the submission body is shared; it is
+// immutable by contract).
+func (pj *PersistedJob) clone() *PersistedJob {
+	c := *pj
+	return &c
+}
+
+// Backend persists job records. Implementations must be safe for
+// concurrent use; the store calls Put/Delete under its own locks, so
+// implementations must never call back into the store.
+type Backend interface {
+	// Load returns every persisted job, in any order. The store calls it
+	// exactly once, before accepting submissions.
+	Load() ([]*PersistedJob, error)
+	// Put durably records the job's current state (insert or overwrite).
+	Put(pj *PersistedJob) error
+	// Delete durably forgets a job (TTL eviction or explicit record
+	// deletion), so replay cannot resurrect it.
+	Delete(id string) error
+	// Close releases backend resources. The store does NOT call Close —
+	// the caller that opened the backend owns its lifetime (a crash test
+	// closes the backend out from under a live store on purpose).
+	Close() error
+}
+
+// MemBackend is the trivial in-memory Backend: the store's previous
+// non-durable behavior expressed through the persistence seam. A portal
+// restart loses everything, by choice.
+type MemBackend struct {
+	mu   sync.Mutex
+	jobs map[string]*PersistedJob
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{jobs: make(map[string]*PersistedJob)}
+}
+
+// Load implements Backend.
+func (b *MemBackend) Load() ([]*PersistedJob, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*PersistedJob, 0, len(b.jobs))
+	for _, pj := range b.jobs {
+		out = append(out, pj.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Put implements Backend.
+func (b *MemBackend) Put(pj *PersistedJob) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.jobs[pj.ID] = pj.clone()
+	return nil
+}
+
+// Delete implements Backend.
+func (b *MemBackend) Delete(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.jobs, id)
+	return nil
+}
+
+// Close implements Backend.
+func (b *MemBackend) Close() error { return nil }
+
+// appendPersistedJob encodes pj with the wire codec's primitives.
+func appendPersistedJob(dst []byte, pj *PersistedJob) []byte {
+	dst = wire.AppendString(dst, pj.ID)
+	dst = wire.AppendVarint(dst, pj.Seq)
+	dst = wire.AppendString(dst, pj.Sub.Format)
+	dst = wire.AppendBytes(dst, pj.Sub.Body)
+	dst = wire.AppendVarint(dst, int64(pj.Sub.Invocations))
+	dst = wire.AppendString(dst, pj.Sub.Label)
+	dst = wire.AppendString(dst, string(pj.State))
+	dst = wire.AppendVarint(dst, pj.SubmittedAt)
+	dst = wire.AppendVarint(dst, pj.StartedAt)
+	dst = wire.AppendVarint(dst, pj.FinishedAt)
+	dst = wire.AppendVarint(dst, pj.QueueWaitNS)
+	dst = wire.AppendVarint(dst, pj.RunNS)
+	dst = wire.AppendString(dst, pj.Error)
+	return dst
+}
+
+// decodePersistedJob decodes one record body. Every field is
+// bounds-checked by the wire reader; the state name is validated so a
+// CRC-colliding corruption cannot smuggle an invalid lifecycle state into
+// the store. The submission body is copied out of the input buffer (the
+// WAL reuses its read buffer).
+func decodePersistedJob(r *wire.Reader) (*PersistedJob, error) {
+	pj := &PersistedJob{}
+	var err error
+	if pj.ID, err = r.String(); err != nil {
+		return nil, err
+	}
+	if pj.ID == "" {
+		return nil, fmt.Errorf("jobstore: persisted job with empty id")
+	}
+	if pj.Seq, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if pj.Sub.Format, err = r.String(); err != nil {
+		return nil, err
+	}
+	body, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0 {
+		pj.Sub.Body = append([]byte(nil), body...)
+	}
+	if pj.Sub.Invocations, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if pj.Sub.Label, err = r.String(); err != nil {
+		return nil, err
+	}
+	stateName, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	if pj.State, err = ParseState(stateName); err != nil {
+		return nil, err
+	}
+	if pj.SubmittedAt, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if pj.StartedAt, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if pj.FinishedAt, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if pj.QueueWaitNS, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if pj.RunNS, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if pj.Error, err = r.String(); err != nil {
+		return nil, err
+	}
+	return pj, nil
+}
+
+// unixTime converts persisted Unix nanoseconds back to a time.Time,
+// preserving the zero value.
+func unixTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// unixNano converts a time.Time to persisted Unix nanoseconds,
+// preserving the zero value.
+func unixNano(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}

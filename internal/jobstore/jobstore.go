@@ -142,6 +142,12 @@ type Config struct {
 	SweepEvery time.Duration
 	// Metrics receives store instrumentation (nil = private registry).
 	Metrics *metrics.Registry
+	// Backend persists job records across restarts (nil = in-memory only).
+	// New replays its contents before accepting submissions: terminal
+	// records are served as-is, interrupted queued/compiling/running jobs
+	// re-enter the queue and re-run. The caller owns the backend's
+	// lifetime; the store never calls Backend.Close.
+	Backend Backend
 	// Logf receives diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -151,6 +157,7 @@ type Config struct {
 type Job struct {
 	store       *Store
 	id          string
+	seq         int64
 	sub         Submission
 	submittedAt time.Time
 
@@ -296,6 +303,11 @@ func New(cfg Config) (*Store, error) {
 		wake: make(chan struct{}, cfg.Workers),
 		jobs: make(map[string]*Job),
 	}
+	if cfg.Backend != nil {
+		if err := s.replay(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -305,6 +317,82 @@ func New(cfg Config) (*Store, error) {
 		go s.janitor()
 	}
 	return s, nil
+}
+
+// replay loads the persisted job set into the store before the workers
+// start. Terminal records come back exactly as they finished; a job that
+// was queued, compiling, or running when the process died re-enters the
+// queue as StateQueued and re-executes from its original submission (the
+// in-memory result was never persisted, so re-running is the only honest
+// recovery). The id counter resumes past the highest persisted sequence so
+// new submissions cannot collide with replayed ids.
+func (s *Store) replay() error {
+	pjs, err := s.cfg.Backend.Load()
+	if err != nil {
+		return fmt.Errorf("jobstore: load backend: %w", err)
+	}
+	var maxSeq int64
+	requeued := 0
+	for _, pj := range pjs {
+		if pj.Seq > maxSeq {
+			maxSeq = pj.Seq
+		}
+		j := &Job{
+			store:       s,
+			id:          pj.ID,
+			seq:         pj.Seq,
+			sub:         pj.Sub,
+			submittedAt: unixTime(pj.SubmittedAt),
+			done:        make(chan struct{}),
+		}
+		if pj.State.Terminal() {
+			j.state = pj.State
+			j.startedAt = unixTime(pj.StartedAt)
+			j.finishedAt = unixTime(pj.FinishedAt)
+			j.queueWait = time.Duration(pj.QueueWaitNS)
+			j.runDur = time.Duration(pj.RunNS)
+			j.errText = pj.Error
+			close(j.done)
+		} else {
+			j.state = StateQueued
+			s.pending = append(s.pending, j)
+			requeued++
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		s.reg.Gauge(stateGauge(j.state)).Add(1)
+	}
+	s.reg.Gauge("jobstore.queue_depth").Set(int64(len(s.pending)))
+	s.seq.Store(maxSeq)
+	if len(pjs) > 0 {
+		s.logf("replayed %d persisted jobs (%d re-queued)", len(pjs), requeued)
+	}
+	return nil
+}
+
+// persistLocked writes j's current image to the backend; j.mu must be
+// held. Persistence failures are logged, not fatal: the in-memory store
+// stays authoritative for the live process and the next successful write
+// re-converges the backend.
+func (s *Store) persistLocked(j *Job) {
+	if s.cfg.Backend == nil {
+		return
+	}
+	pj := &PersistedJob{
+		ID:          j.id,
+		Seq:         j.seq,
+		Sub:         j.sub,
+		State:       j.state,
+		SubmittedAt: unixNano(j.submittedAt),
+		StartedAt:   unixNano(j.startedAt),
+		FinishedAt:  unixNano(j.finishedAt),
+		QueueWaitNS: int64(j.queueWait),
+		RunNS:       int64(j.runDur),
+		Error:       j.errText,
+	}
+	if err := s.cfg.Backend.Put(pj); err != nil {
+		s.logf("persist job %s: %v", j.id, err)
+	}
 }
 
 func (s *Store) logf(format string, args ...any) {
@@ -330,6 +418,9 @@ func (s *Store) transitionLocked(j *Job, to State) {
 	if to.Terminal() {
 		close(j.done)
 	}
+	// Every lifecycle transition is a durable mutation: a crash after this
+	// point replays the job in (at worst) its previous persisted state.
+	s.persistLocked(j)
 }
 
 // Submit enqueues a job and returns its snapshot, or ErrQueueFull under
@@ -345,8 +436,9 @@ func (s *Store) Submit(sub Submission) (*Record, error) {
 		s.reg.Counter("jobstore.rejected").Inc()
 		return nil, ErrQueueFull
 	}
-	id := fmt.Sprintf("job-%d", s.seq.Add(1))
-	j := &Job{store: s, id: id, sub: sub, submittedAt: time.Now(), state: StateQueued, done: make(chan struct{})}
+	seq := s.seq.Add(1)
+	id := fmt.Sprintf("job-%d", seq)
+	j := &Job{store: s, id: id, seq: seq, sub: sub, submittedAt: time.Now(), state: StateQueued, done: make(chan struct{})}
 	s.jobs[id] = j
 	s.order = append(s.order, j)
 	s.pending = append(s.pending, j)
@@ -354,6 +446,7 @@ func (s *Store) Submit(sub Submission) (*Record, error) {
 	s.reg.Gauge(stateGauge(StateQueued)).Add(1)
 	s.reg.Gauge("jobstore.queue_depth").Set(int64(len(s.pending)))
 	j.mu.Lock()
+	s.persistLocked(j)
 	rec := j.snapshotLocked()
 	j.mu.Unlock()
 	s.mu.Unlock()
@@ -501,7 +594,9 @@ func (s *Store) unqueueLocked(j *Job) {
 	s.reg.Gauge("jobstore.queue_depth").Set(int64(len(s.pending)))
 }
 
-// remove forgets a terminal job's record.
+// remove forgets a terminal job's record — and its persisted image, so
+// TTL eviction and explicit record deletion also bound the WAL/snapshot:
+// an evicted job can neither resurrect on replay nor grow the log forever.
 func (s *Store) remove(j *Job) {
 	s.mu.Lock()
 	if _, ok := s.jobs[j.id]; !ok {
@@ -513,6 +608,11 @@ func (s *Store) remove(j *Job) {
 		if o == j {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
+		}
+	}
+	if s.cfg.Backend != nil {
+		if err := s.cfg.Backend.Delete(j.id); err != nil {
+			s.logf("unpersist job %s: %v", j.id, err)
 		}
 	}
 	s.mu.Unlock()

@@ -1,0 +1,393 @@
+// WAL is the jobstore's durable Backend: an append-only log of job
+// mutations plus a periodic snapshot, in the spirit of "turning cluster
+// management into data management" — the portal's job table is data first,
+// so an ungraceful restart replays it instead of forgetting it.
+//
+// On-disk layout (all multi-byte integers are wire varints; fixed-width
+// values are little-endian):
+//
+//	jobs.wal   walMagic ("CNWAL1") followed by records
+//	jobs.snap  snapMagic ("CNSNAP1") followed by put records only
+//
+// Each record is CRC-framed:
+//
+//	uvarint payloadLen | payload | crc32c(payload) [4 bytes LE]
+//
+// and the payload is one kind byte (recPut / recDelete) followed by a
+// wire-primitive-encoded PersistedJob (put) or job id (delete). Appends
+// fsync by default ("commit" means "on disk"); replay stops at the first
+// torn or corrupt record and truncates the tail, so a crash mid-append
+// costs at most the record being written. Every payload length is capped
+// before any allocation happens, so a hostile or corrupted length cannot
+// balloon memory. After CompactEvery appends the live set is rewritten
+// into a fresh snapshot (atomic tmp+rename) and the log is reset, bounding
+// both file size and replay time; deletes are logged like any other
+// mutation, so TTL-evicted jobs stay evicted across restarts instead of
+// resurrecting out of an old snapshot.
+package jobstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cn/internal/wire"
+)
+
+// File names inside the WAL's data directory.
+const (
+	walFileName  = "jobs.wal"
+	snapFileName = "jobs.snap"
+)
+
+// File headers. The trailing byte is the format version.
+var (
+	walMagic  = []byte{'C', 'N', 'W', 'A', 'L', 1}
+	snapMagic = []byte{'C', 'N', 'S', 'N', 'A', 'P', 1}
+)
+
+// Record kinds.
+const (
+	recPut    byte = 1
+	recDelete byte = 2
+)
+
+// MaxWALRecordBytes caps one record's payload. Larger announced lengths
+// are treated as corruption: replay truncates there and appends refuse, so
+// no input can drive an oversized allocation.
+const MaxWALRecordBytes = 8 << 20
+
+// DefaultCompactEvery is the append count that triggers snapshot +
+// log-compaction when WALOptions.CompactEvery is zero.
+const DefaultCompactEvery = 256
+
+// errTorn marks an incomplete or corrupt record tail during replay; the
+// loader truncates the file at the last good record instead of failing.
+var errTorn = errors.New("jobstore: torn wal record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WALOptions tunes a WAL backend.
+type WALOptions struct {
+	// NoSync disables the per-append fsync (benchmarks and tests that
+	// measure the codec, not the disk). Commits are then only as durable
+	// as the OS page cache.
+	NoSync bool
+	// CompactEvery is the number of appended records between snapshot +
+	// log-compaction rounds (0 = DefaultCompactEvery; negative disables
+	// compaction).
+	CompactEvery int
+}
+
+// WAL is the append-only durable Backend. See the package comment above
+// for the format.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu      sync.Mutex
+	f       *os.File
+	live    map[string]*PersistedJob
+	appends int
+	closed  bool
+}
+
+// OpenWAL opens (creating if needed) the durable job log in dir, replaying
+// the snapshot and log into memory and truncating any torn tail.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = DefaultCompactEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: wal dir: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, live: make(map[string]*PersistedJob)}
+
+	// Snapshot first: it is the compacted prefix of the log.
+	snapPath := filepath.Join(dir, snapFileName)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		if _, err := replayStream(data, snapMagic, w.live); err != nil && !errors.Is(err, errTorn) {
+			return nil, fmt.Errorf("jobstore: snapshot %s: %w", snapPath, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("jobstore: read snapshot: %w", err)
+	}
+
+	// Then the log, truncating at the first torn or corrupt record so the
+	// next append starts on a clean boundary.
+	walPath := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open wal: %w", err)
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobstore: read wal: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := f.Write(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("jobstore: write wal header: %w", err)
+		}
+	} else {
+		good, err := replayStream(data, walMagic, w.live)
+		if err != nil && !errors.Is(err, errTorn) {
+			f.Close()
+			return nil, fmt.Errorf("jobstore: wal %s: %w", walPath, err)
+		}
+		if good < int64(len(data)) {
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("jobstore: truncate torn wal tail: %w", err)
+			}
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobstore: seek wal: %w", err)
+	}
+	w.f = f
+	return w, nil
+}
+
+// replayStream verifies the header and applies every intact record in data
+// to live. It returns the byte offset just past the last good record; a
+// torn, truncated, or corrupt tail yields that offset together with a
+// wrapped errTorn, and any other error is a hard format failure. It never
+// panics and never allocates more than the input's own size, whatever the
+// bytes — the fuzz target FuzzWALReplay holds it to that.
+func replayStream(data []byte, magic []byte, live map[string]*PersistedJob) (int64, error) {
+	if len(data) < len(magic) {
+		return 0, fmt.Errorf("jobstore: short header (%d bytes): %w", len(data), errTorn)
+	}
+	for i, b := range magic {
+		if data[i] != b {
+			return 0, fmt.Errorf("jobstore: bad file magic %q", data[:len(magic)])
+		}
+	}
+	off := int64(len(magic))
+	for off < int64(len(data)) {
+		n, err := applyRecord(data[off:], live)
+		if err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return off, nil
+}
+
+// applyRecord decodes and applies the record at the head of b, returning
+// its full encoded length.
+func applyRecord(b []byte, live map[string]*PersistedJob) (int64, error) {
+	plen, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, fmt.Errorf("jobstore: truncated record length: %w", errTorn)
+	}
+	if plen == 0 || plen > MaxWALRecordBytes {
+		return 0, fmt.Errorf("jobstore: record payload length %d out of bounds: %w", plen, errTorn)
+	}
+	end := int64(n) + int64(plen) + 4
+	if end > int64(len(b)) {
+		return 0, fmt.Errorf("jobstore: record spans past end of file: %w", errTorn)
+	}
+	payload := b[n : int64(n)+int64(plen)]
+	want := binary.LittleEndian.Uint32(b[int64(n)+int64(plen) : end])
+	if crc32.Checksum(payload, crcTable) != want {
+		return 0, fmt.Errorf("jobstore: record crc mismatch: %w", errTorn)
+	}
+	kind := payload[0]
+	r := wire.NewReader(payload[1:])
+	switch kind {
+	case recPut:
+		pj, err := decodePersistedJob(r)
+		if err != nil {
+			return 0, fmt.Errorf("jobstore: decode put record: %v: %w", err, errTorn)
+		}
+		live[pj.ID] = pj
+	case recDelete:
+		id, err := r.String()
+		if err != nil {
+			return 0, fmt.Errorf("jobstore: decode delete record: %v: %w", err, errTorn)
+		}
+		delete(live, id)
+	default:
+		return 0, fmt.Errorf("jobstore: unknown record kind %#x: %w", kind, errTorn)
+	}
+	return end, nil
+}
+
+// appendRecord frames and writes one record payload to f.
+func appendRecord(f *os.File, payload []byte, sync bool) error {
+	if len(payload) == 0 || len(payload) > MaxWALRecordBytes {
+		return fmt.Errorf("jobstore: record payload length %d out of bounds", len(payload))
+	}
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	frame := binary.AppendUvarint(*buf, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, crcTable))
+	*buf = frame
+	if _, err := f.Write(frame); err != nil {
+		return fmt.Errorf("jobstore: wal append: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("jobstore: wal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load implements Backend: the replayed live set, oldest submission first.
+func (w *WAL) Load() ([]*PersistedJob, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("jobstore: wal closed")
+	}
+	out := make([]*PersistedJob, 0, len(w.live))
+	for _, pj := range w.live {
+		out = append(out, pj.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Put implements Backend: append a put record (fsync-on-commit unless
+// NoSync) and fold it into the live set.
+func (w *WAL) Put(pj *PersistedJob) error {
+	payload := append([]byte{recPut}, appendPersistedJob(nil, pj)...)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("jobstore: wal closed")
+	}
+	if err := appendRecord(w.f, payload, !w.opts.NoSync); err != nil {
+		return err
+	}
+	w.live[pj.ID] = pj.clone()
+	return w.bumpLocked()
+}
+
+// Delete implements Backend: append a delete record so replay cannot
+// resurrect the job. Unknown ids are a no-op (nothing was ever persisted).
+func (w *WAL) Delete(id string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("jobstore: wal closed")
+	}
+	if _, ok := w.live[id]; !ok {
+		return nil
+	}
+	payload := append([]byte{recDelete}, wire.AppendString(nil, id)...)
+	if err := appendRecord(w.f, payload, !w.opts.NoSync); err != nil {
+		return err
+	}
+	delete(w.live, id)
+	return w.bumpLocked()
+}
+
+// bumpLocked counts one append and compacts when the budget is spent.
+func (w *WAL) bumpLocked() error {
+	w.appends++
+	if w.opts.CompactEvery > 0 && w.appends >= w.opts.CompactEvery {
+		if err := w.compactLocked(); err != nil {
+			return fmt.Errorf("jobstore: compact: %w", err)
+		}
+	}
+	return nil
+}
+
+// Compact forces a snapshot + log reset (tests and shutdown hooks).
+func (w *WAL) Compact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("jobstore: wal closed")
+	}
+	return w.compactLocked()
+}
+
+// compactLocked writes the live set into a fresh snapshot (atomic
+// tmp+rename, fsynced) and truncates the log back to its header. Evicted
+// jobs are simply absent from the new snapshot, so the on-disk footprint
+// tracks the live set instead of the full mutation history.
+func (w *WAL) compactLocked() error {
+	tmpPath := filepath.Join(w.dir, snapFileName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+	if _, err := tmp.Write(snapMagic); err != nil {
+		tmp.Close()
+		return err
+	}
+	jobs := make([]*PersistedJob, 0, len(w.live))
+	for _, pj := range w.live {
+		jobs = append(jobs, pj)
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Seq < jobs[j].Seq })
+	for _, pj := range jobs {
+		payload := append([]byte{recPut}, appendPersistedJob(nil, pj)...)
+		if err := appendRecord(tmp, payload, false); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(w.dir, snapFileName)); err != nil {
+		return err
+	}
+	syncDir(w.dir)
+
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, 2); err != nil {
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.appends = 0
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so a renamed snapshot survives
+// power loss; filesystems that reject directory fsync are tolerated.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Close implements Backend: release the log file handle. Pending state is
+// already durable (every append committed before returning).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}

@@ -1,0 +1,239 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walPut(t *testing.T, w *WAL, id string, seq int64) {
+	t.Helper()
+	if err := w.Put(&PersistedJob{ID: id, Seq: seq, Sub: Submission{Format: FormatCNX, Body: []byte("doc")}, State: StateQueued}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func walSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func loadIDs(t *testing.T, w *WAL) []string {
+	t.Helper()
+	pjs, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(pjs))
+	for i, pj := range pjs {
+		ids[i] = pj.ID
+	}
+	return ids
+}
+
+// TestWALTornTailTruncatedOnReopen simulates a crash mid-append: the file
+// ends in a record that was only partially written. Reopen must keep every
+// record before the tear, truncate the tail, and leave the log appendable
+// on a clean boundary.
+func TestWALTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPut(t, w, "job-1", 1)
+	walPut(t, w, "job-2", 2)
+	good := walSize(t, dir)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn append: a plausible length header followed by half a payload
+	// and no CRC.
+	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := binary.AppendUvarint(nil, 64)
+	torn = append(torn, []byte{recPut, 0x03, 'j', 'o', 'b'}...)
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if ids := loadIDs(t, w2); len(ids) != 2 || ids[0] != "job-1" || ids[1] != "job-2" {
+		t.Fatalf("replayed ids = %v, want [job-1 job-2]", ids)
+	}
+	if got := walSize(t, dir); got != good {
+		t.Errorf("wal size after reopen = %d, want truncated to %d", got, good)
+	}
+	// The log must accept appends on the repaired boundary.
+	walPut(t, w2, "job-3", 3)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if ids := loadIDs(t, w3); len(ids) != 3 || ids[2] != "job-3" {
+		t.Fatalf("ids after post-repair append = %v", ids)
+	}
+}
+
+// TestWALCorruptTailRecordDropped flips a byte inside the final record:
+// the CRC rejects it, replay keeps the intact prefix, and the file is
+// truncated at the last good record.
+func TestWALCorruptTailRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPut(t, w, "job-1", 1)
+	walPut(t, w, "job-2", 2)
+	good := walSize(t, dir)
+	walPut(t, w, "job-3", 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[good+3] ^= 0xff // inside job-3's record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen after corrupt record: %v", err)
+	}
+	defer w2.Close()
+	if ids := loadIDs(t, w2); len(ids) != 2 || ids[1] != "job-2" {
+		t.Fatalf("replayed ids = %v, want [job-1 job-2]", ids)
+	}
+	if got := walSize(t, dir); got != good {
+		t.Errorf("wal size = %d, want %d", got, good)
+	}
+}
+
+// TestWALBadMagicRefused: a directory holding some other file format must
+// fail loudly rather than be silently truncated to nothing.
+func TestWALBadMagicRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFileName), []byte("NOTAWAL-data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(dir, WALOptions{}); err == nil {
+		t.Fatal("OpenWAL accepted a file with foreign magic")
+	}
+}
+
+// TestWALOversizedPayloadRefused: both the append path and the replay
+// path enforce MaxWALRecordBytes, so no input drives an outsized
+// allocation.
+func TestWALOversizedPayloadRefused(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	big := &PersistedJob{ID: "job-big", Seq: 1, Sub: Submission{Format: FormatCNX, Body: make([]byte, MaxWALRecordBytes+1)}, State: StateQueued}
+	if err := w.Put(big); err == nil {
+		t.Fatal("Put accepted a payload over MaxWALRecordBytes")
+	}
+
+	// Replay side: a header announcing an enormous payload is corruption,
+	// not an allocation request.
+	live := make(map[string]*PersistedJob)
+	data := append(append([]byte{}, walMagic...), binary.AppendUvarint(nil, MaxWALRecordBytes+1)...)
+	if _, err := replayStream(data, walMagic, live); err == nil {
+		t.Fatal("replayStream accepted an oversized length header")
+	}
+	if len(live) != 0 {
+		t.Fatalf("live set polluted: %v", live)
+	}
+}
+
+// FuzzWALReplay holds the replay parser to the WAL's safety contract:
+// arbitrary bytes — truncated, corrupted, or outright hostile — must
+// produce a clean error or a valid prefix, never a panic, and never an
+// allocation driven by a corrupted length field.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with real on-disk images: a log with puts and a delete, its
+	// compacted snapshot, and damaged variants.
+	dir := f.TempDir()
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := w.Put(&PersistedJob{ID: id, Seq: int64(i + 1), Sub: Submission{Format: FormatCNX, Body: []byte("body"), Label: "seed"}, State: StateRunning}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Delete("job-2"); err != nil {
+		f.Fatal(err)
+	}
+	logBytes, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Compact(); err != nil {
+		f.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(filepath.Join(dir, snapFileName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Close()
+
+	f.Add([]byte{})
+	f.Add(append([]byte{}, walMagic...))
+	f.Add(logBytes)
+	f.Add(snapBytes)
+	f.Add(logBytes[:len(logBytes)-3]) // torn tail
+	corrupt := append([]byte{}, logBytes...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	f.Add(append(append([]byte{}, walMagic...), 0xff, 0xff, 0xff, 0xff, 0xff)) // hostile length
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for _, magic := range [][]byte{walMagic, snapMagic} {
+			live := make(map[string]*PersistedJob)
+			off, err := replayStream(b, magic, live)
+			if off < 0 || off > int64(len(b)) {
+				t.Fatalf("offset %d outside input of %d bytes", off, len(b))
+			}
+			if err == nil && off != int64(len(b)) {
+				t.Fatalf("clean replay stopped at %d of %d bytes", off, len(b))
+			}
+			// Every replayed job must satisfy the decoder's own invariants.
+			for id, pj := range live {
+				if id == "" || pj.ID != id {
+					t.Fatalf("invalid replayed job %q -> %+v", id, pj)
+				}
+				if _, err := ParseState(string(pj.State)); err != nil {
+					t.Fatalf("replayed job %s carries invalid state %q", id, pj.State)
+				}
+			}
+		}
+	})
+}

@@ -93,6 +93,10 @@ const (
 	KindBlobChunk    // request: push one chunk (client -> JM) or pull one (TM -> JM)
 	KindBlobChunkAck // response: the pulled chunk, or the push acknowledgement
 
+	// JobManager durability: peer checkpoint replication and failover.
+	KindJMCheckpoint // event: JobManager multicasts a job's control-state checkpoint to peers
+	KindJMAdopt      // request/response: a surviving JobManager re-homes a dead peer's job
+
 	// kindEnd is the exclusive upper bound of the kind space; keep it last.
 	kindEnd
 )
@@ -143,6 +147,8 @@ var kindNames = map[Kind]string{
 	KindTSCancel:          "TS_CANCEL",
 	KindBlobChunk:         "BLOB_CHUNK",
 	KindBlobChunkAck:      "BLOB_CHUNK_ACK",
+	KindJMCheckpoint:      "JM_CHECKPOINT",
+	KindJMAdopt:           "JM_ADOPT",
 }
 
 // String returns the wire name of the kind, e.g. "TASK_COMPLETED".

@@ -62,16 +62,22 @@ type Config struct {
 	QueueDepth int
 	// ResultTTL evicts terminal job records (0 = default; <0 disables).
 	ResultTTL time.Duration
+	// DataDir enables durable job records: the store appends every job
+	// mutation to a write-ahead log under this directory and replays it on
+	// startup, so queued and running submissions survive a portal crash
+	// (empty = in-memory only, the pre-durability behavior).
+	DataDir string
 	// Logf receives request diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
 }
 
 // Portal is the web front end.
 type Portal struct {
-	cfg    Config
-	client *api.Client
-	store  *jobstore.Store
-	mux    *http.ServeMux
+	cfg     Config
+	client  *api.Client
+	store   *jobstore.Store
+	backend jobstore.Backend // owned WAL backend; nil when DataDir is empty
+	mux     *http.ServeMux
 }
 
 // New creates a portal attached to the cluster.
@@ -90,15 +96,27 @@ func New(cfg Config) (*Portal, error) {
 		return nil, fmt.Errorf("portal: %w", err)
 	}
 	p := &Portal{cfg: cfg, client: client, mux: http.NewServeMux()}
+	if cfg.DataDir != "" {
+		wal, err := jobstore.OpenWAL(cfg.DataDir, jobstore.WALOptions{})
+		if err != nil {
+			client.Close()
+			return nil, fmt.Errorf("portal: open data dir %s: %w", cfg.DataDir, err)
+		}
+		p.backend = wal
+	}
 	store, err := jobstore.New(jobstore.Config{
 		Exec:       p.runSubmission,
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
 		ResultTTL:  cfg.ResultTTL,
+		Backend:    p.backend,
 		Metrics:    cfg.Cluster.Metrics(),
 		Logf:       cfg.Logf,
 	})
 	if err != nil {
+		if p.backend != nil {
+			p.backend.Close()
+		}
 		client.Close()
 		return nil, fmt.Errorf("portal: %w", err)
 	}
@@ -122,9 +140,15 @@ func New(cfg Config) (*Portal, error) {
 func (p *Portal) Handler() http.Handler { return p.mux }
 
 // Close stops the job service and releases the portal's client. In-flight
-// jobs are aborted.
+// jobs are aborted; with a data dir configured they replay as queued on
+// the next start.
 func (p *Portal) Close() error {
 	p.store.Close()
+	if p.backend != nil {
+		if err := p.backend.Close(); err != nil {
+			p.logf("close job WAL: %v", err)
+		}
+	}
 	return p.client.Close()
 }
 

@@ -318,6 +318,43 @@ type CancelJobReq struct {
 	Tasks  []string
 }
 
+// JMCheckpoint is the body of KindJMCheckpoint (JobManager -> peer
+// JobManagers via multicast): one hosted job's control-state image,
+// replicated at checkpoint cadence so a surviving peer can re-home the job
+// if the origin dies. Data is an opaque jobmgr-encoded snapshot; peers
+// store it without decoding and only unpack on adoption. Seq orders
+// checkpoints per (Origin, JobID) — a peer keeps the highest it has seen.
+// Done marks a terminal tombstone: the job finished, peers drop their copy.
+type JMCheckpoint struct {
+	Origin string
+	JobID  string
+	Seq    uint64
+	Done   bool
+	Data   []byte
+}
+
+// JMAdoptReq is the body of KindJMAdopt (adopting JobManager -> a
+// TaskManager holding the dead manager's assignments): re-point the job's
+// assignments at NewManager so heartbeats, lifecycle events, and
+// tuple-space calls flow to the survivor.
+type JMAdoptReq struct {
+	JobID      string
+	NewManager string
+	ClientNode string
+	// Tasks lists the assignments the checkpoint places on this node; the
+	// TaskManager answers with the subset still present.
+	Tasks []string
+}
+
+// JMAdoptResp is the KindJMAdopt reply: the job's assignments still held
+// by the answering TaskManager. Checkpointed tasks absent from Present
+// finished or vanished since the last checkpoint and are re-placed by the
+// adopter through the recovery engine.
+type JMAdoptResp struct {
+	Node    string
+	Present []TaskBeat
+}
+
 // JobEvent is the body of KindJobCompleted / KindJobFailed.
 type JobEvent struct {
 	JobID    string

@@ -7,6 +7,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -52,6 +53,10 @@ type Config struct {
 	// StragglerAfter enables speculative execution of running tasks whose
 	// progress sync stalls this long (0 = disabled).
 	StragglerAfter time.Duration
+	// CheckpointEvery is the JobManager's peer-checkpoint cadence (0 =
+	// follow HeartbeatInterval; negative disables checkpointing and
+	// JobManager failover).
+	CheckpointEvery time.Duration
 	// Logf receives diagnostics from both managers; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +107,7 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		DeadAfter:         cfg.DeadAfter,
 		MaxTaskRetries:    cfg.MaxTaskRetries,
 		StragglerAfter:    cfg.StragglerAfter,
+		CheckpointEvery:   cfg.CheckpointEvery,
 		Logf:              cfg.Logf,
 	}, send, s.caller, s.tm.FreeMemoryMB)
 
@@ -302,6 +308,12 @@ func (s *Server) dispatch(m *msg.Message) {
 			return
 		}
 		if err := s.tm.HandleStart(req.JobID, req.Task); err != nil {
+			if errors.Is(err, taskmgr.ErrAlreadyStarted) {
+				// A duplicate dispatch (recovery re-exec or failover
+				// adoption) raced the running copy; it reports its own
+				// terminal event, so there is nothing to fail here.
+				return
+			}
 			// Report the failure as a task event so the job does not hang,
 			// and release the assignment's memory reservation — a task that
 			// can never start must not hold capacity until job teardown.
@@ -314,6 +326,12 @@ func (s *Server) dispatch(m *msg.Message) {
 				s.cfg.Logf("[server %s] report exec failure: %v", s.cfg.Node, serr)
 			}
 		}
+
+	// --- JobManager durability ---
+	case msg.KindJMCheckpoint:
+		s.jm.HandleCheckpoint(m)
+	case msg.KindJMAdopt:
+		s.replyIfAny(m, s.tm.HandleAdopt(m))
 
 	// --- Health ---
 	case msg.KindPing:

@@ -68,8 +68,12 @@ const DefaultMemoryMB = 8000
 
 // assignment is one task assigned to this TaskManager.
 type assignment struct {
-	jobID      string
-	jobManager string
+	jobID string
+	// jobManager is the node whose JobManager currently owns the job. It
+	// is re-pointed by HandleAdopt when a surviving JobManager re-homes a
+	// dead peer's job, and read from the heartbeat, event, and tuple-space
+	// paths concurrently — hence the atomic.
+	jobManager atomic.Pointer[string]
 	clientNode string
 	spec       *task.Spec
 	mailbox    *msg.Mailbox
@@ -85,6 +89,12 @@ type assignment struct {
 	// JobManager as the straggler-detection signal.
 	progress atomic.Uint64
 }
+
+// jm returns the node of the JobManager currently owning the assignment.
+func (a *assignment) jm() string { return *a.jobManager.Load() }
+
+// setJM re-points the assignment at a new owning JobManager.
+func (a *assignment) setJM(node string) { a.jobManager.Store(&node) }
 
 // cancel marks the assignment cancelled and releases its waiters: the
 // mailbox closes (Recv returns ErrStopped) and the stopped channel wakes
@@ -171,7 +181,8 @@ func (tm *TaskManager) beatOnce() {
 	tm.mu.Lock()
 	byJM := make(map[string][]protocol.TaskBeat)
 	for _, a := range tm.assigned {
-		byJM[a.jobManager] = append(byJM[a.jobManager], protocol.TaskBeat{
+		jmNode := a.jm()
+		byJM[jmNode] = append(byJM[jmNode], protocol.TaskBeat{
 			JobID:    a.jobID,
 			Task:     a.spec.Name,
 			Running:  a.started.Load() && !a.cancelled.Load(),
@@ -435,14 +446,15 @@ func (tm *TaskManager) assignOne(jobID, jobManager, clientNode string, it protoc
 		return fmt.Sprintf("insufficient memory: need %d MB, free %d MB", sp.Req.MemoryMB, tm.freeMB)
 	}
 	tm.freeMB -= sp.Req.MemoryMB
-	tm.assigned[k] = &assignment{
+	a := &assignment{
 		jobID:      jobID,
-		jobManager: jobManager,
 		clientNode: clientNode,
 		spec:       sp,
 		mailbox:    msg.NewMailbox(tm.cfg.MailboxCap),
 		stopped:    make(chan struct{}),
 	}
+	a.setJM(jobManager)
+	tm.assigned[k] = a
 	tm.logf("assigned %s (class %s, %d MB)", k, sp.Class, sp.Req.MemoryMB)
 	return ""
 }
@@ -468,6 +480,12 @@ func (tm *TaskManager) ReleaseIfUnstarted(jobID, taskName string) bool {
 	return true
 }
 
+// ErrAlreadyStarted reports a duplicate exec for a task that is already
+// running. Under at-least-once re-dispatch (recovery re-exec, failover
+// adoption) duplicates are expected and benign: the running copy will
+// report its own terminal event.
+var ErrAlreadyStarted = errors.New("task already started")
+
 // HandleStart processes a KindStartTask from the JobManager for one task.
 func (tm *TaskManager) HandleStart(jobID, taskName string) error {
 	tm.mu.Lock()
@@ -481,7 +499,7 @@ func (tm *TaskManager) HandleStart(jobID, taskName string) error {
 		return fmt.Errorf("taskmgr %s: task %s not assigned", tm.cfg.Node, key(jobID, taskName))
 	}
 	if !a.started.CompareAndSwap(false, true) {
-		return fmt.Errorf("taskmgr %s: task %s already started", tm.cfg.Node, key(jobID, taskName))
+		return fmt.Errorf("taskmgr %s: task %s: %w", tm.cfg.Node, key(jobID, taskName), ErrAlreadyStarted)
 	}
 	tm.mu.Lock()
 	tm.running++
@@ -496,7 +514,6 @@ func (tm *TaskManager) HandleStart(jobID, taskName string) error {
 func (tm *TaskManager) execute(a *assignment) {
 	defer tm.wg.Done()
 	from := msg.Address{Node: tm.cfg.Node, Job: a.jobID, Task: a.spec.Name}
-	jmAddr := msg.Address{Node: a.jobManager, Job: a.jobID}
 
 	tm.event(msg.KindTaskStarted, a, "")
 
@@ -515,7 +532,7 @@ func (tm *TaskManager) execute(a *assignment) {
 			runErr = err
 			return
 		}
-		ctx := &execContext{tm: tm, a: a, self: from, jm: jmAddr}
+		ctx := &execContext{tm: tm, a: a, self: from}
 		runErr = t.Run(ctx)
 	}()
 
@@ -533,16 +550,51 @@ func (tm *TaskManager) execute(a *assignment) {
 	tm.event(msg.KindTaskCompleted, a, "")
 }
 
-// event reports a lifecycle event to the JobManager.
+// event reports a lifecycle event to the JobManager. The owning manager is
+// resolved at send time: an assignment adopted mid-run reports its terminal
+// event to the survivor, not the dead origin.
 func (tm *TaskManager) event(kind msg.Kind, a *assignment, errText string) {
+	jmNode := a.jm()
 	ev := protocol.TaskEvent{JobID: a.jobID, Task: a.spec.Name, Node: tm.cfg.Node, Err: errText}
 	m := protocol.Body(kind,
 		msg.Address{Node: tm.cfg.Node, Job: a.jobID, Task: a.spec.Name},
-		msg.Address{Node: a.jobManager, Job: a.jobID},
+		msg.Address{Node: jmNode, Job: a.jobID},
 		ev)
-	if err := tm.send(a.jobManager, m); err != nil {
+	if err := tm.send(jmNode, m); err != nil {
 		tm.logf("event %s for %s: %v", kind, key(a.jobID, a.spec.Name), err)
 	}
+}
+
+// HandleAdopt processes a KindJMAdopt from a surviving JobManager that is
+// re-homing a dead peer's job: every assignment of the job is re-pointed at
+// the new manager and the reply lists which of the checkpointed tasks are
+// still held here. Last adopter wins — a split-brain double adoption
+// converges on whichever survivor re-points last, and the loser's
+// heartbeat ack marks the job unknown, releasing nothing it still owns.
+func (tm *TaskManager) HandleAdopt(m *msg.Message) *msg.Message {
+	var req protocol.JMAdoptReq
+	if err := protocol.Decode(m, &req); err != nil {
+		tm.logf("bad adopt: %v", err)
+		return m.Reply(msg.KindJMAdopt, msg.MustEncode(protocol.JMAdoptResp{Node: tm.cfg.Node}))
+	}
+	resp := protocol.JMAdoptResp{Node: tm.cfg.Node}
+	tm.mu.Lock()
+	for _, a := range tm.assigned {
+		if a.jobID != req.JobID {
+			continue
+		}
+		a.setJM(req.NewManager)
+		resp.Present = append(resp.Present, protocol.TaskBeat{
+			JobID:    a.jobID,
+			Task:     a.spec.Name,
+			Running:  a.started.Load() && !a.cancelled.Load(),
+			Progress: a.progress.Load(),
+		})
+	}
+	tm.mu.Unlock()
+	sort.Slice(resp.Present, func(i, j int) bool { return resp.Present[i].Task < resp.Present[j].Task })
+	tm.logf("job %s adopted by %s: %d assignments re-pointed", req.JobID, req.NewManager, len(resp.Present))
+	return m.Reply(msg.KindJMAdopt, msg.MustEncode(resp))
 }
 
 // HandleUser routes an inbound user message to the target task's mailbox.
@@ -627,12 +679,14 @@ func (tm *TaskManager) Close() {
 	tm.wg.Wait()
 }
 
-// execContext implements task.Context for one running task.
+// execContext implements task.Context for one running task. The owning
+// JobManager's node is resolved per operation (never cached) so an adopted
+// assignment's messages and tuple-space calls follow the job to its new
+// manager.
 type execContext struct {
 	tm   *TaskManager
 	a    *assignment
 	self msg.Address
-	jm   msg.Address
 }
 
 // TaskName implements task.Context.
@@ -660,8 +714,9 @@ func (c *execContext) send(kind msg.Kind, toTask string, payload []byte) error {
 		ToTask:   toTask,
 		Data:     payload,
 	}
-	m := protocol.Body(kind, c.self, msg.Address{Node: c.jm.Node, Job: c.a.jobID, Task: toTask}, p)
-	if err := c.tm.send(c.jm.Node, m); err != nil {
+	jmNode := c.a.jm()
+	m := protocol.Body(kind, c.self, msg.Address{Node: jmNode, Job: c.a.jobID, Task: toTask}, p)
+	if err := c.tm.send(jmNode, m); err != nil {
 		return fmt.Errorf("task %s: send to %s: %w", c.a.spec.Name, toTask, err)
 	}
 	c.a.progress.Add(1)
@@ -718,7 +773,7 @@ func (c *execContext) tsDo(kind msg.Kind, req protocol.TSOpReq) (*protocol.TSOpR
 		JobID:    c.a.jobID,
 		FromTask: c.a.spec.Name,
 		From:     c.self,
-		To:       msg.Address{Node: c.jm.Node, Job: c.a.jobID},
+		To:       msg.Address{Node: c.a.jm(), Job: c.a.jobID},
 		Call:     c.tm.cfg.Call,
 		Send:     c.tm.send,
 	}
