@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,13 +30,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | durability | all")
+		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | durability | shuffle | all")
 		reps = flag.Int("reps", 5, "repetitions per configuration")
 		out  = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
 		rout = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
 		tout = flag.String("tuplespace-out", "BENCH_tuplespace.json", "path for the tuplespace experiment's JSON snapshot")
 		wout = flag.String("wire-out", "BENCH_wire.json", "path for the wire-codec experiment's JSON snapshot")
 		dout = flag.String("durability-out", "BENCH_durability.json", "path for the durability experiment's JSON snapshot")
+		sout = flag.String("shuffle-out", "BENCH_shuffle.json", "path for the shuffle data-plane experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -60,6 +62,8 @@ func main() {
 		wireTable(*reps, *wout)
 	case "durability":
 		durabilityTable(*reps, *dout)
+	case "shuffle":
+		shuffleTable(*reps, *sout)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
@@ -71,6 +75,7 @@ func main() {
 		tuplespaceTable(*reps, *tout)
 		wireTable(*reps, *wout)
 		durabilityTable(*reps, *dout)
+		shuffleTable(*reps, *sout)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -157,6 +162,58 @@ func newRegistry() *cn.Registry {
 					return err
 				}
 			}
+		})
+	})
+	// bench.Shuffle is the data-plane all-to-all worker: it publishes its
+	// own output, then pulls every peer's straight from the producing
+	// nodes. Params: [0] worker count, [1] payload bytes.
+	reg.MustRegister("bench.Shuffle", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			peers, size, err := shuffleParams(ctx)
+			if err != nil {
+				return err
+			}
+			if err := ctx.Put("shuf/"+ctx.TaskName(), shufflePayload(ctx.TaskName(), size)); err != nil {
+				return err
+			}
+			for i := 1; i <= peers; i++ {
+				data, err := ctx.Get(context.Background(), fmt.Sprintf("shuf/s%d", i))
+				if err != nil {
+					return err
+				}
+				if len(data) != size {
+					return fmt.Errorf("bench.Shuffle: s%d: got %d bytes, want %d", i, len(data), size)
+				}
+			}
+			return nil
+		})
+	})
+	// bench.Relay is the pre-data-plane baseline: the same all-to-all
+	// moved as USER mailbox messages, every payload relaying through the
+	// JobManager (producer -> JM -> consumer mailbox). Params as
+	// bench.Shuffle.
+	reg.MustRegister("bench.Relay", func() cn.Task {
+		return cn.TaskFunc(func(ctx cn.TaskContext) error {
+			peers, size, err := shuffleParams(ctx)
+			if err != nil {
+				return err
+			}
+			payload := shufflePayload(ctx.TaskName(), size)
+			for i := 1; i <= peers; i++ {
+				if err := ctx.Send(fmt.Sprintf("s%d", i), payload); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < peers; i++ {
+				_, data, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if len(data) != size {
+					return fmt.Errorf("bench.Relay: got %d bytes, want %d", len(data), size)
+				}
+			}
+			return nil
 		})
 	})
 	reg.MustRegister("bench.Echo", func() cn.Task {
@@ -914,6 +971,167 @@ func durabilityTable(reps int, outPath string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsnapshot written to %s\n", outPath)
+}
+
+// shuffleParams reads the shuffle workers' shared parameter list.
+func shuffleParams(ctx cn.TaskContext) (peers, size int, err error) {
+	ps := ctx.Params()
+	if len(ps) < 2 {
+		return 0, 0, fmt.Errorf("shuffle worker: want 2 params, have %d", len(ps))
+	}
+	if peers, err = ps[0].Int(); err != nil {
+		return 0, 0, err
+	}
+	if size, err = ps[1].Int(); err != nil {
+		return 0, 0, err
+	}
+	return peers, size, nil
+}
+
+// shufflePayload is deterministic per worker, so every worker's output has
+// a distinct digest — no cross-key dedup in the node blob caches.
+func shufflePayload(name string, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = name[i%len(name)] ^ byte(i)
+	}
+	return b
+}
+
+// shuffleIntParam formats an integer task parameter for the shuffle specs.
+func shuffleIntParam(v int) cn.Param {
+	return cn.Param{Type: cn.TypeInteger, Value: strconv.Itoa(v)}
+}
+
+// shuffleRow is one (mode, cluster size) measurement in the T-K study.
+type shuffleRow struct {
+	Mode           string  `json:"mode"`  // "sendrelay" or "dataplane"
+	Nodes          int     `json:"nodes"` // cluster size
+	Workers        int     `json:"workers"`
+	ShuffleBytes   int64   `json:"shuffle_bytes_per_run"`
+	MedianMS       float64 `json:"median_ms"`
+	ThroughputMBs  float64 `json:"throughput_mb_per_sec"`
+	JMPayloadBytes int64   `json:"jm_payload_bytes_per_run"`
+	TMDirectBytes  int64   `json:"tm_direct_bytes_per_run"`
+}
+
+// shuffleSnapshot is the BENCH_shuffle.json document.
+type shuffleSnapshot struct {
+	Experiment     string       `json:"experiment"`
+	GeneratedAt    time.Time    `json:"generated_at"`
+	PayloadBytes   int          `json:"payload_bytes"`
+	Rows           []shuffleRow `json:"rows"`
+	Speedup1to8    float64      `json:"dataplane_throughput_gain_1_to_8_nodes"`
+	JMReductionPct float64      `json:"jm_payload_reduction_pct_8_nodes"`
+}
+
+// runShuffleJob admits and runs one all-to-all job of `workers` tasks of
+// the given class, waiting for every worker to finish.
+func runShuffleJob(cl *cn.Client, class string, workers, size, run int) {
+	job, err := cl.CreateJob(fmt.Sprintf("shuf-%d", run), cn.JobRequirements{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]*cn.TaskSpec, workers)
+	for i := range specs {
+		specs[i] = &cn.TaskSpec{
+			Name: fmt.Sprintf("s%d", i+1), Class: class,
+			Params: []cn.Param{shuffleIntParam(workers), shuffleIntParam(size)},
+			Req:    cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+		}
+	}
+	if _, err := job.CreateTasks(specs, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := job.Wait(ctx)
+	if err != nil || res.Failed {
+		log.Fatalf("shuffle job (%s, %d workers): res=%+v err=%v", class, workers, res, err)
+	}
+}
+
+// shuffleTable is experiment T-K: an all-to-all shuffle (weak scaling, 4
+// workers per node, 64 KiB per output) over the direct task-to-task data
+// plane vs the Send-relay baseline. The dataplane rows measure the
+// JobManager's payload bytes directly (the broker's inline-copy counter —
+// the only payload bytes a manager ever serves); the sendrelay rows charge
+// the JM the full shuffle volume, which is exact by construction: every
+// USER payload routes producer -> JM -> consumer mailbox. TM-direct bytes
+// are the payload bytes that moved producer-node -> consumer-node without
+// touching the manager (same-node consumers hit the shared blob cache and
+// cost no wire at all).
+func shuffleTable(reps int, outPath string) {
+	header("T-K  All-to-all shuffle: direct data plane vs Send relay (4 workers/node, 64KiB outputs)")
+	const size = 64 << 10
+	snap := shuffleSnapshot{Experiment: "T-K shuffle data plane", GeneratedAt: time.Now().UTC(), PayloadBytes: size}
+	fmt.Printf("%-11s %6s %8s %12s %10s %16s %16s\n",
+		"mode", "nodes", "workers", "median", "MB/s", "JM bytes/run", "TM-direct/run")
+	var dpTh1, dpTh8 float64
+	var jmSend8, jmDP8 int64
+	for _, nodes := range []int{1, 2, 4, 8} {
+		workers := 4 * nodes
+		shuffleBytes := int64(workers) * int64(workers) * size
+		for _, mode := range []struct {
+			name  string
+			class string
+		}{{"sendrelay", "bench.Relay"}, {"dataplane", "bench.Shuffle"}} {
+			c, cl := startCluster(nodes)
+			runs := 0
+			d := timeIt(reps, func() {
+				runShuffleJob(cl, mode.class, workers, size, runs)
+				runs++
+			})
+			row := shuffleRow{
+				Mode: mode.name, Nodes: nodes, Workers: workers,
+				ShuffleBytes:  shuffleBytes,
+				MedianMS:      float64(d) / float64(time.Millisecond),
+				ThroughputMBs: float64(shuffleBytes) / (1 << 20) / d.Seconds(),
+			}
+			if mode.name == "dataplane" {
+				_, fetched := c.DataplaneBytes()
+				row.JMPayloadBytes = c.DataplaneStats().InlineBytes / int64(runs)
+				row.TMDirectBytes = fetched / int64(runs)
+				if nodes == 1 {
+					dpTh1 = row.ThroughputMBs
+				}
+				if nodes == 8 {
+					dpTh8 = row.ThroughputMBs
+					jmDP8 = row.JMPayloadBytes
+				}
+			} else {
+				row.JMPayloadBytes = shuffleBytes
+				if nodes == 8 {
+					jmSend8 = row.JMPayloadBytes
+				}
+			}
+			snap.Rows = append(snap.Rows, row)
+			fmt.Printf("%-11s %6d %8d %12v %10.0f %16d %16d\n",
+				row.Mode, row.Nodes, row.Workers, d, row.ThroughputMBs,
+				row.JMPayloadBytes, row.TMDirectBytes)
+			cl.Close()
+			c.Close()
+		}
+	}
+	if dpTh1 > 0 {
+		snap.Speedup1to8 = dpTh8 / dpTh1
+	}
+	if jmSend8 > 0 {
+		snap.JMReductionPct = 100 * (1 - float64(jmDP8)/float64(jmSend8))
+	}
+	fmt.Printf("\ndataplane throughput gain 1->8 nodes: %.2fx; JM payload byte reduction at 8 nodes: %.1f%%\n",
+		snap.Speedup1to8, snap.JMReductionPct)
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot written to %s\n", outPath)
 }
 
 // transformTable is experiment T-D: XMI2CNX throughput vs model size.

@@ -36,6 +36,7 @@ import (
 	"cn/internal/cnx"
 	"cn/internal/codegen"
 	"cn/internal/core"
+	"cn/internal/dataplane"
 	"cn/internal/discovery"
 	"cn/internal/dot"
 	"cn/internal/jobmgr"
@@ -305,6 +306,22 @@ func (c *Cluster) JobProgress(jmNode, jobID string) (JobProgress, bool) {
 // across the cluster — with content addressing, at most one per digest per
 // node regardless of how many tasks share the archive.
 func (c *Cluster) BlobTransfers() int64 { return c.inner.BlobTransfers() }
+
+// DataplaneBytes sums the TaskManagers' direct TM→TM data-plane transfer
+// counters: payload bytes served to peer nodes and pulled from them. These
+// are the shuffle bytes that bypass the JobManagers entirely.
+func (c *Cluster) DataplaneBytes() (served, fetched int64) {
+	return c.inner.DataplaneBytes()
+}
+
+// DataplaneStats is the cluster-wide data-plane broker census.
+type DataplaneStats = dataplane.StatsSnapshot
+
+// DataplaneStats sums every JobManager's data-plane broker counters
+// (adverts, resolves, parks, and bytes served from inline copies).
+func (c *Cluster) DataplaneStats() DataplaneStats {
+	return c.inner.DataplaneStats()
+}
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() { c.inner.Stop() }

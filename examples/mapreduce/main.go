@@ -1,6 +1,9 @@
 // Mapreduce runs the word-count workload: a splitter scatters text chunks
 // across mappers, mappers count words, a reducer merges the partial counts
 // — the scatter/gather composition the CN programming model is built for.
+// The shuffle data (chunks and partials) moves over the direct task-to-task
+// data plane (ctx.Put/ctx.Get), pulled TM→TM instead of relayed through the
+// JobManager; the example prints the bytes that took the direct path.
 package main
 
 import (
@@ -80,4 +83,8 @@ func main() {
 		}
 		fmt.Printf("  %-14s %d\n", e.word, e.count)
 	}
+	served, fetched := cluster.DataplaneBytes()
+	dp := cluster.DataplaneStats()
+	fmt.Printf("data plane: %d adverts, %d resolves; %d bytes fetched TM→TM (%d served), %d bytes answered from inline advert copies\n",
+		dp.Puts, dp.Resolves, fetched, served, dp.InlineBytes)
 }

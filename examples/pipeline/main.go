@@ -1,6 +1,7 @@
 // Pipeline chains transform stages as dependent CN tasks: each stage
-// starts only after its predecessor completes, while the data travels
-// ahead through the successor's message queue — demonstrating CN's
+// starts only after its predecessor completes, and each stage's output
+// travels over the direct task-to-task data plane (ctx.Put/ctx.Get) — the
+// successor pulls it straight from the producing node — demonstrating CN's
 // sequential composition alongside a matrix-multiply demonstration of
 // data-parallel composition in the same program.
 package main

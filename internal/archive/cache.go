@@ -12,21 +12,33 @@ import (
 // grow without bound.
 const DefaultCacheBytes = 256 << 20
 
-// Cache is a content-addressed archive store keyed by digest — the
-// TaskManager's node-local blob cache shared across tasks and jobs. Two
-// tasks (of the same job or of different jobs) referencing the same digest
-// hit the same entry, so a node pays for each distinct archive at most
-// once no matter how many tasks use it. The cache holds at most maxBytes
-// of serialized archive data, evicting the least-recently-used digests;
-// an evicted digest is simply re-fetched on its next reference.
+// entry is one cached blob: the raw content-addressed bytes, plus the
+// parsed archive when the blob is a task archive. Shuffle outputs from the
+// data plane cache with arch == nil; both kinds share the LRU and the byte
+// budget, so hot shuffle traffic can evict cold archives and vice versa.
+type entry struct {
+	digest string
+	raw    []byte
+	arch   *Archive
+}
+
+// Cache is a content-addressed blob store keyed by digest — the
+// TaskManager's node-local cache shared across tasks and jobs, holding both
+// task archives and data-plane shuffle outputs. Two tasks (of the same job
+// or of different jobs) referencing the same digest hit the same entry, so
+// a node pays for each distinct blob at most once no matter how many tasks
+// use it. The cache holds at most maxBytes of blob data, evicting the
+// least-recently-used digests; an evicted digest is simply re-fetched on
+// its next reference.
 type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	curBytes int64
 	byDigest map[string]*list.Element
-	lru      *list.List // front = most recently used; values are *Archive
+	lru      *list.List // front = most recently used; values are *entry
 	puts     int64
 	hits     int64
+	misses   int64
 }
 
 // NewCache returns an empty blob cache bounded by DefaultCacheBytes.
@@ -45,44 +57,85 @@ func NewCacheSize(maxBytes int64) *Cache {
 	}
 }
 
-// Put stores an archive under its digest. Storing the same content twice
-// is an idempotent no-op; only the first insertion counts as a transfer.
-// Inserting past the byte budget evicts least-recently-used entries (the
-// new entry itself is always kept, even when it alone exceeds the budget).
+// insert stores an entry under its digest, assuming c.mu is held. Storing
+// the same content twice is an idempotent no-op; only the first insertion
+// counts as a transfer. Inserting past the byte budget evicts
+// least-recently-used entries (the new entry itself is always kept, even
+// when it alone exceeds the budget).
+func (c *Cache) insert(e *entry) {
+	if el, ok := c.byDigest[e.digest]; ok {
+		// An archive insert upgrades a raw-bytes entry so a later Get can
+		// return the parsed form without re-parsing.
+		if old := el.Value.(*entry); old.arch == nil && e.arch != nil {
+			old.arch = e.arch
+		}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byDigest[e.digest] = c.lru.PushFront(e)
+	c.curBytes += int64(len(e.raw))
+	c.puts++
+	for c.curBytes > c.maxBytes && c.lru.Len() > 1 {
+		oldest := c.lru.Back()
+		victim := oldest.Value.(*entry)
+		c.lru.Remove(oldest)
+		delete(c.byDigest, victim.digest)
+		c.curBytes -= int64(len(victim.raw))
+	}
+}
+
+// Put stores an archive under its digest.
 func (c *Cache) Put(a *Archive) error {
 	if a == nil {
 		return fmt.Errorf("archive: cache: nil archive")
 	}
-	d := a.Digest()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byDigest[d]; ok {
-		c.lru.MoveToFront(el)
-		return nil
-	}
-	c.byDigest[d] = c.lru.PushFront(a)
-	c.curBytes += int64(len(a.Bytes()))
-	c.puts++
-	for c.curBytes > c.maxBytes && c.lru.Len() > 1 {
-		oldest := c.lru.Back()
-		victim := oldest.Value.(*Archive)
-		c.lru.Remove(oldest)
-		delete(c.byDigest, victim.Digest())
-		c.curBytes -= int64(len(victim.Bytes()))
-	}
+	c.insert(&entry{digest: a.Digest(), raw: a.Bytes(), arch: a})
 	return nil
 }
 
+// PutBlob stores raw content-addressed bytes (a data-plane shuffle output)
+// under their digest. The caller must have digest-verified raw and must not
+// mutate it afterwards.
+func (c *Cache) PutBlob(digest string, raw []byte) {
+	if digest == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(&entry{digest: digest, raw: raw})
+}
+
 // Get returns the archive stored under digest, refreshing its recency.
+// Blobs cached via PutBlob are not archives and miss here.
 func (c *Cache) Get(digest string) (*Archive, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byDigest[digest]
-	if !ok {
+	if !ok || el.Value.(*entry).arch == nil {
+		c.misses++
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
-	return el.Value.(*Archive), true
+	c.hits++
+	return el.Value.(*entry).arch, true
+}
+
+// GetBlob returns the raw bytes stored under digest — archive or shuffle
+// blob alike — refreshing recency. The returned slice is shared; callers
+// must not mutate it.
+func (c *Cache) GetBlob(digest string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byDigest[digest]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).raw, true
 }
 
 // Has reports whether the digest is cached, counting a hit (and
@@ -106,7 +159,7 @@ func (c *Cache) Len() int {
 	return len(c.byDigest)
 }
 
-// SizeBytes returns the cached archives' total serialized size.
+// SizeBytes returns the cached blobs' total size.
 func (c *Cache) SizeBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -114,16 +167,23 @@ func (c *Cache) SizeBytes() int64 {
 }
 
 // Transfers returns how many distinct blobs were ever inserted — the
-// node's archive-bytes-on-the-wire figure benchmarks assert on.
+// node's blob-bytes-on-the-wire figure benchmarks assert on.
 func (c *Cache) Transfers() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.puts
 }
 
-// Hits returns how many Has probes found their digest already cached.
+// Hits returns how many lookups found their digest already cached.
 func (c *Cache) Hits() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits
+}
+
+// Misses returns how many Get/GetBlob lookups found nothing cached.
+func (c *Cache) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
 }

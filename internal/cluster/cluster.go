@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"cn/internal/dataplane"
 	"cn/internal/jobmgr"
 	"cn/internal/metrics"
 	"cn/internal/placement"
@@ -213,6 +214,47 @@ func (c *Cluster) BlobTransfers() int64 {
 		}
 	}
 	return n
+}
+
+// DataplaneStats sums every live JobManager's data-plane broker counters:
+// location adverts, resolves and parks, and the payload bytes the managers
+// served from inline copies (the only data-plane bytes that touch a
+// JobManager at all).
+func (c *Cluster) DataplaneStats() dataplane.StatsSnapshot {
+	var agg dataplane.StatsSnapshot
+	for _, name := range c.order {
+		if srv, ok := c.servers[name]; ok {
+			agg = agg.Add(srv.JobManager().DataplaneStats())
+		}
+	}
+	return agg
+}
+
+// DataplaneBytes sums the live TaskManagers' direct TM→TM data-plane
+// transfer counters: payload bytes served to peers and pulled from them.
+// Compared against WireStats' JobManager traffic, this is the tentpole
+// figure — shuffle bytes that bypass the managers entirely.
+func (c *Cluster) DataplaneBytes() (served, fetched int64) {
+	for _, name := range c.order {
+		if srv, ok := c.servers[name]; ok {
+			served += srv.TaskManager().DataServedBytes()
+			fetched += srv.TaskManager().DataFetchedBytes()
+		}
+	}
+	return served, fetched
+}
+
+// CacheStats sums the live TaskManagers' digest-cache hit/miss counters
+// (archives and data-plane blobs share each node's cache).
+func (c *Cluster) CacheStats() (hits, misses int64) {
+	for _, name := range c.order {
+		if srv, ok := c.servers[name]; ok {
+			cache := srv.TaskManager().BlobCache()
+			hits += cache.Hits()
+			misses += cache.Misses()
+		}
+	}
+	return hits, misses
 }
 
 // KillNode abruptly removes a node from the cluster (failure injection):

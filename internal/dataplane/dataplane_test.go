@@ -1,0 +1,210 @@
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutThenResolve(t *testing.T) {
+	var stats Stats
+	b := NewBroker(&stats)
+	in := Loc{Key: "k", Task: "t1", Node: "n1", Digest: "d1", Size: 10}
+	if err := b.Put(in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Resolve(context.Background(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != "n1" || got.Digest != "d1" || got.Size != 10 || got.Task != "t1" {
+		t.Errorf("resolved %+v", got)
+	}
+	s := stats.Snapshot()
+	if s.Puts != 1 || s.Resolves != 1 || s.Parks != 0 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+// TestResolveParksUntilPut: a resolve issued before the advert must block
+// and wake when the key publishes.
+func TestResolveParksUntilPut(t *testing.T) {
+	var stats Stats
+	b := NewBroker(&stats)
+	done := make(chan Loc, 1)
+	go func() {
+		l, err := b.Resolve(context.Background(), "late")
+		if err != nil {
+			t.Error(err)
+		}
+		done <- l
+	}()
+	// Let the resolver park, then publish.
+	time.Sleep(10 * time.Millisecond)
+	if err := b.Put(Loc{Key: "late", Node: "n2", Digest: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case l := <-done:
+		if l.Node != "n2" {
+			t.Errorf("woke with %+v", l)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked resolve never woke")
+	}
+	if s := stats.Snapshot(); s.Parks != 1 {
+		t.Errorf("parks = %d, want 1", s.Parks)
+	}
+}
+
+func TestResolveDeadline(t *testing.T) {
+	b := NewBroker(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := b.Resolve(ctx, "never"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline", err)
+	}
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	b := NewBroker(nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Resolve(context.Background(), "k")
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke on close")
+	}
+	if err := b.Put(Loc{Key: "k"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("put after close: %v", err)
+	}
+}
+
+// TestInvalidateStaleHint: a consumer-reported stale advert is dropped only
+// when node (and digest, if given) still match; a dropped non-inline advert
+// reports its location as lost so the producer can be re-run.
+func TestInvalidateStaleHint(t *testing.T) {
+	b := NewBroker(nil)
+	_ = b.Put(Loc{Key: "k", Task: "prod", Node: "n1", Digest: "d1"})
+	if _, lost := b.Invalidate("k", "n2", ""); lost {
+		t.Error("invalidated with wrong node")
+	}
+	if _, lost := b.Invalidate("k", "n1", "other"); lost {
+		t.Error("invalidated with wrong digest")
+	}
+	l, lost := b.Invalidate("k", "n1", "d1")
+	if !lost || l.Task != "prod" || l.Node != "n1" {
+		t.Errorf("matching hint: lost=%v loc=%+v", lost, l)
+	}
+	if _, ok := b.Lookup("k"); ok {
+		t.Error("advert survived invalidation")
+	}
+}
+
+// TestInvalidateKeepsInline: an advert with a JM-held inline copy degrades
+// to JM-served (node cleared) instead of disappearing, and is not reported
+// lost — no producer re-run is needed.
+func TestInvalidateKeepsInline(t *testing.T) {
+	b := NewBroker(nil)
+	_ = b.Put(Loc{Key: "k", Node: "n1", Digest: "d", Size: 3, Inline: []byte{1, 2, 3}})
+	if _, lost := b.Invalidate("k", "n1", "d"); lost {
+		t.Fatal("inline-backed advert reported lost")
+	}
+	l, ok := b.Lookup("k")
+	if !ok || l.Node != "" || len(l.Inline) != 3 {
+		t.Errorf("after invalidate: %+v ok=%v", l, ok)
+	}
+}
+
+// TestInvalidateNode: dead-node sweep returns only the locations whose
+// payload is actually lost (no inline copy) — the producers to re-run.
+func TestInvalidateNode(t *testing.T) {
+	b := NewBroker(nil)
+	_ = b.Put(Loc{Key: "a", Task: "ta", Node: "dead", Digest: "d1"})
+	_ = b.Put(Loc{Key: "b", Task: "tb", Node: "dead", Digest: "d2", Inline: []byte{1}})
+	_ = b.Put(Loc{Key: "c", Task: "tc", Node: "alive", Digest: "d3"})
+	lost := b.InvalidateNode("dead")
+	if len(lost) != 1 || lost[0].Key != "a" || lost[0].Task != "ta" {
+		t.Fatalf("lost = %+v", lost)
+	}
+	if _, ok := b.Lookup("a"); ok {
+		t.Error("lost advert a still present")
+	}
+	if l, ok := b.Lookup("b"); !ok || l.Node != "" {
+		t.Error("inline advert b should survive JM-served")
+	}
+	if l, ok := b.Lookup("c"); !ok || l.Node != "alive" {
+		t.Error("advert c on a live node was touched")
+	}
+}
+
+// TestRepublishOverwrites: a recovered producer's fresh advert replaces the
+// old one and wakes waiters parked since the invalidation.
+func TestRepublishOverwrites(t *testing.T) {
+	b := NewBroker(nil)
+	_ = b.Put(Loc{Key: "k", Node: "n1", Digest: "old"})
+	_ = b.Put(Loc{Key: "k", Node: "n2", Digest: "new"})
+	l, err := b.Resolve(context.Background(), "k")
+	if err != nil || l.Node != "n2" || l.Digest != "new" {
+		t.Errorf("resolve after republish: %+v, %v", l, err)
+	}
+}
+
+// TestEntriesRestore: the checkpoint image round-trips into a fresh broker
+// and answers parked resolves there.
+func TestEntriesRestore(t *testing.T) {
+	b := NewBroker(nil)
+	_ = b.Put(Loc{Key: "b", Node: "n2", Digest: "d2"})
+	_ = b.Put(Loc{Key: "a", Node: "n1", Digest: "d1", Inline: []byte{9}})
+	entries := b.Entries()
+	if len(entries) != 2 || entries[0].Key != "a" || entries[1].Key != "b" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	adopted := NewBroker(nil)
+	adopted.Restore(entries)
+	l, err := adopted.Resolve(context.Background(), "a")
+	if err != nil || l.Digest != "d1" || len(l.Inline) != 1 {
+		t.Errorf("restored resolve: %+v, %v", l, err)
+	}
+}
+
+// TestConcurrentPutResolve hammers the broker from both sides; run with
+// -race this doubles as the data-race check for the park/wake machinery.
+func TestConcurrentPutResolve(t *testing.T) {
+	var stats Stats
+	b := NewBroker(&stats)
+	const keys = 64
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < keys; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Resolve(ctx, key); err != nil {
+				t.Errorf("resolve %q: %v", key, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := b.Put(Loc{Key: key, Node: "n", Digest: key}); err != nil {
+				t.Errorf("put %q: %v", key, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := stats.Snapshot(); s.Puts != keys || s.Resolves != keys {
+		t.Errorf("stats %+v, want %d puts/resolves", s, keys)
+	}
+}

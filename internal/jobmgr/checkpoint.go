@@ -31,6 +31,7 @@ import (
 	"sort"
 	"time"
 
+	"cn/internal/dataplane"
 	"cn/internal/health"
 	"cn/internal/msg"
 	"cn/internal/protocol"
@@ -40,8 +41,9 @@ import (
 )
 
 // ckptVersion versions the opaque checkpoint encoding. A peer on a newer
-// build refuses older images rather than misreading them.
-const ckptVersion = 1
+// build refuses older images rather than misreading them. Version 2 added
+// the data-plane location table.
+const ckptVersion = 2
 
 // maxCheckpointBlobBytes caps the aggregate archive bytes a checkpoint
 // inlines. Jobs whose blobs exceed it checkpoint without them: re-placed
@@ -73,6 +75,7 @@ type jobCheckpoint struct {
 	tuples     []tuplespace.Tuple
 	tsOps      int64
 	blobs      map[string][]byte
+	locs       []dataplane.Loc
 }
 
 // checkpointLoop multicasts every hosted job's control state to the
@@ -260,6 +263,13 @@ func (jm *JobManager) adoptJob(origin, jobID string, data []byte) error {
 		beats:       make(map[string]*beatState),
 		space:       tuplespace.New(),
 	}
+	j.broker = dataplane.NewBroker(&jm.dpStats)
+	j.broker.Restore(ck.locs)
+	// Adverts served by the dead origin's own TaskManager are unreachable.
+	// Inline-backed ones degrade to adopter-served copies; the rest are
+	// gone, and their producers re-run below alongside the placement
+	// orphans (completed producers via schedule Rerun after restore).
+	lostLocs := j.broker.InvalidateNode(origin)
 	for _, sp := range ck.specs {
 		j.specs[sp.Name] = sp
 	}
@@ -363,6 +373,20 @@ func (jm *JobManager) adoptJob(origin, jobID string, data []byte) error {
 			j.retrying[name] = true
 			orphans = append(orphans, name)
 		}
+	}
+	// Completed producers whose only data-plane output copy lived on the
+	// dead origin rewind to running and re-place with the orphans, so a
+	// consumer resolve parked on the adopter eventually publishes again.
+	for _, l := range lostLocs {
+		name := l.Task
+		if name == "" || j.retrying[name] || j.schedule == nil {
+			continue
+		}
+		if j.schedule.Status(name) != StatusDone || !j.schedule.Rerun(name) {
+			continue
+		}
+		j.retrying[name] = true
+		orphans = append(orphans, name)
 	}
 	j.mu.Unlock()
 	sort.Strings(execNow)
@@ -514,15 +538,30 @@ func appendJobCheckpointLocked(dst []byte, j *jobState, withBlobs bool) ([]byte,
 	}
 	dst = wire.AppendVarint(dst, j.tsOps.Load())
 
-	if !withBlobs {
+	if withBlobs {
+		digests := sortedKeys(j.blobs)
+		dst = wire.AppendUvarint(dst, uint64(len(digests)))
+		for _, d := range digests {
+			dst = wire.AppendString(dst, d)
+			dst = wire.AppendBytes(dst, j.blobs[d])
+		}
+	} else {
 		dst = wire.AppendUvarint(dst, 0)
-		return dst, nil
 	}
-	digests := sortedKeys(j.blobs)
-	dst = wire.AppendUvarint(dst, uint64(len(digests)))
-	for _, d := range digests {
-		dst = wire.AppendString(dst, d)
-		dst = wire.AppendBytes(dst, j.blobs[d])
+
+	// The data-plane location table rides every checkpoint: adverts are a
+	// few strings each (plus inline copies bounded by DataInlineMax), and
+	// an adopter without them would park every consumer resolve until the
+	// producers were needlessly re-run.
+	locs := j.broker.Entries()
+	dst = wire.AppendUvarint(dst, uint64(len(locs)))
+	for _, l := range locs {
+		dst = wire.AppendString(dst, l.Key)
+		dst = wire.AppendString(dst, l.Task)
+		dst = wire.AppendString(dst, l.Node)
+		dst = wire.AppendString(dst, l.Digest)
+		dst = wire.AppendVarint(dst, l.Size)
+		dst = wire.AppendBytes(dst, l.Inline)
 	}
 	return dst, nil
 }
@@ -735,6 +774,37 @@ func decodeJobCheckpoint(data []byte) (*jobCheckpoint, error) {
 			return nil, err
 		}
 		ck.blobs[d] = append([]byte(nil), raw...)
+	}
+	nlocs, err := r.Count("checkpoint data-plane locations")
+	if err != nil {
+		return nil, err
+	}
+	ck.locs = make([]dataplane.Loc, 0, nlocs)
+	for i := 0; i < nlocs; i++ {
+		var l dataplane.Loc
+		if l.Key, err = r.String(); err != nil {
+			return nil, err
+		}
+		if l.Task, err = r.String(); err != nil {
+			return nil, err
+		}
+		if l.Node, err = r.String(); err != nil {
+			return nil, err
+		}
+		if l.Digest, err = r.String(); err != nil {
+			return nil, err
+		}
+		if l.Size, err = r.Varint(); err != nil {
+			return nil, err
+		}
+		raw, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) > 0 {
+			l.Inline = append([]byte(nil), raw...)
+		}
+		ck.locs = append(ck.locs, l)
 	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("jobmgr: %d trailing bytes after checkpoint", r.Len())

@@ -1,0 +1,166 @@
+// JobManager side of the direct task-to-task data plane.
+//
+// Producers advertise each published output with KindDataPut — key, digest,
+// size, serving node, and (for payloads at most DataInlineMax) the bytes
+// themselves. Consumers look keys up with KindDataResolve; an unpublished
+// key parks the handler goroutine for the request's window and answers
+// Retry when it lapses, the same shape as the blocking tuple-space ops.
+// Either way the JobManager carries locations, not payloads: the bytes move
+// producer-to-consumer over KindDataFetch chunk pulls between the two
+// TaskManagers, so the manager's data-plane cost per key is one advert and
+// one location reply regardless of output size.
+
+package jobmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cn/internal/archive"
+	"cn/internal/dataplane"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+)
+
+// Park-window clamps for KindDataResolve, mirroring the tuple-space
+// bounds: the floor keeps a zero-window request from spinning the
+// requester's retry loop, the ceiling keeps the reply inside the caller's
+// DataCallTimeout with room to travel.
+const (
+	minDataPark = 10 * time.Millisecond
+	maxDataPark = protocol.DataCallTimeout - 2*time.Second
+)
+
+func dataReply(m *msg.Message, resp *protocol.DataLocResp) *msg.Message {
+	return m.Reply(msg.KindDataLoc, msg.MustEncode(resp))
+}
+
+// HandleDataPut processes a producer's KindDataPut advert and returns the
+// KindDataLoc acknowledgement. Inline payloads are digest-verified here —
+// the JobManager will serve those bytes as authoritative, so it refuses to
+// store a copy that does not match its own advert.
+func (jm *JobManager) HandleDataPut(m *msg.Message) *msg.Message {
+	var req protocol.DataPutReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return dataReply(m, &protocol.DataLocResp{Err: "bad data-plane put: " + err.Error()})
+	}
+	if req.Key == "" || req.Digest == "" || req.Size < 0 {
+		return dataReply(m, &protocol.DataLocResp{Key: req.Key, Err: "data-plane put: missing key or digest"})
+	}
+	if len(req.Data) > 0 {
+		if int64(len(req.Data)) != req.Size || req.Size > protocol.DataInlineMax {
+			return dataReply(m, &protocol.DataLocResp{Key: req.Key,
+				Err: fmt.Sprintf("data-plane put: inline payload %d bytes, advertised %d (max %d)",
+					len(req.Data), req.Size, protocol.DataInlineMax)})
+		}
+		if archive.DigestBytes(req.Data) != req.Digest {
+			return dataReply(m, &protocol.DataLocResp{Key: req.Key, Err: "data-plane put: inline payload digest mismatch"})
+		}
+	}
+	j, err := jm.job(req.JobID)
+	if err != nil {
+		return dataReply(m, &protocol.DataLocResp{Key: req.Key, Err: err.Error()})
+	}
+	loc := dataplane.Loc{
+		Key:    req.Key,
+		Task:   req.Task,
+		Node:   req.Node,
+		Digest: req.Digest,
+		Size:   req.Size,
+		Inline: req.Data,
+	}
+	if err := j.broker.Put(loc); err != nil {
+		return dataReply(m, &protocol.DataLocResp{Key: req.Key, Closed: true})
+	}
+	return dataReply(m, &protocol.DataLocResp{Key: req.Key, Digest: req.Digest, Node: req.Node, Size: req.Size})
+}
+
+// HandleDataResolve processes a consumer's KindDataResolve and returns the
+// KindDataLoc reply. An unpublished key parks the calling goroutine up to
+// the clamped window; the server must invoke this handler off the
+// endpoint's dispatch loop. Resolve replies are non-destructive, so a
+// lapsed park simply answers Retry — no cancel protocol is needed.
+func (jm *JobManager) HandleDataResolve(m *msg.Message) *msg.Message {
+	var req protocol.DataResolveReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return dataReply(m, &protocol.DataLocResp{Err: "bad data-plane resolve: " + err.Error()})
+	}
+	j, err := jm.job(req.JobID)
+	if err != nil {
+		return dataReply(m, &protocol.DataLocResp{Key: req.Key, Err: err.Error()})
+	}
+	if req.StaleNode != "" {
+		// The consumer failed to fetch from this advert (the producer's
+		// node died under it); drop the stale location before resolving so
+		// it is not served a second time. Inline-backed adverts degrade to
+		// JM-served instead of dropping; a genuinely lost payload means its
+		// producer must run again — the consumer's hint can land before the
+		// node's lease even lapses, so recovery cannot be left to the
+		// health monitor's InvalidateNode sweep alone.
+		if lost, ok := j.broker.Invalidate(req.Key, req.StaleNode, req.StaleDigest); ok {
+			jm.rerunProducer(j, lost)
+		}
+	}
+	park := time.Duration(req.ParkMS) * time.Millisecond
+	if park <= 0 {
+		park = protocol.DataParkWindow
+	}
+	park = min(max(park, minDataPark), maxDataPark)
+	ctx, cancel := context.WithTimeout(context.Background(), park)
+	defer cancel()
+	loc, err := j.broker.Resolve(ctx, req.Key)
+	switch {
+	case err == nil:
+		resp := &protocol.DataLocResp{Key: loc.Key, Digest: loc.Digest, Node: loc.Node, Size: loc.Size}
+		if len(loc.Inline) > 0 {
+			resp.Data = loc.Inline
+			jm.dpStats.InlineBytes.Add(int64(len(loc.Inline)))
+		}
+		return dataReply(m, resp)
+	case errors.Is(err, dataplane.ErrClosed):
+		return dataReply(m, &protocol.DataLocResp{Key: req.Key, Closed: true})
+	default:
+		// The park window lapsed unpublished; the consumer re-issues.
+		jm.dpStats.Retries.Add(1)
+		return dataReply(m, &protocol.DataLocResp{Key: req.Key, Retry: true})
+	}
+}
+
+// rerunProducer routes a completed task whose advertised output was lost
+// back through the recovery engine so a consumer parked on the key can
+// eventually be answered by the re-published advert. Placement runs on its
+// own goroutine — the caller is a parked resolve handler whose window
+// should tick against the re-run, not against placement round trips.
+func (jm *JobManager) rerunProducer(j *jobState, l dataplane.Loc) {
+	name := l.Task
+	j.mu.Lock()
+	if name == "" || j.notified || j.retrying[name] || j.schedule == nil ||
+		j.schedule.Status(name) != StatusDone || !j.schedule.Rerun(name) {
+		j.mu.Unlock()
+		return
+	}
+	j.retrying[name] = true
+	j.mu.Unlock()
+
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return
+	}
+	jm.wg.Add(1)
+	jm.mu.Unlock()
+	go func() {
+		defer jm.wg.Done()
+		jm.retryTasks(j, []string{name},
+			fmt.Sprintf("data-plane output %q lost with node %s", l.Key, l.Node),
+			map[string]bool{l.Node: true})
+	}()
+}
+
+// DataplaneStats snapshots the manager's aggregate data-plane broker
+// counters across all hosted jobs.
+func (jm *JobManager) DataplaneStats() dataplane.StatsSnapshot {
+	return jm.dpStats.Snapshot()
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cn/internal/archive"
+	"cn/internal/dataplane"
 	"cn/internal/health"
 	"cn/internal/msg"
 	"cn/internal/placement"
@@ -165,6 +166,13 @@ type jobState struct {
 	// not counted).
 	tsOps atomic.Int64
 
+	// broker is the job's data-plane location table: task output key ->
+	// the content-addressed location the producer advertised (and, for
+	// small payloads, the inline copy). Like space it is created with the
+	// job, immutable as a field, and closed at terminal state so parked
+	// resolves unblock with ErrClosed.
+	broker *dataplane.Broker
+
 	// ckptSeq orders this job's peer checkpoints; peers keep the highest
 	// seq seen per (origin, job). ckptDone marks the terminal tombstone as
 	// sent, so finished jobs cost one multicast, not one per tick. Guarded
@@ -213,6 +221,10 @@ type JobManager struct {
 	// parked indexes in-flight blocking tuple-space ops so a requester's
 	// KindTSCancel can abort its own stale park.
 	parked tsParks
+
+	// dpStats aggregates data-plane broker counters across hosted jobs;
+	// shared by every job broker this manager creates.
+	dpStats dataplane.Stats
 }
 
 // jobQueueCap bounds each job's serial processing queue.
@@ -395,8 +407,10 @@ func (jm *JobManager) evictTombstones(now time.Time) {
 	for _, j := range expired {
 		// Eviction is the last exit for a space that never saw finishJob
 		// (an abandoned, never-started job); close it so its waiters and
-		// tuples are freed with the record.
+		// tuples are freed with the record. The data-plane broker goes the
+		// same way: parked resolves unblock, the location table is freed.
 		j.space.Close()
+		j.broker.Close()
 		// An abandoned job still holds unstarted assignments (and their
 		// memory reservations) on its placement nodes; cancel them before
 		// the record — and with it the only route to those nodes — is
@@ -529,6 +543,7 @@ func (jm *JobManager) HandleCreateJob(m *msg.Message) *msg.Message {
 		beats:       make(map[string]*beatState),
 		space:       tuplespace.New(),
 	}
+	j.broker = dataplane.NewBroker(&jm.dpStats)
 	jm.jobs[id] = j
 	jm.wg.Add(1)
 	go jm.jobWorker(j)
@@ -1394,10 +1409,12 @@ func (jm *JobManager) cancelCopy(j *jobState, node, taskName string) {
 // finishJob cancels remaining tasks (on failure), notifies the client, and
 // forgets the job.
 func (jm *JobManager) finishJob(j *jobState, failed bool) {
-	// The job is terminal: close its coordination space first so workers
-	// blocked in In/Rd — on a failed job, possibly forever — unblock with
-	// ErrClosed before the cancel fan-out reaches their nodes.
+	// The job is terminal: close its coordination space and data-plane
+	// broker first so workers blocked in In/Rd or parked in a resolve — on
+	// a failed job, possibly forever — unblock with ErrClosed before the
+	// cancel fan-out reaches their nodes.
 	j.space.Close()
+	j.broker.Close()
 	j.mu.Lock()
 	nodes := make(map[string]bool)
 	for _, n := range j.placement {
@@ -1547,6 +1564,7 @@ func (jm *JobManager) HandleCancel(m *msg.Message) *msg.Message {
 
 func (jm *JobManager) finishJobCancelled(j *jobState, reason string) {
 	j.space.Close()
+	j.broker.Close()
 	j.mu.Lock()
 	nodes := make(map[string]bool)
 	for _, n := range j.placement {
@@ -1584,6 +1602,7 @@ func (jm *JobManager) Close() {
 	for _, j := range jm.jobs {
 		j.queue.Close()
 		j.space.Close()
+		j.broker.Close()
 	}
 	jm.mu.Unlock()
 	jm.monitor.Close()

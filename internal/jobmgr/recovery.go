@@ -240,6 +240,23 @@ func (jm *JobManager) recoverNode(node string) {
 			j.retrying[taskName] = true
 			orphans = append(orphans, taskName)
 		}
+		// Data-plane adverts served by the dead node are unreachable now.
+		// Inline-backed ones degrade to JM-served copies inside the broker;
+		// the rest are lost outputs whose producers must run again — even
+		// completed ones, since a consumer may yet resolve the key. Running
+		// producers on the dead node are already orphaned above; running
+		// producers elsewhere will re-advertise when they complete.
+		for _, l := range j.broker.InvalidateNode(node) {
+			name := l.Task
+			if name == "" || j.retrying[name] || j.schedule == nil {
+				continue
+			}
+			if j.schedule.Status(name) != StatusDone || !j.schedule.Rerun(name) {
+				continue
+			}
+			j.retrying[name] = true
+			orphans = append(orphans, name)
+		}
 		j.mu.Unlock()
 		if len(orphans) > 0 {
 			recovered += len(orphans)

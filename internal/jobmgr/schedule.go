@@ -182,6 +182,21 @@ func (s *Schedule) Complete(name string) ([]string, error) {
 	return newly, nil
 }
 
+// Rerun moves a done task back to running so it can execute again — the
+// recovery transition for a completed producer whose only data-plane output
+// copy died with its node. Dependent bookkeeping needs no rewind: the first
+// completion already credited the dependents, and Complete's pending-only
+// guard plus idempotent unmet deletion make the re-completion's credit pass
+// a no-op, so dependents are never double-released.
+func (s *Schedule) Rerun(name string) bool {
+	if s.state[name] != StatusDone {
+		return false
+	}
+	s.state[name] = StatusRunning
+	s.terminal--
+	return true
+}
+
 // Fail records failed termination of a running task; the job is failed
 // and every not-yet-terminal task is cancelled.
 func (s *Schedule) Fail(name string) error {

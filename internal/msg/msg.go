@@ -97,6 +97,14 @@ const (
 	KindJMCheckpoint // event: JobManager multicasts a job's control-state checkpoint to peers
 	KindJMAdopt      // request/response: a surviving JobManager re-homes a dead peer's job
 
+	// Direct task-to-task data plane: producers advertise content-addressed
+	// outputs to the JobManager (locations only, never bytes) and consumers
+	// pull the bytes straight from the producer's TaskManager.
+	KindDataPut     // request: producer TM -> JM location advert for a keyed output
+	KindDataResolve // request: consumer TM -> JM lookup of a key's location (parks until published)
+	KindDataLoc     // response: the key's location (or inline bytes for small payloads)
+	KindDataFetch   // request: consumer TM -> producer TM direct chunk pull
+
 	// kindEnd is the exclusive upper bound of the kind space; keep it last.
 	kindEnd
 )
@@ -149,6 +157,10 @@ var kindNames = map[Kind]string{
 	KindBlobChunkAck:      "BLOB_CHUNK_ACK",
 	KindJMCheckpoint:      "JM_CHECKPOINT",
 	KindJMAdopt:           "JM_ADOPT",
+	KindDataPut:           "DATA_PUT",
+	KindDataResolve:       "DATA_RESOLVE",
+	KindDataLoc:           "DATA_LOC",
+	KindDataFetch:         "DATA_FETCH",
 }
 
 // String returns the wire name of the kind, e.g. "TASK_COMPLETED".

@@ -36,6 +36,36 @@ func TestKindClassification(t *testing.T) {
 	}
 }
 
+// TestEveryKindNamed: each kind below KindCount must carry a real name —
+// a kind added without a kindNames entry falls back to "Kind(n)", which
+// breaks logs and the transport's per-kind counters display.
+func TestEveryKindNamed(t *testing.T) {
+	for k := Kind(0); k < Kind(KindCount); k++ {
+		if name := k.String(); len(name) > 4 && name[:5] == "Kind(" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestDataKinds(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindDataPut:     "DATA_PUT",
+		KindDataResolve: "DATA_RESOLVE",
+		KindDataLoc:     "DATA_LOC",
+		KindDataFetch:   "DATA_FETCH",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", k, got, want)
+		}
+		if !k.IsWellDefined() {
+			t.Errorf("%s must be well-defined", want)
+		}
+		if k.IsEvent() {
+			t.Errorf("%s must not be an event", want)
+		}
+	}
+}
+
 func TestAddressString(t *testing.T) {
 	cases := []struct {
 		addr Address

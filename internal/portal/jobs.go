@@ -16,6 +16,7 @@ import (
 
 	"cn/internal/api"
 	"cn/internal/cluster"
+	"cn/internal/dataplane"
 	"cn/internal/jobmgr"
 	"cn/internal/jobstore"
 	"cn/internal/metrics"
@@ -257,15 +258,36 @@ func (p *Portal) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 // so codec-level wins (and regressions) are observable in production, not
 // only in benchmarks.
 type MetricsResponse struct {
-	Jobstore jobstore.Stats           `json:"jobstore"`
-	Metrics  metrics.RegistrySnapshot `json:"metrics"`
-	Wire     transport.WireSnapshot   `json:"wire"`
+	Jobstore  jobstore.Stats           `json:"jobstore"`
+	Metrics   metrics.RegistrySnapshot `json:"metrics"`
+	Wire      transport.WireSnapshot   `json:"wire"`
+	Dataplane DataplaneMetrics         `json:"dataplane"`
+}
+
+// DataplaneMetrics summarizes the direct task-to-task data plane: broker
+// counters from the JobManagers, TM→TM transfer bytes from the
+// TaskManagers, and the shared digest-cache hit/miss figures.
+type DataplaneMetrics struct {
+	Broker       dataplane.StatsSnapshot `json:"broker"`
+	ServedBytes  int64                   `json:"served_bytes"`  // TM→TM bytes producers served
+	FetchedBytes int64                   `json:"fetched_bytes"` // TM→TM bytes consumers pulled
+	CacheHits    int64                   `json:"cache_hits"`
+	CacheMisses  int64                   `json:"cache_misses"`
 }
 
 func (p *Portal) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	served, fetched := p.cfg.Cluster.DataplaneBytes()
+	hits, misses := p.cfg.Cluster.CacheStats()
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Jobstore: p.store.Stats(),
 		Metrics:  p.store.Metrics().Snapshot(),
 		Wire:     p.cfg.Cluster.WireStats(),
+		Dataplane: DataplaneMetrics{
+			Broker:       p.cfg.Cluster.DataplaneStats(),
+			ServedBytes:  served,
+			FetchedBytes: fetched,
+			CacheHits:    hits,
+			CacheMisses:  misses,
+		},
 	})
 }

@@ -1,0 +1,174 @@
+// Direct task-to-task data-plane wire protocol: a producer task publishes
+// its output as a content-addressed blob on its own node and advertises the
+// location to the JobManager (KindDataPut); a consumer resolves the key
+// (KindDataResolve, parking server-side until the producer publishes) and
+// pulls the bytes straight from the producer's TaskManager with
+// KindDataFetch chunk streams — the JobManager brokers locations, never
+// bytes. Small payloads ride inline on the KindDataLoc reply so a tiny
+// control value costs one round trip instead of three.
+
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cn/internal/msg"
+)
+
+// DataInlineMax is the largest payload that piggybacks whole on a
+// KindDataPut advert and its KindDataLoc replies. Bigger outputs stay on
+// the producing node and consumers chunk-pull them TM→TM.
+const DataInlineMax = 4 << 10
+
+// DataParkWindow is how long an unresolved KindDataResolve may park
+// server-side before the JobManager answers Retry and the consumer
+// re-issues — the same park/Retry shape as the tuple-space protocol, so a
+// dead JobManager fails the call at the client deadline instead of hanging
+// the task.
+const DataParkWindow = time.Second
+
+// DataCallTimeout bounds one data-plane broker call; it exceeds the park
+// window by a grace margin so a parked resolve is answered, not timed out.
+const DataCallTimeout = DataParkWindow + 4*time.Second
+
+// DataPutReq is the body of KindDataPut (producer TaskManager ->
+// JobManager): advertise that the producing node now serves the keyed
+// output identified by Digest. Data carries the payload inline when it is
+// at most DataInlineMax bytes; the JobManager then answers resolves from
+// its own copy and the key survives the producing node's death.
+type DataPutReq struct {
+	JobID  string
+	Key    string
+	Task   string // producing task name
+	Node   string // serving node: the TM→TM fetch target
+	Digest string
+	Size   int64
+	Data   []byte // inline payload (Size <= DataInlineMax), else nil
+}
+
+// DataResolveReq is the body of KindDataResolve (consumer TaskManager ->
+// JobManager): look up a key's location. An unpublished key parks the
+// request for up to ParkMS (0 = DataParkWindow) before the JobManager
+// answers Retry. StaleNode/StaleDigest name an advert the consumer already
+// failed to fetch from; the JobManager drops a matching advert before
+// resolving, so a crashed producer's stale location is not served twice.
+type DataResolveReq struct {
+	JobID       string
+	Key         string
+	Task        string // consuming task name, or "client"
+	ParkMS      int64
+	StaleNode   string
+	StaleDigest string
+}
+
+// DataLocResp is the body of KindDataLoc, answering both DATA_PUT (as an
+// acknowledgement) and DATA_RESOLVE. Exactly one of the outcome fields
+// describes the result: a location (Node/Digest/Size, with Data inlined for
+// small payloads), Retry for a lapsed park, Closed for a terminal job, or
+// Err for a request-level failure.
+type DataLocResp struct {
+	Key    string
+	Digest string
+	Node   string // serving node; empty when Data carries the payload whole
+	Size   int64
+	Data   []byte
+	Retry  bool
+	Closed bool
+	Err    string
+}
+
+// DataDoFunc performs one data-plane broker call of the given kind and
+// returns the decoded reply, failing (rather than blocking) when the
+// JobManager does not answer within DataCallTimeout.
+type DataDoFunc func(kind msg.Kind, req any) (*DataLocResp, error)
+
+// DataWire is one requester's wire attachment to a job's data-plane broker,
+// mirroring TSWire: every call is bounded by DataCallTimeout. Resolve
+// replies are non-destructive, so an abandoned park needs no cancel notice
+// — a late reply to a dropped correlation is simply discarded.
+type DataWire struct {
+	JobID    string
+	FromTask string
+	From, To msg.Address
+	// Call performs the bounded request/response round trip.
+	Call func(ctx context.Context, toNode string, m *msg.Message) (*msg.Message, error)
+}
+
+// Do performs one broker call under ctx (additionally bounded by
+// DataCallTimeout).
+func (w *DataWire) Do(ctx context.Context, kind msg.Kind, req any) (*DataLocResp, error) {
+	m := Body(kind, w.From, w.To, req)
+	cctx, cancel := context.WithTimeout(ctx, DataCallTimeout)
+	defer cancel()
+	reply, err := w.Call(cctx, w.To.Node, m)
+	if err != nil {
+		return nil, fmt.Errorf("data-plane %s: %w", kind, err)
+	}
+	var resp DataLocResp
+	if err := Decode(reply, &resp); err != nil {
+		return nil, fmt.Errorf("data-plane %s: %w", kind, err)
+	}
+	return &resp, nil
+}
+
+// Put advertises a published output to the JobManager.
+func (w *DataWire) Put(ctx context.Context, key, digest string, size int64, inline []byte) error {
+	resp, err := w.Do(ctx, msg.KindDataPut, DataPutReq{
+		JobID:  w.JobID,
+		Key:    key,
+		Task:   w.FromTask,
+		Node:   w.From.Node,
+		Digest: digest,
+		Size:   size,
+		Data:   inline,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("data-plane put %q: %s", key, resp.Err)
+	}
+	if resp.Closed {
+		return fmt.Errorf("data-plane put %q: job closed", key)
+	}
+	return nil
+}
+
+// Resolve looks up a key's location, re-issuing each time the server's
+// park window lapses unpublished. The loop ends when a location arrives,
+// the job closes, or ctx/Call fails. staleNode/staleDigest (both may be
+// empty) name an advert the caller already failed to fetch from.
+func (w *DataWire) Resolve(ctx context.Context, key, staleNode, staleDigest string) (*DataLocResp, error) {
+	req := DataResolveReq{
+		JobID:       w.JobID,
+		Key:         key,
+		Task:        w.FromTask,
+		ParkMS:      int64(DataParkWindow / time.Millisecond),
+		StaleNode:   staleNode,
+		StaleDigest: staleDigest,
+	}
+	for {
+		resp, err := w.Do(ctx, msg.KindDataResolve, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Retry {
+			// Only the first issue carries the stale hint; the matching
+			// advert is already invalidated.
+			req.StaleNode, req.StaleDigest = "", ""
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resp.Closed {
+			return nil, fmt.Errorf("data-plane resolve %q: job closed", key)
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("data-plane resolve %q: %s", key, resp.Err)
+		}
+		return resp, nil
+	}
+}

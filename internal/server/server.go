@@ -281,6 +281,12 @@ func (s *Server) dispatch(m *msg.Message) {
 		}
 	case msg.KindTSCancel:
 		s.jm.HandleTSCancel(m)
+	case msg.KindDataPut:
+		s.replyIfAny(m, s.jm.HandleDataPut(m))
+	case msg.KindDataResolve:
+		// Resolves for unpublished keys park inside the handler; dispatch
+		// already runs each message on its own goroutine.
+		s.replyIfAny(m, s.jm.HandleDataResolve(m))
 	case msg.KindStartTask:
 		s.replyIfAny(m, s.jm.HandleStartJob(m))
 	case msg.KindCancelJob:
@@ -298,6 +304,8 @@ func (s *Server) dispatch(m *msg.Message) {
 	// --- TaskManager role ---
 	case msg.KindTaskSolicit:
 		s.replyIfAny(m, s.tm.HandleSolicit(m))
+	case msg.KindDataFetch:
+		s.replyIfAny(m, s.tm.HandleDataFetch(m))
 	case msg.KindUploadJar:
 		s.replyIfAny(m, s.tm.HandleAssign(m))
 	case msg.KindAssignTasks:

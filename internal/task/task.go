@@ -5,6 +5,7 @@
 package task
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -62,6 +63,23 @@ type Context interface {
 	// tuplespace.TypeOf placeholders. The space closes when the job
 	// reaches a terminal state, failing blocked and future operations
 	// with tuplespace.ErrClosed.
+
+	// The data-plane operations move bulk task output directly between
+	// TaskManagers: Put publishes this task's output under a job-unique
+	// key (the bytes stay on the producing node, content-addressed; only
+	// the location travels to the JobManager, and payloads of at most
+	// protocol.DataInlineMax ride along inline), and Get resolves a key
+	// and pulls its bytes straight from the producing node. Use Put/Get
+	// for shuffle-sized data and Send/Recv for small control messages.
+
+	// Put publishes payload under key for the job's consumers. Keys are
+	// job-scoped; re-putting a key overwrites its advert.
+	Put(key string, payload []byte) error
+	// Get resolves key and returns its payload, blocking until the
+	// producer publishes, the job reaches a terminal state, or ctx is
+	// done. The returned slice is shared with the node's blob cache;
+	// callers must not mutate it.
+	Get(ctx context.Context, key string) ([]byte, error)
 
 	// Out stores a tuple in the job's space.
 	Out(t tuplespace.Tuple) error

@@ -1,0 +1,264 @@
+// TaskManager side of the direct task-to-task data plane.
+//
+// Put publishes a task's output into the node's content-addressed blob
+// cache and advertises the location to the job's JobManager (KindDataPut);
+// Get resolves a key (KindDataResolve) and pulls the bytes straight from
+// the producing TaskManager with KindDataFetch chunk pulls — the same
+// framing as the archive BLOB_CHUNK stream, digest-verified on reassembly.
+// The JobManager never relays payloads; at most it serves the inline copies
+// small adverts carry.
+
+package taskmgr
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cn/internal/archive"
+	"cn/internal/msg"
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// dataFetchTimeout bounds one TM→TM chunk-pull round trip.
+const dataFetchTimeout = 5 * time.Second
+
+// HandleDataFetch answers a peer TaskManager's pull for one chunk of a
+// data-plane blob held in this node's cache. The reply aliases the cached
+// bytes (cache entries are immutable), so serving costs no copy.
+func (tm *TaskManager) HandleDataFetch(m *msg.Message) *msg.Message {
+	ack := func(resp protocol.BlobChunkResp) *msg.Message {
+		return m.Reply(msg.KindBlobChunkAck, msg.MustEncode(resp))
+	}
+	var req protocol.BlobChunkReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return ack(protocol.BlobChunkResp{Err: "bad data-fetch request: " + err.Error()})
+	}
+	raw, ok := tm.blobs.GetBlob(req.Digest)
+	if !ok {
+		return ack(protocol.BlobChunkResp{Digest: req.Digest,
+			Err: fmt.Sprintf("blob %.12s… not cached on %s", req.Digest, tm.cfg.Node)})
+	}
+	max := req.MaxBytes
+	if max <= 0 || max > protocol.BlobChunkBytes {
+		max = protocol.BlobChunkBytes
+	}
+	total := int64(len(raw))
+	if req.Offset < 0 || req.Offset >= total {
+		return ack(protocol.BlobChunkResp{Digest: req.Digest, Total: total,
+			Err: fmt.Sprintf("offset %d out of range (blob is %d bytes)", req.Offset, total)})
+	}
+	end := req.Offset + max
+	if end > total {
+		end = total
+	}
+	tm.dataServedBytes.Add(end - req.Offset)
+	return ack(protocol.BlobChunkResp{Digest: req.Digest, Offset: req.Offset, Total: total, Data: raw[req.Offset:end]})
+}
+
+// fetchData chunk-pulls one content-addressed data-plane blob from a peer
+// TaskManager and digest-verifies the reassembly, mirroring the server's
+// archive pull loop.
+func (tm *TaskManager) fetchData(ctx context.Context, node, jobID, digest string, size int64) ([]byte, error) {
+	if size <= 0 || size > protocol.MaxBlobBytes {
+		return nil, fmt.Errorf("advertised blob size %d out of bounds", size)
+	}
+	data := make([]byte, 0, size)
+	for int64(len(data)) < size {
+		req := protocol.BlobChunkReq{
+			JobID:    jobID,
+			Digest:   digest,
+			Offset:   int64(len(data)),
+			MaxBytes: protocol.BlobChunkBytes,
+		}
+		m := protocol.Body(msg.KindDataFetch,
+			msg.Address{Node: tm.cfg.Node, Job: jobID},
+			msg.Address{Node: node, Job: jobID},
+			req)
+		cctx, cancel := context.WithTimeout(ctx, dataFetchTimeout)
+		reply, err := tm.cfg.Call(cctx, node, m)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		var chunk protocol.BlobChunkResp
+		if err := protocol.Decode(reply, &chunk); err != nil {
+			return nil, err
+		}
+		if chunk.Err != "" {
+			return nil, fmt.Errorf("chunk at %d: %s", len(data), chunk.Err)
+		}
+		if chunk.Offset != int64(len(data)) || len(chunk.Data) == 0 || chunk.Total != size {
+			return nil, fmt.Errorf("chunk reply out of step: offset %d len %d total %d (have %d of %d)",
+				chunk.Offset, len(chunk.Data), chunk.Total, len(data), size)
+		}
+		data = append(data, chunk.Data...)
+	}
+	if got := archive.DigestBytes(data); got != digest {
+		return nil, fmt.Errorf("reassembled blob hashes to %.12s…, want %.12s…", got, digest)
+	}
+	tm.dataFetchedBytes.Add(size)
+	return data, nil
+}
+
+// DataServedBytes returns how many data-plane payload bytes this node served
+// to peer TaskManagers (the producer side of TM→TM transfers).
+func (tm *TaskManager) DataServedBytes() int64 { return tm.dataServedBytes.Load() }
+
+// DataFetchedBytes returns how many data-plane payload bytes this node
+// pulled from peer TaskManagers (the consumer side).
+func (tm *TaskManager) DataFetchedBytes() int64 { return tm.dataFetchedBytes.Load() }
+
+// dataWire builds the running task's wire attachment to its job's
+// data-plane broker, aimed at the JobManager owning the job right now —
+// resolved per attempt so adopted assignments follow the job.
+func (c *execContext) dataWire(jmNode string) *protocol.DataWire {
+	return &protocol.DataWire{
+		JobID:    c.a.jobID,
+		FromTask: c.a.spec.Name,
+		From:     c.self,
+		To:       msg.Address{Node: jmNode, Job: c.a.jobID},
+		Call:     c.tm.cfg.Call,
+	}
+}
+
+// dataCtx derives a context that additionally aborts when the task is
+// cancelled or the TaskManager shuts down, so a parked resolve never
+// outlives its node.
+func (c *execContext) dataCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	dctx, cancel := context.WithCancel(ctx)
+	go func() {
+		select {
+		case <-c.tm.stop:
+			cancel()
+		case <-c.a.stopped:
+			cancel()
+		case <-dctx.Done():
+		}
+	}()
+	return dctx, cancel
+}
+
+// Put implements task.Context: publish payload under key. The bytes land in
+// the node's blob cache (where peer fetches are served from) and only the
+// content-addressed location travels to the JobManager; payloads at most
+// protocol.DataInlineMax ride along inline so the advert itself can answer
+// consumers.
+func (c *execContext) Put(key string, payload []byte) error {
+	if key == "" {
+		return fmt.Errorf("task %s: put: empty key", c.a.spec.Name)
+	}
+	if c.tm.cfg.Call == nil {
+		return fmt.Errorf("task %s: data plane unavailable: no call path configured", c.a.spec.Name)
+	}
+	if c.a.cancelled.Load() {
+		return task.ErrStopped
+	}
+	if int64(len(payload)) > protocol.MaxBlobBytes {
+		return fmt.Errorf("task %s: put %q: payload %d bytes exceeds max %d",
+			c.a.spec.Name, key, len(payload), int64(protocol.MaxBlobBytes))
+	}
+	// Own copy: the caller may reuse its buffer, but the cache entry (and
+	// the chunks served from it) must stay immutable.
+	data := append([]byte(nil), payload...)
+	digest := archive.DigestBytes(data)
+	c.tm.blobs.PutBlob(digest, data)
+	var inline []byte
+	if len(data) > 0 && len(data) <= protocol.DataInlineMax {
+		inline = data
+	}
+	ctx, cancel := c.dataCtx(context.Background())
+	defer cancel()
+	for {
+		jmNode := c.a.jm()
+		err := c.dataWire(jmNode).Put(ctx, key, digest, int64(len(data)), inline)
+		if err == nil {
+			c.a.progress.Add(1)
+			return nil
+		}
+		if c.a.cancelled.Load() {
+			return task.ErrStopped
+		}
+		if ctx.Err() == nil && c.a.jm() != jmNode {
+			continue // the job was adopted mid-call; retry at the survivor
+		}
+		return fmt.Errorf("task %s: %w", c.a.spec.Name, err)
+	}
+}
+
+// Get implements task.Context: resolve key at the JobManager and pull its
+// payload. Inline answers and locally cached digests return without a
+// TM→TM round trip; otherwise the bytes are chunk-pulled from the
+// producing node. A fetch that fails (the producer died under the advert)
+// re-resolves with a stale hint — the JobManager drops the dead location
+// and parks the resolve until the recovered producer re-publishes.
+func (c *execContext) Get(ctx context.Context, key string) ([]byte, error) {
+	if key == "" {
+		return nil, fmt.Errorf("task %s: get: empty key", c.a.spec.Name)
+	}
+	if c.tm.cfg.Call == nil {
+		return nil, fmt.Errorf("task %s: data plane unavailable: no call path configured", c.a.spec.Name)
+	}
+	if c.a.cancelled.Load() {
+		return nil, task.ErrStopped
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dctx, cancel := c.dataCtx(ctx)
+	defer cancel()
+
+	staleNode, staleDigest := "", ""
+	for {
+		jmNode := c.a.jm()
+		resp, err := c.dataWire(jmNode).Resolve(dctx, key, staleNode, staleDigest)
+		if err != nil {
+			if c.a.cancelled.Load() {
+				return nil, task.ErrStopped
+			}
+			if dctx.Err() == nil && c.a.jm() != jmNode {
+				continue // the job was adopted mid-call; retry at the survivor
+			}
+			return nil, fmt.Errorf("task %s: %w", c.a.spec.Name, err)
+		}
+		staleNode, staleDigest = "", ""
+		if resp.Size == 0 {
+			c.a.progress.Add(1)
+			return []byte{}, nil
+		}
+		if len(resp.Data) > 0 {
+			// Inline answer (from the advert or a JM-held survivor copy).
+			data := append([]byte(nil), resp.Data...)
+			if archive.DigestBytes(data) != resp.Digest {
+				return nil, fmt.Errorf("task %s: get %q: inline payload digest mismatch", c.a.spec.Name, key)
+			}
+			c.tm.blobs.PutBlob(resp.Digest, data)
+			c.a.progress.Add(1)
+			return data, nil
+		}
+		if raw, ok := c.tm.blobs.GetBlob(resp.Digest); ok {
+			c.a.progress.Add(1)
+			return raw, nil
+		}
+		if resp.Node == "" {
+			return nil, fmt.Errorf("task %s: get %q: advert has no serving node", c.a.spec.Name, key)
+		}
+		raw, err := c.tm.fetchData(dctx, resp.Node, c.a.jobID, resp.Digest, resp.Size)
+		if err != nil {
+			if dctx.Err() != nil {
+				if c.a.cancelled.Load() {
+					return nil, task.ErrStopped
+				}
+				return nil, fmt.Errorf("task %s: get %q: %w", c.a.spec.Name, key, dctx.Err())
+			}
+			c.tm.logf("task %s/%s: fetch %q (%.12s…) from %s failed (%v); re-resolving",
+				c.a.jobID, c.a.spec.Name, key, resp.Digest, resp.Node, err)
+			staleNode, staleDigest = resp.Node, resp.Digest
+			continue
+		}
+		c.tm.blobs.PutBlob(resp.Digest, raw)
+		c.a.progress.Add(1)
+		return raw, nil
+	}
+}

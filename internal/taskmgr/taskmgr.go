@@ -126,6 +126,11 @@ type TaskManager struct {
 	running  int
 	closed   bool
 	wg       sync.WaitGroup
+
+	// Data-plane byte counters: payloads served to peer TaskManagers
+	// (producer side) and pulled from them (consumer side).
+	dataServedBytes  atomic.Int64
+	dataFetchedBytes atomic.Int64
 }
 
 // New creates a TaskManager and starts its heartbeat loop (unless

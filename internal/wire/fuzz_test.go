@@ -49,6 +49,12 @@ func FuzzUnmarshalPayload(f *testing.F) {
 	if enc, err := Default.Marshal(&protocol.TSOpReq{JobID: "j", Fields: []protocol.TSField{{Kind: "s", S: "x"}}}); err == nil {
 		f.Add(enc)
 	}
+	if enc, err := Default.Marshal(&protocol.DataPutReq{JobID: "j", Key: "k", Digest: "d", Size: 3, Data: []byte{1, 2, 3}}); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := Default.Marshal(&protocol.DataLocResp{Key: "k", Digest: "d", Node: "n", Size: 3}); err == nil {
+		f.Add(enc)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		for _, out := range bodies() {
 			_ = Default.Unmarshal(b, out)
@@ -73,6 +79,31 @@ func FuzzRoundTripHeartbeat(f *testing.F) {
 			t.Fatal(err)
 		}
 		if out.Node != in.Node || out.Seq != in.Seq || len(out.Beats) != 1 || out.Beats[0] != in.Beats[0] {
+			t.Errorf("round trip mismatch: %+v vs %+v", in, out)
+		}
+	})
+}
+
+// FuzzRoundTripDataLoc: structured fuzzing of the data-plane location reply
+// — any input that marshals must unmarshal to the same value, including the
+// inline payload bytes.
+func FuzzRoundTripDataLoc(f *testing.F) {
+	f.Add("wc/chunk/map1", "abc", "node1", int64(1<<20), []byte{1, 2, 3}, false, "")
+	f.Add("k", "", "", int64(0), []byte(nil), true, "closed")
+	f.Fuzz(func(t *testing.T, key, digest, node string, size int64, data []byte, retry bool, errStr string) {
+		in := &protocol.DataLocResp{Key: key, Digest: digest, Node: node, Size: size,
+			Data: data, Retry: retry, Err: errStr}
+		enc, err := Default.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out protocol.DataLocResp
+		if err := Default.Unmarshal(enc, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Key != in.Key || out.Digest != in.Digest || out.Node != in.Node ||
+			out.Size != in.Size || !bytes.Equal(out.Data, in.Data) ||
+			out.Retry != in.Retry || out.Closed != in.Closed || out.Err != in.Err {
 			t.Errorf("round trip mismatch: %+v vs %+v", in, out)
 		}
 	})

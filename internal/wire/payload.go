@@ -51,6 +51,9 @@ const (
 	tTSOpReq
 	tTSCancelReq
 	tTSOpResp
+	tDataPutReq
+	tDataResolveReq
+	tDataLocResp
 )
 
 // Codec is the msg.Codec implementation; Default is the instance the init
@@ -203,6 +206,18 @@ func (Codec) Marshal(v any) ([]byte, error) {
 		return appendTSOpResp(header(make([]byte, 0, 128), tTSOpResp), &x), nil
 	case *protocol.TSOpResp:
 		return appendTSOpResp(header(make([]byte, 0, 128), tTSOpResp), x), nil
+	case protocol.DataPutReq:
+		return appendDataPutReq(header(make([]byte, 0, 192+len(x.Data)), tDataPutReq), &x), nil
+	case *protocol.DataPutReq:
+		return appendDataPutReq(header(make([]byte, 0, 192+len(x.Data)), tDataPutReq), x), nil
+	case protocol.DataResolveReq:
+		return appendDataResolveReq(header(make([]byte, 0, 192), tDataResolveReq), &x), nil
+	case *protocol.DataResolveReq:
+		return appendDataResolveReq(header(make([]byte, 0, 192), tDataResolveReq), x), nil
+	case protocol.DataLocResp:
+		return appendDataLocResp(header(make([]byte, 0, 192+len(x.Data)), tDataLocResp), &x), nil
+	case *protocol.DataLocResp:
+		return appendDataLocResp(header(make([]byte, 0, 192+len(x.Data)), tDataLocResp), x), nil
 	}
 	return nil, msg.ErrUnsupportedPayload
 }
@@ -275,6 +290,12 @@ func (Codec) Unmarshal(data []byte, out any) error {
 		wantID, decode = tTSCancelReq, func(r *Reader) error { return readTSCancelReq(r, x) }
 	case *protocol.TSOpResp:
 		wantID, decode = tTSOpResp, func(r *Reader) error { return readTSOpResp(r, x) }
+	case *protocol.DataPutReq:
+		wantID, decode = tDataPutReq, func(r *Reader) error { return readDataPutReq(r, x) }
+	case *protocol.DataResolveReq:
+		wantID, decode = tDataResolveReq, func(r *Reader) error { return readDataResolveReq(r, x) }
+	case *protocol.DataLocResp:
+		wantID, decode = tDataLocResp, func(r *Reader) error { return readDataLocResp(r, x) }
 	default:
 		return fmt.Errorf("wire: no binary decoder for %T", out)
 	}
@@ -1143,5 +1164,104 @@ func readTSOpResp(r *Reader, v *protocol.TSOpResp) (err error) {
 		return err
 	}
 	v.Fields, err = readTSFields(r)
+	return err
+}
+
+func appendDataPutReq(b []byte, v *protocol.DataPutReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.Key)
+	b = AppendString(b, v.Task)
+	b = AppendString(b, v.Node)
+	b = AppendString(b, v.Digest)
+	b = AppendVarint(b, v.Size)
+	return AppendBytes(b, v.Data)
+}
+
+func readDataPutReq(r *Reader, v *protocol.DataPutReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.Key, err = r.String(); err != nil {
+		return err
+	}
+	if v.Task, err = r.String(); err != nil {
+		return err
+	}
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.Digest, err = r.String(); err != nil {
+		return err
+	}
+	if v.Size, err = r.Varint(); err != nil {
+		return err
+	}
+	v.Data, err = r.Bytes()
+	return err
+}
+
+func appendDataResolveReq(b []byte, v *protocol.DataResolveReq) []byte {
+	b = AppendString(b, v.JobID)
+	b = AppendString(b, v.Key)
+	b = AppendString(b, v.Task)
+	b = AppendVarint(b, v.ParkMS)
+	b = AppendString(b, v.StaleNode)
+	return AppendString(b, v.StaleDigest)
+}
+
+func readDataResolveReq(r *Reader, v *protocol.DataResolveReq) (err error) {
+	if v.JobID, err = r.String(); err != nil {
+		return err
+	}
+	if v.Key, err = r.String(); err != nil {
+		return err
+	}
+	if v.Task, err = r.String(); err != nil {
+		return err
+	}
+	if v.ParkMS, err = r.Varint(); err != nil {
+		return err
+	}
+	if v.StaleNode, err = r.String(); err != nil {
+		return err
+	}
+	v.StaleDigest, err = r.String()
+	return err
+}
+
+func appendDataLocResp(b []byte, v *protocol.DataLocResp) []byte {
+	b = AppendString(b, v.Key)
+	b = AppendString(b, v.Digest)
+	b = AppendString(b, v.Node)
+	b = AppendVarint(b, v.Size)
+	b = AppendBytes(b, v.Data)
+	b = AppendBool(b, v.Retry)
+	b = AppendBool(b, v.Closed)
+	return AppendString(b, v.Err)
+}
+
+func readDataLocResp(r *Reader, v *protocol.DataLocResp) (err error) {
+	if v.Key, err = r.String(); err != nil {
+		return err
+	}
+	if v.Digest, err = r.String(); err != nil {
+		return err
+	}
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.Size, err = r.Varint(); err != nil {
+		return err
+	}
+	if v.Data, err = r.Bytes(); err != nil {
+		return err
+	}
+	if v.Retry, err = r.Bool(); err != nil {
+		return err
+	}
+	if v.Closed, err = r.Bool(); err != nil {
+		return err
+	}
+	v.Err, err = r.String()
 	return err
 }

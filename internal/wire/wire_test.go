@@ -78,6 +78,12 @@ func bodies() []any {
 		}},
 		&protocol.TSCancelReq{JobID: "j", ReqID: 12345},
 		&protocol.TSOpResp{OK: true, Fields: []protocol.TSField{{Kind: protocol.TSInt64, I: -9}}},
+		&protocol.DataPutReq{JobID: "j", Key: "wc/chunk/map1", Task: "split", Node: "n1",
+			Digest: "abc123", Size: 1 << 20, Data: []byte("inline")},
+		&protocol.DataResolveReq{JobID: "j", Key: "wc/chunk/map1", Task: "map1", ParkMS: 1000,
+			StaleNode: "n9", StaleDigest: "dead"},
+		&protocol.DataLocResp{Key: "wc/chunk/map1", Digest: "abc123", Node: "n1", Size: 1 << 20,
+			Data: []byte{7, 8, 9}, Retry: true, Closed: true, Err: "boom"},
 	}
 }
 

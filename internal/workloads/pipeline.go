@@ -10,10 +10,12 @@ import (
 )
 
 // Pipeline: a linear chain of transform stages. Each stage depends on its
-// predecessor, so the JobManager starts them strictly in order; the data
-// rides ahead of the control flow through the successor's mailbox (the
-// TaskManager sets up a task's message queue at assignment time, before the
-// task starts — exactly the paper's design).
+// predecessor, so the JobManager starts them strictly in order. Stage
+// outputs move over the direct task-to-task data plane: each stage Puts its
+// result under its own name and the successor Gets it straight from the
+// producing node, so the JobManager brokers locations instead of relaying
+// payloads. Send/Recv remains on the control edges only: the client's input
+// into stage1 and the final stage's result back out.
 
 // Pipeline stage operations.
 const (
@@ -55,8 +57,13 @@ func SequentialPipeline(input string, ops []string) (string, error) {
 	return out, nil
 }
 
-// pipeStage receives a string, transforms it, and forwards it. Params:
-// [0] operation, [1] next task name ("client" sends the final result back).
+// pipeKey names a stage's data-plane output entry.
+func pipeKey(stage string) string { return "pipe/out/" + stage }
+
+// pipeStage obtains a string, transforms it, and publishes the result.
+// Params: [0] operation, [1] predecessor task name ("client" receives the
+// input from the client's mailbox instead), [2] successor task name
+// ("client" sends the final result back instead of publishing).
 type pipeStage struct{}
 
 // Run implements task.Task.
@@ -65,11 +72,20 @@ func (*pipeStage) Run(ctx task.Context) error {
 	if err != nil {
 		return fmt.Errorf("pipeline stage: %w", err)
 	}
-	next, err := task.StringParam(ctx.Params(), 1)
+	prev, err := task.StringParam(ctx.Params(), 1)
 	if err != nil {
 		return fmt.Errorf("pipeline stage: %w", err)
 	}
-	_, data, err := ctx.Recv()
+	next, err := task.StringParam(ctx.Params(), 2)
+	if err != nil {
+		return fmt.Errorf("pipeline stage: %w", err)
+	}
+	var data []byte
+	if prev == "client" {
+		_, data, err = ctx.Recv()
+	} else {
+		data, err = ctx.Get(context.Background(), pipeKey(prev))
+	}
 	if err != nil {
 		return fmt.Errorf("pipeline stage: %w", err)
 	}
@@ -80,7 +96,7 @@ func (*pipeStage) Run(ctx task.Context) error {
 	if next == "client" {
 		return ctx.SendClient([]byte(out))
 	}
-	return ctx.Send(next, []byte(out))
+	return ctx.Put(pipeKey(ctx.TaskName()), []byte(out))
 }
 
 // PipelineSpecs builds a chain of stages, one per operation.
@@ -90,6 +106,10 @@ func PipelineSpecs(ops []string) ([]*task.Spec, error) {
 	}
 	specs := make([]*task.Spec, 0, len(ops))
 	for i, op := range ops {
+		prev := "client"
+		if i > 0 {
+			prev = fmt.Sprintf("stage%d", i)
+		}
 		next := "client"
 		if i+1 < len(ops) {
 			next = fmt.Sprintf("stage%d", i+2)
@@ -97,11 +117,11 @@ func PipelineSpecs(ops []string) ([]*task.Spec, error) {
 		s := &task.Spec{
 			Name:   fmt.Sprintf("stage%d", i+1),
 			Class:  ClassPipeStage,
-			Params: []task.Param{strParam(op), strParam(next)},
+			Params: []task.Param{strParam(op), strParam(prev), strParam(next)},
 			Req:    req(),
 		}
 		if i > 0 {
-			s.DependsOn = []string{fmt.Sprintf("stage%d", i)}
+			s.DependsOn = []string{prev}
 		}
 		specs = append(specs, s)
 	}

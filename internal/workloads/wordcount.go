@@ -11,7 +11,17 @@ import (
 
 // Word count is the canonical scatter/gather (map/reduce) composition: a
 // splitter chunks the input text across mappers, each mapper counts words
-// in its chunk, and a reducer merges the partial counts.
+// in its chunk, and a reducer merges the partial counts. The shuffle data
+// (chunks and partial counts) moves over the direct task-to-task data
+// plane — the splitter Puts each mapper's chunk, mappers Get their chunk
+// and Put their partial, the reducer Gets every partial — so bulk bytes
+// flow TM→TM instead of relaying through the JobManager. Send/Recv remains
+// only on the small control edges: the client's input text in, the final
+// totals out.
+
+// wcChunkKey/wcPartialKey name the data-plane entries per mapper task.
+func wcChunkKey(mapper string) string   { return "wc/chunk/" + mapper }
+func wcPartialKey(mapper string) string { return "wc/partial/" + mapper }
 
 // wcChunk is the splitter -> mapper payload.
 type wcChunk struct {
@@ -46,23 +56,21 @@ func (*wcSplit) Run(ctx task.Context) error {
 		lo := m * len(lines) / mappers
 		hi := (m + 1) * len(lines) / mappers
 		chunk := wcChunk{Lines: lines[lo:hi]}
-		if err := ctx.Send(fmt.Sprintf("%s%d", prefix, m+1), encode(&chunk)); err != nil {
-			return fmt.Errorf("wordcount split: send chunk %d: %w", m, err)
+		mapper := fmt.Sprintf("%s%d", prefix, m+1)
+		if err := ctx.Put(wcChunkKey(mapper), encode(&chunk)); err != nil {
+			return fmt.Errorf("wordcount split: publish chunk %d: %w", m, err)
 		}
 	}
 	return nil
 }
 
-// wcMap counts words in one chunk. Params: [0] reducer task name.
+// wcMap counts words in one chunk, pulling it from the splitter's node and
+// publishing the partial under this task's own name. No params.
 type wcMap struct{}
 
 // Run implements task.Task.
 func (*wcMap) Run(ctx task.Context) error {
-	reducer, err := task.StringParam(ctx.Params(), 0)
-	if err != nil {
-		return fmt.Errorf("wordcount map: %w", err)
-	}
-	_, data, err := ctx.Recv()
+	data, err := ctx.Get(context.Background(), wcChunkKey(ctx.TaskName()))
 	if err != nil {
 		return fmt.Errorf("wordcount map: %w", err)
 	}
@@ -77,11 +85,14 @@ func (*wcMap) Run(ctx task.Context) error {
 		}
 	}
 	delete(counts, "")
-	return ctx.Send(reducer, encode(&wcPartial{Counts: counts}))
+	if err := ctx.Put(wcPartialKey(ctx.TaskName()), encode(&wcPartial{Counts: counts})); err != nil {
+		return fmt.Errorf("wordcount map: publish partial: %w", err)
+	}
+	return nil
 }
 
-// wcReduce merges partial counts and reports the total to the client.
-// Params: [0] mapper count.
+// wcReduce pulls every mapper's partial and reports the total to the
+// client. Params: [0] mapper count, [1] mapper name prefix.
 type wcReduce struct{}
 
 // Run implements task.Task.
@@ -90,9 +101,13 @@ func (*wcReduce) Run(ctx task.Context) error {
 	if err != nil {
 		return fmt.Errorf("wordcount reduce: %w", err)
 	}
+	prefix, err := task.StringParam(ctx.Params(), 1)
+	if err != nil {
+		return fmt.Errorf("wordcount reduce: %w", err)
+	}
 	total := make(map[string]int)
-	for received := 0; received < mappers; received++ {
-		_, data, err := ctx.Recv()
+	for m := 1; m <= mappers; m++ {
+		data, err := ctx.Get(context.Background(), wcPartialKey(fmt.Sprintf("%s%d", prefix, m)))
 		if err != nil {
 			return fmt.Errorf("wordcount reduce: %w", err)
 		}
@@ -127,7 +142,6 @@ func WordCountSpecs(mappers int) ([]*task.Spec, error) {
 			Name:      name,
 			Class:     ClassWCMap,
 			DependsOn: []string{"split"},
-			Params:    []task.Param{strParam("reduce")},
 			Req:       req(),
 		})
 	}
@@ -135,7 +149,7 @@ func WordCountSpecs(mappers int) ([]*task.Spec, error) {
 		Name:      "reduce",
 		Class:     ClassWCReduce,
 		DependsOn: names,
-		Params:    []task.Param{intParam(mappers)},
+		Params:    []task.Param{intParam(mappers), strParam(prefix)},
 		Req:       req(),
 	})
 	return specs, nil
