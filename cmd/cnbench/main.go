@@ -23,6 +23,7 @@ import (
 	"cn/internal/floyd"
 	"cn/internal/jobstore"
 	"cn/internal/metrics"
+	"cn/internal/trace"
 	"cn/internal/workloads"
 )
 
@@ -30,14 +31,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp  = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | durability | shuffle | all")
-		reps = flag.Int("reps", 5, "repetitions per configuration")
-		out  = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
-		rout = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
-		tout = flag.String("tuplespace-out", "BENCH_tuplespace.json", "path for the tuplespace experiment's JSON snapshot")
-		wout = flag.String("wire-out", "BENCH_wire.json", "path for the wire-codec experiment's JSON snapshot")
-		dout = flag.String("durability-out", "BENCH_durability.json", "path for the durability experiment's JSON snapshot")
-		sout = flag.String("shuffle-out", "BENCH_shuffle.json", "path for the shuffle data-plane experiment's JSON snapshot")
+		exp   = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | durability | shuffle | trace | all")
+		reps  = flag.Int("reps", 5, "repetitions per configuration")
+		out   = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
+		rout  = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
+		tout  = flag.String("tuplespace-out", "BENCH_tuplespace.json", "path for the tuplespace experiment's JSON snapshot")
+		wout  = flag.String("wire-out", "BENCH_wire.json", "path for the wire-codec experiment's JSON snapshot")
+		dout  = flag.String("durability-out", "BENCH_durability.json", "path for the durability experiment's JSON snapshot")
+		sout  = flag.String("shuffle-out", "BENCH_shuffle.json", "path for the shuffle data-plane experiment's JSON snapshot")
+		trout = flag.String("trace-out", "BENCH_trace.json", "path for the tracing-overhead experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -64,6 +66,8 @@ func main() {
 		durabilityTable(*reps, *dout)
 	case "shuffle":
 		shuffleTable(*reps, *sout)
+	case "trace":
+		traceTable(*reps, *trout)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
@@ -76,6 +80,7 @@ func main() {
 		wireTable(*reps, *wout)
 		durabilityTable(*reps, *dout)
 		shuffleTable(*reps, *sout)
+		traceTable(*reps, *trout)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -1124,6 +1129,150 @@ func shuffleTable(reps int, outPath string) {
 	}
 	fmt.Printf("\ndataplane throughput gain 1->8 nodes: %.2fx; JM payload byte reduction at 8 nodes: %.1f%%\n",
 		snap.Speedup1to8, snap.JMReductionPct)
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot written to %s\n", outPath)
+}
+
+// traceRow is one sampling mode's measurement in the T-L tracing study.
+type traceRow struct {
+	Mode            string  `json:"mode"`   // "off", "sampled", "always"
+	Sample          float64 `json:"sample"` // root sampling probability
+	AdmissionP50us  float64 `json:"admission_p50_us"`
+	AdmissionP95us  float64 `json:"admission_p95_us"`
+	ShuffleMedianMS float64 `json:"shuffle_median_ms"`
+}
+
+// traceSnapshot is the BENCH_trace.json document.
+type traceSnapshot struct {
+	Experiment           string     `json:"experiment"`
+	GeneratedAt          time.Time  `json:"generated_at"`
+	AdmissionsPerMode    int        `json:"admissions_per_mode"`
+	AdmissionTasks       int        `json:"admission_tasks_per_job"`
+	ShuffleWorkers       int        `json:"shuffle_workers"`
+	ShufflePayloadBytes  int        `json:"shuffle_payload_bytes"`
+	Rows                 []traceRow `json:"rows"`
+	AdmissionOverheadPct float64    `json:"admission_overhead_pct_at_default_rate"`
+	AlwaysOverheadPct    float64    `json:"admission_overhead_pct_always_on"`
+}
+
+// admitJob measures one job admission — CreateJob through the Start ack,
+// the window where trace contexts are minted, stamped on every control
+// message, and client spans are drained into the StartJobReq. The job
+// itself (noop tasks) runs and is reaped outside the timed window.
+func admitJob(cl *cn.Client, tasks, run int) time.Duration {
+	start := time.Now()
+	job, err := cl.CreateJob(fmt.Sprintf("adm-%d", run), cn.JobRequirements{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]*cn.TaskSpec, tasks)
+	for i := range specs {
+		specs[i] = &cn.TaskSpec{
+			Name: fmt.Sprintf("t%d", i+1), Class: "bench.Noop",
+			Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+		}
+	}
+	if _, err := job.CreateTasks(specs, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if res, err := job.Wait(ctx); err != nil || res.Failed {
+		log.Fatalf("admission job %d: res=%+v err=%v", run, res, err)
+	}
+	return elapsed
+}
+
+// traceTable is experiment T-L: what does distributed tracing cost? The
+// same admission and shuffle workloads run with tracing off (negative
+// sample), at the default 1-in-8 rate, and always-on; the acceptance
+// target is <= 5% admission overhead at the default rate. Tracing rides
+// the existing wire envelope (three uvarints when a context is present,
+// nothing when absent), so the off row doubles as the regression
+// baseline for the envelope change itself.
+func traceTable(reps int, outPath string) {
+	header("T-L  Distributed tracing overhead: admission + shuffle, off / sampled / always")
+	const (
+		admissionTasks = 4
+		shuffleWorkers = 8
+		shuffleSize    = 64 << 10
+		nodes          = 4
+	)
+	admissions := 20 * reps
+	snap := traceSnapshot{
+		Experiment: "T-L tracing overhead", GeneratedAt: time.Now().UTC(),
+		AdmissionsPerMode: admissions, AdmissionTasks: admissionTasks,
+		ShuffleWorkers: shuffleWorkers, ShufflePayloadBytes: shuffleSize,
+	}
+	fmt.Printf("%-9s %8s %14s %14s %14s\n", "mode", "sample", "admit p50", "admit p95", "shuffle median")
+	var offP50 float64
+	for _, mode := range []struct {
+		name   string
+		sample float64 // cluster knob: negative disables, 0 = default 1/8
+		client float64 // client root sampling for the same mode
+	}{{"off", -1, -1}, {"sampled", 0, 0.125}, {"always", 1, 1}} {
+		c, err := cn.StartCluster(cn.ClusterOptions{
+			Nodes: nodes, Registry: newRegistry(), MemoryMB: 64000,
+			TraceSample: mode.sample,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tracer *trace.Tracer
+		if mode.sample >= 0 {
+			tracer = cn.NewTracer("bench-client", mode.client)
+		}
+		cl, err := cn.Connect(c, cn.ClientOptions{
+			DiscoveryWindow: 20 * time.Millisecond, Tracer: tracer,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := metrics.NewHistogram(admissions + 1)
+		for run := 0; run < admissions; run++ {
+			h.ObserveDuration(admitJob(cl, admissionTasks, run))
+		}
+		runs := 0
+		d := timeIt(reps, func() {
+			runShuffleJob(cl, "bench.Shuffle", shuffleWorkers, shuffleSize, runs)
+			runs++
+		})
+		row := traceRow{
+			Mode: mode.name, Sample: mode.client,
+			AdmissionP50us:  h.Quantile(0.5) * 1000,
+			AdmissionP95us:  h.Quantile(0.95) * 1000,
+			ShuffleMedianMS: float64(d) / float64(time.Millisecond),
+		}
+		snap.Rows = append(snap.Rows, row)
+		switch mode.name {
+		case "off":
+			offP50 = row.AdmissionP50us
+		case "sampled":
+			if offP50 > 0 {
+				snap.AdmissionOverheadPct = 100 * (row.AdmissionP50us - offP50) / offP50
+			}
+		case "always":
+			if offP50 > 0 {
+				snap.AlwaysOverheadPct = 100 * (row.AdmissionP50us - offP50) / offP50
+			}
+		}
+		fmt.Printf("%-9s %8.3f %12.0fus %12.0fus %12.2fms\n",
+			row.Mode, row.Sample, row.AdmissionP50us, row.AdmissionP95us, row.ShuffleMedianMS)
+		cl.Close()
+		c.Close()
+	}
+	fmt.Printf("\nadmission p50 overhead vs off: %.1f%% at default rate (target <= 5%%), %.1f%% always-on\n",
+		snap.AdmissionOverheadPct, snap.AlwaysOverheadPct)
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		log.Fatal(err)

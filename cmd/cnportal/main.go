@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	cnportal [-addr :8080] [-nodes N] [-workers W] [-queue Q] [-result-ttl 15m] [-data-dir DIR] [-v]
+//	cnportal [-addr :8080] [-nodes N] [-workers W] [-queue Q] [-result-ttl 15m] [-data-dir DIR]
+//	         [-log-level info] [-trace-sample 0.125] [-debug] [-v]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"cn"
 	"cn/internal/cluster"
 	"cn/internal/floyd"
+	"cn/internal/logging"
 	"cn/internal/portal"
 	"cn/internal/workloads"
 )
@@ -36,9 +38,18 @@ func main() {
 		maxRetries = flag.Int("max-task-retries", 0, "per-task re-placement budget after node failures (0 = 2; negative disables recovery)")
 		straggler  = flag.Duration("straggler-after", 0, "speculatively re-run tasks whose progress stalls this long (0 = disabled)")
 		assignWait = flag.Duration("assign-timeout", 0, "JobManager batch-assignment round-trip timeout (0 = 5s)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		sample     = flag.Float64("trace-sample", 0, "distributed-trace root sampling probability (0 = 0.125 default; negative disables tracing)")
+		debug      = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		verbose    = flag.Bool("v", false, "log cluster diagnostics")
 	)
 	flag.Parse()
+
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slogger := logging.Default(level)
 
 	reg := cn.NewRegistry()
 	floyd.MustRegister(reg)
@@ -59,6 +70,8 @@ func main() {
 		MaxTaskRetries:    *maxRetries,
 		StragglerAfter:    *straggler,
 		Logf:              logf,
+		Log:               slogger,
+		TraceSample:       *sample,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -66,12 +79,15 @@ func main() {
 	defer c.Stop()
 
 	p, err := portal.New(portal.Config{
-		Cluster:    c,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		ResultTTL:  *resultTTL,
-		DataDir:    *dataDir,
-		Logf:       logf,
+		Cluster:     c,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		ResultTTL:   *resultTTL,
+		DataDir:     *dataDir,
+		Logf:        logf,
+		Log:         slogger,
+		TraceSample: *sample,
+		Debug:       *debug,
 	})
 	if err != nil {
 		log.Fatal(err)

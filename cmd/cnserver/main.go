@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	cnserver [-nodes N] [-tcp] [-memory MB] [-http :8080] [-v]
+//	cnserver [-nodes N] [-tcp] [-memory MB] [-http :8080] [-log-level info]
+//	         [-trace-sample 0.125] [-debug] [-v]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"cn"
 	"cn/internal/cluster"
 	"cn/internal/floyd"
+	"cn/internal/logging"
 	"cn/internal/portal"
 	"cn/internal/workloads"
 )
@@ -35,9 +37,18 @@ func main() {
 		assignWait = flag.Duration("assign-timeout", 0, "JobManager batch-assignment round-trip timeout (0 = 5s)")
 		maxRetries = flag.Int("max-task-retries", 0, "per-task re-placement budget after node failures (0 = 2; negative disables recovery)")
 		straggler  = flag.Duration("straggler-after", 0, "speculatively re-run tasks whose progress stalls this long (0 = disabled)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		sample     = flag.Float64("trace-sample", 0, "distributed-trace root sampling probability (0 = 0.125 default; negative disables tracing)")
+		debug      = flag.Bool("debug", false, "mount net/http/pprof on the portal mux (needs -http)")
 		verbose    = flag.Bool("v", false, "log server diagnostics")
 	)
 	flag.Parse()
+
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slogger := logging.Default(level)
 
 	reg := cn.NewRegistry()
 	floyd.MustRegister(reg)
@@ -64,6 +75,8 @@ func main() {
 		MaxTaskRetries:    *maxRetries,
 		StragglerAfter:    *straggler,
 		Logf:              logf,
+		Log:               slogger,
+		TraceSample:       *sample,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,7 +85,13 @@ func main() {
 	log.Printf("cluster up: nodes %v", c.Nodes())
 
 	if *httpAddr != "" {
-		p, err := portal.New(portal.Config{Cluster: c, Logf: logf})
+		p, err := portal.New(portal.Config{
+			Cluster:     c,
+			Logf:        logf,
+			Log:         slogger,
+			TraceSample: *sample,
+			Debug:       *debug,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"cn/internal/api"
@@ -43,6 +44,7 @@ import (
 	"cn/internal/placement"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/trace"
 	"cn/internal/transform"
 	"cn/internal/transport"
 	"cn/internal/tuplespace"
@@ -239,6 +241,11 @@ type ClusterOptions struct {
 	Seed    int64
 	// Logf receives server diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
+	// Log receives structured server diagnostics; nil falls back to Logf.
+	Log *slog.Logger
+	// TraceSample is each node's distributed-trace root sampling
+	// probability (0 = the 1-in-8 default; negative disables tracing).
+	TraceSample float64
 }
 
 // Cluster is a running CN deployment.
@@ -272,6 +279,8 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 		Seed:              opts.Seed,
 		Registry:          opts.Registry,
 		Logf:              opts.Logf,
+		Log:               opts.Log,
+		TraceSample:       opts.TraceSample,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cn: %w", err)
@@ -312,6 +321,22 @@ func (c *Cluster) BlobTransfers() int64 { return c.inner.BlobTransfers() }
 // are the shuffle bytes that bypass the JobManagers entirely.
 func (c *Cluster) DataplaneBytes() (served, fetched int64) {
 	return c.inner.DataplaneBytes()
+}
+
+// TraceSpan is one recorded interval of a job's distributed trace.
+type TraceSpan = trace.Span
+
+// NewTracer builds a sampling tracer for client-side roots; pass it in
+// ClientOptions so job submissions open a client-born "job.submit" span
+// (sample 0 = the 1-in-8 default; negative never self-samples).
+func NewTracer(node string, sample float64) *trace.Tracer {
+	return trace.New(trace.Config{Node: node, Sample: sample})
+}
+
+// JobTrace returns the assembled span timeline for a hosted job from
+// whichever live JobManager holds it (the adopter, after a failover).
+func (c *Cluster) JobTrace(jobID string) ([]TraceSpan, bool) {
+	return c.inner.JobTrace(jobID)
 }
 
 // DataplaneStats is the cluster-wide data-plane broker census.

@@ -26,6 +26,7 @@ import (
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/trace"
 	"cn/internal/transport"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	CallTimeout time.Duration
 	// Logf receives diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
+	// Tracer makes this client a trace root: job submission opens the
+	// trace (sampling decided there) and every job call carries its
+	// context on the wire. Nil leaves jobs untraced from the client side
+	// (a JobManager may still self-sample them).
+	Tracer *trace.Tracer
 }
 
 // Client is an initialized CN API handle bound to one cluster network.
@@ -147,6 +153,30 @@ func (c *Client) job(id string) *Job {
 	return c.jobs[id]
 }
 
+// Scrape pulls one node's metrics registry snapshot and span-store depth
+// over the wire (KindStatsPull) — the primitive cluster-wide metrics
+// aggregation is built from.
+func (c *Client) Scrape(ctx context.Context, node string) (*protocol.StatsReportResp, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	defer cancel()
+	m := protocol.Body(msg.KindStatsPull,
+		msg.Address{Node: c.node, Task: protocol.ClientTaskName},
+		msg.Address{Node: node},
+		protocol.StatsPullReq{Scraper: c.node})
+	reply, err := c.caller.Call(cctx, node, m)
+	if err != nil {
+		return nil, fmt.Errorf("api: scrape %s: %w", node, err)
+	}
+	var resp protocol.StatsReportResp
+	if err := protocol.Decode(reply, &resp); err != nil {
+		return nil, fmt.Errorf("api: scrape %s: %w", node, err)
+	}
+	return &resp, nil
+}
+
 // Discover performs one JobManager discovery round without creating a job.
 func (c *Client) Discover(req protocol.JobRequirements) (protocol.JMOffer, []protocol.JMOffer, error) {
 	return c.DiscoverWith(c.opts.Policy, req)
@@ -175,26 +205,37 @@ func (c *Client) CreateJob(name string, req protocol.JobRequirements) (*Job, err
 func (c *Client) CreateJobOn(jmNode, name string, req protocol.JobRequirements) (*Job, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.CallTimeout)
 	defer cancel()
+	// The trace is born here: the submit span is the root every other
+	// span of the job — JM scheduling, task exec, shuffle pulls — hangs
+	// off, and its context rides the create message's envelope.
+	ra := c.opts.Tracer.StartRoot("job.submit", "")
 	cm := protocol.Body(msg.KindCreateJob,
 		msg.Address{Node: c.node, Task: protocol.ClientTaskName},
 		msg.Address{Node: jmNode},
 		protocol.CreateJobReq{Name: name, Req: req, ClientNode: c.node})
+	cm.Trace = ra.Context()
 	reply, err := c.caller.Call(ctx, jmNode, cm)
 	if err != nil {
+		ra.End(err)
 		return nil, fmt.Errorf("api: create job %q on %s: %w", name, jmNode, err)
 	}
 	if reply.Kind == msg.KindJobFailed {
-		return nil, replyError("create job", reply)
+		err := replyError("create job", reply)
+		ra.End(err)
+		return nil, err
 	}
 	var resp protocol.CreateJobResp
 	if err := protocol.Decode(reply, &resp); err != nil {
+		ra.End(err)
 		return nil, fmt.Errorf("api: create job %q: %w", name, err)
 	}
+	ra.SetJob(resp.JobID).End(nil)
 	j := &Job{
 		client: c,
 		ID:     resp.JobID,
 		Name:   name,
 		JMNode: jmNode,
+		trace:  ra.Context(),
 		inbox:  msg.NewMailbox(0),
 		events: msg.NewMailbox(0),
 		done:   make(chan struct{}),
@@ -245,6 +286,9 @@ type Job struct {
 	// surviving JobManager adopts the job after a manager death; calls
 	// read it through manager() so in-flight handles follow the move.
 	JMNode string
+	// trace is the job's root trace context (zero when the submit was not
+	// sampled); set once at creation, read-only after.
+	trace trace.Context
 
 	inbox  *msg.Mailbox // user messages addressed to the client
 	events *msg.Mailbox // task lifecycle events
@@ -398,21 +442,28 @@ func (j *Job) CreateTasks(specs []*task.Spec, archives map[string]*archive.Archi
 	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
 	defer cancel()
 	jmNode := j.manager()
+	ca := j.client.opts.Tracer.StartSpan(j.trace, "job.create_tasks").SetJob(j.ID)
 	cm := protocol.Body(msg.KindCreateTasks,
 		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
 		msg.Address{Node: jmNode, Job: j.ID},
 		req)
+	cm.Trace = j.trace
 	reply, err := j.client.caller.Call(ctx, jmNode, cm)
 	if err != nil {
+		ca.End(err)
 		return nil, fmt.Errorf("api: create %d tasks: %w", len(specs), err)
 	}
 	if reply.Kind == msg.KindJobFailed {
-		return nil, replyError(fmt.Sprintf("create %d tasks", len(specs)), reply)
+		err := replyError(fmt.Sprintf("create %d tasks", len(specs)), reply)
+		ca.End(err)
+		return nil, err
 	}
 	var resp protocol.CreateTasksResp
 	if err := protocol.Decode(reply, &resp); err != nil {
+		ca.End(err)
 		return nil, fmt.Errorf("api: create tasks: %w", err)
 	}
+	ca.End(nil)
 	j.mu.Lock()
 	j.prog.Tasks += len(specs)
 	j.mu.Unlock()
@@ -485,10 +536,18 @@ func (j *Job) Start(taskNames ...string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), j.client.opts.CallTimeout)
 	defer cancel()
 	jmNode := j.manager()
+	// Drain the client-side spans of this trace (submit, task creation)
+	// into the start request: the JobManager folds them into the per-job
+	// timeline it assembles, so the client never needs scraping.
 	sm := protocol.Body(msg.KindStartTask,
 		msg.Address{Node: j.client.node, Job: j.ID, Task: protocol.ClientTaskName},
 		msg.Address{Node: jmNode, Job: j.ID},
-		protocol.StartJobReq{JobID: j.ID, TaskNames: taskNames})
+		protocol.StartJobReq{
+			JobID:     j.ID,
+			TaskNames: taskNames,
+			Spans:     j.client.opts.Tracer.Store().Take(j.ID, ""),
+		})
+	sm.Trace = j.trace
 	reply, err := j.client.caller.Call(ctx, jmNode, sm)
 	if err != nil {
 		return fmt.Errorf("api: start job %s: %w", j.ID, err)

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"cn/internal/dataplane"
@@ -14,6 +15,7 @@ import (
 	"cn/internal/placement"
 	"cn/internal/server"
 	"cn/internal/task"
+	"cn/internal/trace"
 	"cn/internal/transport"
 )
 
@@ -76,6 +78,12 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// Logf receives server diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
+	// Log is the structured logger every node's managers attach to; when
+	// nil, records are bridged through Logf.
+	Log *slog.Logger
+	// TraceSample is each node's root-sampling probability
+	// (0 = trace.DefaultSample; negative disables tracing cluster-wide).
+	TraceSample float64
 }
 
 // Cluster is a set of running CN servers on one fabric.
@@ -134,6 +142,8 @@ func Start(cfg Config) (*Cluster, error) {
 			StragglerAfter:    cfg.StragglerAfter,
 			CheckpointEvery:   cfg.CheckpointEvery,
 			Logf:              cfg.Logf,
+			Log:               cfg.Log,
+			TraceSample:       cfg.TraceSample,
 		})
 		if err != nil {
 			c.Stop()
@@ -242,6 +252,22 @@ func (c *Cluster) DataplaneBytes() (served, fetched int64) {
 		}
 	}
 	return served, fetched
+}
+
+// JobTrace assembles a job's span timeline by asking every live
+// JobManager — across failover the adopter holds the merged record, so
+// the first node that knows the job answers.
+func (c *Cluster) JobTrace(jobID string) ([]trace.Span, bool) {
+	for _, name := range c.order {
+		srv, ok := c.servers[name]
+		if !ok {
+			continue
+		}
+		if spans, ok := srv.JobManager().JobTrace(jobID); ok {
+			return spans, true
+		}
+	}
+	return nil, false
 }
 
 // CacheStats sums the live TaskManagers' digest-cache hit/miss counters

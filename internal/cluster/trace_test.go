@@ -1,0 +1,295 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"cn/internal/api"
+	"cn/internal/cluster"
+	"cn/internal/protocol"
+	"cn/internal/task"
+	"cn/internal/trace"
+	"cn/internal/workloads"
+)
+
+// traceClient builds an api client whose own tracer always samples, so
+// every submitted job gets a client-born "job.submit" root span.
+func traceClient(t *testing.T, c *cluster.Cluster) *api.Client {
+	t.Helper()
+	cl, err := api.Initialize(c.Network(), api.Options{
+		DiscoveryWindow: 20 * time.Millisecond,
+		Tracer:          trace.New(trace.Config{Node: "client", Sample: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// spanIndex maps span IDs and names for assertion convenience.
+type spanIndex struct {
+	byID   map[uint64]trace.Span
+	byName map[string][]trace.Span
+}
+
+func indexSpans(spans []trace.Span) spanIndex {
+	ix := spanIndex{
+		byID:   make(map[uint64]trace.Span, len(spans)),
+		byName: make(map[string][]trace.Span, len(spans)),
+	}
+	for _, s := range spans {
+		ix.byID[s.ID] = s
+		ix.byName[s.Name] = append(ix.byName[s.Name], s)
+	}
+	return ix
+}
+
+// root returns the trace's single root span (Parent == 0) and fails the
+// test if there is not exactly one.
+func (ix spanIndex) root(t *testing.T) trace.Span {
+	t.Helper()
+	var roots []trace.Span
+	for _, s := range ix.byID {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) != 1 {
+		t.Fatalf("trace has %d roots, want exactly 1: %+v", len(roots), roots)
+	}
+	return roots[0]
+}
+
+// TestTraceWordCountConnectedTree is the tracing tentpole's acceptance
+// test: a 4-node map/reduce job (word count over the TM-to-TM data
+// plane) sampled at 1.0 yields ONE connected span tree — client submit,
+// JM scheduling, every task execution, and every shuffle Put/Get all
+// share the client root's trace ID and parent into spans present in the
+// capture.
+func TestTraceWordCountConnectedTree(t *testing.T) {
+	reg := task.NewRegistry()
+	workloads.MustRegister(reg)
+	c, err := cluster.Start(cluster.Config{
+		Nodes:       4,
+		MemoryMB:    16000,
+		Registry:    reg,
+		TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl := traceClient(t, c)
+
+	const mappers = 4
+	specs, err := workloads.WordCountSpecs(mappers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := cl.CreateJobOn("node1", "wordcount", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.CreateTasks(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const text = "the quick brown fox\njumps over the lazy dog\nthe dog barks\nthe fox runs"
+	if err := j.SendMessage("split", []byte(text)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("wordcount failed: %+v", res)
+	}
+
+	// Terminal task events (carrying the TMs' spans) race the client's
+	// completion notification by a beat; poll until the tree closes.
+	wantExec := []string{"split", "reduce"}
+	for m := 1; m <= mappers; m++ {
+		wantExec = append(wantExec, fmt.Sprintf("map%d", m))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var lastErr string
+	for {
+		spans, ok := c.JobTrace(j.ID)
+		if lastErr = checkConnectedTree(spans, ok, wantExec); lastErr == "" {
+			t.Logf("connected trace: %d spans", len(spans))
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace never converged to one connected tree: %s", lastErr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkConnectedTree validates the acceptance shape: one root, one trace
+// ID, every parent resolvable, an exec span per task, and shuffle spans
+// from the data plane. Returns "" when the capture satisfies all of it.
+func checkConnectedTree(spans []trace.Span, ok bool, wantExec []string) string {
+	if !ok {
+		return "no JobManager holds the job's trace"
+	}
+	if len(spans) == 0 {
+		return "trace is empty"
+	}
+	ix := indexSpans(spans)
+	var root trace.Span
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			root, roots = s, roots+1
+		}
+	}
+	if roots != 1 {
+		return fmt.Sprintf("%d roots, want 1", roots)
+	}
+	if root.Name != "job.submit" || root.Node != "client" {
+		return fmt.Sprintf("root = %s@%s, want job.submit@client", root.Name, root.Node)
+	}
+	if root.Trace == 0 {
+		return "root has zero trace ID"
+	}
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			return fmt.Sprintf("span %s@%s has trace %x, want %x", s.Name, s.Node, s.Trace, root.Trace)
+		}
+		if s.Parent != 0 {
+			if _, found := ix.byID[s.Parent]; !found {
+				return fmt.Sprintf("span %s(%s)@%s orphaned: parent %x not captured", s.Name, s.Task, s.Node, s.Parent)
+			}
+		}
+	}
+	execs := make(map[string]bool)
+	for _, s := range ix.byName["tm.exec"] {
+		execs[s.Task] = true
+	}
+	for _, name := range wantExec {
+		if !execs[name] {
+			return fmt.Sprintf("no tm.exec span for task %s (have %v)", name, execs)
+		}
+	}
+	if len(ix.byName["tm.shuffle.put"]) == 0 || len(ix.byName["tm.shuffle.get"]) == 0 {
+		return fmt.Sprintf("missing shuffle spans: %d puts, %d gets",
+			len(ix.byName["tm.shuffle.put"]), len(ix.byName["tm.shuffle.get"]))
+	}
+	return ""
+}
+
+// TestTraceSurvivesJMFailover kills a traced job's JobManager mid-run
+// and asserts the adopter's assembled timeline still tells one story:
+// the pre-failover spans recorded on the dead origin (restored from the
+// replicated checkpoint) sit alongside the adopter's own spans, all in
+// one trace, with the adoption span parented under the original
+// client-born root.
+func TestTraceSurvivesJMFailover(t *testing.T) {
+	cfg := failoverConfig(4, failoverRegistry())
+	cfg.TraceSample = 1
+	c, err := cluster.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl := traceClient(t, c)
+
+	j, err := cl.CreateJobOn("node1", "trace-failover", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 16
+	specs := make([]*task.Spec, tasks)
+	for i := range specs {
+		specs[i] = chaosSpec(fmt.Sprintf("w%02d", i), "failover.Work", 100)
+	}
+	if _, err := j.CreateTasks(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two checkpoint ticks replicate the schedule (and its spans), then
+	// the origin dies mid-job.
+	time.Sleep(50 * time.Millisecond)
+	if err := c.KillNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job did not finish after its JobManager died: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("job failed instead of being adopted: %+v", res)
+	}
+	if got := j.Manager(); got != "node2" {
+		t.Fatalf("job manager after failover = %s, want node2", got)
+	}
+
+	spans, ok := c.JobTrace(j.ID)
+	if !ok {
+		t.Fatal("adopter does not expose the job's trace")
+	}
+	ix := indexSpans(spans)
+	root := ix.root(t)
+	if root.Name != "job.submit" || root.Node != "client" {
+		t.Fatalf("root = %s@%s, want the client's job.submit", root.Name, root.Node)
+	}
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			t.Fatalf("span %s@%s trace = %x, want %x (one trace across failover)",
+				s.Name, s.Node, s.Trace, root.Trace)
+		}
+	}
+
+	// Pre-failover spans recorded by the dead origin survived adoption.
+	for _, name := range []string{"jm.create", "jm.place", "jm.start"} {
+		found := false
+		for _, s := range ix.byName[name] {
+			if s.Node == "node1" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("pre-failover span %s@node1 missing from adopted timeline", name)
+		}
+	}
+
+	// The adoption itself was traced by the survivor, parented under the
+	// restored client root — new spans join the old tree, not a new one.
+	adopted := false
+	for _, s := range ix.byName["jm.adopt"] {
+		if s.Node == "node2" {
+			adopted = true
+			if s.Parent != root.ID {
+				t.Errorf("jm.adopt parent = %x, want root %x", s.Parent, root.ID)
+			}
+		}
+	}
+	if !adopted {
+		t.Error("no jm.adopt span from node2 in the adopted timeline")
+	}
+	finished := false
+	for _, s := range ix.byName["jm.finish"] {
+		if s.Node == "node2" && s.Parent == root.ID {
+			finished = true
+		}
+	}
+	if !finished {
+		t.Error("no jm.finish span from the adopter parented under the original root")
+	}
+	t.Logf("adopted trace: %d spans, root %x", len(spans), root.Trace)
+}

@@ -36,14 +36,25 @@ import (
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/trace"
 	"cn/internal/tuplespace"
 	"cn/internal/wire"
 )
 
 // ckptVersion versions the opaque checkpoint encoding. A peer on a newer
-// build refuses older images rather than misreading them. Version 2 added
-// the data-plane location table.
-const ckptVersion = 2
+// build refuses images newer than it can read; older ones within
+// ckptMinVersion decode with their missing sections defaulted. Version 2
+// added the data-plane location table; version 3 appended the trace
+// section (root context + a capped span timeline).
+const ckptVersion = 3
+
+// ckptMinVersion is the oldest checkpoint image a peer still accepts.
+const ckptMinVersion = 2
+
+// maxCheckpointTraceSpans caps the timeline spans a checkpoint carries;
+// the early, structural spans (submit, placement, dispatch) survive
+// failover, later per-task detail is best-effort.
+const maxCheckpointTraceSpans = 256
 
 // maxCheckpointBlobBytes caps the aggregate archive bytes a checkpoint
 // inlines. Jobs whose blobs exceed it checkpoint without them: re-placed
@@ -76,6 +87,8 @@ type jobCheckpoint struct {
 	tsOps      int64
 	blobs      map[string][]byte
 	locs       []dataplane.Loc
+	root       trace.Context
+	timeline   []trace.Span
 }
 
 // checkpointLoop multicasts every hosted job's control state to the
@@ -263,6 +276,8 @@ func (jm *JobManager) adoptJob(origin, jobID string, data []byte) error {
 		beats:       make(map[string]*beatState),
 		space:       tuplespace.New(),
 	}
+	j.root = ck.root
+	j.timeline = ck.timeline
 	j.broker = dataplane.NewBroker(&jm.dpStats)
 	j.broker.Restore(ck.locs)
 	// Adverts served by the dead origin's own TaskManager are unreachable.
@@ -310,6 +325,12 @@ func (jm *JobManager) adoptJob(origin, jobID string, data []byte) error {
 	jm.wg.Add(1)
 	go jm.jobWorker(j)
 	jm.mu.Unlock()
+
+	// The adoption itself is a traced event: its span parents to the
+	// persisted root, so the post-failover spans hang off the same trace
+	// the dead origin started.
+	aa := jm.tracer.StartSpan(j.root, "jm.adopt").SetJob(jobID)
+	jm.endSpan(j, aa, "")
 
 	// A checkpoint caught between the last terminal event and the client
 	// notification: nothing to re-home, just finish the job properly.
@@ -413,8 +434,8 @@ func (jm *JobManager) adoptJob(origin, jobID string, data []byte) error {
 	if err := jm.send(ck.clientNode, nm); err != nil {
 		jm.logf("job %s: notify client of adoption: %v", jobID, err)
 	}
-	jm.logf("job %s adopted from dead %s: %d assignments live, %d orphaned",
-		jobID, origin, len(present), len(orphans))
+	jm.log.Info("job adopted", "job", jobID, "origin", origin,
+		"live", len(present), "orphaned", len(orphans))
 	return nil
 }
 
@@ -563,6 +584,18 @@ func appendJobCheckpointLocked(dst []byte, j *jobState, withBlobs bool) ([]byte,
 		dst = wire.AppendVarint(dst, l.Size)
 		dst = wire.AppendBytes(dst, l.Inline)
 	}
+
+	// Trace section (v3): the job's root context plus a capped prefix of
+	// the assembled timeline, so an adopted job keeps its pre-failover
+	// spans and the adopter's own spans parent into the same trace.
+	dst = wire.AppendUvarint(dst, j.root.TraceID)
+	dst = wire.AppendUvarint(dst, j.root.SpanID)
+	dst = wire.AppendUvarint(dst, j.root.ParentID)
+	spans := j.timeline
+	if len(spans) > maxCheckpointTraceSpans {
+		spans = spans[:maxCheckpointTraceSpans]
+	}
+	dst = wire.AppendSpans(dst, spans)
 	return dst, nil
 }
 
@@ -575,8 +608,8 @@ func decodeJobCheckpoint(data []byte) (*jobCheckpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != ckptVersion {
-		return nil, fmt.Errorf("jobmgr: checkpoint version %d, want %d", v, ckptVersion)
+	if v < ckptMinVersion || v > ckptVersion {
+		return nil, fmt.Errorf("jobmgr: checkpoint version %d, want %d..%d", v, ckptMinVersion, ckptVersion)
 	}
 	ck := &jobCheckpoint{}
 	if ck.name, err = r.String(); err != nil {
@@ -805,6 +838,20 @@ func decodeJobCheckpoint(data []byte) (*jobCheckpoint, error) {
 			l.Inline = append([]byte(nil), raw...)
 		}
 		ck.locs = append(ck.locs, l)
+	}
+	if v >= 3 {
+		if ck.root.TraceID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if ck.root.SpanID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if ck.root.ParentID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if ck.timeline, err = wire.ReadSpans(r); err != nil {
+			return nil, err
+		}
 	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("jobmgr: %d trailing bytes after checkpoint", r.Len())

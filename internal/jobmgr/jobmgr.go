@@ -3,6 +3,7 @@ package jobmgr
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,10 +12,12 @@ import (
 	"cn/internal/archive"
 	"cn/internal/dataplane"
 	"cn/internal/health"
+	"cn/internal/logging"
 	"cn/internal/msg"
 	"cn/internal/placement"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/trace"
 	"cn/internal/transport"
 	"cn/internal/tuplespace"
 )
@@ -82,6 +85,12 @@ type Config struct {
 	StragglerAfter time.Duration
 	// Logf receives diagnostic lines; nil disables logging.
 	Logf func(format string, args ...any)
+	// Log is the structured logger; when nil, records are bridged through
+	// Logf (or discarded when that is nil too).
+	Log *slog.Logger
+	// Tracer records this JobManager's spans into the per-job timelines;
+	// nil disables JM-side tracing (incoming spans are still collected).
+	Tracer *trace.Tracer
 }
 
 // DefaultTombstoneTTL is how long finished jobs stay routable when
@@ -179,6 +188,34 @@ type jobState struct {
 	// by mu.
 	ckptSeq  uint64
 	ckptDone bool
+
+	// root is the job's trace identity: the context every JM-side span
+	// parents to, and the context dispatched messages carry downstream.
+	// Zero when the job is untraced. Set once at creation (or adoption)
+	// and immutable after, so it reads without mu.
+	root trace.Context
+	// timeline is the job's assembled trace: JM-recorded spans plus those
+	// carried in on StartJobReq and terminal TaskEvents, capped at
+	// maxTimelineSpans. Guarded by mu. It rides the checkpoint so the
+	// trace survives failover adoption.
+	timeline []trace.Span
+}
+
+// maxTimelineSpans caps one job's assembled trace; past it new spans are
+// dropped (the early spans — submit, placement — are the structural ones).
+const maxTimelineSpans = 512
+
+// addSpansLocked appends spans to the job timeline up to the cap. j.mu
+// must be held.
+func (j *jobState) addSpansLocked(spans ...trace.Span) {
+	room := maxTimelineSpans - len(j.timeline)
+	if room <= 0 {
+		return
+	}
+	if len(spans) > room {
+		spans = spans[:room]
+	}
+	j.timeline = append(j.timeline, spans...)
 }
 
 // beatState is one task's last observed progress sync.
@@ -201,6 +238,8 @@ type JobManager struct {
 	freeMem FreeMemFunc
 	dir     *placement.Directory
 	monitor *health.Monitor
+	log     *slog.Logger
+	tracer  *trace.Tracer
 	stop    chan struct{}
 
 	mu     sync.Mutex
@@ -286,6 +325,8 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 		send:    send,
 		caller:  caller,
 		freeMem: freeMem,
+		log:     logging.Component(logging.Pick(cfg.Log, cfg.Logf), "jobmgr", cfg.Node),
+		tracer:  cfg.Tracer,
 		stop:    make(chan struct{}),
 		jobs:    make(map[string]*jobState),
 	}
@@ -436,6 +477,37 @@ func (jm *JobManager) logf(format string, args ...any) {
 	}
 }
 
+// endSpan closes an active span and copies the completed span into the
+// job's timeline. Inert (nil) actives no-op, so call sites need no guards.
+func (jm *JobManager) endSpan(j *jobState, a *trace.Active, errText string) {
+	sp, ok := a.Finish(errText)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	j.addSpansLocked(sp)
+	j.mu.Unlock()
+}
+
+// JobTrace returns a presentation-sorted copy of the job's assembled span
+// timeline; ok is false for unknown jobs. An empty (non-nil-ok) slice
+// means the job exists but was not sampled. Finished jobs stay queryable
+// through their tombstones, and adopted jobs carry their pre-failover
+// spans, so one trace follows the job across managers.
+func (jm *JobManager) JobTrace(jobID string) ([]trace.Span, bool) {
+	jm.mu.Lock()
+	j, ok := jm.jobs[jobID]
+	jm.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	out := append([]trace.Span(nil), j.timeline...)
+	j.mu.Unlock()
+	trace.SortSpans(out)
+	return out, true
+}
+
 // ActiveJobs returns the number of hosted jobs that have not finished.
 // Finished jobs are kept as tombstones so late user messages from their
 // tasks still route (message handling is concurrent, so a task's final
@@ -544,10 +616,27 @@ func (jm *JobManager) HandleCreateJob(m *msg.Message) *msg.Message {
 		space:       tuplespace.New(),
 	}
 	j.broker = dataplane.NewBroker(&jm.dpStats)
+	// Establish the job's trace identity. A traced create (the client
+	// sampled at submit) makes the client's span the root; otherwise this
+	// JobManager makes its own sampling decision and records an anchor
+	// root span for the timeline to hang from.
+	if !m.Trace.IsZero() {
+		j.root = m.Trace
+		if a := jm.tracer.StartSpan(j.root, "jm.create"); a != nil {
+			if sp, ok := a.SetJob(id).Finish(""); ok {
+				j.timeline = append(j.timeline, sp)
+			}
+		}
+	} else if a := jm.tracer.StartRoot("jm.job", id); a != nil {
+		if sp, ok := a.Finish(""); ok {
+			j.root = sp.Ctx()
+			j.timeline = append(j.timeline, sp)
+		}
+	}
 	jm.jobs[id] = j
 	jm.wg.Add(1)
 	go jm.jobWorker(j)
-	jm.logf("created job %s (%q) for client %s", id, req.Name, req.ClientNode)
+	jm.log.Info("job created", "job", id, "name", req.Name, "client", req.ClientNode)
 	return m.Reply(msg.KindJobCreated, msg.MustEncode(protocol.CreateJobResp{JobID: id}))
 }
 
@@ -667,7 +756,13 @@ func (jm *JobManager) createTasks(j *jobState, items []protocol.TaskCreate, blob
 	}
 	j.mu.Unlock()
 
+	pa := jm.tracer.StartSpan(j.root, "jm.place").SetJob(j.id)
 	placements, err := jm.placeBatch(j, items, nil)
+	if err != nil {
+		jm.endSpan(j, pa, err.Error())
+	} else {
+		jm.endSpan(j, pa, "")
+	}
 	j.mu.Lock()
 	j.idleSince = time.Now()
 	if err != nil {
@@ -706,7 +801,7 @@ func (jm *JobManager) createTasks(j *jobState, items []protocol.TaskCreate, blob
 	for node := range nodeSet(placements) {
 		jm.monitor.Watch(node)
 	}
-	jm.logf("job %s: placed %d tasks on %d nodes", j.id, len(items), distinctNodes(placements))
+	jm.log.Info("tasks placed", "job", j.id, "tasks", len(items), "nodes", distinctNodes(placements))
 	return placements, nil
 }
 
@@ -1163,6 +1258,9 @@ func (jm *JobManager) HandleStartJob(m *msg.Message) *msg.Message {
 	}
 	j.schedule = sched
 	j.started = true
+	// Client-side spans (api.Submit's composition steps) arrive with the
+	// start request; merge them so the timeline begins at the true root.
+	j.addSpansLocked(req.Spans...)
 	// The stashed archive bytes are kept until the job finishes: recovery
 	// re-placement needs them so a surviving TaskManager that never cached
 	// the digest can still pull the blob.
@@ -1175,10 +1273,12 @@ func (jm *JobManager) HandleStartJob(m *msg.Message) *msg.Message {
 	}
 	j.mu.Unlock()
 
+	sa := jm.tracer.StartSpan(j.root, "jm.start").SetJob(j.id)
 	for _, name := range ready {
 		jm.execTask(j, name)
 	}
-	jm.logf("job %s started: %d tasks, %d roots", j.id, sched.Len(), len(ready))
+	jm.endSpan(j, sa, "")
+	jm.log.Info("job started", "job", j.id, "tasks", sched.Len(), "roots", len(ready))
 	return m.Reply(msg.KindPong, nil)
 }
 
@@ -1193,10 +1293,24 @@ func (jm *JobManager) execTask(j *jobState, name string) {
 		msg.Address{Node: jm.cfg.Node, Job: j.id},
 		msg.Address{Node: node, Job: j.id, Task: name},
 		protocol.ExecTaskReq{JobID: j.id, Task: name})
-	if err := jm.send(node, em); err != nil {
-		jm.logf("job %s: exec %q on %s: %v", j.id, name, node, err)
-		jm.retryOrFail(j, name, node, fmt.Sprintf("dispatch to %s failed: %v", node, err))
+	// The dispatch span's context rides the envelope so the TaskManager's
+	// exec span (and its shuffle children) parent under this trace. When
+	// this node has no tracer the raw root context still propagates — the
+	// executing side may be recording even if this one is not.
+	da := jm.tracer.StartSpan(j.root, "jm.dispatch").SetJob(j.id).SetTask(name)
+	if ctx := da.Context(); !ctx.IsZero() {
+		em.Trace = ctx
+	} else {
+		em.Trace = j.root
 	}
+	err := jm.send(node, em)
+	if err != nil {
+		jm.endSpan(j, da, err.Error())
+		jm.log.Warn("task dispatch failed", "job", j.id, "task", name, "target", node, "err", err)
+		jm.retryOrFail(j, name, node, fmt.Sprintf("dispatch to %s failed: %v", node, err))
+		return
+	}
+	jm.endSpan(j, da, "")
 }
 
 // Enqueue places a job-scoped message (task lifecycle event or user
@@ -1266,6 +1380,10 @@ func (jm *JobManager) onTaskEvent(kind msg.Kind, ev *protocol.TaskEvent) {
 	var credits []reservationCredit // freed reservations to credit to the directory
 	forward := true
 	j.mu.Lock()
+	// Terminal events carry the task's drained spans (exec, shuffle
+	// fetches); merge them even when the event itself turns out stale — a
+	// losing twin's spans are still part of the trace.
+	j.addSpansLocked(ev.Spans...)
 	if j.schedule == nil || j.notified {
 		j.mu.Unlock()
 		// Late events for finished jobs are still relayed ("Get Messages
@@ -1467,8 +1585,12 @@ func (jm *JobManager) finishJob(j *jobState, failed bool) {
 	if err := jm.send(client, em); err != nil {
 		jm.logf("job %s: notify client: %v", j.id, err)
 	}
+	// A terminal anchor span marks when the job finished; the timeline
+	// stays queryable through the tombstone.
+	fa := jm.tracer.StartSpan(j.root, "jm.finish").SetJob(j.id)
+	jm.endSpan(j, fa, errText)
 	// The job record stays as a tombstone so late user messages still route.
-	jm.logf("job %s finished (failed=%v)", j.id, failed)
+	jm.log.Info("job finished", "job", j.id, "failed", failed)
 }
 
 // forwardToClient relays a task lifecycle event to the owning client.

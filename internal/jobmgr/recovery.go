@@ -413,6 +413,10 @@ func (jm *JobManager) retryTasks(j *jobState, names []string, reason string, exc
 		jm.monitor.Watch(placements[name])
 	}
 	for _, name := range applied {
+		// Retries are trace-visible: one anchor span per re-placement, its
+		// Err carrying the reason (node death, lost output, dispatch failure).
+		ra := jm.tracer.StartSpan(j.root, "jm.retry").SetJob(j.id).SetTask(name)
+		jm.endSpan(j, ra, reason)
 		jm.forwardToClient(j, msg.KindTaskRetried, &protocol.TaskEvent{
 			JobID: j.id, Task: name, Node: placements[name],
 			Err: reason, Attempt: attempts[name],
@@ -421,7 +425,7 @@ func (jm *JobManager) retryTasks(j *jobState, names []string, reason string, exc
 	for _, name := range execNow {
 		jm.execTask(j, name)
 	}
-	jm.logf("job %s: re-placed %d tasks (%s)", j.id, len(applied), reason)
+	jm.log.Info("tasks re-placed", "job", j.id, "tasks", len(applied), "reason", reason)
 }
 
 func (jm *JobManager) clearRetrying(j *jobState, name string) {
@@ -538,6 +542,13 @@ func (jm *JobManager) speculate(j *jobState, name string) {
 		msg.Address{Node: jm.cfg.Node, Job: j.id},
 		msg.Address{Node: node, Job: j.id, Task: name},
 		protocol.ExecTaskReq{JobID: j.id, Task: name})
+	sa := jm.tracer.StartSpan(j.root, "jm.speculate").SetJob(j.id).SetTask(name)
+	if ctx := sa.Context(); !ctx.IsZero() {
+		em.Trace = ctx
+	} else {
+		em.Trace = j.root
+	}
+	jm.endSpan(j, sa, reason)
 	if err := jm.send(node, em); err != nil {
 		// The twin never ran: release its reservation, return the budget
 		// unit, and do not advertise a retry that did not happen.

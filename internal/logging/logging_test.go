@@ -1,0 +1,99 @@
+package logging
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestNewLevelsAndAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	log := Component(New(&buf, slog.LevelInfo), "jobmgr", "node1")
+	log.Debug("hidden")
+	log.Info("job created", "job", "node1-job1")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug record passed an info-level handler: %q", out)
+	}
+	for _, want := range []string{"job created", "component=jobmgr", "node=node1", "job=node1-job1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	log := Discard()
+	log.Info("nothing") // must not panic
+	if log.Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+}
+
+func TestFromLogfBridge(t *testing.T) {
+	var lines []string
+	logf := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	log := Component(FromLogf(logf), "taskmgr", "n2")
+	log.Debug("chatter")
+	log.Info("assigned", "job", "j1", "task", "t1")
+	if len(lines) != 1 {
+		t.Fatalf("bridge produced %d lines, want 1 (debug suppressed): %v", len(lines), lines)
+	}
+	for _, want := range []string{"assigned", "component=taskmgr", "node=n2", "job=j1", "task=t1"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("line %q missing %q", lines[0], want)
+		}
+	}
+	if FromLogf(nil).Enabled(nil, slog.LevelError) {
+		t.Error("FromLogf(nil) not discarded")
+	}
+}
+
+func TestLogfAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	logf := Logf(New(&buf, slog.LevelInfo))
+	logf("count=%d", 7)
+	if !strings.Contains(buf.String(), "count=7") {
+		t.Errorf("adapter output %q", buf.String())
+	}
+	if Logf(nil) != nil {
+		t.Error("Logf(nil) should be nil")
+	}
+}
+
+func TestPick(t *testing.T) {
+	var buf bytes.Buffer
+	explicit := New(&buf, slog.LevelInfo)
+	if Pick(explicit, nil) != explicit {
+		t.Error("explicit logger not picked")
+	}
+	if Pick(nil, nil).Enabled(nil, slog.LevelError) {
+		t.Error("Pick(nil, nil) not discarded")
+	}
+	var lines int
+	Pick(nil, func(string, ...any) { lines++ }).Info("x")
+	if lines != 1 {
+		t.Errorf("bridged pick wrote %d lines, want 1", lines)
+	}
+}

@@ -154,21 +154,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	samples := append([]float64(nil), h.samples...)
 	h.mu.Unlock()
-	if len(samples) == 0 {
-		return math.NaN()
-	}
 	sort.Float64s(samples)
-	if q == 1 {
-		return samples[len(samples)-1]
-	}
-	idx := q * float64(len(samples)-1)
-	lo := int(math.Floor(idx))
-	hi := int(math.Ceil(idx))
-	if lo == hi {
-		return samples[lo]
-	}
-	frac := idx - float64(lo)
-	return samples[lo]*(1-frac) + samples[hi]*frac
+	return quantileSorted(samples, q)
 }
 
 // Summary is a point-in-time digest of a histogram.
@@ -182,17 +169,49 @@ type Summary struct {
 	P99   float64 `json:"p99"`
 }
 
-// Summarize computes the digest.
+// Summarize computes the digest from one consistent locked snapshot: all
+// seven statistics describe the same instant. (It previously delegated to
+// the individual accessors, taking the mutex seven separate times — a
+// summary computed under concurrent Observe calls could pair a Count from
+// one state with quantiles from another.)
 func (h *Histogram) Summarize() Summary {
-	return Summary{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+	h.mu.Lock()
+	s := Summary{Count: h.count}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
 	}
+	if h.hasMinMax {
+		s.Min = h.min
+		s.Max = h.max
+	}
+	samples := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+
+	// Quantile estimation works on the copied reservoir, outside the lock.
+	sort.Float64s(samples)
+	s.P50 = quantileSorted(samples, 0.50)
+	s.P90 = quantileSorted(samples, 0.90)
+	s.P99 = quantileSorted(samples, 0.99)
+	return s
+}
+
+// quantileSorted interpolates the q-quantile of an already-sorted sample
+// set; NaN when empty.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // String renders the summary on one line.

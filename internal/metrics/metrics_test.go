@@ -234,3 +234,63 @@ func TestRegistrySnapshot(t *testing.T) {
 		t.Errorf("histogram = %+v", h)
 	}
 }
+
+// TestSummarizeConsistentSnapshot: a summary produced under concurrent
+// observation must describe one internally consistent state — Mean within
+// [Min, Max] and Count never behind what a later locked read reports.
+func TestSummarizeConsistentSnapshot(t *testing.T) {
+	h := NewHistogram(128)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := float64(g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(v)
+					v += 1
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Summarize()
+		if s.Count == 0 {
+			continue
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("inconsistent summary: mean %.3f outside [%.3f, %.3f]", s.Mean, s.Min, s.Max)
+		}
+		if !math.IsNaN(s.P50) && (s.P50 < s.Min || s.P50 > s.Max) {
+			t.Fatalf("inconsistent summary: p50 %.3f outside [%.3f, %.3f]", s.P50, s.Min, s.Max)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSummarizeMatchesAccessors: at rest, the single-lock summary must
+// agree with the individual accessors.
+func TestSummarizeMatchesAccessors(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Summarize()
+	if s.Count != h.Count() || s.Mean != h.Mean() || s.Min != h.Min() || s.Max != h.Max() {
+		t.Fatalf("summary %+v disagrees with accessors", s)
+	}
+	for _, q := range []struct {
+		q    float64
+		want float64
+	}{{0.50, s.P50}, {0.90, s.P90}, {0.99, s.P99}} {
+		if got := h.Quantile(q.q); got != q.want {
+			t.Fatalf("Quantile(%.2f) = %.3f, summary says %.3f", q.q, got, q.want)
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"cn/internal/trace"
 )
 
 // Kind identifies a well-defined CN message category. Applications exchange
@@ -105,6 +107,11 @@ const (
 	KindDataLoc     // response: the key's location (or inline bytes for small payloads)
 	KindDataFetch   // request: consumer TM -> producer TM direct chunk pull
 
+	// Cluster-wide metrics aggregation: a scraper (the portal) pulls each
+	// node's metrics registry over the fabric.
+	KindStatsPull   // request: scraper -> node, report your registry snapshot
+	KindStatsReport // response: the node's counters, gauges, and histograms
+
 	// kindEnd is the exclusive upper bound of the kind space; keep it last.
 	kindEnd
 )
@@ -161,6 +168,8 @@ var kindNames = map[Kind]string{
 	KindDataResolve:       "DATA_RESOLVE",
 	KindDataLoc:           "DATA_LOC",
 	KindDataFetch:         "DATA_FETCH",
+	KindStatsPull:         "STATS_PULL",
+	KindStatsReport:       "STATS_REPORT",
 }
 
 // String returns the wire name of the kind, e.g. "TASK_COMPLETED".
@@ -272,6 +281,9 @@ type Message struct {
 	Headers map[string]string
 	// Time is the send timestamp.
 	Time time.Time
+	// Trace is the distributed-tracing context this message carries. The
+	// zero value means "not traced" and adds nothing to the encoded frame.
+	Trace trace.Context
 }
 
 var nextID atomic.Uint64
@@ -293,10 +305,12 @@ func New(kind Kind, from, to Address, payload []byte) *Message {
 }
 
 // Reply constructs a response message correlated with m, addressed back to
-// its sender.
+// its sender. The request's trace context is carried over so a traced
+// round trip stays attributable on both legs.
 func (m *Message) Reply(kind Kind, payload []byte) *Message {
 	r := New(kind, m.To, m.From, payload)
 	r.CorrelID = m.ID
+	r.Trace = m.Trace
 	return r
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"cn/internal/api"
 	"cn/internal/cluster"
@@ -20,6 +21,8 @@ import (
 	"cn/internal/jobmgr"
 	"cn/internal/jobstore"
 	"cn/internal/metrics"
+	"cn/internal/protocol"
+	"cn/internal/trace"
 	"cn/internal/transport"
 )
 
@@ -239,6 +242,45 @@ func (p *Portal) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// TraceResponse is the GET /api/jobs/{id}/trace body: the job's span
+// timeline as assembled by its (current) JobManager. The id may be a CN
+// job id or a portal submission id; a submission's response merges the
+// spans of every CN job it ran.
+type TraceResponse struct {
+	ID    string       `json:"id"`
+	Count int          `json:"count"`
+	Spans []trace.Span `json:"spans"`
+}
+
+func (p *Portal) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// A CN job id answers directly from whichever live JobManager holds
+	// the job — across failover that is the adopter's merged record.
+	if spans, ok := p.cfg.Cluster.JobTrace(id); ok {
+		writeJSON(w, http.StatusOK, TraceResponse{ID: id, Count: len(spans), Spans: spans})
+		return
+	}
+	// A portal submission id resolves through its result to the CN jobs
+	// it ran.
+	if _, result, _, ok := p.store.ResultRecord(id); ok {
+		if rr, isRun := result.(*RunResponse); isRun {
+			var spans []trace.Span
+			for _, jr := range rr.Jobs {
+				if s, ok := p.cfg.Cluster.JobTrace(jr.JobID); ok {
+					spans = append(spans, s...)
+				}
+			}
+			trace.SortSpans(spans)
+			writeJSON(w, http.StatusOK, TraceResponse{ID: id, Count: len(spans), Spans: spans})
+			return
+		}
+		errorJSON(w, http.StatusConflict,
+			fmt.Errorf("portal: job %s has no trace yet (not finished, or result evicted)", id))
+		return
+	}
+	errorJSON(w, http.StatusNotFound, fmt.Errorf("portal: unknown job %q (no hosted CN job or submission by that id)", id))
+}
+
 func (p *Portal) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, err := p.store.Delete(id)
@@ -262,6 +304,41 @@ type MetricsResponse struct {
 	Metrics   metrics.RegistrySnapshot `json:"metrics"`
 	Wire      transport.WireSnapshot   `json:"wire"`
 	Dataplane DataplaneMetrics         `json:"dataplane"`
+	// Nodes is the per-node breakdown: every live node's registry
+	// snapshot and span-store depth, scraped over the wire (STATS_PULL)
+	// at request time. A node that fails to answer within the scrape
+	// window is simply absent.
+	Nodes map[string]*protocol.StatsReportResp `json:"nodes,omitempty"`
+}
+
+// scrapeTimeout bounds the whole per-node STATS_PULL sweep on a metrics
+// request; nodes that miss the window drop out of the breakdown.
+const scrapeTimeout = 2 * time.Second
+
+// scrapeNodes pulls every live node's registry snapshot concurrently.
+func (p *Portal) scrapeNodes() map[string]*protocol.StatsReportResp {
+	nodes := p.cfg.Cluster.Nodes()
+	ctx, cancel := context.WithTimeout(context.Background(), scrapeTimeout)
+	defer cancel()
+	var mu sync.Mutex
+	out := make(map[string]*protocol.StatsReportResp, len(nodes))
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			resp, err := p.client.Scrape(ctx, node)
+			if err != nil {
+				p.log.Warn("stats scrape failed", "node", node, "err", err)
+				return
+			}
+			mu.Lock()
+			out[node] = resp
+			mu.Unlock()
+		}(node)
+	}
+	wg.Wait()
+	return out
 }
 
 // DataplaneMetrics summarizes the direct task-to-task data plane: broker
@@ -289,5 +366,6 @@ func (p *Portal) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			CacheHits:    hits,
 			CacheMisses:  misses,
 		},
+		Nodes: p.scrapeNodes(),
 	})
 }

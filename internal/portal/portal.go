@@ -32,7 +32,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -43,7 +45,9 @@ import (
 	"cn/internal/codegen"
 	"cn/internal/core"
 	"cn/internal/jobstore"
+	"cn/internal/logging"
 	"cn/internal/protocol"
+	"cn/internal/trace"
 	"cn/internal/transform"
 )
 
@@ -69,6 +73,17 @@ type Config struct {
 	DataDir string
 	// Logf receives request diagnostics; nil disables logging.
 	Logf func(format string, args ...any)
+	// Log is the structured logger; when nil, records are bridged through
+	// Logf (or discarded when that is nil too).
+	Log *slog.Logger
+	// TraceSample is the portal client's root-sampling probability for
+	// submitted jobs (0 = trace.DefaultSample; negative leaves portal
+	// submissions untraced from the client side).
+	TraceSample float64
+	// Debug mounts net/http/pprof under /debug/pprof/ — profiling of a
+	// live portal process. Off by default: the profile endpoints expose
+	// internals and cost CPU when scraped.
+	Debug bool
 }
 
 // Portal is the web front end.
@@ -78,6 +93,8 @@ type Portal struct {
 	store   *jobstore.Store
 	backend jobstore.Backend // owned WAL backend; nil when DataDir is empty
 	mux     *http.ServeMux
+	log     *slog.Logger
+	tracer  *trace.Tracer
 }
 
 // New creates a portal attached to the cluster.
@@ -88,14 +105,25 @@ func New(cfg Config) (*Portal, error) {
 	if cfg.RunTimeout <= 0 {
 		cfg.RunTimeout = 60 * time.Second
 	}
+	var tracer *trace.Tracer
+	if cfg.TraceSample >= 0 {
+		tracer = trace.New(trace.Config{Node: "portal", Sample: cfg.TraceSample})
+	}
 	client, err := api.Initialize(cfg.Cluster.Network(), api.Options{
 		ClientName:      "portal",
 		DiscoveryWindow: 100 * time.Millisecond,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("portal: %w", err)
 	}
-	p := &Portal{cfg: cfg, client: client, mux: http.NewServeMux()}
+	p := &Portal{
+		cfg:    cfg,
+		client: client,
+		mux:    http.NewServeMux(),
+		log:    logging.Component(logging.Pick(cfg.Log, cfg.Logf), "portal", ""),
+		tracer: tracer,
+	}
 	if cfg.DataDir != "" {
 		wal, err := jobstore.OpenWAL(cfg.DataDir, jobstore.WALOptions{})
 		if err != nil {
@@ -131,8 +159,23 @@ func New(cfg Config) (*Portal, error) {
 	p.mux.HandleFunc("GET /api/jobs", p.handleListJobs)
 	p.mux.HandleFunc("GET /api/jobs/{id}", p.handleGetJob)
 	p.mux.HandleFunc("GET /api/jobs/{id}/result", p.handleJobResult)
+	p.mux.HandleFunc("GET /api/jobs/{id}/trace", p.handleJobTrace)
 	p.mux.HandleFunc("DELETE /api/jobs/{id}", p.handleDeleteJob)
 	p.mux.HandleFunc("GET /api/metrics", p.handleMetrics)
+	if cfg.Debug {
+		// Profiling surface (mirrors net/http/pprof's DefaultServeMux
+		// registrations); Index also serves heap, goroutine, block, and
+		// mutex profiles by name. The GET method prefix keeps the
+		// method-specific "GET /" index route from conflicting with a
+		// method-less pattern under the 1.22 mux precedence rules.
+		p.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		p.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		p.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		p.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		p.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		p.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		p.log.Info("pprof profiling enabled", "path", "/debug/pprof/")
+	}
 	return p, nil
 }
 

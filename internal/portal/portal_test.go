@@ -288,3 +288,43 @@ func TestRunDynamicXMI(t *testing.T) {
 		t.Errorf("expanded to %d workers, want 3:\n%s", got, raw)
 	}
 }
+
+// TestDebugMountsPprof guards the -debug profiling surface: the pprof
+// patterns must coexist with the portal's method-qualified routes under
+// the 1.22 ServeMux precedence rules (a method-less "/debug/pprof/"
+// conflicts with "GET /" and panics at registration), and the endpoints
+// must answer.
+func TestDebugMountsPprof(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{Nodes: 1, Registry: registry, MemoryMB: 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	p, err := portal.New(portal.Config{Cluster: c, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The index route still answers alongside the debug mounts.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET / = %d, want 200", resp.StatusCode)
+	}
+}

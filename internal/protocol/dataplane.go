@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cn/internal/msg"
+	"cn/internal/trace"
 )
 
 // DataInlineMax is the largest payload that piggybacks whole on a
@@ -92,6 +93,9 @@ type DataWire struct {
 	JobID    string
 	FromTask string
 	From, To msg.Address
+	// Trace is the span context broker calls carry on the envelope; zero
+	// when the task is untraced.
+	Trace trace.Context
 	// Call performs the bounded request/response round trip.
 	Call func(ctx context.Context, toNode string, m *msg.Message) (*msg.Message, error)
 }
@@ -100,6 +104,7 @@ type DataWire struct {
 // DataCallTimeout).
 func (w *DataWire) Do(ctx context.Context, kind msg.Kind, req any) (*DataLocResp, error) {
 	m := Body(kind, w.From, w.To, req)
+	m.Trace = w.Trace
 	cctx, cancel := context.WithTimeout(ctx, DataCallTimeout)
 	defer cancel()
 	reply, err := w.Call(cctx, w.To.Node, m)

@@ -5,8 +5,10 @@
 package protocol
 
 import (
+	"cn/internal/metrics"
 	"cn/internal/msg"
 	"cn/internal/task"
+	"cn/internal/trace"
 )
 
 // Multicast group names. CN servers join both; clients join neither.
@@ -234,6 +236,10 @@ type BlobChunkResp struct {
 type StartJobReq struct {
 	JobID     string
 	TaskNames []string
+	// Spans carries the client-side spans of the job's trace (submit,
+	// discovery, job/task creation) to the JobManager, which folds them
+	// into the per-job timeline it assembles.
+	Spans []trace.Span
 }
 
 // ExecTaskReq is the body of KindExecTask (JobManager -> TaskManager): run
@@ -258,6 +264,10 @@ type TaskEvent struct {
 	// Speculative marks a KindTaskRetried caused by straggler speculation
 	// rather than failure recovery.
 	Speculative bool
+	// Spans carries the task's recorded spans (exec, shuffle pulls) on its
+	// terminal event, so the TaskManager's side of the trace reaches the
+	// JobManager's per-job timeline exactly once.
+	Spans []trace.Span
 }
 
 // TaskBeat is one assignment's entry in a Heartbeat: a compact progress
@@ -361,6 +371,25 @@ type JobEvent struct {
 	Failed   bool
 	Err      string
 	TaskErrs map[string]string
+}
+
+// StatsPullReq is the body of KindStatsPull (scraper -> node): report the
+// node's metrics registry. The scraper is the portal's aggregation loop;
+// any client attached to the fabric may pull.
+type StatsPullReq struct {
+	// Scraper names the requesting endpoint (diagnostics only).
+	Scraper string
+}
+
+// StatsReportResp is the body of KindStatsReport: one node's full metrics
+// registry snapshot plus its span-store depth, the unit of cluster-wide
+// aggregation.
+type StatsReportResp struct {
+	Node    string                   `json:"node"`
+	Metrics metrics.RegistrySnapshot `json:"metrics"`
+	// Spans is the node's current span-store depth (recorded, not yet
+	// evicted) — a cheap tracing-health signal.
+	Spans int `json:"spans"`
 }
 
 // Decode unmarshals a message payload into out, which must match the kind's

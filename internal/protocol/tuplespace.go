@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cn/internal/msg"
+	"cn/internal/trace"
 	"cn/internal/tuplespace"
 )
 
@@ -220,6 +221,9 @@ type TSWire struct {
 	JobID    string
 	FromTask string
 	From, To msg.Address
+	// Trace is the span context tuple-space calls carry on the envelope;
+	// zero when the task is untraced.
+	Trace trace.Context
 	// Call performs the bounded request/response round trip.
 	Call func(ctx context.Context, toNode string, m *msg.Message) (*msg.Message, error)
 	// Send delivers the best-effort cancel notice.
@@ -233,6 +237,7 @@ func (w *TSWire) Do(ctx context.Context, kind msg.Kind, req TSOpReq) (*TSOpResp,
 	req.JobID = w.JobID
 	req.FromTask = w.FromTask
 	m := Body(kind, w.From, w.To, req)
+	m.Trace = w.Trace
 	cctx, cancel := context.WithTimeout(ctx, TSCallTimeout)
 	defer cancel()
 	reply, err := w.Call(cctx, w.To.Node, m)

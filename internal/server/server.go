@@ -9,14 +9,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"cn/internal/archive"
 	"cn/internal/jobmgr"
+	"cn/internal/metrics"
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
 	"cn/internal/taskmgr"
+	"cn/internal/trace"
 	"cn/internal/transport"
 )
 
@@ -59,6 +62,20 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// Logf receives diagnostics from both managers; nil disables logging.
 	Logf func(format string, args ...any)
+	// Log is the structured logger both managers attach their component
+	// and node attributes to; when nil, records are bridged through Logf
+	// (or discarded when that is nil too).
+	Log *slog.Logger
+	// TraceSample is the node tracer's root-sampling probability
+	// (0 = trace.DefaultSample; negative disables tracing on this node
+	// entirely, the pre-observability behavior).
+	TraceSample float64
+	// Tracer overrides the node's tracer (tests); when nil one is built
+	// from TraceSample.
+	Tracer *trace.Tracer
+	// Metrics is the registry STATS_PULL scrapes report; nil creates a
+	// per-node registry.
+	Metrics *metrics.Registry
 }
 
 // Server is one CN node: endpoint + JobManager + TaskManager.
@@ -68,6 +85,8 @@ type Server struct {
 	caller *transport.Caller
 	jm     *jobmgr.JobManager
 	tm     *taskmgr.TaskManager
+	tracer *trace.Tracer
+	reg    *metrics.Registry
 	closed chan struct{}
 }
 
@@ -84,6 +103,14 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 	}
 	s.ep = ep
 	s.caller = transport.NewCaller(ep)
+	s.tracer = cfg.Tracer
+	if s.tracer == nil && cfg.TraceSample >= 0 {
+		s.tracer = trace.New(trace.Config{Node: cfg.Node, Sample: cfg.TraceSample})
+	}
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
 
 	send := func(toNode string, m *msg.Message) error { return ep.Send(toNode, m) }
 	s.tm = taskmgr.New(taskmgr.Config{
@@ -94,6 +121,8 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		Call:           s.caller.Call,
 		HeartbeatEvery: cfg.HeartbeatInterval,
 		Logf:           cfg.Logf,
+		Log:            cfg.Log,
+		Tracer:         s.tracer,
 	}, send)
 	s.jm = jobmgr.New(jobmgr.Config{
 		Node:              cfg.Node,
@@ -109,6 +138,8 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		StragglerAfter:    cfg.StragglerAfter,
 		CheckpointEvery:   cfg.CheckpointEvery,
 		Logf:              cfg.Logf,
+		Log:               cfg.Log,
+		Tracer:            s.tracer,
 	}, send, s.caller, s.tm.FreeMemoryMB)
 
 	if err := ep.Join(protocol.GroupJobManagers); err != nil {
@@ -213,6 +244,36 @@ func (s *Server) TaskManager() *taskmgr.TaskManager { return s.tm }
 // JobManager exposes the node's JobManager (for tests and metrics).
 func (s *Server) JobManager() *jobmgr.JobManager { return s.jm }
 
+// Tracer exposes the node's span recorder; nil when tracing is disabled.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// Metrics exposes the node's metrics registry — the unit STATS_PULL
+// scrapes report.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// handleStatsPull answers a KindStatsPull scrape: refresh the registry's
+// point-in-time gauges from the managers' live counters, then report the
+// whole snapshot plus the span-store depth.
+func (s *Server) handleStatsPull(m *msg.Message) *msg.Message {
+	var req protocol.StatsPullReq
+	if err := protocol.Decode(m, &req); err != nil {
+		return nil
+	}
+	s.reg.Gauge("tm_free_memory_mb").Set(int64(s.tm.FreeMemoryMB()))
+	s.reg.Gauge("tm_running_tasks").Set(int64(s.tm.RunningTasks()))
+	s.reg.Gauge("data_served_bytes").Set(s.tm.DataServedBytes())
+	s.reg.Gauge("data_fetched_bytes").Set(s.tm.DataFetchedBytes())
+	s.reg.Gauge("blob_cache_hits").Set(s.tm.BlobCache().Hits())
+	s.reg.Gauge("blob_cache_misses").Set(s.tm.BlobCache().Misses())
+	s.reg.Gauge("blob_cache_transfers").Set(s.tm.BlobCache().Transfers())
+	resp := protocol.StatsReportResp{
+		Node:    s.cfg.Node,
+		Metrics: s.reg.Snapshot(),
+		Spans:   s.tracer.Store().Len(),
+	}
+	return m.Reply(msg.KindStatsReport, msg.MustEncode(resp))
+}
+
 // handle is the endpoint dispatch entry point. Replies to this server's own
 // outstanding calls are consumed inline; all other protocol handling runs on
 // a fresh goroutine because several handlers (task placement, user routing)
@@ -315,7 +376,7 @@ func (s *Server) dispatch(m *msg.Message) {
 		if err := protocol.Decode(m, &req); err != nil {
 			return
 		}
-		if err := s.tm.HandleStart(req.JobID, req.Task); err != nil {
+		if err := s.tm.HandleStart(req.JobID, req.Task, m.Trace); err != nil {
 			if errors.Is(err, taskmgr.ErrAlreadyStarted) {
 				// A duplicate dispatch (recovery re-exec or failover
 				// adoption) raced the running copy; it reports its own
@@ -340,6 +401,10 @@ func (s *Server) dispatch(m *msg.Message) {
 		s.jm.HandleCheckpoint(m)
 	case msg.KindJMAdopt:
 		s.replyIfAny(m, s.tm.HandleAdopt(m))
+
+	// --- Observability ---
+	case msg.KindStatsPull:
+		s.replyIfAny(m, s.handleStatsPull(m))
 
 	// --- Health ---
 	case msg.KindPing:

@@ -119,6 +119,7 @@ func (c *execContext) dataWire(jmNode string) *protocol.DataWire {
 		FromTask: c.a.spec.Name,
 		From:     c.self,
 		To:       msg.Address{Node: jmNode, Job: c.a.jobID},
+		Trace:    c.trace,
 		Call:     c.tm.cfg.Call,
 	}
 }
@@ -144,8 +145,16 @@ func (c *execContext) dataCtx(ctx context.Context) (context.Context, context.Can
 // the node's blob cache (where peer fetches are served from) and only the
 // content-addressed location travels to the JobManager; payloads at most
 // protocol.DataInlineMax ride along inline so the advert itself can answer
-// consumers.
+// consumers. A traced task records the whole publish as a tm.shuffle.put
+// span.
 func (c *execContext) Put(key string, payload []byte) error {
+	pa := c.tm.tracer.StartSpan(c.trace, "tm.shuffle.put").SetJob(c.a.jobID).SetTask(c.a.spec.Name)
+	err := c.put(key, payload)
+	pa.End(err)
+	return err
+}
+
+func (c *execContext) put(key string, payload []byte) error {
 	if key == "" {
 		return fmt.Errorf("task %s: put: empty key", c.a.spec.Name)
 	}
@@ -192,8 +201,16 @@ func (c *execContext) Put(key string, payload []byte) error {
 // TM→TM round trip; otherwise the bytes are chunk-pulled from the
 // producing node. A fetch that fails (the producer died under the advert)
 // re-resolves with a stale hint — the JobManager drops the dead location
-// and parks the resolve until the recovered producer re-publishes.
+// and parks the resolve until the recovered producer re-publishes. A traced
+// task records the whole resolve+pull as a tm.shuffle.get span.
 func (c *execContext) Get(ctx context.Context, key string) ([]byte, error) {
+	ga := c.tm.tracer.StartSpan(c.trace, "tm.shuffle.get").SetJob(c.a.jobID).SetTask(c.a.spec.Name)
+	data, err := c.get(ctx, key)
+	ga.End(err)
+	return data, err
+}
+
+func (c *execContext) get(ctx context.Context, key string) ([]byte, error) {
 	if key == "" {
 		return nil, fmt.Errorf("task %s: get: empty key", c.a.spec.Name)
 	}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,9 +18,11 @@ import (
 
 	"cn/internal/archive"
 	"cn/internal/health"
+	"cn/internal/logging"
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/trace"
 	"cn/internal/tuplespace"
 )
 
@@ -60,6 +63,13 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	// Logf receives diagnostic lines; nil disables logging.
 	Logf func(format string, args ...any)
+	// Log is the structured logger; when nil, records are bridged through
+	// Logf (or discarded when that is nil too).
+	Log *slog.Logger
+	// Tracer records this TaskManager's spans (task exec, shuffle pulls)
+	// into its local store; terminal task events drain them to the
+	// JobManager's timeline. Nil disables TM-side span recording.
+	Tracer *trace.Tracer
 }
 
 // DefaultMemoryMB is the per-node capacity when Config.MemoryMB is 0,
@@ -88,6 +98,10 @@ type assignment struct {
 	// message the task sends or receives; heartbeats carry it to the
 	// JobManager as the straggler-detection signal.
 	progress atomic.Uint64
+	// trace is the context the exec dispatch carried in; set once in
+	// HandleStart before the execute goroutine launches and read only
+	// there. Zero when the job is untraced.
+	trace trace.Context
 }
 
 // jm returns the node of the JobManager currently owning the assignment.
@@ -109,6 +123,8 @@ func (a *assignment) cancel() {
 type TaskManager struct {
 	cfg      Config
 	send     SendFunc
+	log      *slog.Logger
+	tracer   *trace.Tracer
 	registry *task.Registry
 	blobs    *archive.Cache
 	stop     chan struct{}
@@ -149,6 +165,8 @@ func New(cfg Config, send SendFunc) *TaskManager {
 	tm := &TaskManager{
 		cfg:      cfg,
 		send:     send,
+		log:      logging.Component(logging.Pick(cfg.Log, cfg.Logf), "taskmgr", cfg.Node),
+		tracer:   cfg.Tracer,
 		registry: reg,
 		blobs:    archive.NewCache(),
 		stop:     make(chan struct{}),
@@ -460,7 +478,7 @@ func (tm *TaskManager) assignOne(jobID, jobManager, clientNode string, it protoc
 	}
 	a.setJM(jobManager)
 	tm.assigned[k] = a
-	tm.logf("assigned %s (class %s, %d MB)", k, sp.Class, sp.Req.MemoryMB)
+	tm.log.Info("task assigned", "job", jobID, "task", sp.Name, "class", sp.Class, "mem_mb", sp.Req.MemoryMB)
 	return ""
 }
 
@@ -492,7 +510,9 @@ func (tm *TaskManager) ReleaseIfUnstarted(jobID, taskName string) bool {
 var ErrAlreadyStarted = errors.New("task already started")
 
 // HandleStart processes a KindStartTask from the JobManager for one task.
-func (tm *TaskManager) HandleStart(jobID, taskName string) error {
+// tc is the trace context the exec dispatch carried (zero when untraced);
+// the execute goroutine parents its spans to it.
+func (tm *TaskManager) HandleStart(jobID, taskName string, tc trace.Context) error {
 	tm.mu.Lock()
 	a, ok := tm.assigned[key(jobID, taskName)]
 	closed := tm.closed
@@ -506,6 +526,7 @@ func (tm *TaskManager) HandleStart(jobID, taskName string) error {
 	if !a.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("taskmgr %s: task %s: %w", tm.cfg.Node, key(jobID, taskName), ErrAlreadyStarted)
 	}
+	a.trace = tc
 	tm.mu.Lock()
 	tm.running++
 	tm.wg.Add(1)
@@ -522,6 +543,13 @@ func (tm *TaskManager) execute(a *assignment) {
 
 	tm.event(msg.KindTaskStarted, a, "")
 
+	ea := tm.tracer.StartSpan(a.trace, "tm.exec").SetJob(a.jobID).SetTask(a.spec.Name)
+	tc := ea.Context()
+	if tc.IsZero() {
+		// Tracer-less node on a traced job: pass the dispatch context
+		// through unchanged so downstream calls stay connected.
+		tc = a.trace
+	}
 	var runErr error
 	func() {
 		defer func() {
@@ -537,9 +565,10 @@ func (tm *TaskManager) execute(a *assignment) {
 			runErr = err
 			return
 		}
-		ctx := &execContext{tm: tm, a: a, self: from}
+		ctx := &execContext{tm: tm, a: a, self: from, trace: tc}
 		runErr = t.Run(ctx)
 	}()
+	ea.End(runErr)
 
 	tm.mu.Lock()
 	tm.running--
@@ -557,14 +586,20 @@ func (tm *TaskManager) execute(a *assignment) {
 
 // event reports a lifecycle event to the JobManager. The owning manager is
 // resolved at send time: an assignment adopted mid-run reports its terminal
-// event to the survivor, not the dead origin.
+// event to the survivor, not the dead origin. Terminal events drain the
+// task's locally recorded spans into the payload so they join the
+// JobManager's per-job timeline exactly once.
 func (tm *TaskManager) event(kind msg.Kind, a *assignment, errText string) {
 	jmNode := a.jm()
 	ev := protocol.TaskEvent{JobID: a.jobID, Task: a.spec.Name, Node: tm.cfg.Node, Err: errText}
+	if kind == msg.KindTaskCompleted || kind == msg.KindTaskFailed {
+		ev.Spans = tm.tracer.Store().Take(a.jobID, a.spec.Name)
+	}
 	m := protocol.Body(kind,
 		msg.Address{Node: tm.cfg.Node, Job: a.jobID, Task: a.spec.Name},
 		msg.Address{Node: jmNode, Job: a.jobID},
 		ev)
+	m.Trace = a.trace
 	if err := tm.send(jmNode, m); err != nil {
 		tm.logf("event %s for %s: %v", kind, key(a.jobID, a.spec.Name), err)
 	}
@@ -598,7 +633,7 @@ func (tm *TaskManager) HandleAdopt(m *msg.Message) *msg.Message {
 	}
 	tm.mu.Unlock()
 	sort.Slice(resp.Present, func(i, j int) bool { return resp.Present[i].Task < resp.Present[j].Task })
-	tm.logf("job %s adopted by %s: %d assignments re-pointed", req.JobID, req.NewManager, len(resp.Present))
+	tm.log.Info("job re-pointed at new manager", "job", req.JobID, "manager", req.NewManager, "assignments", len(resp.Present))
 	return m.Reply(msg.KindJMAdopt, msg.MustEncode(resp))
 }
 
@@ -692,6 +727,10 @@ type execContext struct {
 	tm   *TaskManager
 	a    *assignment
 	self msg.Address
+	// trace is the context the task's outbound calls carry: the tm.exec
+	// span when this node records spans, else the dispatch context as-is
+	// (so a traced job stays connected even on tracer-less nodes).
+	trace trace.Context
 }
 
 // TaskName implements task.Context.
@@ -779,6 +818,7 @@ func (c *execContext) tsDo(kind msg.Kind, req protocol.TSOpReq) (*protocol.TSOpR
 		FromTask: c.a.spec.Name,
 		From:     c.self,
 		To:       msg.Address{Node: c.a.jm(), Job: c.a.jobID},
+		Trace:    c.trace,
 		Call:     c.tm.cfg.Call,
 		Send:     c.tm.send,
 	}

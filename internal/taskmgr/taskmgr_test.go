@@ -10,6 +10,7 @@ import (
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/trace"
 )
 
 // sink collects messages a TaskManager sends out.
@@ -112,7 +113,7 @@ func TestAssignReservesAndReleasesMemory(t *testing.T) {
 	if tm.FreeMemoryMB() != 600 {
 		t.Errorf("free = %d after reservation", tm.FreeMemoryMB())
 	}
-	if err := tm.HandleStart("j1", "t1"); err != nil {
+	if err := tm.HandleStart("j1", "t1", trace.Context{}); err != nil {
 		t.Fatal(err)
 	}
 	s.waitKind(t, msg.KindTaskCompleted)
@@ -179,16 +180,16 @@ func TestStartErrors(t *testing.T) {
 	s := &sink{}
 	tm := New(Config{Node: "tm1", Registry: registry(t)}, s.send)
 	defer tm.Close()
-	if err := tm.HandleStart("j1", "ghost"); err == nil {
+	if err := tm.HandleStart("j1", "ghost", trace.Context{}); err == nil {
 		t.Error("starting unassigned task accepted")
 	}
 	if err := protocol.Decode(tm.HandleAssign(assignMsg(spec("t", 10), nil)), new(protocol.AssignTaskResp)); err != nil {
 		t.Fatal(err)
 	}
-	if err := tm.HandleStart("j1", "t"); err != nil {
+	if err := tm.HandleStart("j1", "t", trace.Context{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tm.HandleStart("j1", "t"); err == nil {
+	if err := tm.HandleStart("j1", "t", trace.Context{}); err == nil {
 		t.Error("double start accepted")
 	}
 	s.waitKind(t, msg.KindTaskCompleted)
@@ -324,7 +325,7 @@ func TestCacheHitAssignmentWithRefOnlyExecutes(t *testing.T) {
 	if tm.BlobCache().Transfers() != 1 {
 		t.Errorf("transfers = %d, want 1 (seed upload only)", tm.BlobCache().Transfers())
 	}
-	if err := tm.HandleStart("j1", "hit"); err != nil {
+	if err := tm.HandleStart("j1", "hit", trace.Context{}); err != nil {
 		t.Fatal(err)
 	}
 	s.waitKind(t, msg.KindTaskCompleted)
@@ -406,7 +407,7 @@ func TestCloseIdempotentAndRejectsWork(t *testing.T) {
 	if r := tm.HandleSolicit(solicitMsg(spec("t", 10))); r != nil {
 		t.Error("closed TM answered solicit")
 	}
-	if err := tm.HandleStart("j1", "t"); err == nil {
+	if err := tm.HandleStart("j1", "t", trace.Context{}); err == nil {
 		t.Error("closed TM started task")
 	}
 }
@@ -534,7 +535,7 @@ func TestReleaseIfUnstarted(t *testing.T) {
 	if r := tm.HandleAssign(assignMsg(spec("t2", 400), nil)); r == nil {
 		t.Fatal("assign not answered")
 	}
-	if err := tm.HandleStart("j1", "t2"); err != nil {
+	if err := tm.HandleStart("j1", "t2", trace.Context{}); err != nil {
 		t.Fatal(err)
 	}
 	if tm.ReleaseIfUnstarted("j1", "t2") {

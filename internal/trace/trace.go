@@ -1,0 +1,360 @@
+// Package trace implements CN's sampling distributed tracer. A trace
+// follows one job across processes: the client opens a root span at
+// submit, every component on the path (JobManager placement, archive
+// distribution, task exec, data-plane shuffle pulls, retries, failover
+// adoption) opens child spans, and the trace context — three integers —
+// rides the binary wire envelope so causality survives node boundaries.
+//
+// The package is dependency-free by design: internal/msg embeds a
+// Context in every Message, so trace must sit below the whole stack.
+//
+// Sampling is decided once, at the root: a sampled trace carries a
+// non-zero context and every downstream component records; an unsampled
+// trace carries the zero Context and every downstream call is a no-op.
+// This is head-based sampling in the Dapper mold — cheap enough to leave
+// on in production, complete enough that one kept trace shows the whole
+// job.
+package trace
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Context is the wire-portable trace identity: which trace a message
+// belongs to and which span caused it. The zero Context means "not
+// traced" and costs nothing on the wire.
+type Context struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+}
+
+// IsZero reports whether the context carries no trace.
+func (c Context) IsZero() bool {
+	return c.TraceID == 0 && c.SpanID == 0 && c.ParentID == 0
+}
+
+// Span is one completed, recorded operation. Parent is 0 for a root
+// span. Err is empty on success.
+type Span struct {
+	Trace  uint64        `json:"trace"`
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Node   string        `json:"node,omitempty"`
+	Job    string        `json:"job,omitempty"`
+	Task   string        `json:"task,omitempty"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// Ctx returns the context a child of this span should carry.
+func (s Span) Ctx() Context {
+	return Context{TraceID: s.Trace, SpanID: s.ID, ParentID: s.Parent}
+}
+
+// DefaultSample is the default root-sampling probability: 1 in 8 jobs
+// get a full trace, cheap enough to leave on.
+const DefaultSample = 0.125
+
+// DefaultCapacity bounds a Store's ring buffer when Config.Capacity is 0.
+const DefaultCapacity = 4096
+
+// Config parametrizes a Tracer.
+type Config struct {
+	// Node stamps every recorded span with the hosting node name.
+	Node string
+	// Sample is the root-sampling probability in [0,1]. 0 selects
+	// DefaultSample; negative never samples new roots (children of
+	// sampled incoming contexts are still recorded); >= 1 samples every
+	// root.
+	Sample float64
+	// Capacity bounds the span store's ring buffer (0 = DefaultCapacity).
+	Capacity int
+}
+
+// Tracer creates and records spans for one process. A nil *Tracer is
+// valid and inert: every method no-ops and every returned context is
+// zero, so call sites need no nil guards.
+type Tracer struct {
+	node   string
+	sample float64
+	store  *Store
+}
+
+// New creates a Tracer with a bounded ring-buffer span store.
+func New(cfg Config) *Tracer {
+	if cfg.Sample == 0 {
+		cfg.Sample = DefaultSample
+	}
+	return &Tracer{
+		node:   cfg.Node,
+		sample: cfg.Sample,
+		store:  NewStore(cfg.Capacity),
+	}
+}
+
+// Store exposes the tracer's span store; nil for a nil tracer.
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// Active is an open span. End it to record it. A nil *Active is valid
+// and inert, which is how unsampled traces cost nothing downstream.
+type Active struct {
+	tracer *Tracer
+	span   Span
+}
+
+// StartRoot opens a new trace: the sampling decision happens here and
+// only here. It returns nil (inert) when the trace is not sampled.
+func (t *Tracer) StartRoot(name, job string) *Active {
+	if t == nil || t.sample < 0 {
+		return nil
+	}
+	if t.sample < 1 && rand.Float64() >= t.sample {
+		return nil
+	}
+	id := NewID()
+	return &Active{tracer: t, span: Span{
+		Trace: id,
+		ID:    id,
+		Name:  name,
+		Node:  t.node,
+		Job:   job,
+		Start: time.Now(),
+	}}
+}
+
+// StartSpan opens a child of an incoming context. A zero parent means
+// the trace was not sampled (or the message predates tracing), so the
+// child is inert; sampling never re-triggers mid-trace.
+func (t *Tracer) StartSpan(parent Context, name string) *Active {
+	if t == nil || parent.IsZero() {
+		return nil
+	}
+	return &Active{tracer: t, span: Span{
+		Trace:  parent.TraceID,
+		ID:     NewID(),
+		Parent: parent.SpanID,
+		Name:   name,
+		Node:   t.node,
+		Start:  time.Now(),
+	}}
+}
+
+// Context returns the context downstream messages of this span should
+// carry; zero for an inert span.
+func (a *Active) Context() Context {
+	if a == nil {
+		return Context{}
+	}
+	return Context{TraceID: a.span.Trace, SpanID: a.span.ID, ParentID: a.span.Parent}
+}
+
+// SetJob stamps the span with a job id.
+func (a *Active) SetJob(job string) *Active {
+	if a != nil {
+		a.span.Job = job
+	}
+	return a
+}
+
+// SetTask stamps the span with a task name.
+func (a *Active) SetTask(task string) *Active {
+	if a != nil {
+		a.span.Task = task
+	}
+	return a
+}
+
+// End closes the span with an optional error and records it into the
+// tracer's store.
+func (a *Active) End(err error) {
+	if a == nil {
+		return
+	}
+	a.span.Dur = time.Since(a.span.Start)
+	if err != nil {
+		a.span.Err = err.Error()
+	}
+	a.tracer.store.Add(a.span)
+}
+
+// EndErrText closes the span with a pre-rendered error string (the
+// protocol carries task errors as text, not error values).
+func (a *Active) EndErrText(errText string) {
+	if a == nil {
+		return
+	}
+	a.span.Dur = time.Since(a.span.Start)
+	a.span.Err = errText
+	a.tracer.store.Add(a.span)
+}
+
+// Finish closes the span like EndErrText and also returns the completed
+// span, for callers that keep their own timeline (the JobManager's
+// per-job trace) in addition to the tracer's store. ok is false for an
+// inert span.
+func (a *Active) Finish(errText string) (Span, bool) {
+	if a == nil {
+		return Span{}, false
+	}
+	a.span.Dur = time.Since(a.span.Start)
+	a.span.Err = errText
+	a.tracer.store.Add(a.span)
+	return a.span, true
+}
+
+// Record stores an externally built span (one carried in from another
+// process). No-op on a nil tracer.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.store.Add(s)
+}
+
+// NewID returns a non-zero random 64-bit identifier for traces/spans.
+func NewID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// Store is a bounded ring buffer of completed spans. When full, the
+// oldest spans are overwritten — observability must never become the
+// memory leak it is meant to find.
+type Store struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int // write cursor
+	count int // live spans (<= len(buf))
+}
+
+// NewStore creates a ring-buffer store (capacity 0 = DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{buf: make([]Span, capacity)}
+}
+
+// Add records one span, evicting the oldest when full. Nil-safe.
+func (s *Store) Add(sp Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.buf[s.next] = sp
+	s.next = (s.next + 1) % len(s.buf)
+	if s.count < len(s.buf) {
+		s.count++
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the number of live spans.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// snapshotLocked appends live spans in insertion order.
+func (s *Store) snapshotLocked(dst []Span) []Span {
+	start := s.next - s.count
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.count; i++ {
+		dst = append(dst, s.buf[(start+i)%len(s.buf)])
+	}
+	return dst
+}
+
+// All returns every live span in insertion order.
+func (s *Store) All() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked(nil)
+}
+
+// ForJob returns the live spans stamped with jobID, in insertion order.
+func (s *Store) ForJob(jobID string) []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Span
+	start := s.next - s.count
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.count; i++ {
+		if sp := s.buf[(start+i)%len(s.buf)]; sp.Job == jobID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Take removes and returns the live spans stamped with jobID and task,
+// in insertion order — the TaskManager drains a task's spans into its
+// terminal event so they travel to the JobManager exactly once.
+func (s *Store) Take(jobID, task string) []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out, keep []Span
+	start := s.next - s.count
+	if start < 0 {
+		start += len(s.buf)
+	}
+	for i := 0; i < s.count; i++ {
+		sp := s.buf[(start+i)%len(s.buf)]
+		if sp.Job == jobID && sp.Task == task {
+			out = append(out, sp)
+		} else {
+			keep = append(keep, sp)
+		}
+	}
+	if len(out) > 0 {
+		for i := range s.buf {
+			s.buf[i] = Span{}
+		}
+		copy(s.buf, keep)
+		s.count = len(keep)
+		s.next = s.count % len(s.buf)
+	}
+	return out
+}
+
+// SortSpans orders spans for presentation: by start time, then by span
+// id for a stable order when starts collide.
+func SortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}

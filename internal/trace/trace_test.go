@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	root := tr.StartRoot("submit", "job1")
+	if root != nil {
+		t.Fatalf("nil tracer returned non-nil root span")
+	}
+	if got := root.Context(); !got.IsZero() {
+		t.Fatalf("nil Active.Context() = %+v, want zero", got)
+	}
+	root.SetJob("j").SetTask("t")
+	root.End(errors.New("boom")) // must not panic
+	tr.Record(Span{Trace: 1, ID: 2})
+	if tr.Store() != nil {
+		t.Fatalf("nil tracer store = %v, want nil", tr.Store())
+	}
+	var st *Store
+	st.Add(Span{})
+	if st.Len() != 0 || st.All() != nil || st.ForJob("x") != nil || st.Take("x", "y") != nil {
+		t.Fatalf("nil store not inert")
+	}
+}
+
+func TestRootSampling(t *testing.T) {
+	always := New(Config{Node: "n1", Sample: 1})
+	if always.StartRoot("submit", "j") == nil {
+		t.Fatalf("sample=1 tracer refused a root span")
+	}
+	never := New(Config{Node: "n1", Sample: -1})
+	if sp := never.StartRoot("submit", "j"); sp != nil {
+		t.Fatalf("sample=-1 tracer produced a root span")
+	}
+	// Children of an incoming sampled context are recorded regardless of
+	// the local rate.
+	child := never.StartSpan(Context{TraceID: 7, SpanID: 8}, "exec")
+	if child == nil {
+		t.Fatalf("sample=-1 tracer refused a child of a sampled context")
+	}
+	child.End(nil)
+	if got := never.Store().Len(); got != 1 {
+		t.Fatalf("store len = %d, want 1", got)
+	}
+}
+
+func TestSampleRateRoughlyHolds(t *testing.T) {
+	tr := New(Config{Node: "n1", Sample: 0.25, Capacity: 16})
+	kept := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if sp := tr.StartRoot("r", "j"); sp != nil {
+			kept++
+		}
+	}
+	frac := float64(kept) / trials
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("sampled fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestSpanParentage(t *testing.T) {
+	tr := New(Config{Node: "n1", Sample: 1})
+	root := tr.StartRoot("submit", "job1")
+	rc := root.Context()
+	if rc.TraceID == 0 || rc.TraceID != rc.SpanID || rc.ParentID != 0 {
+		t.Fatalf("root context %+v malformed", rc)
+	}
+	child := tr.StartSpan(rc, "place").SetJob("job1").SetTask("t0")
+	cc := child.Context()
+	if cc.TraceID != rc.TraceID {
+		t.Fatalf("child trace id %d != root %d", cc.TraceID, rc.TraceID)
+	}
+	if cc.ParentID != rc.SpanID {
+		t.Fatalf("child parent %d != root span %d", cc.ParentID, rc.SpanID)
+	}
+	child.End(nil)
+	root.End(nil)
+	spans := tr.Store().ForJob("job1")
+	if len(spans) != 2 {
+		t.Fatalf("ForJob returned %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "place" || spans[1].Name != "submit" {
+		t.Fatalf("span order %q, %q; want place then submit (end order)", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Task != "t0" {
+		t.Fatalf("task attr not recorded: %+v", spans[0])
+	}
+}
+
+func TestEndErrText(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	sp := tr.StartRoot("exec", "j")
+	sp.EndErrText("task panic: boom")
+	all := tr.Store().All()
+	if len(all) != 1 || all[0].Err != "task panic: boom" {
+		t.Fatalf("EndErrText not recorded: %+v", all)
+	}
+}
+
+func TestStoreRingEviction(t *testing.T) {
+	st := NewStore(4)
+	for i := 1; i <= 6; i++ {
+		st.Add(Span{Trace: 1, ID: uint64(i), Job: "j"})
+	}
+	if st.Len() != 4 {
+		t.Fatalf("len = %d, want 4", st.Len())
+	}
+	all := st.All()
+	for i, sp := range all {
+		if want := uint64(i + 3); sp.ID != want {
+			t.Fatalf("all[%d].ID = %d, want %d (oldest evicted first)", i, sp.ID, want)
+		}
+	}
+}
+
+func TestStoreTake(t *testing.T) {
+	st := NewStore(8)
+	st.Add(Span{Trace: 1, ID: 1, Job: "a", Task: "t1"})
+	st.Add(Span{Trace: 1, ID: 2, Job: "a", Task: "t2"})
+	st.Add(Span{Trace: 1, ID: 3, Job: "a", Task: "t1"})
+	st.Add(Span{Trace: 1, ID: 4, Job: "b", Task: "t1"})
+	got := st.Take("a", "t1")
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("Take = %+v, want spans 1 and 3", got)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("len after take = %d, want 2", st.Len())
+	}
+	if again := st.Take("a", "t1"); len(again) != 0 {
+		t.Fatalf("second Take returned %+v, want none", again)
+	}
+	// The ring must still accept writes correctly after compaction.
+	for i := 5; i <= 20; i++ {
+		st.Add(Span{Trace: 1, ID: uint64(i), Job: "c"})
+	}
+	if st.Len() != 8 {
+		t.Fatalf("len after refill = %d, want 8", st.Len())
+	}
+}
+
+func TestStoreConcurrency(t *testing.T) {
+	st := NewStore(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st.Add(Span{Trace: 1, ID: uint64(g*1000 + i), Job: fmt.Sprintf("j%d", g%2)})
+				if i%17 == 0 {
+					st.ForJob("j0")
+				}
+				if i%31 == 0 {
+					st.Take("j1", "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() > 64 {
+		t.Fatalf("len = %d exceeds capacity", st.Len())
+	}
+}
+
+func TestSortSpans(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	spans := []Span{
+		{ID: 3, Start: t0.Add(2 * time.Second)},
+		{ID: 2, Start: t0},
+		{ID: 1, Start: t0},
+	}
+	SortSpans(spans)
+	if spans[0].ID != 1 || spans[1].ID != 2 || spans[2].ID != 3 {
+		t.Fatalf("sort order %v", []uint64{spans[0].ID, spans[1].ID, spans[2].ID})
+	}
+}
+
+func TestNewIDNonZero(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if NewID() == 0 {
+			t.Fatalf("NewID returned 0")
+		}
+	}
+}

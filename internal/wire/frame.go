@@ -6,7 +6,8 @@
 //
 //	frame   := len(uint32 BE) body
 //	body    := 'C' 'N' version envelope
-//	envelope:= id kind correlID from to time headers payload
+//	envelope:= id kind correlID from to time headers payload [trace]
+//	trace   := traceID spanID parentID   (uvarints; present iff traced)
 
 package wire
 
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"cn/internal/msg"
+	"cn/internal/trace"
 )
 
 // FrameHeaderBytes is the length-prefix size preceding every frame body.
@@ -53,7 +55,16 @@ func AppendMessage(dst []byte, m *msg.Message) []byte {
 			dst = AppendString(dst, v)
 		}
 	}
-	return AppendBytes(dst, m.Payload)
+	dst = AppendBytes(dst, m.Payload)
+	// The trace context is the envelope's only optional field: untraced
+	// messages (the common case at default sampling) pay zero bytes, and a
+	// v1 envelope is exactly a v2 envelope with the field absent.
+	if !m.Trace.IsZero() {
+		dst = AppendUvarint(dst, m.Trace.TraceID)
+		dst = AppendUvarint(dst, m.Trace.SpanID)
+		dst = AppendUvarint(dst, m.Trace.ParentID)
+	}
+	return dst
 }
 
 func appendAddress(dst []byte, a msg.Address) []byte {
@@ -122,6 +133,21 @@ func DecodeMessage(b []byte) (*msg.Message, error) {
 	if m.Payload, err = r.Bytes(); err != nil {
 		return nil, err
 	}
+	if r.Len() > 0 {
+		// Optional trailing trace context (v2). Its absence is the v1
+		// layout, so one decode path serves the whole accepted range.
+		var tc trace.Context
+		if tc.TraceID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if tc.SpanID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if tc.ParentID, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		m.Trace = tc
+	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("wire: %d trailing bytes after message envelope", r.Len())
 	}
@@ -179,8 +205,8 @@ func DecodeFrameBody(body []byte) (*msg.Message, error) {
 	if body[0] != Magic0 || body[1] != Magic1 {
 		return nil, fmt.Errorf("wire: bad frame magic %#x %#x", body[0], body[1])
 	}
-	if body[2] != Version {
-		return nil, fmt.Errorf("wire: frame version %d not supported (want %d)", body[2], Version)
+	if body[2] < MinVersion || body[2] > Version {
+		return nil, fmt.Errorf("wire: frame version %d not supported (want %d..%d)", body[2], MinVersion, Version)
 	}
 	return DecodeMessage(body[3:])
 }
@@ -239,5 +265,10 @@ func SizeOf(m *msg.Message) int {
 		n += stringLen(k) + stringLen(v)
 	}
 	n += uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	if !m.Trace.IsZero() {
+		n += uvarintLen(m.Trace.TraceID)
+		n += uvarintLen(m.Trace.SpanID)
+		n += uvarintLen(m.Trace.ParentID)
+	}
 	return n
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cn/internal/metrics"
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
@@ -54,6 +55,8 @@ const (
 	tDataPutReq
 	tDataResolveReq
 	tDataLocResp
+	tStatsPullReq
+	tStatsReportResp
 )
 
 // Codec is the msg.Codec implementation; Default is the instance the init
@@ -218,6 +221,14 @@ func (Codec) Marshal(v any) ([]byte, error) {
 		return appendDataLocResp(header(make([]byte, 0, 192+len(x.Data)), tDataLocResp), &x), nil
 	case *protocol.DataLocResp:
 		return appendDataLocResp(header(make([]byte, 0, 192+len(x.Data)), tDataLocResp), x), nil
+	case protocol.StatsPullReq:
+		return appendStatsPullReq(header(make([]byte, 0, 64), tStatsPullReq), &x), nil
+	case *protocol.StatsPullReq:
+		return appendStatsPullReq(header(make([]byte, 0, 64), tStatsPullReq), x), nil
+	case protocol.StatsReportResp:
+		return appendStatsReportResp(header(make([]byte, 0, 512), tStatsReportResp), &x), nil
+	case *protocol.StatsReportResp:
+		return appendStatsReportResp(header(make([]byte, 0, 512), tStatsReportResp), x), nil
 	}
 	return nil, msg.ErrUnsupportedPayload
 }
@@ -296,6 +307,10 @@ func (Codec) Unmarshal(data []byte, out any) error {
 		wantID, decode = tDataResolveReq, func(r *Reader) error { return readDataResolveReq(r, x) }
 	case *protocol.DataLocResp:
 		wantID, decode = tDataLocResp, func(r *Reader) error { return readDataLocResp(r, x) }
+	case *protocol.StatsPullReq:
+		wantID, decode = tStatsPullReq, func(r *Reader) error { return readStatsPullReq(r, x) }
+	case *protocol.StatsReportResp:
+		wantID, decode = tStatsReportResp, func(r *Reader) error { return readStatsReportResp(r, x) }
 	default:
 		return fmt.Errorf("wire: no binary decoder for %T", out)
 	}
@@ -320,8 +335,8 @@ func openPayload(data []byte) (*Reader, uint64, error) {
 	if data[0] != msg.TagBinary {
 		return nil, 0, fmt.Errorf("wire: payload tag %#x is not binary", data[0])
 	}
-	if data[1] != Version {
-		return nil, 0, fmt.Errorf("wire: payload version %d not supported (want %d)", data[1], Version)
+	if data[1] < MinVersion || data[1] > Version {
+		return nil, 0, fmt.Errorf("wire: payload version %d not supported (want %d..%d)", data[1], MinVersion, Version)
 	}
 	r := NewReader(data[2:])
 	id, err := r.Uvarint()
@@ -931,14 +946,18 @@ func readBlobChunkResp(r *Reader, v *protocol.BlobChunkResp) (err error) {
 
 func appendStartJobReq(b []byte, v *protocol.StartJobReq) []byte {
 	b = AppendString(b, v.JobID)
-	return appendStringSlice(b, v.TaskNames)
+	b = appendStringSlice(b, v.TaskNames)
+	return AppendSpans(b, v.Spans)
 }
 
 func readStartJobReq(r *Reader, v *protocol.StartJobReq) (err error) {
 	if v.JobID, err = r.String(); err != nil {
 		return err
 	}
-	v.TaskNames, err = readStringSlice(r, "task names")
+	if v.TaskNames, err = readStringSlice(r, "task names"); err != nil {
+		return err
+	}
+	v.Spans, err = ReadSpans(r)
 	return err
 }
 
@@ -961,7 +980,8 @@ func appendTaskEvent(b []byte, v *protocol.TaskEvent) []byte {
 	b = AppendString(b, v.Node)
 	b = AppendString(b, v.Err)
 	b = AppendVarint(b, int64(v.Attempt))
-	return AppendBool(b, v.Speculative)
+	b = AppendBool(b, v.Speculative)
+	return AppendSpans(b, v.Spans)
 }
 
 func readTaskEvent(r *Reader, v *protocol.TaskEvent) (err error) {
@@ -980,7 +1000,10 @@ func readTaskEvent(r *Reader, v *protocol.TaskEvent) (err error) {
 	if v.Attempt, err = r.Int(); err != nil {
 		return err
 	}
-	v.Speculative, err = r.Bool()
+	if v.Speculative, err = r.Bool(); err != nil {
+		return err
+	}
+	v.Spans, err = ReadSpans(r)
 	return err
 }
 
@@ -1264,4 +1287,122 @@ func readDataLocResp(r *Reader, v *protocol.DataLocResp) (err error) {
 	}
 	v.Err, err = r.String()
 	return err
+}
+
+func appendStatsPullReq(b []byte, v *protocol.StatsPullReq) []byte {
+	return AppendString(b, v.Scraper)
+}
+
+func readStatsPullReq(r *Reader, v *protocol.StatsPullReq) (err error) {
+	v.Scraper, err = r.String()
+	return err
+}
+
+func appendInt64Map(b []byte, m map[string]int64) []byte {
+	b = AppendUvarint(b, uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		b = AppendString(b, k)
+		b = AppendVarint(b, m[k])
+	}
+	return b
+}
+
+func readInt64Map(r *Reader, what string) (map[string]int64, error) {
+	n, err := r.Count(what)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make(map[string]int64, capHint(n))
+	for i := 0; i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func appendStatsReportResp(b []byte, v *protocol.StatsReportResp) []byte {
+	b = AppendString(b, v.Node)
+	b = appendInt64Map(b, v.Metrics.Counters)
+	b = appendInt64Map(b, v.Metrics.Gauges)
+	b = AppendUvarint(b, uint64(len(v.Metrics.Histograms)))
+	for _, k := range sortedKeys(v.Metrics.Histograms) {
+		s := v.Metrics.Histograms[k]
+		b = AppendString(b, k)
+		b = AppendVarint(b, s.Count)
+		b = AppendFloat64(b, s.Mean)
+		b = AppendFloat64(b, s.Min)
+		b = AppendFloat64(b, s.Max)
+		b = AppendFloat64(b, s.P50)
+		b = AppendFloat64(b, s.P90)
+		b = AppendFloat64(b, s.P99)
+	}
+	return AppendVarint(b, int64(v.Spans))
+}
+
+func readStatsReportResp(r *Reader, v *protocol.StatsReportResp) (err error) {
+	if v.Node, err = r.String(); err != nil {
+		return err
+	}
+	if v.Metrics.Counters, err = readInt64Map(r, "stats counters"); err != nil {
+		return err
+	}
+	if v.Metrics.Gauges, err = readInt64Map(r, "stats gauges"); err != nil {
+		return err
+	}
+	n, err := r.Count("stats histograms")
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		v.Metrics.Histograms = make(map[string]metrics.Summary, capHint(n))
+		for i := 0; i < n; i++ {
+			k, err := r.String()
+			if err != nil {
+				return err
+			}
+			var s metrics.Summary
+			if s.Count, err = r.Varint(); err != nil {
+				return err
+			}
+			if s.Mean, err = r.Float64(); err != nil {
+				return err
+			}
+			if s.Min, err = r.Float64(); err != nil {
+				return err
+			}
+			if s.Max, err = r.Float64(); err != nil {
+				return err
+			}
+			if s.P50, err = r.Float64(); err != nil {
+				return err
+			}
+			if s.P90, err = r.Float64(); err != nil {
+				return err
+			}
+			if s.P99, err = r.Float64(); err != nil {
+				return err
+			}
+			v.Metrics.Histograms[k] = s
+		}
+	}
+	v.Spans, err = r.Int()
+	return err
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic map
+// encodings.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -27,10 +27,16 @@ import (
 )
 
 // Version is the wire-format version carried in every frame header and
-// binary payload header. A receiver rejects versions it does not speak;
-// bumping it is the negotiation story for incompatible format changes
-// (see docs/WIRE.md).
-const Version = 1
+// binary payload header. Version 2 added the optional trailing trace
+// context to the message envelope. A receiver accepts every version in
+// [MinVersion, Version] and rejects the rest; bumping the pair is the
+// negotiation story for format changes (see docs/WIRE.md).
+const Version = 2
+
+// MinVersion is the oldest frame version a receiver still accepts. A v1
+// frame is a v2 frame without the optional trailing trace context, so
+// decoding is uniform across the accepted range.
+const MinVersion = 1
 
 // MaxFrameBytes bounds one transport frame (envelope + payload). Senders
 // refuse to emit larger frames and receivers drop the connection on a

@@ -5,9 +5,11 @@ import (
 	"testing"
 	"time"
 
+	"cn/internal/metrics"
 	"cn/internal/msg"
 	"cn/internal/protocol"
 	"cn/internal/task"
+	"cn/internal/trace"
 )
 
 // specFixture builds a representative task spec exercising every field.
@@ -56,9 +58,16 @@ func bodies() []any {
 		&protocol.FetchBlobResp{Blobs: map[string][]byte{"d1": {5, 6}}, Sizes: map[string]int64{"d2": 1 << 21}},
 		&protocol.BlobChunkReq{JobID: "j", Digest: "d", Offset: 131072, MaxBytes: 65536, Total: 1 << 21, Data: []byte("chunk")},
 		&protocol.BlobChunkResp{Digest: "d", Offset: 131072, Total: 1 << 21, Data: []byte("chunk"), Err: ""},
-		&protocol.StartJobReq{JobID: "j", TaskNames: []string{"t1"}},
+		&protocol.StartJobReq{JobID: "j", TaskNames: []string{"t1"}, Spans: []trace.Span{
+			{Trace: 11, ID: 11, Name: "client.submit", Node: "client", Job: "j",
+				Start: time.Unix(0, 1_700_000_000_000_000_000), Dur: 42 * time.Millisecond},
+		}},
 		&protocol.ExecTaskReq{JobID: "j", Task: "t1"},
-		&protocol.TaskEvent{JobID: "j", Task: "t1", Node: "n1", Err: "boom", Attempt: 2, Speculative: true},
+		&protocol.TaskEvent{JobID: "j", Task: "t1", Node: "n1", Err: "boom", Attempt: 2, Speculative: true,
+			Spans: []trace.Span{
+				{Trace: 11, ID: 12, Parent: 11, Name: "tm.exec", Node: "n1", Job: "j", Task: "t1",
+					Start: time.Unix(0, 1_700_000_000_100_000_000), Dur: time.Second, Err: "boom"},
+			}},
 		&protocol.Heartbeat{Node: "n1", Seq: 17, Beats: []protocol.TaskBeat{
 			{JobID: "j", Task: "t1", Running: true, Progress: 99},
 			{JobID: "j", Task: "t2", Running: false, Progress: 0},
@@ -84,6 +93,14 @@ func bodies() []any {
 			StaleNode: "n9", StaleDigest: "dead"},
 		&protocol.DataLocResp{Key: "wc/chunk/map1", Digest: "abc123", Node: "n1", Size: 1 << 20,
 			Data: []byte{7, 8, 9}, Retry: true, Closed: true, Err: "boom"},
+		&protocol.StatsPullReq{Scraper: "portal"},
+		&protocol.StatsReportResp{Node: "n1", Spans: 17, Metrics: metrics.RegistrySnapshot{
+			Counters: map[string]int64{"jobs_created": 4, "tasks_done": 9},
+			Gauges:   map[string]int64{"free_memory_mb": 4000},
+			Histograms: map[string]metrics.Summary{
+				"admission_ms": {Count: 12, Mean: 1.5, Min: 0.5, Max: 4, P50: 1.25, P90: 3, P99: 3.9},
+			},
+		}},
 	}
 }
 
