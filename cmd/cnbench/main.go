@@ -365,11 +365,23 @@ type placementRow struct {
 	JobsAdmitted int     `json:"jobs_admitted"`
 }
 
+// localityRow is one phase of the cold-vs-warm re-admission study.
+type localityRow struct {
+	Phase          string  `json:"phase"` // "cold" or "warm"
+	Nodes          int     `json:"nodes"`
+	Tasks          int     `json:"tasks"`
+	MedianMS       float64 `json:"median_admission_ms"`
+	ArchiveUploads float64 `json:"archive_uploads_per_job"`
+	WarmHits       int64   `json:"warm_hits"`
+	BytesSavedPct  float64 `json:"archive_bytes_saved_pct"`
+}
+
 // placementSnapshot is the BENCH_placement.json document.
 type placementSnapshot struct {
 	Experiment  string         `json:"experiment"`
 	GeneratedAt time.Time      `json:"generated_at"`
 	Rows        []placementRow `json:"rows"`
+	Locality    []localityRow  `json:"locality,omitempty"`
 }
 
 // placementTable is experiment T-G: admission of a 32-task single-archive
@@ -451,6 +463,7 @@ func placementTable(reps int, outPath string) {
 			c.Close()
 		}
 	}
+	placementLocality(reps, &snap)
 	raw, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -459,6 +472,94 @@ func placementTable(reps int, outPath string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsnapshot written to %s\n", outPath)
+}
+
+// placementLocality is the cold-vs-warm half of the placement study: admit
+// a 32-task single-archive job on a cold 8-node cluster (the archive ships
+// to every chosen node), then re-admit jobs wanting the same digest. The
+// locality scorer sees every node advertising the digest, so warm
+// re-admission should beat cold and the archive should not cross the wire
+// again — the bytes-saved percentage the snapshot records.
+func placementLocality(reps int, snap *placementSnapshot) {
+	const nodes, tasks = 8, 32
+	header("T-G2  Cold vs warm re-admission (archive already resident)")
+	// Per-round solicitation (negative TTL) so every admission scores
+	// against offers that reflect the nodes' current blob caches.
+	c, err := cn.StartCluster(cn.ClusterOptions{
+		Nodes: nodes, Registry: newRegistry(),
+		MemoryMB: 64000, PlacementTTL: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := cn.Connect(c, cn.ClientOptions{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	ar, err := cn.NewArchive("bench.jar", "bench.Noop").
+		AddFile("payload.bin", make([]byte, 64<<10)).Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := 0
+	admit := func() {
+		job, err := cl.CreateJob(fmt.Sprintf("loc-%d", jobs), cn.JobRequirements{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs++
+		specs := make([]*cn.TaskSpec, tasks)
+		for i := range specs {
+			specs[i] = &cn.TaskSpec{
+				Name: fmt.Sprintf("t%d", i), Class: "bench.Noop", Archive: ar.Name,
+				Req: cn.Requirements{MemoryMB: 10, RunModel: cn.RunAsThreadInTM},
+			}
+		}
+		if _, err := job.CreateTasks(specs, map[string]*cn.Archive{ar.Name: ar}); err != nil {
+			log.Fatal(err)
+		}
+		if err := job.Cancel("locality bench"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Cold: a single admission on the fresh cluster — later repetitions
+	// would find the caches warm, so this phase is one measurement.
+	coldD := timeIt(1, admit)
+	coldUploads := c.BlobTransfers()
+	coldStats := c.PlacementStats()
+
+	warmStart := jobs
+	warmD := timeIt(reps, admit)
+	warmJobs := jobs - warmStart
+	warmUploads := c.BlobTransfers() - coldUploads
+	warmStats := c.PlacementStats()
+
+	savedPct := 100.0
+	if coldUploads > 0 {
+		savedPct = 100 * (1 - float64(warmUploads)/float64(warmJobs)/float64(coldUploads))
+	}
+	rows := []localityRow{
+		{Phase: "cold", Nodes: nodes, Tasks: tasks,
+			MedianMS:       float64(coldD) / float64(time.Millisecond),
+			ArchiveUploads: float64(coldUploads),
+			WarmHits:       coldStats.WarmHits},
+		{Phase: "warm", Nodes: nodes, Tasks: tasks,
+			MedianMS:       float64(warmD) / float64(time.Millisecond),
+			ArchiveUploads: float64(warmUploads) / float64(warmJobs),
+			WarmHits:       warmStats.WarmHits - coldStats.WarmHits,
+			BytesSavedPct:  savedPct},
+	}
+	snap.Locality = append(snap.Locality, rows...)
+	fmt.Printf("%-10s %8s %14s %16s %12s %12s\n",
+		"phase", "nodes", "median", "uploads/job", "warm hits", "saved %")
+	for _, r := range rows {
+		fmt.Printf("%-10s %8d %14v %16.2f %12d %11.1f%%\n",
+			r.Phase, r.Nodes, time.Duration(r.MedianMS*float64(time.Millisecond)),
+			r.ArchiveUploads, r.WarmHits, r.BytesSavedPct)
+	}
 }
 
 // recoveryRow is one heartbeat-interval configuration's measurement in the

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -221,5 +222,36 @@ func TestCacheDedupAndLRUEviction(t *testing.T) {
 	}
 	if c.Transfers() != 4 {
 		t.Errorf("transfers = %d, want 4", c.Transfers())
+	}
+}
+
+func TestCacheRecentDigests(t *testing.T) {
+	c := NewCache()
+	if got := c.RecentDigests(8); got != nil {
+		t.Errorf("empty cache reported digests %v", got)
+	}
+	c.PutBlob("d1", []byte{1})
+	c.PutBlob("d2", []byte{2})
+	c.PutBlob("d3", []byte{3})
+	if got := c.RecentDigests(8); !reflect.DeepEqual(got, []string{"d3", "d2", "d1"}) {
+		t.Errorf("MRU order = %v, want [d3 d2 d1]", got)
+	}
+	if got := c.RecentDigests(2); !reflect.DeepEqual(got, []string{"d3", "d2"}) {
+		t.Errorf("bounded sample = %v, want [d3 d2]", got)
+	}
+	if got := c.RecentDigests(0); got != nil {
+		t.Errorf("max 0 returned %v", got)
+	}
+	hits, misses := c.Hits(), c.Misses()
+	c.RecentDigests(8)
+	if c.Hits() != hits || c.Misses() != misses {
+		t.Error("RecentDigests perturbed hit/miss counters")
+	}
+	// The walk must not refresh recency: d1 stays the eviction candidate.
+	if !c.Has("d1") {
+		t.Fatal("d1 missing")
+	}
+	if got := c.RecentDigests(1); !reflect.DeepEqual(got, []string{"d1"}) {
+		t.Errorf("after Has(d1), MRU = %v, want [d1]", got)
 	}
 }

@@ -152,6 +152,29 @@ func (c *Cache) Has(digest string) bool {
 	return ok
 }
 
+// RecentDigests returns up to max cached digests in most-recently-used
+// order — the bounded locality sample a TaskManager advertises in its
+// placement offers. The walk neither refreshes recency nor counts as a
+// hit or miss: advertising a digest is not using it.
+func (c *Cache) RecentDigests(max int) []string {
+	if max <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru.Len() == 0 {
+		return nil
+	}
+	if max > c.lru.Len() {
+		max = c.lru.Len()
+	}
+	out := make([]string, 0, max)
+	for el := c.lru.Front(); el != nil && len(out) < max; el = el.Next() {
+		out = append(out, el.Value.(*entry).digest)
+	}
+	return out
+}
+
 // Len returns the number of distinct blobs cached.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -198,6 +198,9 @@ func (c *Cluster) PlacementStats() placement.Stats {
 		agg.CacheHits += s.CacheHits
 		agg.Invalidations += s.Invalidations
 		agg.Evictions += s.Evictions
+		agg.WarmHits += s.WarmHits
+		agg.ColdMisses += s.ColdMisses
+		agg.BytesSaved += s.BytesSaved
 	}
 	return agg
 }

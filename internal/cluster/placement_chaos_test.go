@@ -1,0 +1,126 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cn/internal/api"
+	"cn/internal/archive"
+	"cn/internal/cluster"
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// TestChaosRecoveryPrefersArchiveWarmNode is the locality scorer's chaos
+// acceptance test: when a task's node is power-cut, recovery re-placement
+// must land on the surviving node that already holds the job's archive in
+// its blob cache — chosen over colder nodes with identical capacity — and
+// the archive must not travel the wire again. The warm node is picked with
+// the HIGHEST node name among the survivors, so a win can only be
+// explained by the resident-digest score, never by the name tie-break.
+func TestChaosRecoveryPrefersArchiveWarmNode(t *testing.T) {
+	c, err := cluster.Start(fastHealth(cluster.Config{
+		Nodes:          4,
+		MemoryMB:       64000,
+		Registry:       chaosRegistry(),
+		MaxTaskRetries: 3,
+		// Disable offer caching so the recovery round solicits fresh
+		// offers — the cached pre-kill round predates the warm seeding
+		// below and would advertise every survivor as cold.
+		PlacementTTL: -1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	cl, err := api.Initialize(c.Network(), api.Options{DiscoveryWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ar, err := archive.NewBuilder("warm.jar", "chaos.Hang").
+		AddFile("payload.bin", make([]byte, 64<<10)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Host the job away from the likely placement target so the victim is
+	// never the JobManager's node.
+	j, err := cl.CreateJobOn("node2", "warmth", protocol.JobRequirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &task.Spec{
+		Name: "h0", Class: "chaos.Hang", Archive: ar.Name,
+		Req: task.Requirements{MemoryMB: 100, RunModel: task.RunAsThreadInTM},
+	}
+	placements, err := j.CreateTasks([]*task.Spec{spec},
+		map[string]*archive.Archive{ar.Name: ar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := placements["h0"]
+	if victim == "" {
+		t.Fatalf("task unplaced: %v", placements)
+	}
+	if victim == "node2" {
+		t.Fatalf("task landed on the JobManager node; cannot kill it: %v", placements)
+	}
+
+	// Pre-seed the archive on the survivor with the highest name; every
+	// other survivor stays cold.
+	warm := ""
+	for _, n := range []string{"node1", "node3", "node4"} {
+		if n != victim && n > warm {
+			warm = n
+		}
+	}
+	if err := c.Server(warm).TaskManager().BlobCache().Put(ar); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := j.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if err := c.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The victim's cache (and its transfer count) left the aggregate with
+	// it; any growth from here means the archive crossed the wire again.
+	transfersAfterKill := c.BlobTransfers()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for j.Progress().Retried == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no TASK_RETRIED event after node kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for c.Server(warm).TaskManager().RunningTasks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("re-placed task never ran on warm node %s", warm)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, n := range []string{"node1", "node3", "node4"} {
+		if n == victim || n == warm {
+			continue
+		}
+		if got := c.Server(n).TaskManager().RunningTasks(); got != 0 {
+			t.Errorf("cold node %s runs %d tasks; re-placement ignored warmth", n, got)
+		}
+	}
+	if got := c.BlobTransfers(); got != transfersAfterKill {
+		t.Errorf("archive re-shipped during recovery: transfers %d -> %d", transfersAfterKill, got)
+	}
+	if ps := c.PlacementStats(); ps.WarmHits == 0 {
+		t.Errorf("placement stats recorded no warm hit: %+v", ps)
+	}
+	if err := j.Cancel(fmt.Sprintf("locality test done; recovered on %s", warm)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,10 @@ type Config struct {
 	// negative disables checkpointing and adoption entirely, the
 	// pre-durability behavior where a dead JobManager kills its jobs).
 	CheckpointEvery time.Duration
+	// Scorer overrides the placement ranking policy (nil =
+	// placement.DefaultScorer{}: resident bytes, then free memory, then
+	// running tasks, then the straggler penalty).
+	Scorer placement.Scorer
 	// StragglerAfter enables speculative execution: a running task whose
 	// heartbeat progress sync has not advanced for this long gets a second
 	// copy placed on another node; the first result wins and the loser is
@@ -319,6 +323,9 @@ func New(cfg Config, send SendFunc, caller *transport.Caller, freeMem FreeMemFun
 		} else {
 			cfg.CheckpointEvery = cfg.HeartbeatInterval
 		}
+	}
+	if cfg.Scorer == nil {
+		cfg.Scorer = placement.DefaultScorer{}
 	}
 	jm := &JobManager{
 		cfg:     cfg,
@@ -807,13 +814,51 @@ func (jm *JobManager) createTasks(j *jobState, items []protocol.TaskCreate, blob
 
 func distinctNodes(placements map[string]string) int { return len(nodeSet(placements)) }
 
+// wantsFor assembles a batch's locality wants: each item's archive digest
+// sized from the job's blob table, plus every content-addressed output the
+// job's data-plane broker has located — the bytes a task may pull that a
+// warm node can serve from its own cache. An archive whose bytes this
+// JobManager no longer holds still wants its digest (size 1): preferring
+// the node that has it costs nothing and saves the re-fetch.
+func (jm *JobManager) wantsFor(j *jobState, items []protocol.TaskCreate) placement.Wants {
+	digests := make(map[string]int64)
+	j.mu.Lock()
+	for _, it := range items {
+		if it.Archive.Digest == "" {
+			continue
+		}
+		size := int64(len(j.blobs[it.Archive.Digest]))
+		if size == 0 {
+			size = 1
+		}
+		digests[it.Archive.Digest] = size
+	}
+	j.mu.Unlock()
+	for _, l := range j.broker.Entries() {
+		if l.Digest == "" {
+			continue
+		}
+		size := l.Size
+		if size <= 0 {
+			size = 1
+		}
+		digests[l.Digest] = size
+	}
+	if len(digests) == 0 {
+		return placement.Wants{}
+	}
+	return placement.Wants{Digests: digests}
+}
+
 // placeBatch places a task set: one offer round from the resource
-// directory (cached when fresh), a bin-packing plan against the offered
-// free-memory figures, then parallel batched assignments to the chosen
-// nodes. Rejected or unplaceable tasks are retried on later rounds after
-// invalidating the offending offers. preExcluded nodes are never chosen —
-// the recovery engine passes the dead node (its offer may still be cached)
-// and speculation passes the straggler's own node.
+// directory (cached when fresh), a scored two-stage plan against the
+// offered figures — capacity feasibility first, then locality-aware
+// ranking fed by the job's archive and data-plane digests — then parallel
+// batched assignments to the chosen nodes. Rejected or unplaceable tasks
+// are retried on later rounds after invalidating the offending offers.
+// preExcluded nodes are never chosen — the recovery engine passes the dead
+// node (its offer may still be cached) and speculation passes the
+// straggler's own node.
 func (jm *JobManager) placeBatch(j *jobState, items []protocol.TaskCreate, preExcluded map[string]bool) (map[string]string, error) {
 	byName := make(map[string]protocol.TaskCreate, len(items))
 	specs := make([]*task.Spec, len(items))
@@ -821,6 +866,7 @@ func (jm *JobManager) placeBatch(j *jobState, items []protocol.TaskCreate, preEx
 		byName[it.Spec.Name] = it
 		specs[i] = it.Spec
 	}
+	wants := jm.wantsFor(j, items)
 	placements := make(map[string]string, len(items))
 	remaining := specs
 	// Nodes whose assignment call timed out have a best-effort release in
@@ -852,7 +898,8 @@ func (jm *JobManager) placeBatch(j *jobState, items []protocol.TaskCreate, preEx
 			lastErr = fmt.Errorf("jobmgr %s: no TaskManager offered to host tasks", jm.cfg.Node)
 			continue
 		}
-		plan, unplaced := placement.Plan(remaining, offers)
+		plan, unplaced, planStats := placement.PlanScored(remaining, offers, wants, jm.cfg.Scorer)
+		jm.dir.NotePlan(planStats)
 		if len(unplaced) > 0 {
 			lastErr = placement.UnplacedError(unplaced)
 			// The cached figures may undersell the cluster; force a fresh

@@ -85,6 +85,16 @@ func (jm *JobManager) HandleHeartbeat(m *msg.Message) *msg.Message {
 		return m.Reply(msg.KindHeartbeatAck, msg.MustEncode(protocol.HeartbeatAck{Node: jm.cfg.Node, Seq: hb.Seq}))
 	}
 	jm.monitor.Observe(node)
+	// The beat doubles as a load sync: the node's running count refreshes
+	// the placement directory's affinity overlay, keeping plans honest
+	// between solicitation rounds.
+	running := 0
+	for _, b := range hb.Beats {
+		if b.Running {
+			running++
+		}
+	}
+	jm.dir.SyncLoad(node, running)
 	now := time.Now()
 	unknown := make(map[string]bool)
 	for _, b := range hb.Beats {
@@ -511,6 +521,10 @@ func (jm *JobManager) speculate(j *jobState, name string) {
 	}
 
 	reason := fmt.Sprintf("straggler: no progress for %v on %s", jm.cfg.StragglerAfter, primary)
+	// Mark the straggling node in the directory's affinity overlay so the
+	// scorer steers this twin — and subsequent placements — away from it
+	// until the marks decay.
+	jm.dir.NoteStraggler(primary)
 	placements, err := jm.placeBatch(j, []protocol.TaskCreate{{Spec: sp, Archive: ref}},
 		map[string]bool{primary: true})
 	if err != nil {

@@ -3,8 +3,16 @@
 // pilot-abstraction systems make: instead of one multicast solicitation
 // round per task, a Directory caches TaskManager offers (TTL-refreshed,
 // invalidated on rejection, falling back to a fresh round when stale or
-// empty) and Plan bin-packs an entire task set against the cached
-// free-memory figures in one pass.
+// empty) and a two-stage scheduler places an entire task set against the
+// cached figures in one pass: a capacity feasibility filter first, then a
+// pluggable Scorer ranks the surviving nodes — bytes already resident on
+// the node (archive cache and data-plane blob LRU) dominate, then free
+// memory, then fewest running tasks, then a recent-straggler penalty, with
+// the node-name tie-break keeping every plan deterministic. Between
+// solicitation rounds the Directory keeps its snapshot honest with an
+// affinity overlay: heartbeat-synced live load and speculation-driven
+// straggler marks merge into served offers until the next fresh round
+// replaces the figures wholesale.
 package placement
 
 import (
@@ -55,6 +63,15 @@ type Stats struct {
 	// Evictions counts entries dropped because the node left discovery or
 	// its health lease lapsed.
 	Evictions int64
+	// WarmHits counts tasks placed on a node already holding at least one
+	// of the job's wanted digests.
+	WarmHits int64
+	// ColdMisses counts tasks a digest-wanting job had to place on a node
+	// holding none of its digests.
+	ColdMisses int64
+	// BytesSaved totals the wanted bytes that were already resident on the
+	// chosen nodes — archive and shuffle data the cluster did not re-ship.
+	BytesSaved int64
 }
 
 // Directory is the cluster resource directory: a TTL cache of TaskManager
@@ -84,6 +101,13 @@ type Directory struct {
 	// dropping a legitimate late credit only under-reports until the
 	// next round, which is the safe direction.
 	reserved map[string]*reservation
+	// affinity is the per-node overlay of signals that arrive between
+	// solicitation rounds: heartbeat-synced live load and
+	// speculation-driven straggler marks. Unlike debts/reserved it
+	// survives Invalidate (a rejected assignment says nothing about the
+	// node's straggler history) and decays across fresh rounds rather
+	// than being cleared; Evict drops it with everything else.
+	affinity map[string]*affinity
 }
 
 // reservation is the net reserve applied to one node's cached entry
@@ -91,6 +115,19 @@ type Directory struct {
 type reservation struct {
 	mb    int
 	tasks int
+}
+
+// affinity is one node's between-rounds overlay.
+type affinity struct {
+	// stragglers counts speculation events against this node since the
+	// overlay entry was created, halved on every fresh solicitation round
+	// so old sins fade.
+	stragglers int
+	// liveRunning is the running-task count most recently derived from the
+	// node's heartbeat, with syncedAt the observation time. It refreshes a
+	// stale snapshot's load figure without a solicitation round.
+	liveRunning int
+	syncedAt    time.Time
 }
 
 // NewDirectory creates a directory around a solicitation function.
@@ -109,6 +146,7 @@ func NewDirectory(cfg Config) *Directory {
 		entries:  make(map[string]protocol.TMOffer),
 		debts:    make(map[string]int),
 		reserved: make(map[string]*reservation),
+		affinity: make(map[string]*affinity),
 	}
 }
 
@@ -120,10 +158,21 @@ func (d *Directory) freshLocked() bool {
 	return d.cfg.Now().Sub(d.fetchedAt) < d.cfg.TTL
 }
 
-// snapshotLocked copies the cached offers, sorted by node for determinism.
+// snapshotLocked copies the cached offers, sorted by node for determinism,
+// merging each node's affinity overlay into its served figures: a
+// heartbeat newer than the snapshot bumps a stale load figure upward
+// (never down — the snapshot may already include reserves the heartbeat
+// predates), and accumulated straggler marks add into the offer's stall
+// count so the scorer's penalty sees them.
 func (d *Directory) snapshotLocked() []protocol.TMOffer {
 	out := make([]protocol.TMOffer, 0, len(d.entries))
 	for _, o := range d.entries {
+		if a := d.affinity[o.Node]; a != nil {
+			if a.syncedAt.After(d.fetchedAt) && a.liveRunning > o.RunningTasks {
+				o.RunningTasks = a.liveRunning
+			}
+			o.StalledTasks += a.stragglers
+		}
 		out = append(out, o)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
@@ -145,6 +194,7 @@ func (d *Directory) pruneDeadLocked() {
 	for node := range d.entries {
 		if !live[node] {
 			d.dropLocked(node)
+			delete(d.affinity, node)
 			d.stats.Evictions++
 		}
 	}
@@ -164,6 +214,7 @@ func (d *Directory) dropLocked(node string) {
 func (d *Directory) Evict(node string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	delete(d.affinity, node)
 	if _, ok := d.entries[node]; ok {
 		d.dropLocked(node)
 		d.stats.Evictions++
@@ -213,6 +264,16 @@ func (d *Directory) Offers() ([]protocol.TMOffer, error) {
 			d.entries[o.Node] = o
 		}
 		d.fetchedAt = d.cfg.Now()
+		// Straggler marks decay across rounds rather than resetting: one
+		// speculation should not taint a node forever, but neither should a
+		// fresh round instantly absolve a node that keeps stalling. Live
+		// load syncs older than the new snapshot are spent.
+		for node, a := range d.affinity {
+			a.stragglers /= 2
+			if a.stragglers == 0 && !a.syncedAt.After(d.fetchedAt) {
+				delete(d.affinity, node)
+			}
+		}
 		d.pruneDeadLocked()
 	}
 	d.inflight = nil
@@ -301,6 +362,46 @@ func (d *Directory) Release(node string, memoryMB, tasks int) {
 	d.entries[node] = o
 }
 
+// NoteStraggler records a speculation event against a node: one of its
+// tasks fell far enough behind that the JobManager launched a twin. The
+// mark raises the node's stall figure in every served offer until fresh
+// rounds decay it away, steering new work toward nodes that keep up.
+func (d *Directory) NoteStraggler(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a := d.affinity[node]
+	if a == nil {
+		a = &affinity{}
+		d.affinity[node] = a
+	}
+	a.stragglers++
+}
+
+// SyncLoad refreshes a node's live running-task count from its heartbeat,
+// keeping the directory's load picture current between solicitation
+// rounds without a multicast round trip.
+func (d *Directory) SyncLoad(node string, running int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a := d.affinity[node]
+	if a == nil {
+		a = &affinity{}
+		d.affinity[node] = a
+	}
+	a.liveRunning = running
+	a.syncedAt = d.cfg.Now()
+}
+
+// NotePlan folds one planning pass's locality outcome into the
+// directory's counters.
+func (d *Directory) NotePlan(ps PlanStats) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.WarmHits += ps.WarmHits
+	d.stats.ColdMisses += ps.ColdMisses
+	d.stats.BytesSaved += ps.BytesSaved
+}
+
 // Stats returns a copy of the directory's counters.
 func (d *Directory) Stats() Stats {
 	d.mu.Lock()
@@ -308,70 +409,32 @@ func (d *Directory) Stats() Stats {
 	return d.stats
 }
 
-// Plan bin-packs a task set onto an offer round. Tasks are considered in
-// descending memory order (ties broken by name) and each goes to the node
-// with the most remaining free memory — the same worst-fit spreading rule
-// the per-task path used — with ties broken by fewest running tasks, then
-// by node name, so a given (tasks, offers) input always yields the same
-// plan. The returned map holds per-node task lists; unplaced names every
-// task that fits on no node at all.
+// Plan places a task set onto an offer round with no locality wants: pure
+// capacity scheduling under the default scorer. With nothing resident to
+// prefer, the ranking degenerates to the original worst-fit spreading
+// rule — most free memory, fewest running tasks, lowest node name — so
+// existing callers and their determinism guarantees are unchanged. The
+// returned map holds per-node task lists; unplaced names every task that
+// fits on no node at all.
 func Plan(specs []*task.Spec, offers []protocol.TMOffer) (plan map[string][]*task.Spec, unplaced []*task.Spec) {
-	type bin struct {
-		node    string
-		freeMB  int
-		running int
-	}
-	bins := make([]*bin, 0, len(offers))
-	for _, o := range offers {
-		bins = append(bins, &bin{node: o.Node, freeMB: o.FreeMemoryMB, running: o.RunningTasks})
-	}
-	ordered := make([]*task.Spec, len(specs))
-	copy(ordered, specs)
-	sort.SliceStable(ordered, func(a, b int) bool {
-		if ordered[a].Req.MemoryMB != ordered[b].Req.MemoryMB {
-			return ordered[a].Req.MemoryMB > ordered[b].Req.MemoryMB
-		}
-		return ordered[a].Name < ordered[b].Name
-	})
-	plan = make(map[string][]*task.Spec)
-	for _, sp := range ordered {
-		var best *bin
-		for _, b := range bins {
-			if b.freeMB < sp.Req.MemoryMB {
-				continue
-			}
-			if best == nil || better(b.freeMB, b.running, b.node, best.freeMB, best.running, best.node) {
-				best = b
-			}
-		}
-		if best == nil {
-			unplaced = append(unplaced, sp)
-			continue
-		}
-		best.freeMB -= sp.Req.MemoryMB
-		best.running++
-		plan[best.node] = append(plan[best.node], sp)
-	}
+	plan, unplaced, _ = PlanScored(specs, offers, Wants{}, DefaultScorer{})
 	return plan, unplaced
 }
 
-// better reports whether bin a outranks bin b under the selection rule:
-// most free memory, then fewest running tasks, then lowest node name.
-func better(aFree, aRun int, aNode string, bFree, bRun int, bNode string) bool {
-	if aFree != bFree {
-		return aFree > bFree
-	}
-	if aRun != bRun {
-		return aRun < bRun
-	}
-	return aNode < bNode
-}
+// maxUnplacedNames bounds how many task names an UnplacedError spells out;
+// a 10k-task failure should not log a megabyte line.
+const maxUnplacedNames = 8
 
-// UnplacedError describes a plan that could not host every task.
+// UnplacedError describes a plan that could not host every task, naming at
+// most maxUnplacedNames of them.
 func UnplacedError(unplaced []*task.Spec) error {
-	names := make([]string, len(unplaced))
-	for i, sp := range unplaced {
+	shown := min(len(unplaced), maxUnplacedNames)
+	names := make([]string, shown)
+	for i, sp := range unplaced[:shown] {
 		names[i] = fmt.Sprintf("%s(%dMB)", sp.Name, sp.Req.MemoryMB)
+	}
+	if rest := len(unplaced) - shown; rest > 0 {
+		return fmt.Errorf("placement: no TaskManager can host %v and %d more", names, rest)
 	}
 	return fmt.Errorf("placement: no TaskManager can host %v", names)
 }

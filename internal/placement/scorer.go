@@ -1,0 +1,159 @@
+package placement
+
+import (
+	"sort"
+
+	"cn/internal/protocol"
+	"cn/internal/task"
+)
+
+// Wants describes the data a job would like its tasks to land next to:
+// the job's archive digest plus the digests of any data-plane blobs the
+// tasks will pull, each with its size in bytes. A node already holding a
+// wanted digest in its blob cache serves it locally instead of pulling it
+// over the wire, so resident bytes are the strongest placement signal.
+type Wants struct {
+	Digests map[string]int64
+}
+
+// ResidentBytes sums the wanted bytes an offer advertises as resident.
+func (w Wants) ResidentBytes(o *protocol.TMOffer) int64 {
+	if len(w.Digests) == 0 || len(o.ResidentDigests) == 0 {
+		return 0
+	}
+	var total int64
+	for _, d := range o.ResidentDigests {
+		total += w.Digests[d]
+	}
+	return total
+}
+
+// Score ranks one node for one task. Comparison is lexicographic in field
+// order: more wanted bytes already resident beats everything, then more
+// free memory (the worst-fit spreading rule), then fewer running tasks,
+// then fewer recently stalled tasks. Ties across all four fall to the
+// planner's node-name tie-break, which keeps plans deterministic.
+type Score struct {
+	ResidentBytes int64
+	FreeMB        int
+	Running       int
+	Stalled       int
+}
+
+// Better reports whether s outranks o.
+func (s Score) Better(o Score) bool {
+	if s.ResidentBytes != o.ResidentBytes {
+		return s.ResidentBytes > o.ResidentBytes
+	}
+	if s.FreeMB != o.FreeMB {
+		return s.FreeMB > o.FreeMB
+	}
+	if s.Running != o.Running {
+		return s.Running < o.Running
+	}
+	return s.Stalled < o.Stalled
+}
+
+// Scorer ranks a feasible node for a task. PlanScored calls it only for
+// offers that passed the capacity filter; residentBytes is the precomputed
+// overlap between the job's wants and the offer's resident digests.
+// Implementations must be pure functions of their arguments so a given
+// (specs, offers, wants) input always yields the same plan.
+type Scorer interface {
+	Score(sp *task.Spec, o *protocol.TMOffer, residentBytes int64) Score
+}
+
+// DefaultScorer is the standard ranking: resident bytes, then free
+// memory, then running tasks, then the straggler penalty — each taken
+// straight from the offer.
+type DefaultScorer struct{}
+
+// Score implements Scorer.
+func (DefaultScorer) Score(sp *task.Spec, o *protocol.TMOffer, residentBytes int64) Score {
+	return Score{
+		ResidentBytes: residentBytes,
+		FreeMB:        o.FreeMemoryMB,
+		Running:       o.RunningTasks,
+		Stalled:       o.StalledTasks,
+	}
+}
+
+// PlanStats is one planning pass's locality outcome.
+type PlanStats struct {
+	// WarmHits counts tasks placed on a node holding at least one wanted
+	// digest; ColdMisses counts tasks a digest-wanting job placed cold.
+	// Both stay zero when the job wants nothing.
+	WarmHits   int64
+	ColdMisses int64
+	// BytesSaved totals the wanted bytes already resident on the chosen
+	// nodes, counting each (node, digest) overlap once per pass — the
+	// bytes this plan avoids re-shipping.
+	BytesSaved int64
+}
+
+// PlanScored is the two-stage scheduler behind every placement decision.
+// Tasks are considered in descending memory order (ties broken by name).
+// For each task, stage one filters offers to those with enough remaining
+// free memory; stage two hands the survivors to the scorer and takes the
+// best score, breaking exact score ties by lowest node name. Chosen bins
+// are debited (memory, running count) before the next task is considered,
+// so the scorer always sees current figures. The returned map holds
+// per-node task lists; unplaced names every task that fits on no node.
+func PlanScored(specs []*task.Spec, offers []protocol.TMOffer, wants Wants, scorer Scorer) (plan map[string][]*task.Spec, unplaced []*task.Spec, stats PlanStats) {
+	if scorer == nil {
+		scorer = DefaultScorer{}
+	}
+	type bin struct {
+		offer    protocol.TMOffer // mutable working copy
+		resident int64
+		used     bool
+	}
+	bins := make([]*bin, 0, len(offers))
+	for _, o := range offers {
+		bins = append(bins, &bin{offer: o, resident: wants.ResidentBytes(&o)})
+	}
+	ordered := make([]*task.Spec, len(specs))
+	copy(ordered, specs)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].Req.MemoryMB != ordered[b].Req.MemoryMB {
+			return ordered[a].Req.MemoryMB > ordered[b].Req.MemoryMB
+		}
+		return ordered[a].Name < ordered[b].Name
+	})
+	plan = make(map[string][]*task.Spec)
+	for _, sp := range ordered {
+		var best *bin
+		var bestScore Score
+		for _, b := range bins {
+			if b.offer.FreeMemoryMB < sp.Req.MemoryMB {
+				continue // stage one: capacity infeasible
+			}
+			s := scorer.Score(sp, &b.offer, b.resident)
+			if best == nil || s.Better(bestScore) ||
+				(s == bestScore && b.offer.Node < best.offer.Node) {
+				best, bestScore = b, s
+			}
+		}
+		if best == nil {
+			unplaced = append(unplaced, sp)
+			continue
+		}
+		best.offer.FreeMemoryMB -= sp.Req.MemoryMB
+		best.offer.RunningTasks++
+		best.used = true
+		plan[best.offer.Node] = append(plan[best.offer.Node], sp)
+		if len(wants.Digests) > 0 {
+			if best.resident > 0 {
+				stats.WarmHits++
+			} else {
+				stats.ColdMisses++
+			}
+		}
+	}
+	for _, b := range bins {
+		if b.used {
+			stats.BytesSaved += b.resident
+		}
+	}
+	return plan, unplaced, stats
+}

@@ -304,6 +304,10 @@ type MetricsResponse struct {
 	Metrics   metrics.RegistrySnapshot `json:"metrics"`
 	Wire      transport.WireSnapshot   `json:"wire"`
 	Dataplane DataplaneMetrics         `json:"dataplane"`
+	// Placement aggregates every JobManager's resource-directory counters:
+	// solicit rounds, offer-cache activity, and the locality scorer's
+	// warm-hit / cold-miss / bytes-saved figures.
+	Placement PlacementMetrics `json:"placement"`
 	// Nodes is the per-node breakdown: every live node's registry
 	// snapshot and span-store depth, scraped over the wire (STATS_PULL)
 	// at request time. A node that fails to answer within the scrape
@@ -352,9 +356,21 @@ type DataplaneMetrics struct {
 	CacheMisses  int64                   `json:"cache_misses"`
 }
 
+// PlacementMetrics is placement.Stats with stable JSON names.
+type PlacementMetrics struct {
+	SolicitRounds int64 `json:"solicit_rounds"`
+	CacheHits     int64 `json:"cache_hits"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	WarmHits      int64 `json:"warm_hits"`
+	ColdMisses    int64 `json:"cold_misses"`
+	BytesSaved    int64 `json:"bytes_saved"`
+}
+
 func (p *Portal) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	served, fetched := p.cfg.Cluster.DataplaneBytes()
 	hits, misses := p.cfg.Cluster.CacheStats()
+	ps := p.cfg.Cluster.PlacementStats()
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Jobstore: p.store.Stats(),
 		Metrics:  p.store.Metrics().Snapshot(),
@@ -365,6 +381,15 @@ func (p *Portal) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			FetchedBytes: fetched,
 			CacheHits:    hits,
 			CacheMisses:  misses,
+		},
+		Placement: PlacementMetrics{
+			SolicitRounds: ps.SolicitRounds,
+			CacheHits:     ps.CacheHits,
+			Invalidations: ps.Invalidations,
+			Evictions:     ps.Evictions,
+			WarmHits:      ps.WarmHits,
+			ColdMisses:    ps.ColdMisses,
+			BytesSaved:    ps.BytesSaved,
 		},
 		Nodes: p.scrapeNodes(),
 	})

@@ -73,11 +73,29 @@ type TaskSolicitReq struct {
 	Spec  *task.Spec
 }
 
-// TMOffer is the body of KindTaskOffer.
+// MaxOfferDigests bounds how many resident content digests one TMOffer
+// advertises. The digests are the node's most-recently-used cache entries;
+// a bounded set keeps the offer payload small on large caches while still
+// covering the blobs a warm node is most likely to be asked about.
+const MaxOfferDigests = 32
+
+// TMOffer is the body of KindTaskOffer. The capacity figures travel on
+// every wire version; the locality fields (resident digests, stall count)
+// were added in wire v3 and decode as zero from older offers, so a cold
+// default is the compatibility story.
 type TMOffer struct {
 	Node         string
 	FreeMemoryMB int
 	RunningTasks int
+	// ResidentDigests is a bounded most-recently-used sample of the content
+	// digests in the node's blob cache — task archives and data-plane
+	// shuffle blobs alike. The placement scorer matches a job's wanted
+	// digests against it so warm nodes outrank cold ones.
+	ResidentDigests []string
+	// StalledTasks counts running tasks whose progress counter has not
+	// advanced for several heartbeat intervals — the node's self-observed
+	// straggler signal, scored as a placement penalty.
+	StalledTasks int
 }
 
 // AssignTaskReq is the body of KindUploadJar (JobManager -> chosen

@@ -102,6 +102,12 @@ type assignment struct {
 	// HandleStart before the execute goroutine launches and read only
 	// there. Zero when the job is untraced.
 	trace trace.Context
+	// Stall bookkeeping, guarded by the TaskManager's mu: the progress
+	// value the last beat observed and when it last changed. A running task
+	// whose counter sits still for stallBeats heartbeat intervals counts
+	// into the TMOffer's StalledTasks figure.
+	lastProgress   uint64
+	lastProgressAt time.Time
 }
 
 // jm returns the node of the JobManager currently owning the assignment.
@@ -201,15 +207,20 @@ func (tm *TaskManager) heartbeatLoop() {
 // progress sync. JobManagers this node no longer hosts tasks for receive
 // one final empty beat so they stop expecting renewals.
 func (tm *TaskManager) beatOnce() {
+	now := time.Now()
 	tm.mu.Lock()
 	byJM := make(map[string][]protocol.TaskBeat)
 	for _, a := range tm.assigned {
 		jmNode := a.jm()
+		p := a.progress.Load()
+		if p != a.lastProgress || a.lastProgressAt.IsZero() {
+			a.lastProgress, a.lastProgressAt = p, now
+		}
 		byJM[jmNode] = append(byJM[jmNode], protocol.TaskBeat{
 			JobID:    a.jobID,
 			Task:     a.spec.Name,
 			Running:  a.started.Load() && !a.cancelled.Load(),
-			Progress: a.progress.Load(),
+			Progress: p,
 		})
 	}
 	tm.mu.Unlock()
@@ -299,11 +310,37 @@ func (tm *TaskManager) HandleSolicit(m *msg.Message) *msg.Message {
 		return nil
 	}
 	offer := protocol.TMOffer{
-		Node:         tm.cfg.Node,
-		FreeMemoryMB: tm.freeMB,
-		RunningTasks: tm.running,
+		Node:            tm.cfg.Node,
+		FreeMemoryMB:    tm.freeMB,
+		RunningTasks:    tm.running,
+		ResidentDigests: tm.blobs.RecentDigests(protocol.MaxOfferDigests),
+		StalledTasks:    tm.stalledLocked(time.Now()),
 	}
 	return m.Reply(msg.KindTaskOffer, msg.MustEncode(offer))
+}
+
+// stallBeats is how many silent heartbeat intervals a running task's
+// progress counter must sit still before the task counts as stalled in
+// this node's placement offers.
+const stallBeats = 3
+
+// stalledLocked counts running assignments whose progress counter has not
+// advanced for stallBeats heartbeat intervals. Callers hold tm.mu. With
+// heartbeating disabled the counter is never observed, so nothing ever
+// reports as stalled.
+func (tm *TaskManager) stalledLocked(now time.Time) int {
+	if tm.cfg.HeartbeatEvery <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-stallBeats * tm.cfg.HeartbeatEvery)
+	stalled := 0
+	for _, a := range tm.assigned {
+		if a.started.Load() && !a.cancelled.Load() &&
+			!a.lastProgressAt.IsZero() && a.lastProgressAt.Before(cutoff) {
+			stalled++
+		}
+	}
+	return stalled
 }
 
 // HandleAssign processes a KindUploadJar — the per-task assignment path

@@ -84,6 +84,32 @@ func FuzzRoundTripHeartbeat(f *testing.F) {
 	})
 }
 
+// FuzzRoundTripTMOffer: structured fuzzing of the extended placement offer
+// — the v3 locality fields (resident digests, stall count) must survive a
+// round trip for any input, including empty digest strings and zero counts.
+func FuzzRoundTripTMOffer(f *testing.F) {
+	f.Add("node1", int64(4000), int64(2), "d1", "d2", int64(1))
+	f.Add("", int64(0), int64(0), "", "", int64(0))
+	f.Fuzz(func(t *testing.T, node string, freeMB, running int64, dig1, dig2 string, stalled int64) {
+		in := &protocol.TMOffer{Node: node, FreeMemoryMB: int(freeMB), RunningTasks: int(running),
+			ResidentDigests: []string{dig1, dig2}, StalledTasks: int(stalled)}
+		enc, err := Default.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out protocol.TMOffer
+		if err := Default.Unmarshal(enc, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Node != in.Node || out.FreeMemoryMB != in.FreeMemoryMB ||
+			out.RunningTasks != in.RunningTasks || out.StalledTasks != in.StalledTasks ||
+			len(out.ResidentDigests) != 2 ||
+			out.ResidentDigests[0] != dig1 || out.ResidentDigests[1] != dig2 {
+			t.Errorf("round trip mismatch: %+v vs %+v", in, out)
+		}
+	})
+}
+
 // FuzzRoundTripDataLoc: structured fuzzing of the data-plane location reply
 // — any input that marshals must unmarshal to the same value, including the
 // inline payload bytes.

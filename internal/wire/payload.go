@@ -690,7 +690,12 @@ func readTaskSolicitReq(r *Reader, v *protocol.TaskSolicitReq) (err error) {
 func appendTMOffer(b []byte, v *protocol.TMOffer) []byte {
 	b = AppendString(b, v.Node)
 	b = AppendVarint(b, int64(v.FreeMemoryMB))
-	return AppendVarint(b, int64(v.RunningTasks))
+	b = AppendVarint(b, int64(v.RunningTasks))
+	// Wire v3 locality fields. Like the envelope's v2 trace context they
+	// trail the v2 body, so a v3 reader detects their absence by running
+	// out of bytes and decodes older offers as cold.
+	b = appendStringSlice(b, v.ResidentDigests)
+	return AppendVarint(b, int64(v.StalledTasks))
 }
 
 func readTMOffer(r *Reader, v *protocol.TMOffer) (err error) {
@@ -700,7 +705,18 @@ func readTMOffer(r *Reader, v *protocol.TMOffer) (err error) {
 	if v.FreeMemoryMB, err = r.Int(); err != nil {
 		return err
 	}
-	v.RunningTasks, err = r.Int()
+	if v.RunningTasks, err = r.Int(); err != nil {
+		return err
+	}
+	if r.Len() == 0 {
+		// A v2-or-older offer ends here: no locality data, decode as cold.
+		v.ResidentDigests, v.StalledTasks = nil, 0
+		return nil
+	}
+	if v.ResidentDigests, err = readStringSlice(r, "resident digests"); err != nil {
+		return err
+	}
+	v.StalledTasks, err = r.Int()
 	return err
 }
 

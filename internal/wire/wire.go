@@ -28,10 +28,12 @@ import (
 
 // Version is the wire-format version carried in every frame header and
 // binary payload header. Version 2 added the optional trailing trace
-// context to the message envelope. A receiver accepts every version in
-// [MinVersion, Version] and rejects the rest; bumping the pair is the
-// negotiation story for format changes (see docs/WIRE.md).
-const Version = 2
+// context to the message envelope; version 3 added the trailing locality
+// fields (resident digests, stall count) to the TMOffer body. A receiver
+// accepts every version in [MinVersion, Version] and rejects the rest;
+// bumping the pair is the negotiation story for format changes (see
+// docs/WIRE.md).
+const Version = 3
 
 // MinVersion is the oldest frame version a receiver still accepts. A v1
 // frame is a v2 frame without the optional trailing trace context, so

@@ -39,7 +39,8 @@ func bodies() []any {
 		&protocol.CreateTaskReq{JobID: "j", Spec: specFixture("t1"), ArchiveName: "a.jar", Archive: []byte{1, 2, 3}, Digest: "deadbeef"},
 		&protocol.CreateTaskResp{Placement: "n2"},
 		&protocol.TaskSolicitReq{JobID: "j", Spec: specFixture("probe")},
-		&protocol.TMOffer{Node: "n3", FreeMemoryMB: 4000, RunningTasks: 2},
+		&protocol.TMOffer{Node: "n3", FreeMemoryMB: 4000, RunningTasks: 2,
+			ResidentDigests: []string{"d1", "d2"}, StalledTasks: 1},
 		&protocol.AssignTaskReq{JobID: "j", JobManager: "n1", ClientNode: "c", Spec: specFixture("t2"), ArchiveName: "a.jar", Archive: []byte{9}, Digest: "d"},
 		&protocol.AssignTaskResp{OK: true, Reason: ""},
 		&protocol.CreateTasksReq{
@@ -131,7 +132,8 @@ func TestRoundTripAllBodies(t *testing.T) {
 // TestRoundTripByValue checks the value (non-pointer) marshal path used by
 // protocol.Body call sites.
 func TestRoundTripByValue(t *testing.T) {
-	in := protocol.TMOffer{Node: "n9", FreeMemoryMB: 123, RunningTasks: 4}
+	in := protocol.TMOffer{Node: "n9", FreeMemoryMB: 123, RunningTasks: 4,
+		ResidentDigests: []string{"abc"}, StalledTasks: 2}
 	enc, err := Default.Marshal(in)
 	if err != nil {
 		t.Fatal(err)
@@ -140,8 +142,33 @@ func TestRoundTripByValue(t *testing.T) {
 	if err := Default.Unmarshal(enc, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Errorf("got %+v want %+v", out, in)
+	}
+}
+
+// TestTMOfferLegacyDecodesCold: a v2 offer body (no trailing locality
+// fields) must decode with nil ResidentDigests and zero StalledTasks, not
+// error — the wire-compat contract for the v3 TMOffer extension.
+func TestTMOfferLegacyDecodesCold(t *testing.T) {
+	// Build a current encoding, then strip it down to the v2 shape: header
+	// (tag, version, type id) plus the three legacy fields only, with the
+	// version byte rewritten to 2.
+	full, err := Default.Marshal(&protocol.TMOffer{Node: "n4", FreeMemoryMB: 512, RunningTasks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cold current offer still carries the trailing empty-slice count and
+	// zero stall varint; drop those two trailing bytes to get the v2 body.
+	legacy := append([]byte(nil), full[:len(full)-2]...)
+	legacy[1] = 2
+	var out protocol.TMOffer
+	if err := Default.Unmarshal(legacy, &out); err != nil {
+		t.Fatalf("legacy v2 offer failed to decode: %v", err)
+	}
+	want := protocol.TMOffer{Node: "n4", FreeMemoryMB: 512, RunningTasks: 3}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("legacy decode got %+v want %+v", out, want)
 	}
 }
 
