@@ -31,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cnbench: ")
 	var (
-		exp   = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | durability | shuffle | trace | all")
+		exp   = flag.String("exp", "all", "experiment: floyd | montecarlo | discovery | messaging | transform | placement | recovery | tuplespace | wire | durability | shuffle | trace | transport | all")
 		reps  = flag.Int("reps", 5, "repetitions per configuration")
 		out   = flag.String("placement-out", "BENCH_placement.json", "path for the placement experiment's JSON snapshot")
 		rout  = flag.String("recovery-out", "BENCH_recovery.json", "path for the recovery experiment's JSON snapshot")
@@ -40,6 +40,7 @@ func main() {
 		dout  = flag.String("durability-out", "BENCH_durability.json", "path for the durability experiment's JSON snapshot")
 		sout  = flag.String("shuffle-out", "BENCH_shuffle.json", "path for the shuffle data-plane experiment's JSON snapshot")
 		trout = flag.String("trace-out", "BENCH_trace.json", "path for the tracing-overhead experiment's JSON snapshot")
+		tpout = flag.String("transport-out", "BENCH_transport.json", "path for the transport-pipelining experiment's JSON snapshot")
 	)
 	flag.Parse()
 
@@ -68,6 +69,8 @@ func main() {
 		shuffleTable(*reps, *sout)
 	case "trace":
 		traceTable(*reps, *trout)
+	case "transport":
+		transportTable(*reps, *tpout)
 	case "all":
 		floydTable(*reps)
 		monteCarloTable(*reps)
@@ -81,6 +84,7 @@ func main() {
 		durabilityTable(*reps, *dout)
 		shuffleTable(*reps, *sout)
 		traceTable(*reps, *trout)
+		transportTable(*reps, *tpout)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -141,6 +141,12 @@ type TaskManager struct {
 	// this node's liveness lease so an idle node is not mistaken for a
 	// dead one.
 	lastJMs map[string]bool
+	// beatScratch is beatOnce's grouping map, reused across rounds (the
+	// heartbeat ticks forever on every node; rebuilding the map and its
+	// slices each round was steady-state garbage). Between rounds its keys
+	// are exactly the actively-beaten JobManagers, values truncated but
+	// with capacity retained. Only the heartbeat goroutine touches it.
+	beatScratch map[string][]protocol.TaskBeat
 
 	mu       sync.Mutex
 	freeMB   int
@@ -169,15 +175,17 @@ func New(cfg Config, send SendFunc) *TaskManager {
 		reg = task.Global
 	}
 	tm := &TaskManager{
-		cfg:      cfg,
-		send:     send,
-		log:      logging.Component(logging.Pick(cfg.Log, cfg.Logf), "taskmgr", cfg.Node),
-		tracer:   cfg.Tracer,
-		registry: reg,
-		blobs:    archive.NewCache(),
-		stop:     make(chan struct{}),
-		assigned: make(map[string]*assignment),
-		freeMB:   cfg.MemoryMB,
+		cfg:         cfg,
+		send:        send,
+		log:         logging.Component(logging.Pick(cfg.Log, cfg.Logf), "taskmgr", cfg.Node),
+		tracer:      cfg.Tracer,
+		registry:    reg,
+		blobs:       archive.NewCache(),
+		stop:        make(chan struct{}),
+		assigned:    make(map[string]*assignment),
+		freeMB:      cfg.MemoryMB,
+		lastJMs:     make(map[string]bool),
+		beatScratch: make(map[string][]protocol.TaskBeat),
 	}
 	if cfg.HeartbeatEvery > 0 {
 		tm.wg.Add(1)
@@ -208,8 +216,15 @@ func (tm *TaskManager) heartbeatLoop() {
 // one final empty beat so they stop expecting renewals.
 func (tm *TaskManager) beatOnce() {
 	now := time.Now()
+	// Reuse the scratch map across rounds: truncate each surviving entry so
+	// appends below refill in place. Entering this round, keys are exactly
+	// the JobManagers beaten last round (== tm.lastJMs), so any key left
+	// empty after the fill is owed a goodbye.
+	byJM := tm.beatScratch
+	for jm, beats := range byJM {
+		byJM[jm] = beats[:0]
+	}
 	tm.mu.Lock()
-	byJM := make(map[string][]protocol.TaskBeat)
 	for _, a := range tm.assigned {
 		jmNode := a.jm()
 		p := a.progress.Load()
@@ -224,17 +239,8 @@ func (tm *TaskManager) beatOnce() {
 		})
 	}
 	tm.mu.Unlock()
-	for jm := range tm.lastJMs {
-		if _, still := byJM[jm]; !still {
-			byJM[jm] = nil // goodbye beat
-		}
-	}
-	tm.lastJMs = make(map[string]bool, len(byJM))
 	seq := tm.hbSeq.Add(1)
 	for jm, beats := range byJM {
-		if beats != nil {
-			tm.lastJMs[jm] = true
-		}
 		// Deterministic beat order keeps the wire payload stable for tests
 		// and logs.
 		sort.Slice(beats, func(a, b int) bool {
@@ -243,12 +249,26 @@ func (tm *TaskManager) beatOnce() {
 			}
 			return beats[a].Task < beats[b].Task
 		})
+		payload := beats
+		if len(beats) == 0 {
+			payload = nil // goodbye beat: releases the liveness lease
+		}
 		hb := protocol.Body(msg.KindHeartbeat,
 			msg.Address{Node: tm.cfg.Node},
 			msg.Address{Node: jm},
-			protocol.Heartbeat{Node: tm.cfg.Node, Seq: seq, Beats: beats})
+			protocol.Heartbeat{Node: tm.cfg.Node, Seq: seq, Beats: payload})
 		if err := tm.send(jm, hb); err != nil {
 			tm.logf("heartbeat to %s: %v", jm, err)
+		}
+	}
+	// Re-establish the invariant for the next round: lastJMs and the
+	// scratch keys are the JobManagers that got a real (non-goodbye) beat.
+	clear(tm.lastJMs)
+	for jm, beats := range byJM {
+		if len(beats) > 0 {
+			tm.lastJMs[jm] = true
+		} else {
+			delete(byJM, jm) // goodbye delivered; retire the entry
 		}
 	}
 }

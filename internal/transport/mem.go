@@ -29,6 +29,12 @@ type MemConfig struct {
 // in the same process and messages are delivered by goroutines, optionally
 // through a latency/jitter/loss model. It is the substrate that stands in
 // for the paper's Ethernet LAN.
+//
+// The outbound path mirrors the TCP fabric exactly: each sender keeps a
+// per-destination pipeline (the same two-lane outPipe the TCP writer
+// drains) with a writer goroutine delivering coalesced batches, so lane
+// ordering, priority, and backpressure behavior can be unit-tested
+// without sockets.
 type MemNetwork struct {
 	cfg    MemConfig
 	stats  Stats
@@ -86,6 +92,7 @@ func (n *MemNetwork) Attach(node string, handler Handler) (Endpoint, error) {
 		node:    node,
 		handler: handler,
 		inbox:   make(chan *msg.Message, n.cfg.QueueLen),
+		pipes:   make(map[string]*outPipe),
 		stop:    make(chan struct{}),
 	}
 	n.nodes[node] = ep
@@ -113,7 +120,8 @@ func (n *MemNetwork) Close() error {
 	return nil
 }
 
-// lossy draws whether the next delivery is dropped, and the jitter to apply.
+// draw decides whether the next delivery is dropped, and the jitter to
+// apply.
 func (n *MemNetwork) draw() (drop bool, extra time.Duration) {
 	if n.cfg.Loss == 0 && n.cfg.Jitter == 0 {
 		return false, 0
@@ -129,43 +137,33 @@ func (n *MemNetwork) draw() (drop bool, extra time.Duration) {
 	return false, extra
 }
 
-// deliver routes m to the destination endpoint, applying the latency model.
-// The message's encoded frame size is accounted exactly as the TCP fabric
-// would charge it, so bytes-on-wire figures are comparable across
-// substrates (and the binary codec's wins are visible in mem benches).
-func (n *MemNetwork) deliver(to string, m *msg.Message) error {
+// deliver routes one dequeued frame to the destination endpoint, applying
+// the latency model. The message's encoded frame size is accounted exactly
+// as the TCP fabric would charge it, so bytes-on-wire figures are
+// comparable across substrates (and the binary codec's wins are visible in
+// mem benches).
+func (n *MemNetwork) deliver(to string, m *msg.Message, size int, senderStop <-chan struct{}) {
 	n.mu.RLock()
 	dst, ok := n.nodes[to]
-	closed := n.closed
 	n.mu.RUnlock()
-	if closed {
-		return ErrClosed
-	}
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
-	}
-	body := wire.SizeOf(m)
-	if body > wire.MaxFrameBytes {
-		// Enforce the TCP fabric's frame limit here too, so an application
-		// that would fail on real sockets fails identically on the
-		// simulated substrate instead of passing tests it cannot pass in
-		// production.
-		return fmt.Errorf("transport: send to %s: %w (message %s is %d bytes)", to, wire.ErrFrameTooLarge, m.Kind, body)
-	}
-	size := wire.FrameHeaderBytes + body
 	n.stats.countSend(m.Kind, size)
+	if !ok {
+		// The destination detached after the frame was queued; on the
+		// wire this is a connection reset, a silent loss.
+		n.stats.Dropped.Add(1)
+		return
+	}
 	drop, extra := n.draw()
 	if drop {
 		n.stats.Dropped.Add(1)
-		return nil // loss is silent, like the wire
+		return // loss is silent, like the wire
 	}
 	delay := n.cfg.Latency + extra
 	if delay == 0 {
-		dst.enqueue(m, size, &n.stats)
-		return nil
+		dst.enqueue(m, size, &n.stats, senderStop)
+		return
 	}
-	time.AfterFunc(delay, func() { dst.enqueue(m, size, &n.stats) })
-	return nil
+	time.AfterFunc(delay, func() { dst.enqueue(m, size, &n.stats, nil) })
 }
 
 // memEndpoint is one node's attachment to a MemNetwork.
@@ -178,6 +176,7 @@ type memEndpoint struct {
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
+	pipes  map[string]*outPipe // dest node -> outbound pipeline
 	closed bool
 }
 
@@ -201,7 +200,12 @@ func (e *memEndpoint) dispatch() {
 	}
 }
 
-func (e *memEndpoint) enqueue(m *msg.Message, size int, stats *Stats) {
+// enqueue places m in this endpoint's inbox, blocking while it is full
+// (the socket-buffer analogue). senderStop aborts the wait when the
+// SENDING endpoint shuts down, so a wedged destination cannot hang a
+// sender's writer goroutine past Close; nil means no sender to abort for
+// (delayed deliveries).
+func (e *memEndpoint) enqueue(m *msg.Message, size int, stats *Stats, senderStop <-chan struct{}) {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -215,24 +219,93 @@ func (e *memEndpoint) enqueue(m *msg.Message, size int, stats *Stats) {
 		stats.BytesRecv.Add(int64(size))
 	case <-e.stop:
 		stats.Dropped.Add(1)
+	case <-senderStop:
+		stats.Dropped.Add(1)
 	}
 }
 
 // Node implements Endpoint.
 func (e *memEndpoint) Node() string { return e.node }
 
-// Send implements Endpoint.
-func (e *memEndpoint) Send(toNode string, m *msg.Message) error {
+// pipeTo returns this endpoint's outbound pipeline for dst, creating it —
+// and its writer goroutine — on first use.
+func (e *memEndpoint) pipeTo(dst string) (*outPipe, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	p, ok := e.pipes[dst]
+	if !ok {
+		p = newOutPipe(&e.net.stats)
+		e.pipes[dst] = p
+		e.wg.Add(1)
+		go e.writeLoop(dst, p)
+	}
+	return p, nil
+}
+
+// writeLoop drains one destination's pipeline in coalesced batches — the
+// in-memory twin of the TCP writer goroutine. A full destination inbox
+// blocks the writer (the socket-buffer analogue), which backs the queue
+// up into bulk-lane backpressure for senders.
+func (e *memEndpoint) writeLoop(dst string, p *outPipe) {
+	defer e.wg.Done()
+	for {
+		batch, ok := p.popBatch(e.stop)
+		if !ok {
+			return
+		}
+		for i := range batch {
+			e.net.deliver(dst, batch[i].m, batch[i].size, e.stop)
+		}
+		e.net.stats.countFlush(len(batch))
+	}
+}
+
+// send validates m and enqueues it onto dst's pipeline. Unknown
+// destinations and oversized frames fail synchronously, exactly as the
+// TCP sender's encode does.
+func (e *memEndpoint) send(dst string, m *msg.Message) error {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
-	return e.net.deliver(toNode, m)
+	e.net.mu.RLock()
+	_, known := e.net.nodes[dst]
+	netClosed := e.net.closed
+	e.net.mu.RUnlock()
+	if netClosed {
+		return ErrClosed
+	}
+	if !known {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, dst)
+	}
+	body := wire.SizeOf(m)
+	if body > wire.MaxFrameBytes {
+		// Enforce the TCP fabric's frame limit here too, so an application
+		// that would fail on real sockets fails identically on the
+		// simulated substrate instead of passing tests it cannot pass in
+		// production.
+		return fmt.Errorf("transport: send to %s: %w (message %s is %d bytes)", dst, wire.ErrFrameTooLarge, m.Kind, body)
+	}
+	p, err := e.pipeTo(dst)
+	if err != nil {
+		return err
+	}
+	return p.enqueue(outFrame{kind: m.Kind, m: m, size: wire.FrameHeaderBytes + body})
 }
 
-// Multicast implements Endpoint.
+// Send implements Endpoint.
+func (e *memEndpoint) Send(toNode string, m *msg.Message) error {
+	return e.send(toNode, m)
+}
+
+// Multicast implements Endpoint: the message is size-checked once and
+// enqueued onto every member's pipeline (each member receives its own
+// copy so handlers can mutate freely).
 func (e *memEndpoint) Multicast(group string, m *msg.Message) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -242,16 +315,15 @@ func (e *memEndpoint) Multicast(group string, m *msg.Message) error {
 	}
 	// Check the frame limit once up front, as the TCP fabric's
 	// encode-once fan-out does; otherwise the per-member check inside
-	// deliver would be swallowed by best-effort semantics and an
-	// oversized multicast would silently reach zero members here while
-	// erroring on TCP.
+	// send would be swallowed by best-effort semantics and an oversized
+	// multicast would silently reach zero members here while erroring on
+	// TCP.
 	if body := wire.SizeOf(m); body > wire.MaxFrameBytes {
 		return fmt.Errorf("transport: multicast %s: %w (message %s is %d bytes)", group, wire.ErrFrameTooLarge, m.Kind, body)
 	}
 	e.net.stats.Multicast.Add(1)
 	for _, node := range e.net.groups.members(group) {
-		// Each member receives its own copy so handlers can mutate freely.
-		if err := e.net.deliver(node, m.Clone()); err != nil && err != ErrClosed {
+		if err := e.send(node, m.Clone()); err != nil {
 			// A member that vanished mid-fanout is not an error for the
 			// sender; multicast is best-effort.
 			continue
@@ -293,7 +365,12 @@ func (e *memEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	pipes := e.pipes
+	e.pipes = map[string]*outPipe{}
 	e.mu.Unlock()
+	for _, p := range pipes {
+		p.fail(ErrClosed)
+	}
 	close(e.stop)
 	e.wg.Wait()
 	e.net.groups.leaveAll(e.node)

@@ -1,0 +1,337 @@
+// Outbound pipeline: the per-destination queue machinery shared by both
+// fabrics.
+//
+// Send used to hold a per-connection mutex across the blocking Write
+// syscall (and across a 2s dial on first use), so all traffic to one peer
+// was head-of-line serialized and every frame cost one syscall. The
+// pipeline inverts that: Send encodes and enqueues onto a bounded
+// per-peer queue and returns immediately; a dedicated writer goroutine
+// per connection owns the dial and drains the queue, coalescing every
+// queued frame into a single writev per wakeup.
+//
+// Two priority lanes keep the control plane live under bulk pressure:
+//
+//   - control: heartbeats, leases, tuple-space ops, data-plane location
+//     adverts/resolves, checkpoints — everything small and
+//     latency-sensitive. Control enqueue NEVER blocks; when the lane is
+//     at capacity the frame is dropped and counted (periodic senders
+//     re-send; a heartbeat delayed behind a megabyte of chunks is worse
+//     than one skipped beat).
+//   - bulk: archive uploads, blob chunks, direct data-plane fetch
+//     replies, user payloads. Bulk enqueue blocks until there is room
+//     (real backpressure), bounded by pipeEnqueueWait, after which the
+//     send fails with ErrBackpressure.
+//
+// MemNetwork routes through the same outPipe type, so lane ordering and
+// backpressure bugs surface in fast deterministic unit tests instead of
+// only under real sockets.
+package transport
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cn/internal/msg"
+	"cn/internal/wire"
+)
+
+// Pipeline errors.
+var (
+	// ErrBackpressure is returned when a bulk-lane enqueue could not make
+	// room within pipeEnqueueWait: the peer is not draining.
+	ErrBackpressure = errors.New("transport: bulk lane full (peer not draining)")
+	// ErrSlowConsumer marks a connection dropped because a frame write
+	// exceeded tcpWriteTimeout: the peer is alive but not reading. Queued
+	// frames fail with this error so senders can tell a wedged reader
+	// from a dead peer.
+	ErrSlowConsumer = errors.New("transport: peer not draining (write timeout)")
+)
+
+// Pipeline knobs; package variables so tests can tighten them.
+var (
+	// pipeControlCap bounds the control lane in frames; overflow drops
+	// the newest frame with a counter (control never blocks).
+	pipeControlCap = 4096
+	// pipeBulkCap and pipeBulkBytes bound the bulk lane in frames and
+	// encoded bytes; a full lane blocks the sender (backpressure).
+	pipeBulkCap   = 512
+	pipeBulkBytes = 8 << 20
+	// pipeEnqueueWait bounds how long a bulk enqueue may block before
+	// failing with ErrBackpressure.
+	pipeEnqueueWait = 5 * time.Second
+	// pipeFlushMaxBytes caps the bulk bytes coalesced into one flush. The
+	// control lane always drains whole, but bounding each bulk flush
+	// bounds the time a just-queued heartbeat can sit behind an
+	// in-flight writev: with an unbounded batch a full bulk lane would
+	// flush as one multi-megabyte writev and control frames would wait
+	// out its entire drain.
+	pipeFlushMaxBytes = 256 << 10
+)
+
+// lane is an outbound priority class.
+type lane int
+
+const (
+	laneControl lane = iota
+	laneBulk
+	laneCount
+)
+
+// laneOf classifies a message kind into its outbound lane. Everything is
+// control unless it is known bulk: a misclassified small kind costs a few
+// bytes of head-of-line latency, a misclassified bulk kind can starve
+// lease renewals into false suspect/dead transitions.
+func laneOf(k msg.Kind) lane {
+	switch k {
+	case msg.KindUploadJar, msg.KindBlobData, msg.KindBlobChunk, msg.KindBlobChunkAck,
+		msg.KindDataFetch, msg.KindUser, msg.KindBroadcast:
+		return laneBulk
+	}
+	return laneControl
+}
+
+// frameRef is a reference-counted pooled encode buffer. Multicast encodes
+// a frame once and enqueues the same bytes onto every member's pipeline;
+// the buffer returns to the pool only after the last writer flushed (or
+// dropped) its copy.
+type frameRef struct {
+	buf  *[]byte
+	refs atomic.Int32
+}
+
+func newFrameRef(buf *[]byte, n int32) *frameRef {
+	r := &frameRef{buf: buf}
+	r.refs.Store(n)
+	return r
+}
+
+// release drops one reference, recycling the buffer on the last one.
+func (r *frameRef) release() {
+	if r.refs.Add(-1) == 0 {
+		wire.PutBuf(r.buf)
+	}
+}
+
+// outFrame is one queued outbound transmission. The TCP fabric carries
+// encoded bytes (data, backed by ref); the in-memory fabric carries the
+// message itself (m). size is the accounted frame size either way.
+type outFrame struct {
+	kind msg.Kind
+	data []byte
+	ref  *frameRef
+	m    *msg.Message
+	size int
+}
+
+// release returns the frame's share of the encode buffer to the pool.
+func (f *outFrame) release() {
+	if f.ref != nil {
+		f.ref.release()
+	}
+}
+
+// outPipe is one destination's outbound pipeline: two bounded priority
+// lanes filled by senders and drained in coalesced batches by a single
+// writer goroutine.
+type outPipe struct {
+	stats *Stats
+
+	mu        sync.Mutex
+	notFull   sync.Cond // bulk backpressure waiters
+	wake      chan struct{}
+	lanes     [laneCount][]outFrame
+	bulkBytes int
+	depth     int
+	closed    bool
+	err       error
+}
+
+func newOutPipe(stats *Stats) *outPipe {
+	p := &outPipe{stats: stats, wake: make(chan struct{}, 1)}
+	p.notFull.L = &p.mu
+	return p
+}
+
+// enqueue queues f for the writer and returns without waiting for the
+// write. Control frames never block; bulk frames block with a deadline
+// when the lane is full. An enqueue on a failed pipe returns the failure
+// (e.g. the one dial error the whole batch shared).
+func (p *outPipe) enqueue(f outFrame) error {
+	l := laneOf(f.kind)
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		f.release()
+		return err
+	}
+	if l == laneControl {
+		if len(p.lanes[laneControl]) >= pipeControlCap {
+			p.mu.Unlock()
+			f.release()
+			p.stats.ControlDrops.Add(1)
+			p.stats.Dropped.Add(1)
+			return nil // counted, not surfaced: periodic control senders re-send
+		}
+	} else {
+		deadline := time.Now().Add(pipeEnqueueWait)
+		for !p.closed && len(p.lanes[laneBulk]) > 0 &&
+			(len(p.lanes[laneBulk]) >= pipeBulkCap || p.bulkBytes+f.size > pipeBulkBytes) {
+			if !p.waitUntil(deadline) {
+				p.mu.Unlock()
+				f.release()
+				p.stats.BulkDrops.Add(1)
+				p.stats.Dropped.Add(1)
+				return ErrBackpressure
+			}
+		}
+		if p.closed {
+			err := p.err
+			p.mu.Unlock()
+			f.release()
+			return err
+		}
+		p.bulkBytes += f.size
+	}
+	p.lanes[l] = append(p.lanes[l], f)
+	p.depth++
+	p.stats.QueueDepth.Add(1)
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// waitUntil blocks on the not-full condition until signalled or the
+// deadline passes; it reports whether waiting may continue. Called with
+// p.mu held; returns with it held.
+func (p *outPipe) waitUntil(deadline time.Time) bool {
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		return false
+	}
+	// sync.Cond has no timed wait; an AfterFunc broadcast stands in.
+	t := time.AfterFunc(remain, func() {
+		p.mu.Lock()
+		p.notFull.Broadcast()
+		p.mu.Unlock()
+	})
+	p.notFull.Wait()
+	t.Stop()
+	return true
+}
+
+// popBatch blocks until frames are queued or the pipe is done, then
+// drains a coalesced batch — ALL queued control frames first, so a
+// heartbeat overtakes every queued chunk, then bulk frames up to
+// pipeFlushMaxBytes (at least one) — and hands ownership to the caller.
+// Leftover bulk is picked up by the writer's next iteration without
+// waiting. stop aborts the wait (endpoint shutdown).
+func (p *outPipe) popBatch(stop <-chan struct{}) ([]outFrame, bool) {
+	for {
+		p.mu.Lock()
+		if p.depth > 0 {
+			ctl, bulk := p.lanes[laneControl], p.lanes[laneBulk]
+			take, takeBytes := 0, 0
+			for take < len(bulk) && (take == 0 || takeBytes+bulk[take].size <= pipeFlushMaxBytes) {
+				takeBytes += bulk[take].size
+				take++
+			}
+			batch := make([]outFrame, 0, len(ctl)+take)
+			batch = append(batch, ctl...)
+			batch = append(batch, bulk[:take]...)
+			// Zero vacated slots so idle lanes do not pin frame buffers.
+			for i := range ctl {
+				ctl[i] = outFrame{}
+			}
+			left := copy(bulk, bulk[take:])
+			for i := left; i < len(bulk); i++ {
+				bulk[i] = outFrame{}
+			}
+			p.lanes[laneControl] = ctl[:0]
+			p.lanes[laneBulk] = bulk[:left]
+			p.bulkBytes -= takeBytes
+			p.depth -= len(batch)
+			p.stats.QueueDepth.Add(int64(-len(batch)))
+			p.notFull.Broadcast()
+			p.mu.Unlock()
+			return batch, true
+		}
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		select {
+		case <-p.wake:
+		case <-stop:
+			return nil, false
+		}
+	}
+}
+
+// fail closes the pipe, failing every queued frame at once with err —
+// one dial error fails the whole batch instead of each sender eating its
+// own timeout. Idempotent; later enqueues return err.
+func (p *outPipe) fail(err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.err = err
+	var n int
+	for l := range p.lanes {
+		for i := range p.lanes[l] {
+			p.lanes[l][i].release()
+		}
+		if lane(l) == laneControl {
+			p.stats.ControlDrops.Add(int64(len(p.lanes[l])))
+		} else {
+			p.stats.BulkDrops.Add(int64(len(p.lanes[l])))
+		}
+		n += len(p.lanes[l])
+		p.lanes[l] = nil
+	}
+	p.depth = 0
+	p.bulkBytes = 0
+	p.stats.QueueDepth.Add(int64(-n))
+	p.stats.Dropped.Add(int64(n))
+	p.notFull.Broadcast()
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// failure returns the error the pipe failed with, or nil while healthy.
+func (p *outPipe) failure() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// batchBuckets is the coalesced-batch-size histogram resolution.
+const batchBuckets = 8
+
+// batchBucketLabels names the histogram buckets (frames per flush).
+var batchBucketLabels = [batchBuckets]string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+
+// batchBucket maps a flush's frame count to its histogram bucket.
+func batchBucket(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	idx := bits.Len(uint(n - 1))
+	if idx >= batchBuckets {
+		idx = batchBuckets - 1
+	}
+	return idx
+}

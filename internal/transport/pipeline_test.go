@@ -1,0 +1,411 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cn/internal/health"
+	"cn/internal/msg"
+)
+
+func TestLaneClassification(t *testing.T) {
+	for _, k := range []msg.Kind{msg.KindHeartbeat, msg.KindHeartbeatAck, msg.KindTSOut,
+		msg.KindTSIn, msg.KindTSReply, msg.KindDataResolve, msg.KindDataLoc,
+		msg.KindJMCheckpoint, msg.KindExecTask, msg.KindPing} {
+		if laneOf(k) != laneControl {
+			t.Errorf("%v classified bulk, want control", k)
+		}
+	}
+	for _, k := range []msg.Kind{msg.KindBlobChunk, msg.KindBlobChunkAck, msg.KindBlobData,
+		msg.KindUploadJar, msg.KindDataFetch, msg.KindUser, msg.KindBroadcast} {
+		if laneOf(k) != laneBulk {
+			t.Errorf("%v classified control, want bulk", k)
+		}
+	}
+}
+
+// TestPipeControlOvertakesBulk: a control frame enqueued AFTER bulk frames
+// must come out of the batch ahead of all of them.
+func TestPipeControlOvertakesBulk(t *testing.T) {
+	var stats Stats
+	p := newOutPipe(&stats)
+	for i := 0; i < 3; i++ {
+		if err := p.enqueue(outFrame{kind: msg.KindBlobChunk, size: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.enqueue(outFrame{kind: msg.KindHeartbeat, size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	batch, ok := p.popBatch(nil)
+	if !ok {
+		t.Fatal("popBatch reported closed")
+	}
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d, want 4 (coalesced)", len(batch))
+	}
+	if batch[0].kind != msg.KindHeartbeat {
+		t.Errorf("batch head is %v, want the later-enqueued HEARTBEAT", batch[0].kind)
+	}
+	if stats.QueueDepth.Load() != 0 {
+		t.Errorf("queue depth %d after drain, want 0", stats.QueueDepth.Load())
+	}
+}
+
+// TestPipeFlushBytesBounded: one flush takes all control but caps bulk at
+// pipeFlushMaxBytes, so a deep bulk queue cannot stretch a single writev
+// (and the control latency it bounds) arbitrarily.
+func TestPipeFlushBytesBounded(t *testing.T) {
+	var stats Stats
+	p := newOutPipe(&stats)
+	frame := pipeFlushMaxBytes / 2
+	for i := 0; i < 5; i++ {
+		if err := p.enqueue(outFrame{kind: msg.KindBlobChunk, size: frame}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, _ := p.popBatch(nil)
+	if len(batch) != 2 {
+		t.Errorf("first flush coalesced %d bulk frames, want 2 (%d-byte cap)", len(batch), pipeFlushMaxBytes)
+	}
+	batch, _ = p.popBatch(nil)
+	if len(batch) != 2 {
+		t.Errorf("second flush coalesced %d bulk frames, want 2", len(batch))
+	}
+	batch, _ = p.popBatch(nil)
+	if len(batch) != 1 {
+		t.Errorf("third flush coalesced %d bulk frames, want 1", len(batch))
+	}
+}
+
+// TestPipeBulkBackpressureAndControlNeverBlocks: a full bulk lane blocks
+// the sender until the deadline then fails with ErrBackpressure; a full
+// control lane drops with a counter and never blocks.
+func TestPipeBulkBackpressureAndControlNeverBlocks(t *testing.T) {
+	defer func(c, b int, w time.Duration) { pipeControlCap, pipeBulkCap, pipeEnqueueWait = c, b, w }(
+		pipeControlCap, pipeBulkCap, pipeEnqueueWait)
+	pipeControlCap, pipeBulkCap, pipeEnqueueWait = 2, 2, 50*time.Millisecond
+
+	var stats Stats
+	p := newOutPipe(&stats) // no writer: nothing drains
+	for i := 0; i < 2; i++ {
+		if err := p.enqueue(outFrame{kind: msg.KindBlobChunk, size: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	err := p.enqueue(outFrame{kind: msg.KindBlobChunk, size: 8})
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("bulk enqueue on full lane = %v, want ErrBackpressure", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("bulk enqueue failed after %v, want to block ~%v first", d, pipeEnqueueWait)
+	}
+	if stats.BulkDrops.Load() != 1 {
+		t.Errorf("bulk drops = %d, want 1", stats.BulkDrops.Load())
+	}
+
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if err := p.enqueue(outFrame{kind: msg.KindHeartbeat, size: 1}); err != nil {
+			t.Fatalf("control enqueue: %v", err)
+		}
+		if d := time.Since(start); d > 20*time.Millisecond {
+			t.Errorf("control enqueue blocked %v", d)
+		}
+	}
+	if stats.ControlDrops.Load() != 1 {
+		t.Errorf("control drops = %d, want 1 (cap 2, 3 enqueued)", stats.ControlDrops.Load())
+	}
+}
+
+// TestPipeFailDrainsQueueOnce: fail must drop every queued frame with the
+// one shared error, and later enqueues must return it.
+func TestPipeFailDrainsQueueOnce(t *testing.T) {
+	var stats Stats
+	p := newOutPipe(&stats)
+	for i := 0; i < 4; i++ {
+		if err := p.enqueue(outFrame{kind: msg.KindPing, size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("dial exploded")
+	p.fail(boom)
+	if got := stats.Dropped.Load(); got != 4 {
+		t.Errorf("dropped = %d, want 4", got)
+	}
+	if got := stats.QueueDepth.Load(); got != 0 {
+		t.Errorf("queue depth = %d, want 0", got)
+	}
+	if err := p.enqueue(outFrame{kind: msg.KindPing, size: 1}); !errors.Is(err, boom) {
+		t.Errorf("enqueue after fail = %v, want the fail error", err)
+	}
+	if _, ok := p.popBatch(nil); ok {
+		t.Error("popBatch on failed pipe reported frames")
+	}
+}
+
+// TestTCPSendDoesNotBlockOnDial: the acceptance criterion — Send to an
+// undialed peer must return immediately while the writer goroutine eats
+// the dial latency.
+func TestTCPSendDoesNotBlockOnDial(t *testing.T) {
+	realDial := tcpDial
+	defer func() { tcpDial = realDial }()
+	tcpDial = func(network, addr string, d time.Duration) (net.Conn, error) {
+		time.Sleep(300 * time.Millisecond) // a slow peer, far short of tcpDialTimeout
+		return realDial(network, addr, d)
+	}
+
+	n := NewTCPNetwork()
+	defer n.Close()
+	recv := newCollector()
+	a, err := n.Attach("a", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach("b", recv.handle); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := a.Send("b", msg.New(msg.KindPing, msg.Address{Node: "a"}, msg.Address{Node: "b"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("Send blocked %v waiting for the dial, want immediate return", d)
+	}
+	recv.wait(t, 1, 2*time.Second) // still delivered once the dial lands
+}
+
+// TestTCPDialFailureFailsBatchOnce: senders that queued behind a dead
+// peer's dial must all fail from the ONE dial attempt — not each eat its
+// own timeout serially, the pre-pipeline poisoning behavior.
+func TestTCPDialFailureFailsBatchOnce(t *testing.T) {
+	realDial := tcpDial
+	defer func() { tcpDial = realDial }()
+	var dials atomic.Int32
+	tcpDial = func(network, addr string, d time.Duration) (net.Conn, error) {
+		dials.Add(1)
+		time.Sleep(100 * time.Millisecond)
+		return nil, fmt.Errorf("connection refused (simulated)")
+	}
+
+	n := NewTCPNetwork()
+	defer n.Close()
+	a, err := n.Attach("a", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach("dead", func(*msg.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	const queued = 10
+	start := time.Now()
+	for i := 0; i < queued; i++ {
+		if err := a.Send("dead", msg.New(msg.KindPing, msg.Address{Node: "a"}, msg.Address{Node: "dead"}, nil)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("%d sends took %v, want all to enqueue without dialing", queued, d)
+	}
+	waitFor(t, 2*time.Second, func() bool { return n.Stats().Dropped.Load() >= queued }, "batch failure")
+	if got := dials.Load(); got != 1 {
+		t.Errorf("dead peer dialed %d times for %d queued frames, want 1", got, queued)
+	}
+	if got := n.Stats().ControlDrops.Load(); got != queued {
+		t.Errorf("control drops = %d, want %d", got, queued)
+	}
+}
+
+// TestTCPCoalescing: frames queued while the writer is busy must flush in
+// coalesced writev batches — fewer flushes than frames.
+func TestTCPCoalescing(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	var got atomic.Int64
+	a, err := n.Attach("a", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach("b", func(*msg.Message) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	const frames = 400
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < frames/8; i++ {
+				_ = a.Send("b", msg.New(msg.KindPing, msg.Address{Node: "a"}, msg.Address{Node: "b"}, []byte("x")))
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, 5*time.Second, func() bool { return got.Load() == frames }, "all frames delivered")
+	sent, flushes := n.Stats().Sent.Load(), n.Stats().Flushes.Load()
+	if sent != frames {
+		t.Fatalf("sent = %d, want %d", sent, frames)
+	}
+	if flushes >= sent {
+		t.Errorf("flushes = %d for %d frames: no coalescing happened", flushes, sent)
+	}
+	if hist := n.Stats().BatchSizes(); len(hist) == 0 {
+		t.Error("batch-size histogram is empty")
+	}
+}
+
+// TestMemBackpressureSemantics: the in-memory fabric must exhibit the same
+// lane behavior as TCP — bulk backpressure surfaces to senders, control
+// drops instead of blocking — so these bugs are catchable without sockets.
+func TestMemBackpressureSemantics(t *testing.T) {
+	defer func(c, b int, w time.Duration) { pipeControlCap, pipeBulkCap, pipeEnqueueWait = c, b, w }(
+		pipeControlCap, pipeBulkCap, pipeEnqueueWait)
+	pipeControlCap, pipeBulkCap, pipeEnqueueWait = 4, 2, 50*time.Millisecond
+
+	n := NewMemNetwork(MemConfig{QueueLen: 1})
+	defer n.Close()
+	block := make(chan struct{})
+	a, err := n.Attach("a", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach("wedged", func(*msg.Message) { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	defer close(block)
+
+	// Saturate: the wedged handler blocks the dispatcher, the 1-deep inbox
+	// fills, the writer blocks delivering, the 2-deep bulk lane fills.
+	var sawBackpressure bool
+	for i := 0; i < 20 && !sawBackpressure; i++ {
+		err := a.Send("wedged", msg.New(msg.KindUser, msg.Address{Node: "a"}, msg.Address{Node: "wedged"}, []byte("bulk")))
+		sawBackpressure = errors.Is(err, ErrBackpressure)
+	}
+	if !sawBackpressure {
+		t.Fatal("bulk sends to a wedged consumer never hit ErrBackpressure")
+	}
+	// Control sends must keep succeeding-or-dropping without blocking.
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		if err := a.Send("wedged", msg.New(msg.KindHeartbeat, msg.Address{Node: "a"}, msg.Address{Node: "wedged"}, nil)); err != nil {
+			t.Fatalf("control send: %v", err)
+		}
+		if d := time.Since(start); d > 20*time.Millisecond {
+			t.Fatalf("control send blocked %v behind a saturated bulk lane", d)
+		}
+	}
+	if n.Stats().ControlDrops.Load() == 0 {
+		t.Error("control lane never dropped despite exceeding its cap")
+	}
+}
+
+// TestTCPSerializedBaselineStillWorks: the pre-pipeline path kept for
+// cnbench's baseline must still deliver unicast and multicast.
+func TestTCPSerializedBaselineStillWorks(t *testing.T) {
+	n := NewTCPNetwork()
+	n.SetPipelining(false)
+	defer n.Close()
+	recv := newCollector()
+	a, err := n.Attach("a", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach("b", recv.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", msg.New(msg.KindPing, msg.Address{Node: "a"}, msg.Address{Node: "b"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Multicast("g", msg.New(msg.KindPing, msg.Address{Node: "a"}, msg.Address{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	recv.wait(t, 2, 2*time.Second)
+}
+
+// TestHeartbeatsSurviveBulkStorm: lease renewals on the control lane must
+// keep flowing while bulk streams saturate the same connection — the
+// failure detector must see NO suspect or dead transition. Before the
+// priority lanes, a megabyte chunk train would serialize ahead of the
+// heartbeat and starve the lease into a false positive.
+func TestHeartbeatsSurviveBulkStorm(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+
+	mon := health.NewMonitor(health.Config{
+		SuspectAfter: 400 * time.Millisecond,
+		DeadAfter:    800 * time.Millisecond,
+	})
+	defer mon.Close()
+	events, unsub := mon.Subscribe()
+	defer unsub()
+
+	jmEP, err := n.Attach("jm", func(m *msg.Message) {
+		switch m.Kind {
+		case msg.KindHeartbeat:
+			mon.Observe("tm")
+		case msg.KindBlobChunk:
+			time.Sleep(2 * time.Millisecond) // a busy receiver: chunk verify + cache insert
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = jmEP
+	tm, err := n.Attach("tm", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Watch("tm")
+	mon.Observe("tm")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	chunk := make([]byte, 256<<10)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = tm.Send("jm", msg.New(msg.KindBlobChunk, msg.Address{Node: "tm"}, msg.Address{Node: "jm"}, chunk))
+			}
+		}()
+	}
+	// Heartbeat every 50ms for 1.2s while the storm runs.
+	for i := 0; i < 24; i++ {
+		if err := tm.Send("jm", msg.New(msg.KindHeartbeat, msg.Address{Node: "tm"}, msg.Address{Node: "jm"}, nil)); err != nil {
+			t.Fatalf("heartbeat send: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for {
+		select {
+		case ev := <-events:
+			if ev.State != health.StateAlive {
+				t.Fatalf("node %s transitioned to %v during the bulk storm", ev.Node, ev.State)
+			}
+		default:
+			if mon.State("tm") != health.StateAlive {
+				t.Fatalf("tm is %v after the storm, want alive", mon.State("tm"))
+			}
+			return
+		}
+	}
+}

@@ -20,26 +20,32 @@ import (
 var (
 	// tcpDialTimeout bounds one connection attempt to a peer.
 	tcpDialTimeout = 2 * time.Second
-	// tcpMulticastWait bounds how long Multicast waits for its concurrent
-	// per-member sends; stragglers (a peer mid-dial) finish in the
-	// background. Delivery stays best-effort either way.
+	// tcpMulticastWait bounds how long the legacy (non-pipelined)
+	// Multicast waits for its concurrent per-member sends; stragglers (a
+	// peer mid-dial) finish in the background. Delivery stays best-effort
+	// either way.
 	tcpMulticastWait = 2 * time.Second
-	// tcpWriteTimeout bounds one frame write. A peer that is alive but not
-	// reading (wedged process, full socket buffer) errors the connection
-	// instead of parking the sender — and every later sender queued on the
-	// same connection — forever.
+	// tcpWriteTimeout bounds one coalesced frame flush. A peer that is
+	// alive but not reading (wedged process, full socket buffer) errors
+	// the connection — failing queued frames with ErrSlowConsumer —
+	// instead of parking the writer forever.
 	tcpWriteTimeout = 5 * time.Second
+	// tcpDial is the dial function; a package variable so tests can
+	// simulate slow or failing dials deterministically.
+	tcpDial = net.DialTimeout
 )
 
 // TCPNetwork is a real-socket fabric on the loopback interface. Every
 // attached endpoint owns a TCP listener; a shared in-process directory maps
 // node names to listen addresses (standing in for DNS/static cluster
-// configuration), and multicast is emulated by concurrent unicast fan-out
-// over group membership (standing in for IP multicast, which sandboxes
-// rarely route).
+// configuration), and multicast is emulated by unicast fan-out over group
+// membership (standing in for IP multicast, which sandboxes rarely route).
 //
 // Frames are length-prefixed binary messages (cn/internal/wire) on
-// persistent per-destination connections. Inbound frames are bounded by
+// persistent per-destination connections. The outbound path is pipelined:
+// Send encodes onto a bounded two-lane queue and returns; a per-connection
+// writer goroutine owns the dial and drains the queue with coalesced
+// writev flushes (see pipeline.go). Inbound frames are bounded by
 // wire.MaxFrameBytes: a corrupt or hostile length prefix drops the
 // connection with a logged transport error instead of allocating without
 // limit.
@@ -47,6 +53,11 @@ type TCPNetwork struct {
 	groups *groupSet
 	stats  Stats
 	logf   func(format string, args ...any)
+	// serialized restores the pre-pipeline send path (mutex across the
+	// write syscall, dial inline in Send): the benchmark baseline.
+	serialized atomic.Bool
+	// sendBuf, when positive, bounds SO_SNDBUF on outbound connections.
+	sendBuf atomic.Int32
 
 	mu     sync.RWMutex
 	nodes  map[string]*tcpEndpoint // node -> endpoint (for directory lookups)
@@ -66,6 +77,30 @@ func NewTCPNetwork() *TCPNetwork {
 // SetLogf installs a diagnostic sink for transport errors (dropped
 // connections, malformed frames); nil disables logging.
 func (n *TCPNetwork) SetLogf(f func(format string, args ...any)) { n.logf = f }
+
+// SetPipelining toggles the per-connection async writer (on by default).
+// Disabling it restores the serialized lock-across-syscall send path; the
+// knob exists so cnbench can measure the pipeline against its own
+// baseline and must be set before traffic flows.
+func (n *TCPNetwork) SetPipelining(enabled bool) { n.serialized.Store(!enabled) }
+
+// SetSendBuffer bounds the kernel send buffer (SO_SNDBUF) of outbound
+// connections dialed after the call; 0 keeps the OS default. Lane priority
+// can only reorder frames still in THIS process — bytes already handed to
+// the kernel drain strictly in order — so a bounded send buffer is what
+// keeps a control frame's worst-case wait proportional to the buffer, not
+// to however much bulk the kernel has absorbed (the bufferbloat knob).
+func (n *TCPNetwork) SetSendBuffer(bytes int) { n.sendBuf.Store(int32(bytes)) }
+
+// tuneConn applies the configured socket options to a freshly dialed
+// outbound connection.
+func (n *TCPNetwork) tuneConn(c net.Conn) {
+	if b := n.sendBuf.Load(); b > 0 {
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetWriteBuffer(int(b))
+		}
+	}
+}
 
 func (n *TCPNetwork) logErr(format string, args ...any) {
 	if n.logf != nil {
@@ -150,24 +185,32 @@ func (n *TCPNetwork) lookup(node string) (string, error) {
 	return addr, nil
 }
 
-// tcpConn is a persistent outbound connection. The connection is dialed
-// lazily under the per-connection lock, so a slow or dead destination
-// stalls only senders to that destination — never the whole endpoint. The
-// fd itself is published atomically so close can reach it while a writer
-// holds mu (closing the fd is what unblocks a wedged Write).
+// tcpConn is a persistent outbound connection: the bounded two-lane
+// outbound queue plus the socket its writer goroutine owns. Senders only
+// ever touch the pipe; the writer dials (so a first-touch Send never
+// blocks up to tcpDialTimeout), drains the queue, and coalesces every
+// queued frame into one writev per wakeup. The fd is published atomically
+// so close can reach it while the writer is blocked in a write (closing
+// the fd is what unblocks a wedged writev).
 type tcpConn struct {
 	addr string
+	node string
+	pipe *outPipe
 
-	mu     sync.Mutex   // serializes dial + frame writes
-	closed atomic.Bool  // set by close; late dialers self-destruct
+	closed atomic.Bool
 	cval   atomic.Value // net.Conn, set once after a successful dial
+
+	// wmu serializes the legacy (serialized-mode) dial + frame writes;
+	// unused when pipelining is on.
+	wmu sync.Mutex
 }
 
-// close marks the record dead and closes the fd (if dialed). It must not
-// take mu: a sender blocked mid-Write holds it, and only the fd close can
-// unblock that write.
-func (tc *tcpConn) close() {
+// close marks the record dead, fails every queued frame with err, and
+// closes the fd (if dialed). It must not block on the writer: a writer
+// wedged mid-writev holds the socket, and only the fd close unblocks it.
+func (tc *tcpConn) close(err error) {
 	tc.closed.Store(true)
+	tc.pipe.fail(err)
 	if c, ok := tc.cval.Load().(net.Conn); ok {
 		c.Close()
 	}
@@ -273,9 +316,9 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 // Node implements Endpoint.
 func (e *tcpEndpoint) Node() string { return e.node }
 
-// conn returns the persistent connection record for node, creating an
-// undialed placeholder on first use. Dialing happens in Send under the
-// record's own lock so concurrent sends to other nodes are not blocked.
+// conn returns the persistent connection record for node, creating it —
+// and launching its writer goroutine, which owns the dial — on first use.
+// Senders never dial: they enqueue and return.
 func (e *tcpEndpoint) conn(node string) (*tcpConn, error) {
 	addr, err := e.net.lookup(node)
 	if err != nil {
@@ -291,11 +334,20 @@ func (e *tcpEndpoint) conn(node string) (*tcpConn, error) {
 		return tc, nil
 	}
 	if ok {
-		// The peer restarted under a new address; retire the stale socket.
-		go tc.close()
+		// The peer restarted under a new address; retire the stale socket
+		// and its queued frames.
+		go tc.close(fmt.Errorf("transport: send to %s: %w (peer re-attached)", node, ErrClosed))
 	}
-	tc = &tcpConn{addr: addr}
+	tc = &tcpConn{addr: addr, node: node, pipe: newOutPipe(&e.net.stats)}
 	e.conns[node] = tc
+	if !e.net.serialized.Load() {
+		// The writer is deliberately NOT in e.wg: a writer parked in a
+		// dial may outlive Close by up to tcpDialTimeout (it only touches
+		// the already-failed pipe and the connection table), and shutdown
+		// must not wait on it — the same detachment the legacy multicast
+		// dial goroutines had.
+		go e.writeLoop(tc)
+	}
 	return tc, nil
 }
 
@@ -309,8 +361,66 @@ func (e *tcpEndpoint) forget(node string, tc *tcpConn) {
 	e.mu.Unlock()
 }
 
-// Send implements Endpoint. An oversized message fails before anything is
-// written; the stream stays intact.
+// writeLoop is tc's writer goroutine: it owns the dial, then drains the
+// pipe, coalescing every queued frame into a single net.Buffers writev
+// per wakeup — control lane first. A dial or write failure fails the
+// whole queued batch at once with one error and retires the connection;
+// the next Send re-dials on a fresh record.
+func (e *tcpEndpoint) writeLoop(tc *tcpConn) {
+	c, err := tcpDial("tcp", tc.addr, tcpDialTimeout)
+	if err != nil {
+		dialErr := fmt.Errorf("transport: dial %s (%s): %w", tc.node, tc.addr, err)
+		e.net.logErr("%s: %v; failing queued frames", e.node, dialErr)
+		e.forget(tc.node, tc)
+		tc.close(dialErr)
+		return
+	}
+	e.net.tuneConn(c)
+	tc.cval.Store(c)
+	if tc.closed.Load() {
+		// close raced the dial; it may have missed the just-published fd.
+		c.Close()
+		return
+	}
+	var bufs net.Buffers
+	for {
+		batch, ok := tc.pipe.popBatch(e.stop)
+		if !ok {
+			c.Close()
+			return
+		}
+		bufs = bufs[:0]
+		for i := range batch {
+			bufs = append(bufs, batch[i].data)
+		}
+		c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+		_, werr := bufs.WriteTo(c)
+		for i := range batch {
+			batch[i].release()
+		}
+		if werr != nil {
+			if ne, ok := werr.(net.Error); ok && ne.Timeout() {
+				werr = fmt.Errorf("%w: %v", ErrSlowConsumer, werr)
+			}
+			e.net.stats.Dropped.Add(int64(len(batch)))
+			e.net.logErr("%s: write to %s failed: %v; dropping connection and %d queued frames",
+				e.node, tc.node, werr, len(batch))
+			e.forget(tc.node, tc)
+			tc.close(fmt.Errorf("transport: send to %s: %w", tc.node, werr))
+			return
+		}
+		for i := range batch {
+			e.net.stats.countSend(batch[i].kind, len(batch[i].data))
+		}
+		e.net.stats.countFlush(len(batch))
+	}
+}
+
+// Send implements Endpoint: encode, enqueue onto the destination's
+// pipeline, return. The caller never blocks on a dial or a write; dial
+// and write failures fail the queued batch asynchronously (at-most-once
+// semantics, like the wire). An oversized message still fails
+// synchronously before anything is queued, as does an unknown node.
 func (e *tcpEndpoint) Send(toNode string, m *msg.Message) error {
 	buf := wire.GetBuf()
 	var err error
@@ -319,42 +429,52 @@ func (e *tcpEndpoint) Send(toNode string, m *msg.Message) error {
 		wire.PutBuf(buf)
 		return fmt.Errorf("transport: send to %s: %w", toNode, err)
 	}
-	err = e.writeFrame(toNode, m.Kind, *buf)
-	wire.PutBuf(buf)
-	return err
+	if e.net.serialized.Load() {
+		err = e.writeFrameSync(toNode, m.Kind, *buf)
+		wire.PutBuf(buf)
+		return err
+	}
+	tc, err := e.conn(toNode)
+	if err != nil {
+		wire.PutBuf(buf)
+		return err
+	}
+	return tc.pipe.enqueue(outFrame{
+		kind: m.Kind,
+		data: *buf,
+		ref:  newFrameRef(buf, 1),
+		size: len(*buf),
+	})
 }
 
-// writeFrame delivers one already-encoded frame to a node, dialing the
-// persistent connection if needed.
-func (e *tcpEndpoint) writeFrame(toNode string, kind msg.Kind, frame []byte) error {
+// writeFrameSync is the legacy serialized send path (dial inline, mutex
+// across the write syscall, one syscall per frame), kept as the benchmark
+// baseline behind SetPipelining(false).
+func (e *tcpEndpoint) writeFrameSync(toNode string, kind msg.Kind, frame []byte) error {
 	tc, err := e.conn(toNode)
 	if err != nil {
 		return err
 	}
-	tc.mu.Lock()
+	tc.wmu.Lock()
 	if tc.closed.Load() {
-		tc.mu.Unlock()
+		tc.wmu.Unlock()
 		e.forget(toNode, tc)
 		return fmt.Errorf("transport: send to %s: connection closed", toNode)
 	}
 	c, _ := tc.cval.Load().(net.Conn)
 	if c == nil {
-		dialed, err := net.DialTimeout("tcp", tc.addr, tcpDialTimeout)
+		dialed, err := tcpDial("tcp", tc.addr, tcpDialTimeout)
 		if err != nil {
-			// Poison the record before forgetting it: another sender may
-			// already hold this tc waiting on mu, and must fail fast rather
-			// than dial onto an orphaned record whose fd Close() would
-			// never find.
 			tc.closed.Store(true)
-			tc.mu.Unlock()
+			tc.wmu.Unlock()
 			e.forget(toNode, tc)
 			return fmt.Errorf("transport: dial %s (%s): %w", toNode, tc.addr, err)
 		}
+		e.net.tuneConn(dialed)
 		tc.cval.Store(dialed)
 		if tc.closed.Load() {
-			// close raced the dial; it may have missed the just-published fd.
 			dialed.Close()
-			tc.mu.Unlock()
+			tc.wmu.Unlock()
 			e.forget(toNode, tc)
 			return fmt.Errorf("transport: send to %s: connection closed", toNode)
 		}
@@ -362,24 +482,22 @@ func (e *tcpEndpoint) writeFrame(toNode string, kind msg.Kind, frame []byte) err
 	}
 	c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
 	_, err = c.Write(frame)
-	tc.mu.Unlock()
+	tc.wmu.Unlock()
 	if err != nil {
-		// Connection went bad: forget it so the next send re-dials.
 		e.forget(toNode, tc)
-		tc.close()
+		tc.close(fmt.Errorf("transport: send to %s: %w", toNode, err))
 		return fmt.Errorf("transport: send to %s: %w", toNode, err)
 	}
 	e.net.stats.countSend(kind, len(frame))
+	e.net.stats.countFlush(1)
 	return nil
 }
 
-// Multicast implements Endpoint: concurrent unicast fan-out over group
-// membership. The frame is encoded ONCE (binary frames carry no
-// per-connection state, unlike the old per-stream gob encoders) and each
-// member is dialed and written on its own goroutine, so one dead member's
-// dial timeout no longer stalls delivery to every later member; the call
-// waits a bounded window for the fan-out and leaves stragglers to finish
-// in the background (best-effort, like the wire).
+// Multicast implements Endpoint: unicast fan-out over group membership.
+// The frame is encoded ONCE and the same reference-counted bytes are
+// enqueued onto every member's pipeline, so fan-out costs no per-member
+// dial goroutines and no per-member encoding; a dead member's dial
+// failure is absorbed by its own writer (best-effort, like the wire).
 func (e *tcpEndpoint) Multicast(group string, m *msg.Message) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -402,12 +520,31 @@ func (e *tcpEndpoint) Multicast(group string, m *msg.Message) error {
 		wire.PutBuf(buf)
 		return nil
 	}
+	if e.net.serialized.Load() {
+		return e.multicastSync(members, m.Kind, buf)
+	}
+	ref := newFrameRef(buf, int32(len(members)))
+	for _, node := range members {
+		tc, err := e.conn(node)
+		if err != nil {
+			ref.release()
+			continue
+		}
+		// enqueue owns (and on failure releases) this member's reference.
+		_ = tc.pipe.enqueue(outFrame{kind: m.Kind, data: *buf, ref: ref, size: len(*buf)})
+	}
+	return nil
+}
+
+// multicastSync is the legacy concurrent fan-out (per-member goroutines
+// over the serialized write path), kept as the benchmark baseline.
+func (e *tcpEndpoint) multicastSync(members []string, kind msg.Kind, buf *[]byte) error {
 	var wg sync.WaitGroup
 	for _, node := range members {
 		wg.Add(1)
 		go func(node string) {
 			defer wg.Done()
-			_ = e.writeFrame(node, m.Kind, *buf) // best-effort, like the wire
+			_ = e.writeFrameSync(node, kind, *buf) // best-effort, like the wire
 		}(node)
 	}
 	done := make(chan struct{})
@@ -470,7 +607,7 @@ func (e *tcpEndpoint) Close() error {
 	close(e.stop)
 	e.ln.Close()
 	for _, tc := range conns {
-		tc.close()
+		tc.close(ErrClosed)
 	}
 	for _, c := range inbound {
 		c.Close()

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -149,6 +151,109 @@ func TestTCPMulticastSurvivesDeadMember(t *testing.T) {
 	}
 	live1.wait(t, 1, 2*time.Second)
 	live2.wait(t, 1, 2*time.Second)
+}
+
+// TestTCPSlowConsumerDropsConnection: a peer that accepts but never reads
+// must trip tcpWriteTimeout, get its connection dropped, and fail the
+// queued frames with ErrSlowConsumer — distinct from a dead peer's dial
+// error — while the stats stay consistent (every successfully enqueued
+// frame ends up either Sent or Dropped, and the queue drains to zero).
+func TestTCPSlowConsumerDropsConnection(t *testing.T) {
+	defer func(w time.Duration, d func(string, string, time.Duration) (net.Conn, error)) {
+		tcpWriteTimeout, tcpDial = w, d
+	}(tcpWriteTimeout, tcpDial)
+	tcpWriteTimeout = 200 * time.Millisecond
+	// Shrink the sender's socket buffer so the stalled reader wedges the
+	// writev within a few frames instead of megabytes.
+	realDial := tcpDial
+	tcpDial = func(network, addr string, d time.Duration) (net.Conn, error) {
+		c, err := realDial(network, addr, d)
+		if tc, ok := c.(*net.TCPConn); ok && err == nil {
+			tc.SetWriteBuffer(16 << 10)
+		}
+		return c, err
+	}
+
+	n := NewTCPNetwork()
+	defer n.Close()
+	ep, err := n.Attach("a", func(*msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ep.(*tcpEndpoint)
+
+	// The slow consumer: accepts the connection, then never reads a byte.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var stalledMu sync.Mutex
+	var stalled []net.Conn
+	defer func() {
+		stalledMu.Lock()
+		defer stalledMu.Unlock()
+		for _, c := range stalled {
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			stalledMu.Lock()
+			stalled = append(stalled, c)
+			stalledMu.Unlock()
+		}
+	}()
+	n.mu.Lock()
+	n.addrs["stall"] = ln.Addr().String()
+	n.mu.Unlock()
+
+	// Flood bulk frames from a goroutine until the pipe failure surfaces
+	// through Send; count how many were accepted into the queue.
+	var enqueued atomic.Int64
+	var finalErr error
+	done := make(chan struct{})
+	chunk := make([]byte, 128<<10)
+	go func() {
+		defer close(done)
+		for {
+			err := ep.Send("stall", msg.New(msg.KindBlobChunk, msg.Address{Node: "a"}, msg.Address{Node: "stall"}, chunk))
+			if err != nil {
+				finalErr = err
+				return
+			}
+			enqueued.Add(1)
+		}
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender never saw the slow-consumer failure")
+	}
+	if !errors.Is(finalErr, ErrSlowConsumer) {
+		t.Fatalf("sender failed with %v, want ErrSlowConsumer", finalErr)
+	}
+	// The connection record must be retired so the next send re-dials.
+	a.mu.Lock()
+	_, still := a.conns["stall"]
+	a.mu.Unlock()
+	if still {
+		t.Error("slow consumer's connection record not forgotten")
+	}
+	// Accounting: the queue drains to zero and every accepted frame is
+	// either on the wire or counted dropped (never both, never lost).
+	waitFor(t, 2*time.Second, func() bool { return n.Stats().QueueDepth.Load() == 0 }, "queue depth zero")
+	waitFor(t, 2*time.Second, func() bool {
+		return n.Stats().Sent.Load()+n.Stats().Dropped.Load() == enqueued.Load()
+	}, "sent+dropped == enqueued")
+	if n.Stats().BulkDrops.Load() == 0 {
+		t.Error("bulk drop counter never moved for the failed frames")
+	}
 }
 
 // TestWireByteAccounting: both fabrics must charge identical encoded sizes

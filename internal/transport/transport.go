@@ -16,10 +16,18 @@
 //     unicast fan-out over group membership, which preserves the protocol
 //     shape without requiring multicast routing inside a sandbox.
 //
+// Sends on both fabrics are pipelined (see pipeline.go): Send encodes onto
+// a bounded per-destination queue with two priority lanes — control
+// (heartbeats, tuple-space ops, checkpoints) and bulk (blob chunks,
+// archive uploads, user payloads) — and a per-connection writer goroutine
+// drains the queue in coalesced batches, so a megabyte chunk train cannot
+// delay a lease renewal and no sender ever blocks on a dial.
+//
 // Delivery semantics are at-most-once and unordered across endpoints
-// (ordered per sender-receiver pair on MemNetwork with zero jitter); CN's
-// protocol layers correlate requests and responses explicitly, as the
-// paper's message model prescribes.
+// (ordered per sender-receiver pair WITHIN a priority lane; a control
+// frame may overtake earlier bulk frames to the same peer); CN's protocol
+// layers correlate requests and responses explicitly, as the paper's
+// message model prescribes.
 package transport
 
 import (
@@ -90,14 +98,22 @@ type Network interface {
 type Stats struct {
 	Sent        atomic.Int64 // messages submitted for delivery
 	Delivered   atomic.Int64 // messages handed to a handler
-	Dropped     atomic.Int64 // messages lost (simulated loss or closed peer)
+	Dropped     atomic.Int64 // messages lost (simulated loss, closed peer, or failed queue)
 	Multicast   atomic.Int64 // multicast fan-out submissions
 	BytesSent   atomic.Int64 // encoded bytes submitted for delivery
 	BytesRecv   atomic.Int64 // encoded bytes handed to handlers
 	FrameErrors atomic.Int64 // malformed or oversized inbound frames (connection dropped)
 
+	// Outbound pipeline counters (see pipeline.go).
+	Flushes      atomic.Int64 // coalesced batch flushes (one writev each on TCP)
+	QueueDepth   atomic.Int64 // frames currently queued across all pipelines (gauge)
+	ControlDrops atomic.Int64 // control-lane frames dropped (lane full or pipe failed)
+	BulkDrops    atomic.Int64 // bulk-lane frames dropped (backpressure timeout or pipe failed)
+
 	// kinds counts sent messages by msg.Kind.
 	kinds [msg.KindCount]atomic.Int64
+	// batches histograms flushes by coalesced batch size.
+	batches [batchBuckets]atomic.Int64
 }
 
 // Snapshot returns a plain-value copy of the core counters.
@@ -114,6 +130,12 @@ func (s *Stats) countSend(k msg.Kind, bytes int) {
 	}
 }
 
+// countFlush records one coalesced batch flush of n frames.
+func (s *Stats) countFlush(n int) {
+	s.Flushes.Add(1)
+	s.batches[batchBucket(n)].Add(1)
+}
+
 // KindCounts returns the non-zero per-kind send counters keyed by the wire
 // kind name (e.g. "HEARTBEAT").
 func (s *Stats) KindCounts() map[string]int64 {
@@ -126,30 +148,55 @@ func (s *Stats) KindCounts() map[string]int64 {
 	return out
 }
 
+// BatchSizes returns the non-zero coalesced-batch-size histogram keyed by
+// frames-per-flush bucket (e.g. "9-16").
+func (s *Stats) BatchSizes() map[string]int64 {
+	out := make(map[string]int64)
+	for i := range s.batches {
+		if n := s.batches[i].Load(); n > 0 {
+			out[batchBucketLabels[i]] = n
+		}
+	}
+	return out
+}
+
 // WireSnapshot is a plain-value view of the fabric counters, shaped for
 // JSON metrics surfaces.
 type WireSnapshot struct {
-	Sent        int64            `json:"sent"`
-	Delivered   int64            `json:"delivered"`
-	Dropped     int64            `json:"dropped"`
-	Multicast   int64            `json:"multicast"`
-	BytesSent   int64            `json:"bytes_sent"`
-	BytesRecv   int64            `json:"bytes_recv"`
-	FrameErrors int64            `json:"frame_errors"`
-	ByKind      map[string]int64 `json:"by_kind,omitempty"`
+	Sent        int64 `json:"sent"`
+	Delivered   int64 `json:"delivered"`
+	Dropped     int64 `json:"dropped"`
+	Multicast   int64 `json:"multicast"`
+	BytesSent   int64 `json:"bytes_sent"`
+	BytesRecv   int64 `json:"bytes_recv"`
+	FrameErrors int64 `json:"frame_errors"`
+	// Outbound pipeline figures: flush count (writev batches), live queue
+	// depth, per-lane drops, and the frames-per-flush histogram. Mean
+	// writes-per-frame on the wire is Flushes/Sent.
+	Flushes      int64            `json:"flushes"`
+	QueueDepth   int64            `json:"queue_depth"`
+	ControlDrops int64            `json:"control_drops"`
+	BulkDrops    int64            `json:"bulk_drops"`
+	BatchSizes   map[string]int64 `json:"batch_sizes,omitempty"`
+	ByKind       map[string]int64 `json:"by_kind,omitempty"`
 }
 
 // Wire returns the full counter snapshot.
 func (s *Stats) Wire() WireSnapshot {
 	return WireSnapshot{
-		Sent:        s.Sent.Load(),
-		Delivered:   s.Delivered.Load(),
-		Dropped:     s.Dropped.Load(),
-		Multicast:   s.Multicast.Load(),
-		BytesSent:   s.BytesSent.Load(),
-		BytesRecv:   s.BytesRecv.Load(),
-		FrameErrors: s.FrameErrors.Load(),
-		ByKind:      s.KindCounts(),
+		Sent:         s.Sent.Load(),
+		Delivered:    s.Delivered.Load(),
+		Dropped:      s.Dropped.Load(),
+		Multicast:    s.Multicast.Load(),
+		BytesSent:    s.BytesSent.Load(),
+		BytesRecv:    s.BytesRecv.Load(),
+		FrameErrors:  s.FrameErrors.Load(),
+		Flushes:      s.Flushes.Load(),
+		QueueDepth:   s.QueueDepth.Load(),
+		ControlDrops: s.ControlDrops.Load(),
+		BulkDrops:    s.BulkDrops.Load(),
+		BatchSizes:   s.BatchSizes(),
+		ByKind:       s.KindCounts(),
 	}
 }
 
